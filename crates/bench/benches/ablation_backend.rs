@@ -1,0 +1,59 @@
+//! Ablation: in-memory vs on-disk (B+-tree) path-index lookups.
+//!
+//! The two-level ⟨label sequence, probability bucket⟩ key design is supposed
+//! to make disk lookups competitive: a lookup is one B+-tree range scan over
+//! adjacent keys. This bench measures the same lookup workload against the
+//! in-memory index and a `kvstore` file, warm cache.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphstore::Label;
+use kvstore::BTreeStore;
+use pathindex::disk::{save_index, DiskPathIndex};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(400, 0.2, 0.3, 2);
+    let idx = w.index(2);
+    let mut path = std::env::temp_dir();
+    path.push(format!("pegmatch-bench-backend-{}", std::process::id()));
+    let mut store = BTreeStore::create(&path).unwrap();
+    save_index(&idx.paths, &mut store).unwrap();
+    store.flush().unwrap();
+    let disk = DiskPathIndex::open(&store).unwrap();
+
+    let n_labels = w.peg.graph.label_table().len() as u16;
+    let seqs: Vec<Vec<Label>> = (0..n_labels)
+        .flat_map(|a| (0..n_labels).map(move |b| vec![Label(a), Label(b)]))
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_backend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &seqs {
+                total += idx.paths.lookup(s, 0.5).len();
+            }
+            total
+        })
+    });
+    group.bench_function("disk", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &seqs {
+                total += disk.lookup(s, 0.5).unwrap().len();
+            }
+            total
+        })
+    });
+    group.finish();
+
+    drop(disk);
+    drop(store);
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: path-index probability resolution `γ`.
+//!
+//! γ trades bucket granularity against index size: finer buckets mean range
+//! scans touch fewer non-qualifying entries, coarser buckets mean fewer,
+//! larger buckets. Because every entry is also filtered exactly against the
+//! query threshold, γ only affects how much is scanned — query time should
+//! be nearly flat across γ, and the build should pay slightly more for finer
+//! resolutions.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::PathIndexConfig;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(400, 0.2, 0.3, 1);
+    let n_labels = w.peg.graph.label_table().len();
+    let q = random_query(QuerySpec::new(5, 9), n_labels, 1);
+
+    let mut group = c.benchmark_group("ablation_gamma");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for gamma in [0.02, 0.1, 0.25] {
+        let opts = OfflineOptions {
+            index: PathIndexConfig { max_len: 2, beta: 0.3, gamma, ..Default::default() },
+        };
+        group.bench_with_input(
+            BenchmarkId::new("build_L2", format!("gamma{gamma}")),
+            &opts,
+            |b, opts| b.iter(|| OfflineIndex::build(&w.peg, opts).unwrap()),
+        );
+        let idx = OfflineIndex::build(&w.peg, &opts).unwrap();
+        let pipe = QueryPipeline::new(&w.peg, &idx);
+        group.bench_with_input(
+            BenchmarkId::new("query_q(5,9)", format!("gamma{gamma}")),
+            &q,
+            |b, q| b.iter(|| pipe.run(q, 0.7, &QueryOptions::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

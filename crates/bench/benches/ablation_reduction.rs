@@ -1,0 +1,47 @@
+//! Ablation: the joint search-space reduction variants of Section 5.2.4 —
+//! sequential reduction, the parallel (one thread per partition)
+//! implementation, structure-only reduction (no upper-bound message
+//! passing), and no reduction at all.
+//!
+//! At bench scale the sequential variant usually wins (partitions are small
+//! and thread startup dominates), matching the paper's observation that the
+//! parallel implementation pays off on large candidate sets.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(400, 0.4, 0.2, 3);
+    let n_labels = w.peg.graph.label_table().len();
+    let q = random_query(QuerySpec::new(10, 20), n_labels, 3);
+    let pipe = QueryPipeline::new(&w.peg, w.index(3));
+
+    let variants: Vec<(&str, QueryOptions)> = vec![
+        ("sequential", QueryOptions::default()),
+        (
+            "parallel",
+            QueryOptions { parallel_reduction: true, ..Default::default() },
+        ),
+        (
+            "structure_only",
+            QueryOptions { use_upperbounds: false, ..Default::default() },
+        ),
+        ("no_reduction", QueryOptions::no_reduction()),
+    ];
+
+    let mut group = c.benchmark_group("ablation_reduction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (name, opts) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| pipe.run(&q, 0.5, opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

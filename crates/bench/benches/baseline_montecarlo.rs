@@ -1,0 +1,45 @@
+//! Baseline comparison: the exact pipeline vs Monte Carlo possible-world
+//! sampling at increasing sample counts.
+//!
+//! Sampling is the generic fallback for #P-hard uncertain-graph queries; it
+//! pays one full world materialization plus one deterministic matching pass
+//! per sample, and still only returns estimates. The exact engine answers
+//! the same query from the path index in a fraction of the time — the gap
+//! below is the point of the paper's algorithmic machinery.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::baseline::{match_montecarlo, McOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(400, 0.4, 0.3, 2);
+    let n_labels = w.peg.graph.label_table().len();
+    let q = random_query(QuerySpec::new(4, 4), n_labels, 2);
+
+    let mut group = c.benchmark_group("baseline_montecarlo");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    let pipe = QueryPipeline::new(&w.peg, w.index(2));
+    group.bench_function("exact_pipeline", |b| {
+        b.iter(|| pipe.run(&q, 0.3, &QueryOptions::default()).unwrap())
+    });
+    for samples in [100usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("montecarlo", samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    match_montecarlo(&w.peg, &q, 0.3, &McOptions { samples, seed: 1 })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6(a)/(b): offline phase running time across index length `L` and
+//! construction threshold `β` (index sizes are reported by the
+//! `experiments fig6b` binary; this bench times construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{synthetic_refgraph, SyntheticConfig};
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pathindex::PathIndexConfig;
+
+fn bench_offline(c: &mut Criterion) {
+    let refs = synthetic_refgraph(&SyntheticConfig::paper(500));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let mut group = c.benchmark_group("fig6a_offline_phase");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for l in 1..=3usize {
+        for beta in [0.9, 0.5, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("L{l}"), format!("beta{beta}")),
+                &(l, beta),
+                |b, &(l, beta)| {
+                    b.iter(|| {
+                        let opts = OfflineOptions {
+                            index: PathIndexConfig { max_len: l, beta, ..Default::default() },
+                        };
+                        OfflineIndex::build(&peg, &opts).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 6(d): online running time vs query density (15-node queries of
+//! 20..60 edges), alpha = 0.7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::Workload;
+use datagen::{random_query, QuerySpec};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(400, 0.2, 0.3, 3);
+    let n_labels = w.peg.graph.label_table().len();
+    let mut group = c.benchmark_group("fig6d_density");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &(n, m) in &[(15usize, 20usize), (15, 40), (15, 60)] {
+        let q = random_query(QuerySpec::new(n, m), n_labels, 1);
+        for l in 1..=3usize {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            group.bench_with_input(
+                BenchmarkId::new(format!("OptL{l}"), format!("q({n},{m})")),
+                &q,
+                |b, q| b.iter(|| pipe.run(q, 0.7, &QueryOptions::default()).unwrap()),
+            );
+        }
+        let pipe = QueryPipeline::new(&w.peg, w.index(3));
+        group.bench_with_input(
+            BenchmarkId::new("NoSSReduction", format!("q({n},{m})")),
+            &q,
+            |b, q| b.iter(|| pipe.run(q, 0.7, &QueryOptions::no_reduction()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("RandomDecomp", format!("q({n},{m})")),
+            &q,
+            |b, q| b.iter(|| pipe.run(q, 0.7, &QueryOptions::random_decomposition(1)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figures 6(e)/(f): online running time vs the graph's degree of
+//! uncertainty (20%–80%), queries q(5,5), q(5,9), q(10,20), q(10,40),
+//! alpha = 0.7.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6ef_uncertainty");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for u in [0.2, 0.5, 0.8] {
+        let w = Workload::synthetic(400, u, 0.3, 3);
+        let n_labels = w.peg.graph.label_table().len();
+        for (n, m) in [(5usize, 5usize), (5, 9), (10, 20), (10, 40)] {
+            let q = random_query(QuerySpec::new(n, m), n_labels, 1);
+            for l in 1..=3usize {
+                let pipe = QueryPipeline::new(&w.peg, w.index(l));
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("L{l}_q({n},{m})"),
+                        format!("u{:.0}%", u * 100.0),
+                    ),
+                    &q,
+                    |b, q| b.iter(|| pipe.run(q, 0.7, &QueryOptions::default()).unwrap()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

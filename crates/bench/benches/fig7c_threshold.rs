@@ -1,0 +1,33 @@
+//! Figures 7(c)/(d): online running time vs query threshold α ∈ {0.3..0.9},
+//! queries q(5,5), q(5,9), q(10,20), q(10,40).
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(400, 0.2, 0.25, 3);
+    let n_labels = w.peg.graph.label_table().len();
+    let mut group = c.benchmark_group("fig7cd_threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for alpha in [0.3, 0.5, 0.7, 0.9] {
+        for (n, m) in [(5usize, 5usize), (5, 9), (10, 20), (10, 40)] {
+            let q = random_query(QuerySpec::new(n, m), n_labels, 1);
+            for l in 1..=3usize {
+                let pipe = QueryPipeline::new(&w.peg, w.index(l));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("L{l}_q({n},{m})"), format!("alpha{alpha}")),
+                    &q,
+                    |b, q| b.iter(|| pipe.run(q, alpha, &QueryOptions::default()).unwrap()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7(g): the five Figure-8 pattern queries over the DBLP-like
+//! collaboration network (label-correlated edges), alpha = 0.1, L = 1, 2, 3.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{dblp_like, pattern_query, DblpConfig, Pattern};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let refs = dblp_like(&DblpConfig::scaled(1_500));
+    let w = Workload::from_refgraph(&refs, 0.05, 3);
+    let lt = w.peg.graph.label_table();
+    let (d, m, s) = (lt.get("D").unwrap(), lt.get("M").unwrap(), lt.get("S").unwrap());
+    let mut group = c.benchmark_group("fig7g_dblp_patterns");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for p in Pattern::ALL {
+        let q = pattern_query(p, d, m, s).unwrap();
+        for l in 1..=3usize {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            group.bench_with_input(
+                BenchmarkId::new(p.name(), format!("L{l}")),
+                &q,
+                |b, q| b.iter(|| pipe.run(q, 0.1, &QueryOptions::default()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

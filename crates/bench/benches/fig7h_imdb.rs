@@ -1,0 +1,33 @@
+//! Figure 7(h): the Figure-8 pattern queries over the IMDB-like
+//! co-starring network (independent edges, uniform genre labels),
+//! alpha = 0.1, L = 1, 2, 3.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{imdb_like, pattern_query, ImdbConfig, Pattern};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let refs = imdb_like(&ImdbConfig::scaled(800));
+    let w = Workload::from_refgraph(&refs, 0.3, 3);
+    let genre = graphstore::Label(0); // Drama
+    let mut group = c.benchmark_group("fig7h_imdb_patterns");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for p in Pattern::ALL {
+        let q = pattern_query(p, genre, genre, genre).unwrap();
+        for l in 1..=3usize {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            group.bench_with_input(
+                BenchmarkId::new(p.name(), format!("L{l}")),
+                &q,
+                |b, q| b.iter(|| pipe.run(q, 0.1, &QueryOptions::default()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

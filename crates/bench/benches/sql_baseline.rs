@@ -1,0 +1,34 @@
+//! Section 6.2.1 SQL comparison: the optimized pipeline vs the relational
+//! join-plan baseline on the same query. On anything beyond toy sizes the
+//! relational plan exceeds any reasonable row budget (the paper: "SQL never
+//! finishes it in a month"), so the bench compares at a size where both
+//! complete and reports the gap.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use relbase::subgraph::{run_relational_baseline, tables_from_peg};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::synthetic(200, 0.2, 0.3, 3);
+    let n_labels = w.peg.graph.label_table().len();
+    let q = random_query(QuerySpec::new(4, 5), n_labels, 3);
+    let tables = tables_from_peg(&w.peg);
+
+    let mut group = c.benchmark_group("sql_baseline_q(4,5)_200refs");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let pipe = QueryPipeline::new(&w.peg, w.index(3));
+    group.bench_function("optimized_L3", |b| {
+        b.iter(|| pipe.run(&q, 0.7, &QueryOptions::default()).unwrap())
+    });
+    group.bench_function("relational_plan", |b| {
+        b.iter(|| run_relational_baseline(&w.peg, &tables, &q, 0.7, u64::MAX).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,722 @@
+//! Regenerates every table/figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments -- all --scale tiny
+//! cargo run -p bench --release --bin experiments -- fig6c --scale small
+//! ```
+//!
+//! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
+//! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
+//! ablation-parallel ablation-threads ablation-montecarlo all
+
+use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
+use datagen::{dblp_like, imdb_like, pattern_query, random_query, DblpConfig, ImdbConfig, Pattern, QuerySpec};
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pegmatch::query::QueryGraph;
+use pathindex::PathIndexConfig;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
+                    .expect("--scale tiny|small|paper");
+            }
+            name => which = name.to_string(),
+        }
+        i += 1;
+    }
+    let all = which == "all";
+    let run = |name: &str| all || which == name;
+
+    println!("# pegmatch experiments — scale: {scale:?}\n");
+    if run("fig6a") || run("fig6b") {
+        fig6ab(scale);
+    }
+    if run("fig6c") {
+        fig6c(scale);
+    }
+    if run("fig6d") {
+        fig6d(scale);
+    }
+    if run("fig6e") {
+        fig6ef(scale, &[(5, 5), (5, 9)], "fig6e");
+    }
+    if run("fig6f") {
+        fig6ef(scale, &[(10, 20), (10, 40)], "fig6f");
+    }
+    if run("fig7a") {
+        fig7ab(scale, &[(5, 5), (5, 9)], "fig7a");
+    }
+    if run("fig7b") {
+        fig7ab(scale, &[(10, 20), (10, 40)], "fig7b");
+    }
+    if run("fig7c") {
+        fig7cd(scale, &[(5, 5), (5, 9)], "fig7c");
+    }
+    if run("fig7d") {
+        fig7cd(scale, &[(10, 20), (10, 40)], "fig7d");
+    }
+    if run("fig7e") {
+        fig7e(scale);
+    }
+    if run("fig7f") {
+        fig7f(scale);
+    }
+    if run("fig7g") {
+        fig7g(scale);
+    }
+    if run("fig7h") {
+        fig7h(scale);
+    }
+    if run("sql") {
+        sql_baseline(scale);
+    }
+    if run("ablation-gamma") {
+        ablation_gamma(scale);
+    }
+    if run("ablation-backend") {
+        ablation_backend(scale);
+    }
+    if run("ablation-parallel") {
+        ablation_parallel(scale);
+    }
+    if run("ablation-threads") {
+        ablation_threads(scale);
+    }
+    if run("ablation-montecarlo") {
+        ablation_montecarlo(scale);
+    }
+}
+
+/// Average online time over `seeds` random queries of the given spec.
+fn time_queries(
+    peg: &pegmatch::Peg,
+    index: &OfflineIndex,
+    spec: QuerySpec,
+    alpha: f64,
+    opts: &QueryOptions,
+    seeds: std::ops::Range<u64>,
+) -> (Duration, usize) {
+    let pipe = QueryPipeline::new(peg, index);
+    let n_labels = peg.graph.label_table().len();
+    let mut total = Duration::ZERO;
+    let mut matches = 0usize;
+    let mut n = 0u32;
+    for seed in seeds {
+        let q = random_query(spec, n_labels, seed);
+        let t = Instant::now();
+        let res = pipe.run(&q, alpha, opts).expect("query runs");
+        total += t.elapsed();
+        matches += res.matches.len();
+        n += 1;
+    }
+    (total / n.max(1), matches)
+}
+
+/// Figures 6(a)/(b): offline running time and index size over (β, size, L).
+fn fig6ab(scale: Scale) {
+    println!("## Figure 6(a): offline phase running time / 6(b): index size");
+    let mut t = Table::new(&[
+        "refs", "beta", "L", "offline time", "entries", "mem bytes", "disk bytes",
+    ]);
+    for &n in &scale.graph_sizes() {
+        let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(n));
+        let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
+        for beta in [0.9, 0.7, 0.5, 0.3] {
+            for l in 1..=scale.max_l() {
+                let t0 = Instant::now();
+                let opts = OfflineOptions {
+                    index: PathIndexConfig { max_len: l, beta, ..Default::default() },
+                };
+                let idx = OfflineIndex::build(&peg, &opts).unwrap();
+                let elapsed = t0.elapsed();
+                // Disk size: persist into a BTreeStore file.
+                let mut path = std::env::temp_dir();
+                path.push(format!("pegmatch-fig6b-{n}-{l}-{}", (beta * 10.0) as u32));
+                let disk_bytes = {
+                    let mut store = kvstore::BTreeStore::create(&path).unwrap();
+                    pathindex::disk::save_index(&idx.paths, &mut store).unwrap();
+                    store.flush().unwrap();
+                    store.file_len()
+                };
+                std::fs::remove_file(&path).ok();
+                t.row(vec![
+                    n.to_string(),
+                    format!("{beta}"),
+                    l.to_string(),
+                    fmt_duration(elapsed),
+                    idx.paths.n_entries().to_string(),
+                    idx.paths.approx_bytes().to_string(),
+                    disk_bytes.to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 6(c): online time vs query size.
+fn fig6c(scale: Scale) {
+    println!("## Figure 6(c): online time vs query size (alpha=0.7)");
+    let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, scale.max_l());
+    let mut t = Table::new(&["query", "OptL1", "OptL2", "OptL3", "NoSS L3", "RandDecomp L3"]);
+    for (n, m) in bench::workloads::fig6c_query_sizes() {
+        let spec = QuerySpec::new(n, m);
+        let mut cells = vec![format!("q({n},{m})")];
+        for l in 1..=3 {
+            let (d, _) = time_queries(&w.peg, w.index(l), spec, 0.7, &QueryOptions::default(), 0..5);
+            cells.push(fmt_duration(d));
+        }
+        let (d, _) =
+            time_queries(&w.peg, w.index(3), spec, 0.7, &QueryOptions::no_reduction(), 0..5);
+        cells.push(fmt_duration(d));
+        let (d, _) = time_queries(
+            &w.peg,
+            w.index(3),
+            spec,
+            0.7,
+            &QueryOptions::random_decomposition(1),
+            0..5,
+        );
+        cells.push(fmt_duration(d));
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 6(d): online time vs query density.
+fn fig6d(scale: Scale) {
+    println!("## Figure 6(d): online time vs query density (15 nodes, alpha=0.7)");
+    let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, scale.max_l());
+    let mut t = Table::new(&["query", "OptL1", "OptL2", "OptL3", "NoSS L3", "RandDecomp L3"]);
+    for (n, m) in bench::workloads::fig6d_query_sizes() {
+        let spec = QuerySpec::new(n, m);
+        let mut cells = vec![format!("q({n},{m})")];
+        for l in 1..=3 {
+            let (d, _) = time_queries(&w.peg, w.index(l), spec, 0.7, &QueryOptions::default(), 0..5);
+            cells.push(fmt_duration(d));
+        }
+        let (d, _) =
+            time_queries(&w.peg, w.index(3), spec, 0.7, &QueryOptions::no_reduction(), 0..5);
+        cells.push(fmt_duration(d));
+        let (d, _) = time_queries(
+            &w.peg,
+            w.index(3),
+            spec,
+            0.7,
+            &QueryOptions::random_decomposition(1),
+            0..5,
+        );
+        cells.push(fmt_duration(d));
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Figures 6(e)/(f): online time vs degree of uncertainty.
+fn fig6ef(scale: Scale, specs: &[(usize, usize)], name: &str) {
+    println!("## Figure {name}: online time vs degree of uncertainty (alpha=0.7)");
+    let mut header = vec!["uncertainty".to_string()];
+    for (n, m) in specs {
+        for l in 1..=3 {
+            header.push(format!("L{l} q({n},{m})"));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    for u in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let w = Workload::synthetic(scale.default_graph(), u, 0.3, 3);
+        let mut cells = vec![format!("{:.0}%", u * 100.0)];
+        for &(n, m) in specs {
+            for l in 1..=3 {
+                let (d, _) = time_queries(
+                    &w.peg,
+                    w.index(l),
+                    QuerySpec::new(n, m),
+                    0.7,
+                    &QueryOptions::default(),
+                    0..5,
+                );
+                cells.push(fmt_duration(d));
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Figures 7(a)/(b): online time vs graph size.
+fn fig7ab(scale: Scale, specs: &[(usize, usize)], name: &str) {
+    println!("## Figure {name}: online time vs graph size (alpha=0.7)");
+    let mut header = vec!["refs".to_string()];
+    for (n, m) in specs {
+        for l in 1..=3 {
+            header.push(format!("L{l} q({n},{m})"));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    for &size in &scale.graph_sizes() {
+        let w = Workload::synthetic(size, 0.2, 0.3, 3);
+        let mut cells = vec![size.to_string()];
+        for &(n, m) in specs {
+            for l in 1..=3 {
+                let (d, _) = time_queries(
+                    &w.peg,
+                    w.index(l),
+                    QuerySpec::new(n, m),
+                    0.7,
+                    &QueryOptions::default(),
+                    0..5,
+                );
+                cells.push(fmt_duration(d));
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Figures 7(c)/(d): online time vs query threshold.
+fn fig7cd(scale: Scale, specs: &[(usize, usize)], name: &str) {
+    println!("## Figure {name}: online time vs query threshold");
+    let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, 3);
+    let mut header = vec!["alpha".to_string()];
+    for (n, m) in specs {
+        for l in 1..=3 {
+            header.push(format!("L{l} q({n},{m})"));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    for alpha in [0.3, 0.5, 0.7, 0.9] {
+        let mut cells = vec![format!("{alpha}")];
+        for &(n, m) in specs {
+            for l in 1..=3 {
+                let (d, _) = time_queries(
+                    &w.peg,
+                    w.index(l),
+                    QuerySpec::new(n, m),
+                    alpha,
+                    &QueryOptions::default(),
+                    0..5,
+                );
+                cells.push(fmt_duration(d));
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 7(e): search-space progression through pruning steps.
+fn fig7e(scale: Scale) {
+    println!("## Figure 7(e): search space progression, q(5,7), alpha=0.7");
+    let mut t = Table::new(&["uncertainty", "L", "Path", "Path+Context", "Final"]);
+    for u in [0.2, 0.8] {
+        let w = Workload::synthetic(scale.default_graph(), u, 0.3, 3);
+        for l in 1..=3 {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            // Average log10 sizes over 5 random q(5,7) queries.
+            let (mut p, mut c, mut f) = (0.0f64, 0.0f64, 0.0f64);
+            let mut counted = 0usize;
+            for seed in 0..5 {
+                let q = random_query(QuerySpec::new(5, 7), w.peg.graph.label_table().len(), seed);
+                let res = pipe.run(&q, 0.7, &QueryOptions::default()).unwrap();
+                if res.stats.log10_ss_index.is_finite() {
+                    p += res.stats.log10_ss_index;
+                    c += res.stats.log10_ss_context.max(0.0);
+                    f += res.stats.log10_ss_final.max(0.0);
+                    counted += 1;
+                }
+            }
+            let k = counted.max(1) as f64;
+            t.row(vec![
+                format!("{:.0}%", u * 100.0),
+                l.to_string(),
+                fmt_log10(p / k),
+                fmt_log10(c / k),
+                fmt_log10(f / k),
+            ]);
+        }
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 7(f): reduction by structure vs upper bounds.
+fn fig7f(scale: Scale) {
+    println!("## Figure 7(f): ST vs UP reduction, 5-cycle query, alpha=0.1");
+    let mut t = Table::new(&["uncertainty", "L", "log10 ST reduction", "log10 UP reduction"]);
+    for u in [0.2, 0.4, 0.6, 0.8] {
+        let w = Workload::synthetic(scale.default_graph(), u, 0.05, 3);
+        for l in 1..=3 {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            let n_labels = w.peg.graph.label_table().len();
+            let (mut st, mut up) = (0.0f64, 0.0f64);
+            let mut counted = 0usize;
+            for seed in 0..5 {
+                // A 5-cycle with random labels.
+                let labels: Vec<graphstore::Label> = (0..5)
+                    .map(|k| {
+                        let q = random_query(QuerySpec::new(1, 0), n_labels, seed * 31 + k);
+                        q.label(0)
+                    })
+                    .collect();
+                let q = QueryGraph::cycle(&labels).unwrap();
+                let res = pipe.run(&q, 0.1, &QueryOptions::default()).unwrap();
+                let s = &res.stats;
+                if s.log10_ss_context.is_finite() {
+                    st += (s.log10_ss_after_structure - s.log10_ss_context).max(-12.0);
+                    up += (s.log10_ss_final - s.log10_ss_context).max(-12.0);
+                    counted += 1;
+                }
+            }
+            let k = counted.max(1) as f64;
+            t.row(vec![
+                format!("{:.0}%", u * 100.0),
+                l.to_string(),
+                format!("{:.2}", st / k),
+                format!("{:.2}", up / k),
+            ]);
+        }
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 7(g): DBLP-like pattern queries (correlated edges).
+fn fig7g(scale: Scale) {
+    println!("## Figure 7(g): DBLP-like pattern queries, alpha=0.1");
+    let n = match scale {
+        Scale::Tiny => 2_000,
+        Scale::Small => 5_000,
+        Scale::Paper => 16_800,
+    };
+    let refs = dblp_like(&DblpConfig::scaled(n));
+    let w = Workload::from_refgraph(&refs, 0.05, 3);
+    let lt = w.peg.graph.label_table();
+    let (d, m, s) =
+        (lt.get("D").unwrap(), lt.get("M").unwrap(), lt.get("S").unwrap());
+    let mut t = Table::new(&["query", "L1", "L2", "L3", "matches(L3)"]);
+    for p in Pattern::ALL {
+        let q = pattern_query(p, d, m, s).unwrap();
+        let mut cells = vec![p.name().to_string()];
+        let mut matches = 0usize;
+        for l in 1..=3 {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            let t0 = Instant::now();
+            let res = pipe.run(&q, 0.1, &QueryOptions::default()).unwrap();
+            cells.push(fmt_duration(t0.elapsed()));
+            matches = res.matches.len();
+        }
+        cells.push(matches.to_string());
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 7(h): IMDB-like pattern queries (independent edges).
+fn fig7h(scale: Scale) {
+    println!("## Figure 7(h): IMDB-like pattern queries, alpha=0.1");
+    let n = match scale {
+        Scale::Tiny => 1_000,
+        Scale::Small => 1_500,
+        Scale::Paper => 90_612,
+    };
+    let refs = imdb_like(&ImdbConfig::scaled(n));
+    let w = Workload::from_refgraph(&refs, 0.2, 3);
+    // Each query uses a single genre label for all nodes (the paper's
+    // co-starring-within-genre convention).
+    let genre = graphstore::Label(0); // Drama
+    let mut t = Table::new(&["query", "L1", "L2", "L3", "matches(L3)"]);
+    for p in Pattern::ALL {
+        let q = pattern_query(p, genre, genre, genre).unwrap();
+        let mut cells = vec![p.name().to_string()];
+        let mut matches = 0usize;
+        for l in 1..=3 {
+            let pipe = QueryPipeline::new(&w.peg, w.index(l));
+            let t0 = Instant::now();
+            let res = pipe.run(&q, 0.1, &QueryOptions::default()).unwrap();
+            cells.push(fmt_duration(t0.elapsed()));
+            matches = res.matches.len();
+        }
+        cells.push(matches.to_string());
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Section 6.2.1: the SQL baseline comparison.
+fn sql_baseline(scale: Scale) {
+    println!("## SQL baseline: q(5,7), alpha=0.7 (paper: SQL never finishes)");
+    let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, 3);
+    let q = random_query(QuerySpec::new(5, 7), w.peg.graph.label_table().len(), 3);
+    let pipe = QueryPipeline::new(&w.peg, w.index(3));
+    let t0 = Instant::now();
+    let res = pipe.run(&q, 0.7, &QueryOptions::default()).unwrap();
+    let opt_time = t0.elapsed();
+    println!(
+        "optimized (L=3): {} — {} matches",
+        fmt_duration(opt_time),
+        res.matches.len()
+    );
+
+    let tables = relbase::subgraph::tables_from_peg(&w.peg);
+    let budget = 50_000_000u64;
+    let t0 = Instant::now();
+    match relbase::subgraph::run_relational_baseline(&w.peg, &tables, &q, 0.7, budget) {
+        Ok(ms) => println!(
+            "relational baseline: {} — {} matches",
+            fmt_duration(t0.elapsed()),
+            ms.len()
+        ),
+        Err(e) => println!(
+            "relational baseline: DID NOT FINISH after {} ({e})",
+            fmt_duration(t0.elapsed())
+        ),
+    }
+
+    // The paper's blow-up case: a dense co-label query (every node carries
+    // the most frequent label) floods the join plan's intermediates.
+    let l0 = graphstore::Label(0);
+    let dense = QueryGraph::new(
+        vec![l0; 5],
+        vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)],
+    )
+    .unwrap();
+    let t0 = Instant::now();
+    let res = pipe.run(&dense, 0.7, &QueryOptions::default()).unwrap();
+    println!(
+        "optimized (L=3), co-label q(5,7): {} — {} matches",
+        fmt_duration(t0.elapsed()),
+        res.matches.len()
+    );
+    let t0 = Instant::now();
+    match relbase::subgraph::run_relational_baseline(&w.peg, &tables, &dense, 0.7, budget) {
+        Ok(ms) => println!(
+            "relational baseline, co-label q(5,7): {} — {} matches",
+            fmt_duration(t0.elapsed()),
+            ms.len()
+        ),
+        Err(e) => println!(
+            "relational baseline, co-label q(5,7): DID NOT FINISH after {} ({e})",
+            fmt_duration(t0.elapsed())
+        ),
+    }
+
+    // Growth of the gap with graph size (the paper's non-termination at
+    // 100k is the asymptote of this curve).
+    println!();
+    let mut t = Table::new(&["refs", "optimized L3", "relational", "ratio"]);
+    for &n in &scale.graph_sizes() {
+        let w = Workload::synthetic(n, 0.2, 0.3, 3);
+        let q = random_query(QuerySpec::new(5, 7), w.peg.graph.label_table().len(), 3);
+        let pipe = QueryPipeline::new(&w.peg, w.index(3));
+        let t0 = Instant::now();
+        let _ = pipe.run(&q, 0.7, &QueryOptions::default()).unwrap();
+        let opt = t0.elapsed();
+        let tables = relbase::subgraph::tables_from_peg(&w.peg);
+        let t0 = Instant::now();
+        let rel = match relbase::subgraph::run_relational_baseline(&w.peg, &tables, &q, 0.7, budget)
+        {
+            Ok(_) => t0.elapsed(),
+            Err(_) => {
+                t.row(vec![n.to_string(), fmt_duration(opt), "DNF".into(), "inf".into()]);
+                continue;
+            }
+        };
+        let ratio = rel.as_secs_f64() / opt.as_secs_f64().max(1e-9);
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(opt),
+            fmt_duration(rel),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: index resolution γ.
+fn ablation_gamma(scale: Scale) {
+    println!("## Ablation: index resolution gamma (q(5,9), alpha=0.7)");
+    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(
+        scale.default_graph(),
+    ));
+    let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
+    let mut t = Table::new(&["gamma", "buckets", "build", "avg query"]);
+    for gamma in [0.02, 0.05, 0.1, 0.25] {
+        let t0 = Instant::now();
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: 2, beta: 0.3, gamma, ..Default::default() },
+            },
+        )
+        .unwrap();
+        let build = t0.elapsed();
+        let (d, _) = time_queries(
+            &peg,
+            &idx,
+            QuerySpec::new(5, 9),
+            0.7,
+            &QueryOptions::default(),
+            0..5,
+        );
+        t.row(vec![
+            format!("{gamma}"),
+            idx.paths.config().n_buckets().to_string(),
+            fmt_duration(build),
+            fmt_duration(d),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: in-memory vs on-disk index lookups.
+fn ablation_backend(scale: Scale) {
+    println!("## Ablation: memory vs disk index backend (length-2 lookups)");
+    let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, 2);
+    let idx = w.index(2);
+    let mut path = std::env::temp_dir();
+    path.push(format!("pegmatch-ablation-backend-{}", std::process::id()));
+    let mut store = kvstore::BTreeStore::create(&path).unwrap();
+    pathindex::disk::save_index(&idx.paths, &mut store).unwrap();
+    store.flush().unwrap();
+    let disk = pathindex::disk::DiskPathIndex::open(&store).unwrap();
+
+    let n_labels = w.peg.graph.label_table().len();
+    let seqs: Vec<Vec<graphstore::Label>> = (0..n_labels as u16)
+        .flat_map(|a| (0..n_labels as u16).map(move |b| vec![graphstore::Label(a), graphstore::Label(b)]))
+        .collect();
+    let t0 = Instant::now();
+    let mut mem_total = 0usize;
+    for s in &seqs {
+        mem_total += idx.paths.lookup(s, 0.5).len();
+    }
+    let mem_time = t0.elapsed();
+    let t0 = Instant::now();
+    let mut disk_total = 0usize;
+    for s in &seqs {
+        disk_total += disk.lookup(s, 0.5).unwrap().len();
+    }
+    let disk_time = t0.elapsed();
+    assert_eq!(mem_total, disk_total, "backends must agree");
+    println!(
+        "memory: {} for {} results; disk: {} (file {} KiB)",
+        fmt_duration(mem_time),
+        mem_total,
+        fmt_duration(disk_time),
+        store.file_len() / 1024
+    );
+    drop(disk);
+    drop(store);
+    std::fs::remove_file(&path).ok();
+    println!();
+}
+
+/// Ablation: sequential vs parallel k-partite reduction.
+fn ablation_parallel(scale: Scale) {
+    println!("## Ablation: sequential vs parallel reduction (q(10,20), alpha=0.5)");
+    let w = Workload::synthetic(scale.default_graph(), 0.4, 0.2, 3);
+    let spec = QuerySpec::new(10, 20);
+    let (seq, _) = time_queries(&w.peg, w.index(3), spec, 0.5, &QueryOptions::default(), 0..5);
+    let par_opts = QueryOptions { parallel_reduction: true, ..Default::default() };
+    let (par, _) = time_queries(&w.peg, w.index(3), spec, 0.5, &par_opts, 0..5);
+    println!("sequential: {}; parallel: {}", fmt_duration(seq), fmt_duration(par));
+    println!();
+}
+
+/// Ablation: index construction thread scaling.
+fn ablation_threads(scale: Scale) {
+    println!("## Ablation: index construction threads (L=2)");
+    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(
+        scale.default_graph(),
+    ));
+    let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
+    let mut t = Table::new(&["threads", "build time", "entries"]);
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig {
+                    max_len: 2,
+                    beta: 0.3,
+                    threads,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        t.row(vec![
+            threads.to_string(),
+            fmt_duration(t0.elapsed()),
+            idx.paths.n_entries().to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: the exact pipeline vs Monte Carlo possible-world sampling.
+fn ablation_montecarlo(scale: Scale) {
+    use pegmatch::baseline::{match_montecarlo, McOptions};
+    println!("## Ablation: exact pipeline vs Monte Carlo sampling (q(4,4), alpha=0.3)");
+    let w = Workload::synthetic(scale.default_graph(), 0.4, 0.3, 2);
+    let n_labels = w.peg.graph.label_table().len();
+    let q = random_query(QuerySpec::new(4, 4), n_labels, 2);
+
+    let pipe = QueryPipeline::new(&w.peg, w.index(2));
+    let t0 = Instant::now();
+    let exact = pipe.run(&q, 0.3, &QueryOptions::default()).unwrap().matches;
+    let exact_time = t0.elapsed();
+    println!(
+        "exact pipeline: {} matches in {}",
+        exact.len(),
+        fmt_duration(exact_time)
+    );
+
+    let mut t = Table::new(&["samples", "time", "matches", "max |err|", "max stderr"]);
+    for samples in [100usize, 1_000, 10_000] {
+        let t0 = Instant::now();
+        let est = match_montecarlo(&w.peg, &q, 0.3, &McOptions { samples, seed: 1 });
+        let elapsed = t0.elapsed();
+        // Compare estimates against the exact probabilities where both agree.
+        let mut max_err = 0.0f64;
+        let mut max_se = 0.0f64;
+        for e in &est {
+            if let Some(m) = exact.iter().find(|m| m.nodes == e.nodes) {
+                max_err = max_err.max((e.estimate - m.prob()).abs());
+            }
+            max_se = max_se.max(e.std_error);
+        }
+        t.row(vec![
+            samples.to_string(),
+            fmt_duration(elapsed),
+            est.len().to_string(),
+            format!("{max_err:.4}"),
+            format!("{max_se:.4}"),
+        ]);
+    }
+    t.print();
+    println!();
+}

@@ -1,0 +1,245 @@
+//! `pegcli` — command-line front end for the pegmatch system.
+//!
+//! ```text
+//! pegcli generate --kind synthetic --size 2000 --out graph.kv
+//! pegcli index --graph graph.kv --out index.kv --max-len 2 --beta 0.3
+//! pegcli query --graph graph.kv --index index.kv \
+//!              --pattern '(x:l0)-(y:l1), (y)-(z:l0)' --alpha 0.4
+//! pegcli topk  --graph graph.kv --index index.kv \
+//!              --pattern '(x:l0)-(y:l1)' --k 5
+//! ```
+//!
+//! Graphs and indexes persist in kvstore B+-tree files, mirroring the
+//! paper's offline/online split. Note: the persisted graph is the *entity*
+//! graph; identity marginals are rebuilt from reference sets only when the
+//! graph is generated in-process, so `query` recomputes the existence model
+//! from the generator (same seed) for `--kind` workloads.
+
+use datagen::{dblp_like, imdb_like, synthetic_refgraph, DblpConfig, ImdbConfig, SyntheticConfig};
+use graphstore::persist::save_entity_graph;
+use graphstore::RefGraph;
+use kvstore::BTreeStore;
+use pegmatch::model::{Peg, PegBuilder};
+use pegmatch::offline::{ContextInfo, OfflineIndex, OfflineOptions, OfflineStats};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pegmatch::query::{QNode, QueryGraph};
+use pathindex::disk::{load_index, save_index};
+use pathindex::PathIndexConfig;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "index" => cmd_index(&flags),
+        "query" => cmd_query(&flags, false),
+        "topk" => cmd_query(&flags, true),
+        "stats" => cmd_stats(&flags),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "pegcli — subgraph pattern matching over uncertain graphs\n\
+         \n\
+         commands:\n\
+         \x20 generate --kind synthetic|dblp|imdb --size N --out FILE [--seed S] [--uncertainty F]\n\
+         \x20 index    --kind ... --size N [--seed S] --out FILE [--max-len L] [--beta B]\n\
+         \x20 query    --kind ... --size N [--seed S] [--index FILE]\n\
+         \x20          --pattern '(x:a)-(y:b), (y)-(z:a)' [--alpha A]\n\
+         \x20          [--explain true] [--limit N]\n\
+         \x20          (or: --labels a,b,c --edges 0-1,1-2)\n\
+         \x20 topk     (same as query, plus --k K)\n\
+         \x20 stats    --kind ... --size N [--seed S]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            out.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn refgraph_from_flags(flags: &HashMap<String, String>) -> Result<RefGraph, String> {
+    let kind = get(flags, "kind")?;
+    let size: usize =
+        get(flags, "size")?.parse().map_err(|_| "bad --size".to_string())?;
+    let seed: u64 = flags.get("seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
+    let uncertainty: f64 =
+        flags.get("uncertainty").map(|s| s.parse().unwrap_or(0.2)).unwrap_or(0.2);
+    Ok(match kind {
+        "synthetic" => synthetic_refgraph(&SyntheticConfig {
+            seed,
+            ..SyntheticConfig::paper_with_uncertainty(size, uncertainty)
+        }),
+        "dblp" => dblp_like(&DblpConfig { seed, ..DblpConfig::scaled(size) }),
+        "imdb" => imdb_like(&ImdbConfig { seed, ..ImdbConfig::scaled(size) }),
+        other => return Err(format!("unknown --kind {other}")),
+    })
+}
+
+fn peg_from_flags(flags: &HashMap<String, String>) -> Result<Peg, String> {
+    let refs = refgraph_from_flags(flags)?;
+    PegBuilder::new().build(&refs).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = get(flags, "out")?;
+    let peg = peg_from_flags(flags)?;
+    let mut store = BTreeStore::create(std::path::Path::new(out)).map_err(|e| e.to_string())?;
+    save_entity_graph(&peg.graph, &mut store).map_err(|e| e.to_string())?;
+    store.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote entity graph: {} nodes, {} edges -> {} ({} KiB)",
+        peg.graph.n_nodes(),
+        peg.graph.n_edges(),
+        out,
+        store.file_len() / 1024
+    );
+    Ok(())
+}
+
+fn offline_opts(flags: &HashMap<String, String>) -> OfflineOptions {
+    let max_len: usize = flags.get("max-len").map(|s| s.parse().unwrap_or(2)).unwrap_or(2);
+    let beta: f64 = flags.get("beta").map(|s| s.parse().unwrap_or(0.3)).unwrap_or(0.3);
+    OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } }
+}
+
+fn cmd_index(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = get(flags, "out")?;
+    let peg = peg_from_flags(flags)?;
+    let offline = OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?;
+    let mut store = BTreeStore::create(std::path::Path::new(out)).map_err(|e| e.to_string())?;
+    save_index(&offline.paths, &mut store).map_err(|e| e.to_string())?;
+    store.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote path index: {} entries across {} sequences in {} -> {} ({} KiB)",
+        offline.paths.n_entries(),
+        offline.paths.n_sequences(),
+        bench::fmt_duration(offline.stats.index_time),
+        out,
+        store.file_len() / 1024
+    );
+    Ok(())
+}
+
+fn parse_query(flags: &HashMap<String, String>, peg: &Peg) -> Result<QueryGraph, String> {
+    let table = peg.graph.label_table();
+    // Preferred form: the textual pattern syntax.
+    if let Some(pattern) = flags.get("pattern") {
+        return pegmatch::pattern::parse_pattern(pattern, table).map_err(|e| e.to_string());
+    }
+    // Legacy form: --labels a,b,c --edges 0-1,1-2.
+    let label_names: Vec<&str> = get(flags, "labels")?.split(',').collect();
+    let labels = label_names
+        .iter()
+        .map(|n| table.get(n).ok_or_else(|| format!("unknown label '{n}' (have {:?})", table.names())))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut edges: Vec<(QNode, QNode)> = Vec::new();
+    if let Some(spec) = flags.get("edges") {
+        for pair in spec.split(',').filter(|s| !s.is_empty()) {
+            let (a, b) = pair
+                .split_once('-')
+                .ok_or_else(|| format!("bad edge '{pair}', expected A-B"))?;
+            let a: QNode = a.parse().map_err(|_| format!("bad edge endpoint '{a}'"))?;
+            let b: QNode = b.parse().map_err(|_| format!("bad edge endpoint '{b}'"))?;
+            edges.push((a, b));
+        }
+    }
+    QueryGraph::new(labels, edges).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let peg = peg_from_flags(flags)?;
+    let s = graphstore::GraphStats::compute(&peg.graph);
+    println!("entity graph statistics");
+    println!("  nodes:              {}", s.n_nodes);
+    println!("  edges:              {}", s.n_edges);
+    println!("  avg degree:         {:.2}", s.avg_degree);
+    println!("  max degree:         {}", s.max_degree);
+    println!("  components:         {} (largest {})", s.n_components, s.largest_component);
+    println!("  uncertain nodes:    {}", s.uncertain_nodes);
+    println!("  uncertain edges:    {}", s.uncertain_edges);
+    println!("  merged entities:    {}", s.merged_entities);
+    println!("  identity components: {}", peg.existence.n_components());
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
+    let peg = peg_from_flags(flags)?;
+    // Load the index from disk when given, otherwise build fresh.
+    let offline = match flags.get("index") {
+        Some(path) => {
+            let store = BTreeStore::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            let paths = load_index(&store).map_err(|e| e.to_string())?;
+            let context = ContextInfo::build(&peg.graph);
+            OfflineIndex { context, paths, stats: OfflineStats::default() }
+        }
+        None => OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?,
+    };
+    let query = parse_query(flags, &peg)?;
+    let pipeline = QueryPipeline::new(&peg, &offline);
+    let t = std::time::Instant::now();
+    let result = if topk {
+        let k: usize = flags.get("k").map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
+        pipeline
+            .run_topk(&query, k, 1e-9, &QueryOptions::default())
+            .map_err(|e| e.to_string())?
+    } else {
+        let alpha: f64 = flags.get("alpha").map(|s| s.parse().unwrap_or(0.5)).unwrap_or(0.5);
+        let limit: Option<usize> = flags.get("limit").and_then(|s| s.parse().ok());
+        pipeline
+            .run_limited(&query, alpha, limit, &QueryOptions::default())
+            .map_err(|e| e.to_string())?
+    };
+    println!(
+        "{} match(es){} in {} (search space 10^{:.1} -> 10^{:.1})",
+        result.matches.len(),
+        if result.truncated { " (truncated by --limit)" } else { "" },
+        bench::fmt_duration(t.elapsed()),
+        result.stats.log10_ss_index.max(0.0),
+        result.stats.log10_ss_final.max(0.0),
+    );
+    let explain = flags.contains_key("explain");
+    for m in result.matches.iter().take(20) {
+        if explain {
+            let ex = pegmatch::explain::explain(&peg, &query, m);
+            print!("{}", ex.render(peg.graph.label_table()));
+        } else {
+            let ids: Vec<String> = m.nodes.iter().map(|v| format!("e{}", v.0)).collect();
+            println!("  [{}]  Pr = {:.6}", ids.join(","), m.prob());
+        }
+    }
+    if result.matches.len() > 20 {
+        println!("  ... and {} more", result.matches.len() - 20);
+    }
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! A DBLP-like collaboration network (Section 6.3 substitute).
+//!
+//! The paper's DBLP workload: authors labeled with a distribution over
+//! research areas (Databases / Machine Learning / Software Engineering)
+//! derived from publication venues; collaboration edges with base
+//! probability in [0.5, 1] scaled by 0.8 when the endpoint areas differ
+//! (**label-correlated** edge probabilities — the CPT code path); reference
+//! sets from name-similarity duplicates. We synthesize a graph with the same
+//! shape (default 16.8k nodes / ~40.3k edges).
+
+use crate::zipf::zipf_label_dist;
+use graphstore::dist::{CondTable, EdgeProbability, LabelDist};
+use graphstore::{Label, LabelTable, RefGraph, RefId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DBLP-like generator parameters.
+#[derive(Clone, Debug)]
+pub struct DblpConfig {
+    /// Author count (paper: 16.8k).
+    pub n_authors: usize,
+    /// Collaboration edge count (paper: 40.3k).
+    pub n_edges: usize,
+    /// Fraction of authors with a name-similar duplicate (drives identity
+    /// uncertainty).
+    pub dup_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self { n_authors: 16_800, n_edges: 40_300, dup_fraction: 0.01, seed: 7 }
+    }
+}
+
+impl DblpConfig {
+    /// A scaled-down version preserving the density and uncertainty mix.
+    pub fn scaled(n_authors: usize) -> Self {
+        let full = Self::default();
+        Self {
+            n_authors,
+            n_edges: n_authors * full.n_edges / full.n_authors,
+            ..full
+        }
+    }
+}
+
+/// Generates the DBLP-like reference network with correlated edges.
+pub fn dblp_like(cfg: &DblpConfig) -> RefGraph {
+    assert!(cfg.n_authors >= 4);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let table = LabelTable::from_names(["D", "M", "S"]);
+    let n_labels = table.len();
+    let mut g = RefGraph::new(table);
+
+    // Authors: area distribution from simulated venue counts. Most authors
+    // publish predominantly in one area.
+    for _ in 0..cfg.n_authors {
+        let dist = if rng.gen_bool(0.7) {
+            // Dominant area with some spillover.
+            let main = rng.gen_range(0..n_labels);
+            let spill = rng.gen_range(0.0..0.3);
+            let mut pairs = vec![(Label(main as u16), 1.0 - spill)];
+            let other = (main + 1 + rng.gen_range(0..n_labels - 1)) % n_labels;
+            pairs.push((Label(other as u16), spill));
+            LabelDist::from_pairs(&pairs, n_labels)
+        } else {
+            zipf_label_dist(&mut rng, n_labels)
+        };
+        g.add_ref(dist);
+    }
+
+    // Collaboration edges: preferential attachment for a heavy-tailed
+    // co-author degree distribution; CPT = base for agreeing areas,
+    // 0.8·base otherwise (the paper's correlation scheme).
+    let mut endpoints: Vec<u32> = Vec::new();
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < cfg.n_edges && guard < 20 * cfg.n_edges {
+        guard += 1;
+        let a = rng.gen_range(0..cfg.n_authors) as u32;
+        let b = if endpoints.is_empty() || rng.gen_bool(0.3) {
+            rng.gen_range(0..cfg.n_authors) as u32
+        } else {
+            endpoints[rng.gen_range(0..endpoints.len())]
+        };
+        if a == b || g.edge_between(RefId(a), RefId(b)).is_some() {
+            continue;
+        }
+        // Base probability from the number of collaborations.
+        let collaborations = 1 + rng.gen_range(0..10);
+        let base = 0.5 + 0.5 * (collaborations as f64 / 10.0);
+        let cpt = CondTable::from_fn(n_labels, |x, y| {
+            if x == y {
+                base
+            } else {
+                0.8 * base
+            }
+        });
+        g.add_edge(RefId(a), RefId(b), EdgeProbability::Conditional(cpt));
+        endpoints.push(a);
+        endpoints.push(b);
+        added += 1;
+    }
+
+    // Name-similarity duplicates: pair sets with high merge posterior.
+    let dups = ((cfg.n_authors as f64) * cfg.dup_fraction) as usize;
+    let mut used: Vec<u32> = Vec::new();
+    let mut made = 0usize;
+    let mut guard = 0usize;
+    while made < dups && guard < 20 * dups.max(1) {
+        guard += 1;
+        let a = rng.gen_range(0..cfg.n_authors) as u32;
+        let b = rng.gen_range(0..cfg.n_authors) as u32;
+        if a == b || used.contains(&a) || used.contains(&b) {
+            continue;
+        }
+        let q = rng.gen_range(0.5..0.95);
+        g.add_pair_set_with_posterior(RefId(a), RefId(b), q);
+        used.push(a);
+        used.push(b);
+        made += 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegmatch::model::PegBuilder;
+
+    #[test]
+    fn scaled_generator_shape() {
+        let cfg = DblpConfig::scaled(1000);
+        let g = dblp_like(&cfg);
+        assert_eq!(g.n_refs(), 1000);
+        let e = g.n_edges();
+        assert!((2000..=2600).contains(&e), "edges = {e}"); // ~2.4 per author
+        assert!(!g.ref_sets().is_empty());
+    }
+
+    #[test]
+    fn edges_are_conditional() {
+        let g = dblp_like(&DblpConfig::scaled(200));
+        assert!(g
+            .edges()
+            .iter()
+            .all(|e| matches!(e.prob, EdgeProbability::Conditional(_))));
+        // Agreement beats disagreement by the 0.8 factor.
+        let e = &g.edges()[0];
+        let same = e.prob.prob(Label(0), Label(0));
+        let diff = e.prob.prob(Label(0), Label(1));
+        assert!((diff - 0.8 * same).abs() < 1e-12);
+        assert!((0.5..=1.0).contains(&same));
+    }
+
+    #[test]
+    fn builds_peg_with_identity_uncertainty() {
+        let g = dblp_like(&DblpConfig::scaled(500));
+        let peg = PegBuilder::new().build(&g).unwrap();
+        assert!(peg.existence.n_components() > 0);
+    }
+}

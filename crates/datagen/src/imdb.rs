@@ -1,0 +1,148 @@
+//! An IMDB-like co-starring network (Section 6.3 substitute).
+//!
+//! The paper's IMDB workload: actors labeled with a distribution over four
+//! movie genres (Drama, Comedy, Family, Action) derived from their
+//! filmography; co-starring edges with **independent** probabilities from
+//! co-star counts; identity uncertainty from name duplicates/misspellings.
+//! Shape target: ~90.6k nodes / ~936k edges (avg degree ≈ 20).
+
+use graphstore::dist::{EdgeProbability, LabelDist};
+use graphstore::{Label, LabelTable, RefGraph, RefId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// IMDB-like generator parameters.
+#[derive(Clone, Debug)]
+pub struct ImdbConfig {
+    /// Actor count (paper: 90,612).
+    pub n_actors: usize,
+    /// Co-star edge count (paper: 936,308).
+    pub n_edges: usize,
+    /// Fraction of actors with a duplicate mention.
+    pub dup_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        Self { n_actors: 90_612, n_edges: 936_308, dup_fraction: 0.005, seed: 13 }
+    }
+}
+
+impl ImdbConfig {
+    /// A scaled-down version preserving density.
+    pub fn scaled(n_actors: usize) -> Self {
+        let full = Self::default();
+        Self { n_actors, n_edges: n_actors * full.n_edges / full.n_actors, ..full }
+    }
+}
+
+/// Generates the IMDB-like reference network with independent edges.
+pub fn imdb_like(cfg: &ImdbConfig) -> RefGraph {
+    assert!(cfg.n_actors >= 4);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let table = LabelTable::from_names(["Drama", "Comedy", "Family", "Action"]);
+    let n_labels = table.len();
+    let mut g = RefGraph::new(table);
+
+    // Actors: genre distribution from simulated filmography counts.
+    for _ in 0..cfg.n_actors {
+        let mut counts = [0u32; 4];
+        let movies = 1 + rng.gen_range(0..20);
+        // A preferred genre plus occasional others.
+        let fav = rng.gen_range(0..n_labels);
+        for _ in 0..movies {
+            let genre =
+                if rng.gen_bool(0.6) { fav } else { rng.gen_range(0..n_labels) };
+            counts[genre] += 1;
+        }
+        let total: u32 = counts.iter().sum();
+        let pairs: Vec<(Label, f64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Label(i as u16), c as f64 / total as f64))
+            .collect();
+        g.add_ref(LabelDist::from_pairs(&pairs, n_labels));
+    }
+
+    // Co-star edges with preferential attachment; independent probability
+    // grows with the number of shared movies.
+    let mut endpoints: Vec<u32> = Vec::new();
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < cfg.n_edges && guard < 20 * cfg.n_edges {
+        guard += 1;
+        let a = rng.gen_range(0..cfg.n_actors) as u32;
+        let b = if endpoints.is_empty() || rng.gen_bool(0.3) {
+            rng.gen_range(0..cfg.n_actors) as u32
+        } else {
+            endpoints[rng.gen_range(0..endpoints.len())]
+        };
+        if a == b || g.edge_between(RefId(a), RefId(b)).is_some() {
+            continue;
+        }
+        let costars = 1 + rng.gen_range(0..5);
+        let p = 1.0 - 0.5f64.powi(costars); // 0.5, 0.75, ..., saturating
+        g.add_edge(RefId(a), RefId(b), EdgeProbability::Independent(p));
+        endpoints.push(a);
+        endpoints.push(b);
+        added += 1;
+    }
+
+    // Duplicate mentions.
+    let dups = ((cfg.n_actors as f64) * cfg.dup_fraction) as usize;
+    let mut used: Vec<u32> = Vec::new();
+    let mut made = 0usize;
+    let mut guard = 0usize;
+    while made < dups && guard < 20 * dups.max(1) {
+        guard += 1;
+        let a = rng.gen_range(0..cfg.n_actors) as u32;
+        let b = rng.gen_range(0..cfg.n_actors) as u32;
+        if a == b || used.contains(&a) || used.contains(&b) {
+            continue;
+        }
+        let q = rng.gen_range(0.6..0.98);
+        g.add_pair_set_with_posterior(RefId(a), RefId(b), q);
+        used.push(a);
+        used.push(b);
+        made += 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegmatch::model::PegBuilder;
+
+    #[test]
+    fn scaled_shape() {
+        let g = imdb_like(&ImdbConfig::scaled(1000));
+        assert_eq!(g.n_refs(), 1000);
+        let e = g.n_edges();
+        // ~10.3 edges per actor.
+        assert!((9000..=10_500).contains(&e), "edges = {e}");
+    }
+
+    #[test]
+    fn edges_are_independent() {
+        let g = imdb_like(&ImdbConfig::scaled(300));
+        assert!(g
+            .edges()
+            .iter()
+            .all(|e| matches!(e.prob, EdgeProbability::Independent(_))));
+        assert!(g.edges().iter().all(|e| e.prob.max_prob() >= 0.5));
+    }
+
+    #[test]
+    fn actors_have_valid_genre_distributions() {
+        let g = imdb_like(&ImdbConfig::scaled(200));
+        for r in g.ref_ids() {
+            assert!(g.reference(r).labels.validate());
+        }
+        let peg = PegBuilder::new().build(&g).unwrap();
+        assert!(peg.graph.n_nodes() >= 200);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! `datagen` — workload generators for the paper's evaluation (Section 6).
+//!
+//! * [`synthetic`] — preferential-attachment reference networks with
+//!   Zipf-skewed label/edge probabilities, reference-set injection
+//!   (k groups × s nodes × r pairs), and a degree-of-uncertainty knob —
+//!   the paper's synthetic setting (50k…1m references, relations = 5×).
+//! * [`queries`] — random pattern queries `q(n, m)` and data-driven queries
+//!   sampled from an entity graph (guaranteed to have matches at low α).
+//! * [`patterns`] — the five real-world pattern queries of Figure 8
+//!   (BF1, BF2, GR, ST, TR).
+//! * [`dblp`] / [`imdb`] — synthetic stand-ins for the paper's real-world
+//!   datasets, preserving their shapes: a DBLP-like collaboration network
+//!   with *label-correlated* edge probabilities, and an IMDB-like
+//!   co-starring network with independent edge probabilities (see DESIGN.md
+//!   for the substitution rationale).
+
+pub mod dblp;
+pub mod imdb;
+pub mod patterns;
+pub mod queries;
+pub mod synthetic;
+pub mod zipf;
+
+pub use dblp::{dblp_like, DblpConfig};
+pub use imdb::{imdb_like, ImdbConfig};
+pub use patterns::{pattern_query, Pattern};
+pub use queries::{random_query, sampled_query, QuerySpec};
+pub use synthetic::{synthetic_refgraph, SyntheticConfig};

@@ -1,0 +1,109 @@
+//! The Figure-8 pattern queries (BF1, BF2, GR, ST, TR).
+//!
+//! The figure is not fully recoverable from the paper's text source; the
+//! shapes below follow the names and stated node counts (see DESIGN.md):
+//!
+//! * **BF1** — butterfly: two triangles sharing a center (5 nodes, 6 edges),
+//! * **BF2** — wider butterfly: two diamonds sharing a center (7 nodes, 8 edges),
+//! * **GR**  — group: a 4-clique with a pendant pair (6 nodes, 8 edges),
+//! * **ST**  — star: a center with 4 leaves (5 nodes, 4 edges),
+//! * **TR**  — tree: a depth-2 binary tree (7 nodes, 6 edges).
+//!
+//! Labels are drawn from the three research-area labels (D, M, S) the paper
+//! uses for DBLP; for IMDB-style workloads pass the same label for every
+//! node (co-starring within one genre).
+
+use graphstore::Label;
+use pegmatch::error::PegError;
+use pegmatch::query::{QNode, QueryGraph};
+
+/// The five Figure-8 patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Butterfly 1: two triangles sharing a node.
+    Bf1,
+    /// Butterfly 2: two diamonds sharing a node.
+    Bf2,
+    /// Group: 4-clique plus a pendant pair.
+    Gr,
+    /// Star: center plus four leaves.
+    St,
+    /// Tree: depth-2 binary tree.
+    Tr,
+}
+
+impl Pattern {
+    /// All five patterns in the paper's display order.
+    pub const ALL: [Pattern; 5] = [Pattern::Bf1, Pattern::Bf2, Pattern::Gr, Pattern::St, Pattern::Tr];
+
+    /// The paper's axis label for the pattern.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::Bf1 => "BF1",
+            Pattern::Bf2 => "BF2",
+            Pattern::Gr => "GR",
+            Pattern::St => "ST",
+            Pattern::Tr => "TR",
+        }
+    }
+}
+
+/// Builds a pattern query over labels `(d, m, s)` — the DBLP research areas
+/// (Databases, Machine Learning, Software Engineering).
+pub fn pattern_query(p: Pattern, d: Label, m: Label, s: Label) -> Result<QueryGraph, PegError> {
+    let (labels, edges): (Vec<Label>, Vec<(QNode, QNode)>) = match p {
+        Pattern::Bf1 => (
+            vec![s, d, m, d, m],
+            vec![(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)],
+        ),
+        Pattern::Bf2 => (
+            vec![s, d, m, d, d, m, d],
+            vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6), (6, 0)],
+        ),
+        Pattern::Gr => (
+            vec![m, m, s, d, d, d],
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (4, 5)],
+        ),
+        Pattern::St => (vec![s, d, d, m, m], vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+        Pattern::Tr => (
+            vec![s, d, d, m, m, m, m],
+            vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)],
+        ),
+    };
+    QueryGraph::new(labels, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_as_documented() {
+        let (d, m, s) = (Label(0), Label(1), Label(2));
+        let sizes: Vec<(usize, usize)> = Pattern::ALL
+            .iter()
+            .map(|&p| {
+                let q = pattern_query(p, d, m, s).unwrap();
+                (q.n_nodes(), q.n_edges())
+            })
+            .collect();
+        assert_eq!(sizes, vec![(5, 6), (7, 8), (6, 8), (5, 4), (7, 6)]);
+    }
+
+    #[test]
+    fn names_match() {
+        assert_eq!(Pattern::Bf1.name(), "BF1");
+        assert_eq!(Pattern::Tr.name(), "TR");
+        assert_eq!(Pattern::ALL.len(), 5);
+    }
+
+    #[test]
+    fn uniform_labels_accepted() {
+        // IMDB-style: all nodes share one genre label.
+        let g = Label(3);
+        for p in Pattern::ALL {
+            let q = pattern_query(p, g, g, g).unwrap();
+            assert!(q.n_nodes() >= 5);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Random query generation: `q(n, m)` patterns (Section 6.2) and
+//! data-driven queries sampled from an entity graph.
+
+use crate::zipf::zipf_label;
+use graphstore::{EntityGraph, EntityId, Label};
+use pegmatch::query::{QNode, QueryGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A query-size specification `q(n, m)`: `n` nodes, `m` edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Node count.
+    pub n: usize,
+    /// Edge count (clamped to `[n−1, n(n−1)/2]`).
+    pub m: usize,
+}
+
+impl QuerySpec {
+    /// The paper's convention: `q(n, m)`.
+    pub fn new(n: usize, m: usize) -> Self {
+        Self { n, m }
+    }
+
+    fn clamped_edges(&self) -> usize {
+        let max = self.n * (self.n - 1) / 2;
+        self.m.clamp(self.n.saturating_sub(1), max)
+    }
+}
+
+/// Generates a random connected query with labels Zipf-sampled over the
+/// alphabet (the paper's synthetic query workload).
+pub fn random_query(spec: QuerySpec, n_labels: usize, seed: u64) -> QueryGraph {
+    assert!(spec.n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<Label> = (0..spec.n).map(|_| zipf_label(&mut rng, n_labels)).collect();
+    if spec.n == 1 {
+        return QueryGraph::new(labels, vec![]).expect("single node query");
+    }
+    // Random spanning tree first (guarantees connectivity)...
+    let mut edges: Vec<(QNode, QNode)> = Vec::new();
+    for v in 1..spec.n {
+        let u = rng.gen_range(0..v);
+        edges.push((u as QNode, v as QNode));
+    }
+    // ...then random extra edges up to m.
+    let target = spec.clamped_edges();
+    let mut guard = 0usize;
+    while edges.len() < target && guard < 50 * target {
+        guard += 1;
+        let a = rng.gen_range(0..spec.n) as QNode;
+        let b = rng.gen_range(0..spec.n) as QNode;
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if edges.iter().any(|&(x, y)| (x.min(y), x.max(y)) == key) {
+            continue;
+        }
+        edges.push(key);
+    }
+    QueryGraph::new(labels, edges).expect("generated query must validate")
+}
+
+/// Samples a connected subgraph of `graph` and lifts it into a query, using
+/// labels from the sampled nodes' supports — such a query is guaranteed to
+/// have at least one match at a sufficiently low threshold.
+pub fn sampled_query(graph: &EntityGraph, spec: QuerySpec, seed: u64) -> Option<QueryGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if graph.n_nodes() == 0 {
+        return None;
+    }
+    // Random-walk growth of a connected node set.
+    for _attempt in 0..32 {
+        let start = EntityId(rng.gen_range(0..graph.n_nodes() as u32));
+        let mut nodes: Vec<EntityId> = vec![start];
+        let mut frontier: Vec<EntityId> = vec![start];
+        while nodes.len() < spec.n && !frontier.is_empty() {
+            let fi = rng.gen_range(0..frontier.len());
+            let v = frontier[fi];
+            let nbrs: Vec<EntityId> = graph
+                .neighbors(v)
+                .iter()
+                .map(|&u| EntityId(u))
+                .filter(|u| !nodes.contains(u) && !graph.shares_ref_with_any(*u, &nodes))
+                .collect();
+            if nbrs.is_empty() {
+                frontier.swap_remove(fi);
+                continue;
+            }
+            let u = nbrs[rng.gen_range(0..nbrs.len())];
+            nodes.push(u);
+            frontier.push(u);
+        }
+        if nodes.len() < spec.n {
+            continue;
+        }
+        // Collect available edges among the sample.
+        let mut avail: Vec<(QNode, QNode)> = Vec::new();
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+                if graph.edge_between(u, v).is_some() {
+                    avail.push((i as QNode, j as QNode));
+                }
+            }
+        }
+        // Must be able to reach m edges and stay connected; greedily keep a
+        // spanning skeleton then add random extras.
+        let target = spec.clamped_edges().min(avail.len());
+        if target + 1 < spec.n {
+            continue;
+        }
+        // Shuffle and pick a connected subset: spanning tree via union-find.
+        for i in (1..avail.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            avail.swap(i, j);
+        }
+        let mut parent: Vec<usize> = (0..spec.n).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        let mut chosen: Vec<(QNode, QNode)> = Vec::new();
+        let mut extra: Vec<(QNode, QNode)> = Vec::new();
+        for &(a, b) in &avail {
+            let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+            if ra != rb {
+                parent[ra] = rb;
+                chosen.push((a, b));
+            } else {
+                extra.push((a, b));
+            }
+        }
+        let roots: std::collections::HashSet<usize> =
+            (0..spec.n).map(|x| find(&mut parent, x)).collect();
+        if roots.len() != 1 {
+            continue;
+        }
+        for e in extra {
+            if chosen.len() >= target {
+                break;
+            }
+            chosen.push(e);
+        }
+        // Labels from the sampled nodes' supports.
+        let labels: Vec<Label> = nodes
+            .iter()
+            .map(|&v| {
+                let support: Vec<Label> = graph.node(v).labels.support().collect();
+                support[rng.gen_range(0..support.len())]
+            })
+            .collect();
+        if let Ok(q) = QueryGraph::new(labels, chosen) {
+            return Some(q);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_query_respects_spec() {
+        for (n, m) in [(3, 3), (5, 10), (7, 21), (10, 40), (15, 60)] {
+            let q = random_query(QuerySpec::new(n, m), 5, 11);
+            assert_eq!(q.n_nodes(), n);
+            let max = n * (n - 1) / 2;
+            assert_eq!(q.n_edges(), m.min(max).max(n - 1));
+        }
+    }
+
+    #[test]
+    fn random_query_single_node() {
+        let q = random_query(QuerySpec::new(1, 0), 3, 5);
+        assert_eq!(q.n_nodes(), 1);
+        assert_eq!(q.n_edges(), 0);
+    }
+
+    #[test]
+    fn random_query_deterministic_by_seed() {
+        let a = random_query(QuerySpec::new(6, 9), 4, 3);
+        let b = random_query(QuerySpec::new(6, 9), 4, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_query_has_a_match() {
+        use crate::synthetic::{synthetic_refgraph, SyntheticConfig};
+        use pegmatch::matcher::match_bruteforce;
+        use pegmatch::model::PegBuilder;
+        let refs = synthetic_refgraph(&SyntheticConfig::paper(300));
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let q = sampled_query(&peg.graph, QuerySpec::new(4, 4), 17).expect("sampled query");
+        assert_eq!(q.n_nodes(), 4);
+        let ms = match_bruteforce(&peg, &q, 1e-9);
+        assert!(!ms.is_empty(), "sampled query must match at tiny threshold");
+    }
+}

@@ -1,0 +1,242 @@
+//! Synthetic reference networks (the paper's Section 6 setting).
+//!
+//! Structure from the Barabási–Albert preferential-attachment model;
+//! probabilities Zipf-skewed; identity uncertainty injected as `k` node
+//! groups of size `s` with `r` random pairs each becoming reference sets
+//! (so sets have size 2 and existence components have at most `s` nodes).
+
+use crate::zipf::{zipf_label, zipf_label_dist};
+use graphstore::dist::{EdgeProbability, LabelDist};
+use graphstore::{LabelTable, RefGraph, RefId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of references (the paper: 50k, 100k, 500k, 1m).
+    pub n_refs: usize,
+    /// Relations per reference (the paper: 5×).
+    pub relations_factor: usize,
+    /// Label alphabet size.
+    pub n_labels: usize,
+    /// Fraction of references/relations/sets carrying a *non-trivial*
+    /// probability distribution (the paper's degree of uncertainty, 20%
+    /// unless stated otherwise).
+    pub uncertainty: f64,
+    /// Number of identity groups `k` (the paper: refs/1000).
+    pub k_groups: usize,
+    /// Nodes per group `s` (the paper: 4).
+    pub group_size: usize,
+    /// Reference-set pairs per group `r` (the paper: 4).
+    pub pairs_per_group: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's parameterization for a given reference count.
+    pub fn paper(n_refs: usize) -> Self {
+        Self {
+            n_refs,
+            relations_factor: 5,
+            n_labels: 5,
+            uncertainty: 0.2,
+            k_groups: (n_refs / 1000).max(1),
+            group_size: 4,
+            pairs_per_group: 4,
+            seed: 42,
+        }
+    }
+
+    /// Same, with an explicit degree of uncertainty (Figures 6(e)/(f)).
+    pub fn paper_with_uncertainty(n_refs: usize, uncertainty: f64) -> Self {
+        Self { uncertainty, ..Self::paper(n_refs) }
+    }
+}
+
+/// Generates a reference network per the configuration.
+///
+/// # Example
+///
+/// ```
+/// use datagen::{synthetic_refgraph, SyntheticConfig};
+/// let g = synthetic_refgraph(&SyntheticConfig::paper(500));
+/// assert_eq!(g.n_refs(), 500);
+/// assert!(g.n_edges() >= 2000); // relations ≈ 5× references
+/// ```
+pub fn synthetic_refgraph(cfg: &SyntheticConfig) -> RefGraph {
+    assert!(cfg.n_refs >= 2, "need at least two references");
+    assert!((0.0..=1.0).contains(&cfg.uncertainty));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let names: Vec<String> = (0..cfg.n_labels).map(|i| format!("l{i}")).collect();
+    let table = LabelTable::from_names(&names);
+    let n_labels = table.len();
+    let mut g = RefGraph::new(table);
+
+    // --- Node labels: uncertain fraction gets a full distribution. ---
+    for _ in 0..cfg.n_refs {
+        let dist = if rng.gen_bool(cfg.uncertainty) {
+            zipf_label_dist(&mut rng, n_labels)
+        } else {
+            LabelDist::delta(zipf_label(&mut rng, n_labels), n_labels)
+        };
+        g.add_ref(dist);
+    }
+
+    // --- Preferential attachment edges. ---
+    // The attachment list holds every edge endpoint; sampling from it is
+    // proportional to degree (plus one smoothing entry per node).
+    let m = cfg.relations_factor.max(1);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * cfg.n_refs * m);
+    let mut added_edges = 0usize;
+    let target_edges = cfg.n_refs * cfg.relations_factor;
+    // Seed clique over the first m+1 nodes (or a single edge for tiny n).
+    let seed_n = (m + 1).min(cfg.n_refs);
+    for a in 0..seed_n {
+        for b in a + 1..seed_n {
+            push_edge(&mut g, &mut rng, cfg, a as u32, b as u32, n_labels);
+            endpoints.push(a as u32);
+            endpoints.push(b as u32);
+            added_edges += 1;
+        }
+    }
+    for v in seed_n..cfg.n_refs {
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m && guard < 20 * m {
+            guard += 1;
+            let target = if endpoints.is_empty() || rng.gen_bool(0.05) {
+                rng.gen_range(0..v) as u32
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if target == v as u32 {
+                continue;
+            }
+            if g.edge_between(RefId(v as u32), RefId(target)).is_some() {
+                continue;
+            }
+            push_edge(&mut g, &mut rng, cfg, v as u32, target, n_labels);
+            endpoints.push(v as u32);
+            endpoints.push(target);
+            added_edges += 1;
+            attached += 1;
+        }
+    }
+    // Top up with random edges until the target count (BA gives ~n·m).
+    let mut guard = 0usize;
+    while added_edges < target_edges && guard < 10 * target_edges {
+        guard += 1;
+        let a = rng.gen_range(0..cfg.n_refs) as u32;
+        let b = rng.gen_range(0..cfg.n_refs) as u32;
+        if a == b || g.edge_between(RefId(a), RefId(b)).is_some() {
+            continue;
+        }
+        push_edge(&mut g, &mut rng, cfg, a, b, n_labels);
+        added_edges += 1;
+    }
+
+    // --- Identity groups: k groups of s nodes, r pairs each. ---
+    for _ in 0..cfg.k_groups {
+        let mut group: Vec<u32> = Vec::with_capacity(cfg.group_size);
+        while group.len() < cfg.group_size.min(cfg.n_refs) {
+            let v = rng.gen_range(0..cfg.n_refs) as u32;
+            if !group.contains(&v) {
+                group.push(v);
+            }
+        }
+        let mut pairs_done = 0usize;
+        let mut used: Vec<(u32, u32)> = Vec::new();
+        let mut guard = 0usize;
+        while pairs_done < cfg.pairs_per_group && guard < 50 {
+            guard += 1;
+            let a = group[rng.gen_range(0..group.len())];
+            let b = group[rng.gen_range(0..group.len())];
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if used.contains(&key) {
+                continue;
+            }
+            used.push(key);
+            let q = if rng.gen_bool(cfg.uncertainty) {
+                rng.gen_range(0.05..0.95)
+            } else {
+                // Deterministically merged pair.
+                1.0
+            };
+            g.add_pair_set_with_posterior(RefId(key.0), RefId(key.1), q);
+            pairs_done += 1;
+        }
+    }
+    g
+}
+
+fn push_edge(
+    g: &mut RefGraph,
+    rng: &mut StdRng,
+    cfg: &SyntheticConfig,
+    a: u32,
+    b: u32,
+    _n_labels: usize,
+) {
+    let p = if rng.gen_bool(cfg.uncertainty) { rng.gen_range(0.05..1.0) } else { 1.0 };
+    g.add_edge(RefId(a), RefId(b), EdgeProbability::Independent(p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegmatch::model::PegBuilder;
+
+    #[test]
+    fn paper_shape_small() {
+        let cfg = SyntheticConfig::paper(1000);
+        let g = synthetic_refgraph(&cfg);
+        assert_eq!(g.n_refs(), 1000);
+        // Edge count within 20% of 5× (duplicates are retried, not dropped).
+        let e = g.n_edges();
+        assert!((4000..=5100).contains(&e), "edges = {e}");
+        assert!(!g.ref_sets().is_empty());
+        assert!(g.ref_sets().iter().all(|s| s.members.len() == 2));
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let a = synthetic_refgraph(&SyntheticConfig::paper(500));
+        let b = synthetic_refgraph(&SyntheticConfig::paper(500));
+        assert_eq!(a.n_edges(), b.n_edges());
+        let c = synthetic_refgraph(&SyntheticConfig { seed: 7, ..SyntheticConfig::paper(500) });
+        // Different seeds virtually always give different edge sets; compare
+        // a robust summary.
+        let sum_a: u64 = a.edges().iter().map(|e| (e.a.0 + e.b.0) as u64).sum();
+        let sum_c: u64 = c.edges().iter().map(|e| (e.a.0 + e.b.0) as u64).sum();
+        assert_ne!(sum_a, sum_c);
+    }
+
+    #[test]
+    fn uncertainty_knob_changes_distributions() {
+        let low = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(400, 0.0));
+        let high = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(400, 1.0));
+        let uncertain_nodes =
+            |g: &RefGraph| g.ref_ids().filter(|&r| g.reference(r).labels.support_size() > 1).count();
+        assert_eq!(uncertain_nodes(&low), 0);
+        assert!(uncertain_nodes(&high) > 300);
+        let certain_edges =
+            |g: &RefGraph| g.edges().iter().filter(|e| e.prob.max_prob() >= 1.0).count();
+        assert_eq!(certain_edges(&low), low.n_edges());
+        assert!(certain_edges(&high) < high.n_edges() / 10);
+    }
+
+    #[test]
+    fn builds_into_valid_peg() {
+        let g = synthetic_refgraph(&SyntheticConfig::paper(800));
+        let peg = PegBuilder::new().build(&g).unwrap();
+        assert!(peg.graph.n_nodes() >= 800);
+        // Merged pair entities exist beyond the singletons.
+        assert!(peg.graph.n_nodes() > 800);
+        assert!(peg.existence.n_components() > 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Zipf-skewed probability generation (the paper's label/edge probability
+//! scheme: random draws weighted by `1/i`, then normalized).
+
+use graphstore::{Label, LabelDist};
+use rand::Rng;
+
+/// Generates the paper's skewed random distribution over `n` labels:
+/// `p_i ~ U(0,1)`, `p'_i = p_i / i`, normalized, then assigned to labels in
+/// a random permutation.
+pub fn zipf_label_dist<R: Rng>(rng: &mut R, n: usize) -> LabelDist {
+    assert!(n > 0);
+    let mut probs: Vec<f64> = (0..n)
+        .map(|i| rng.gen_range(0.0f64..1.0).max(1e-6) / (i + 1) as f64)
+        .collect();
+    let total: f64 = probs.iter().sum();
+    for p in &mut probs {
+        *p /= total;
+    }
+    // Random assignment of the skewed masses to labels.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let pairs: Vec<(Label, f64)> =
+        perm.into_iter().zip(probs).map(|(l, p)| (Label(l as u16), p)).collect();
+    LabelDist::from_pairs(&pairs, n)
+}
+
+/// Samples one label with Zipf-ish skew (`1/i` weights over a random
+/// permutation fixed by the caller's RNG stream).
+pub fn zipf_label<R: Rng>(rng: &mut R, n: usize) -> Label {
+    debug_assert!(n > 0);
+    let total: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for i in 0..n {
+        let w = 1.0 / (i + 1) as f64;
+        if x < w {
+            return Label(i as u16);
+        }
+        x -= w;
+    }
+    Label((n - 1) as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dist_is_normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20] {
+            let d = zipf_label_dist(&mut rng, n);
+            assert!(d.validate(), "n = {n}");
+            assert_eq!(d.n_labels(), n);
+        }
+    }
+
+    #[test]
+    fn zipf_label_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[zipf_label(&mut rng, 5).idx()] += 1;
+        }
+        // 1/1 weight beats 1/5 weight decisively.
+        assert!(counts[0] > counts[4] * 2, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+}

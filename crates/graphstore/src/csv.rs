@@ -1,0 +1,730 @@
+//! Flat-file (CSV) import and export of reference graphs.
+//!
+//! A [`RefGraph`] round-trips through four RFC-4180-style CSV files inside a
+//! directory, so real datasets can be loaded without writing Rust:
+//!
+//! * `labels.csv` — header `label`; one row per alphabet entry, in id order.
+//! * `nodes.csv` — header `ref,label,prob`; one row per reference/label pair
+//!   with non-zero probability. Reference ids must be dense `0..n` and every
+//!   reference needs a distribution that sums to 1.
+//! * `edges.csv` — header `a,b,label_a,label_b,prob`. Independent edges
+//!   leave `label_a`/`label_b` empty and use a single row; label-conditional
+//!   edges (Section 5.3 of the paper) give one row per label pair and must
+//!   cover the complete |Σ|² table.
+//! * `refsets.csv` — header `set,ref,weight`; rows sharing a `set` id form
+//!   one reference set with the given existence-factor weight (which must
+//!   agree across the set's rows). Single-member sets override that
+//!   reference's *singleton* weight instead. The file may be absent when
+//!   there is no identity uncertainty.
+//!
+//! Fields containing commas, quotes, or newlines are quoted with doubled
+//! quotes. Probabilities are written with Rust's shortest-round-trip float
+//! formatting, so `save` → `load` reproduces the graph exactly.
+//!
+//! ```
+//! use graphstore::csv::{load_ref_graph_csv, save_ref_graph_csv};
+//! use graphstore::{EdgeProbability, LabelDist, LabelTable, RefGraph};
+//! let mut table = LabelTable::new();
+//! let a = table.intern("a");
+//! let b = table.intern("b");
+//! let mut g = RefGraph::new(table);
+//! let r0 = g.add_ref(LabelDist::delta(a, 2));
+//! let r1 = g.add_ref(LabelDist::from_pairs(&[(a, 0.5), (b, 0.5)], 2));
+//! g.add_edge(r0, r1, EdgeProbability::Independent(0.9));
+//! g.add_pair_set_with_posterior(r0, r1, 0.7);
+//!
+//! let dir = std::env::temp_dir().join(format!("csv-doc-{}", std::process::id()));
+//! save_ref_graph_csv(&g, &dir).unwrap();
+//! let loaded = load_ref_graph_csv(&dir).unwrap();
+//! assert_eq!(loaded.n_refs(), 2);
+//! assert_eq!(loaded.ref_sets().len(), 1);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::dist::{CondTable, EdgeProbability, LabelDist, DIST_EPS};
+use crate::hash::FxHashMap;
+use crate::labels::{Label, LabelTable};
+use crate::refgraph::{RefGraph, RefId};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised while reading reference-graph CSV files.
+#[derive(Debug)]
+pub struct CsvError {
+    /// File the error occurred in (its base name).
+    pub file: String,
+    /// 1-based line number, when known (0 for file-level problems).
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file, self.msg)
+        } else {
+            write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(file: &str, line: usize, msg: impl Into<String>) -> CsvError {
+    CsvError { file: file.into(), line, msg: msg.into() }
+}
+
+/// Saves `graph` as `labels.csv`, `nodes.csv`, `edges.csv`, and (when the
+/// graph has reference sets or non-default singleton weights) `refsets.csv`
+/// in `dir`, creating the directory if needed.
+pub fn save_ref_graph_csv(graph: &RefGraph, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let table = graph.label_table();
+
+    let mut w = BufWriter::new(File::create(dir.join("labels.csv"))?);
+    writeln!(w, "label")?;
+    for l in table.iter() {
+        writeln!(w, "{}", quote(table.name(l)))?;
+    }
+    w.flush()?;
+
+    let mut w = BufWriter::new(File::create(dir.join("nodes.csv"))?);
+    writeln!(w, "ref,label,prob")?;
+    for r in graph.ref_ids() {
+        let dist = &graph.reference(r).labels;
+        for l in dist.support() {
+            writeln!(w, "{},{},{}", r.0, quote(table.name(l)), dist.prob(l))?;
+        }
+    }
+    w.flush()?;
+
+    let mut w = BufWriter::new(File::create(dir.join("edges.csv"))?);
+    writeln!(w, "a,b,label_a,label_b,prob")?;
+    for e in graph.edges() {
+        match &e.prob {
+            EdgeProbability::Independent(p) => {
+                writeln!(w, "{},{},,,{}", e.a.0, e.b.0, p)?;
+            }
+            EdgeProbability::Conditional(t) => {
+                for la in table.iter() {
+                    for lb in table.iter() {
+                        writeln!(
+                            w,
+                            "{},{},{},{},{}",
+                            e.a.0,
+                            e.b.0,
+                            quote(table.name(la)),
+                            quote(table.name(lb)),
+                            t.prob(la, lb)
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+    w.flush()?;
+
+    let singleton_rows: Vec<(u32, f64)> = graph
+        .ref_ids()
+        .filter_map(|r| {
+            let w = graph.singleton_weight(r);
+            (w != 1.0).then_some((r.0, w))
+        })
+        .collect();
+    if !graph.ref_sets().is_empty() || !singleton_rows.is_empty() {
+        let mut w = BufWriter::new(File::create(dir.join("refsets.csv"))?);
+        writeln!(w, "set,ref,weight")?;
+        let mut set_id = 0u32;
+        for s in graph.ref_sets() {
+            for &m in &s.members {
+                writeln!(w, "{},{},{}", set_id, m.0, s.weight)?;
+            }
+            set_id += 1;
+        }
+        for (r, weight) in singleton_rows {
+            writeln!(w, "{set_id},{r},{weight}")?;
+            set_id += 1;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Loads a reference graph previously written by [`save_ref_graph_csv`] (or
+/// authored by hand in the same format) from `dir`.
+///
+/// # Errors
+/// Reports the file, line, and cause for every malformed row: non-dense
+/// reference ids, unknown labels, distributions that do not sum to 1,
+/// incomplete conditional tables, inconsistent set weights, and so on.
+pub fn load_ref_graph_csv(dir: &Path) -> Result<RefGraph, CsvError> {
+    let labels = read_rows(dir, "labels.csv", &["label"])?;
+    let mut table = LabelTable::new();
+    for (line, row) in labels {
+        let before = table.len();
+        table.intern(&row[0]);
+        if table.len() == before {
+            return Err(err("labels.csv", line, format!("duplicate label `{}`", row[0])));
+        }
+    }
+    let n_labels = table.len();
+    if n_labels == 0 {
+        return Err(err("labels.csv", 0, "empty alphabet"));
+    }
+
+    let nodes = read_rows(dir, "nodes.csv", &["ref", "label", "prob"])?;
+    let mut dists: Vec<LabelDist> = Vec::new();
+    for (line, row) in &nodes {
+        let r = parse_u32("nodes.csv", *line, "ref", &row[0])? as usize;
+        let label = table
+            .get(&row[1])
+            .ok_or_else(|| err("nodes.csv", *line, format!("unknown label `{}`", row[1])))?;
+        let p = parse_prob("nodes.csv", *line, &row[2])?;
+        if r >= dists.len() {
+            dists.resize(r + 1, LabelDist::zeros(n_labels));
+        }
+        if dists[r].prob(label) != 0.0 {
+            return Err(err(
+                "nodes.csv",
+                *line,
+                format!("duplicate (ref {r}, label `{}`) row", row[1]),
+            ));
+        }
+        dists[r] = add_prob(&dists[r], label, p, n_labels);
+    }
+    for (i, d) in dists.iter().enumerate() {
+        if !d.validate() {
+            return Err(err(
+                "nodes.csv",
+                0,
+                format!(
+                    "reference {i} has distribution summing to {} (want 1 ± {DIST_EPS})",
+                    d.as_slice().iter().sum::<f64>()
+                ),
+            ));
+        }
+    }
+
+    let mut graph = RefGraph::new(table);
+    for d in dists {
+        graph.add_ref(d);
+    }
+    let n_refs = graph.n_refs();
+    let table = graph.label_table().clone();
+
+    // Edges: group conditional rows per endpoint pair, in file order.
+    let edges = read_rows(dir, "edges.csv", &["a", "b", "label_a", "label_b", "prob"])?;
+    let mut pending: FxHashMap<(u32, u32), (usize, CondTable, Vec<bool>)> = FxHashMap::default();
+    let mut order: Vec<(u32, u32)> = Vec::new();
+    for (line, row) in &edges {
+        let a = parse_u32("edges.csv", *line, "a", &row[0])?;
+        let b = parse_u32("edges.csv", *line, "b", &row[1])?;
+        for (name, v) in [("a", a), ("b", b)] {
+            if v as usize >= n_refs {
+                return Err(err(
+                    "edges.csv",
+                    *line,
+                    format!("endpoint {name}={v} out of range (have {n_refs} refs)"),
+                ));
+            }
+        }
+        if a == b {
+            return Err(err("edges.csv", *line, format!("self loop on reference {a}")));
+        }
+        let p = parse_prob("edges.csv", *line, &row[4])?;
+        match (row[2].is_empty(), row[3].is_empty()) {
+            (true, true) => {
+                graph.add_edge(RefId(a), RefId(b), EdgeProbability::Independent(p));
+            }
+            (false, false) => {
+                let la = table.get(&row[2]).ok_or_else(|| {
+                    err("edges.csv", *line, format!("unknown label `{}`", row[2]))
+                })?;
+                let lb = table.get(&row[3]).ok_or_else(|| {
+                    err("edges.csv", *line, format!("unknown label `{}`", row[3]))
+                })?;
+                let key = (a, b);
+                let entry = pending.entry(key).or_insert_with(|| {
+                    order.push(key);
+                    (*line, CondTable::zeros(n_labels), vec![false; n_labels * n_labels])
+                });
+                let slot = la.idx() * n_labels + lb.idx();
+                if entry.2[slot] {
+                    return Err(err(
+                        "edges.csv",
+                        *line,
+                        format!("duplicate CPT row ({a},{b},`{}`,`{}`)", row[2], row[3]),
+                    ));
+                }
+                entry.2[slot] = true;
+                entry.1.set(la, lb, p);
+            }
+            _ => {
+                return Err(err(
+                    "edges.csv",
+                    *line,
+                    "label_a and label_b must both be set or both be empty",
+                ));
+            }
+        }
+    }
+    for key in order {
+        let (line, cpt, seen) = pending.remove(&key).expect("pending entry for ordered key");
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            let la = table.name(Label((missing / n_labels) as u16));
+            let lb = table.name(Label((missing % n_labels) as u16));
+            return Err(err(
+                "edges.csv",
+                line,
+                format!(
+                    "conditional edge ({},{}) is missing the (`{la}`,`{lb}`) entry",
+                    key.0, key.1
+                ),
+            ));
+        }
+        graph.add_edge(RefId(key.0), RefId(key.1), EdgeProbability::Conditional(cpt));
+    }
+
+    // Reference sets (optional file).
+    if dir.join("refsets.csv").exists() {
+        let rows = read_rows(dir, "refsets.csv", &["set", "ref", "weight"])?;
+        let mut sets: FxHashMap<u32, (usize, Vec<RefId>, f64)> = FxHashMap::default();
+        let mut set_order: Vec<u32> = Vec::new();
+        for (line, row) in &rows {
+            let s = parse_u32("refsets.csv", *line, "set", &row[0])?;
+            let r = parse_u32("refsets.csv", *line, "ref", &row[1])?;
+            if r as usize >= n_refs {
+                return Err(err(
+                    "refsets.csv",
+                    *line,
+                    format!("ref {r} out of range (have {n_refs} refs)"),
+                ));
+            }
+            let weight = parse_f64("refsets.csv", *line, "weight", &row[2])?;
+            if weight < 0.0 {
+                return Err(err("refsets.csv", *line, format!("negative weight {weight}")));
+            }
+            let entry = sets.entry(s).or_insert_with(|| {
+                set_order.push(s);
+                (*line, Vec::new(), weight)
+            });
+            if entry.2 != weight {
+                return Err(err(
+                    "refsets.csv",
+                    *line,
+                    format!("set {s} has conflicting weights {} and {weight}", entry.2),
+                ));
+            }
+            entry.1.push(RefId(r));
+        }
+        for s in set_order {
+            let (line, members, weight) = sets.remove(&s).expect("set entry for ordered id");
+            if members.len() == 1 {
+                graph.set_singleton_weight(members[0], weight);
+            } else {
+                let mut sorted = members.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != members.len() {
+                    return Err(err("refsets.csv", line, format!("set {s} repeats a member")));
+                }
+                graph.add_ref_set(members, weight);
+            }
+        }
+    }
+    Ok(graph)
+}
+
+fn add_prob(dist: &LabelDist, label: Label, p: f64, n_labels: usize) -> LabelDist {
+    let mut pairs: Vec<(Label, f64)> =
+        dist.support().map(|l| (l, dist.prob(l))).collect();
+    pairs.push((label, p));
+    LabelDist::from_pairs(&pairs, n_labels)
+}
+
+fn parse_u32(file: &str, line: usize, what: &str, s: &str) -> Result<u32, CsvError> {
+    s.parse().map_err(|_| err(file, line, format!("bad {what} `{s}` (want an integer)")))
+}
+
+fn parse_f64(file: &str, line: usize, what: &str, s: &str) -> Result<f64, CsvError> {
+    s.parse().map_err(|_| err(file, line, format!("bad {what} `{s}` (want a number)")))
+}
+
+fn parse_prob(file: &str, line: usize, s: &str) -> Result<f64, CsvError> {
+    let p = parse_f64(file, line, "prob", s)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(err(file, line, format!("probability {p} outside [0, 1]")));
+    }
+    Ok(p)
+}
+
+/// Reads a CSV file, checks its header, and returns `(line_number, fields)`
+/// per data row. Handles quoted fields (doubled-quote escapes) spanning
+/// multiple lines.
+fn read_rows(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+) -> Result<Vec<(usize, Vec<String>)>, CsvError> {
+    let path = dir.join(name);
+    let file = File::open(&path).map_err(|e| err(name, 0, format!("cannot open: {e}")))?;
+    let mut reader = BufReader::new(file);
+    let mut raw = String::new();
+    let mut rows = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        raw.clear();
+        let start_line = line_no + 1;
+        let n = reader
+            .read_line(&mut raw)
+            .map_err(|e| err(name, start_line, format!("read error: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        // A quoted field may span physical lines: keep reading while the
+        // quote count is odd.
+        while raw.matches('"').count() % 2 == 1 {
+            let n = reader
+                .read_line(&mut raw)
+                .map_err(|e| err(name, line_no, format!("read error: {e}")))?;
+            if n == 0 {
+                return Err(err(name, start_line, "unterminated quoted field"));
+            }
+            line_no += 1;
+        }
+        let trimmed = raw.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields = split_csv(trimmed, name, start_line)?;
+        if rows.is_empty() && start_line == 1 {
+            let got: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+            if got != header {
+                return Err(err(
+                    name,
+                    1,
+                    format!("bad header {got:?}, expected {header:?}"),
+                ));
+            }
+            continue; // consumed as header
+        }
+        if fields.len() != header.len() {
+            return Err(err(
+                name,
+                start_line,
+                format!("expected {} fields, found {}", header.len(), fields.len()),
+            ));
+        }
+        rows.push((start_line, fields));
+    }
+    Ok(rows)
+}
+
+fn split_csv(line: &str, file: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            Some('"') => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => field.push(c),
+                        None => {
+                            return Err(err(file, line_no, "unterminated quoted field"));
+                        }
+                    }
+                }
+            }
+            _ => {
+                while let Some(&c) = chars.peek() {
+                    if c == ',' {
+                        break;
+                    }
+                    field.push(c);
+                    chars.next();
+                }
+            }
+        }
+        match chars.next() {
+            Some(',') => fields.push(std::mem::take(&mut field)),
+            None => {
+                fields.push(field);
+                return Ok(fields);
+            }
+            Some(c) => {
+                return Err(err(
+                    file,
+                    line_no,
+                    format!("unexpected `{c}` after closing quote"),
+                ));
+            }
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("graphstore-csv-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn figure1_graph() -> RefGraph {
+        let mut table = LabelTable::new();
+        let a = table.intern("a");
+        let r = table.intern("r");
+        let i = table.intern("i");
+        let n = table.len();
+        let mut g = RefGraph::new(table);
+        let r1 = g.add_ref(LabelDist::from_pairs(&[(r, 0.25), (i, 0.75)], n));
+        let r2 = g.add_ref(LabelDist::delta(a, n));
+        let r3 = g.add_ref(LabelDist::delta(r, n));
+        let r4 = g.add_ref(LabelDist::delta(i, n));
+        g.add_edge(r1, r2, EdgeProbability::Independent(0.9));
+        g.add_edge(r2, r3, EdgeProbability::Independent(1.0));
+        g.add_edge(r2, r4, EdgeProbability::Independent(0.5));
+        g.add_pair_set_with_posterior(r3, r4, 0.8);
+        g
+    }
+
+    fn assert_graphs_equal(a: &RefGraph, b: &RefGraph) {
+        assert_eq!(a.label_table().names(), b.label_table().names());
+        assert_eq!(a.n_refs(), b.n_refs());
+        for r in a.ref_ids() {
+            assert_eq!(a.reference(r).labels, b.reference(r).labels, "{r:?}");
+            assert_eq!(a.singleton_weight(r), b.singleton_weight(r), "{r:?}");
+        }
+        assert_eq!(a.n_edges(), b.n_edges());
+        for ea in a.edges() {
+            let eb = b.edge_between(ea.a, ea.b).expect("edge present");
+            assert_eq!(ea.prob, eb.prob, "({:?},{:?})", ea.a, ea.b);
+        }
+        assert_eq!(a.ref_sets().len(), b.ref_sets().len());
+        for (sa, sb) in a.ref_sets().iter().zip(b.ref_sets()) {
+            assert_eq!(sa.members, sb.members);
+            assert_eq!(sa.weight, sb.weight);
+        }
+    }
+
+    #[test]
+    fn figure1_round_trips() {
+        let g = figure1_graph();
+        let dir = tmp("fig1");
+        save_ref_graph_csv(&g, &dir).unwrap();
+        let loaded = load_ref_graph_csv(&dir).unwrap();
+        assert_graphs_equal(&g, &loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn conditional_edges_round_trip() {
+        let mut table = LabelTable::new();
+        let x = table.intern("x");
+        let y = table.intern("y");
+        let mut g = RefGraph::new(table);
+        let r0 = g.add_ref(LabelDist::from_pairs(&[(x, 0.6), (y, 0.4)], 2));
+        let r1 = g.add_ref(LabelDist::delta(y, 2));
+        let cpt = CondTable::from_fn(2, |a, b| if a == b { 0.9 } else { 0.2 });
+        g.add_edge(r0, r1, EdgeProbability::Conditional(cpt));
+        g.set_singleton_weight(r0, 0.5);
+
+        let dir = tmp("cond");
+        save_ref_graph_csv(&g, &dir).unwrap();
+        let loaded = load_ref_graph_csv(&dir).unwrap();
+        assert_graphs_equal(&g, &loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quoted_label_names_round_trip() {
+        let mut table = LabelTable::new();
+        let weird = table.intern(r#"Research, "Lab""#);
+        let plain = table.intern("plain");
+        let mut g = RefGraph::new(table);
+        let r0 = g.add_ref(LabelDist::delta(weird, 2));
+        let r1 = g.add_ref(LabelDist::delta(plain, 2));
+        g.add_edge(r0, r1, EdgeProbability::Independent(0.3));
+
+        let dir = tmp("quoted");
+        save_ref_graph_csv(&g, &dir).unwrap();
+        let loaded = load_ref_graph_csv(&dir).unwrap();
+        assert_graphs_equal(&g, &loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn write(dir: &Path, name: &str, content: &str) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join(name), content).unwrap();
+    }
+
+    fn minimal(dir: &Path) {
+        write(dir, "labels.csv", "label\na\nb\n");
+        write(dir, "nodes.csv", "ref,label,prob\n0,a,1\n1,b,1\n");
+        write(dir, "edges.csv", "a,b,label_a,label_b,prob\n0,1,,,0.5\n");
+    }
+
+    #[test]
+    fn hand_written_files_load() {
+        let dir = tmp("hand");
+        minimal(&dir);
+        write(&dir, "refsets.csv", "set,ref,weight\n7,0,0.25\n7,1,0.25\n");
+        let g = load_ref_graph_csv(&dir).unwrap();
+        assert_eq!(g.n_refs(), 2);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.ref_sets().len(), 1);
+        assert_eq!(g.ref_sets()[0].members, vec![RefId(0), RefId(1)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_refsets_file_is_fine() {
+        let dir = tmp("nosets");
+        minimal(&dir);
+        let g = load_ref_graph_csv(&dir).unwrap();
+        assert!(g.ref_sets().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_unnormalized_distribution() {
+        let dir = tmp("unnorm");
+        minimal(&dir);
+        write(&dir, "nodes.csv", "ref,label,prob\n0,a,0.7\n1,b,1\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("summing to 0.7"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_bad_header_and_bad_numbers() {
+        let dir = tmp("badhdr");
+        minimal(&dir);
+        write(&dir, "nodes.csv", "id,label,prob\n0,a,1\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("bad header"), "{e}");
+
+        write(&dir, "nodes.csv", "ref,label,prob\nzero,a,1\n1,b,1\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("nodes.csv:2"), "{e}");
+
+        write(&dir, "nodes.csv", "ref,label,prob\n0,a,1.5\n1,b,1\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("outside [0, 1]"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_unknown_label_and_duplicate_label() {
+        let dir = tmp("unklabel");
+        minimal(&dir);
+        write(&dir, "nodes.csv", "ref,label,prob\n0,zzz,1\n1,b,1\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("unknown label `zzz`"), "{e}");
+
+        write(&dir, "labels.csv", "label\na\na\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("duplicate label"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_incomplete_cpt() {
+        let dir = tmp("cptmiss");
+        minimal(&dir);
+        write(
+            &dir,
+            "edges.csv",
+            "a,b,label_a,label_b,prob\n0,1,a,a,0.9\n0,1,a,b,0.1\n0,1,b,a,0.2\n",
+        );
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("missing the (`b`,`b`)"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_mixed_cpt_row() {
+        let dir = tmp("cptmixed");
+        minimal(&dir);
+        write(&dir, "edges.csv", "a,b,label_a,label_b,prob\n0,1,a,,0.9\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("both be set or both be empty"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_conflicting_set_weight_and_repeat_member() {
+        let dir = tmp("setbad");
+        minimal(&dir);
+        write(&dir, "refsets.csv", "set,ref,weight\n0,0,0.25\n0,1,0.5\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("conflicting weights"), "{e}");
+
+        write(&dir, "refsets.csv", "set,ref,weight\n0,1,0.25\n0,1,0.25\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("repeats a member"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_out_of_range_endpoint_and_self_loop() {
+        let dir = tmp("edgebad");
+        minimal(&dir);
+        write(&dir, "edges.csv", "a,b,label_a,label_b,prob\n0,9,,,0.5\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+
+        write(&dir, "edges.csv", "a,b,label_a,label_b,prob\n1,1,,,0.5\n");
+        let e = load_ref_graph_csv(&dir).unwrap_err();
+        assert!(e.to_string().contains("self loop"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multiline_quoted_field() {
+        let dir = tmp("multiline");
+        write(&dir, "labels.csv", "label\n\"two\nlines\"\nb\n");
+        write(&dir, "nodes.csv", "ref,label,prob\n0,\"two\nlines\",1\n1,b,1\n");
+        write(&dir, "edges.csv", "a,b,label_a,label_b,prob\n0,1,,,1\n");
+        let g = load_ref_graph_csv(&dir).unwrap();
+        assert_eq!(g.label_table().names()[0], "two\nlines");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn singleton_set_sets_singleton_weight() {
+        let dir = tmp("single");
+        minimal(&dir);
+        write(&dir, "refsets.csv", "set,ref,weight\n0,1,0.4\n");
+        let g = load_ref_graph_csv(&dir).unwrap();
+        assert!(g.ref_sets().is_empty());
+        assert_eq!(g.singleton_weight(RefId(1)), 0.4);
+        assert_eq!(g.singleton_weight(RefId(0)), 1.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

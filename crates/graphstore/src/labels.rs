@@ -1,0 +1,123 @@
+//! Label interning: string labels to dense `u16` ids.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A node label (an element of the alphabet Σ), as a dense id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The label id as an index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between label strings and [`Label`] ids.
+///
+/// The alphabet is expected to be small (the paper uses 3–20 labels), so ids
+/// are `u16` and distributions are dense vectors indexed by `Label::idx`.
+#[derive(Clone, Debug, Default)]
+pub struct LabelTable {
+    names: Vec<String>,
+    by_name: FxHashMap<String, Label>,
+}
+
+impl LabelTable {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an alphabet from names (deduplicating).
+    pub fn from_names<I: IntoIterator<Item = S>, S: AsRef<str>>(names: I) -> Self {
+        let mut t = Self::new();
+        for n in names {
+            t.intern(n.as_ref());
+        }
+        t
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    ///
+    /// # Panics
+    /// Panics if the alphabet exceeds `u16::MAX` labels.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let id = self.names.len();
+        assert!(id <= u16::MAX as usize, "label alphabet overflow");
+        let label = Label(id as u16);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), label);
+        label
+    }
+
+    /// Looks up `name` without interning.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of `label`.
+    ///
+    /// # Panics
+    /// Panics on an id not belonging to this table.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.idx()]
+    }
+
+    /// Number of labels in the alphabet.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates all labels in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Label> {
+        (0..self.names.len() as u16).map(Label)
+    }
+
+    /// All names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("academia");
+        let r = t.intern("research");
+        assert_eq!(t.intern("academia"), a);
+        assert_ne!(a, r);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "academia");
+        assert_eq!(t.get("research"), Some(r));
+        assert_eq!(t.get("industry"), None);
+    }
+
+    #[test]
+    fn from_names_dedupes() {
+        let t = LabelTable::from_names(["a", "b", "a", "c"]);
+        assert_eq!(t.len(), 3);
+        let ids: Vec<Label> = t.iter().collect();
+        assert_eq!(ids, vec![Label(0), Label(1), Label(2)]);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! `graphstore` — storage for reference graphs and probabilistic entity graphs.
+//!
+//! The paper's prototype keeps its graphs in Neo4j; this crate is that
+//! substrate, specialized to the data model of the paper:
+//!
+//! * [`RefGraph`] — the *reference-level* input network: references with
+//!   label distributions, uncertain edges, and reference sets (potential
+//!   entities) with raw existence-factor values. This is the storage half of
+//!   the probabilistic graph description (PGD, Definition 1).
+//! * [`EntityGraph`] — the *entity-level* probabilistic entity graph `G_U`
+//!   that query processing operates on: one node per reference set, merged
+//!   label distributions, merged (possibly label-conditional) edge
+//!   probabilities, CSR adjacency, and per-node reference lists used to
+//!   enforce the "no two nodes share a reference" constraint.
+//! * [`persist`] — durable storage of an [`EntityGraph`] in a
+//!   [`kvstore::BTreeStore`] file.
+//!
+//! Label strings are interned into dense [`Label`] ids via [`LabelTable`];
+//! distributions are dense vectors over the label alphabet.
+
+pub mod csv;
+pub mod dist;
+pub mod entity;
+pub mod hash;
+pub mod labels;
+pub mod persist;
+pub mod refgraph;
+pub mod stats;
+
+pub use dist::{CondTable, EdgeProbability, LabelDist};
+pub use entity::{EntityGraph, EntityGraphBuilder, EntityId, EntityNode};
+pub use labels::{Label, LabelTable};
+pub use refgraph::{RefEdge, RefGraph, RefId, RefNode, RefSet, RefSetId};
+pub use stats::GraphStats;

@@ -1,0 +1,253 @@
+//! The reference-level network: the storage half of the probabilistic graph
+//! description (PGD, Definition 1).
+
+use crate::dist::{EdgeProbability, LabelDist};
+use crate::hash::FxHashMap;
+use crate::labels::LabelTable;
+
+/// Identifier of an observed reference (a mention of an object).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RefId(pub u32);
+
+impl RefId {
+    /// The id as an index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for RefId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a reference set (a potential entity, `s ∈ S`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RefSetId(pub u32);
+
+/// A reference with its label distribution `p_r(r.x)`.
+#[derive(Clone, Debug)]
+pub struct RefNode {
+    /// Distribution over Σ for this reference's label.
+    pub labels: LabelDist,
+}
+
+/// An uncertain reference-level edge with `p_{(r1,r2)}((r1,r2).x)`.
+#[derive(Clone, Debug)]
+pub struct RefEdge {
+    /// First endpoint (CPT rows refer to this endpoint's label).
+    pub a: RefId,
+    /// Second endpoint.
+    pub b: RefId,
+    /// Existence probability (independent or label-conditional).
+    pub prob: EdgeProbability,
+}
+
+/// A *non-singleton* reference set with its raw node-existence factor value
+/// `p_s(s.x = T)`.
+///
+/// Singleton sets `{r}` exist implicitly for every reference; their factor
+/// values default to `1.0` and can be overridden with
+/// [`RefGraph::set_singleton_weight`]. Raw factor values are combined and
+/// normalized per connected component (Equation 7), so only their ratios
+/// matter.
+#[derive(Clone, Debug)]
+pub struct RefSet {
+    /// Member references (sorted, deduplicated, ≥ 2 elements).
+    pub members: Vec<RefId>,
+    /// Raw factor value `p_s(s.x = T)`.
+    pub weight: f64,
+}
+
+/// The reference-level input network.
+///
+/// Together with a pair of merge functions this is a complete PGD
+/// `D = (R, S, Σ, P, mΣ, m{T,F})`; `pegmatch::model` compiles it into a
+/// probabilistic entity graph.
+#[derive(Clone, Debug)]
+pub struct RefGraph {
+    labels: LabelTable,
+    refs: Vec<RefNode>,
+    edges: Vec<RefEdge>,
+    edge_map: FxHashMap<(u32, u32), u32>,
+    sets: Vec<RefSet>,
+    singleton_weights: FxHashMap<RefId, f64>,
+}
+
+impl RefGraph {
+    /// An empty network over the given alphabet.
+    pub fn new(labels: LabelTable) -> Self {
+        Self {
+            labels,
+            refs: Vec::new(),
+            edges: Vec::new(),
+            edge_map: FxHashMap::default(),
+            sets: Vec::new(),
+            singleton_weights: FxHashMap::default(),
+        }
+    }
+
+    /// The label alphabet.
+    pub fn label_table(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Adds a reference with label distribution `labels`.
+    pub fn add_ref(&mut self, labels: LabelDist) -> RefId {
+        assert_eq!(labels.n_labels(), self.labels.len(), "label alphabet mismatch");
+        let id = RefId(self.refs.len() as u32);
+        self.refs.push(RefNode { labels });
+        id
+    }
+
+    /// Adds (or replaces) an undirected uncertain edge.
+    ///
+    /// # Panics
+    /// Panics on self loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: RefId, b: RefId, prob: EdgeProbability) {
+        assert_ne!(a, b, "self loops are not part of the model");
+        assert!(a.idx() < self.refs.len() && b.idx() < self.refs.len(), "endpoint out of range");
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if let Some(&i) = self.edge_map.get(&key) {
+            self.edges[i as usize] = RefEdge { a, b, prob };
+        } else {
+            let i = self.edges.len() as u32;
+            self.edges.push(RefEdge { a, b, prob });
+            self.edge_map.insert(key, i);
+        }
+    }
+
+    /// Declares a non-singleton reference set with raw factor value `weight`.
+    ///
+    /// # Panics
+    /// Panics if the set has fewer than two distinct members, an
+    /// out-of-range member, or a negative weight.
+    pub fn add_ref_set(&mut self, mut members: Vec<RefId>, weight: f64) -> RefSetId {
+        members.sort_unstable();
+        members.dedup();
+        assert!(members.len() >= 2, "reference sets must have at least two members");
+        assert!(members.iter().all(|r| r.idx() < self.refs.len()), "member out of range");
+        assert!(weight >= 0.0, "negative set weight");
+        let id = RefSetId(self.sets.len() as u32);
+        self.sets.push(RefSet { members, weight });
+        id
+    }
+
+    /// Convenience: declares a *pair* reference set `{a, b}` such that, if
+    /// `a` and `b` belong to no other set, the normalized posterior
+    /// probability of the merge is exactly `q` (and of staying separate,
+    /// `1 − q`).
+    ///
+    /// Uses raw weights `√q` for the pair and `√(1−q)` for both singletons,
+    /// so the merged configuration weighs `q` and the unmerged `1 − q` after
+    /// the two per-reference factors multiply.
+    pub fn add_pair_set_with_posterior(&mut self, a: RefId, b: RefId, q: f64) -> RefSetId {
+        assert!((0.0..=1.0).contains(&q), "posterior out of range");
+        self.set_singleton_weight(a, (1.0 - q).sqrt());
+        self.set_singleton_weight(b, (1.0 - q).sqrt());
+        self.add_ref_set(vec![a, b], q.sqrt())
+    }
+
+    /// Overrides the raw factor value of the singleton set `{r}` (default 1).
+    pub fn set_singleton_weight(&mut self, r: RefId, weight: f64) {
+        assert!(weight >= 0.0, "negative singleton weight");
+        self.singleton_weights.insert(r, weight);
+    }
+
+    /// Raw factor value of the singleton `{r}`.
+    pub fn singleton_weight(&self, r: RefId) -> f64 {
+        self.singleton_weights.get(&r).copied().unwrap_or(1.0)
+    }
+
+    /// Number of references.
+    pub fn n_refs(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Number of reference-level edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Reference payload.
+    pub fn reference(&self, r: RefId) -> &RefNode {
+        &self.refs[r.idx()]
+    }
+
+    /// All reference-level edges.
+    pub fn edges(&self) -> &[RefEdge] {
+        &self.edges
+    }
+
+    /// The edge between `a` and `b`, if declared.
+    pub fn edge_between(&self, a: RefId, b: RefId) -> Option<&RefEdge> {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.edge_map.get(&key).map(|&i| &self.edges[i as usize])
+    }
+
+    /// All declared non-singleton sets.
+    pub fn ref_sets(&self) -> &[RefSet] {
+        &self.sets
+    }
+
+    /// All reference ids.
+    pub fn ref_ids(&self) -> impl Iterator<Item = RefId> {
+        (0..self.refs.len() as u32).map(RefId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    #[test]
+    fn build_figure_one_reference_network() {
+        let table = LabelTable::from_names(["a", "r", "i"]);
+        let n = table.len();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let mut g = RefGraph::new(table);
+        let r1 = g.add_ref(LabelDist::from_pairs(&[(r, 0.25), (i, 0.75)], n));
+        let r2 = g.add_ref(LabelDist::delta(a, n));
+        let r3 = g.add_ref(LabelDist::delta(r, n));
+        let r4 = g.add_ref(LabelDist::delta(i, n));
+        g.add_edge(r1, r2, EdgeProbability::Independent(0.9));
+        g.add_edge(r2, r3, EdgeProbability::Independent(1.0));
+        g.add_edge(r2, r4, EdgeProbability::Independent(0.5));
+        g.add_pair_set_with_posterior(r3, r4, 0.8);
+
+        assert_eq!(g.n_refs(), 4);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.ref_sets().len(), 1);
+        let set = &g.ref_sets()[0];
+        assert_eq!(set.members, vec![r3, r4]);
+        assert!((set.weight - 0.8f64.sqrt()).abs() < 1e-12);
+        assert!((g.singleton_weight(r3) - 0.2f64.sqrt()).abs() < 1e-12);
+        assert!((g.singleton_weight(r1) - 1.0).abs() < 1e-12);
+        assert!(g.edge_between(r2, r1).is_some());
+        assert!(g.edge_between(r1, r3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn singleton_ref_set_rejected() {
+        let table = LabelTable::from_names(["a"]);
+        let mut g = RefGraph::new(table);
+        let r0 = g.add_ref(LabelDist::delta(Label(0), 1));
+        g.add_ref_set(vec![r0, r0], 0.5);
+    }
+
+    #[test]
+    fn edge_replacement() {
+        let table = LabelTable::from_names(["a"]);
+        let mut g = RefGraph::new(table);
+        let r0 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r1 = g.add_ref(LabelDist::delta(Label(0), 1));
+        g.add_edge(r0, r1, EdgeProbability::Independent(0.3));
+        g.add_edge(r1, r0, EdgeProbability::Independent(0.8));
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edge_between(r0, r1).unwrap().prob.max_prob(), 0.8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Summary statistics over entity graphs (used by the experiment harness
+//! and for sanity-checking generated workloads against the paper's shapes).
+
+use crate::entity::{EntityGraph, EntityId};
+use crate::Label;
+
+/// Aggregate structural and probabilistic statistics of an entity graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub n_nodes: usize,
+    /// Undirected edge count.
+    pub n_edges: usize,
+    /// Average degree (2·E / V).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of connected components (by edges).
+    pub n_components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+    /// Nodes whose label distribution has more than one supported label.
+    pub uncertain_nodes: usize,
+    /// Edges whose maximum existence probability is below 1.
+    pub uncertain_edges: usize,
+    /// Nodes carrying more than one underlying reference (merged entities).
+    pub merged_entities: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in one pass plus a union-find over edges.
+    pub fn compute(graph: &EntityGraph) -> GraphStats {
+        let n = graph.n_nodes();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut max_degree = 0usize;
+        let mut uncertain_nodes = 0usize;
+        let mut merged_entities = 0usize;
+        for v in graph.node_ids() {
+            max_degree = max_degree.max(graph.degree(v));
+            if graph.node(v).labels.support_size() > 1 {
+                uncertain_nodes += 1;
+            }
+            if graph.node(v).refs.len() > 1 {
+                merged_entities += 1;
+            }
+        }
+        let mut uncertain_edges = 0usize;
+        for e in graph.edges() {
+            if e.prob.max_prob() < 1.0 {
+                uncertain_edges += 1;
+            }
+            let (a, b) = (find(&mut parent, e.a.0), find(&mut parent, e.b.0));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+        let mut sizes = vec![0usize; n];
+        for i in 0..n as u32 {
+            sizes[find(&mut parent, i) as usize] += 1;
+        }
+        let n_components = sizes.iter().filter(|&&s| s > 0).count();
+        let largest_component = sizes.iter().copied().max().unwrap_or(0);
+        GraphStats {
+            n_nodes: n,
+            n_edges: graph.n_edges(),
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * graph.n_edges() as f64 / n as f64 },
+            max_degree,
+            n_components,
+            largest_component,
+            uncertain_nodes,
+            uncertain_edges,
+            merged_entities,
+        }
+    }
+}
+
+/// Histogram of node degrees (index = degree, value = node count),
+/// truncated at `max_degree`.
+pub fn degree_histogram(graph: &EntityGraph, max_degree: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree + 1];
+    for v in graph.node_ids() {
+        let d = graph.degree(v).min(max_degree);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Counts nodes that can carry `label` (non-zero probability).
+pub fn label_frequency(graph: &EntityGraph, label: Label) -> usize {
+    graph
+        .node_ids()
+        .filter(|&v| graph.label_prob(v, label) > 0.0)
+        .count()
+}
+
+/// Nodes sorted by degree, descending (hubs first); ties by id.
+pub fn hubs(graph: &EntityGraph, k: usize) -> Vec<EntityId> {
+    let mut ids: Vec<EntityId> = graph.node_ids().collect();
+    ids.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v.0));
+    ids.truncate(k);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{EdgeProbability, LabelDist};
+    use crate::entity::EntityGraphBuilder;
+    use crate::labels::LabelTable;
+    use crate::refgraph::RefId;
+
+    fn sample() -> EntityGraph {
+        let table = LabelTable::from_names(["a", "b"]);
+        let n = table.len();
+        let mut b = EntityGraphBuilder::new(table);
+        let v0 = b.add_node(LabelDist::delta(Label(0), n), vec![RefId(0)]);
+        let v1 = b.add_node(
+            LabelDist::from_pairs(&[(Label(0), 0.5), (Label(1), 0.5)], n),
+            vec![RefId(1), RefId(2)],
+        );
+        let v2 = b.add_node(LabelDist::delta(Label(1), n), vec![RefId(3)]);
+        let _v3 = b.add_node(LabelDist::delta(Label(1), n), vec![RefId(4)]); // isolated
+        b.add_edge(v0, v1, EdgeProbability::Independent(1.0));
+        b.add_edge(v1, v2, EdgeProbability::Independent(0.5));
+        b.build()
+    }
+
+    #[test]
+    fn stats_basics() {
+        let g = sample();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_nodes, 4);
+        assert_eq!(s.n_edges, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.n_components, 2); // chain + isolated node
+        assert_eq!(s.largest_component, 3);
+        assert_eq!(s.uncertain_nodes, 1);
+        assert_eq!(s.uncertain_edges, 1);
+        assert_eq!(s.merged_entities, 1);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_truncates() {
+        let g = sample();
+        let h = degree_histogram(&g, 2);
+        assert_eq!(h, vec![1, 2, 1]);
+        let h1 = degree_histogram(&g, 1);
+        assert_eq!(h1, vec![1, 3]); // degree-2 node truncated into bucket 1
+    }
+
+    #[test]
+    fn label_frequency_counts_support() {
+        let g = sample();
+        assert_eq!(label_frequency(&g, Label(0)), 2);
+        assert_eq!(label_frequency(&g, Label(1)), 3);
+    }
+
+    #[test]
+    fn hubs_order() {
+        let g = sample();
+        let top = hubs(&g, 2);
+        assert_eq!(top[0].0, 1); // degree 2
+        assert_eq!(top.len(), 2);
+    }
+}

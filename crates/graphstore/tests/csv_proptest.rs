@@ -1,0 +1,140 @@
+//! Property test: any reference graph survives a CSV save/load round trip
+//! exactly (same alphabet, distributions, edges, reference sets, and
+//! singleton weights), including conditional edges and hostile label names.
+
+use graphstore::csv::{load_ref_graph_csv, save_ref_graph_csv};
+use graphstore::{CondTable, EdgeProbability, Label, LabelDist, LabelTable, RefGraph, RefId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Spec {
+    labels: Vec<String>,
+    /// Per reference: (label, weight) pairs to normalize into a distribution.
+    refs: Vec<Vec<(u16, u32)>>,
+    /// (a, b, independent prob or None for a CPT derived from the seed).
+    edges: Vec<(u32, u32, Option<f64>, u64)>,
+    sets: Vec<(Vec<u32>, f64)>,
+    singletons: Vec<(u32, f64)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    let label = prop_oneof![
+        "[a-z]{1,6}",
+        r#"[a-z, "]{1,6}"#, // needs quoting
+    ];
+    (prop::collection::vec(label, 1..4), 1usize..8).prop_flat_map(|(labels, n_refs)| {
+        let n_labels = labels.len() as u16;
+        let refs = prop::collection::vec(
+            prop::collection::vec((0..n_labels, 1u32..100), 1..4),
+            n_refs,
+        );
+        let edges = prop::collection::vec(
+            (
+                0..n_refs as u32,
+                0..n_refs as u32,
+                prop::option::of(0.0..=1.0f64),
+                any::<u64>(),
+            ),
+            0..8,
+        );
+        let sets = prop::collection::vec(
+            (prop::collection::vec(0..n_refs as u32, 2..4), 0.01..=1.0f64),
+            0..3,
+        );
+        let singletons =
+            prop::collection::vec((0..n_refs as u32, 0.01..=1.0f64), 0..3);
+        (Just(labels), refs, edges, sets, singletons).prop_map(
+            |(labels, refs, edges, sets, singletons)| Spec {
+                labels,
+                refs,
+                edges,
+                sets,
+                singletons,
+            },
+        )
+    })
+}
+
+fn build(spec: &Spec) -> RefGraph {
+    let mut table = LabelTable::new();
+    for (i, name) in spec.labels.iter().enumerate() {
+        table.intern(&format!("{name}#{i}")); // force distinct names
+    }
+    let n = table.len();
+    let mut g = RefGraph::new(table);
+    for pairs in &spec.refs {
+        let mut dist = LabelDist::from_pairs(
+            &pairs
+                .iter()
+                .map(|&(l, w)| (Label(l % n as u16), w as f64))
+                .collect::<Vec<_>>(),
+            n,
+        );
+        dist.normalize();
+        g.add_ref(dist);
+    }
+    for &(a, b, p, seed) in &spec.edges {
+        if a == b {
+            continue;
+        }
+        let prob = match p {
+            Some(p) => EdgeProbability::Independent(p),
+            None => EdgeProbability::Conditional(CondTable::from_fn(n, |la, lb| {
+                // Deterministic pseudo-random CPT from the seed.
+                let h = seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add((la.0 as u64) << 16 | lb.0 as u64);
+                (h % 1000) as f64 / 1000.0
+            })),
+        };
+        g.add_edge(RefId(a), RefId(b), prob);
+    }
+    for (members, w) in &spec.sets {
+        let mut m: Vec<RefId> = members.iter().map(|&r| RefId(r)).collect();
+        m.sort_unstable();
+        m.dedup();
+        if m.len() >= 2 {
+            g.add_ref_set(m, *w);
+        }
+    }
+    for &(r, w) in &spec.singletons {
+        g.set_singleton_weight(RefId(r), w);
+    }
+    g
+}
+
+fn assert_graphs_equal(a: &RefGraph, b: &RefGraph) {
+    assert_eq!(a.label_table().names(), b.label_table().names());
+    assert_eq!(a.n_refs(), b.n_refs());
+    for r in a.ref_ids() {
+        assert_eq!(a.reference(r).labels, b.reference(r).labels, "{r:?}");
+        assert_eq!(a.singleton_weight(r), b.singleton_weight(r), "{r:?}");
+    }
+    assert_eq!(a.n_edges(), b.n_edges());
+    for ea in a.edges() {
+        let eb = b.edge_between(ea.a, ea.b).expect("edge present after round trip");
+        assert_eq!(ea.prob, eb.prob, "({:?},{:?})", ea.a, ea.b);
+    }
+    assert_eq!(a.ref_sets().len(), b.ref_sets().len());
+    for (sa, sb) in a.ref_sets().iter().zip(b.ref_sets()) {
+        assert_eq!(sa.members, sb.members);
+        assert_eq!(sa.weight, sb.weight);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn csv_round_trip_is_exact(spec in arb_spec(), case in 0u32..1_000_000) {
+        let g = build(&spec);
+        let dir = std::env::temp_dir().join(format!(
+            "graphstore-csv-pt-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_ref_graph_csv(&g, &dir).expect("save");
+        let loaded = load_ref_graph_csv(&dir).expect("load");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_graphs_equal(&g, &loaded);
+    }
+}

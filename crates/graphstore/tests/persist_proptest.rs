@@ -1,0 +1,113 @@
+//! Property test: entity graphs round-trip losslessly through persistence,
+//! including sparse label distributions and conditional edge tables.
+
+use graphstore::dist::{CondTable, EdgeProbability, LabelDist};
+use graphstore::persist::{load_entity_graph, save_entity_graph};
+use graphstore::{EntityGraphBuilder, EntityId, Label, LabelTable, RefId};
+use kvstore::MemStore;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Spec {
+    nodes: Vec<(Vec<f64>, Vec<u32>)>,
+    edges: Vec<(u8, u8, EdgeSpec)>,
+}
+
+#[derive(Clone, Debug)]
+enum EdgeSpec {
+    Indep(f64),
+    Cond(Vec<f64>),
+}
+
+const NL: usize = 3;
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let node = (
+        proptest::collection::vec(0.0f64..=1.0, NL),
+        proptest::collection::vec(0u32..32, 1..3),
+    );
+    let edge_kind = prop_oneof![
+        (0.0f64..=1.0).prop_map(EdgeSpec::Indep),
+        proptest::collection::vec(0.0f64..=1.0, NL * NL).prop_map(EdgeSpec::Cond),
+    ];
+    (2usize..=7).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(node.clone(), n),
+            proptest::collection::vec((0u8..n as u8, 0u8..n as u8, edge_kind.clone()), 0..=6),
+        )
+            .prop_map(|(nodes, edges)| Spec { nodes, edges })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_is_lossless(spec in spec_strategy()) {
+        let table = LabelTable::from_names(["a", "b", "c"]);
+        let mut b = EntityGraphBuilder::new(table);
+        for (probs, refs) in &spec.nodes {
+            let total: f64 = probs.iter().sum();
+            let dist = if total > 0.0 {
+                let pairs: Vec<(Label, f64)> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (Label(i as u16), p / total))
+                    .collect();
+                LabelDist::from_pairs(&pairs, NL)
+            } else {
+                LabelDist::delta(Label(0), NL)
+            };
+            b.add_node(dist, refs.iter().map(|&r| RefId(r)).collect());
+        }
+        for (x, y, kind) in &spec.edges {
+            if x == y {
+                continue;
+            }
+            let prob = match kind {
+                EdgeSpec::Indep(p) => EdgeProbability::Independent(*p),
+                EdgeSpec::Cond(t) => {
+                    let mut cpt = CondTable::zeros(NL);
+                    for a in 0..NL {
+                        for c in 0..NL {
+                            cpt.set(Label(a as u16), Label(c as u16), t[a * NL + c]);
+                        }
+                    }
+                    EdgeProbability::Conditional(cpt)
+                }
+            };
+            b.add_edge(EntityId(*x as u32), EntityId(*y as u32), prob);
+        }
+        let g = b.build();
+
+        let mut kv = MemStore::new();
+        save_entity_graph(&g, &mut kv).unwrap();
+        let g2 = load_entity_graph(&kv).unwrap();
+
+        prop_assert_eq!(g2.n_nodes(), g.n_nodes());
+        prop_assert_eq!(g2.n_edges(), g.n_edges());
+        for v in g.node_ids() {
+            prop_assert_eq!(&g2.node(v).refs, &g.node(v).refs);
+            for l in 0..NL as u16 {
+                let (a, b2) = (g.label_prob(v, Label(l)), g2.label_prob(v, Label(l)));
+                prop_assert!((a - b2).abs() < 1e-15);
+            }
+        }
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                if u >= v {
+                    continue;
+                }
+                for la in 0..NL as u16 {
+                    for lb in 0..NL as u16 {
+                        let a = g.edge_prob(u, v, Label(la), Label(lb));
+                        let b2 = g2.edge_prob(u, v, Label(la), Label(lb));
+                        prop_assert!((a - b2).abs() < 1e-15,
+                            "edge ({u:?},{v:?}) labels ({la},{lb})");
+                    }
+                }
+                prop_assert_eq!(g.refs_disjoint(u, v), g2.refs_disjoint(u, v));
+            }
+        }
+    }
+}

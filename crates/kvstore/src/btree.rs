@@ -1,0 +1,590 @@
+//! The disk-backed B+-tree.
+
+use crate::buffer::{BufferPool, PoolStats};
+use crate::error::{KvError, Result};
+use crate::page::{check_kv_size, InternalPage, LeafPage, Page, PageId, PAGE_PAYLOAD, TAG_INTERNAL, TAG_LEAF};
+use crate::pager::Pager;
+use crate::Kv;
+use std::path::Path;
+
+/// Result of inserting into a subtree: a separator/right-sibling pair to be
+/// installed in the parent when the child split.
+type Promotion = Option<(Vec<u8>, PageId)>;
+
+/// A B+-tree over 4 KiB pages persisted in a single file.
+///
+/// * point lookups and ordered scans (leaf pages form a singly linked chain),
+/// * inserts with leaf/internal splits (page-local compaction first),
+/// * lazy deletes (no page merging; see crate docs).
+///
+/// Not crash-safe: there is no write-ahead log. [`BTreeStore::flush`] must be
+/// called (or the store dropped) before the file is durable. This matches the
+/// paper's usage, where the index is built once offline.
+///
+/// # Example
+///
+/// ```
+/// use kvstore::{BTreeStore, Kv};
+/// let mut path = std::env::temp_dir();
+/// path.push(format!("kvstore-doc-{}", std::process::id()));
+/// let mut store = BTreeStore::create(&path).unwrap();
+/// store.put(b"k", b"v").unwrap();
+/// assert_eq!(store.get(b"k").unwrap().unwrap(), b"v");
+/// store.flush().unwrap();
+/// drop(store);
+/// std::fs::remove_file(&path).ok();
+/// ```
+pub struct BTreeStore {
+    pool: BufferPool,
+}
+
+impl BTreeStore {
+    /// Creates a new store file at `path` (truncates existing data).
+    pub fn create(path: &Path) -> Result<Self> {
+        Ok(Self { pool: BufferPool::new(Pager::create(path)?, BufferPool::DEFAULT_CAPACITY) })
+    }
+
+    /// Creates a new store with an explicit buffer-pool capacity (frames).
+    pub fn create_with_capacity(path: &Path, frames: usize) -> Result<Self> {
+        Ok(Self { pool: BufferPool::new(Pager::create(path)?, frames) })
+    }
+
+    /// Opens an existing store file.
+    pub fn open(path: &Path) -> Result<Self> {
+        Ok(Self { pool: BufferPool::new(Pager::open(path)?, BufferPool::DEFAULT_CAPACITY) })
+    }
+
+    /// Writes all dirty pages and the header to disk.
+    pub fn flush(&self) -> Result<()> {
+        self.pool.flush()
+    }
+
+    /// Size of the backing file in bytes (reported as "index size").
+    pub fn file_len(&self) -> u64 {
+        self.pool.pager().file_len()
+    }
+
+    /// Buffer-pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn root(&self) -> PageId {
+        self.pool.pager().meta().root
+    }
+
+    fn tag_of(&self, pid: PageId) -> Result<u8> {
+        self.pool.with_page(pid, |p| p.tag())
+    }
+
+    /// Recursive insert; returns a promotion when `pid` split.
+    fn insert_rec(&self, pid: PageId, key: &[u8], value: &[u8], replaced: &mut bool) -> Result<Promotion> {
+        match self.tag_of(pid)? {
+            TAG_LEAF => self.insert_leaf(pid, key, value, replaced),
+            TAG_INTERNAL => {
+                let child = self.pool.with_page(pid, |p| {
+                    let mut p = p.clone();
+                    InternalPage::new(&mut p, false).route(key)
+                })?;
+                let promo = self.insert_rec(child, key, value, replaced)?;
+                match promo {
+                    None => Ok(None),
+                    Some((sep, right)) => self.insert_internal(pid, sep, right),
+                }
+            }
+            t => Err(KvError::Corrupt(format!("unknown page tag {t} at page {pid}"))),
+        }
+    }
+
+    /// Inserts into a leaf, splitting when necessary.
+    fn insert_leaf(&self, pid: PageId, key: &[u8], value: &[u8], replaced: &mut bool) -> Result<Promotion> {
+        // Fast path: mutate in place (replace or insert, compacting if the
+        // page has reclaimable holes).
+        enum Outcome {
+            Done,
+            NeedSplit(Vec<(Vec<u8>, Vec<u8>)>),
+        }
+        let outcome = self.pool.with_page_mut(pid, |p| {
+            let mut leaf = LeafPage::new(p, false);
+            if let Ok(i) = leaf.search(key) {
+                leaf.remove_at(i);
+                *replaced = true;
+            }
+            let pos = match leaf.search(key) {
+                Ok(_) => unreachable!("key removed above"),
+                Err(pos) => pos,
+            };
+            if leaf.insert_at(pos, key, value) {
+                return Outcome::Done;
+            }
+            // Try compaction before splitting.
+            const LEAF_HDR: usize = 9;
+            let needed = LeafPage::record_space(key, value);
+            let after_compact =
+                PAGE_PAYLOAD - LEAF_HDR - leaf.live_bytes() - 2 * leaf.nkeys();
+            if after_compact >= needed {
+                leaf.compact();
+                let pos = leaf.search(key).unwrap_err();
+                let ok = leaf.insert_at(pos, key, value);
+                debug_assert!(ok);
+                return Outcome::Done;
+            }
+            let mut records = leaf.records();
+            let pos = records
+                .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                .unwrap_err();
+            records.insert(pos, (key.to_vec(), value.to_vec()));
+            Outcome::NeedSplit(records)
+        })?;
+
+        let records = match outcome {
+            Outcome::Done => return Ok(None),
+            Outcome::NeedSplit(r) => r,
+        };
+
+        // Split: left half stays, right half moves to a fresh page.
+        let mid = records.len() / 2;
+        let (left, right) = records.split_at(mid);
+        let old_next = self.pool.with_page(pid, |p| {
+            let mut p = p.clone();
+            LeafPage::new(&mut p, false).next_leaf()
+        })?;
+        let (right_pid, _) = self.pool.allocate_with(|p| {
+            let mut r = LeafPage::new(p, true);
+            r.write_all(right);
+            r.set_next_leaf(old_next);
+        })?;
+        self.pool.with_page_mut(pid, |p| {
+            let mut l = LeafPage::new(p, false);
+            l.write_all(left);
+            l.set_next_leaf(right_pid);
+        })?;
+        Ok(Some((right[0].0.clone(), right_pid)))
+    }
+
+    /// Installs a promoted separator in an internal node, splitting when full.
+    fn insert_internal(&self, pid: PageId, sep: Vec<u8>, right: PageId) -> Result<Promotion> {
+        let fitted = self.pool.with_page_mut(pid, |p| {
+            let mut node = InternalPage::new(p, false);
+            node.insert(&sep, right)
+        })?;
+        if fitted {
+            return Ok(None);
+        }
+        // Gather entries, add the new one, split around the median.
+        let (leftmost, mut entries) = self.pool.with_page(pid, |p| {
+            let mut p = p.clone();
+            let node = InternalPage::new(&mut p, false);
+            (node.leftmost(), node.entries())
+        })?;
+        let pos = entries.binary_search_by(|(k, _)| k.as_slice().cmp(&sep)).unwrap_err();
+        entries.insert(pos, (sep, right));
+        let mid = entries.len() / 2;
+        let (promo_key, right_leftmost) = (entries[mid].0.clone(), entries[mid].1);
+        let left_entries: Vec<_> = entries[..mid].to_vec();
+        let right_entries: Vec<_> = entries[mid + 1..].to_vec();
+        let (right_pid, _) = self.pool.allocate_with(|p| {
+            let mut r = InternalPage::new(p, true);
+            r.write_all(right_leftmost, &right_entries);
+        })?;
+        self.pool.with_page_mut(pid, |p| {
+            let mut l = InternalPage::new(p, false);
+            l.write_all(leftmost, &left_entries);
+        })?;
+        Ok(Some((promo_key, right_pid)))
+    }
+
+    /// Descends to the leaf that would contain `key` (or the leftmost leaf
+    /// when `key` is `None`). Returns 0 when the tree is empty.
+    fn find_leaf(&self, key: Option<&[u8]>) -> Result<PageId> {
+        let mut pid = self.root();
+        if pid == 0 {
+            return Ok(0);
+        }
+        loop {
+            match self.tag_of(pid)? {
+                TAG_LEAF => return Ok(pid),
+                TAG_INTERNAL => {
+                    pid = self.pool.with_page(pid, |p| {
+                        let mut p = p.clone();
+                        let node = InternalPage::new(&mut p, false);
+                        match key {
+                            Some(k) => node.route(k),
+                            None => node.leftmost(),
+                        }
+                    })?;
+                }
+                t => return Err(KvError::Corrupt(format!("unknown page tag {t}"))),
+            }
+        }
+    }
+
+    /// Verifies structural invariants (key order within and across leaves).
+    /// Intended for tests; cost is a full scan.
+    pub fn verify(&self) -> Result<()> {
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0usize;
+        self.scan(None, None, &mut |k, _| {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < k, "keys out of order");
+            }
+            prev = Some(k.to_vec());
+            count += 1;
+            true
+        })?;
+        let meta = self.pool.pager().meta();
+        if count as u64 != meta.entry_count {
+            return Err(KvError::Corrupt(format!(
+                "entry count mismatch: scanned {count}, header says {}",
+                meta.entry_count
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Kv for BTreeStore {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        check_kv_size(key, value)?;
+        let root = self.root();
+        if root == 0 {
+            let (pid, _) = self.pool.allocate_with(|p| {
+                let mut leaf = LeafPage::new(p, true);
+                let ok = leaf.insert_at(0, key, value);
+                debug_assert!(ok);
+            })?;
+            self.pool.pager().set_meta(|m| {
+                m.root = pid;
+                m.entry_count = 1;
+            });
+            return Ok(());
+        }
+        let mut replaced = false;
+        if let Some((sep, right)) = self.insert_rec(root, key, value, &mut replaced)? {
+            let (new_root, _) = self.pool.allocate_with(|p| {
+                let mut node = InternalPage::new(p, true);
+                node.set_leftmost(root);
+                let ok = node.insert(&sep, right);
+                debug_assert!(ok);
+            })?;
+            self.pool.pager().set_meta(|m| m.root = new_root);
+        }
+        if !replaced {
+            self.pool.pager().set_meta(|m| m.entry_count += 1);
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let leaf = self.find_leaf(Some(key))?;
+        if leaf == 0 {
+            return Ok(None);
+        }
+        self.pool.with_page(leaf, |p| {
+            let mut p = p.clone();
+            let leaf = LeafPage::new(&mut p, false);
+            leaf.search(key).ok().map(|i| leaf.value(i).to_vec())
+        })
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let leaf = self.find_leaf(Some(key))?;
+        if leaf == 0 {
+            return Ok(false);
+        }
+        let removed = self.pool.with_page_mut(leaf, |p| {
+            let mut leaf = LeafPage::new(p, false);
+            match leaf.search(key) {
+                Ok(i) => {
+                    leaf.remove_at(i);
+                    true
+                }
+                Err(_) => false,
+            }
+        })?;
+        if removed {
+            self.pool.pager().set_meta(|m| m.entry_count -= 1);
+        }
+        Ok(removed)
+    }
+
+    fn scan(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        let mut pid = self.find_leaf(lo)?;
+        if pid == 0 {
+            return Ok(());
+        }
+        loop {
+            // Copy the page once, then iterate without holding the pool lock.
+            let page: Page = self.pool.with_page(pid, |p| p.clone())?;
+            let mut page = page;
+            let leaf = LeafPage::new(&mut page, false);
+            let start = match lo {
+                Some(lo) => match leaf.search(lo) {
+                    Ok(i) => i,
+                    Err(i) => i,
+                },
+                None => 0,
+            };
+            for i in start..leaf.nkeys() {
+                let k = leaf.key(i);
+                if let Some(hi) = hi {
+                    if k >= hi {
+                        return Ok(());
+                    }
+                }
+                if !visit(k, leaf.value(i)) {
+                    return Ok(());
+                }
+            }
+            let next = leaf.next_leaf();
+            if next == 0 {
+                return Ok(());
+            }
+            pid = next;
+            // Only the first page needs the lower-bound offset.
+            if lo.is_some() {
+                return self.scan_rest(pid, hi, visit);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pool.pager().meta().entry_count as usize
+    }
+}
+
+impl BTreeStore {
+    /// Continues a scan from the start of leaf `pid` (no lower bound).
+    fn scan_rest(
+        &self,
+        mut pid: PageId,
+        hi: Option<&[u8]>,
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        loop {
+            let page: Page = self.pool.with_page(pid, |p| p.clone())?;
+            let mut page = page;
+            let leaf = LeafPage::new(&mut page, false);
+            for i in 0..leaf.nkeys() {
+                let k = leaf.key(i);
+                if let Some(hi) = hi {
+                    if k >= hi {
+                        return Ok(());
+                    }
+                }
+                if !visit(k, leaf.value(i)) {
+                    return Ok(());
+                }
+            }
+            let next = leaf.next_leaf();
+            if next == 0 {
+                return Ok(());
+            }
+            pid = next;
+        }
+    }
+}
+
+impl Drop for BTreeStore {
+    fn drop(&mut self) {
+        // Best effort durability on drop; explicit flush reports errors.
+        let _ = self.pool.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kvstore-btree-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let path = tmp("empty");
+        let store = BTreeStore::create(&path).unwrap();
+        assert_eq!(store.get(b"x").unwrap(), None);
+        assert_eq!(store.len(), 0);
+        let mut visited = false;
+        store.scan(None, None, &mut |_, _| {
+            visited = true;
+            true
+        })
+        .unwrap();
+        assert!(!visited);
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let path = tmp("putget");
+        let mut store = BTreeStore::create(&path).unwrap();
+        store.put(b"k1", b"v1").unwrap();
+        store.put(b"k2", b"v2").unwrap();
+        store.put(b"k1", b"v1b").unwrap();
+        assert_eq!(store.get(b"k1").unwrap().unwrap(), b"v1b");
+        assert_eq!(store.get(b"k2").unwrap().unwrap(), b"v2");
+        assert_eq!(store.len(), 2);
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn multi_level_splits_and_ordered_scan() {
+        let path = tmp("splits");
+        let mut store = BTreeStore::create(&path).unwrap();
+        let n = 5000u32;
+        // Insert in pseudo-random order to exercise splits everywhere.
+        let mut keys: Vec<u32> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in (1..keys.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            let key = k.to_be_bytes();
+            let val = vec![(k % 251) as u8; 32];
+            store.put(&key, &val).unwrap();
+        }
+        assert_eq!(store.len(), n as usize);
+        store.verify().unwrap();
+        let mut expect = 0u32;
+        store.scan(None, None, &mut |k, v| {
+            assert_eq!(k, expect.to_be_bytes());
+            assert_eq!(v[0], (expect % 251) as u8);
+            expect += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(expect, n);
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let path = tmp("range");
+        let mut store = BTreeStore::create(&path).unwrap();
+        for k in 0..100u32 {
+            store.put(&k.to_be_bytes(), b"v").unwrap();
+        }
+        let lo = 10u32.to_be_bytes();
+        let hi = 20u32.to_be_bytes();
+        let got = store.range_vec(Some(&lo), Some(&hi)).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, lo.to_vec());
+        assert_eq!(got[9].0, 19u32.to_be_bytes().to_vec());
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmp("reopen");
+        {
+            let mut store = BTreeStore::create(&path).unwrap();
+            for k in 0..2000u32 {
+                store.put(&k.to_be_bytes(), &k.to_le_bytes()).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        {
+            let store = BTreeStore::open(&path).unwrap();
+            assert_eq!(store.len(), 2000);
+            assert_eq!(store.get(&1234u32.to_be_bytes()).unwrap().unwrap(), 1234u32.to_le_bytes());
+            store.verify().unwrap();
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn delete_then_scan_skips() {
+        let path = tmp("delete");
+        let mut store = BTreeStore::create(&path).unwrap();
+        for k in 0..200u32 {
+            store.put(&k.to_be_bytes(), b"v").unwrap();
+        }
+        for k in (0..200u32).step_by(2) {
+            assert!(store.delete(&k.to_be_bytes()).unwrap());
+        }
+        assert!(!store.delete(&0u32.to_be_bytes()).unwrap());
+        assert_eq!(store.len(), 100);
+        store.verify().unwrap();
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn random_ops_match_btreemap_model() {
+        let path = tmp("model");
+        let mut store = BTreeStore::create(&path).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for step in 0..4000 {
+            let key = vec![rng.gen_range(b'a'..=b'h'); rng.gen_range(1..8)];
+            match rng.gen_range(0..10) {
+                0..=6 => {
+                    let val = vec![rng.gen::<u8>(); rng.gen_range(0..64)];
+                    store.put(&key, &val).unwrap();
+                    model.insert(key, val);
+                }
+                7..=8 => {
+                    let a = store.delete(&key).unwrap();
+                    let b = model.remove(&key).is_some();
+                    assert_eq!(a, b, "delete mismatch at step {step}");
+                }
+                _ => {
+                    let a = store.get(&key).unwrap();
+                    let b = model.get(&key).cloned();
+                    assert_eq!(a, b, "get mismatch at step {step}");
+                }
+            }
+        }
+        assert_eq!(store.len(), model.len());
+        let scanned = store.range_vec(None, None).unwrap();
+        let expected: Vec<_> = model.into_iter().collect();
+        assert_eq!(scanned, expected);
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let path = tmp("oversize");
+        let mut store = BTreeStore::create(&path).unwrap();
+        let big_key = vec![0u8; 4096];
+        assert!(matches!(store.put(&big_key, b"v"), Err(KvError::KeyTooLarge(_))));
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn large_values_split_correctly() {
+        let path = tmp("largeval");
+        let mut store = BTreeStore::create(&path).unwrap();
+        // Values near the cap force one or two records per leaf.
+        for k in 0..64u32 {
+            store.put(&k.to_be_bytes(), &vec![k as u8; 1500]).unwrap();
+        }
+        store.verify().unwrap();
+        for k in 0..64u32 {
+            let v = store.get(&k.to_be_bytes()).unwrap().unwrap();
+            assert_eq!(v.len(), 1500);
+            assert_eq!(v[0], k as u8);
+        }
+        drop(store);
+        std::fs::remove_file(path).ok();
+    }
+}

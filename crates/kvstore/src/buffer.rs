@@ -1,0 +1,249 @@
+//! Buffer pool: an in-memory page cache between the B+-tree and the pager.
+
+use crate::error::Result;
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache frame holding one page.
+struct Frame {
+    pid: PageId,
+    page: Page,
+    dirty: bool,
+    /// Clock second-chance bit.
+    referenced: bool,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    clock: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Statistics for observing cache behaviour (used by the offline-phase
+/// experiments to report I/O efficiency).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from cache.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Pages written back and dropped to make room.
+    pub evictions: u64,
+}
+
+/// A fixed-capacity page cache with clock (second-chance) eviction and
+/// write-back of dirty pages.
+///
+/// Access is mediated by closures; the pool's internal lock is held for the
+/// duration of the closure, so **callbacks must not re-enter the pool** (the
+/// B+-tree copies data out between accesses instead of nesting).
+pub struct BufferPool {
+    pager: Pager,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Default number of cached frames (4 MiB of pages).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Wraps `pager` with a cache of `capacity` frames (min 2).
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        Self {
+            pager,
+            inner: Mutex::new(PoolInner {
+                frames: Vec::with_capacity(capacity.min(4096)),
+                map: HashMap::new(),
+                clock: 0,
+                capacity,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats { hits: inner.hits, misses: inner.misses, evictions: inner.evictions }
+    }
+
+    /// Runs `f` with read access to page `pid`.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.load(&mut inner, pid)?;
+        inner.frames[idx].referenced = true;
+        Ok(f(&inner.frames[idx].page))
+    }
+
+    /// Runs `f` with write access to page `pid`, marking it dirty.
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.load(&mut inner, pid)?;
+        inner.frames[idx].referenced = true;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].page))
+    }
+
+    /// Allocates a fresh page and runs `f` to initialize it. Returns the new
+    /// page id alongside the closure result.
+    pub fn allocate_with<R>(&self, f: impl FnOnce(&mut Page) -> R) -> Result<(PageId, R)> {
+        let pid = self.pager.allocate()?;
+        let mut inner = self.inner.lock();
+        let idx = self.install(&mut inner, pid, Page::new())?;
+        inner.frames[idx].referenced = true;
+        inner.frames[idx].dirty = true;
+        let r = f(&mut inner.frames[idx].page);
+        Ok((pid, r))
+    }
+
+    /// Writes all dirty pages back and syncs the header + file data.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let mut inner = self.inner.lock();
+            let dirty: Vec<usize> = inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, fr)| fr.dirty)
+                .map(|(i, _)| i)
+                .collect();
+            for i in dirty {
+                let pid = inner.frames[i].pid;
+                // Cloning the 4 KiB page avoids aliasing inner during write.
+                let page = inner.frames[i].page.clone();
+                self.pager.write_page(pid, &page)?;
+                inner.frames[i].dirty = false;
+            }
+        }
+        self.pager.sync_header()?;
+        self.pager.sync_data()?;
+        Ok(())
+    }
+
+    /// Ensures `pid` is cached; returns its frame index.
+    fn load(&self, inner: &mut PoolInner, pid: PageId) -> Result<usize> {
+        if let Some(&idx) = inner.map.get(&pid) {
+            inner.hits += 1;
+            return Ok(idx);
+        }
+        inner.misses += 1;
+        let page = self.pager.read_page(pid)?;
+        self.install(inner, pid, page)
+    }
+
+    /// Places `page` in a frame, evicting if necessary.
+    fn install(&self, inner: &mut PoolInner, pid: PageId, page: Page) -> Result<usize> {
+        debug_assert!(!inner.map.contains_key(&pid));
+        if inner.frames.len() < inner.capacity {
+            let idx = inner.frames.len();
+            inner.frames.push(Frame { pid, page, dirty: false, referenced: false });
+            inner.map.insert(pid, idx);
+            return Ok(idx);
+        }
+        // Clock eviction: sweep until an unreferenced frame is found.
+        let n = inner.frames.len();
+        let mut victim = None;
+        for _ in 0..2 * n {
+            let i = inner.clock;
+            inner.clock = (inner.clock + 1) % n;
+            if inner.frames[i].referenced {
+                inner.frames[i].referenced = false;
+            } else {
+                victim = Some(i);
+                break;
+            }
+        }
+        let idx = victim.unwrap_or(0);
+        let old = &inner.frames[idx];
+        if old.dirty {
+            let old_pid = old.pid;
+            let old_page = old.page.clone();
+            self.pager.write_page(old_pid, &old_page)?;
+        }
+        inner.evictions += 1;
+        let old_pid = inner.frames[idx].pid;
+        inner.map.remove(&old_pid);
+        inner.frames[idx] = Frame { pid, page, dirty: false, referenced: false };
+        inner.map.insert(pid, idx);
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(name: &str, cap: usize) -> (BufferPool, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kvstore-pool-{name}-{}", std::process::id()));
+        let pager = Pager::create(&p).unwrap();
+        (BufferPool::new(pager, cap), p)
+    }
+
+    #[test]
+    fn allocate_write_read_through_cache() {
+        let (pool, path) = pool("rw", 8);
+        let (pid, _) = pool.allocate_with(|p| p.bytes_mut()[0] = 9).unwrap();
+        let v = pool.with_page(pid, |p| p.bytes()[0]).unwrap();
+        assert_eq!(v, 9);
+        let s = pool.stats();
+        assert_eq!(s.misses, 0, "freshly allocated page should be cached");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, path) = pool("evict", 2);
+        let mut pids = Vec::new();
+        for i in 0..6u8 {
+            let (pid, _) = pool.allocate_with(|p| p.bytes_mut()[1] = i).unwrap();
+            pids.push(pid);
+        }
+        // With capacity 2, early pages must have been evicted (written back).
+        assert!(pool.stats().evictions >= 4);
+        for (i, &pid) in pids.iter().enumerate() {
+            let v = pool.with_page(pid, |p| p.bytes()[1]).unwrap();
+            assert_eq!(v, i as u8);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn flush_persists_to_pager() {
+        let (pool, path) = pool("flush", 8);
+        let (pid, _) = pool.allocate_with(|p| p.bytes_mut()[2] = 5).unwrap();
+        pool.flush().unwrap();
+        // Bypass the cache: read straight from the pager.
+        let page = pool.pager().read_page(pid).unwrap();
+        assert_eq!(page.bytes()[2], 5);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let (pool, path) = pool("stats", 2);
+        let (a, _) = pool.allocate_with(|_| ()).unwrap();
+        let (b, _) = pool.allocate_with(|_| ()).unwrap();
+        let (c, _) = pool.allocate_with(|_| ()).unwrap(); // evicts one
+        pool.with_page(c, |_| ()).unwrap(); // hit
+        pool.with_page(a, |_| ()).unwrap();
+        pool.with_page(b, |_| ()).unwrap();
+        let s = pool.stats();
+        assert!(s.hits >= 1);
+        assert!(s.misses >= 1);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! Order-preserving byte encodings for composite keys.
+//!
+//! The path index keys are `label-sequence id | probability bucket | path id`
+//! tuples; encoding every field big-endian makes lexicographic byte order
+//! agree with tuple order, so bucket-range lookups become key-range scans.
+
+/// Appends a `u16` big-endian.
+pub fn push_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a `u32` big-endian.
+pub fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a `u64` big-endian.
+pub fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Reads a `u16` big-endian at `off`.
+pub fn read_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+/// Reads a `u32` big-endian at `off`.
+pub fn read_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Reads a `u64` big-endian at `off`.
+pub fn read_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_be_bytes(b)
+}
+
+/// Encodes a non-negative finite `f64` so byte order matches numeric order.
+///
+/// For non-negative IEEE-754 doubles the raw bit pattern is already
+/// monotonic; big-endian serialization preserves that under `memcmp`.
+///
+/// # Panics
+/// Panics (debug) on negative or NaN input — probabilities only.
+pub fn push_f64_prob(buf: &mut Vec<u8>, p: f64) {
+    debug_assert!(p >= 0.0 && p.is_finite(), "not a probability: {p}");
+    buf.extend_from_slice(&p.to_bits().to_be_bytes());
+}
+
+/// Inverse of [`push_f64_prob`].
+pub fn read_f64_prob(buf: &[u8], off: usize) -> f64 {
+    f64::from_bits(read_u64(buf, off))
+}
+
+/// Appends a length-prefixed byte string (`u16` length).
+pub fn push_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u16::MAX as usize);
+    push_u16(buf, bytes.len() as u16);
+    buf.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte string; returns `(slice, next_offset)`.
+pub fn read_bytes(buf: &[u8], off: usize) -> (&[u8], usize) {
+    let len = read_u16(buf, off) as usize;
+    let start = off + 2;
+    (&buf[start..start + len], start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrips() {
+        let mut buf = Vec::new();
+        push_u16(&mut buf, 513);
+        push_u32(&mut buf, 70_000);
+        push_u64(&mut buf, u64::MAX - 3);
+        assert_eq!(read_u16(&buf, 0), 513);
+        assert_eq!(read_u32(&buf, 2), 70_000);
+        assert_eq!(read_u64(&buf, 6), u64::MAX - 3);
+    }
+
+    #[test]
+    fn be_encoding_orders_like_numbers() {
+        let nums = [0u32, 1, 255, 256, 65_535, 65_536, u32::MAX];
+        let mut encoded: Vec<Vec<u8>> = nums
+            .iter()
+            .map(|&n| {
+                let mut b = Vec::new();
+                push_u32(&mut b, n);
+                b
+            })
+            .collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted);
+    }
+
+    #[test]
+    fn prob_encoding_orders_like_numbers() {
+        let ps = [0.0f64, 1e-9, 0.1, 0.25, 0.5, 0.99, 1.0];
+        let enc: Vec<Vec<u8>> = ps
+            .iter()
+            .map(|&p| {
+                let mut b = Vec::new();
+                push_f64_prob(&mut b, p);
+                b
+            })
+            .collect();
+        for w in enc.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(read_f64_prob(&enc[3], 0), 0.25);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = Vec::new();
+        push_bytes(&mut buf, b"hello");
+        push_bytes(&mut buf, b"");
+        let (a, next) = read_bytes(&buf, 0);
+        assert_eq!(a, b"hello");
+        let (b, end) = read_bytes(&buf, next);
+        assert_eq!(b, b"");
+        assert_eq!(end, buf.len());
+    }
+}

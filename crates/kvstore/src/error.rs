@@ -1,0 +1,62 @@
+//! Error type shared by all kvstore backends.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Result alias for kvstore operations.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+/// Errors raised by kvstore backends.
+#[derive(Clone, Debug)]
+pub enum KvError {
+    /// Underlying file I/O failure. Wrapped in `Arc` so the error stays
+    /// cloneable (scan callbacks may propagate it through shared state).
+    Io(Arc<io::Error>),
+    /// The on-disk file is not a kvstore file or is damaged.
+    Corrupt(String),
+    /// Key exceeds [`crate::page::MAX_KEY_LEN`].
+    KeyTooLarge(usize),
+    /// Value exceeds [`crate::page::MAX_VALUE_LEN`].
+    ValueTooLarge(usize),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "i/o error: {e}"),
+            KvError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            KvError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds maximum"),
+            KvError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds maximum"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(Arc::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = KvError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(KvError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+        assert!(KvError::KeyTooLarge(9999).to_string().contains("9999"));
+        assert!(KvError::ValueTooLarge(4097).to_string().contains("4097"));
+    }
+}

@@ -1,0 +1,89 @@
+#![warn(missing_docs)]
+
+//! `kvstore` — an ordered key/value store with a disk-backed B+-tree.
+//!
+//! The paper stores its context-aware path index in KyotoCabinet as a B+
+//! tree. This crate reimplements that substrate from scratch:
+//!
+//! * [`BTreeStore`] — a page-oriented (4 KiB) B+-tree persisted to a single
+//!   file, with a pinning [`buffer::BufferPool`] (LRU-clock eviction,
+//!   `parking_lot` latching) between the tree and the file,
+//! * [`MemStore`] — an in-memory ordered store with the same interface, used
+//!   when the index fits in RAM (and as the reference model in tests),
+//! * [`codec`] — order-preserving big-endian encodings used to build
+//!   composite keys (label-sequence id | probability bucket | path id).
+//!
+//! Keys and values are byte strings; iteration is in ascending key order.
+//! Deletion is *lazy*: records are unlinked from leaves but pages are never
+//! merged, trading space for simplicity (the path index is append-mostly).
+//!
+//! # Example
+//!
+//! ```
+//! use kvstore::{Kv, MemStore};
+//!
+//! let mut kv = MemStore::new();
+//! kv.put(b"b", b"2").unwrap();
+//! kv.put(b"a", b"1").unwrap();
+//! let mut seen = Vec::new();
+//! kv.scan(None, None, &mut |k, v| {
+//!     seen.push((k.to_vec(), v.to_vec()));
+//!     true
+//! })
+//! .unwrap();
+//! assert_eq!(seen[0].0, b"a");
+//! assert_eq!(kv.len(), 2);
+//! ```
+
+pub mod btree;
+pub mod buffer;
+pub mod codec;
+mod error;
+mod mem;
+pub mod page;
+pub mod pager;
+
+pub use btree::BTreeStore;
+pub use error::{KvError, Result};
+pub use mem::MemStore;
+
+/// Common interface over ordered key/value backends.
+///
+/// `scan` visits entries with `lo <= key < hi` (either bound may be open) in
+/// ascending key order, stopping early when the callback returns `false`.
+pub trait Kv {
+    /// Inserts or replaces `key`.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Returns the value stored at `key`, if present.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Removes `key`; returns whether it was present.
+    fn delete(&mut self, key: &[u8]) -> Result<bool>;
+
+    /// In-order traversal of `[lo, hi)`; `None` bounds are open.
+    fn scan(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects `[lo, hi)` into a vector (convenience over [`Kv::scan`]).
+    fn range_vec(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan(lo, hi, &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+}

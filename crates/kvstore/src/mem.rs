@@ -1,0 +1,115 @@
+//! In-memory ordered store with the same interface as the disk tree.
+
+use crate::error::Result;
+use crate::Kv;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An in-memory [`Kv`] backend over `BTreeMap`.
+///
+/// Used when the path index fits in RAM (the common case for the paper's
+/// online experiments) and as the reference model in property tests for
+/// [`crate::BTreeStore`].
+#[derive(Clone, Debug, Default)]
+pub struct MemStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate heap footprint in bytes (keys + values + per-entry
+    /// bookkeeping), reported as "index size" for the memory backend.
+    pub fn approx_bytes(&self) -> u64 {
+        self.map
+            .iter()
+            .map(|(k, v)| (k.len() + v.len() + 48) as u64)
+            .sum()
+    }
+}
+
+impl Kv for MemStore {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        crate::page::check_kv_size(key, value)?;
+        self.map.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.map.remove(key).is_some())
+    }
+
+    fn scan(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        visit: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        let lo_bound = match lo {
+            Some(lo) => Bound::Included(lo.to_vec()),
+            None => Bound::Unbounded,
+        };
+        let hi_bound = match hi {
+            Some(hi) => Bound::Excluded(hi.to_vec()),
+            None => Bound::Unbounded,
+        };
+        for (k, v) in self.map.range((lo_bound, hi_bound)) {
+            if !visit(k, v) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut kv = MemStore::new();
+        assert!(kv.is_empty());
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"c", b"3").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");
+        assert!(kv.delete(b"b").unwrap());
+        assert!(!kv.delete(b"b").unwrap());
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn scan_bounds_and_early_stop() {
+        let mut kv = MemStore::new();
+        for k in [b"a", b"b", b"c", b"d"] {
+            kv.put(k, b"v").unwrap();
+        }
+        let got = kv.range_vec(Some(b"b"), Some(b"d")).unwrap();
+        assert_eq!(got.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), vec![b"b".to_vec(), b"c".to_vec()]);
+        let mut first = None;
+        kv.scan(None, None, &mut |k, _| {
+            first = Some(k.to_vec());
+            false
+        })
+        .unwrap();
+        assert_eq!(first.unwrap(), b"a");
+    }
+
+    #[test]
+    fn size_limits_apply() {
+        let mut kv = MemStore::new();
+        assert!(kv.put(&vec![0; 10_000], b"").is_err());
+    }
+}

@@ -1,0 +1,595 @@
+//! Fixed-size pages and the slotted layouts used by the B+-tree.
+//!
+//! Two page kinds share the 4 KiB frame:
+//!
+//! ```text
+//! leaf:     | type:1 | nkeys:2 | heap_off:2 | next_leaf:4 | slots: 2*nkeys | ... free ... | records |
+//! internal: | type:1 | nkeys:2 | heap_off:2 | child0:4    | slots: 2*nkeys | ... free ... | records |
+//! ```
+//!
+//! Slots are sorted by key and hold the page-relative offset of their record.
+//! Records are allocated from the page tail downward (`heap_off` is the
+//! lowest record offset). Leaf records are `klen:2 | vlen:2 | key | value`;
+//! internal records are `klen:2 | child:4 | key`. Deleting leaves holes that
+//! [`LeafPage::compact`] reclaims.
+
+use crate::error::{KvError, Result};
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes reserved at the end of every page for an FNV-1a checksum of the
+/// payload, written by the pager on every page write and verified on every
+/// read so that torn writes and silent disk corruption surface as
+/// [`KvError::Corrupt`] instead of undefined tree behaviour.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Usable payload bytes per page (everything before the checksum).
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - CHECKSUM_LEN;
+
+/// Maximum key length accepted by the store.
+pub const MAX_KEY_LEN: usize = 512;
+
+/// Maximum value length accepted by the store.
+pub const MAX_VALUE_LEN: usize = 2048;
+
+/// Byte offset where the slot array begins (both page kinds).
+const SLOTS_OFF: usize = 9;
+
+/// Page type tag for leaves.
+pub const TAG_LEAF: u8 = 1;
+/// Page type tag for internal nodes.
+pub const TAG_INTERNAL: u8 = 2;
+
+/// Identifier of a page within the store file (page 0 is the header).
+pub type PageId = u32;
+
+/// A raw page buffer.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page(tag={})", self.buf[0])
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn new() -> Self {
+        Self { buf: Box::new([0u8; PAGE_SIZE]) }
+    }
+
+    /// Full page contents.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    /// Mutable page contents.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.buf
+    }
+
+    /// The page type tag ([`TAG_LEAF`] / [`TAG_INTERNAL`]).
+    pub fn tag(&self) -> u8 {
+        self.buf[0]
+    }
+
+    /// FNV-1a hash of the payload (everything before the checksum field).
+    pub fn compute_checksum(&self) -> u64 {
+        fnv1a(&self.buf[..PAGE_PAYLOAD])
+    }
+
+    /// The checksum stored in the page's trailing bytes.
+    pub fn stored_checksum(&self) -> u64 {
+        u64::from_le_bytes(self.buf[PAGE_PAYLOAD..].try_into().expect("8 trailing bytes"))
+    }
+
+    /// Writes the payload checksum into the trailing bytes.
+    pub fn seal(&mut self) {
+        let sum = self.compute_checksum();
+        self.buf[PAGE_PAYLOAD..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// True when the stored checksum matches the payload.
+    pub fn verify_checksum(&self) -> bool {
+        self.stored_checksum() == self.compute_checksum()
+    }
+
+    pub(crate) fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    pub(crate) fn put_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes([self.buf[off], self.buf[off + 1], self.buf[off + 2], self.buf[off + 3]])
+    }
+
+    pub(crate) fn put_u32(&mut self, off: usize, v: u32) {
+        self.buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn get_u64(&self, off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[off..off + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn put_u64(&mut self, off: usize, v: u64) {
+        self.buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// FNV-1a 64-bit hash (checksum quality is sufficient for detecting torn
+/// writes and bit rot; this is not a cryptographic integrity guarantee).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Validates key/value sizes before they reach a page.
+pub fn check_kv_size(key: &[u8], value: &[u8]) -> Result<()> {
+    if key.len() > MAX_KEY_LEN {
+        return Err(KvError::KeyTooLarge(key.len()));
+    }
+    if value.len() > MAX_VALUE_LEN {
+        return Err(KvError::ValueTooLarge(value.len()));
+    }
+    Ok(())
+}
+
+/// Typed view over a leaf page.
+pub struct LeafPage<'a> {
+    page: &'a mut Page,
+}
+
+impl<'a> LeafPage<'a> {
+    /// Wraps `page`, initializing it as an empty leaf when `init` is set.
+    pub fn new(page: &'a mut Page, init: bool) -> Self {
+        if init {
+            page.bytes_mut().fill(0);
+            page.bytes_mut()[0] = TAG_LEAF;
+            page.put_u16(1, 0);
+            page.put_u16(3, PAGE_PAYLOAD as u16);
+            page.put_u32(5, 0);
+        }
+        debug_assert_eq!(page.tag(), TAG_LEAF);
+        Self { page }
+    }
+
+    /// Number of records in the leaf.
+    pub fn nkeys(&self) -> usize {
+        self.page.get_u16(1) as usize
+    }
+
+    fn set_nkeys(&mut self, n: usize) {
+        self.page.put_u16(1, n as u16);
+    }
+
+    fn heap_off(&self) -> usize {
+        let off = self.page.get_u16(3) as usize;
+        if off == 0 {
+            PAGE_PAYLOAD
+        } else {
+            off
+        }
+    }
+
+    fn set_heap_off(&mut self, off: usize) {
+        self.page.put_u16(3, off as u16);
+    }
+
+    /// Page id of the next leaf in key order (0 = none).
+    pub fn next_leaf(&self) -> PageId {
+        self.page.get_u32(5)
+    }
+
+    /// Sets the next-leaf link.
+    pub fn set_next_leaf(&mut self, pid: PageId) {
+        self.page.put_u32(5, pid);
+    }
+
+    fn slot(&self, i: usize) -> usize {
+        self.page.get_u16(SLOTS_OFF + 2 * i) as usize
+    }
+
+    fn set_slot(&mut self, i: usize, off: usize) {
+        self.page.put_u16(SLOTS_OFF + 2 * i, off as u16);
+    }
+
+    /// Key of record `i`.
+    pub fn key(&self, i: usize) -> &[u8] {
+        let off = self.slot(i);
+        let klen = self.page.get_u16(off) as usize;
+        &self.page.bytes()[off + 4..off + 4 + klen]
+    }
+
+    /// Value of record `i`.
+    pub fn value(&self, i: usize) -> &[u8] {
+        let off = self.slot(i);
+        let klen = self.page.get_u16(off) as usize;
+        let vlen = self.page.get_u16(off + 2) as usize;
+        &self.page.bytes()[off + 4 + klen..off + 4 + klen + vlen]
+    }
+
+    /// Binary search: `Ok(i)` when `key` is at slot `i`, `Err(i)` for the
+    /// insertion position.
+    pub fn search(&self, key: &[u8]) -> std::result::Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.nkeys());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.key(mid).cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Bytes of free space between the slot array and the record heap.
+    pub fn free_space(&self) -> usize {
+        self.heap_off() - (SLOTS_OFF + 2 * self.nkeys())
+    }
+
+    /// Bytes a record for (`key`, `value`) needs, including its slot.
+    pub fn record_space(key: &[u8], value: &[u8]) -> usize {
+        4 + key.len() + value.len() + 2
+    }
+
+    /// Sum of live record bytes (used to decide whether compaction helps).
+    pub fn live_bytes(&self) -> usize {
+        (0..self.nkeys())
+            .map(|i| {
+                let off = self.slot(i);
+                4 + self.page.get_u16(off) as usize + self.page.get_u16(off + 2) as usize
+            })
+            .sum()
+    }
+
+    /// Inserts at `pos` (from a failed [`Self::search`]) without checking for
+    /// duplicates. Returns `false` when the page lacks space.
+    pub fn insert_at(&mut self, pos: usize, key: &[u8], value: &[u8]) -> bool {
+        let rec = 4 + key.len() + value.len();
+        if self.free_space() < rec + 2 {
+            return false;
+        }
+        let n = self.nkeys();
+        let new_off = self.heap_off() - rec;
+        {
+            let buf = self.page.bytes_mut();
+            buf[new_off..new_off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+            buf[new_off + 2..new_off + 4].copy_from_slice(&(value.len() as u16).to_le_bytes());
+            buf[new_off + 4..new_off + 4 + key.len()].copy_from_slice(key);
+            buf[new_off + 4 + key.len()..new_off + rec].copy_from_slice(value);
+        }
+        self.set_heap_off(new_off);
+        // Shift slots right of pos.
+        for i in (pos..n).rev() {
+            let off = self.slot(i);
+            self.set_slot(i + 1, off);
+        }
+        self.set_slot(pos, new_off);
+        self.set_nkeys(n + 1);
+        true
+    }
+
+    /// Removes the record at slot `i` (space reclaimed by [`Self::compact`]).
+    pub fn remove_at(&mut self, i: usize) {
+        let n = self.nkeys();
+        debug_assert!(i < n);
+        for j in i..n - 1 {
+            let off = self.slot(j + 1);
+            self.set_slot(j, off);
+        }
+        self.set_nkeys(n - 1);
+    }
+
+    /// All records, in key order.
+    pub fn records(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..self.nkeys()).map(|i| (self.key(i).to_vec(), self.value(i).to_vec())).collect()
+    }
+
+    /// Rewrites the page from `records` (must be sorted), dropping holes.
+    /// Preserves the next-leaf link.
+    pub fn write_all(&mut self, records: &[(Vec<u8>, Vec<u8>)]) {
+        let next = self.next_leaf();
+        let page = &mut *self.page;
+        page.bytes_mut().fill(0);
+        page.bytes_mut()[0] = TAG_LEAF;
+        page.put_u16(1, 0);
+        page.put_u16(3, PAGE_PAYLOAD as u16);
+        page.put_u32(5, next);
+        for (i, (k, v)) in records.iter().enumerate() {
+            let ok = self.insert_at(i, k, v);
+            assert!(ok, "write_all overflow: records exceed page capacity");
+        }
+    }
+
+    /// Rebuilds the page in place, reclaiming dead record space.
+    pub fn compact(&mut self) {
+        let records = self.records();
+        self.write_all(&records);
+    }
+}
+
+/// Typed view over an internal page.
+///
+/// An internal node with keys `k0 < k1 < ... < k(n-1)` and children
+/// `c_left, c0, ..., c(n-1)` routes a lookup key `q` to `c_left` when
+/// `q < k0`, and otherwise to `c_i` for the greatest `i` with `k_i <= q`.
+pub struct InternalPage<'a> {
+    page: &'a mut Page,
+}
+
+impl<'a> InternalPage<'a> {
+    /// Wraps `page`, initializing it as an empty internal node when `init`.
+    pub fn new(page: &'a mut Page, init: bool) -> Self {
+        if init {
+            page.bytes_mut().fill(0);
+            page.bytes_mut()[0] = TAG_INTERNAL;
+            page.put_u16(1, 0);
+            page.put_u16(3, PAGE_PAYLOAD as u16);
+            page.put_u32(5, 0);
+        }
+        debug_assert_eq!(page.tag(), TAG_INTERNAL);
+        Self { page }
+    }
+
+    /// Number of separator keys.
+    pub fn nkeys(&self) -> usize {
+        self.page.get_u16(1) as usize
+    }
+
+    fn set_nkeys(&mut self, n: usize) {
+        self.page.put_u16(1, n as u16);
+    }
+
+    fn heap_off(&self) -> usize {
+        let off = self.page.get_u16(3) as usize;
+        if off == 0 {
+            PAGE_PAYLOAD
+        } else {
+            off
+        }
+    }
+
+    fn set_heap_off(&mut self, off: usize) {
+        self.page.put_u16(3, off as u16);
+    }
+
+    /// Leftmost child (covers keys below the first separator).
+    pub fn leftmost(&self) -> PageId {
+        self.page.get_u32(5)
+    }
+
+    /// Sets the leftmost child.
+    pub fn set_leftmost(&mut self, pid: PageId) {
+        self.page.put_u32(5, pid);
+    }
+
+    fn slot(&self, i: usize) -> usize {
+        self.page.get_u16(SLOTS_OFF + 2 * i) as usize
+    }
+
+    fn set_slot(&mut self, i: usize, off: usize) {
+        self.page.put_u16(SLOTS_OFF + 2 * i, off as u16);
+    }
+
+    /// Separator key `i`.
+    pub fn key(&self, i: usize) -> &[u8] {
+        let off = self.slot(i);
+        let klen = self.page.get_u16(off) as usize;
+        &self.page.bytes()[off + 6..off + 6 + klen]
+    }
+
+    /// Child pointer associated with separator `i`.
+    pub fn child(&self, i: usize) -> PageId {
+        let off = self.slot(i);
+        self.page.get_u32(off + 2)
+    }
+
+    /// The child page a lookup for `key` must descend into.
+    pub fn route(&self, key: &[u8]) -> PageId {
+        let n = self.nkeys();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            self.leftmost()
+        } else {
+            self.child(lo - 1)
+        }
+    }
+
+    /// Free bytes between slot array and record heap.
+    pub fn free_space(&self) -> usize {
+        self.heap_off() - (SLOTS_OFF + 2 * self.nkeys())
+    }
+
+    /// Inserts separator `key` with right-child `child`, keeping order.
+    /// Returns `false` when out of space.
+    pub fn insert(&mut self, key: &[u8], child: PageId) -> bool {
+        let rec = 6 + key.len();
+        if self.free_space() < rec + 2 {
+            return false;
+        }
+        let n = self.nkeys();
+        // Find insertion position.
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let pos = lo;
+        let new_off = self.heap_off() - rec;
+        {
+            let buf = self.page.bytes_mut();
+            buf[new_off..new_off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+            buf[new_off + 2..new_off + 6].copy_from_slice(&child.to_le_bytes());
+            buf[new_off + 6..new_off + rec].copy_from_slice(key);
+        }
+        self.set_heap_off(new_off);
+        for i in (pos..n).rev() {
+            let off = self.slot(i);
+            self.set_slot(i + 1, off);
+        }
+        self.set_slot(pos, new_off);
+        self.set_nkeys(n + 1);
+        true
+    }
+
+    /// All separator entries `(key, child)`, in key order.
+    pub fn entries(&self) -> Vec<(Vec<u8>, PageId)> {
+        (0..self.nkeys()).map(|i| (self.key(i).to_vec(), self.child(i))).collect()
+    }
+
+    /// Rewrites the node from `leftmost` and sorted `entries`.
+    pub fn write_all(&mut self, leftmost: PageId, entries: &[(Vec<u8>, PageId)]) {
+        let page = &mut *self.page;
+        page.bytes_mut().fill(0);
+        page.bytes_mut()[0] = TAG_INTERNAL;
+        page.put_u16(1, 0);
+        page.put_u16(3, PAGE_PAYLOAD as u16);
+        page.put_u32(5, leftmost);
+        for (k, c) in entries {
+            let ok = self.insert(k, *c);
+            assert!(ok, "write_all overflow: entries exceed page capacity");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_insert_search_roundtrip() {
+        let mut page = Page::new();
+        let mut leaf = LeafPage::new(&mut page, true);
+        for k in [b"delta".as_ref(), b"alpha".as_ref(), b"charlie".as_ref(), b"bravo".as_ref()] {
+            let pos = leaf.search(k).unwrap_err();
+            assert!(leaf.insert_at(pos, k, b"v"));
+        }
+        assert_eq!(leaf.nkeys(), 4);
+        assert_eq!(leaf.key(0), b"alpha");
+        assert_eq!(leaf.key(3), b"delta");
+        assert_eq!(leaf.search(b"charlie"), Ok(2));
+        assert_eq!(leaf.search(b"zz"), Err(4));
+    }
+
+    #[test]
+    fn leaf_remove_and_compact() {
+        let mut page = Page::new();
+        let mut leaf = LeafPage::new(&mut page, true);
+        for i in 0..10u8 {
+            let k = [i];
+            let pos = leaf.search(&k).unwrap_err();
+            assert!(leaf.insert_at(pos, &k, &[i; 16]));
+        }
+        let free_before = leaf.free_space();
+        leaf.remove_at(0);
+        leaf.remove_at(3);
+        assert_eq!(leaf.nkeys(), 8);
+        // Space not yet reclaimed.
+        assert!(leaf.free_space() < free_before + 2 * (4 + 1 + 16));
+        leaf.compact();
+        assert_eq!(leaf.nkeys(), 8);
+        assert_eq!(leaf.key(0), &[1u8]);
+        assert!(leaf.free_space() > free_before);
+    }
+
+    #[test]
+    fn leaf_insert_until_full_then_rejects() {
+        let mut page = Page::new();
+        let mut leaf = LeafPage::new(&mut page, true);
+        let mut n = 0u32;
+        loop {
+            let k = n.to_be_bytes();
+            let pos = leaf.search(&k).unwrap_err();
+            if !leaf.insert_at(pos, &k, &[0u8; 60]) {
+                break;
+            }
+            n += 1;
+        }
+        assert!(n >= 50, "expected at least 50 sixty-byte records, got {n}");
+        assert_eq!(leaf.nkeys() as u32, n);
+    }
+
+    #[test]
+    fn leaf_next_link_survives_write_all() {
+        let mut page = Page::new();
+        let mut leaf = LeafPage::new(&mut page, true);
+        leaf.set_next_leaf(42);
+        leaf.write_all(&[(b"a".to_vec(), b"1".to_vec())]);
+        assert_eq!(leaf.next_leaf(), 42);
+        assert_eq!(leaf.value(0), b"1");
+    }
+
+    #[test]
+    fn internal_routing() {
+        let mut page = Page::new();
+        let mut node = InternalPage::new(&mut page, true);
+        node.set_leftmost(10);
+        assert!(node.insert(b"m", 20));
+        assert!(node.insert(b"f", 15));
+        assert!(node.insert(b"t", 30));
+        assert_eq!(node.nkeys(), 3);
+        assert_eq!(node.route(b"a"), 10);
+        assert_eq!(node.route(b"f"), 15);
+        assert_eq!(node.route(b"g"), 15);
+        assert_eq!(node.route(b"m"), 20);
+        assert_eq!(node.route(b"s"), 20);
+        assert_eq!(node.route(b"t"), 30);
+        assert_eq!(node.route(b"z"), 30);
+    }
+
+    #[test]
+    fn internal_write_all_roundtrip() {
+        let mut page = Page::new();
+        let mut node = InternalPage::new(&mut page, true);
+        node.write_all(5, &[(b"b".to_vec(), 6), (b"d".to_vec(), 7)]);
+        assert_eq!(node.leftmost(), 5);
+        assert_eq!(node.entries(), vec![(b"b".to_vec(), 6), (b"d".to_vec(), 7)]);
+    }
+
+    #[test]
+    fn size_limits_enforced() {
+        assert!(check_kv_size(&[0; MAX_KEY_LEN], &[0; MAX_VALUE_LEN]).is_ok());
+        assert!(matches!(
+            check_kv_size(&[0; MAX_KEY_LEN + 1], b""),
+            Err(KvError::KeyTooLarge(_))
+        ));
+        assert!(matches!(
+            check_kv_size(b"", &[0; MAX_VALUE_LEN + 1]),
+            Err(KvError::ValueTooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! File-level page management: allocation, raw reads/writes, store header.
+
+use crate::error::{KvError, Result};
+use crate::page::{Page, PageId, PAGE_PAYLOAD, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PEGKVST1";
+/// Version 2 added per-page trailing checksums (see [`crate::page::PAGE_PAYLOAD`]).
+const VERSION: u32 = 2;
+
+/// Mutable store metadata persisted in page 0.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Meta {
+    /// Root page of the B+-tree (0 while the tree is empty).
+    pub root: PageId,
+    /// Number of live entries.
+    pub entry_count: u64,
+    /// Number of allocated pages, including the header page.
+    pub page_count: u32,
+}
+
+/// A page file: the single backing file of a [`crate::BTreeStore`].
+///
+/// Page 0 is the header (magic, version, root pointer, entry count). Pages
+/// freed during a session are recycled from an in-memory free list; the list
+/// is not persisted, which is acceptable because the B+-tree never frees
+/// pages (deletes are lazy).
+pub struct Pager {
+    file: Mutex<File>,
+    meta: Mutex<Meta>,
+    free: Mutex<Vec<PageId>>,
+}
+
+impl Pager {
+    /// Creates a new store file (truncating any existing file).
+    pub fn create(path: &Path) -> Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let pager = Self {
+            file: Mutex::new(file),
+            meta: Mutex::new(Meta { root: 0, entry_count: 0, page_count: 1 }),
+            free: Mutex::new(Vec::new()),
+        };
+        pager.sync_header()?;
+        Ok(pager)
+    }
+
+    /// Opens an existing store file, validating the header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len < PAGE_SIZE as u64 || len % PAGE_SIZE as u64 != 0 {
+            return Err(KvError::Corrupt(format!("file length {len} not page aligned")));
+        }
+        let mut header_page = Page::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(header_page.bytes_mut().as_mut_slice())?;
+        let header = header_page.bytes();
+        if &header[0..8] != MAGIC {
+            return Err(KvError::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(KvError::Corrupt(format!("unsupported version {version}")));
+        }
+        if !header_page.verify_checksum() {
+            return Err(KvError::Corrupt("header checksum mismatch".into()));
+        }
+        let root = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let entry_count = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let page_count = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        if (page_count as u64) * PAGE_SIZE as u64 != len {
+            return Err(KvError::Corrupt(format!(
+                "header page count {page_count} disagrees with file length {len}"
+            )));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            meta: Mutex::new(Meta { root, entry_count, page_count }),
+            free: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Current metadata snapshot.
+    pub fn meta(&self) -> Meta {
+        *self.meta.lock()
+    }
+
+    /// Updates metadata in memory; [`Self::sync_header`] persists it.
+    pub fn set_meta(&self, f: impl FnOnce(&mut Meta)) {
+        f(&mut self.meta.lock());
+    }
+
+    /// Writes the header page to disk (checksummed like every other page).
+    pub fn sync_header(&self) -> Result<()> {
+        let meta = *self.meta.lock();
+        let mut page = Page::new();
+        let buf = page.bytes_mut();
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&meta.root.to_le_bytes());
+        buf[16..24].copy_from_slice(&meta.entry_count.to_le_bytes());
+        buf[24..28].copy_from_slice(&meta.page_count.to_le_bytes());
+        page.seal();
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(page.bytes().as_slice())?;
+        Ok(())
+    }
+
+    /// Allocates a page id, recycling freed pages when possible. The new
+    /// page's on-disk contents are unspecified until written.
+    pub fn allocate(&self) -> Result<PageId> {
+        if let Some(pid) = self.free.lock().pop() {
+            return Ok(pid);
+        }
+        let mut meta = self.meta.lock();
+        let pid = meta.page_count;
+        meta.page_count += 1;
+        // Extend the file so reads of the new page are valid.
+        let file = self.file.lock();
+        file.set_len(meta.page_count as u64 * PAGE_SIZE as u64)?;
+        Ok(pid)
+    }
+
+    /// Marks a page as reusable within this session.
+    pub fn free_page(&self, pid: PageId) {
+        debug_assert_ne!(pid, 0, "cannot free the header page");
+        self.free.lock().push(pid);
+    }
+
+    /// Reads page `pid` from disk, verifying its checksum.
+    pub fn read_page(&self, pid: PageId) -> Result<Page> {
+        let count = self.meta.lock().page_count;
+        if pid == 0 || pid >= count {
+            return Err(KvError::Corrupt(format!("page id {pid} out of range ({count} pages)")));
+        }
+        let mut page = Page::new();
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))?;
+            file.read_exact(page.bytes_mut().as_mut_slice())?;
+        }
+        if !page.verify_checksum() {
+            return Err(KvError::Corrupt(format!(
+                "page {pid} checksum mismatch (stored {:#018x}, computed {:#018x})",
+                page.stored_checksum(),
+                page.compute_checksum()
+            )));
+        }
+        Ok(page)
+    }
+
+    /// Writes page `pid` to disk, sealing its payload checksum into the
+    /// trailing bytes.
+    pub fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
+        let count = self.meta.lock().page_count;
+        if pid == 0 || pid >= count {
+            return Err(KvError::Corrupt(format!("page id {pid} out of range ({count} pages)")));
+        }
+        let sum = page.compute_checksum();
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))?;
+        file.write_all(&page.bytes()[..PAGE_PAYLOAD])?;
+        file.write_all(&sum.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Flushes OS buffers to stable storage.
+    pub fn sync_data(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    /// Size of the backing file in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.meta.lock().page_count as u64 * PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kvstore-pager-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_allocate_write_read() {
+        let path = tmpfile("basic");
+        let pager = Pager::create(&path).unwrap();
+        let pid = pager.allocate().unwrap();
+        assert_eq!(pid, 1);
+        let mut page = Page::new();
+        page.bytes_mut()[100] = 7;
+        pager.write_page(pid, &page).unwrap();
+        let back = pager.read_page(pid).unwrap();
+        assert_eq!(back.bytes()[100], 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_roundtrip_on_reopen() {
+        let path = tmpfile("reopen");
+        {
+            let pager = Pager::create(&path).unwrap();
+            pager.allocate().unwrap();
+            pager.set_meta(|m| {
+                m.root = 1;
+                m.entry_count = 99;
+            });
+            pager.sync_header().unwrap();
+        }
+        {
+            let pager = Pager::open(&path).unwrap();
+            let meta = pager.meta();
+            assert_eq!(meta.root, 1);
+            assert_eq!(meta.entry_count, 99);
+            assert_eq!(meta.page_count, 2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        let err = match Pager::open(&path) {
+            Ok(_) => panic!("garbage file must not open"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, KvError::Corrupt(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_recycles() {
+        let path = tmpfile("freelist");
+        let pager = Pager::create(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        let _b = pager.allocate().unwrap();
+        pager.free_page(a);
+        assert_eq!(pager.allocate().unwrap(), a);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_page_rejected() {
+        let path = tmpfile("range");
+        let pager = Pager::create(&path).unwrap();
+        assert!(pager.read_page(0).is_err());
+        assert!(pager.read_page(5).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the disk B+-tree must behave exactly like `BTreeMap`
+//! under arbitrary operation sequences, and scans must respect bounds.
+
+use kvstore::{BTreeStore, Kv, MemStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Del(Vec<u8>),
+    Get(Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet + short keys maximizes collisions (more interesting).
+    proptest::collection::vec(0u8..4, 1..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        key_strategy().prop_map(Op::Del),
+        key_strategy().prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("kvstore-prop-{}-{:x}", std::process::id(), rand_suffix()));
+        let mut store = BTreeStore::create(&path).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Del(k) => {
+                    let a = store.delete(k).unwrap();
+                    let b = model.remove(k).is_some();
+                    prop_assert_eq!(a, b);
+                }
+                Op::Get(k) => {
+                    let a = store.get(k).unwrap();
+                    let b = model.get(k).cloned();
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        let scanned = store.range_vec(None, None).unwrap();
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_and_disk_scans_agree(
+        entries in proptest::collection::btree_map(key_strategy(), proptest::collection::vec(any::<u8>(), 0..16), 0..60),
+        lo in key_strategy(),
+        hi in key_strategy(),
+    ) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("kvstore-prop2-{}-{:x}", std::process::id(), rand_suffix()));
+        let mut disk = BTreeStore::create(&path).unwrap();
+        let mut mem = MemStore::new();
+        for (k, v) in &entries {
+            disk.put(k, v).unwrap();
+            mem.put(k, v).unwrap();
+        }
+        let (lo_b, hi_b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let a = disk.range_vec(Some(&lo_b), Some(&hi_b)).unwrap();
+        let b = mem.range_vec(Some(&lo_b), Some(&hi_b)).unwrap();
+        prop_assert_eq!(a, b);
+        drop(disk);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_nanos() as u64
+}

@@ -1,0 +1,94 @@
+//! Property tests for the order-preserving codecs: byte order of encodings
+//! must agree with numeric/tuple order for arbitrary values, and every
+//! round trip must be exact — the two assumptions the path index's
+//! range-scan design rests on.
+
+use kvstore::codec::*;
+use proptest::prelude::*;
+
+fn enc_u16(v: u16) -> Vec<u8> {
+    let mut b = Vec::new();
+    push_u16(&mut b, v);
+    b
+}
+
+fn enc_u32(v: u32) -> Vec<u8> {
+    let mut b = Vec::new();
+    push_u32(&mut b, v);
+    b
+}
+
+fn enc_u64(v: u64) -> Vec<u8> {
+    let mut b = Vec::new();
+    push_u64(&mut b, v);
+    b
+}
+
+fn enc_prob(p: f64) -> Vec<u8> {
+    let mut b = Vec::new();
+    push_f64_prob(&mut b, p);
+    b
+}
+
+proptest! {
+    #[test]
+    fn u16_order_and_roundtrip(a in any::<u16>(), b in any::<u16>()) {
+        prop_assert_eq!(a.cmp(&b), enc_u16(a).cmp(&enc_u16(b)));
+        prop_assert_eq!(read_u16(&enc_u16(a), 0), a);
+    }
+
+    #[test]
+    fn u32_order_and_roundtrip(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(a.cmp(&b), enc_u32(a).cmp(&enc_u32(b)));
+        prop_assert_eq!(read_u32(&enc_u32(a), 0), a);
+    }
+
+    #[test]
+    fn u64_order_and_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(a.cmp(&b), enc_u64(a).cmp(&enc_u64(b)));
+        prop_assert_eq!(read_u64(&enc_u64(a), 0), a);
+    }
+
+    #[test]
+    fn prob_order_and_roundtrip(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let ord = a.partial_cmp(&b).expect("probabilities are comparable");
+        prop_assert_eq!(ord, enc_prob(a).cmp(&enc_prob(b)));
+        prop_assert_eq!(read_f64_prob(&enc_prob(a), 0), a);
+    }
+
+    #[test]
+    fn composite_tuple_order_matches_lexicographic(
+        (s1, b1, p1) in (any::<u32>(), 0u16..100, any::<u64>()),
+        (s2, b2, p2) in (any::<u32>(), 0u16..100, any::<u64>()),
+    ) {
+        // The path-index key layout: sequence id | bucket | path id.
+        let key = |s: u32, b: u16, p: u64| {
+            let mut k = Vec::new();
+            push_u32(&mut k, s);
+            push_u16(&mut k, b);
+            push_u64(&mut k, p);
+            k
+        };
+        prop_assert_eq!(
+            (s1, b1, p1).cmp(&(s2, b2, p2)),
+            key(s1, b1, p1).cmp(&key(s2, b2, p2))
+        );
+    }
+
+    #[test]
+    fn length_prefixed_bytes_roundtrip(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 0..6)
+    ) {
+        let mut buf = Vec::new();
+        for c in &chunks {
+            push_bytes(&mut buf, c);
+        }
+        let mut off = 0;
+        for c in &chunks {
+            let (got, next) = read_bytes(&buf, off);
+            prop_assert_eq!(got, c.as_slice());
+            off = next;
+        }
+        prop_assert_eq!(off, buf.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Failure-injection tests: every form of on-disk damage — bit rot, torn
+//! writes, truncation, header tampering — must surface as
+//! `KvError::Corrupt` (or a clean open failure), never as wrong answers or
+//! panics.
+
+use kvstore::page::PAGE_SIZE;
+use kvstore::{BTreeStore, Kv, KvError};
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kvstore-corrupt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Builds a store with enough entries to span multiple pages, then drops it.
+fn build(path: &Path, entries: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut store = BTreeStore::create(path).unwrap();
+    let mut kvs = Vec::with_capacity(entries);
+    for i in 0..entries {
+        let k = format!("key-{i:06}").into_bytes();
+        let v = vec![b'v'; 64 + (i % 32)];
+        store.put(&k, &v).unwrap();
+        kvs.push((k, v));
+    }
+    store.flush().unwrap();
+    kvs
+}
+
+fn flip_byte(path: &Path, offset: u64) {
+    let mut f = OpenOptions::new().read(true).write(true).open(path).unwrap();
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    b[0] ^= 0x40;
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    f.write_all(&b).unwrap();
+}
+
+/// Reads every key; returns the first error, if any.
+fn scan_all(store: &BTreeStore, kvs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), KvError> {
+    for (k, v) in kvs {
+        match store.get(k) {
+            Ok(Some(got)) => assert_eq!(&got, v, "silent corruption for {k:?}"),
+            Ok(None) => panic!("key {k:?} silently vanished"),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn open_err(path: &Path) -> KvError {
+    match BTreeStore::open(path) {
+        Ok(_) => panic!("damaged file must not open"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn bit_flip_in_data_page_is_detected() {
+    let path = tmp("bitflip");
+    let kvs = build(&path, 500);
+    let n_pages = std::fs::metadata(&path).unwrap().len() / PAGE_SIZE as u64;
+    assert!(n_pages > 3, "want a multi-page tree, got {n_pages} pages");
+
+    // Flip one byte in the middle of page 1 (a data page).
+    flip_byte(&path, PAGE_SIZE as u64 + 2048);
+    let store = BTreeStore::open(&path).unwrap();
+    let err = scan_all(&store, &kvs).expect_err("corruption must be detected");
+    let msg = err.to_string();
+    assert!(msg.contains("checksum mismatch"), "unexpected error: {msg}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_data_page_is_protected() {
+    let path = tmp("everypage");
+    let kvs = build(&path, 800);
+    let n_pages = std::fs::metadata(&path).unwrap().len() / PAGE_SIZE as u64;
+
+    for page in 1..n_pages {
+        // Fresh copy with one damaged page (vary the offset within the page).
+        let damaged = tmp(&format!("everypage-{page}"));
+        std::fs::copy(&path, &damaged).unwrap();
+        let within = (page * 997) % (PAGE_SIZE as u64);
+        flip_byte(&damaged, page * PAGE_SIZE as u64 + within);
+
+        let store = BTreeStore::open(&damaged).unwrap();
+        let err = scan_all(&store, &kvs).expect_err(&format!(
+            "flip in page {page} at offset {within} must be detected"
+        ));
+        assert!(matches!(err, KvError::Corrupt(_)), "page {page}: {err}");
+        std::fs::remove_file(&damaged).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_checksum_field_is_detected() {
+    let path = tmp("sumfield");
+    let kvs = build(&path, 200);
+    // Damage the checksum itself (last byte of page 1).
+    flip_byte(&path, 2 * PAGE_SIZE as u64 - 1);
+    let store = BTreeStore::open(&path).unwrap();
+    let err = scan_all(&store, &kvs).expect_err("checksum-field damage must be detected");
+    assert!(matches!(err, KvError::Corrupt(_)), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn header_tampering_fails_open() {
+    let path = tmp("header");
+    build(&path, 50);
+    // Flip a byte inside the root-pointer field of the header.
+    flip_byte(&path, 13);
+    let err = open_err(&path);
+    assert!(err.to_string().contains("checksum"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_fails_open() {
+    let path = tmp("truncate");
+    build(&path, 500);
+    let len = std::fs::metadata(&path).unwrap().len();
+
+    // Truncate to a non-page boundary.
+    let f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - 100).unwrap();
+    drop(f);
+    let err = open_err(&path);
+    assert!(matches!(err, KvError::Corrupt(_)), "{err}");
+
+    // Truncate to a page boundary (lost tail pages): header disagrees.
+    let f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - PAGE_SIZE as u64).unwrap();
+    drop(f);
+    let err = open_err(&path);
+    assert!(err.to_string().contains("disagrees"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_write_simulation_is_detected() {
+    let path = tmp("torn");
+    let kvs = build(&path, 500);
+    // Simulate a torn write: first half of page 2 replaced with stale bytes
+    // (here: zeroes), second half left intact — exactly what a power cut
+    // mid-write produces.
+    let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(2 * PAGE_SIZE as u64)).unwrap();
+    f.write_all(&vec![0u8; PAGE_SIZE / 2]).unwrap();
+    drop(f);
+
+    let store = BTreeStore::open(&path).unwrap();
+    let err = scan_all(&store, &kvs).expect_err("torn write must be detected");
+    assert!(matches!(err, KvError::Corrupt(_)), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn undamaged_store_reads_clean_after_reopen() {
+    let path = tmp("clean");
+    let kvs = build(&path, 500);
+    let store = BTreeStore::open(&path).unwrap();
+    scan_all(&store, &kvs).expect("no damage, no errors");
+    assert_eq!(store.len(), kvs.len());
+    std::fs::remove_file(&path).ok();
+}

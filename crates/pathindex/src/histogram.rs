@@ -1,0 +1,93 @@
+//! Cardinality estimation: exponential interpolation over histogram points.
+//!
+//! The offline phase records, per label sequence, the number of index
+//! entries with probability at least each grid point `α_i`. At query time,
+//! `|PIndex(X, α)|` for an arbitrary `α` is estimated by exponential curve
+//! fitting between the surrounding grid points (Section 5.2.1): counts of
+//! probabilistic paths decay roughly geometrically in the threshold.
+
+/// Estimates the count at `alpha` from `counts[i] = #{p ≥ grid[i]}`.
+///
+/// * `alpha` below the first grid point clamps to the first count;
+/// * `alpha` above the last grid point clamps to the last count;
+/// * between points, fits `N(α) = N_i · (N_{i+1}/N_i)^t` with
+///   `t = (α − α_i)/(α_{i+1} − α_i)`, falling back to linear interpolation
+///   when a zero count makes the geometric form degenerate.
+pub fn estimate_at(grid: &[f64], counts: &[u32], alpha: f64) -> f64 {
+    assert_eq!(grid.len(), counts.len(), "grid/count length mismatch");
+    if grid.is_empty() {
+        return 0.0;
+    }
+    if alpha <= grid[0] {
+        return counts[0] as f64;
+    }
+    if alpha >= grid[grid.len() - 1] {
+        return counts[counts.len() - 1] as f64;
+    }
+    // Find i with grid[i] <= alpha < grid[i+1].
+    let mut i = 0;
+    while i + 1 < grid.len() && grid[i + 1] <= alpha {
+        i += 1;
+    }
+    let (g0, g1) = (grid[i], grid[i + 1]);
+    let (c0, c1) = (counts[i] as f64, counts[i + 1] as f64);
+    let t = (alpha - g0) / (g1 - g0);
+    if c0 <= 0.0 {
+        return 0.0;
+    }
+    if c1 <= 0.0 {
+        // Geometric fit undefined; decay linearly to zero.
+        return c0 * (1.0 - t);
+    }
+    c0 * (c1 / c0).powf(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRID: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    #[test]
+    fn clamps_outside_grid() {
+        let counts = [100, 50, 20, 5, 1];
+        assert_eq!(estimate_at(&GRID, &counts, 0.05), 100.0);
+        assert_eq!(estimate_at(&GRID, &counts, 0.95), 1.0);
+        assert_eq!(estimate_at(&GRID, &counts, 0.1), 100.0);
+    }
+
+    #[test]
+    fn exact_at_grid_points() {
+        let counts = [100, 50, 20, 5, 1];
+        assert!((estimate_at(&GRID, &counts, 0.5) - 20.0).abs() < 1e-9);
+        assert!((estimate_at(&GRID, &counts, 0.7) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_between_points() {
+        let counts = [100, 50, 20, 5, 1];
+        // Midpoint of (0.1, 0.3): sqrt(100 * 50).
+        let est = estimate_at(&GRID, &counts, 0.2);
+        assert!((est - (100.0f64 * 50.0).sqrt()).abs() < 1e-9);
+        // Monotone non-increasing.
+        let mut prev = f64::INFINITY;
+        for a in [0.1, 0.15, 0.2, 0.3, 0.42, 0.5, 0.64, 0.7, 0.85, 0.9] {
+            let e = estimate_at(&GRID, &counts, a);
+            assert!(e <= prev + 1e-9, "not monotone at {a}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn zero_tail_linear_fallback() {
+        let counts = [10, 4, 0, 0, 0];
+        let mid = estimate_at(&GRID, &counts, 0.4);
+        assert!((mid - 2.0).abs() < 1e-9, "mid = {mid}");
+        assert_eq!(estimate_at(&GRID, &counts, 0.6), 0.0);
+    }
+
+    #[test]
+    fn empty_grid() {
+        assert_eq!(estimate_at(&[], &[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! In-memory index structure and lookups.
+
+use crate::histogram::estimate_at;
+use graphstore::hash::FxHashMap;
+use graphstore::{EntityId, Label};
+
+/// Identity-uncertainty oracle: the piece of the PEG the index needs.
+///
+/// Implemented by `pegmatch::model::ExistenceModel`; kept as a trait so this
+/// crate stays below the core library in the dependency graph.
+pub trait IdentityOracle: Sync {
+    /// `Prn` of a set of entity nodes: probability they co-exist.
+    fn prn(&self, nodes: &[EntityId]) -> f64;
+
+    /// Fast path: node exists in every world (lets builders skip `prn`).
+    fn always_exists(&self, _v: EntityId) -> bool {
+        false
+    }
+}
+
+/// Trivial oracle for graphs without identity uncertainty.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoIdentity;
+
+impl IdentityOracle for NoIdentity {
+    fn prn(&self, _nodes: &[EntityId]) -> f64 {
+        1.0
+    }
+
+    fn always_exists(&self, _v: EntityId) -> bool {
+        true
+    }
+}
+
+/// Construction parameters.
+#[derive(Clone, Debug)]
+pub struct PathIndexConfig {
+    /// Maximum path length `L` in edges (0 = single nodes only).
+    pub max_len: usize,
+    /// Probability lower bound `β` for indexed paths.
+    pub beta: f64,
+    /// Bucket resolution `γ`.
+    pub gamma: f64,
+    /// Worker threads for construction (0 = all available cores).
+    pub threads: usize,
+    /// Histogram probability points (ascending).
+    pub hist_grid: Vec<f64>,
+}
+
+impl Default for PathIndexConfig {
+    fn default() -> Self {
+        Self {
+            max_len: 3,
+            beta: 0.3,
+            gamma: 0.1,
+            threads: 0,
+            hist_grid: crate::DEFAULT_HIST_GRID.to_vec(),
+        }
+    }
+}
+
+impl PathIndexConfig {
+    /// Number of buckets implied by `gamma`.
+    pub fn n_buckets(&self) -> usize {
+        (1.0 / self.gamma).ceil() as usize + 1
+    }
+
+    /// Bucket index for probability `p`.
+    pub fn bucket_of(&self, p: f64) -> usize {
+        ((p / self.gamma) as usize).min(self.n_buckets() - 1)
+    }
+}
+
+/// One stored path under a specific label assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredPath {
+    /// Node ids along the path (canonical orientation).
+    pub nodes: Vec<u32>,
+    /// `Prle` under the key's label assignment.
+    pub prle: f64,
+    /// `Prn` of the path's node set.
+    pub prn: f64,
+}
+
+impl StoredPath {
+    /// Total probability `Prle · Prn`.
+    #[inline]
+    pub fn prob(&self) -> f64 {
+        self.prle * self.prn
+    }
+}
+
+/// A directed path match returned by lookups.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathMatch {
+    /// Node ids in query orientation: `nodes[i]` matches position `i` of the
+    /// requested label sequence.
+    pub nodes: Vec<EntityId>,
+    /// `Prle` under the requested label sequence.
+    pub prle: f64,
+    /// `Prn` of the node set.
+    pub prn: f64,
+}
+
+impl PathMatch {
+    /// Total probability.
+    #[inline]
+    pub fn prob(&self) -> f64 {
+        self.prle * self.prn
+    }
+}
+
+/// Per-canonical-sequence storage: entries bucketed by total probability.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SeqBuckets {
+    pub(crate) buckets: Vec<Vec<StoredPath>>,
+}
+
+/// The context-aware path index (in-memory form).
+#[derive(Clone, Debug)]
+pub struct PathIndex {
+    config: PathIndexConfig,
+    pub(crate) map: FxHashMap<Vec<u16>, SeqBuckets>,
+    /// Histogram per canonical sequence: counts of entries with total
+    /// probability ≥ each grid point.
+    pub(crate) hist: FxHashMap<Vec<u16>, Vec<u32>>,
+    pub(crate) n_entries: usize,
+}
+
+/// Canonical orientation of a label sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Orientation {
+    /// The requested sequence is stored as-is.
+    Forward,
+    /// The requested sequence is stored reversed.
+    Reverse,
+    /// Palindromic: stored entries yield both directions.
+    Palindrome,
+}
+
+pub(crate) fn canonicalize(seq: &[u16]) -> (Vec<u16>, Orientation) {
+    let rev: Vec<u16> = seq.iter().rev().copied().collect();
+    match seq.cmp(rev.as_slice()) {
+        std::cmp::Ordering::Less => (seq.to_vec(), Orientation::Forward),
+        std::cmp::Ordering::Greater => (rev, Orientation::Reverse),
+        std::cmp::Ordering::Equal => (seq.to_vec(), Orientation::Palindrome),
+    }
+}
+
+impl PathIndex {
+    pub(crate) fn empty(config: PathIndexConfig) -> Self {
+        Self { config, map: FxHashMap::default(), hist: FxHashMap::default(), n_entries: 0 }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &PathIndexConfig {
+        &self.config
+    }
+
+    /// Total stored entries (canonical paths × label assignments).
+    pub fn n_entries(&self) -> usize {
+        self.n_entries
+    }
+
+    /// Number of distinct canonical label sequences.
+    pub fn n_sequences(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for (k, v) in &self.map {
+            total += (k.len() * 2 + 48) as u64;
+            for b in &v.buckets {
+                total += 24;
+                for e in b {
+                    total += (e.nodes.len() * 4 + 16 + 24) as u64;
+                }
+            }
+        }
+        for (k, v) in &self.hist {
+            total += (k.len() * 2 + v.len() * 4 + 48) as u64;
+        }
+        total
+    }
+
+    pub(crate) fn insert(&mut self, canonical: Vec<u16>, entry: StoredPath) {
+        let bucket = self.config.bucket_of(entry.prob());
+        let n_buckets = self.config.n_buckets();
+        let sb = self
+            .map
+            .entry(canonical)
+            .or_insert_with(|| SeqBuckets { buckets: vec![Vec::new(); n_buckets] });
+        sb.buckets[bucket].push(entry);
+        self.n_entries += 1;
+    }
+
+    /// Rebuilds the per-sequence histograms from the stored entries.
+    pub(crate) fn rebuild_histograms(&mut self) {
+        self.hist.clear();
+        let grid = self.config.hist_grid.clone();
+        for (seq, sb) in &self.map {
+            let mut counts = vec![0u32; grid.len()];
+            for b in &sb.buckets {
+                for e in b {
+                    let p = e.prob();
+                    for (i, &g) in grid.iter().enumerate() {
+                        if p >= g {
+                            counts[i] += 1;
+                        }
+                    }
+                }
+            }
+            self.hist.insert(seq.clone(), counts);
+        }
+    }
+
+    /// All directed path matches for `labels` with total probability
+    /// ≥ `min_prob`. (`PIndex(lQ(VP), α)` of the paper.)
+    pub fn lookup(&self, labels: &[Label], min_prob: f64) -> Vec<PathMatch> {
+        let seq: Vec<u16> = labels.iter().map(|l| l.0).collect();
+        let (canonical, orient) = canonicalize(&seq);
+        let Some(sb) = self.map.get(&canonical) else {
+            return Vec::new();
+        };
+        // Start one bucket early: floating-point probabilities a hair below
+        // `min_prob` may land in the previous bucket yet pass the exact
+        // (epsilon-tolerant) per-entry filter below.
+        let start_bucket = self.config.bucket_of(min_prob).saturating_sub(1);
+        let mut out = Vec::new();
+        for b in &sb.buckets[start_bucket..] {
+            for e in b {
+                if e.prob() + 1e-12 < min_prob {
+                    continue;
+                }
+                match orient {
+                    Orientation::Forward => out.push(to_match(e, false)),
+                    Orientation::Reverse => out.push(to_match(e, true)),
+                    Orientation::Palindrome => {
+                        out.push(to_match(e, false));
+                        if e.nodes.len() > 1 {
+                            out.push(to_match(e, true));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact number of directed matches for `labels` at threshold `alpha`
+    /// (linear in the candidate buckets; used by tests and small queries).
+    pub fn count_exact(&self, labels: &[Label], alpha: f64) -> usize {
+        self.lookup(labels, alpha).len()
+    }
+
+    /// Histogram-based estimate of `|PIndex(labels, alpha)|` using
+    /// exponential interpolation between grid points (Section 5.2.1).
+    pub fn estimate_count(&self, labels: &[Label], alpha: f64) -> f64 {
+        let seq: Vec<u16> = labels.iter().map(|l| l.0).collect();
+        let (canonical, orient) = canonicalize(&seq);
+        let Some(counts) = self.hist.get(&canonical) else {
+            return 0.0;
+        };
+        let base = estimate_at(&self.config.hist_grid, counts, alpha);
+        let factor = if orient == Orientation::Palindrome && labels.len() > 1 { 2.0 } else { 1.0 };
+        base * factor
+    }
+
+    /// Iterates all canonical sequences with their entries (persistence).
+    pub(crate) fn iter_sequences(
+        &self,
+    ) -> impl Iterator<Item = (&Vec<u16>, &SeqBuckets)> {
+        self.map.iter()
+    }
+}
+
+fn to_match(e: &StoredPath, reverse: bool) -> PathMatch {
+    let nodes: Vec<EntityId> = if reverse {
+        e.nodes.iter().rev().map(|&n| EntityId(n)).collect()
+    } else {
+        e.nodes.iter().map(|&n| EntityId(n)).collect()
+    };
+    PathMatch { nodes, prle: e.prle, prn: e.prn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization() {
+        assert_eq!(canonicalize(&[1, 2, 3]), (vec![1, 2, 3], Orientation::Forward));
+        assert_eq!(canonicalize(&[3, 2, 1]), (vec![1, 2, 3], Orientation::Reverse));
+        assert_eq!(canonicalize(&[2, 1, 2]), (vec![2, 1, 2], Orientation::Palindrome));
+        assert_eq!(canonicalize(&[5]), (vec![5], Orientation::Palindrome));
+    }
+
+    #[test]
+    fn bucket_math() {
+        let cfg = PathIndexConfig { gamma: 0.1, ..Default::default() };
+        assert_eq!(cfg.n_buckets(), 11);
+        assert_eq!(cfg.bucket_of(0.0), 0);
+        assert_eq!(cfg.bucket_of(0.55), 5);
+        assert_eq!(cfg.bucket_of(1.0), 10);
+    }
+
+    #[test]
+    fn insert_lookup_direction_handling() {
+        let mut idx = PathIndex::empty(PathIndexConfig::default());
+        // Canonical sequence [1,2,3] with a path 10-11-12.
+        idx.insert(
+            vec![1, 2, 3],
+            StoredPath { nodes: vec![10, 11, 12], prle: 0.8, prn: 1.0 },
+        );
+        idx.rebuild_histograms();
+
+        let fwd = idx.lookup(&[Label(1), Label(2), Label(3)], 0.5);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].nodes, vec![EntityId(10), EntityId(11), EntityId(12)]);
+
+        let rev = idx.lookup(&[Label(3), Label(2), Label(1)], 0.5);
+        assert_eq!(rev.len(), 1);
+        assert_eq!(rev[0].nodes, vec![EntityId(12), EntityId(11), EntityId(10)]);
+
+        assert!(idx.lookup(&[Label(1), Label(2), Label(3)], 0.9).is_empty());
+        assert!(idx.lookup(&[Label(9)], 0.1).is_empty());
+    }
+
+    #[test]
+    fn palindrome_yields_both_directions() {
+        let mut idx = PathIndex::empty(PathIndexConfig::default());
+        idx.insert(vec![1, 2, 1], StoredPath { nodes: vec![5, 6, 7], prle: 0.9, prn: 1.0 });
+        idx.rebuild_histograms();
+        let got = idx.lookup(&[Label(1), Label(2), Label(1)], 0.1);
+        assert_eq!(got.len(), 2);
+        assert_ne!(got[0].nodes, got[1].nodes);
+        // Single nodes are not doubled.
+        let mut idx2 = PathIndex::empty(PathIndexConfig::default());
+        idx2.insert(vec![4], StoredPath { nodes: vec![9], prle: 1.0, prn: 1.0 });
+        assert_eq!(idx2.lookup(&[Label(4)], 0.5).len(), 1);
+    }
+
+    #[test]
+    fn estimate_uses_histogram_and_palindrome_factor() {
+        let mut idx = PathIndex::empty(PathIndexConfig::default());
+        for i in 0..10 {
+            idx.insert(
+                vec![1, 2, 1],
+                StoredPath { nodes: vec![i, i + 100, i + 200], prle: 0.55, prn: 1.0 },
+            );
+        }
+        idx.rebuild_histograms();
+        let est = idx.estimate_count(&[Label(1), Label(2), Label(1)], 0.5);
+        assert!((est - 20.0).abs() < 1e-9, "est = {est}");
+        let exact = idx.count_exact(&[Label(1), Label(2), Label(1)], 0.5);
+        assert_eq!(exact, 20);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! `pathindex` — the context-aware path index (Section 5.1).
+//!
+//! Indexes every path of the probabilistic entity graph with length at most
+//! `L`, total probability (`Prle · Prn`) at least `β`, and no two nodes
+//! sharing a reference. Entries are keyed by
+//! `⟨label sequence, probability bucket⟩` where buckets have resolution `γ`;
+//! the paper's two-level structure (hash on the label sequence, B+-tree on
+//! the probability) maps to a hash map over canonical label sequences whose
+//! values are bucketed entry lists in memory, and to composite-key ranges in
+//! a [`kvstore::BTreeStore`] on disk ([`disk`]).
+//!
+//! Undirected symmetry is folded: a path is stored only under the canonical
+//! orientation of its label sequence (ties broken on node ids), and lookups
+//! reconstruct directed matches — both directions for palindromic label
+//! sequences.
+//!
+//! Per-sequence histograms at fixed probability points support the
+//! cardinality estimation used by query decomposition (exponential
+//! interpolation between grid points).
+
+pub mod build;
+pub mod disk;
+pub mod histogram;
+mod index;
+
+pub use build::{build_index, enumerate_paths_online};
+pub use index::{IdentityOracle, NoIdentity, PathIndex, PathIndexConfig, PathMatch};
+
+/// Default histogram grid (the paper's "selected probability points").
+pub const DEFAULT_HIST_GRID: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];

@@ -1,0 +1,385 @@
+//! Reference algorithms the paper compares against (Section 6.2.1), plus
+//! possible-worlds matchers used as semantic ground truth in tests.
+//!
+//! * Random decomposition → [`crate::online::QueryOptions::random_decomposition`]
+//! * No search-space reduction → [`crate::online::QueryOptions::no_reduction`]
+//! * SQL/relational baseline → `relbase` (wired up in the bench crate)
+//! * Exhaustive possible-world matching → [`match_by_worlds`]
+//! * Monte Carlo possible-world sampling → [`match_montecarlo`] — the
+//!   standard estimator for #P-hard uncertain-graph queries in the
+//!   literature the paper builds on; useful as an any-scale cross-check
+//!   and as a baseline quantifying what the exact algorithms buy.
+
+use crate::error::PegError;
+use crate::matcher::{sort_matches, Match};
+use crate::model::worlds::{enumerate_worlds, sample_world, World};
+use crate::model::Peg;
+use crate::query::{QNode, QueryGraph};
+use graphstore::hash::FxHashMap;
+use graphstore::{EntityId, Label};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Answers a query by enumerating **all possible worlds**, running certain
+/// (non-probabilistic) subgraph matching in each, and summing world
+/// probabilities per mapping (Definition 4, computed literally).
+///
+/// Exponential in everything; only for tiny models. The result must agree
+/// exactly with [`crate::matcher::match_bruteforce`] and the optimized
+/// pipeline — that agreement is the core semantic property test of this
+/// library.
+pub fn match_by_worlds(
+    peg: &Peg,
+    query: &QueryGraph,
+    alpha: f64,
+    world_limit: usize,
+) -> Result<Vec<Match>, PegError> {
+    let worlds = enumerate_worlds(peg, world_limit)?;
+    let mut acc: FxHashMap<Vec<u32>, f64> = FxHashMap::default();
+    for world in &worlds {
+        for mapping in certain_matches(query, world) {
+            *acc.entry(mapping).or_insert(0.0) += world.prob;
+        }
+    }
+    let mut out: Vec<Match> = acc
+        .into_iter()
+        .filter(|&(_, p)| p + 1e-12 >= alpha)
+        .map(|(nodes, p)| {
+            let ids: Vec<EntityId> = nodes.iter().map(|&n| EntityId(n)).collect();
+            // Split the total back into components for reporting parity.
+            let prn = peg.prn(&ids);
+            Match { nodes: ids, prle: if prn > 0.0 { p / prn } else { 0.0 }, prn }
+        })
+        .collect();
+    sort_matches(&mut out);
+    Ok(out)
+}
+
+/// Configuration for the Monte Carlo baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct McOptions {
+    /// Number of worlds to sample.
+    pub samples: usize,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        Self { samples: 10_000, seed: 42 }
+    }
+}
+
+/// A match found by sampling, with its frequency estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McEstimate {
+    /// `nodes[q]` is the entity matched to query node `q`.
+    pub nodes: Vec<EntityId>,
+    /// Fraction of sampled worlds in which this mapping was a match — an
+    /// unbiased estimate of `Pr(M)` (Equation 10).
+    pub estimate: f64,
+    /// Binomial standard error `√(p̂(1−p̂)/n)`.
+    pub std_error: f64,
+    /// Raw hit count.
+    pub hits: u64,
+}
+
+/// Answers a query by **sampling** possible worlds (forward sampling from
+/// the PEG distribution), running certain subgraph matching in each, and
+/// reporting every mapping whose hit frequency is at least `alpha`.
+///
+/// Unlike [`match_by_worlds`] this scales to arbitrary models, but the
+/// answer is approximate: a match with true probability near `alpha` may be
+/// included or excluded by sampling noise (the returned
+/// [`McEstimate::std_error`] quantifies it), and matches the sampler never
+/// hit are absent. Exact algorithms need none of these caveats — which is
+/// precisely the comparison this baseline exists to make.
+pub fn match_montecarlo(
+    peg: &Peg,
+    query: &QueryGraph,
+    alpha: f64,
+    opts: &McOptions,
+) -> Vec<McEstimate> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let n = opts.samples.max(1);
+    let order = bfs_order(query);
+    let mut hits: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+    for _ in 0..n {
+        let world = sample_world(peg, &mut rng);
+        let view = WorldView::new(&world);
+        view.for_each_match(query, &order, &mut |mapping| {
+            *hits.entry(mapping.to_vec()).or_insert(0) += 1;
+        });
+    }
+    let mut out: Vec<McEstimate> = hits
+        .into_iter()
+        .filter_map(|(nodes, h)| {
+            let estimate = h as f64 / n as f64;
+            if estimate + 1e-12 < alpha {
+                return None;
+            }
+            Some(McEstimate {
+                nodes: nodes.into_iter().map(EntityId).collect(),
+                estimate,
+                std_error: (estimate * (1.0 - estimate) / n as f64).sqrt(),
+                hits: h,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+    out
+}
+
+/// A BFS order over the (connected) query so every node after the first has
+/// at least one earlier neighbor — candidates then come from world
+/// adjacency, not full node scans.
+fn bfs_order(query: &QueryGraph) -> Vec<QNode> {
+    let n = query.n_nodes();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([0 as QNode]);
+    seen[0] = true;
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in query.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "query graphs are connected");
+    order
+}
+
+/// Indexed view over one sampled world, built once per sample and queried
+/// by the backtracking matcher thousands of times.
+struct WorldView {
+    /// Nodes grouped by their sampled label.
+    by_label: FxHashMap<Label, Vec<u32>>,
+    /// Sorted adjacency per existing node.
+    adj: FxHashMap<u32, Vec<u32>>,
+    /// Sampled label per existing node.
+    label: FxHashMap<u32, Label>,
+}
+
+impl WorldView {
+    fn new(world: &World) -> Self {
+        let mut by_label: FxHashMap<Label, Vec<u32>> = FxHashMap::default();
+        let mut label = FxHashMap::default();
+        for &(v, l) in &world.nodes {
+            by_label.entry(l).or_default().push(v.0);
+            label.insert(v.0, l);
+        }
+        let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &(a, b) in &world.edges {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        for v in adj.values_mut() {
+            v.sort_unstable();
+        }
+        Self { by_label, adj, label }
+    }
+
+    fn connected(&self, a: u32, b: u32) -> bool {
+        self.adj.get(&a).is_some_and(|n| n.binary_search(&b).is_ok())
+    }
+
+    /// Invokes `emit` for every injective embedding of `query` (nodes in
+    /// query-node index order).
+    fn for_each_match(
+        &self,
+        query: &QueryGraph,
+        order: &[QNode],
+        emit: &mut dyn FnMut(&[u32]),
+    ) {
+        let nq = query.n_nodes();
+        let mut mapping: Vec<Option<u32>> = vec![None; nq];
+        self.extend_match(query, order, 0, &mut mapping, emit);
+    }
+
+    fn extend_match(
+        &self,
+        query: &QueryGraph,
+        order: &[QNode],
+        depth: usize,
+        mapping: &mut Vec<Option<u32>>,
+        emit: &mut dyn FnMut(&[u32]),
+    ) {
+        if depth == order.len() {
+            let full: Vec<u32> = mapping.iter().map(|m| m.expect("complete")).collect();
+            emit(&full);
+            return;
+        }
+        let q = order[depth];
+        let want = query.label(q);
+        // Candidates: adjacency of an already-matched neighbor when one
+        // exists (always, past depth 0), else all nodes with the label.
+        let anchor = query
+            .neighbors(q)
+            .iter()
+            .find_map(|&m| mapping[m as usize]);
+        let empty: Vec<u32> = Vec::new();
+        let candidates = match anchor {
+            Some(img) => self.adj.get(&img).unwrap_or(&empty),
+            None => self.by_label.get(&want).unwrap_or(&empty),
+        };
+        'cand: for &v in candidates {
+            if self.label.get(&v) != Some(&want) || mapping.contains(&Some(v)) {
+                continue;
+            }
+            for &m in query.neighbors(q) {
+                if let Some(img) = mapping[m as usize] {
+                    if !self.connected(v, img) {
+                        continue 'cand;
+                    }
+                }
+            }
+            mapping[q as usize] = Some(v);
+            self.extend_match(query, order, depth + 1, mapping, emit);
+            mapping[q as usize] = None;
+        }
+    }
+}
+
+/// All injective mappings of `query` into the (certain) world graph.
+fn certain_matches(query: &QueryGraph, world: &World) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut mapping: Vec<Option<u32>> = vec![None; query.n_nodes()];
+    backtrack(query, world, 0, &mut mapping, &mut out);
+    out
+}
+
+fn backtrack(
+    query: &QueryGraph,
+    world: &World,
+    q: usize,
+    mapping: &mut Vec<Option<u32>>,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if q == query.n_nodes() {
+        out.push(mapping.iter().map(|m| m.unwrap()).collect());
+        return;
+    }
+    let want: Label = query.label(q as QNode);
+    'cand: for &(v, l) in &world.nodes {
+        if l != want || mapping.contains(&Some(v.0)) {
+            continue;
+        }
+        for &m in query.neighbors(q as QNode) {
+            if let Some(img) = mapping[m as usize] {
+                if !world.has_edge(v, EntityId(img)) {
+                    continue 'cand;
+                }
+            }
+        }
+        mapping[q] = Some(v.0);
+        backtrack(query, world, q + 1, mapping, out);
+        mapping[q] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_bruteforce;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+
+    #[test]
+    fn worlds_baseline_agrees_with_bruteforce_on_figure1() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        for alpha in [0.01, 0.05, 0.1, 0.2, 0.3] {
+            let via_worlds = match_by_worlds(&peg, &q, alpha, 1_000_000).unwrap();
+            let direct = match_bruteforce(&peg, &q, alpha);
+            assert_eq!(via_worlds.len(), direct.len(), "alpha={alpha}");
+            for (x, y) in via_worlds.iter().zip(&direct) {
+                assert_eq!(x.nodes, y.nodes);
+                assert!((x.prob() - y.prob()).abs() < 1e-9, "alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn world_limit_enforced() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let q = QueryGraph::path(&[Label(0)]).unwrap();
+        assert!(match_by_worlds(&peg, &q, 0.1, 2).is_err());
+    }
+
+    #[test]
+    fn montecarlo_converges_on_figure1() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        // α = 0.17 isolates the single answer (s34, s2, s1) at Pr = 0.2025;
+        // the runner-up sits at 0.135, far beyond sampling noise at n = 20k.
+        let opts = McOptions { samples: 20_000, seed: 7 };
+        let est = match_montecarlo(&peg, &q, 0.17, &opts);
+        assert_eq!(est.len(), 1, "{est:?}");
+        assert_eq!(est[0].nodes, vec![EntityId(4), EntityId(1), EntityId(0)]);
+        assert!(
+            (est[0].estimate - 0.2025).abs() < 0.015,
+            "estimate {} vs exact 0.2025",
+            est[0].estimate
+        );
+        assert!(est[0].std_error < 0.004);
+    }
+
+    #[test]
+    fn montecarlo_estimates_every_match_within_error() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let exact = match_bruteforce(&peg, &q, 0.02);
+        assert!(exact.len() >= 4, "figure 1 has several low-threshold matches");
+        let opts = McOptions { samples: 30_000, seed: 11 };
+        let est = match_montecarlo(&peg, &q, 0.01, &opts);
+        for m in &exact {
+            let found = est
+                .iter()
+                .find(|e| e.nodes == m.nodes)
+                .unwrap_or_else(|| panic!("MC missed match {:?}", m.nodes));
+            let tol = (5.0 * found.std_error).max(0.01);
+            assert!(
+                (found.estimate - m.prob()).abs() < tol,
+                "{:?}: estimate {} vs exact {} (tol {tol})",
+                m.nodes,
+                found.estimate,
+                m.prob()
+            );
+        }
+    }
+
+    #[test]
+    fn montecarlo_error_shrinks_with_samples() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let coarse = match_montecarlo(&peg, &q, 0.17, &McOptions { samples: 1_000, seed: 5 });
+        let fine = match_montecarlo(&peg, &q, 0.17, &McOptions { samples: 64_000, seed: 5 });
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(fine.len(), 1);
+        // √64 = 8× smaller standard error.
+        assert!(
+            fine[0].std_error < coarse[0].std_error / 6.0,
+            "{} vs {}",
+            fine[0].std_error,
+            coarse[0].std_error
+        );
+    }
+
+    #[test]
+    fn montecarlo_is_deterministic_per_seed() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let opts = McOptions { samples: 2_000, seed: 99 };
+        assert_eq!(
+            match_montecarlo(&peg, &q, 0.05, &opts),
+            match_montecarlo(&peg, &q, 0.05, &opts)
+        );
+    }
+}

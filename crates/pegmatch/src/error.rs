@@ -1,0 +1,45 @@
+//! Error type for model construction and query processing.
+
+use std::fmt;
+
+/// Errors surfaced by `pegmatch` operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PegError {
+    /// An existence component exceeded the configured enumeration budget
+    /// (too many entity sets or too many valid configurations).
+    ComponentTooLarge {
+        /// Number of entity sets in the offending component.
+        sets: usize,
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// A reference graph or query failed validation.
+    Invalid(String),
+    /// A query references a label outside the graph's alphabet.
+    UnknownLabel(String),
+    /// Persistence failure from the underlying key/value store.
+    Store(String),
+}
+
+impl fmt::Display for PegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PegError::ComponentTooLarge { sets, limit } => write!(
+                f,
+                "existence component with {sets} entity sets exceeds the limit of {limit}; \
+                 raise `ExistenceOptions` limits or use smaller reference sets"
+            ),
+            PegError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            PegError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            PegError::Store(msg) => write!(f, "store error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PegError {}
+
+impl From<kvstore::KvError> for PegError {
+    fn from(e: kvstore::KvError) -> Self {
+        PegError::Store(e.to_string())
+    }
+}

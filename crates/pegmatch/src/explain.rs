@@ -1,0 +1,372 @@
+//! Human-readable breakdowns of match probabilities.
+//!
+//! A probabilistic match is accepted or rejected on one number,
+//! `Pr(M) = Prle(M) · Prn(M)` (Equation 11). When that number surprises —
+//! "why is this expert pair only at 0.21?" — the factors behind it matter:
+//! which node label was uncertain, which edge was weak, which identity
+//! merge dragged the existence marginal down. [`explain`] decomposes a
+//! match into exactly the factors the model multiplied together, and the
+//! [`std::fmt::Display`] impl renders them as a small report.
+//!
+//! ```text
+//! match [e7, e2, e9]  Pr = 0.2025 = Prle 0.2531 × Prn 0.8000
+//!   nodes:
+//!     q0 -> e7  label r  Pr = 0.50   (merged: 2 refs)
+//!     q1 -> e2  label a  Pr = 1.00
+//!     q2 -> e9  label i  Pr = 0.75
+//!   edges:
+//!     (q0,q1) -> (e7,e2)  Pr = 0.75
+//!     (q1,q2) -> (e2,e9)  Pr = 0.90  (label-conditional)
+//!   identity:
+//!     component {e7}  Pr = 0.80
+//! ```
+
+use crate::matcher::Match;
+use crate::model::Peg;
+use crate::query::{QNode, QueryGraph};
+use graphstore::hash::FxHashMap;
+use graphstore::{EntityId, Label};
+use std::fmt;
+
+/// One matched query node and its label-probability factor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeFactor {
+    /// Query node.
+    pub qnode: QNode,
+    /// Matched entity.
+    pub entity: EntityId,
+    /// Label required by the query.
+    pub label: Label,
+    /// `Pr(entity.l = label)` after merging.
+    pub prob: f64,
+    /// Number of underlying references (> 1 for merged entities).
+    pub n_refs: usize,
+}
+
+/// One matched query edge and its existence-probability factor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeFactor {
+    /// Query edge endpoints.
+    pub qedge: (QNode, QNode),
+    /// Matched entity endpoints.
+    pub entities: (EntityId, EntityId),
+    /// `Pr(edge exists)` (conditioned on the matched labels when the edge
+    /// carries a CPT).
+    pub prob: f64,
+    /// True when the edge probability is label-conditional (Section 5.3).
+    pub conditional: bool,
+}
+
+/// The joint existence marginal of the matched entities within one
+/// connected component of the identity model's Markov network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdentityFactor {
+    /// Matched entities in this component (ascending).
+    pub entities: Vec<EntityId>,
+    /// `Pr(all of them exist)` — marginal over the component.
+    pub prob: f64,
+    /// True when none of the component's entities has identity uncertainty
+    /// (the factor is exactly 1 and was skipped by the engine).
+    pub trivial: bool,
+}
+
+/// A complete factorization of one match's probability.
+///
+/// Invariant (asserted by tests): the product of all node, edge, and
+/// identity factors equals `Pr(M)` up to floating-point error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Explanation {
+    /// Per-query-node label factors, in query-node order.
+    pub nodes: Vec<NodeFactor>,
+    /// Per-query-edge existence factors, in canonical edge order.
+    pub edges: Vec<EdgeFactor>,
+    /// Per-component identity factors (non-trivial components only).
+    pub identity: Vec<IdentityFactor>,
+    /// `Prle(M)` (Equation 13).
+    pub prle: f64,
+    /// `Prn(M)` (Equation 12).
+    pub prn: f64,
+}
+
+impl Explanation {
+    /// `Pr(M)`.
+    pub fn prob(&self) -> f64 {
+        self.prle * self.prn
+    }
+
+    /// The single factor contributing the most doubt — the smallest
+    /// probability among all node, edge, and identity factors, rendered as
+    /// a short description. `None` for a certain match (all factors 1).
+    pub fn weakest_factor(&self) -> Option<(String, f64)> {
+        let mut best: Option<(String, f64)> = None;
+        let mut consider = |desc: String, p: f64| {
+            if p < 1.0 && best.as_ref().map_or(true, |(_, b)| p < *b) {
+                best = Some((desc, p));
+            }
+        };
+        for n in &self.nodes {
+            consider(format!("label of e{} (query node {})", n.entity.0, n.qnode), n.prob);
+        }
+        for e in &self.edges {
+            consider(
+                format!("edge (e{}, e{})", e.entities.0 .0, e.entities.1 .0),
+                e.prob,
+            );
+        }
+        for c in &self.identity {
+            let ids: Vec<String> = c.entities.iter().map(|v| format!("e{}", v.0)).collect();
+            consider(format!("identity of {{{}}}", ids.join(", ")), c.prob);
+        }
+        best
+    }
+}
+
+/// Factorizes `m`'s probability against `peg` and `query`.
+///
+/// # Panics
+/// Panics when `m.nodes` does not have one entity per query node (the match
+/// must come from this query).
+pub fn explain(peg: &Peg, query: &QueryGraph, m: &Match) -> Explanation {
+    assert_eq!(
+        m.nodes.len(),
+        query.n_nodes(),
+        "match arity disagrees with the query"
+    );
+    let g = &peg.graph;
+
+    let nodes: Vec<NodeFactor> = m
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(q, &v)| {
+            let label = query.label(q as QNode);
+            NodeFactor {
+                qnode: q as QNode,
+                entity: v,
+                label,
+                prob: g.label_prob(v, label),
+                n_refs: g.node(v).refs.len(),
+            }
+        })
+        .collect();
+
+    let edges: Vec<EdgeFactor> = query
+        .edges()
+        .iter()
+        .map(|&(a, b)| {
+            let (u, v) = (m.nodes[a as usize], m.nodes[b as usize]);
+            let (lu, lv) = (query.label(a), query.label(b));
+            let conditional = g
+                .edge_between(u, v)
+                .map(|e| e.prob.is_conditional())
+                .unwrap_or(false);
+            EdgeFactor {
+                qedge: (a, b),
+                entities: (u, v),
+                prob: g.edge_prob(u, v, lu, lv),
+                conditional,
+            }
+        })
+        .collect();
+
+    // Group matched entities by existence component; one factor each.
+    let mut by_comp: FxHashMap<u32, Vec<EntityId>> = FxHashMap::default();
+    let mut trivial: Vec<EntityId> = Vec::new();
+    for &v in &m.nodes {
+        match peg.existence.component_of(v) {
+            Some(c) => by_comp.entry(c).or_default().push(v),
+            None => trivial.push(v),
+        }
+    }
+    let mut identity: Vec<IdentityFactor> = by_comp
+        .into_values()
+        .map(|mut entities| {
+            entities.sort_unstable();
+            entities.dedup();
+            let prob = peg.existence.prn(&entities);
+            IdentityFactor { entities, prob, trivial: false }
+        })
+        .collect();
+    identity.sort_by(|a, b| a.entities.cmp(&b.entities));
+    if !trivial.is_empty() {
+        trivial.sort_unstable();
+        trivial.dedup();
+        identity.push(IdentityFactor { entities: trivial, prob: 1.0, trivial: true });
+    }
+
+    let prle: f64 = nodes.iter().map(|n| n.prob).product::<f64>()
+        * edges.iter().map(|e| e.prob).product::<f64>();
+    let prn: f64 = identity.iter().map(|c| c.prob).product();
+    Explanation { nodes, edges, identity, prle, prn }
+}
+
+impl Explanation {
+    /// Renders like [`std::fmt::Display`] but resolves label ids to their
+    /// names via `table`.
+    pub fn render(&self, table: &graphstore::LabelTable) -> String {
+        let mut out = String::new();
+        self.write_report(&mut out, Some(table)).expect("String writer never fails");
+        out
+    }
+
+    fn write_report(
+        &self,
+        f: &mut dyn fmt::Write,
+        table: Option<&graphstore::LabelTable>,
+    ) -> fmt::Result {
+        let label_name = |l: Label| match table {
+            Some(t) if l.idx() < t.len() => t.name(l).to_string(),
+            _ => format!("σ{}", l.0),
+        };
+        let ids: Vec<String> =
+            self.nodes.iter().map(|n| format!("e{}", n.entity.0)).collect();
+        writeln!(
+            f,
+            "match [{}]  Pr = {:.4} = Prle {:.4} × Prn {:.4}",
+            ids.join(", "),
+            self.prob(),
+            self.prle,
+            self.prn
+        )?;
+        writeln!(f, "  nodes:")?;
+        for n in &self.nodes {
+            write!(
+                f,
+                "    q{} -> e{}  label {}  Pr = {:.4}",
+                n.qnode,
+                n.entity.0,
+                label_name(n.label),
+                n.prob
+            )?;
+            if n.n_refs > 1 {
+                write!(f, "   (merged: {} refs)", n.n_refs)?;
+            }
+            writeln!(f)?;
+        }
+        if !self.edges.is_empty() {
+            writeln!(f, "  edges:")?;
+            for e in &self.edges {
+                write!(
+                    f,
+                    "    (q{},q{}) -> (e{},e{})  Pr = {:.4}",
+                    e.qedge.0, e.qedge.1, e.entities.0 .0, e.entities.1 .0, e.prob
+                )?;
+                if e.conditional {
+                    write!(f, "   (label-conditional)")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, "  identity:")?;
+        for c in &self.identity {
+            let ids: Vec<String> = c.entities.iter().map(|v| format!("e{}", v.0)).collect();
+            if c.trivial {
+                writeln!(f, "    {{{}}}  certain (no shared references)", ids.join(", "))?;
+            } else {
+                writeln!(f, "    component {{{}}}  Pr = {:.4}", ids.join(", "), c.prob)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_report(f, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_bruteforce;
+    use crate::model::{figure1_refgraph, PegBuilder};
+
+    fn figure1() -> (Peg, QueryGraph) {
+        let refs = figure1_refgraph();
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let table = peg.graph.label_table();
+        let (r, a, i) = (
+            table.get("r").unwrap(),
+            table.get("a").unwrap(),
+            table.get("i").unwrap(),
+        );
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        (peg, q)
+    }
+
+    #[test]
+    fn factors_multiply_to_match_probability() {
+        let (peg, q) = figure1();
+        for m in match_bruteforce(&peg, &q, 0.01) {
+            let ex = explain(&peg, &q, &m);
+            assert!((ex.prle - m.prle).abs() < 1e-12, "prle: {} vs {}", ex.prle, m.prle);
+            assert!((ex.prn - m.prn).abs() < 1e-12, "prn: {} vs {}", ex.prn, m.prn);
+            let node_product: f64 = ex.nodes.iter().map(|n| n.prob).product();
+            let edge_product: f64 = ex.edges.iter().map(|e| e.prob).product();
+            assert!((node_product * edge_product - ex.prle).abs() < 1e-12);
+            let id_product: f64 = ex.identity.iter().map(|c| c.prob).product();
+            assert!((id_product - ex.prn).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure1_answer_is_explained() {
+        let (peg, q) = figure1();
+        let matches = match_bruteforce(&peg, &q, 0.2);
+        assert_eq!(matches.len(), 1);
+        let ex = explain(&peg, &q, &matches[0]);
+        // The single answer (s34, s2, s1): merged node s34 matched to r.
+        assert_eq!(ex.nodes.len(), 3);
+        assert_eq!(ex.nodes[0].n_refs, 2, "s34 merges two references");
+        assert!((ex.nodes[0].prob - 0.5).abs() < 1e-12, "merged label r: 0.5");
+        // One non-trivial identity component: {s34} with Pr 0.8.
+        let nontrivial: Vec<_> = ex.identity.iter().filter(|c| !c.trivial).collect();
+        assert_eq!(nontrivial.len(), 1);
+        assert!((nontrivial[0].prob - 0.8).abs() < 1e-12);
+        assert!((ex.prob() - 0.2025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weakest_factor_points_at_the_merged_identity() {
+        let (peg, q) = figure1();
+        let matches = match_bruteforce(&peg, &q, 0.2);
+        let ex = explain(&peg, &q, &matches[0]);
+        // Factors: labels (0.5, 1, 1), edges (0.75, 0.9), identity (0.8).
+        let (desc, p) = ex.weakest_factor().expect("uncertain match has a weak factor");
+        assert!((p - 0.5).abs() < 1e-12, "weakest is the merged label: {desc} {p}");
+        assert!(desc.contains("label"), "{desc}");
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let (peg, q) = figure1();
+        let matches = match_bruteforce(&peg, &q, 0.2);
+        let text = explain(&peg, &q, &matches[0]).to_string();
+        assert!(text.contains("Prle"), "{text}");
+        assert!(text.contains("nodes:"), "{text}");
+        assert!(text.contains("edges:"), "{text}");
+        assert!(text.contains("identity:"), "{text}");
+        assert!(text.contains("merged: 2 refs"), "{text}");
+    }
+
+    #[test]
+    fn render_resolves_label_names() {
+        let (peg, q) = figure1();
+        let matches = match_bruteforce(&peg, &q, 0.2);
+        let ex = explain(&peg, &q, &matches[0]);
+        let named = ex.render(peg.graph.label_table());
+        assert!(named.contains("label r"), "{named}");
+        assert!(named.contains("label a"), "{named}");
+        assert!(named.contains("label i"), "{named}");
+        assert!(!named.contains('σ'), "{named}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let (peg, q) = figure1();
+        let m = Match { nodes: vec![graphstore::EntityId(0)], prle: 1.0, prn: 1.0 };
+        let _ = explain(&peg, &q, &m);
+    }
+}

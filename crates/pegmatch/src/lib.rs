@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! `pegmatch` — subgraph pattern matching over uncertain graphs with
+//! identity linkage uncertainty.
+//!
+//! A from-scratch implementation of Moustafa, Kimmig, Deshpande & Getoor,
+//! *"Subgraph Pattern Matching over Uncertain Graphs with Identity Linkage
+//! Uncertainty"* (ICDE 2014). The library models three kinds of uncertainty
+//! — node label, edge existence, and identity (reference linkage) — and
+//! answers threshold subgraph pattern matching queries at the *entity* level.
+//!
+//! # Pipeline
+//!
+//! 1. Describe your data as a reference-level network
+//!    ([`graphstore::RefGraph`]): references with label distributions,
+//!    uncertain edges, and reference sets for possibly-coreferent mentions.
+//! 2. Compile it into a probabilistic entity graph with [`model::PegBuilder`]
+//!    (merge functions from [`merge`], existence semantics from
+//!    [`model::ExistenceModel`]).
+//! 3. Run the offline phase ([`offline::OfflineIndex::build`]): existence
+//!    component marginals, the context-aware path index, and per-node context
+//!    information.
+//! 4. Answer queries with [`online::QueryPipeline`]: path decomposition,
+//!    candidate pruning, reduction by join-candidates on the candidate
+//!    k-partite graph, and match generation.
+//!
+//! For ground truth and small workloads, [`matcher::match_bruteforce`]
+//! performs direct backtracking over the entity graph, and
+//! [`model::worlds::enumerate_worlds`] materializes the full possible-world
+//! distribution of tiny models; [`baseline::match_montecarlo`] estimates
+//! match probabilities by forward-sampling worlds at any scale.
+//!
+//! Beyond the pipeline itself: queries can be written in a textual pattern
+//! syntax ([`pattern`]), and any returned match can be factorized into the
+//! probabilities behind it ([`explain`]).
+//!
+//! # Quickstart (Figure 1 of the paper)
+//!
+//! ```
+//! use graphstore::{EdgeProbability, LabelDist, LabelTable, RefGraph};
+//! use pegmatch::model::PegBuilder;
+//! use pegmatch::query::QueryGraph;
+//! use pegmatch::offline::{OfflineIndex, OfflineOptions};
+//! use pegmatch::online::{QueryOptions, QueryPipeline};
+//!
+//! let mut table = LabelTable::new();
+//! let (a, r, i) = (table.intern("a"), table.intern("r"), table.intern("i"));
+//! let n = table.len();
+//! let mut refs = RefGraph::new(table);
+//! let r1 = refs.add_ref(LabelDist::from_pairs(&[(r, 0.25), (i, 0.75)], n));
+//! let r2 = refs.add_ref(LabelDist::delta(a, n));
+//! let r3 = refs.add_ref(LabelDist::delta(r, n));
+//! let r4 = refs.add_ref(LabelDist::delta(i, n));
+//! refs.add_edge(r1, r2, EdgeProbability::Independent(0.9));
+//! refs.add_edge(r2, r3, EdgeProbability::Independent(1.0));
+//! refs.add_edge(r2, r4, EdgeProbability::Independent(0.5));
+//! refs.add_pair_set_with_posterior(r3, r4, 0.8);
+//!
+//! let peg = PegBuilder::new().build(&refs).unwrap();
+//! let query = QueryGraph::path(&[r, a, i]).unwrap();
+//! let index = OfflineIndex::build(&peg, &OfflineOptions::default()).unwrap();
+//! let pipeline = QueryPipeline::new(&peg, &index);
+//! let matches = pipeline.run(&query, 0.2, &QueryOptions::default()).unwrap().matches;
+//! assert_eq!(matches.len(), 1); // (s34, s2, s1)
+//! ```
+
+pub mod baseline;
+pub mod error;
+pub mod explain;
+pub mod matcher;
+pub mod merge;
+pub mod model;
+pub mod offline;
+pub mod online;
+pub mod pattern;
+pub mod prob;
+pub mod query;
+
+pub use error::PegError;
+pub use model::Peg;

@@ -1,0 +1,259 @@
+//! Direct backtracking subgraph matcher over the entity graph.
+//!
+//! This is the exact reference algorithm (and the paper's implicit ground
+//! truth): enumerate injective mappings `ψ : VQ → V(G_U)` such that every
+//! query edge maps to a PEG edge that can exist, no two images share a
+//! reference, and `Pr(M) ≥ α`. The optimized pipeline in [`crate::online`]
+//! must return exactly this set — property tests assert it.
+
+use crate::model::Peg;
+use crate::query::{QNode, QueryGraph};
+use graphstore::{EntityId, Label};
+
+/// Probability slack for threshold comparisons (keeps algorithms that
+/// accumulate the same probability in different orders in agreement).
+const EPS: f64 = 1e-12;
+
+/// A match: images of query nodes 0..n plus its probability components.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Match {
+    /// `nodes[q]` is the entity matched to query node `q`.
+    pub nodes: Vec<EntityId>,
+    /// Label/edge probability component (Equation 13).
+    pub prle: f64,
+    /// Identity component (Equation 12).
+    pub prn: f64,
+}
+
+impl Match {
+    /// `Pr(M) = Prle(M) · Prn(M)`.
+    pub fn prob(&self) -> f64 {
+        self.prle * self.prn
+    }
+
+    /// Canonical sort key for comparing match sets across algorithms.
+    pub fn key(&self) -> Vec<u32> {
+        self.nodes.iter().map(|v| v.0).collect()
+    }
+}
+
+/// Sorts matches into canonical order (by node images).
+pub fn sort_matches(matches: &mut [Match]) {
+    matches.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+}
+
+/// Finds all probabilistic matches of `query` in `peg` with
+/// `Pr(M) ≥ alpha` by exhaustive backtracking.
+///
+/// Intended as ground truth and for small workloads; complexity is
+/// exponential in the query size.
+pub fn match_bruteforce(peg: &Peg, query: &QueryGraph, alpha: f64) -> Vec<Match> {
+    let order = matching_order(query);
+    let g = &peg.graph;
+    let nq = query.n_nodes();
+    let mut mapping: Vec<Option<EntityId>> = vec![None; nq];
+    let mut out = Vec::new();
+
+    // Depth-first over the matching order.
+    struct Ctx<'a> {
+        peg: &'a Peg,
+        query: &'a QueryGraph,
+        order: Vec<QNode>,
+        alpha: f64,
+    }
+
+    fn extend(
+        ctx: &Ctx<'_>,
+        depth: usize,
+        prle_so_far: f64,
+        mapping: &mut Vec<Option<EntityId>>,
+        out: &mut Vec<Match>,
+    ) {
+        let g = &ctx.peg.graph;
+        if depth == ctx.order.len() {
+            let nodes: Vec<EntityId> = mapping.iter().map(|m| m.unwrap()).collect();
+            let prn = ctx.peg.prn(&nodes);
+            if prle_so_far * prn + EPS >= ctx.alpha && prn > 0.0 {
+                out.push(Match { nodes, prle: prle_so_far, prn });
+            }
+            return;
+        }
+        let q = ctx.order[depth];
+        let lq = ctx.query.label(q);
+        // Mapped query neighbors of q.
+        let mapped_nbrs: Vec<QNode> = ctx
+            .query
+            .neighbors(q)
+            .iter()
+            .copied()
+            .filter(|&m| mapping[m as usize].is_some())
+            .collect();
+
+        let candidates: Vec<EntityId> = if let Some(&anchor) = mapped_nbrs.first() {
+            let img = mapping[anchor as usize].unwrap();
+            g.neighbors(img).iter().map(|&v| EntityId(v)).collect()
+        } else {
+            g.node_ids().collect()
+        };
+
+        'cand: for v in candidates {
+            if mapping.contains(&Some(v)) {
+                continue;
+            }
+            let lp = g.label_prob(v, lq);
+            if lp <= 0.0 {
+                continue;
+            }
+            let mut p = prle_so_far * lp;
+            if p + EPS < ctx.alpha {
+                continue;
+            }
+            for &m in &mapped_nbrs {
+                let img = mapping[m as usize].unwrap();
+                let ep = g.edge_prob(v, img, lq, ctx.query.label(m));
+                if ep <= 0.0 {
+                    continue 'cand;
+                }
+                p *= ep;
+                if p + EPS < ctx.alpha {
+                    continue 'cand;
+                }
+            }
+            // Reference disjointness with every mapped node.
+            for m in mapping.iter().flatten() {
+                if !g.refs_disjoint(v, *m) {
+                    continue 'cand;
+                }
+            }
+            mapping[q as usize] = Some(v);
+            extend(ctx, depth + 1, p, mapping, out);
+            mapping[q as usize] = None;
+        }
+    }
+
+    let ctx = Ctx { peg, query, order, alpha };
+    extend(&ctx, 0, 1.0, &mut mapping, &mut out);
+    let _ = g;
+    sort_matches(&mut out);
+    out
+}
+
+/// Connected matching order: start at the max-degree node, then repeatedly
+/// take the unmatched node with the most already-ordered neighbors (ties by
+/// degree).
+fn matching_order(query: &QueryGraph) -> Vec<QNode> {
+    let n = query.n_nodes();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let start = (0..n as QNode).max_by_key(|&u| query.degree(u)).unwrap_or(0);
+    order.push(start);
+    placed[start as usize] = true;
+    while order.len() < n {
+        let next = (0..n as QNode)
+            .filter(|&u| !placed[u as usize])
+            .max_by_key(|&u| {
+                let mapped = query
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&m| placed[m as usize])
+                    .count();
+                (mapped, query.degree(u))
+            })
+            .unwrap();
+        order.push(next);
+        placed[next as usize] = true;
+    }
+    order
+}
+
+/// Recomputes a match's probability from scratch (used by tests and the
+/// online pipeline's final verification).
+pub fn recompute(peg: &Peg, query: &QueryGraph, nodes: &[EntityId]) -> Match {
+    let pairs: Vec<(EntityId, Label)> =
+        nodes.iter().enumerate().map(|(q, &v)| (v, query.label(q as QNode))).collect();
+    let edges: Vec<(EntityId, EntityId)> = query
+        .edges()
+        .iter()
+        .map(|&(u, w)| (nodes[u as usize], nodes[w as usize]))
+        .collect();
+    Match {
+        nodes: nodes.to_vec(),
+        prle: crate::prob::prle(peg, &pairs, &edges),
+        prn: crate::prob::prn(peg, &pairs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+    use crate::query::QueryGraph;
+
+    #[test]
+    fn figure1_query_at_low_threshold() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        // At α = 0.05 the matches (with Prn factors) are:
+        //   (s3,s2,s4):  prle 0.5,      prn 0.2 -> 0.1
+        //   (s3,s2,s1):  prle 0.675,    prn 0.2 -> 0.135
+        //   (s34,s2,s1): prle 0.253125, prn 0.8 -> 0.2025
+        //   (s1,s2,s34): prle 0.084375, prn 0.8 -> 0.0675
+        // (s1,s2,s4) scores 0.25*0.9*0.5*0.2 = 0.0225 and is pruned.
+        let ms = match_bruteforce(&peg, &q, 0.05);
+        let probs: Vec<(Vec<u32>, f64)> =
+            ms.iter().map(|m| (m.key(), (m.prob() * 1e6).round() / 1e6)).collect();
+        assert_eq!(probs.len(), 4, "{probs:?}");
+        assert!(probs.contains(&(vec![2, 1, 3], 0.1)));
+        assert!(probs.contains(&(vec![2, 1, 0], 0.135)));
+        assert!(probs.contains(&(vec![4, 1, 0], 0.2025)));
+        assert!(probs.contains(&(vec![0, 1, 4], 0.0675)));
+        // No match may pair s3/s4 with s34.
+        for (key, _) in &probs {
+            let has34 = key.contains(&4);
+            assert!(!(has34 && (key.contains(&2) || key.contains(&3))), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn figure1_query_at_alpha_02() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let ms = match_bruteforce(&peg, &q, 0.2);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].key(), vec![4, 1, 0]);
+        assert!((ms[0].prle - 0.253125).abs() < 1e-12);
+        assert!((ms[0].prn - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_excludes_everything_at_one() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        assert!(match_bruteforce(&peg, &q, 1.0).is_empty());
+    }
+
+    #[test]
+    fn recompute_agrees() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        for m in match_bruteforce(&peg, &q, 0.01) {
+            let r = recompute(&peg, &q, &m.nodes);
+            assert!((r.prle - m.prle).abs() < 1e-12);
+            assert!((r.prn - m.prn).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_node_query() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let q = QueryGraph::new(vec![Label(0)], vec![]).unwrap();
+        let ms = match_bruteforce(&peg, &q, 0.5);
+        // Only s2 is labeled `a` with probability 1.
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].key(), vec![1]);
+    }
+}

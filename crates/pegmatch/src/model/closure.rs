@@ -1,0 +1,243 @@
+//! Transitive-closure entity merging constraints — the extension named in
+//! the paper's conclusions ("generalizing the graph model to capture other
+//! types of entity merging constraints such as transitive closure").
+//!
+//! Pairwise identity links are often evidence for *larger* merges: if
+//! "C. Tucker" ↔ "Chris Tucker" and "Chris Tucker" ↔ "Christopher Tucker"
+//! are both plausible, the three references may all denote one entity. This
+//! module derives, for every connected cluster of declared pair sets, the
+//! full-cluster reference set (and optionally all intermediate connected
+//! subsets), so the possible worlds include the transitive merges. The
+//! existence machinery ([`crate::model::ExistenceModel`]) already handles
+//! arbitrary overlapping sets; this extension only *generates* them.
+
+use graphstore::hash::FxHashMap;
+use graphstore::{RefGraph, RefId, RefSetId};
+
+/// How to weight a derived closure set from its supporting pair weights.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClosureWeight {
+    /// Geometric mean of the supporting pair-set weights — a merge is as
+    /// plausible as its average link.
+    GeometricMean,
+    /// Minimum of the supporting pair weights — a chain is only as
+    /// plausible as its weakest link.
+    WeakestLink,
+    /// A fixed raw factor value.
+    Fixed(f64),
+}
+
+impl ClosureWeight {
+    fn combine(&self, pair_weights: &[f64]) -> f64 {
+        match self {
+            ClosureWeight::GeometricMean => {
+                if pair_weights.is_empty() {
+                    return 0.0;
+                }
+                let product: f64 = pair_weights.iter().product();
+                product.powf(1.0 / pair_weights.len() as f64)
+            }
+            ClosureWeight::WeakestLink => {
+                pair_weights.iter().copied().fold(f64::INFINITY, f64::min).min(1.0)
+            }
+            ClosureWeight::Fixed(w) => *w,
+        }
+    }
+}
+
+/// Derives transitive-closure reference sets from the pair sets already
+/// declared in `refs`, adding one set per connected cluster of three or
+/// more references. Returns the ids of the added sets.
+///
+/// Existing sets are left untouched; the new sets compete with them in the
+/// normalized existence distribution (Equation 7), so declaring a closure
+/// set *lowers* the posterior of the partial merges, exactly as intended.
+pub fn add_transitive_closure_sets(
+    refs: &mut RefGraph,
+    weight: ClosureWeight,
+) -> Vec<RefSetId> {
+    // Union-find over references through declared multi-member sets.
+    let mut parent: FxHashMap<RefId, RefId> = FxHashMap::default();
+    fn find(parent: &mut FxHashMap<RefId, RefId>, x: RefId) -> RefId {
+        let mut root = x;
+        while let Some(&p) = parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Path compression.
+        let mut cur = x;
+        while let Some(&p) = parent.get(&cur) {
+            if p == root {
+                break;
+            }
+            parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+
+    let declared: Vec<(Vec<RefId>, f64)> =
+        refs.ref_sets().iter().map(|s| (s.members.clone(), s.weight)).collect();
+    for (members, _) in &declared {
+        for &m in members {
+            parent.entry(m).or_insert(m);
+        }
+        let root = find(&mut parent, members[0]);
+        for &m in &members[1..] {
+            let r = find(&mut parent, m);
+            parent.insert(r, root);
+        }
+    }
+
+    // Group members and supporting weights per cluster.
+    let mut clusters: FxHashMap<RefId, (Vec<RefId>, Vec<f64>)> = FxHashMap::default();
+    for (members, w) in &declared {
+        let root = find(&mut parent, members[0]);
+        let entry = clusters.entry(root).or_default();
+        entry.0.extend(members.iter().copied());
+        entry.1.push(*w);
+    }
+
+    let mut added = Vec::new();
+    let mut cluster_list: Vec<(Vec<RefId>, Vec<f64>)> = clusters.into_values().collect();
+    // Deterministic order for reproducibility.
+    for (members, _) in &mut cluster_list {
+        members.sort_unstable();
+        members.dedup();
+    }
+    cluster_list.sort_by(|a, b| a.0.cmp(&b.0));
+    for (members, weights) in cluster_list {
+        if members.len() < 3 {
+            continue; // The pair set itself already covers 2-clusters.
+        }
+        // Skip when the exact set is already declared.
+        let exists = refs.ref_sets().iter().any(|s| s.members == members);
+        if exists {
+            continue;
+        }
+        let w = weight.combine(&weights);
+        if w <= 0.0 {
+            continue;
+        }
+        added.push(refs.add_ref_set(members, w));
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PegBuilder;
+    use graphstore::dist::{EdgeProbability, LabelDist};
+    use graphstore::{EntityId, Label, LabelTable};
+
+    /// Three references chained by two pair sets.
+    fn chained() -> RefGraph {
+        let table = LabelTable::from_names(["x"]);
+        let mut g = RefGraph::new(table);
+        let r0 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r1 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r2 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r3 = g.add_ref(LabelDist::delta(Label(0), 1));
+        g.add_edge(r0, r3, EdgeProbability::Independent(0.5));
+        g.add_pair_set_with_posterior(r0, r1, 0.6);
+        g.add_pair_set_with_posterior(r1, r2, 0.6);
+        g
+    }
+
+    #[test]
+    fn closure_set_added_for_chain() {
+        let mut g = chained();
+        assert_eq!(g.ref_sets().len(), 2);
+        let added = add_transitive_closure_sets(&mut g, ClosureWeight::GeometricMean);
+        assert_eq!(added.len(), 1);
+        assert_eq!(g.ref_sets().len(), 3);
+        let set = &g.ref_sets()[2];
+        assert_eq!(set.members, vec![RefId(0), RefId(1), RefId(2)]);
+        // Geometric mean of the two pair weights (√0.6 each).
+        let expected = 0.6f64.sqrt();
+        assert!((set.weight - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closure_worlds_include_full_merge() {
+        let mut g = chained();
+        add_transitive_closure_sets(&mut g, ClosureWeight::GeometricMean);
+        let peg = PegBuilder::new().build(&g).unwrap();
+        // Entities: 4 singletons + 2 pairs + 1 triple = 7.
+        assert_eq!(peg.graph.n_nodes(), 7);
+        let triple = EntityId(6);
+        let p_triple = peg.prn(&[triple]);
+        assert!(p_triple > 0.0 && p_triple < 1.0);
+        // The triple conflicts with every partial merge.
+        assert_eq!(peg.prn(&[triple, EntityId(4)]), 0.0);
+        // All configurations still normalize: the four mutually exclusive
+        // outcomes over this component sum to 1 (unmerged, {01}, {12}, {012}).
+        let unmerged = peg.prn(&[EntityId(0), EntityId(1), EntityId(2)]);
+        let m01 = peg.prn(&[EntityId(4), EntityId(2)]);
+        let m12 = peg.prn(&[EntityId(0), EntityId(5)]);
+        let total = unmerged + m01 + m12 + p_triple;
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn weakest_link_and_fixed_weights() {
+        let mut g1 = chained();
+        g1.add_pair_set_with_posterior(RefId(0), RefId(2), 0.2);
+        let added = add_transitive_closure_sets(&mut g1, ClosureWeight::WeakestLink);
+        assert_eq!(added.len(), 1);
+        let w = g1.ref_sets().last().unwrap().weight;
+        assert!((w - 0.2f64.sqrt()).abs() < 1e-12);
+
+        let mut g2 = chained();
+        add_transitive_closure_sets(&mut g2, ClosureWeight::Fixed(0.33));
+        assert!((g2.ref_sets().last().unwrap().weight - 0.33).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_closure_for_isolated_pairs() {
+        let table = LabelTable::from_names(["x"]);
+        let mut g = RefGraph::new(table);
+        let r0 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r1 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r2 = g.add_ref(LabelDist::delta(Label(0), 1));
+        let r3 = g.add_ref(LabelDist::delta(Label(0), 1));
+        g.add_pair_set_with_posterior(r0, r1, 0.5);
+        g.add_pair_set_with_posterior(r2, r3, 0.5);
+        let added = add_transitive_closure_sets(&mut g, ClosureWeight::GeometricMean);
+        assert!(added.is_empty());
+    }
+
+    #[test]
+    fn idempotent_when_closure_exists() {
+        let mut g = chained();
+        add_transitive_closure_sets(&mut g, ClosureWeight::GeometricMean);
+        let before = g.ref_sets().len();
+        // Second invocation: the 3-cluster set already exists; nothing new.
+        let added = add_transitive_closure_sets(&mut g, ClosureWeight::GeometricMean);
+        assert!(added.is_empty());
+        assert_eq!(g.ref_sets().len(), before);
+    }
+
+    #[test]
+    fn matching_respects_closure_merges() {
+        use crate::matcher::match_bruteforce;
+        use crate::query::QueryGraph;
+        let mut g = chained();
+        add_transitive_closure_sets(&mut g, ClosureWeight::GeometricMean);
+        let peg = PegBuilder::new().build(&g).unwrap();
+        // Edge r0–r3 lifts to edges from every merged variant containing r0.
+        let q = QueryGraph::path(&[Label(0), Label(0)]).unwrap();
+        let ms = match_bruteforce(&peg, &q, 1e-6);
+        // No match may combine the triple with any of its sub-merges.
+        for m in &ms {
+            let ids: Vec<u32> = m.nodes.iter().map(|v| v.0).collect();
+            if ids.contains(&6) {
+                assert!(!ids.contains(&4) && !ids.contains(&5));
+                assert!(!ids.contains(&0) && !ids.contains(&1) && !ids.contains(&2));
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! The probabilistic entity graph model (Section 3).
+//!
+//! [`PegBuilder`] compiles a reference-level network ([`graphstore::RefGraph`])
+//! into a [`Peg`]: the entity graph `G_U` plus the [`ExistenceModel`] that
+//! captures identity uncertainty (node existence factors, their Markov-network
+//! components, and exact marginals over valid configurations).
+
+pub mod closure;
+pub mod existence;
+pub mod peg;
+pub mod worlds;
+
+pub use closure::{add_transitive_closure_sets, ClosureWeight};
+pub use existence::{ComponentFallback, ExistenceModel, ExistenceOptions};
+pub use peg::{figure1_refgraph, Peg, PegBuilder};

@@ -1,0 +1,347 @@
+//! Exhaustive possible-world enumeration (Equation 8) for tiny models.
+//!
+//! This is the semantic ground truth: a PEG defines a distribution over
+//! labeled world graphs. Enumeration is exponential in everything and exists
+//! to validate the closed-form match probability (Equation 11) and the
+//! matching algorithms on small inputs.
+
+use crate::error::PegError;
+use crate::model::Peg;
+use graphstore::hash::FxHashMap;
+use graphstore::{EntityId, Label};
+
+/// One possible world graph with its probability.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// Existing entities with their assigned labels, sorted by id.
+    pub nodes: Vec<(EntityId, Label)>,
+    /// Present edges as canonical `(min, max)` id pairs.
+    pub edges: Vec<(u32, u32)>,
+    /// World probability (all worlds sum to 1).
+    pub prob: f64,
+}
+
+impl World {
+    /// Label assigned to `v` in this world, if it exists.
+    pub fn label_of(&self, v: EntityId) -> Option<Label> {
+        self.nodes.iter().find(|(n, _)| *n == v).map(|(_, l)| *l)
+    }
+
+    /// True when edge `(u, v)` is present.
+    pub fn has_edge(&self, u: EntityId, v: EntityId) -> bool {
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        self.edges.contains(&key)
+    }
+}
+
+/// Enumerates every possible world of `peg`.
+///
+/// Fails with [`PegError::Invalid`] when the estimated number of worlds
+/// exceeds `limit` — enumeration is for tests and tiny examples only.
+pub fn enumerate_worlds(peg: &Peg, limit: usize) -> Result<Vec<World>, PegError> {
+    let g = &peg.graph;
+
+    // --- Existence configurations: cartesian product over components. ---
+    let comps = peg.existence.component_configs();
+    let trivial: Vec<EntityId> = peg.existence.trivial_nodes().collect();
+    let mut world_count = 1f64;
+    for (_, configs) in &comps {
+        world_count *= configs.len() as f64;
+    }
+    if world_count > limit as f64 {
+        return Err(PegError::Invalid(format!(
+            "too many existence configurations ({world_count}) for enumeration"
+        )));
+    }
+
+    let mut node_sets: Vec<(Vec<EntityId>, f64)> = vec![(trivial, 1.0)];
+    for (sets, configs) in &comps {
+        let mut next = Vec::with_capacity(node_sets.len() * configs.len());
+        for (nodes, p) in &node_sets {
+            for &(mask, cp) in configs {
+                let mut ns = nodes.clone();
+                for (i, &s) in sets.iter().enumerate() {
+                    if mask & (1u64 << i) != 0 {
+                        ns.push(s);
+                    }
+                }
+                next.push((ns, p * cp));
+            }
+        }
+        node_sets = next;
+    }
+
+    // --- Labels and edges per existence configuration. ---
+    let mut worlds = Vec::new();
+    for (mut nodes, pn) in node_sets {
+        nodes.sort_unstable();
+        // Estimate label/edge blowup.
+        let mut label_combos = 1f64;
+        for &v in &nodes {
+            label_combos *= g.node(v).labels.support_size() as f64;
+        }
+        let mut possible_edges: Vec<(EntityId, EntityId)> = Vec::new();
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                if g.edge_between(u, v).is_some() {
+                    possible_edges.push((u, v));
+                }
+            }
+        }
+        let total = label_combos * 2f64.powi(possible_edges.len() as i32) * worlds.len().max(1) as f64;
+        if total > limit as f64 {
+            return Err(PegError::Invalid(format!(
+                "too many worlds ({total}) for enumeration"
+            )));
+        }
+
+        // Cartesian product over node labels.
+        let mut labelings: Vec<(Vec<Label>, f64)> = vec![(Vec::new(), 1.0)];
+        for &v in &nodes {
+            let mut next = Vec::new();
+            for (assign, p) in &labelings {
+                for l in g.node(v).labels.support() {
+                    let mut a = assign.clone();
+                    a.push(l);
+                    next.push((a, p * g.label_prob(v, l)));
+                }
+            }
+            labelings = next;
+        }
+
+        for (labels, pl) in labelings {
+            let label_of: FxHashMap<EntityId, Label> =
+                nodes.iter().copied().zip(labels.iter().copied()).collect();
+            // Subsets of possible edges.
+            let m = possible_edges.len();
+            for edge_mask in 0..(1usize << m) {
+                let mut pe = 1.0f64;
+                let mut edges = Vec::new();
+                for (k, &(u, v)) in possible_edges.iter().enumerate() {
+                    let p = g.edge_prob(u, v, label_of[&u], label_of[&v]);
+                    if edge_mask & (1 << k) != 0 {
+                        pe *= p;
+                        edges.push((u.0.min(v.0), u.0.max(v.0)));
+                    } else {
+                        pe *= 1.0 - p;
+                    }
+                }
+                let prob = pn * pl * pe;
+                if prob > 0.0 {
+                    worlds.push(World {
+                        nodes: nodes.iter().copied().zip(labels.iter().copied()).collect(),
+                        edges: edges.clone(),
+                        prob,
+                    });
+                }
+            }
+        }
+    }
+    Ok(worlds)
+}
+
+/// Draws one world from the PEG's distribution (forward sampling):
+/// a valid existence configuration per identity component, then a label per
+/// existing node, then each edge as a Bernoulli given the sampled labels.
+///
+/// The returned [`World::prob`] is the density of the drawn world (the same
+/// quantity [`enumerate_worlds`] assigns). Sampling never enumerates, so it
+/// scales to models where enumeration is infeasible — the basis of the
+/// Monte Carlo baseline in [`crate::baseline::match_montecarlo`].
+///
+/// # Panics
+/// Panics when an existence component has no valid configuration (an empty
+/// model bug caught upstream by [`crate::model::PegBuilder`]).
+pub fn sample_world<R: rand::Rng>(peg: &Peg, rng: &mut R) -> World {
+    let g = &peg.graph;
+    let mut prob = 1.0f64;
+
+    // Existence: one configuration per component, by cumulative weight.
+    let mut nodes: Vec<EntityId> = peg.existence.trivial_nodes().collect();
+    for (sets, configs) in peg.existence.component_configs() {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = None;
+        for &(mask, p) in &configs {
+            acc += p;
+            if u < acc {
+                chosen = Some((mask, p));
+                break;
+            }
+        }
+        // Cumulative rounding can leave a sliver; take the last config then.
+        let (mask, p) =
+            chosen.or(configs.last().copied()).expect("component has a configuration");
+        prob *= p;
+        for (i, &s) in sets.iter().enumerate() {
+            if mask & (1u64 << i) != 0 {
+                nodes.push(s);
+            }
+        }
+    }
+    nodes.sort_unstable();
+
+    // Labels: independent draws from each existing node's distribution.
+    let mut labeled: Vec<(EntityId, Label)> = Vec::with_capacity(nodes.len());
+    for &v in &nodes {
+        let dist = &g.node(v).labels;
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut pick = None;
+        for l in dist.support() {
+            acc += dist.prob(l);
+            if u < acc {
+                pick = Some(l);
+                break;
+            }
+        }
+        let l = pick
+            .or_else(|| dist.support().last())
+            .expect("label distribution has support");
+        prob *= dist.prob(l);
+        labeled.push((v, l));
+    }
+    let label_of: FxHashMap<EntityId, Label> = labeled.iter().copied().collect();
+
+    // Edges: Bernoulli per PEG edge whose endpoints both exist.
+    let mut edges = Vec::new();
+    for e in g.edges() {
+        let (Some(&lu), Some(&lv)) = (label_of.get(&e.a), label_of.get(&e.b)) else {
+            continue;
+        };
+        let p = g.edge_prob(e.a, e.b, lu, lv);
+        if rng.gen::<f64>() < p {
+            prob *= p;
+            edges.push((e.a.0.min(e.b.0), e.a.0.max(e.b.0)));
+        } else {
+            prob *= 1.0 - p;
+        }
+    }
+    edges.sort_unstable();
+    World { nodes: labeled, edges, prob }
+}
+
+/// Sums the probability of all worlds in which the given node-label mapping
+/// and edge set are present (the right-hand side of Equation 10 for a fixed
+/// candidate match `M`).
+pub fn match_prob_by_enumeration(
+    worlds: &[World],
+    nodes: &[(EntityId, Label)],
+    edges: &[(EntityId, EntityId)],
+) -> f64 {
+    worlds
+        .iter()
+        .filter(|w| {
+            nodes.iter().all(|&(v, l)| w.label_of(v) == Some(l))
+                && edges.iter().all(|&(u, v)| w.has_edge(u, v))
+        })
+        .map(|w| w.prob)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+    use crate::prob;
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let worlds = enumerate_worlds(&peg, 1_000_000).unwrap();
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration_on_figure1() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let worlds = enumerate_worlds(&peg, 1_000_000).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let s1 = EntityId(0);
+        let s2 = EntityId(1);
+        let s3 = EntityId(2);
+        let s4 = EntityId(3);
+        let s34 = EntityId(4);
+
+        // Path (s3, s2, s4) labeled (r, a, i): paper says 0.1.
+        let nodes = [(s3, r), (s2, a), (s4, i)];
+        let edges = [(s3, s2), (s2, s4)];
+        let by_enum = match_prob_by_enumeration(&worlds, &nodes, &edges);
+        let closed = prob::match_probability(&peg, &nodes, &edges);
+        assert!((by_enum - closed).abs() < 1e-9);
+        assert!((closed - 0.1).abs() < 1e-9, "closed = {closed}");
+
+        // Path (s34, s2, s1) labeled (r, a, i): Prle = 0.253125; the paper's
+        // worked example reports Prle only — Eq. 11 multiplies Prn = 0.8.
+        let nodes = [(s34, r), (s2, a), (s1, i)];
+        let edges = [(s34, s2), (s2, s1)];
+        let by_enum = match_prob_by_enumeration(&worlds, &nodes, &edges);
+        let closed = prob::match_probability(&peg, &nodes, &edges);
+        assert!((by_enum - closed).abs() < 1e-9);
+        assert!((closed - 0.253125 * 0.8).abs() < 1e-9, "closed = {closed}");
+
+        // Conflicting nodes never co-occur.
+        let nodes = [(s4, i), (s34, r)];
+        assert_eq!(match_prob_by_enumeration(&worlds, &nodes, &[]), 0.0);
+    }
+
+    #[test]
+    fn sampled_worlds_match_marginals_on_figure1() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 20_000usize;
+        let s34 = EntityId(4);
+        let s3 = EntityId(2);
+        let r = Label(1);
+        let (mut s34_exists, mut s34_r, mut s3_exists, mut conflicts) = (0u32, 0u32, 0u32, 0u32);
+        for _ in 0..n {
+            let w = sample_world(&peg, &mut rng);
+            if let Some(l) = w.label_of(s34) {
+                s34_exists += 1;
+                if l == r {
+                    s34_r += 1;
+                }
+                if w.label_of(s3).is_some() {
+                    conflicts += 1;
+                }
+            }
+            if w.label_of(s3).is_some() {
+                s3_exists += 1;
+            }
+        }
+        let f34 = s34_exists as f64 / n as f64;
+        let f3 = s3_exists as f64 / n as f64;
+        assert!((f34 - 0.8).abs() < 0.02, "Pr(s34) ≈ 0.8, sampled {f34}");
+        assert!((f3 - 0.2).abs() < 0.02, "Pr(s3) ≈ 0.2, sampled {f3}");
+        // Conditional label frequency: Pr(s34.l = r | s34 exists) = 0.5.
+        let fr = s34_r as f64 / s34_exists as f64;
+        assert!((fr - 0.5).abs() < 0.03, "Pr(l=r | s34) ≈ 0.5, sampled {fr}");
+        assert_eq!(conflicts, 0, "s3 and s34 share r3 and must never co-exist");
+    }
+
+    #[test]
+    fn sampled_world_probability_is_the_enumeration_density() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let worlds = enumerate_worlds(&peg, 1_000_000).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let w = sample_world(&peg, &mut rng);
+            let matching: Vec<&World> = worlds
+                .iter()
+                .filter(|e| e.nodes == w.nodes && e.edges == w.edges)
+                .collect();
+            assert_eq!(matching.len(), 1, "sampled world must be a possible world");
+            assert!(
+                (matching[0].prob - w.prob).abs() < 1e-12,
+                "density mismatch: {} vs {}",
+                matching[0].prob,
+                w.prob
+            );
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Join ordering and final match generation (Section 5.2.5).
+
+use crate::matcher::{sort_matches, Match};
+use crate::online::decompose::Decomposition;
+use crate::online::kpartite::KPartiteGraph;
+use crate::query::{QNode, QueryGraph};
+use crate::Peg;
+use graphstore::hash::FxHashMap;
+use graphstore::EntityId;
+
+const EPS: f64 = 1e-12;
+
+/// Join order strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinOrder {
+    /// The paper's heuristic: most node overlap with the placed set, then
+    /// most join predicates, then smallest cardinality.
+    Heuristic,
+    /// Sort by candidate-list size only (the random-decomposition baseline).
+    BySizeOnly,
+}
+
+/// Computes the partition join order.
+pub fn join_order(decomp: &Decomposition, sizes: &[usize], strategy: JoinOrder) -> Vec<usize> {
+    let k = decomp.paths.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    match strategy {
+        JoinOrder::BySizeOnly => {
+            let mut order: Vec<usize> = (0..k).collect();
+            order.sort_by_key(|&i| sizes[i]);
+            order
+        }
+        JoinOrder::Heuristic => {
+            let mut order = Vec::with_capacity(k);
+            let mut placed = vec![false; k];
+            // First path: smallest cardinality.
+            let first = (0..k).min_by_key(|&i| sizes[i]).unwrap();
+            order.push(first);
+            placed[first] = true;
+            while order.len() < k {
+                let mut placed_nodes: Vec<QNode> = order
+                    .iter()
+                    .flat_map(|&i| decomp.paths[i].nodes.iter().copied())
+                    .collect();
+                placed_nodes.sort_unstable();
+                placed_nodes.dedup();
+                let next = (0..k)
+                    .filter(|&i| !placed[i])
+                    .max_by(|&a, &b| {
+                        let ka = order_key(decomp, sizes, &placed_nodes, &placed, a);
+                        let kb = order_key(decomp, sizes, &placed_nodes, &placed, b);
+                        ka.partial_cmp(&kb).unwrap()
+                    })
+                    .unwrap();
+                order.push(next);
+                placed[next] = true;
+            }
+            order
+        }
+    }
+}
+
+/// (overlap, #predicates, -cardinality) — lexicographic maximization.
+fn order_key(
+    decomp: &Decomposition,
+    sizes: &[usize],
+    placed_nodes: &[QNode],
+    placed: &[bool],
+    i: usize,
+) -> (usize, usize, i64) {
+    let overlap = decomp.paths[i]
+        .nodes
+        .iter()
+        .filter(|n| placed_nodes.binary_search(n).is_ok())
+        .count();
+    let preds: usize = decomp.joins[i]
+        .iter()
+        .filter(|&&j| placed[j])
+        .map(|&j| decomp.shared_nodes(i, j).len())
+        .sum();
+    (overlap, preds, -(sizes[i] as i64))
+}
+
+/// Generates all full query matches from the (reduced) k-partite graph.
+///
+/// Matches are constructed by placing partitions in `order`, intersecting
+/// link lists of already-placed joined partitions, and pruning partial
+/// products `∏ w1 · Prn` against α. The exclusive coverage of `w1` weights
+/// makes the final product exactly `Prle(M)`.
+pub fn generate_matches(
+    peg: &Peg,
+    query: &QueryGraph,
+    decomp: &Decomposition,
+    kp: &KPartiteGraph,
+    order: &[usize],
+    alpha: f64,
+) -> Vec<Match> {
+    generate_matches_limited(peg, query, decomp, kp, order, alpha, None).0
+}
+
+/// [`generate_matches`] with an optional result cap: generation stops as
+/// soon as `limit` matches have been produced, returning whether the result
+/// was truncated. The matches found are sorted canonically but are *not*
+/// guaranteed to be the first in that order (generation order follows the
+/// join order, not the sort).
+pub fn generate_matches_limited(
+    peg: &Peg,
+    query: &QueryGraph,
+    decomp: &Decomposition,
+    kp: &KPartiteGraph,
+    order: &[usize],
+    alpha: f64,
+    limit: Option<usize>,
+) -> (Vec<Match>, bool) {
+    let mut out = Vec::new();
+    if order.is_empty() || limit == Some(0) {
+        return (out, limit == Some(0));
+    }
+    let mut chosen: Vec<Option<u32>> = vec![None; kp.partitions.len()];
+    let mut mapping: Vec<Option<EntityId>> = vec![None; query.n_nodes()];
+    let mut entity_of: FxHashMap<u32, QNode> = FxHashMap::default();
+    let completed = extend(
+        peg,
+        query,
+        decomp,
+        kp,
+        order,
+        alpha,
+        limit,
+        0,
+        1.0,
+        &mut chosen,
+        &mut mapping,
+        &mut entity_of,
+        &mut out,
+    );
+    sort_matches(&mut out);
+    (out, !completed)
+}
+
+/// Recursive partition placement; returns `false` when the `limit` was hit
+/// and generation must stop.
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+fn extend(
+    peg: &Peg,
+    query: &QueryGraph,
+    decomp: &Decomposition,
+    kp: &KPartiteGraph,
+    order: &[usize],
+    alpha: f64,
+    limit: Option<usize>,
+    depth: usize,
+    w1_product: f64,
+    chosen: &mut Vec<Option<u32>>,
+    mapping: &mut Vec<Option<EntityId>>,
+    entity_of: &mut FxHashMap<u32, QNode>,
+    out: &mut Vec<Match>,
+) -> bool {
+    if depth == order.len() {
+        let nodes: Vec<EntityId> = mapping.iter().map(|m| m.expect("full mapping")).collect();
+        let prn = peg.prn(&nodes);
+        if w1_product * prn + EPS >= alpha && prn > 0.0 {
+            out.push(Match { nodes, prle: w1_product, prn });
+            if limit.is_some_and(|k| out.len() >= k) {
+                return false;
+            }
+        }
+        return true;
+    }
+    let pi = order[depth];
+    let partition = &kp.partitions[pi];
+
+    // Candidate vertices: intersect link lists from placed joined partitions.
+    let placed_joined: Vec<(usize, u32)> = partition
+        .joined
+        .iter()
+        .filter_map(|&j| chosen[j].map(|v| (j, v)))
+        .collect();
+
+    let candidates: Vec<u32> = if placed_joined.is_empty() {
+        (0..partition.verts.len() as u32).filter(|&v| partition.verts[v as usize].alive).collect()
+    } else {
+        // Start from the smallest link list.
+        let lists: Vec<&[u32]> = placed_joined
+            .iter()
+            .map(|&(j, vj)| {
+                let pj = &kp.partitions[j];
+                let slot = pj.slot_of(pi).expect("symmetric join");
+                pj.verts[vj as usize].links[slot].as_slice()
+            })
+            .collect();
+        let smallest = lists.iter().enumerate().min_by_key(|(_, l)| l.len()).unwrap().0;
+        lists[smallest]
+            .iter()
+            .copied()
+            .filter(|&v| {
+                partition.verts[v as usize].alive
+                    && lists
+                        .iter()
+                        .enumerate()
+                        .all(|(li, l)| li == smallest || l.binary_search(&v).is_ok())
+            })
+            .collect()
+    };
+
+    'cand: for vid in candidates {
+        let vert = &partition.verts[vid as usize];
+        // Merge the vertex's images into the global mapping.
+        let mut added: Vec<QNode> = Vec::new();
+        for (pos, &n) in decomp.paths[pi].nodes.iter().enumerate() {
+            let e = vert.nodes[pos];
+            match mapping[n as usize] {
+                Some(prev) => {
+                    if prev != e {
+                        undo(mapping, entity_of, &added);
+                        continue 'cand;
+                    }
+                }
+                None => {
+                    // Injectivity across query nodes.
+                    if let Some(&other) = entity_of.get(&e.0) {
+                        if other != n {
+                            undo(mapping, entity_of, &added);
+                            continue 'cand;
+                        }
+                    }
+                    // Reference compatibility with everything placed.
+                    for m in mapping.iter().flatten() {
+                        if *m != e && !peg.graph.refs_disjoint(*m, e) {
+                            undo(mapping, entity_of, &added);
+                            continue 'cand;
+                        }
+                    }
+                    mapping[n as usize] = Some(e);
+                    entity_of.insert(e.0, n);
+                    added.push(n);
+                }
+            }
+        }
+        let new_w1 = w1_product * vert.w1;
+        let union: Vec<EntityId> = mapping.iter().flatten().copied().collect();
+        let prn = peg.prn(&union);
+        if new_w1 * prn + EPS >= alpha && prn > 0.0 {
+            chosen[pi] = Some(vid);
+            let keep_going = extend(
+                peg, query, decomp, kp, order, alpha, limit, depth + 1, new_w1, chosen,
+                mapping, entity_of, out,
+            );
+            chosen[pi] = None;
+            if !keep_going {
+                undo(mapping, entity_of, &added);
+                return false;
+            }
+        }
+        undo(mapping, entity_of, &added);
+    }
+    true
+}
+
+fn undo(
+    mapping: &mut [Option<EntityId>],
+    entity_of: &mut FxHashMap<u32, QNode>,
+    added: &[QNode],
+) {
+    for &n in added {
+        if let Some(e) = mapping[n as usize].take() {
+            entity_of.remove(&e.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::decompose::{decompose, DecompStrategy, QueryPath};
+    use graphstore::hash::FxHashMap as Map;
+    use graphstore::Label;
+
+    fn diamond_decomp() -> Decomposition {
+        // Query: square 0-1-2-3-0; decomposed into two 2-edge paths.
+        let q = QueryGraph::cycle(&[Label(0), Label(1), Label(0), Label(1)]).unwrap();
+        decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap()
+    }
+
+    #[test]
+    fn heuristic_order_prefers_overlap_then_size() {
+        let d = diamond_decomp();
+        let k = d.paths.len();
+        let sizes: Vec<usize> = (0..k).map(|i| 10 * (i + 1)).collect();
+        let order = join_order(&d, &sizes, JoinOrder::Heuristic);
+        assert_eq!(order.len(), k);
+        assert_eq!(order[0], 0, "smallest cardinality first");
+        // All partitions placed exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_only_order_sorts_ascending() {
+        let d = diamond_decomp();
+        let k = d.paths.len();
+        let sizes: Vec<usize> = (0..k).map(|i| 100 - i).collect();
+        let order = join_order(&d, &sizes, JoinOrder::BySizeOnly);
+        for w in order.windows(2) {
+            assert!(sizes[w[0]] <= sizes[w[1]]);
+        }
+    }
+
+    #[test]
+    fn order_key_counts_predicates() {
+        let mut shared = Map::default();
+        shared.insert((0usize, 1usize), vec![0 as QNode, 2]);
+        shared.insert((1usize, 2usize), vec![1 as QNode]);
+        let d = Decomposition {
+            paths: vec![
+                QueryPath { nodes: vec![0, 1, 2] },
+                QueryPath { nodes: vec![0, 3, 2] },
+                QueryPath { nodes: vec![1, 4] },
+            ],
+            joins: vec![vec![1], vec![0, 2], vec![1]],
+            shared,
+        };
+        let sizes = [5, 5, 5];
+        let placed = [true, false, false];
+        let key1 = order_key(&d, &sizes, &[0, 1, 2], &placed, 1);
+        let key2 = order_key(&d, &sizes, &[0, 1, 2], &placed, 2);
+        assert!(key1 > key2, "path 1 overlaps twice, path 2 once");
+    }
+}

@@ -1,0 +1,649 @@
+//! The candidate k-partite graph and joint search-space reduction
+//! (Sections 5.2.3–5.2.4).
+//!
+//! Each partition holds the candidate matches of one decomposition path; a
+//! link connects two candidates that satisfy all join predicates, whose
+//! combined probability reaches α, and whose references are compatible.
+//! Two reductions run to fixpoint:
+//!
+//! * **reduction by structure** — a candidate must keep at least one live
+//!   link into *every* partition its path joins with;
+//! * **reduction by upper bounds** — perception-vector message passing: each
+//!   vertex tracks, per partition, an upper bound on the `w1` weight of any
+//!   compatible candidate there; a vertex dies when
+//!   `w2 · ∏ perception < α`.
+
+use crate::online::candidates::CandidateSet;
+use crate::online::decompose::Decomposition;
+use crate::query::{QNode, QueryGraph};
+use crate::Peg;
+use graphstore::hash::FxHashMap;
+use graphstore::EntityId;
+
+const EPS: f64 = 1e-12;
+
+/// One candidate path match inside a partition.
+#[derive(Clone, Debug)]
+pub struct Vert {
+    /// Entity images aligned with the path's query nodes.
+    pub nodes: Vec<EntityId>,
+    /// Exclusive-coverage weight `w1` (label/edge probabilities of the
+    /// query nodes/edges this partition owns).
+    pub w1: f64,
+    /// Identity weight `w2 = Prn` of the path's node set.
+    pub w2: f64,
+    /// Liveness flag (pruned vertices stay in place).
+    pub alive: bool,
+    /// Link lists parallel to the partition's `joined` list; sorted ids.
+    pub links: Vec<Vec<u32>>,
+    /// Count of *alive* links per joined partition.
+    pub alive_counts: Vec<u32>,
+    /// Perception vector: per-partition upper bounds on compatible `w1`s.
+    pub perception: Vec<f64>,
+}
+
+impl Vert {
+    /// The pruning bound: `w2 · ∏ perception`.
+    pub fn upper_bound(&self) -> f64 {
+        self.w2 * self.perception.iter().product::<f64>()
+    }
+}
+
+/// One partition (all candidates of one decomposition path).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Indices of joined partitions, ascending.
+    pub joined: Vec<usize>,
+    /// The candidate vertices.
+    pub verts: Vec<Vert>,
+}
+
+impl Partition {
+    /// Number of alive vertices.
+    pub fn alive_count(&self) -> usize {
+        self.verts.iter().filter(|v| v.alive).count()
+    }
+
+    /// Slot of partition `j` within this partition's link lists.
+    pub fn slot_of(&self, j: usize) -> Option<usize> {
+        self.joined.iter().position(|&x| x == j)
+    }
+}
+
+/// Outcome counters of a reduction run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReductionStats {
+    /// Vertices removed by reduction by structure.
+    pub removed_structure: usize,
+    /// Vertices removed by reduction by upper bounds.
+    pub removed_upperbound: usize,
+    /// Message-passing rounds executed.
+    pub rounds: usize,
+    /// `log10` of the search-space product after the first structure pass.
+    pub log10_after_structure: f64,
+    /// `log10` of the final search-space product.
+    pub log10_final: f64,
+}
+
+/// Reduction configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceOptions {
+    /// Apply reduction by upper bounds after structure.
+    pub use_upperbounds: bool,
+    /// Run message passing with one worker per partition.
+    pub parallel: bool,
+    /// Safety cap on message-passing rounds per pass.
+    pub max_rounds: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        Self { use_upperbounds: true, parallel: false, max_rounds: 32 }
+    }
+}
+
+/// The candidate k-partite graph (Definition 6).
+#[derive(Clone, Debug)]
+pub struct KPartiteGraph {
+    /// One partition per decomposition path.
+    pub partitions: Vec<Partition>,
+}
+
+impl KPartiteGraph {
+    /// `log10` of the product of alive partition sizes (the paper's search
+    /// space measure); `-inf` when a partition is empty.
+    pub fn log10_search_space(&self) -> f64 {
+        self.partitions
+            .iter()
+            .map(|p| {
+                let n = p.alive_count();
+                if n == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (n as f64).log10()
+                }
+            })
+            .sum()
+    }
+
+    /// Alive vertex counts per partition.
+    pub fn alive_counts(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.alive_count()).collect()
+    }
+
+    /// Runs joint search-space reduction to fixpoint.
+    pub fn reduce(&mut self, alpha: f64, opts: &ReduceOptions) -> ReductionStats {
+        let mut stats = ReductionStats::default();
+        self.structure_fixpoint(&mut stats.removed_structure);
+        stats.log10_after_structure = self.log10_search_space();
+        if opts.use_upperbounds {
+            loop {
+                let killed = self.upperbound_pass(alpha, opts, &mut stats.rounds);
+                stats.removed_upperbound += killed;
+                if killed == 0 {
+                    break;
+                }
+                self.structure_fixpoint(&mut stats.removed_structure);
+            }
+        }
+        stats.log10_final = self.log10_search_space();
+        stats
+    }
+
+    /// Kills vertices lacking a live link to some joined partition, cascading.
+    fn structure_fixpoint(&mut self, removed: &mut usize) {
+        let mut worklist: Vec<(usize, u32)> = Vec::new();
+        for (pi, p) in self.partitions.iter().enumerate() {
+            for (vi, v) in p.verts.iter().enumerate() {
+                if v.alive && v.alive_counts.contains(&0) {
+                    worklist.push((pi, vi as u32));
+                }
+            }
+        }
+        while let Some((pi, vi)) = worklist.pop() {
+            if !self.partitions[pi].verts[vi as usize].alive {
+                continue;
+            }
+            self.kill(pi, vi, &mut worklist);
+            *removed += 1;
+        }
+    }
+
+    /// Marks a vertex dead and decrements neighbors' live-link counts,
+    /// scheduling any neighbor that drops to zero.
+    fn kill(&mut self, pi: usize, vi: u32, worklist: &mut Vec<(usize, u32)>) {
+        self.partitions[pi].verts[vi as usize].alive = false;
+        let links = self.partitions[pi].verts[vi as usize].links.clone();
+        let joined = self.partitions[pi].joined.clone();
+        for (slot, nbrs) in links.iter().enumerate() {
+            let pj = joined[slot];
+            let back_slot =
+                self.partitions[pj].slot_of(pi).expect("join relation must be symmetric");
+            for &w in nbrs {
+                let vert = &mut self.partitions[pj].verts[w as usize];
+                if !vert.alive {
+                    continue;
+                }
+                debug_assert!(vert.alive_counts[back_slot] > 0);
+                vert.alive_counts[back_slot] -= 1;
+                if vert.alive_counts[back_slot] == 0 {
+                    worklist.push((pj, w));
+                }
+            }
+        }
+    }
+
+    /// Message passing to fixpoint, then pruning by `w2 · ∏ perception < α`.
+    /// Returns the number of vertices killed.
+    fn upperbound_pass(&mut self, alpha: f64, opts: &ReduceOptions, rounds: &mut usize) -> usize {
+        let k = self.partitions.len();
+        for _ in 0..opts.max_rounds {
+            *rounds += 1;
+            let updates = if opts.parallel && k > 1 {
+                self.compute_round_parallel()
+            } else {
+                self.compute_round_sequential()
+            };
+            let mut changed = false;
+            for (pi, per_vert) in updates.into_iter().enumerate() {
+                for (vi, vec) in per_vert {
+                    let v = &mut self.partitions[pi].verts[vi as usize];
+                    for (p, val) in vec.into_iter().enumerate() {
+                        if val + 1e-15 < v.perception[p] {
+                            v.perception[p] = val;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Prune.
+        let mut killed = 0usize;
+        let mut worklist: Vec<(usize, u32)> = Vec::new();
+        for pi in 0..k {
+            for vi in 0..self.partitions[pi].verts.len() {
+                let v = &self.partitions[pi].verts[vi];
+                if v.alive && v.upper_bound() + EPS < alpha {
+                    self.kill(pi, vi as u32, &mut worklist);
+                    killed += 1;
+                }
+            }
+        }
+        // Cascade structural consequences immediately so counts stay sane.
+        while let Some((pj, w)) = worklist.pop() {
+            if self.partitions[pj].verts[w as usize].alive {
+                self.kill(pj, w, &mut worklist);
+                killed += 1;
+            }
+        }
+        killed
+    }
+
+    /// One Jacobi round of perception updates (sequential).
+    fn compute_round_sequential(&self) -> Vec<Vec<(u32, Vec<f64>)>> {
+        (0..self.partitions.len()).map(|pi| self.round_for_partition(pi)).collect()
+    }
+
+    /// One Jacobi round with one worker per partition (the paper's parallel
+    /// implementation; identical results by construction).
+    fn compute_round_parallel(&self) -> Vec<Vec<(u32, Vec<f64>)>> {
+        let mut out: Vec<Vec<(u32, Vec<f64>)>> = Vec::with_capacity(self.partitions.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.partitions.len())
+                .map(|pi| {
+                    let this = &*self;
+                    scope.spawn(move |_| this.round_for_partition(pi))
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("reduction worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        out
+    }
+
+    /// Proposed perception updates for the vertices of partition `pi`.
+    #[allow(clippy::needless_range_loop)]
+    fn round_for_partition(&self, pi: usize) -> Vec<(u32, Vec<f64>)> {
+        let k = self.partitions.len();
+        let p = &self.partitions[pi];
+        let mut out = Vec::new();
+        for (vi, v) in p.verts.iter().enumerate() {
+            if !v.alive {
+                continue;
+            }
+            let mut vec = v.perception.clone();
+            for entry in 0..k {
+                if entry == pi {
+                    continue; // Own entry stays at w1.
+                }
+                // min over joined partitions of (max over alive links).
+                let mut candidate = f64::INFINITY;
+                for (slot, &pj) in p.joined.iter().enumerate() {
+                    // A sender never transmits the receiver's own entry.
+                    if entry == pi {
+                        continue;
+                    }
+                    let mut best = 0.0f64;
+                    for &w in &v.links[slot] {
+                        let wv = &self.partitions[pj].verts[w as usize];
+                        if wv.alive {
+                            let val = wv.perception[entry];
+                            if val > best {
+                                best = val;
+                            }
+                        }
+                    }
+                    if best < candidate {
+                        candidate = best;
+                    }
+                }
+                if candidate.is_finite() && candidate < vec[entry] {
+                    vec[entry] = candidate;
+                }
+            }
+            if vec != v.perception {
+                out.push((vi as u32, vec));
+            }
+        }
+        out
+    }
+}
+
+/// Exclusive coverage: assigns every query node and edge to exactly one
+/// partition so `∏ w1` over a full match equals `Prle(M)`.
+#[derive(Clone, Debug)]
+pub struct CoverAssignment {
+    /// Per partition: positions (on its path) of owned query nodes.
+    pub owned_nodes: Vec<Vec<usize>>,
+    /// Per partition: owned path edges as position pairs.
+    pub owned_edges: Vec<Vec<(usize, usize)>>,
+}
+
+impl CoverAssignment {
+    /// First-covering-path assignment over the decomposition.
+    pub fn new(query: &QueryGraph, decomp: &Decomposition) -> Self {
+        let k = decomp.paths.len();
+        let mut node_owner: FxHashMap<QNode, usize> = FxHashMap::default();
+        let mut edge_owner: FxHashMap<(QNode, QNode), usize> = FxHashMap::default();
+        for (i, p) in decomp.paths.iter().enumerate() {
+            for &n in &p.nodes {
+                node_owner.entry(n).or_insert(i);
+            }
+            for e in p.edges() {
+                edge_owner.entry(e).or_insert(i);
+            }
+        }
+        debug_assert_eq!(node_owner.len(), query.n_nodes());
+        let mut owned_nodes = vec![Vec::new(); k];
+        let mut owned_edges = vec![Vec::new(); k];
+        for (i, p) in decomp.paths.iter().enumerate() {
+            for (pos, &n) in p.nodes.iter().enumerate() {
+                if node_owner[&n] == i && !owned_nodes[i].contains(&pos) {
+                    owned_nodes[i].push(pos);
+                }
+            }
+            let nodes = &p.nodes;
+            for (w_idx, w) in nodes.windows(2).enumerate() {
+                let key = (w[0].min(w[1]), w[0].max(w[1]));
+                if edge_owner[&key] == i {
+                    // A path may traverse the same edge... it cannot (simple
+                    // path), so each position pair appears once.
+                    owned_edges[i].push((w_idx, w_idx + 1));
+                }
+            }
+        }
+        // Deduplicate node ownership: a node occurs once per simple path.
+        Self { owned_nodes, owned_edges }
+    }
+}
+
+/// Builds the candidate k-partite graph: vertices from `candidate_sets`,
+/// links from join-candidate computation (lookup tables per joined pair).
+pub fn build_kpartite(
+    peg: &Peg,
+    query: &QueryGraph,
+    decomp: &Decomposition,
+    candidate_sets: &[CandidateSet],
+    alpha: f64,
+) -> KPartiteGraph {
+    let k = decomp.paths.len();
+    let cover = CoverAssignment::new(query, decomp);
+
+    let mut partitions: Vec<Partition> = Vec::with_capacity(k);
+    for i in 0..k {
+        let joined = decomp.joins[i].clone();
+        let path = &decomp.paths[i];
+        let verts = candidate_sets[i]
+            .matches
+            .iter()
+            .map(|pm| {
+                let mut w1 = 1.0;
+                for &pos in &cover.owned_nodes[i] {
+                    w1 *= peg.graph.label_prob(pm.nodes[pos], query.label(path.nodes[pos]));
+                }
+                for &(a, b) in &cover.owned_edges[i] {
+                    w1 *= peg.graph.edge_prob(
+                        pm.nodes[a],
+                        pm.nodes[b],
+                        query.label(path.nodes[a]),
+                        query.label(path.nodes[b]),
+                    );
+                }
+                let mut perception = vec![1.0; k];
+                perception[i] = w1;
+                Vert {
+                    nodes: pm.nodes.clone(),
+                    w1,
+                    w2: pm.prn,
+                    alive: true,
+                    links: vec![Vec::new(); joined.len()],
+                    alive_counts: vec![0; joined.len()],
+                    perception,
+                }
+            })
+            .collect();
+        partitions.push(Partition { joined, verts });
+    }
+
+    // Join-candidate links per joined pair (i < j), via lookup tables
+    // keyed on the images of the shared query nodes (Section 5.2.3).
+    for i in 0..k {
+        for &j in &decomp.joins[i] {
+            if j < i {
+                continue;
+            }
+            let shared = decomp.shared_nodes(i, j);
+            let pos_i: Vec<usize> =
+                shared.iter().map(|&n| decomp.paths[i].position(n).unwrap()).collect();
+            let pos_j: Vec<usize> =
+                shared.iter().map(|&n| decomp.paths[j].position(n).unwrap()).collect();
+
+            // Lookup table over partition j.
+            let mut table: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+            for (wj, v) in partitions[j].verts.iter().enumerate() {
+                let key: Vec<u32> = pos_j.iter().map(|&p| v.nodes[p].0).collect();
+                table.entry(key).or_default().push(wj as u32);
+            }
+
+            let slot_ij = partitions[i].slot_of(j).unwrap();
+            let slot_ji = partitions[j].slot_of(i).unwrap();
+            let mut new_links: Vec<(u32, u32)> = Vec::new();
+            for (wi, v) in partitions[i].verts.iter().enumerate() {
+                let key: Vec<u32> = pos_i.iter().map(|&p| v.nodes[p].0).collect();
+                let Some(buddies) = table.get(&key) else { continue };
+                for &wj in buddies {
+                    let w = &partitions[j].verts[wj as usize];
+                    if joined_pair_ok(peg, query, decomp, i, j, v, w, alpha) {
+                        new_links.push((wi as u32, wj));
+                    }
+                }
+            }
+            for (wi, wj) in new_links {
+                partitions[i].verts[wi as usize].links[slot_ij].push(wj);
+                partitions[j].verts[wj as usize].links[slot_ji].push(wi);
+            }
+        }
+    }
+    // Sort link lists and initialize alive counts.
+    for p in &mut partitions {
+        for v in &mut p.verts {
+            for (slot, l) in v.links.iter_mut().enumerate() {
+                l.sort_unstable();
+                l.dedup();
+                v.alive_counts[slot] = l.len() as u32;
+            }
+        }
+    }
+    KPartiteGraph { partitions }
+}
+
+/// Join-candidate admission test: injectivity, reference compatibility, and
+/// `Pr(Pu1 ∘ Pu2) ≥ α` on the joined subgraph.
+#[allow(clippy::too_many_arguments)]
+fn joined_pair_ok(
+    peg: &Peg,
+    query: &QueryGraph,
+    decomp: &Decomposition,
+    i: usize,
+    j: usize,
+    vi: &Vert,
+    vj: &Vert,
+    alpha: f64,
+) -> bool {
+    // Union mapping qnode -> entity.
+    let mut mapping: Vec<(QNode, EntityId)> = Vec::new();
+    for (paths, vert) in [(i, vi), (j, vj)] {
+        for (pos, &n) in decomp.paths[paths].nodes.iter().enumerate() {
+            let e = vert.nodes[pos];
+            match mapping.iter().find(|(q, _)| *q == n) {
+                Some((_, prev)) => {
+                    if *prev != e {
+                        return false; // Join predicate violated.
+                    }
+                }
+                None => mapping.push((n, e)),
+            }
+        }
+    }
+    // Injectivity: distinct query nodes, distinct entities.
+    for (a, (_, ea)) in mapping.iter().enumerate() {
+        for (_, eb) in &mapping[a + 1..] {
+            if ea == eb {
+                return false;
+            }
+            if !peg.graph.refs_disjoint(*ea, *eb) {
+                return false;
+            }
+        }
+    }
+    // Pr(Pu1 ∘ Pu2): labels over union nodes, edges over both paths' edges.
+    let mut prle = 1.0;
+    for &(n, e) in &mapping {
+        prle *= peg.graph.label_prob(e, query.label(n));
+        if prle == 0.0 {
+            return false;
+        }
+    }
+    let mut edges: Vec<(QNode, QNode)> = Vec::new();
+    for p in [i, j] {
+        for e in decomp.paths[p].edges() {
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        }
+    }
+    let image = |n: QNode| mapping.iter().find(|(q, _)| *q == n).unwrap().1;
+    for (a, b) in edges {
+        prle *= peg.graph.edge_prob(image(a), image(b), query.label(a), query.label(b));
+        if prle == 0.0 {
+            return false;
+        }
+    }
+    let entities: Vec<EntityId> = mapping.iter().map(|(_, e)| *e).collect();
+    let prn = peg.prn(&entities);
+    prle * prn + EPS >= alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+    use crate::offline::{OfflineIndex, OfflineOptions};
+    use crate::online::candidates::{find_candidates, NodeCandidateCache, PathStats};
+    use crate::online::decompose::{decompose, DecompStrategy};
+    use graphstore::Label;
+
+    /// Builds the k-partite graph for the Figure-1 (r,a,i) query decomposed
+    /// into two single-edge paths (forced by max_len = 1).
+    fn setup(alpha: f64) -> (Peg, KPartiteGraph, Decomposition) {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(1, 0.01)).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let d = decompose(&q, 1, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        assert_eq!(d.paths.len(), 2);
+        let mut cache = NodeCandidateCache::new();
+        let sets: Vec<CandidateSet> = d
+            .paths
+            .iter()
+            .map(|p| {
+                let s = PathStats::new(&q, p);
+                find_candidates(&peg, &idx, &q, p, &s, alpha, &mut cache)
+            })
+            .collect();
+        let kp = build_kpartite(&peg, &q, &d, &sets, alpha);
+        (peg, kp, d)
+    }
+
+    #[test]
+    fn links_respect_join_predicates() {
+        let (_peg, kp, d) = setup(0.05);
+        // Both partitions share exactly query node 1 (the `a` center).
+        assert_eq!(d.shared.len(), 1);
+        for (pi, p) in kp.partitions.iter().enumerate() {
+            for v in &p.verts {
+                for (slot, nbrs) in v.links.iter().enumerate() {
+                    let pj = p.joined[slot];
+                    for &w in nbrs {
+                        let wv = &kp.partitions[pj].verts[w as usize];
+                        // Shared node position: find it and compare images.
+                        let shared = d.shared_nodes(pi, pj);
+                        for &sn in shared {
+                            let a = v.nodes[d.paths[pi].position(sn).unwrap()];
+                            let b = wv.nodes[d.paths[pj].position(sn).unwrap()];
+                            assert_eq!(a, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structure_reduction_kills_linkless() {
+        let (_peg, mut kp, _d) = setup(0.05);
+        let before: usize = kp.alive_counts().iter().sum();
+        let stats = kp.reduce(0.05, &ReduceOptions { use_upperbounds: false, ..Default::default() });
+        let after: usize = kp.alive_counts().iter().sum();
+        assert_eq!(before - after, stats.removed_structure);
+        // Every survivor keeps a link everywhere it must.
+        for p in &kp.partitions {
+            for v in p.verts.iter().filter(|v| v.alive) {
+                for (slot, _) in p.joined.iter().enumerate() {
+                    assert!(v.alive_counts[slot] > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upperbound_reduction_tightens_more_with_high_alpha() {
+        let (_peg, mut kp_low, _) = setup(0.05);
+        let (_peg2, mut kp_high, _) = setup(0.05);
+        let low = kp_low.reduce(0.05, &ReduceOptions::default());
+        // Reduce the *same* initial graph with a stricter threshold.
+        let high = kp_high.reduce(0.2, &ReduceOptions::default());
+        let alive_low: usize = kp_low.alive_counts().iter().sum();
+        let alive_high: usize = kp_high.alive_counts().iter().sum();
+        assert!(alive_high <= alive_low);
+        assert!(high.removed_upperbound + high.removed_structure >= low.removed_upperbound + low.removed_structure);
+    }
+
+    #[test]
+    fn parallel_reduction_matches_sequential() {
+        let (_p1, mut seq, _) = setup(0.05);
+        let (_p2, mut par, _) = setup(0.05);
+        let s1 = seq.reduce(0.1, &ReduceOptions { parallel: false, ..Default::default() });
+        let s2 = par.reduce(0.1, &ReduceOptions { parallel: true, ..Default::default() });
+        assert_eq!(seq.alive_counts(), par.alive_counts());
+        assert_eq!(s1.removed_structure, s2.removed_structure);
+        assert_eq!(s1.removed_upperbound, s2.removed_upperbound);
+        for (p, q) in seq.partitions.iter().zip(&par.partitions) {
+            for (a, b) in p.verts.iter().zip(&q.verts) {
+                assert_eq!(a.alive, b.alive);
+                for (x, y) in a.perception.iter().zip(&b.perception) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_assignment_partitions_everything_once() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let _ = peg;
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let d = decompose(&q, 1, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        let cover = CoverAssignment::new(&q, &d);
+        let total_nodes: usize = cover.owned_nodes.iter().map(|v| v.len()).sum();
+        let total_edges: usize = cover.owned_edges.iter().map(|v| v.len()).sum();
+        assert_eq!(total_nodes, q.n_nodes());
+        assert_eq!(total_edges, q.n_edges());
+    }
+}

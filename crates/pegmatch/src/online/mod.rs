@@ -1,0 +1,453 @@
+//! The online phase (Section 5.2): decomposition → candidates →
+//! join-candidates → joint reduction → match generation.
+
+pub mod candidates;
+pub mod decompose;
+pub mod generate;
+pub mod kpartite;
+
+pub use candidates::{CandidateSet, NodeCandidateCache, PathStats};
+pub use decompose::{decompose, DecompStrategy, Decomposition, QueryPath};
+pub use generate::{generate_matches, generate_matches_limited, join_order, JoinOrder};
+pub use kpartite::{build_kpartite, KPartiteGraph, ReduceOptions, ReductionStats};
+
+use crate::error::PegError;
+use crate::matcher::Match;
+use crate::offline::OfflineIndex;
+use crate::query::QueryGraph;
+use crate::Peg;
+use std::time::{Duration, Instant};
+
+/// Online query processing options (the knobs behind the paper's baselines).
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Decomposition strategy (cost-based or random).
+    pub strategy: DecompStrategy,
+    /// Run joint search-space reduction (off = "No SS Reduction" baseline).
+    pub use_reduction: bool,
+    /// Within reduction, run reduction by upper bounds.
+    pub use_upperbounds: bool,
+    /// Parallel (per-partition) message passing.
+    pub parallel_reduction: bool,
+    /// Join-order strategy.
+    pub join_order: JoinOrder,
+    /// Cap on message-passing rounds per pass.
+    pub max_rounds: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            strategy: DecompStrategy::CostBased,
+            use_reduction: true,
+            use_upperbounds: true,
+            parallel_reduction: false,
+            join_order: JoinOrder::Heuristic,
+            max_rounds: 32,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// The paper's "Random decomposition" baseline: random cover, join order
+    /// by candidate count only.
+    pub fn random_decomposition(seed: u64) -> Self {
+        Self {
+            strategy: DecompStrategy::Random { seed },
+            join_order: JoinOrder::BySizeOnly,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "No search-space reduction" baseline.
+    pub fn no_reduction() -> Self {
+        Self { use_reduction: false, ..Default::default() }
+    }
+}
+
+/// Stage-by-stage instrumentation (powers Figures 7(e) and 7(f)).
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Number of decomposition paths.
+    pub n_paths: usize,
+    /// `|PIndex(lQ(VP), α)|` per path (the "Path" stage).
+    pub raw_counts: Vec<usize>,
+    /// Candidates surviving context pruning (the "Path+Context" stage).
+    pub context_counts: Vec<usize>,
+    /// Alive candidates after reduction (the "Final" stage).
+    pub final_counts: Vec<usize>,
+    /// `log10` of the product of `raw_counts`.
+    pub log10_ss_index: f64,
+    /// `log10` of the product of `context_counts`.
+    pub log10_ss_context: f64,
+    /// `log10` search space after reduction by structure.
+    pub log10_ss_after_structure: f64,
+    /// `log10` search space after full reduction.
+    pub log10_ss_final: f64,
+    /// Vertices removed by structure / upper bounds.
+    pub removed_structure: usize,
+    /// Vertices removed by reduction by upper bounds.
+    pub removed_upperbound: usize,
+    /// Message-passing rounds executed.
+    pub message_rounds: usize,
+    /// Matches returned.
+    pub n_matches: usize,
+    /// Stage timings.
+    pub decompose_time: Duration,
+    /// Candidate retrieval + context pruning time.
+    pub candidates_time: Duration,
+    /// k-partite construction (join-candidates) time.
+    pub join_time: Duration,
+    /// Joint reduction time.
+    pub reduction_time: Duration,
+    /// Match generation time.
+    pub generation_time: Duration,
+    /// End-to-end time.
+    pub total_time: Duration,
+}
+
+fn log10_product(counts: &[usize]) -> f64 {
+    counts
+        .iter()
+        .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64).log10() })
+        .sum()
+}
+
+/// Result of one query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// All probabilistic matches with `Pr(M) ≥ α`, canonically sorted.
+    /// When [`QueryResult::truncated`] is set, this holds only the first
+    /// `limit` matches generation produced.
+    pub matches: Vec<Match>,
+    /// True when a [`QueryPipeline::run_limited`] cap stopped generation
+    /// before the result set was complete.
+    pub truncated: bool,
+    /// Stage instrumentation.
+    pub stats: PipelineStats,
+}
+
+/// The optimized online query processor.
+pub struct QueryPipeline<'a> {
+    peg: &'a Peg,
+    offline: &'a OfflineIndex,
+}
+
+impl<'a> QueryPipeline<'a> {
+    /// Binds a pipeline to a PEG and its offline artifacts.
+    pub fn new(peg: &'a Peg, offline: &'a OfflineIndex) -> Self {
+        Self { peg, offline }
+    }
+
+    /// Answers a probabilistic subgraph pattern matching query
+    /// (Definition 5): all matches with `Pr(M) ≥ alpha`.
+    pub fn run(
+        &self,
+        query: &QueryGraph,
+        alpha: f64,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PegError> {
+        self.run_limited(query, alpha, None, opts)
+    }
+
+    /// [`QueryPipeline::run`] with a cap on the number of matches: the full
+    /// pruning pipeline runs unchanged, but match *generation* stops as
+    /// soon as `limit` matches exist, and the result is flagged
+    /// [`QueryResult::truncated`]. Useful for low-threshold exploratory
+    /// queries whose complete answer would be enormous.
+    pub fn run_limited(
+        &self,
+        query: &QueryGraph,
+        alpha: f64,
+        limit: Option<usize>,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PegError> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(PegError::Invalid(format!("threshold {alpha} out of range")));
+        }
+        let n_labels = self.peg.graph.label_table().len();
+        for &l in query.labels() {
+            if l.idx() >= n_labels {
+                return Err(PegError::UnknownLabel(format!("{l:?}")));
+            }
+        }
+        let mut stats = PipelineStats::default();
+        let t_total = Instant::now();
+
+        // 1. Path decomposition.
+        let t = Instant::now();
+        let max_len = self.offline.paths.config().max_len.max(1);
+        let est = |labels: &[graphstore::Label]| self.offline.estimate_path_count(labels, alpha);
+        let decomp = decompose(query, max_len, &est, opts.strategy)?;
+        stats.decompose_time = t.elapsed();
+        stats.n_paths = decomp.paths.len();
+
+        // 2. Path candidates with context pruning.
+        let t = Instant::now();
+        let mut node_cache = NodeCandidateCache::new();
+        let mut sets = Vec::with_capacity(decomp.paths.len());
+        for path in &decomp.paths {
+            let pstats = PathStats::new(query, path);
+            let cs = candidates::find_candidates(
+                self.peg,
+                self.offline,
+                query,
+                path,
+                &pstats,
+                alpha,
+                &mut node_cache,
+            );
+            stats.raw_counts.push(cs.raw_count);
+            stats.context_counts.push(cs.matches.len());
+            sets.push(cs);
+        }
+        stats.candidates_time = t.elapsed();
+        stats.log10_ss_index = log10_product(&stats.raw_counts);
+        stats.log10_ss_context = log10_product(&stats.context_counts);
+
+        // 3. Join-candidates / k-partite construction.
+        let t = Instant::now();
+        let mut kp = build_kpartite(self.peg, query, &decomp, &sets, alpha);
+        stats.join_time = t.elapsed();
+
+        // 4. Joint search-space reduction.
+        let t = Instant::now();
+        if opts.use_reduction {
+            let r = kp.reduce(
+                alpha,
+                &ReduceOptions {
+                    use_upperbounds: opts.use_upperbounds,
+                    parallel: opts.parallel_reduction,
+                    max_rounds: opts.max_rounds,
+                },
+            );
+            stats.removed_structure = r.removed_structure;
+            stats.removed_upperbound = r.removed_upperbound;
+            stats.message_rounds = r.rounds;
+            stats.log10_ss_after_structure = r.log10_after_structure;
+        } else {
+            stats.log10_ss_after_structure = kp.log10_search_space();
+        }
+        stats.reduction_time = t.elapsed();
+        stats.final_counts = kp.alive_counts();
+        stats.log10_ss_final = kp.log10_search_space();
+
+        // 5. Join order + match generation.
+        let t = Instant::now();
+        let order = join_order(&decomp, &stats.final_counts, opts.join_order);
+        let (matches, truncated) =
+            generate_matches_limited(self.peg, query, &decomp, &kp, &order, alpha, limit);
+        stats.generation_time = t.elapsed();
+        stats.n_matches = matches.len();
+        stats.total_time = t_total.elapsed();
+
+        Ok(QueryResult { matches, truncated, stats })
+    }
+
+    /// Finds the `k` most probable matches of `query` (an extension beyond
+    /// the paper's threshold queries).
+    ///
+    /// Works by iterative threshold tightening: the pipeline runs at a
+    /// threshold, and if fewer than `k` matches qualify the threshold is
+    /// lowered geometrically until either `k` matches are found or the
+    /// floor `min_alpha` is reached. Because a threshold run returns *all*
+    /// matches above the threshold, the best `k` of a sufficiently large
+    /// result set are the global top-k.
+    ///
+    /// Returns matches sorted by descending probability (ties broken by
+    /// node ids); the stats are those of the final (lowest-threshold) run.
+    pub fn run_topk(
+        &self,
+        query: &QueryGraph,
+        k: usize,
+        min_alpha: f64,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PegError> {
+        if k == 0 {
+            let mut empty = self.run(query, 1.0, opts)?;
+            empty.matches.clear();
+            return Ok(empty);
+        }
+        let mut alpha = 0.5f64;
+        let floor = min_alpha.max(1e-12);
+        loop {
+            let mut res = self.run(query, alpha, opts)?;
+            if res.matches.len() >= k || alpha <= floor {
+                res.matches.sort_by(|a, b| {
+                    b.prob()
+                        .partial_cmp(&a.prob())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.nodes.cmp(&b.nodes))
+                });
+                res.matches.truncate(k);
+                res.stats.n_matches = res.matches.len();
+                return Ok(res);
+            }
+            alpha = (alpha * 0.25).max(floor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_bruteforce;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+    use crate::offline::OfflineOptions;
+    use graphstore::Label;
+
+    fn assert_same_matches(a: &[Match], b: &[Match]) {
+        assert_eq!(a.len(), b.len(), "match counts differ: {a:?} vs {b:?}");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.nodes, y.nodes);
+            assert!((x.prle - y.prle).abs() < 1e-9);
+            assert!((x.prn - y.prn).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_bruteforce_on_figure1() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        for max_len in [1usize, 2, 3] {
+            let idx =
+                OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(max_len, 0.01))
+                    .unwrap();
+            let pipe = QueryPipeline::new(&peg, &idx);
+            for alpha in [0.01, 0.05, 0.1, 0.2, 0.25, 0.5] {
+                let got = pipe.run(&q, alpha, &QueryOptions::default()).unwrap();
+                let want = match_bruteforce(&peg, &q, alpha);
+                assert_same_matches(&got.matches, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn run_limited_caps_generation() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        let opts = QueryOptions::default();
+        let alpha = 0.01;
+
+        let full = pipe.run(&q, alpha, &opts).unwrap();
+        assert!(!full.truncated);
+        assert!(full.matches.len() >= 4, "figure 1 has several matches at α=0.01");
+
+        // A cap below the total truncates and returns a subset of the full set.
+        let k = full.matches.len() - 2;
+        let capped = pipe.run_limited(&q, alpha, Some(k), &opts).unwrap();
+        assert!(capped.truncated);
+        assert_eq!(capped.matches.len(), k);
+        for m in &capped.matches {
+            assert!(
+                full.matches.iter().any(|f| f.nodes == m.nodes),
+                "capped result {:?} not in the full set",
+                m.nodes
+            );
+        }
+
+        // A cap at or above the total behaves exactly like run().
+        let loose = pipe.run_limited(&q, alpha, Some(full.matches.len()), &opts).unwrap();
+        assert_same_matches(&loose.matches, &full.matches);
+        let looser = pipe.run_limited(&q, alpha, Some(1000), &opts).unwrap();
+        assert!(!looser.truncated);
+        assert_same_matches(&looser.matches, &full.matches);
+
+        // Degenerate cap.
+        let none = pipe.run_limited(&q, alpha, Some(0), &opts).unwrap();
+        assert!(none.truncated);
+        assert!(none.matches.is_empty());
+    }
+
+    #[test]
+    fn baselines_agree_with_optimized() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        let reference = pipe.run(&q, 0.05, &QueryOptions::default()).unwrap();
+        for opts in [
+            QueryOptions::random_decomposition(1),
+            QueryOptions::random_decomposition(99),
+            QueryOptions::no_reduction(),
+            QueryOptions { parallel_reduction: true, ..Default::default() },
+            QueryOptions { use_upperbounds: false, ..Default::default() },
+        ] {
+            let got = pipe.run(&q, 0.05, &opts).unwrap();
+            assert_same_matches(&got.matches, &reference.matches);
+        }
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(1, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        let res = pipe.run(&q, 0.05, &QueryOptions::default()).unwrap();
+        assert_eq!(res.stats.n_paths, 2);
+        assert_eq!(res.stats.raw_counts.len(), 2);
+        assert!(res.stats.log10_ss_index >= res.stats.log10_ss_context);
+        assert!(res.stats.log10_ss_context >= res.stats.log10_ss_final);
+        assert_eq!(res.stats.n_matches, res.matches.len());
+    }
+
+    #[test]
+    fn single_node_query_works() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let q = crate::query::QueryGraph::new(vec![Label(0)], vec![]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        let res = pipe.run(&q, 0.5, &QueryOptions::default()).unwrap();
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.matches[0].nodes[0].0, 1);
+    }
+
+    #[test]
+    fn topk_returns_best_matches() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        // Ground truth: all matches sorted by probability.
+        let mut all = match_bruteforce(&peg, &q, 1e-9);
+        all.sort_by(|x, y| y.prob().partial_cmp(&x.prob()).unwrap());
+        for k in [0usize, 1, 2, 3, 10] {
+            let got = pipe.run_topk(&q, k, 1e-9, &QueryOptions::default()).unwrap();
+            assert_eq!(got.matches.len(), k.min(all.len()), "k={k}");
+            for (x, y) in got.matches.iter().zip(&all) {
+                assert!((x.prob() - y.prob()).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_respects_floor() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        // With a high floor only matches above it are reachable.
+        let got = pipe.run_topk(&q, 10, 0.15, &QueryOptions::default()).unwrap();
+        assert!(got.matches.iter().all(|m| m.prob() >= 0.15 - 1e-12));
+        assert_eq!(got.matches.len(), 1);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let q = crate::query::QueryGraph::new(vec![Label(0)], vec![]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(1, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        assert!(pipe.run(&q, 1.5, &QueryOptions::default()).is_err());
+        assert!(pipe.run(&q, -0.1, &QueryOptions::default()).is_err());
+    }
+}

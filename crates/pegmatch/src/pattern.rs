@@ -1,0 +1,547 @@
+//! Textual pattern syntax for [`QueryGraph`]s.
+//!
+//! Queries can be written as a comma-separated list of *walk atoms* in a
+//! Cypher-inspired surface syntax:
+//!
+//! ```text
+//! (a:Academia)-(b:Industry), (b)-(c:ResearchLab), (a)-(c)
+//! ```
+//!
+//! * Each element `(var:Label)` introduces or re-uses a query variable.
+//!   The first occurrence of a variable must carry a label; later
+//!   occurrences may omit it (or repeat it, as long as it is identical).
+//! * Adjacent elements within an atom are connected by a query edge
+//!   (`-` and `--` are both accepted).
+//! * Variables are assigned node indices in order of first appearance.
+//! * Label names are identifiers (`[A-Za-z_][A-Za-z0-9_]*`) or quoted
+//!   strings (`"Research Lab"`, with `\"` and `\\` escapes) resolved against
+//!   the graph's [`LabelTable`]; unknown labels are rejected rather than
+//!   interned, because a query over a label absent from the data can never
+//!   match.
+//! * `#` starts a comment that runs to the end of the line.
+//!
+//! [`format_pattern`] renders any query in a canonical form that
+//! [`parse_pattern`] accepts and maps back to the identical [`QueryGraph`]
+//! (same node numbering, same edge order), which the round-trip property
+//! test relies on.
+
+use crate::error::PegError;
+use crate::query::{QNode, QueryGraph};
+use graphstore::{Label, LabelTable};
+use std::fmt::Write as _;
+
+/// Parses the pattern syntax above into a [`QueryGraph`].
+///
+/// Labels are resolved against `table`; variables become node indices in
+/// order of first appearance. The resulting graph must satisfy the usual
+/// [`QueryGraph::new`] validation (connected, no self loops).
+///
+/// # Errors
+/// [`PegError::Invalid`] on syntax errors (with byte offset), label
+/// conflicts, unlabeled first occurrences, self loops, or disconnected
+/// patterns; [`PegError::UnknownLabel`] when a label is not in `table`.
+///
+/// # Example
+/// ```
+/// use graphstore::LabelTable;
+/// use pegmatch::pattern::parse_pattern;
+/// let table = LabelTable::from_names(["a", "r", "i"]);
+/// let q = parse_pattern("(x:r)-(y:a)-(z:i)", &table).unwrap();
+/// assert_eq!(q.n_nodes(), 3);
+/// assert_eq!(q.n_edges(), 2);
+/// ```
+pub fn parse_pattern(input: &str, table: &LabelTable) -> Result<QueryGraph, PegError> {
+    Parser::new(input, table).parse()
+}
+
+/// Renders `query` in the canonical pattern form: every node listed once as
+/// `(n<i>:Label)` in index order, followed by one `(n<u>)-(n<v>)` atom per
+/// edge in stored order.
+///
+/// Label names that are not plain identifiers are quoted and escaped.
+///
+/// # Panics
+/// Panics when a query label is outside `table` (label ids always come from
+/// some table; use the one the query was built against).
+pub fn format_pattern(query: &QueryGraph, table: &LabelTable) -> String {
+    let mut out = String::new();
+    for (i, &label) in query.labels().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "(n{i}:");
+        push_label_name(&mut out, table.name(label));
+        out.push(')');
+    }
+    for &(u, v) in query.edges() {
+        let _ = write!(out, ", (n{u})-(n{v})");
+    }
+    out
+}
+
+fn push_label_name(out: &mut String, name: &str) {
+    if is_identifier(name) {
+        out.push_str(name);
+    } else {
+        out.push('"');
+        for c in name.chars() {
+            if c == '"' || c == '\\' {
+                out.push('\\');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    LParen,
+    RParen,
+    Colon,
+    Dash,
+    Comma,
+    Ident(String),
+    Quoted(String),
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::Colon => "':'".into(),
+            Token::Dash => "'-'".into(),
+            Token::Comma => "','".into(),
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Quoted(s) => format!("string \"{s}\""),
+        }
+    }
+}
+
+struct Parser<'a> {
+    table: &'a LabelTable,
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+    /// Variable name -> (node index, label once known).
+    vars: Vec<(String, Option<Label>)>,
+    edges: Vec<(QNode, QNode)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, table: &'a LabelTable) -> Self {
+        Self {
+            table,
+            tokens: Vec::new(),
+            pos: 0,
+            input_len: input.len(),
+            vars: Vec::new(),
+            edges: Vec::new(),
+        }
+        .tokenize(input)
+    }
+
+    fn tokenize(mut self, input: &str) -> Self {
+        // Errors during tokenization are deferred: a bad character becomes a
+        // token-free tail, reported by the parser as "unexpected end" with
+        // the right offset via `bad_char`.
+        let bytes = input.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => i += 1,
+                '#' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                '(' => {
+                    self.tokens.push((i, Token::LParen));
+                    i += 1;
+                }
+                ')' => {
+                    self.tokens.push((i, Token::RParen));
+                    i += 1;
+                }
+                ':' => {
+                    self.tokens.push((i, Token::Colon));
+                    i += 1;
+                }
+                ',' => {
+                    self.tokens.push((i, Token::Comma));
+                    i += 1;
+                }
+                '-' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i] == b'-' {
+                        i += 1;
+                    }
+                    self.tokens.push((start, Token::Dash));
+                }
+                '"' => {
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    let mut closed = false;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' if i + 1 < bytes.len() => {
+                                s.push(bytes[i + 1] as char);
+                                i += 2;
+                            }
+                            b'"' => {
+                                i += 1;
+                                closed = true;
+                                break;
+                            }
+                            _ => {
+                                // Multi-byte UTF-8: copy the whole scalar.
+                                let ch = input[i..].chars().next().expect("in-bounds char");
+                                s.push(ch);
+                                i += ch.len_utf8();
+                            }
+                        }
+                    }
+                    if closed {
+                        self.tokens.push((start, Token::Quoted(s)));
+                    } else {
+                        self.tokens.push((start, Token::Ident("\u{0}unterminated".into())));
+                    }
+                }
+                _ if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    self.tokens.push((start, Token::Ident(input[start..i].to_string())));
+                }
+                _ => {
+                    // Mark the bad character; parse() reports it.
+                    self.tokens.push((i, Token::Ident(format!("\u{0}bad char `{c}`"))));
+                    i += bytes.len(); // stop tokenizing
+                }
+            }
+        }
+        self
+    }
+
+    fn parse(mut self) -> Result<QueryGraph, PegError> {
+        self.atom()?;
+        while self.eat(&Token::Comma) {
+            self.atom()?;
+        }
+        if let Some((off, tok)) = self.peek_at() {
+            return Err(self.err(off, format!("expected ',' or end, found {}", tok.describe())));
+        }
+        let labels: Vec<Label> = self
+            .vars
+            .iter()
+            .map(|(name, label)| {
+                label.ok_or_else(|| {
+                    PegError::Invalid(format!("variable `{name}` never given a label"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        QueryGraph::new(labels, self.edges)
+    }
+
+    /// One walk atom: `element (dash element)*`.
+    fn atom(&mut self) -> Result<(), PegError> {
+        let mut prev = self.element()?;
+        while self.eat(&Token::Dash) {
+            let next = self.element()?;
+            if prev == next {
+                return Err(PegError::Invalid(format!(
+                    "self loop on variable `{}`",
+                    self.vars[prev as usize].0
+                )));
+            }
+            self.edges.push((prev.min(next), prev.max(next)));
+            prev = next;
+        }
+        Ok(())
+    }
+
+    /// One element: `( var (: label)? )`.
+    fn element(&mut self) -> Result<QNode, PegError> {
+        self.expect(Token::LParen)?;
+        let (off, var) = self.ident("variable name")?;
+        let label = if self.eat(&Token::Colon) {
+            let (loff, name) = self.label_name()?;
+            match self.table.get(&name) {
+                Some(l) => Some((loff, l, name)),
+                None => return Err(PegError::UnknownLabel(name)),
+            }
+        } else {
+            None
+        };
+        self.expect(Token::RParen)?;
+
+        let node = match self.vars.iter().position(|(n, _)| *n == var) {
+            Some(i) => i as QNode,
+            None => {
+                if self.vars.len() >= u16::MAX as usize {
+                    return Err(self.err(off, "too many query variables".into()));
+                }
+                self.vars.push((var, None));
+                (self.vars.len() - 1) as QNode
+            }
+        };
+        if let Some((loff, label, name)) = label {
+            match self.vars[node as usize].1 {
+                None => self.vars[node as usize].1 = Some(label),
+                Some(prev) if prev == label => {}
+                Some(prev) => {
+                    let prev_name = self.table.name(prev);
+                    return Err(self.err(
+                        loff,
+                        format!(
+                            "variable `{}` relabeled from `{prev_name}` to `{name}`",
+                            self.vars[node as usize].0
+                        ),
+                    ));
+                }
+            }
+        } else if self.vars[node as usize].1.is_none() {
+            return Err(self.err(
+                off,
+                format!("first occurrence of variable `{}` must have a label", {
+                    &self.vars[node as usize].0
+                }),
+            ));
+        }
+        Ok(node)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(usize, String), PegError> {
+        match self.next() {
+            Some((off, Token::Ident(s))) if !s.starts_with('\u{0}') => Ok((off, s)),
+            Some((off, tok)) => {
+                Err(self.err(off, format!("expected {what}, found {}", tok.describe())))
+            }
+            None => Err(self.eof(what)),
+        }
+    }
+
+    fn label_name(&mut self) -> Result<(usize, String), PegError> {
+        match self.next() {
+            Some((off, Token::Ident(s))) if !s.starts_with('\u{0}') => Ok((off, s)),
+            Some((off, Token::Quoted(s))) => Ok((off, s)),
+            Some((off, tok)) => {
+                Err(self.err(off, format!("expected label name, found {}", tok.describe())))
+            }
+            None => Err(self.eof("label name")),
+        }
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), PegError> {
+        match self.next() {
+            Some((_, tok)) if tok == want => Ok(()),
+            Some((off, tok)) => Err(self.err(
+                off,
+                format!("expected {}, found {}", want.describe(), tok.describe()),
+            )),
+            None => Err(self.eof(&want.describe())),
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if let Some((_, tok)) = self.peek_at() {
+            if tok == want {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_at(&self) -> Option<(usize, &Token)> {
+        self.tokens.get(self.pos).map(|(o, t)| (*o, t))
+    }
+
+    fn next(&mut self) -> Option<(usize, Token)> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, offset: usize, msg: String) -> PegError {
+        // Surface sentinel tokens (bad char / unterminated string) verbatim.
+        if let Some(rest) = msg.split('\u{0}').nth(1) {
+            return PegError::Invalid(format!("at byte {offset}: {}", rest.trim_end_matches('`')));
+        }
+        PegError::Invalid(format!("at byte {offset}: {msg}"))
+    }
+
+    fn eof(&self, what: &str) -> PegError {
+        PegError::Invalid(format!("at byte {}: expected {what}, found end of input", {
+            self.input_len
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LabelTable {
+        LabelTable::from_names(["a", "r", "i", "Research Lab"])
+    }
+
+    #[test]
+    fn parses_simple_path() {
+        let t = table();
+        let q = parse_pattern("(x:r)-(y:a)-(z:i)", &t).unwrap();
+        assert_eq!(q.n_nodes(), 3);
+        assert_eq!(q.n_edges(), 2);
+        assert_eq!(q.label(0), t.get("r").unwrap());
+        assert_eq!(q.label(1), t.get("a").unwrap());
+        assert_eq!(q.label(2), t.get("i").unwrap());
+        assert!(q.has_edge(0, 1));
+        assert!(q.has_edge(1, 2));
+        assert!(!q.has_edge(0, 2));
+    }
+
+    #[test]
+    fn atoms_share_variables() {
+        let t = table();
+        let q = parse_pattern("(x:a)-(y:r), (y)-(z:i), (x)-(z)", &t).unwrap();
+        assert_eq!(q.n_nodes(), 3);
+        assert_eq!(q.n_edges(), 3); // a triangle
+        for u in 0..3 {
+            assert_eq!(q.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn double_dash_and_comments_and_whitespace() {
+        let t = table();
+        let q = parse_pattern(
+            "# a path query\n  (x:r) -- (y:a)\n  , (y) - (z:i) # tail\n",
+            &t,
+        )
+        .unwrap();
+        assert_eq!(q.n_nodes(), 3);
+        assert_eq!(q.n_edges(), 2);
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let t = table();
+        let q = parse_pattern(r#"(x:"Research Lab")-(y:a)"#, &t).unwrap();
+        assert_eq!(q.label(0), t.get("Research Lab").unwrap());
+    }
+
+    #[test]
+    fn repeated_label_must_match() {
+        let t = table();
+        assert!(parse_pattern("(x:a)-(y:r), (x:a)-(y)", &t).is_ok());
+        let err = parse_pattern("(x:a)-(y:r), (x:i)-(y)", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("relabeled")), "{err}");
+    }
+
+    #[test]
+    fn first_occurrence_needs_label() {
+        let t = table();
+        let err = parse_pattern("(x)-(y:a)", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("must have a label")));
+    }
+
+    #[test]
+    fn unknown_label_is_rejected() {
+        let t = table();
+        let err = parse_pattern("(x:zzz)-(y:a)", &t).unwrap_err();
+        assert_eq!(err, PegError::UnknownLabel("zzz".into()));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let t = table();
+        let err = parse_pattern("(x:a)-(x)", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("self loop")));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let t = table();
+        let err = parse_pattern("(x:a)-(y:r), (u:i)-(v:a)", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("connected")));
+    }
+
+    #[test]
+    fn single_node_query() {
+        let t = table();
+        let q = parse_pattern("(x:i)", &t).unwrap();
+        assert_eq!(q.n_nodes(), 1);
+        assert_eq!(q.n_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let t = table();
+        // The walk x-y-x-y names the same undirected edge three times.
+        let q = parse_pattern("(x:a)-(y:r)-(x)-(y)", &t).unwrap();
+        assert_eq!(q.n_nodes(), 2);
+        assert_eq!(q.n_edges(), 1);
+    }
+
+    #[test]
+    fn walks_may_revisit_nodes() {
+        let t = table();
+        // Walk visits y twice: x-y, y-z, z-y would self-loop; instead
+        // branch via separate atoms. A legitimate revisit:
+        let q = parse_pattern("(x:a)-(y:r)-(z:i), (y)-(w:a)", &t).unwrap();
+        assert_eq!(q.n_nodes(), 4);
+        assert_eq!(q.degree(1), 3);
+    }
+
+    #[test]
+    fn syntax_error_positions() {
+        let t = table();
+        let err = parse_pattern("(x:a)-(y:r))", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("at byte 11")), "{err}");
+        let err = parse_pattern("(x:a)-", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("end of input")));
+        let err = parse_pattern("(x:a)-(y:r) @", &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("bad char")), "{err}");
+        let err = parse_pattern(r#"(x:"unclosed"#, &t).unwrap_err();
+        assert!(matches!(err, PegError::Invalid(ref m) if m.contains("unterminated")), "{err}");
+    }
+
+    #[test]
+    fn format_is_canonical_and_reparses() {
+        let t = table();
+        let q = parse_pattern(r#"(x:"Research Lab")-(y:a), (y)-(z:i), (x)-(z)"#, &t).unwrap();
+        let s = format_pattern(&q, &t);
+        assert_eq!(
+            s,
+            r#"(n0:"Research Lab"), (n1:a), (n2:i), (n0)-(n1), (n1)-(n2), (n0)-(n2)"#
+        );
+        let q2 = parse_pattern(&s, &t).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn format_handles_escapes() {
+        let mut t = LabelTable::new();
+        let weird = t.intern(r#"la"bel\"#);
+        let plain = t.intern("ok");
+        let q = QueryGraph::new(vec![weird, plain], vec![(0, 1)]).unwrap();
+        let s = format_pattern(&q, &t);
+        let q2 = parse_pattern(&s, &t).unwrap();
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Closed-form match probabilities (Equations 11–13).
+
+use crate::model::Peg;
+use graphstore::{EntityId, Label};
+
+/// `Prle(M)`: the label/edge component of a match — the product of node
+/// label probabilities and edge existence probabilities (Equation 13).
+///
+/// `nodes` maps matched entities to the labels the query assigns them;
+/// `edges` lists the matched query edges as entity pairs. Subgraph
+/// decomposable: disjoint pieces multiply.
+pub fn prle(peg: &Peg, nodes: &[(EntityId, Label)], edges: &[(EntityId, EntityId)]) -> f64 {
+    let g = &peg.graph;
+    let mut p = 1.0;
+    for &(v, l) in nodes {
+        p *= g.label_prob(v, l);
+        if p == 0.0 {
+            return 0.0;
+        }
+    }
+    let label_of = |v: EntityId| {
+        nodes
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, l)| *l)
+            .expect("edge endpoint must be a matched node")
+    };
+    for &(u, v) in edges {
+        p *= g.edge_prob(u, v, label_of(u), label_of(v));
+        if p == 0.0 {
+            return 0.0;
+        }
+    }
+    p
+}
+
+/// `Prn(M)`: the identity component — the probability that all matched
+/// entities co-exist (Equation 12). *Not* decomposable across nodes of the
+/// same existence component.
+pub fn prn(peg: &Peg, nodes: &[(EntityId, Label)]) -> f64 {
+    let ids: Vec<EntityId> = nodes.iter().map(|(v, _)| *v).collect();
+    peg.prn(&ids)
+}
+
+/// `Pr(M) = Prn(M) · Prle(M)` (Equation 11).
+pub fn match_probability(
+    peg: &Peg,
+    nodes: &[(EntityId, Label)],
+    edges: &[(EntityId, EntityId)],
+) -> f64 {
+    let le = prle(peg, nodes, edges);
+    if le == 0.0 {
+        return 0.0;
+    }
+    le * prn(peg, nodes)
+}
+
+/// `Prle` of a labeled path (consecutive nodes joined by edges) — the
+/// quantity stored in the path index.
+pub fn prle_path(peg: &Peg, nodes: &[EntityId], labels: &[Label]) -> f64 {
+    debug_assert_eq!(nodes.len(), labels.len());
+    let g = &peg.graph;
+    let mut p = 1.0;
+    for (&v, &l) in nodes.iter().zip(labels) {
+        p *= g.label_prob(v, l);
+        if p == 0.0 {
+            return 0.0;
+        }
+    }
+    for k in 0..nodes.len().saturating_sub(1) {
+        p *= g.edge_prob(nodes[k], nodes[k + 1], labels[k], labels[k + 1]);
+        if p == 0.0 {
+            return 0.0;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+
+    #[test]
+    fn figure1_unmerged_path() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let nodes = [(EntityId(2), r), (EntityId(1), a), (EntityId(3), i)];
+        let edges = [(EntityId(2), EntityId(1)), (EntityId(1), EntityId(3))];
+        assert!((prle(&peg, &nodes, &edges) - 0.5).abs() < 1e-12);
+        assert!((prn(&peg, &nodes) - 0.2).abs() < 1e-12);
+        assert!((match_probability(&peg, &nodes, &edges) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_merged_path_components() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        // (s34, s2, s1) with labels (r, a, i).
+        let nodes = [(EntityId(4), r), (EntityId(1), a), (EntityId(0), i)];
+        let edges = [(EntityId(4), EntityId(1)), (EntityId(1), EntityId(0))];
+        // Prle = 0.5 * 1 * 0.75 * 0.75 * 0.9 = 0.253125 (the paper's 0.253).
+        assert!((prle(&peg, &nodes, &edges) - 0.253125).abs() < 1e-12);
+        assert!((prn(&peg, &nodes) - 0.8).abs() < 1e-12);
+        // Eq. 11 total.
+        assert!((match_probability(&peg, &nodes, &edges) - 0.2025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prle_path_matches_generic() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let nodes = [EntityId(4), EntityId(1), EntityId(0)];
+        let labels = [r, a, i];
+        let pairs: Vec<(EntityId, Label)> = nodes.iter().copied().zip(labels).collect();
+        let edges = [(nodes[0], nodes[1]), (nodes[1], nodes[2])];
+        assert!(
+            (prle_path(&peg, &nodes, &labels) - prle(&peg, &pairs, &edges)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn zero_shortcircuits() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        // s2 cannot take label r.
+        let nodes = [(EntityId(1), Label(1))];
+        assert_eq!(prle(&peg, &nodes, &[]), 0.0);
+        assert_eq!(match_probability(&peg, &nodes, &[]), 0.0);
+        // Missing edge s1-s3.
+        let nodes = [(EntityId(0), Label(2)), (EntityId(2), Label(1))];
+        let edges = [(EntityId(0), EntityId(2))];
+        assert_eq!(prle(&peg, &nodes, &edges), 0.0);
+    }
+}

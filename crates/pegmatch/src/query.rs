@@ -1,0 +1,280 @@
+//! Query graphs: small labeled patterns to match against the PEG.
+
+use crate::error::PegError;
+use graphstore::hash::FxHashSet;
+use graphstore::Label;
+
+/// Index of a node within a query graph.
+pub type QNode = u16;
+
+/// A connected, labeled query pattern `Q = (VQ, EQ, lQ)`.
+///
+/// Nodes are indexed `0..n`; each carries exactly one label. Edges are
+/// undirected and deduplicated.
+///
+/// # Example
+///
+/// ```
+/// use graphstore::Label;
+/// use pegmatch::query::QueryGraph;
+/// // A triangle with an attached leaf.
+/// let q = QueryGraph::new(
+///     vec![Label(0), Label(1), Label(2), Label(0)],
+///     vec![(0, 1), (1, 2), (2, 0), (2, 3)],
+/// ).unwrap();
+/// assert_eq!(q.n_nodes(), 4);
+/// assert_eq!(q.degree(2), 3);
+/// assert!(QueryGraph::new(vec![Label(0), Label(1)], vec![]).is_err()); // disconnected
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryGraph {
+    labels: Vec<Label>,
+    edges: Vec<(QNode, QNode)>,
+    adj: Vec<Vec<QNode>>,
+}
+
+impl QueryGraph {
+    /// Builds a query, validating labels, edges, and connectivity.
+    pub fn new(labels: Vec<Label>, edges: Vec<(QNode, QNode)>) -> Result<Self, PegError> {
+        let n = labels.len();
+        if n == 0 {
+            return Err(PegError::Invalid("query has no nodes".into()));
+        }
+        if n > u16::MAX as usize {
+            return Err(PegError::Invalid("query too large".into()));
+        }
+        let mut seen: FxHashSet<(QNode, QNode)> = FxHashSet::default();
+        let mut dedup = Vec::with_capacity(edges.len());
+        for &(u, v) in &edges {
+            if u == v {
+                return Err(PegError::Invalid(format!("self loop on query node {u}")));
+            }
+            if u as usize >= n || v as usize >= n {
+                return Err(PegError::Invalid(format!("edge ({u},{v}) out of range")));
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                dedup.push(key);
+            }
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &dedup {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        let q = Self { labels, edges: dedup, adj };
+        if !q.is_connected() {
+            return Err(PegError::Invalid("query graph must be connected".into()));
+        }
+        Ok(q)
+    }
+
+    /// A simple path query over the given label sequence.
+    pub fn path(labels: &[Label]) -> Result<Self, PegError> {
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i as QNode, (i + 1) as QNode))
+            .collect();
+        Self::new(labels.to_vec(), edges)
+    }
+
+    /// A cycle query over the given label sequence (≥ 3 nodes).
+    pub fn cycle(labels: &[Label]) -> Result<Self, PegError> {
+        if labels.len() < 3 {
+            return Err(PegError::Invalid("cycle needs at least 3 nodes".into()));
+        }
+        let n = labels.len() as QNode;
+        let mut edges: Vec<(QNode, QNode)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        Self::new(labels.to_vec(), edges)
+    }
+
+    /// A star query: `center` label plus one leaf per entry of `leaves`.
+    pub fn star(center: Label, leaves: &[Label]) -> Result<Self, PegError> {
+        let mut labels = vec![center];
+        labels.extend_from_slice(leaves);
+        let edges = (1..=leaves.len()).map(|i| (0, i as QNode)).collect();
+        Self::new(labels, edges)
+    }
+
+    /// Number of query nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of query edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of node `u`.
+    #[inline]
+    pub fn label(&self, u: QNode) -> Label {
+        self.labels[u as usize]
+    }
+
+    /// All labels by node index.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Deduplicated canonical edges.
+    pub fn edges(&self) -> &[(QNode, QNode)] {
+        &self.edges
+    }
+
+    /// Neighbors of `u` in ascending order.
+    #[inline]
+    pub fn neighbors(&self, u: QNode) -> &[QNode] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: QNode) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// True when `(u, v)` is a query edge.
+    pub fn has_edge(&self, u: QNode, v: QNode) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Count of `u`'s neighbors labeled `σ` — the query-side `c(n, σ)`
+    /// statistic used in node-level pruning.
+    pub fn neighbor_label_count(&self, u: QNode, sigma: Label) -> usize {
+        self.adj[u as usize].iter().filter(|&&m| self.labels[m as usize] == sigma).count()
+    }
+
+    fn is_connected(&self) -> bool {
+        let n = self.n_nodes();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as QNode];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Enumerates all simple paths in the query with `1..=max_len` edges (and
+    /// single nodes when `include_single`), as node sequences. Each
+    /// undirected path appears once (canonical orientation).
+    pub fn enumerate_paths(&self, max_len: usize, include_single: bool) -> Vec<Vec<QNode>> {
+        let mut out = Vec::new();
+        if include_single {
+            for u in 0..self.n_nodes() as QNode {
+                out.push(vec![u]);
+            }
+        }
+        let mut current = Vec::new();
+        for start in 0..self.n_nodes() as QNode {
+            current.clear();
+            current.push(start);
+            self.extend_paths(max_len, &mut current, &mut out);
+        }
+        out
+    }
+
+    fn extend_paths(&self, max_len: usize, current: &mut Vec<QNode>, out: &mut Vec<Vec<QNode>>) {
+        let last = *current.last().unwrap();
+        for &next in self.neighbors(last) {
+            if current.contains(&next) {
+                continue;
+            }
+            current.push(next);
+            // Canonical: first endpoint < last endpoint, so each undirected
+            // path is emitted exactly once.
+            if current[0] < *current.last().unwrap() {
+                out.push(current.clone());
+            }
+            if current.len() <= max_len {
+                self.extend_paths(max_len, current, out);
+            }
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u16) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn path_and_cycle_constructors() {
+        let p = QueryGraph::path(&[l(0), l(1), l(2)]).unwrap();
+        assert_eq!(p.n_nodes(), 3);
+        assert_eq!(p.n_edges(), 2);
+        assert!(p.has_edge(0, 1));
+        assert!(!p.has_edge(0, 2));
+
+        let c = QueryGraph::cycle(&[l(0), l(1), l(2), l(3)]).unwrap();
+        assert_eq!(c.n_edges(), 4);
+        assert!(c.has_edge(3, 0));
+        assert_eq!(c.degree(0), 2);
+    }
+
+    #[test]
+    fn star_constructor() {
+        let s = QueryGraph::star(l(9), &[l(1), l(1), l(2)]).unwrap();
+        assert_eq!(s.n_nodes(), 4);
+        assert_eq!(s.degree(0), 3);
+        assert_eq!(s.neighbor_label_count(0, l(1)), 2);
+        assert_eq!(s.neighbor_label_count(0, l(2)), 1);
+        assert_eq!(s.neighbor_label_count(1, l(9)), 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(QueryGraph::new(vec![], vec![]).is_err());
+        assert!(QueryGraph::new(vec![l(0)], vec![(0, 0)]).is_err());
+        assert!(QueryGraph::new(vec![l(0), l(1)], vec![(0, 2)]).is_err());
+        // Disconnected.
+        assert!(QueryGraph::new(vec![l(0), l(1), l(2)], vec![(0, 1)]).is_err());
+        // Duplicate edges collapse.
+        let q = QueryGraph::new(vec![l(0), l(1)], vec![(0, 1), (1, 0)]).unwrap();
+        assert_eq!(q.n_edges(), 1);
+    }
+
+    #[test]
+    fn enumerate_paths_triangle() {
+        let q = QueryGraph::cycle(&[l(0), l(1), l(2)]).unwrap();
+        let paths = q.enumerate_paths(2, false);
+        // Triangle: 3 undirected edges + 3 undirected 2-edge paths.
+        let len1 = paths.iter().filter(|p| p.len() == 2).count();
+        let len2 = paths.iter().filter(|p| p.len() == 3).count();
+        assert_eq!(len1, 3);
+        assert_eq!(len2, 3);
+        // Canonicity: no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.clone()), "duplicate path {p:?}");
+            let mut rev = p.clone();
+            rev.reverse();
+            assert!(!seen.contains(&rev) || rev == *p, "reverse duplicate {p:?}");
+        }
+    }
+
+    #[test]
+    fn enumerate_paths_with_singles() {
+        let q = QueryGraph::path(&[l(0), l(1)]).unwrap();
+        let paths = q.enumerate_paths(3, true);
+        assert!(paths.contains(&vec![0]));
+        assert!(paths.contains(&vec![1]));
+        assert!(paths.contains(&vec![0, 1]));
+        assert_eq!(paths.len(), 3);
+    }
+}

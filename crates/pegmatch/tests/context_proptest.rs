@@ -1,0 +1,137 @@
+//! Property tests for the context information of Section 5.1: on arbitrary
+//! uncertain graphs, `c(v,σ)` counts exactly the reference-disjoint
+//! σ-capable neighborhood, and `ppu`/`fpu` are true upper bounds on the
+//! per-neighbor quantities they summarize — including label-conditional
+//! edges, where the bound is taken over the unknown endpoint label. These
+//! bounds are what make node- and path-level pruning (Section 5.2.2) sound;
+//! an overtight bound here would silently drop valid matches.
+
+use graphstore::dist::{CondTable, EdgeProbability, LabelDist};
+use graphstore::{EntityGraph, EntityGraphBuilder, EntityId, Label, LabelTable, RefId};
+use pegmatch::offline::ContextInfo;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Spec {
+    n_labels: usize,
+    /// Per node: (label weights, reference ids).
+    nodes: Vec<(Vec<u32>, Vec<u8>)>,
+    /// (a, b, independent prob or conditional seed).
+    edges: Vec<(u8, u8, Option<f64>, u64)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (2usize..4, 2usize..10).prop_flat_map(|(n_labels, n_nodes)| {
+        let nodes = prop::collection::vec(
+            (
+                prop::collection::vec(0u32..50, n_labels),
+                prop::collection::vec(0u8..12, 1..3),
+            ),
+            n_nodes,
+        );
+        let edges = prop::collection::vec(
+            (
+                0..n_nodes as u8,
+                0..n_nodes as u8,
+                prop::option::of(0.0..=1.0f64),
+                any::<u64>(),
+            ),
+            0..(n_nodes * 2),
+        );
+        (Just(n_labels), nodes, edges)
+            .prop_map(|(n_labels, nodes, edges)| Spec { n_labels, nodes, edges })
+    })
+}
+
+fn build(spec: &Spec) -> EntityGraph {
+    let table = LabelTable::from_names(
+        (0..spec.n_labels).map(|i| format!("l{i}")).collect::<Vec<_>>(),
+    );
+    let n = table.len();
+    let mut bld = EntityGraphBuilder::new(table);
+    for (weights, refs) in &spec.nodes {
+        let total: u32 = weights.iter().sum();
+        let mut dist = if total == 0 {
+            LabelDist::delta(Label(0), n)
+        } else {
+            let pairs: Vec<(Label, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (Label(i as u16), w as f64))
+                .collect();
+            LabelDist::from_pairs(&pairs, n)
+        };
+        dist.normalize();
+        let mut rids: Vec<RefId> = refs.iter().map(|&r| RefId(r as u32)).collect();
+        rids.sort_unstable();
+        rids.dedup();
+        bld.add_node(dist, rids);
+    }
+    for &(a, b, p, seed) in &spec.edges {
+        if a == b || a as usize >= spec.nodes.len() || b as usize >= spec.nodes.len() {
+            continue;
+        }
+        let prob = match p {
+            Some(p) => EdgeProbability::Independent(p),
+            None => EdgeProbability::Conditional(CondTable::from_fn(n, |x, y| {
+                let h = seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(((x.0 as u64) << 8) | y.0 as u64);
+                (h % 997) as f64 / 996.0
+            })),
+        };
+        bld.add_edge(EntityId(a as u32), EntityId(b as u32), prob);
+    }
+    bld.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn context_statistics_are_exact_counts_and_sound_bounds(spec in arb_spec()) {
+        let g = build(&spec);
+        let ctx = ContextInfo::build(&g);
+        for v in g.node_ids() {
+            for s in 0..g.label_table().len() as u16 {
+                let sigma = Label(s);
+                // Direct recomputation of N(v,σ) from the graph.
+                let mut count = 0u32;
+                let mut best_edge = 0.0f64;
+                let mut best_full = 0.0f64;
+                for (nb, _) in g.neighbor_edges(v) {
+                    if !g.refs_disjoint(v, nb) || g.label_prob(nb, sigma) == 0.0 {
+                        continue;
+                    }
+                    count += 1;
+                    // True per-neighbor quantities for *any* label of v.
+                    for lv in g.node(v).labels.support() {
+                        let ep = g.edge_prob(v, nb, lv, sigma);
+                        best_edge = best_edge.max(ep);
+                        best_full = best_full.max(g.label_prob(nb, sigma) * ep);
+                    }
+                }
+                prop_assert_eq!(ctx.c(v, sigma), count, "c({:?},{:?})", v, sigma);
+                // ppu/fpu maximize over ALL labels of v (unknown endpoint),
+                // so they must dominate the true quantities...
+                prop_assert!(
+                    ctx.ppu(v, sigma) >= best_edge - 1e-12,
+                    "ppu({v:?},{sigma:?}) = {} < true max {}",
+                    ctx.ppu(v, sigma), best_edge
+                );
+                prop_assert!(
+                    ctx.fpu(v, sigma) >= best_full - 1e-12,
+                    "fpu({v:?},{sigma:?}) = {} < true max {}",
+                    ctx.fpu(v, sigma), best_full
+                );
+                // ...and stay within [0, 1] with fpu ≤ ppu (label ≤ 1).
+                prop_assert!(ctx.ppu(v, sigma) <= 1.0 + 1e-12);
+                prop_assert!(ctx.fpu(v, sigma) <= ctx.ppu(v, sigma) + 1e-12);
+                // Empty neighborhoods pin both bounds to zero.
+                if count == 0 {
+                    prop_assert_eq!(ctx.ppu(v, sigma), 0.0);
+                    prop_assert_eq!(ctx.fpu(v, sigma), 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test: every decomposition (cost-based and random, any `L`) is
+//! *valid* — its paths are genuine simple paths of the query, respect the
+//! length bound, cover every query edge, and carry a consistent join
+//! structure. (Pipeline-vs-bruteforce equivalence over random configurations
+//! lives in the workspace-level `tests/pipeline_proptest.rs`.)
+
+use pegmatch::online::{decompose, DecompStrategy};
+use pegmatch::query::{QNode, QueryGraph};
+use proptest::prelude::*;
+
+/// A random connected query: spanning tree plus extra edges.
+fn arb_query(n_labels: usize) -> impl Strategy<Value = QueryGraph> {
+    (2usize..9).prop_flat_map(move |n| {
+        let labels = prop::collection::vec(0..n_labels as u16, n);
+        let tree = prop::collection::vec(any::<u32>(), n - 1);
+        let extra = prop::collection::vec((0..n as u16, 0..n as u16), 0..8);
+        (labels, tree, extra).prop_map(move |(labels, tree, extra)| {
+            let mut edges: Vec<(QNode, QNode)> = Vec::new();
+            for (i, r) in tree.iter().enumerate() {
+                edges.push(((*r as usize % (i + 1)) as QNode, (i + 1) as QNode));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            QueryGraph::new(
+                labels.into_iter().map(graphstore::Label).collect(),
+                edges,
+            )
+            .expect("spanning tree keeps it connected")
+        })
+    })
+}
+
+fn check_decomposition(query: &QueryGraph, max_len: usize, strategy: DecompStrategy) {
+    let d = decompose(query, max_len, &|_| 10.0, strategy).expect("decompose succeeds");
+    assert!(!d.paths.is_empty());
+
+    // (a) every path is a simple path in the query within the length bound.
+    for p in &d.paths {
+        assert!(!p.nodes.is_empty() && p.nodes.len() <= max_len + 1, "len bound: {p:?}");
+        let mut seen = std::collections::HashSet::new();
+        for &n in &p.nodes {
+            assert!((n as usize) < query.n_nodes(), "node range: {p:?}");
+            assert!(seen.insert(n), "repeated node on path: {p:?}");
+        }
+        for w in p.nodes.windows(2) {
+            assert!(query.has_edge(w[0], w[1]), "non-edge on path: {p:?}");
+        }
+    }
+
+    // (b) every query edge is covered.
+    let covered: std::collections::HashSet<(QNode, QNode)> =
+        d.paths.iter().flat_map(|p| p.edges()).collect();
+    for &e in query.edges() {
+        assert!(covered.contains(&e), "uncovered edge {e:?}");
+    }
+
+    // (c) join structure is symmetric and matches actual node sharing.
+    for i in 0..d.paths.len() {
+        for j in i + 1..d.paths.len() {
+            let mut common: Vec<QNode> = d.paths[i]
+                .nodes
+                .iter()
+                .copied()
+                .filter(|n| d.paths[j].nodes.contains(n))
+                .collect();
+            common.sort_unstable();
+            assert_eq!(d.shared_nodes(i, j), common.as_slice(), "shared({i},{j})");
+            assert_eq!(d.shared_nodes(j, i), common.as_slice(), "shared({j},{i})");
+            assert_eq!(
+                d.joins[i].contains(&j),
+                !common.is_empty(),
+                "join list inconsistent for ({i},{j})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn decompositions_are_valid(
+        query in arb_query(4),
+        max_len in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        check_decomposition(&query, max_len, DecompStrategy::CostBased);
+        check_decomposition(&query, max_len, DecompStrategy::Random { seed });
+    }
+}

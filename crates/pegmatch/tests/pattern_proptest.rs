@@ -1,0 +1,71 @@
+//! Property tests for the textual pattern syntax: `format_pattern` output
+//! always reparses to the identical `QueryGraph`, across random connected
+//! queries and label alphabets including non-identifier names.
+
+use graphstore::{Label, LabelTable};
+use pegmatch::pattern::{format_pattern, parse_pattern};
+use pegmatch::query::{QNode, QueryGraph};
+use proptest::prelude::*;
+
+/// A random alphabet mixing plain identifiers and names that need quoting.
+fn arb_table() -> impl Strategy<Value = LabelTable> {
+    let name = prop_oneof![
+        "[a-z][a-z0-9_]{0,8}",
+        // Names that exercise quoting and escaping.
+        r#"[a-z ]{1,6}"#,
+        r#"[a-z"\\]{1,6}"#,
+    ];
+    prop::collection::vec(name, 1..6).prop_map(|names| {
+        let mut t = LabelTable::new();
+        for (i, n) in names.into_iter().enumerate() {
+            // Guarantee distinct names even when the strategy repeats one.
+            t.intern(&format!("{n}_{i}"));
+        }
+        t
+    })
+}
+
+/// A random connected query over `n_labels`: a spanning tree plus extras.
+fn arb_query(n_labels: usize) -> impl Strategy<Value = QueryGraph> {
+    (1usize..8).prop_flat_map(move |n| {
+        let labels = prop::collection::vec(0..n_labels as u16, n);
+        let tree = prop::collection::vec(any::<u32>(), n.saturating_sub(1));
+        let extra = prop::collection::vec((0..n as u16, 0..n as u16), 0..6);
+        (labels, tree, extra).prop_map(move |(labels, tree, extra)| {
+            let mut edges: Vec<(QNode, QNode)> = Vec::new();
+            for (i, r) in tree.iter().enumerate() {
+                let child = (i + 1) as QNode;
+                let parent = (*r as usize % (i + 1)) as QNode;
+                edges.push((parent, child));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            QueryGraph::new(labels.into_iter().map(Label).collect(), edges)
+                .expect("spanning tree keeps the query connected")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn format_then_parse_round_trips(
+        (table, query) in arb_table().prop_flat_map(|t| {
+            let n = t.len();
+            (Just(t), arb_query(n))
+        })
+    ) {
+        let text = format_pattern(&query, &table);
+        let reparsed = parse_pattern(&text, &table)
+            .unwrap_or_else(|e| panic!("canonical form must reparse: {e}\n{text}"));
+        prop_assert_eq!(&query, &reparsed, "round trip changed the query: {}", text);
+    }
+
+    #[test]
+    fn parse_never_panics(input in r#"[ (),:a-z"\\#-]{0,40}"#) {
+        let table = LabelTable::from_names(["a", "b"]);
+        let _ = parse_pattern(&input, &table);
+    }
+}

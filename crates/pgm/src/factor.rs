@@ -1,0 +1,358 @@
+//! Tabular factors over discrete random variables.
+
+use std::fmt;
+
+/// Identifier of a random variable inside a [`crate::MarkovNet`].
+///
+/// Variable ids are plain integers chosen by the caller; a factor may mention
+/// any subset of them. Cardinalities are carried by the factors themselves and
+/// must agree across factors (checked by [`crate::MarkovNet::add_factor`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A (partial) assignment of values to variables, as parallel slices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Assignment {
+    /// The assigned variables.
+    pub vars: Vec<VarId>,
+    /// Values, parallel to `vars`. `vals[i] < card(vars[i])`.
+    pub vals: Vec<usize>,
+}
+
+impl Assignment {
+    /// Creates an assignment from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn new(vars: Vec<VarId>, vals: Vec<usize>) -> Self {
+        assert_eq!(vars.len(), vals.len(), "vars/vals length mismatch");
+        Self { vars, vals }
+    }
+
+    /// Looks up the value assigned to `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var).map(|i| self.vals[i])
+    }
+}
+
+/// A dense tabular factor: a non-negative function over the cross product of
+/// its variables' domains.
+///
+/// The table is stored row-major with the *last* variable varying fastest
+/// (C order). For variables `v0..vk` with cardinalities `c0..ck`, entry index
+/// of assignment `(a0..ak)` is `((a0*c1 + a1)*c2 + a2)...`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Factor {
+    vars: Vec<VarId>,
+    cards: Vec<usize>,
+    table: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor over `vars` with cardinalities `cards` and the given
+    /// dense `table` (length must equal the product of cardinalities).
+    ///
+    /// # Panics
+    /// Panics on length mismatches, duplicate variables, zero cardinalities,
+    /// or negative table entries.
+    pub fn new(vars: Vec<VarId>, cards: Vec<usize>, table: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), cards.len(), "vars/cards length mismatch");
+        let size: usize = cards.iter().product();
+        assert_eq!(table.len(), size, "table size mismatch");
+        assert!(cards.iter().all(|&c| c > 0), "zero cardinality");
+        assert!(table.iter().all(|&p| p >= 0.0), "negative factor entry");
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vars.len(), "duplicate variable in factor");
+        Self { vars, cards, table }
+    }
+
+    /// A factor over no variables holding the single scalar `value`.
+    pub fn scalar(value: f64) -> Self {
+        Self::new(Vec::new(), Vec::new(), vec![value])
+    }
+
+    /// The variables this factor mentions, in table order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Cardinalities parallel to [`Self::vars`].
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The raw table (row-major, last variable fastest).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the factor is a scalar (no variables).
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Cardinality of `var` within this factor, if mentioned.
+    pub fn card_of(&self, var: VarId) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var).map(|i| self.cards[i])
+    }
+
+    /// Value for a full assignment to this factor's variables, given in the
+    /// factor's own variable order.
+    ///
+    /// # Panics
+    /// Panics if `vals.len() != vars.len()` or a value is out of range.
+    pub fn prob(&self, vals: &[usize]) -> f64 {
+        self.table[self.index_of(vals)]
+    }
+
+    fn index_of(&self, vals: &[usize]) -> usize {
+        assert_eq!(vals.len(), self.vars.len(), "assignment arity mismatch");
+        let mut idx = 0usize;
+        for (i, &v) in vals.iter().enumerate() {
+            assert!(v < self.cards[i], "value out of range");
+            idx = idx * self.cards[i] + v;
+        }
+        idx
+    }
+
+    /// Pointwise product of two factors, over the union of their variables.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Union of variables, self's order first.
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        for (i, &v) in other.vars.iter().enumerate() {
+            if !vars.contains(&v) {
+                vars.push(v);
+                cards.push(other.cards[i]);
+            } else {
+                let j = vars.iter().position(|&x| x == v).unwrap();
+                assert_eq!(cards[j], other.cards[i], "cardinality mismatch for {v:?}");
+            }
+        }
+        let size: usize = cards.iter().product();
+        let mut table = vec![0.0; size];
+
+        // Positions of each output variable within self/other.
+        let self_pos: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| self.vars.iter().position(|x| x == v))
+            .collect();
+        let other_pos: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| other.vars.iter().position(|x| x == v))
+            .collect();
+
+        let mut assign = vec![0usize; vars.len()];
+        let mut self_vals = vec![0usize; self.vars.len()];
+        let mut other_vals = vec![0usize; other.vars.len()];
+        for (out_idx, slot) in table.iter_mut().enumerate() {
+            decode(out_idx, &cards, &mut assign);
+            for (k, &p) in self_pos.iter().enumerate() {
+                if let Some(p) = p {
+                    self_vals[p] = assign[k];
+                }
+            }
+            for (k, &p) in other_pos.iter().enumerate() {
+                if let Some(p) = p {
+                    other_vals[p] = assign[k];
+                }
+            }
+            *slot = self.prob(&self_vals) * other.prob(&other_vals);
+        }
+        Factor::new(vars, cards, table)
+    }
+
+    /// Sums out `var`, producing a factor over the remaining variables.
+    ///
+    /// If `var` is not mentioned, returns a clone.
+    pub fn marginalize_out(&self, var: VarId) -> Factor {
+        let Some(pos) = self.vars.iter().position(|&v| v == var) else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        let removed_card = cards.remove(pos);
+        let size: usize = cards.iter().product();
+        let mut table = vec![0.0; size];
+        let mut assign = vec![0usize; self.vars.len()];
+        for (idx, &p) in self.table.iter().enumerate() {
+            decode(idx, &self.cards, &mut assign);
+            let mut out_idx = 0usize;
+            for (i, &a) in assign.iter().enumerate() {
+                if i == pos {
+                    continue;
+                }
+                let card = self.cards[i];
+                out_idx = out_idx * card + a;
+            }
+            table[out_idx] += p;
+        }
+        debug_assert!(removed_card > 0);
+        Factor::new(vars, cards, table)
+    }
+
+    /// Restricts the factor by fixing `var = value`, producing a factor over
+    /// the remaining variables. No-op clone if `var` is absent.
+    pub fn condition(&self, var: VarId, value: usize) -> Factor {
+        let Some(pos) = self.vars.iter().position(|&v| v == var) else {
+            return self.clone();
+        };
+        assert!(value < self.cards[pos], "conditioned value out of range");
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let size: usize = cards.iter().product();
+        let mut table = Vec::with_capacity(size);
+        let mut assign = vec![0usize; self.vars.len()];
+        for idx in 0..self.table.len() {
+            decode(idx, &self.cards, &mut assign);
+            if assign[pos] == value {
+                table.push(self.table[idx]);
+            }
+        }
+        Factor::new(vars, cards, table)
+    }
+
+    /// Normalizes the table to sum to 1. Returns the normalization constant
+    /// (the partition function with respect to this factor alone).
+    ///
+    /// # Panics
+    /// Panics if the table sums to zero.
+    pub fn normalize(&mut self) -> f64 {
+        let z: f64 = self.table.iter().sum();
+        assert!(z > 0.0, "cannot normalize an all-zero factor");
+        for p in &mut self.table {
+            *p /= z;
+        }
+        z
+    }
+
+    /// Sum of all table entries.
+    pub fn total(&self) -> f64 {
+        self.table.iter().sum()
+    }
+}
+
+/// Decodes a row-major `index` over `cards` into `out` (last fastest).
+fn decode(index: usize, cards: &[usize], out: &mut [usize]) {
+    let mut rest = index;
+    for i in (0..cards.len()).rev() {
+        out[i] = rest % cards[i];
+        rest /= cards[i];
+    }
+    debug_assert_eq!(rest, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_ab() -> Factor {
+        Factor::new(
+            vec![VarId(0), VarId(1)],
+            vec![2, 3],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        )
+    }
+
+    #[test]
+    fn prob_indexing_is_row_major() {
+        let f = f_ab();
+        assert_eq!(f.prob(&[0, 0]), 0.1);
+        assert_eq!(f.prob(&[0, 2]), 0.3);
+        assert_eq!(f.prob(&[1, 0]), 0.4);
+        assert_eq!(f.prob(&[1, 2]), 0.6);
+    }
+
+    #[test]
+    fn marginalize_sums_correct_axis() {
+        let f = f_ab();
+        let m = f.marginalize_out(VarId(0));
+        assert_eq!(m.vars(), &[VarId(1)]);
+        assert!((m.prob(&[0]) - 0.5).abs() < 1e-12);
+        assert!((m.prob(&[1]) - 0.7).abs() < 1e-12);
+        assert!((m.prob(&[2]) - 0.9).abs() < 1e-12);
+
+        let m2 = f.marginalize_out(VarId(1));
+        assert!((m2.prob(&[0]) - 0.6).abs() < 1e-12);
+        assert!((m2.prob(&[1]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginalize_absent_var_is_identity() {
+        let f = f_ab();
+        assert_eq!(f.marginalize_out(VarId(9)), f);
+    }
+
+    #[test]
+    fn product_with_scalar() {
+        let f = f_ab();
+        let s = Factor::scalar(2.0);
+        let p = f.product(&s);
+        assert_eq!(p.vars(), f.vars());
+        assert!((p.prob(&[1, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_shared_and_disjoint_vars() {
+        let f = f_ab();
+        let g = Factor::new(vec![VarId(1), VarId(2)], vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let p = f.product(&g);
+        assert_eq!(p.vars().len(), 3);
+        // f(a=1,b=2) * g(b=2,c=1) = 0.6 * 6
+        let vals = [1usize, 2, 1]; // order: x0, x1, x2
+        assert!((p.prob(&vals) - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_fixes_value() {
+        let f = f_ab();
+        let c = f.condition(VarId(1), 2);
+        assert_eq!(c.vars(), &[VarId(0)]);
+        assert_eq!(c.prob(&[0]), 0.3);
+        assert_eq!(c.prob(&[1]), 0.6);
+    }
+
+    #[test]
+    fn normalize_returns_partition_function() {
+        let mut f = f_ab();
+        let z = f.normalize();
+        assert!((z - 2.1).abs() < 1e-12);
+        assert!((f.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn bad_table_size_panics() {
+        let _ = Factor::new(vec![VarId(0)], vec![2], vec![0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_var_panics() {
+        let _ = Factor::new(vec![VarId(0), VarId(0)], vec![2, 2], vec![0.; 4]);
+    }
+
+    #[test]
+    fn assignment_get() {
+        let a = Assignment::new(vec![VarId(3), VarId(5)], vec![1, 0]);
+        assert_eq!(a.get(VarId(3)), Some(1));
+        assert_eq!(a.get(VarId(5)), Some(0));
+        assert_eq!(a.get(VarId(4)), None);
+    }
+}

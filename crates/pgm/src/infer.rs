@@ -1,0 +1,196 @@
+//! Exact inference: exhaustive enumeration and variable elimination.
+
+use crate::factor::{Factor, VarId};
+use std::collections::BTreeSet;
+
+/// Error raised by [`eliminate`] when an intermediate factor would exceed the
+/// size budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EliminationError {
+    /// The size (number of table entries) the offending intermediate factor
+    /// would have had.
+    pub attempted_size: usize,
+}
+
+impl std::fmt::Display for EliminationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "variable elimination aborted: intermediate factor of {} entries exceeds budget",
+            self.attempted_size
+        )
+    }
+}
+
+impl std::error::Error for EliminationError {}
+
+/// Maximum intermediate-factor size tolerated by [`eliminate`].
+const MAX_INTERMEDIATE: usize = 1 << 22;
+
+/// Computes the *unnormalized* joint over `targets` by multiplying all
+/// `factors` and summing out everything else, via exhaustive enumeration.
+///
+/// Exponential in the total number of variables; intended for small
+/// components and tests.
+pub fn enumerate_joint(factors: &[&Factor], targets: &[VarId]) -> Factor {
+    let mut product = Factor::scalar(1.0);
+    for f in factors {
+        product = product.product(f);
+    }
+    let target_set: BTreeSet<VarId> = targets.iter().copied().collect();
+    let to_remove: Vec<VarId> = product
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| !target_set.contains(v))
+        .collect();
+    for v in to_remove {
+        product = product.marginalize_out(v);
+    }
+    product
+}
+
+/// Computes the *unnormalized* joint over `targets` by variable elimination
+/// with a min-degree heuristic.
+///
+/// Returns an error (rather than exhausting memory) if an intermediate factor
+/// would exceed an internal size budget; callers fall back to
+/// [`enumerate_joint`] or approximate schemes.
+pub fn eliminate(factors: &[&Factor], targets: &[VarId]) -> Result<Factor, EliminationError> {
+    let target_set: BTreeSet<VarId> = targets.iter().copied().collect();
+    let mut pool: Vec<Factor> = factors.iter().map(|f| (*f).clone()).collect();
+
+    loop {
+        // Collect variables still present that are not targets.
+        let mut remaining: BTreeSet<VarId> = BTreeSet::new();
+        for f in &pool {
+            for &v in f.vars() {
+                if !target_set.contains(&v) {
+                    remaining.insert(v);
+                }
+            }
+        }
+        let Some(&var) = remaining.iter().min_by_key(|&&v| elimination_cost(&pool, v)) else {
+            break;
+        };
+
+        // Multiply together all factors mentioning `var`, then sum it out.
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+            pool.into_iter().partition(|f| f.vars().contains(&var));
+        let mut size: usize = 1;
+        {
+            let mut seen: BTreeSet<VarId> = BTreeSet::new();
+            for f in &mentioning {
+                for (i, &v) in f.vars().iter().enumerate() {
+                    if seen.insert(v) {
+                        size = size.saturating_mul(f.cards()[i]);
+                    }
+                }
+            }
+        }
+        if size > MAX_INTERMEDIATE {
+            return Err(EliminationError { attempted_size: size });
+        }
+        let mut merged = Factor::scalar(1.0);
+        for f in &mentioning {
+            merged = merged.product(f);
+        }
+        let merged = merged.marginalize_out(var);
+        pool = rest;
+        pool.push(merged);
+    }
+
+    let mut result = Factor::scalar(1.0);
+    for f in &pool {
+        result = result.product(f);
+    }
+    Ok(result)
+}
+
+/// Size of the factor that would result from eliminating `var` now.
+fn elimination_cost(pool: &[Factor], var: VarId) -> usize {
+    let mut seen: BTreeSet<VarId> = BTreeSet::new();
+    let mut size: usize = 1;
+    for f in pool {
+        if f.vars().contains(&var) {
+            for (i, &v) in f.vars().iter().enumerate() {
+                if v != var && seen.insert(v) {
+                    size = size.saturating_mul(f.cards()[i]);
+                }
+            }
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-variable chain x0 - x1 - x2 with asymmetric couplings.
+    fn chain() -> Vec<Factor> {
+        vec![
+            Factor::new(vec![VarId(0)], vec![2], vec![0.2, 0.8]),
+            Factor::new(vec![VarId(0), VarId(1)], vec![2, 2], vec![0.9, 0.1, 0.4, 0.6]),
+            Factor::new(vec![VarId(1), VarId(2)], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]),
+        ]
+    }
+
+    #[test]
+    fn eliminate_matches_enumeration() {
+        let fs = chain();
+        let refs: Vec<&Factor> = fs.iter().collect();
+        for targets in [vec![VarId(2)], vec![VarId(0)], vec![VarId(0), VarId(2)], vec![]] {
+            let a = enumerate_joint(&refs, &targets);
+            let b = eliminate(&refs, &targets).unwrap();
+            assert_eq!(a.vars().len(), b.vars().len());
+            // Compare as normalized distributions plus totals.
+            assert!((a.total() - b.total()).abs() < 1e-9, "totals differ for {targets:?}");
+            if !targets.is_empty() {
+                let mut an = a.clone();
+                let mut bn = b.clone();
+                an.normalize();
+                bn.normalize();
+                // Align variable orders by probing all assignments of `an`.
+                let cards = an.cards().to_vec();
+                let mut vals = vec![0usize; cards.len()];
+                let total: usize = cards.iter().product();
+                for idx in 0..total {
+                    let mut rest = idx;
+                    for i in (0..cards.len()).rev() {
+                        vals[i] = rest % cards[i];
+                        rest /= cards[i];
+                    }
+                    // Map an's assignment onto bn's variable order.
+                    let bvals: Vec<usize> = bn
+                        .vars()
+                        .iter()
+                        .map(|v| {
+                            let p = an.vars().iter().position(|x| x == v).unwrap();
+                            vals[p]
+                        })
+                        .collect();
+                    assert!((an.prob(&vals) - bn.prob(&bvals)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eliminate_empty_pool() {
+        let out = eliminate(&[], &[]).unwrap();
+        assert!((out.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerate_joint_partition_function() {
+        let fs = chain();
+        let refs: Vec<&Factor> = fs.iter().collect();
+        let z = enumerate_joint(&refs, &[]).total();
+        // Hand-computed: sum over x0,x1 of p(x0)*c(x0,x1)*sum_x2 c2(x1,x2)
+        // sum_x2 rows: x1=0 -> 6, x1=1 -> 15
+        // x0=0: 0.2*(0.9*6 + 0.1*15) = 0.2*6.9 = 1.38
+        // x0=1: 0.8*(0.4*6 + 0.6*15) = 0.8*11.4 = 9.12
+        assert!((z - 10.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! `pgm` — a small, exact discrete probabilistic-graphical-model engine.
+//!
+//! This crate is the substrate the paper calls "the PGM engine" (Koller &
+//! Friedman style factor graphs). A probabilistic entity graph (PEG) is a
+//! graphical model whose factors are
+//!
+//! * *node existence factors* — one per reference, forcing exactly one
+//!   containing entity to exist,
+//! * *node label factors* — one per entity,
+//! * *edge existence factors* — one per entity pair.
+//!
+//! The core library (`pegmatch`) uses specialized exact-cover enumeration for
+//! the existence component in the hot path; this crate provides the general
+//! machinery (tabular factors, factor product, marginalization, variable
+//! elimination, exhaustive enumeration) used for model construction,
+//! validation and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use pgm::{Factor, MarkovNet, VarId};
+//!
+//! // Two binary variables with a soft "equality" coupling.
+//! let a = VarId(0);
+//! let b = VarId(1);
+//! let coupling = Factor::new(vec![a, b], vec![2, 2], vec![0.9, 0.1, 0.1, 0.9]);
+//! let prior = Factor::new(vec![a], vec![2], vec![0.3, 0.7]);
+//!
+//! let mut net = MarkovNet::new();
+//! net.add_factor(coupling);
+//! net.add_factor(prior);
+//! let marg = net.marginal(&[b]);
+//! let p_b1 = marg.prob(&[1]);
+//! assert!((p_b1 - (0.3 * 0.1 + 0.7 * 0.9)).abs() < 1e-12);
+//! ```
+
+mod factor;
+mod infer;
+mod network;
+
+pub use factor::{Assignment, Factor, VarId};
+pub use infer::{eliminate, enumerate_joint, EliminationError};
+pub use network::{ComponentId, MarkovNet};
+
+/// Numerical tolerance used when comparing probabilities in this crate's
+/// internal assertions and tests.
+pub const PROB_EPS: f64 = 1e-9;

@@ -1,0 +1,325 @@
+//! Markov networks: factor collections with connected-component structure.
+
+use crate::factor::{Assignment, Factor, VarId};
+use crate::infer::{eliminate, enumerate_joint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a connected component of a Markov network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub u32);
+
+/// A Markov network: a set of factors over discrete variables.
+///
+/// Two variables are connected when they co-occur in some factor; each
+/// connected component of the resulting graph can be normalized independently
+/// (Equation 7 of the paper), which is how `pegmatch` factorizes `Pr(S.n)`.
+#[derive(Clone, Debug, Default)]
+pub struct MarkovNet {
+    factors: Vec<Factor>,
+    /// Cardinality per variable, collected from factors.
+    cards: BTreeMap<VarId, usize>,
+}
+
+impl MarkovNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a factor.
+    ///
+    /// # Panics
+    /// Panics when the factor disagrees with previously seen cardinalities.
+    pub fn add_factor(&mut self, factor: Factor) {
+        for (i, &v) in factor.vars().iter().enumerate() {
+            let card = factor.cards()[i];
+            let prev = self.cards.insert(v, card);
+            if let Some(prev) = prev {
+                assert_eq!(prev, card, "cardinality mismatch for {v:?}");
+            }
+        }
+        self.factors.push(factor);
+    }
+
+    /// All factors added so far.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// All variables mentioned by any factor.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.cards.keys().copied()
+    }
+
+    /// Cardinality of `var`, if known.
+    pub fn card_of(&self, var: VarId) -> Option<usize> {
+        self.cards.get(&var).copied()
+    }
+
+    /// Number of factors.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True when no factor has been added.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Partitions variables into connected components (variables co-occurring
+    /// in a factor are connected). Returns, per component, the sorted variable
+    /// set and the indices of the factors fully contained in it.
+    pub fn components(&self) -> Vec<(Vec<VarId>, Vec<usize>)> {
+        let vars: Vec<VarId> = self.cards.keys().copied().collect();
+        let index_of: BTreeMap<VarId, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut uf = UnionFind::new(vars.len());
+        for f in &self.factors {
+            let fv = f.vars();
+            for w in fv.windows(2) {
+                uf.union(index_of[&w[0]], index_of[&w[1]]);
+            }
+        }
+        let mut groups: BTreeMap<usize, (Vec<VarId>, Vec<usize>)> = BTreeMap::new();
+        for (i, &v) in vars.iter().enumerate() {
+            groups.entry(uf.find(i)).or_default().0.push(v);
+        }
+        for (fi, f) in self.factors.iter().enumerate() {
+            if let Some(&v0) = f.vars().first() {
+                groups
+                    .get_mut(&uf.find(index_of[&v0]))
+                    .expect("factor variable must belong to a group")
+                    .1
+                    .push(fi);
+            }
+        }
+        groups.into_values().collect()
+    }
+
+    /// Exact normalized marginal over `targets`, computed per connected
+    /// component and combined. Scalar factors (over no variables) are ignored,
+    /// as they cancel in normalization.
+    ///
+    /// Uses variable elimination when possible, falling back to enumeration.
+    ///
+    /// # Panics
+    /// Panics if a target variable is unknown to the network.
+    pub fn marginal(&self, targets: &[VarId]) -> Factor {
+        for t in targets {
+            assert!(self.cards.contains_key(t), "unknown variable {t:?}");
+        }
+        let target_set: BTreeSet<VarId> = targets.iter().copied().collect();
+        let mut result = Factor::scalar(1.0);
+        for (vars, factor_idx) in self.components() {
+            let comp_targets: Vec<VarId> =
+                vars.iter().copied().filter(|v| target_set.contains(v)).collect();
+            let comp_factors: Vec<&Factor> =
+                factor_idx.iter().map(|&i| &self.factors[i]).collect();
+            let mut marg = match eliminate(&comp_factors, &comp_targets) {
+                Ok(f) => f,
+                Err(_) => enumerate_joint(&comp_factors, &comp_targets),
+            };
+            if comp_targets.is_empty() {
+                // Fully summed out: contributes only its partition function,
+                // which cancels under normalization. Skip.
+                continue;
+            }
+            marg.normalize();
+            result = result.product(&marg);
+        }
+        result
+    }
+
+    /// Exact normalized marginal over `targets` given `evidence`
+    /// (conditioning): every factor is restricted to the observed values,
+    /// then the conditioned network is marginalized as usual.
+    ///
+    /// # Panics
+    /// Panics on unknown variables or out-of-range evidence values, and when
+    /// the evidence has zero probability (nothing to condition on).
+    pub fn marginal_given(&self, targets: &[VarId], evidence: &Assignment) -> Factor {
+        for (v, &val) in evidence.vars.iter().zip(&evidence.vals) {
+            let card = self.card_of(*v).unwrap_or_else(|| panic!("unknown variable {v:?}"));
+            assert!(val < card, "evidence value out of range for {v:?}");
+            assert!(
+                !targets.contains(v),
+                "variable {v:?} cannot be both target and evidence"
+            );
+        }
+        let mut conditioned = MarkovNet::new();
+        for f in &self.factors {
+            let mut g = f.clone();
+            for (v, &val) in evidence.vars.iter().zip(&evidence.vals) {
+                g = g.condition(*v, val);
+            }
+            conditioned.add_factor(g);
+        }
+        // Conditioning can disconnect targets from all remaining factors;
+        // reintroduce uniform placeholders so marginal() knows their domain.
+        for &t in targets {
+            if conditioned.card_of(t).is_none() {
+                let card = self.card_of(t).expect("target must be known");
+                conditioned.add_factor(Factor::new(vec![t], vec![card], vec![1.0; card]));
+            }
+        }
+        assert!(
+            conditioned.partition_function() > 0.0,
+            "evidence has zero probability"
+        );
+        conditioned.marginal(targets)
+    }
+
+    /// The partition function: the sum over all joint assignments of the
+    /// factor product. Exponential in the largest component; intended for
+    /// tests and small models.
+    pub fn partition_function(&self) -> f64 {
+        let mut z = 1.0;
+        for (_, factor_idx) in self.components() {
+            let comp_factors: Vec<&Factor> =
+                factor_idx.iter().map(|&i| &self.factors[i]).collect();
+            let joint = enumerate_joint(&comp_factors, &[]);
+            z *= joint.total();
+        }
+        // Scalar factors belong to no component; fold them in directly.
+        for f in &self.factors {
+            if f.is_empty() {
+                z *= f.table()[0];
+            }
+        }
+        z
+    }
+}
+
+/// Plain union-find with path compression and union by size.
+#[derive(Clone, Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_split_independent_factors() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0), VarId(1)], vec![2, 2], vec![1.; 4]));
+        net.add_factor(Factor::new(vec![VarId(2)], vec![2], vec![0.4, 0.6]));
+        net.add_factor(Factor::new(vec![VarId(1), VarId(3)], vec![2, 2], vec![1.; 4]));
+        let comps = net.components();
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(|(v, _)| v.len()).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn marginal_of_independent_var() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![0.25, 0.75]));
+        net.add_factor(Factor::new(vec![VarId(1)], vec![3], vec![1.0, 1.0, 2.0]));
+        let m = net.marginal(&[VarId(1)]);
+        assert!((m.prob(&[2]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_joins_components() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![0.3, 0.7]));
+        net.add_factor(Factor::new(vec![VarId(1)], vec![2], vec![0.9, 0.1]));
+        let m = net.marginal(&[VarId(0), VarId(1)]);
+        // Independent product.
+        let p = m.prob(&[1, 0]);
+        assert!((p - 0.7 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_function_multiplies_components() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![2.0, 3.0]));
+        net.add_factor(Factor::new(vec![VarId(1)], vec![2], vec![10.0, 1.0]));
+        net.add_factor(Factor::scalar(0.5));
+        assert!((net.partition_function() - 5.0 * 11.0 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_ne!(uf.find(0), uf.find(2));
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn conditioning_matches_hand_computation() {
+        // x0 ~ (0.3, 0.7); coupling prefers equality 0.9/0.1.
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![0.3, 0.7]));
+        net.add_factor(Factor::new(
+            vec![VarId(0), VarId(1)],
+            vec![2, 2],
+            vec![0.9, 0.1, 0.1, 0.9],
+        ));
+        // P(x0 | x1 = 1) ∝ (0.3·0.1, 0.7·0.9).
+        let m = net.marginal_given(&[VarId(0)], &Assignment::new(vec![VarId(1)], vec![1]));
+        let expect1 = 0.63 / (0.03 + 0.63);
+        assert!((m.prob(&[1]) - expect1).abs() < 1e-12);
+        assert!((m.prob(&[0]) - (1.0 - expect1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_on_independent_evidence_is_noop() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![0.25, 0.75]));
+        net.add_factor(Factor::new(vec![VarId(1)], vec![2], vec![0.5, 0.5]));
+        let m = net.marginal_given(&[VarId(0)], &Assignment::new(vec![VarId(1)], vec![0]));
+        assert!((m.prob(&[1]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero probability")]
+    fn impossible_evidence_panics() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![1.0, 0.0]));
+        net.add_factor(Factor::new(vec![VarId(1)], vec![2], vec![0.5, 0.5]));
+        let _ = net.marginal_given(&[VarId(1)], &Assignment::new(vec![VarId(0)], vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality mismatch")]
+    fn cardinality_conflict_panics() {
+        let mut net = MarkovNet::new();
+        net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![1.0; 2]));
+        net.add_factor(Factor::new(vec![VarId(0)], vec![3], vec![1.0; 3]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for the factor algebra underlying all probability
+//! computations: products commute and associate, marginalization and
+//! conditioning are consistent with each other, and variable elimination
+//! agrees with brute-force enumeration on arbitrary factor pools.
+
+use pgm::{eliminate, enumerate_joint, Factor, MarkovNet, VarId};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Evaluates `factor` under a global assignment (indexed by variable id).
+fn eval(factor: &Factor, global: &[usize]) -> f64 {
+    let vals: Vec<usize> =
+        factor.vars().iter().map(|v| global[v.0 as usize]).collect();
+    factor.prob(&vals)
+}
+
+/// Returns the first joint assignment over `cards` where `pred` fails.
+fn first_violation(
+    cards: &[usize],
+    mut pred: impl FnMut(&[usize]) -> bool,
+) -> Option<Vec<usize>> {
+    let mut assign = vec![0usize; cards.len()];
+    loop {
+        if !pred(&assign) {
+            return Some(assign);
+        }
+        let mut i = cards.len();
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            assign[i] += 1;
+            if assign[i] < cards[i] {
+                break;
+            }
+            assign[i] = 0;
+        }
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// A universe: per-variable cardinalities (variable ids are indices).
+fn arb_universe() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..4, 1..5)
+}
+
+/// A factor over a random subset of the universe with a random table.
+fn arb_factor(cards: Vec<usize>) -> impl Strategy<Value = Factor> {
+    let n = cards.len();
+    prop::collection::vec(any::<bool>(), n).prop_flat_map(move |mask| {
+        let vars: Vec<VarId> =
+            (0..n).filter(|&i| mask[i]).map(|i| VarId(i as u32)).collect();
+        let fcards: Vec<usize> = vars.iter().map(|v| cards[v.0 as usize]).collect();
+        let size: usize = fcards.iter().product();
+        prop::collection::vec(0.0..10.0f64, size.max(1)).prop_map(move |table| {
+            if vars.is_empty() {
+                Factor::scalar(table[0])
+            } else {
+                Factor::new(vars.clone(), fcards.clone(), table)
+            }
+        })
+    })
+}
+
+fn universe_and_factors(k: usize) -> impl Strategy<Value = (Vec<usize>, Vec<Factor>)> {
+    arb_universe().prop_flat_map(move |cards| {
+        let fs = prop::collection::vec(arb_factor(cards.clone()), k);
+        (Just(cards), fs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn product_commutes((cards, fs) in universe_and_factors(2)) {
+        let ab = fs[0].product(&fs[1]);
+        let ba = fs[1].product(&fs[0]);
+        let bad = first_violation(&cards, |g| close(eval(&ab, g), eval(&ba, g)));
+        prop_assert!(bad.is_none(), "A·B != B·A at {bad:?}");
+    }
+
+    #[test]
+    fn product_associates((cards, fs) in universe_and_factors(3)) {
+        let left = fs[0].product(&fs[1]).product(&fs[2]);
+        let right = fs[0].product(&fs[1].product(&fs[2]));
+        let bad = first_violation(&cards, |g| close(eval(&left, g), eval(&right, g)));
+        prop_assert!(bad.is_none(), "(A·B)·C != A·(B·C) at {bad:?}");
+    }
+
+    #[test]
+    fn product_is_pointwise((cards, fs) in universe_and_factors(2)) {
+        let ab = fs[0].product(&fs[1]);
+        let bad = first_violation(&cards, |g| {
+            close(eval(&ab, g), eval(&fs[0], g) * eval(&fs[1], g))
+        });
+        prop_assert!(bad.is_none(), "product not pointwise at {bad:?}");
+    }
+
+    #[test]
+    fn marginalization_commutes((_cards, fs) in universe_and_factors(1)) {
+        let f = &fs[0];
+        if f.vars().len() >= 2 {
+            let (v, w) = (f.vars()[0], f.vars()[1]);
+            let a = f.marginalize_out(v).marginalize_out(w);
+            let b = f.marginalize_out(w).marginalize_out(v);
+            prop_assert_eq!(a.vars(), b.vars());
+            for (x, y) in a.table().iter().zip(b.table()) {
+                prop_assert!(close(*x, *y), "Σ_v Σ_w != Σ_w Σ_v: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn marginalization_preserves_total((_cards, fs) in universe_and_factors(1)) {
+        let f = &fs[0];
+        let mut g = f.clone();
+        for &v in f.vars() {
+            g = g.marginalize_out(v);
+        }
+        prop_assert!(close(g.total(), f.total()),
+            "summing out everything lost mass: {} vs {}", g.total(), f.total());
+    }
+
+    #[test]
+    fn conditioning_slices_sum_to_marginal((_cards, fs) in universe_and_factors(1)) {
+        let f = &fs[0];
+        if let Some(&v) = f.vars().first() {
+            let card = f.card_of(v).unwrap();
+            let marg = f.marginalize_out(v);
+            let mut sum: Vec<f64> = vec![0.0; marg.table().len()];
+            for val in 0..card {
+                let slice = f.condition(v, val);
+                prop_assert_eq!(slice.vars(), marg.vars());
+                for (acc, p) in sum.iter_mut().zip(slice.table()) {
+                    *acc += p;
+                }
+            }
+            for (x, y) in sum.iter().zip(marg.table()) {
+                prop_assert!(close(*x, *y), "Σ_v f(v, ·) != marginal: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_matches_enumeration(
+        (cards, fs) in universe_and_factors(3),
+        target_mask in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        // Targets: a random subset of the variables appearing in factors.
+        let mut present: Vec<VarId> = Vec::new();
+        for f in &fs {
+            for &v in f.vars() {
+                if !present.contains(&v) {
+                    present.push(v);
+                }
+            }
+        }
+        present.sort();
+        let targets: Vec<VarId> = present
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| target_mask[*i % target_mask.len()])
+            .map(|(_, &v)| v)
+            .collect();
+        let refs: Vec<&Factor> = fs.iter().collect();
+        let brute = enumerate_joint(&refs, &targets);
+        if let Ok(fast) = eliminate(&refs, &targets) {
+            // Same variable *set*; orders may legitimately differ, so compare
+            // as functions under global assignments.
+            let mut bvars = brute.vars().to_vec();
+            let mut fvars = fast.vars().to_vec();
+            bvars.sort();
+            fvars.sort();
+            prop_assert_eq!(bvars, fvars);
+            let bad = first_violation(&cards, |g| close(eval(&brute, g), eval(&fast, g)));
+            prop_assert!(bad.is_none(), "eliminate disagrees with enumeration at {bad:?}");
+        }
+    }
+
+    #[test]
+    fn network_marginal_is_normalized((_cards, fs) in universe_and_factors(3)) {
+        let mut net = MarkovNet::new();
+        let mut has_vars = false;
+        for f in &fs {
+            if !f.vars().is_empty() {
+                has_vars = true;
+            }
+            net.add_factor(f.clone());
+        }
+        prop_assume!(has_vars);
+        prop_assume!(net.partition_function() > 1e-6);
+        let vars: Vec<VarId> = net.vars().collect();
+        let m = net.marginal(&vars);
+        let total: f64 = m.table().iter().sum();
+        prop_assert!(close(total, 1.0), "marginal over all vars sums to {total}");
+    }
+}

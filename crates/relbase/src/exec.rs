@@ -1,0 +1,379 @@
+//! Volcano-style operators with a global row budget.
+//!
+//! Every row an operator produces ticks the [`ExecContext`] budget; plans
+//! whose intermediate results explode (the fate of the paper's SQL baseline)
+//! fail fast with [`RelError::BudgetExceeded`] instead of running for a
+//! month.
+
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::{RelError, Result, Row};
+use std::collections::HashMap;
+
+/// Shared execution state: the row budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecContext {
+    budget: u64,
+    produced: u64,
+}
+
+impl ExecContext {
+    /// A context that aborts after `budget` produced rows (across all
+    /// operators in the plan).
+    pub fn with_budget(budget: u64) -> Self {
+        Self { budget, produced: 0 }
+    }
+
+    /// No budget.
+    pub fn unlimited() -> Self {
+        Self { budget: u64::MAX, produced: 0 }
+    }
+
+    /// Rows produced so far.
+    pub fn rows_produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.produced += 1;
+        if self.produced > self.budget {
+            Err(RelError::BudgetExceeded { budget: self.budget })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A pull-based operator.
+pub trait Operator {
+    /// Produces the next row, or `None` when exhausted.
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>>;
+}
+
+impl Operator for Box<dyn Operator + '_> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        (**self).next(ctx)
+    }
+}
+
+/// Drains an operator into a vector.
+pub fn collect(mut op: impl Operator, ctx: &mut ExecContext) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next(ctx)? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Full table scan.
+pub struct Scan<'a> {
+    table: &'a Table,
+    pos: usize,
+}
+
+impl<'a> Scan<'a> {
+    /// Scans `table`.
+    pub fn new(table: &'a Table) -> Self {
+        Self { table, pos: 0 }
+    }
+}
+
+impl Operator for Scan<'_> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.pos >= self.table.len() {
+            return Ok(None);
+        }
+        let row = self.table.rows()[self.pos].clone();
+        self.pos += 1;
+        ctx.tick()?;
+        Ok(Some(row))
+    }
+}
+
+/// Predicate filter.
+pub struct Filter<Op> {
+    input: Op,
+    pred: Expr,
+}
+
+impl<Op: Operator> Filter<Op> {
+    /// Keeps rows where `pred` evaluates to true.
+    pub fn new(input: Op, pred: Expr) -> Self {
+        Self { input, pred }
+    }
+}
+
+impl<Op: Operator> Operator for Filter<Op> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(ctx)? {
+            if self.pred.eval(&row).as_bool() {
+                ctx.tick()?;
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Expression projection.
+pub struct Project<Op> {
+    input: Op,
+    exprs: Vec<Expr>,
+}
+
+impl<Op: Operator> Project<Op> {
+    /// Emits one output column per expression.
+    pub fn new(input: Op, exprs: Vec<Expr>) -> Self {
+        Self { input, exprs }
+    }
+}
+
+impl<Op: Operator> Operator for Project<Op> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        match self.input.next(ctx)? {
+            None => Ok(None),
+            Some(row) => {
+                let out: Row = self.exprs.iter().map(|e| e.eval(&row)).collect();
+                ctx.tick()?;
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Hash equi-join on integer key columns. The right side is built into a
+/// hash table on first pull; output rows are `left ++ right`.
+pub struct HashJoin<L, R> {
+    left: L,
+    right: Option<R>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    table: HashMap<Vec<i64>, Vec<Row>>,
+    current_left: Option<Row>,
+    current_matches: Vec<Row>,
+    match_pos: usize,
+}
+
+impl<L: Operator, R: Operator> HashJoin<L, R> {
+    /// Joins on `left_keys[i] = right_keys[i]` (integer columns).
+    pub fn new(left: L, right: R, left_keys: Vec<usize>, right_keys: Vec<usize>) -> Self {
+        assert_eq!(left_keys.len(), right_keys.len());
+        Self {
+            left,
+            right: Some(right),
+            left_keys,
+            right_keys,
+            table: HashMap::new(),
+            current_left: None,
+            current_matches: Vec::new(),
+            match_pos: 0,
+        }
+    }
+
+    fn build(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(row) = right.next(ctx)? {
+                let key: Vec<i64> = self.right_keys.iter().map(|&k| row[k].as_int()).collect();
+                self.table.entry(key).or_default().push(row);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<L: Operator, R: Operator> Operator for HashJoin<L, R> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        self.build(ctx)?;
+        loop {
+            if self.match_pos < self.current_matches.len() {
+                let left = self.current_left.as_ref().expect("left row present");
+                let mut out = left.clone();
+                out.extend(self.current_matches[self.match_pos].iter().copied());
+                self.match_pos += 1;
+                ctx.tick()?;
+                return Ok(Some(out));
+            }
+            match self.left.next(ctx)? {
+                None => return Ok(None),
+                Some(row) => {
+                    let key: Vec<i64> =
+                        self.left_keys.iter().map(|&k| row[k].as_int()).collect();
+                    self.current_matches = self.table.get(&key).cloned().unwrap_or_default();
+                    self.current_left = Some(row);
+                    self.match_pos = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Nested-loop join with an arbitrary predicate over `left ++ right`.
+/// Materializes the right side.
+pub struct NestedLoopJoin<L> {
+    left: L,
+    right_rows: Vec<Row>,
+    built: bool,
+    pred: Expr,
+    current_left: Option<Row>,
+    right_pos: usize,
+}
+
+impl<L: Operator> NestedLoopJoin<L> {
+    /// Joins `left` with a materialized `right` under `pred`.
+    pub fn new(left: L, right: impl Operator, pred: Expr, ctx: &mut ExecContext) -> Result<Self> {
+        let right_rows = collect(right, ctx)?;
+        Ok(Self { left, right_rows, built: true, pred, current_left: None, right_pos: 0 })
+    }
+}
+
+impl<L: Operator> Operator for NestedLoopJoin<L> {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        debug_assert!(self.built);
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next(ctx)? {
+                    None => return Ok(None),
+                    Some(row) => {
+                        self.current_left = Some(row);
+                        self.right_pos = 0;
+                    }
+                }
+            }
+            let left = self.current_left.as_ref().unwrap();
+            while self.right_pos < self.right_rows.len() {
+                let right = &self.right_rows[self.right_pos];
+                self.right_pos += 1;
+                let mut out = left.clone();
+                out.extend(right.iter().copied());
+                if self.pred.eval(&out).as_bool() {
+                    ctx.tick()?;
+                    return Ok(Some(out));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+/// Materialized-input operator (replays a vector of rows).
+pub struct Rows {
+    rows: Vec<Row>,
+    pos: usize,
+}
+
+impl Rows {
+    /// Replays `rows`.
+    pub fn new(rows: Vec<Row>) -> Self {
+        Self { rows, pos: 0 }
+    }
+}
+
+impl Operator for Rows {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let row = self.rows[self.pos].clone();
+        self.pos += 1;
+        ctx.tick()?;
+        Ok(Some(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Schema};
+    use crate::Value;
+
+    fn people() -> Table {
+        let mut t = Table::new(Schema::new(vec![Column::int("id"), Column::int("dept")]));
+        for (id, dept) in [(1, 10), (2, 10), (3, 20)] {
+            t.push(vec![Value::Int(id), Value::Int(dept)]).unwrap();
+        }
+        t
+    }
+
+    fn depts() -> Table {
+        let mut t = Table::new(Schema::new(vec![Column::int("dept"), Column::float("budget")]));
+        for (d, b) in [(10, 1.5), (20, 2.5), (30, 0.5)] {
+            t.push(vec![Value::Int(d), Value::Float(b)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let t = people();
+        let mut ctx = ExecContext::unlimited();
+        let plan = Project::new(
+            Filter::new(Scan::new(&t), Expr::eq(Expr::col(1), Expr::lit_i(10))),
+            vec![Expr::col(0)],
+        );
+        let rows = collect(plan, &mut ctx).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let p = people();
+        let d = depts();
+        let mut ctx = ExecContext::unlimited();
+        let hj = HashJoin::new(Scan::new(&p), Scan::new(&d), vec![1], vec![0]);
+        let mut hj_rows = collect(hj, &mut ctx).unwrap();
+
+        let mut ctx2 = ExecContext::unlimited();
+        let nl = NestedLoopJoin::new(
+            Scan::new(&p),
+            Scan::new(&d),
+            Expr::eq(Expr::col(1), Expr::col(2)),
+            &mut ctx2,
+        )
+        .unwrap();
+        let mut nl_rows = collect(nl, &mut ctx2).unwrap();
+        let key = |r: &Row| (r[0].as_int(), r[2].as_int());
+        hj_rows.sort_by_key(key);
+        nl_rows.sort_by_key(key);
+        assert_eq!(hj_rows, nl_rows);
+        assert_eq!(hj_rows.len(), 3);
+    }
+
+    #[test]
+    fn hash_join_multi_key() {
+        let mut a = Table::new(Schema::new(vec![Column::int("x"), Column::int("y")]));
+        let mut b = Table::new(Schema::new(vec![Column::int("x"), Column::int("y")]));
+        for t in [&mut a, &mut b] {
+            t.push(vec![Value::Int(1), Value::Int(2)]).unwrap();
+            t.push(vec![Value::Int(1), Value::Int(3)]).unwrap();
+        }
+        let mut ctx = ExecContext::unlimited();
+        let hj = HashJoin::new(Scan::new(&a), Scan::new(&b), vec![0, 1], vec![0, 1]);
+        let rows = collect(hj, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 2); // Only exact (x, y) pairs join.
+    }
+
+    #[test]
+    fn budget_aborts_cross_products() {
+        let p = people();
+        let d = depts();
+        let mut ctx = ExecContext::with_budget(5);
+        // Cross product: 9 combined rows + scan rows blows a budget of 5.
+        let nl = NestedLoopJoin::new(
+            Scan::new(&p),
+            Scan::new(&d),
+            Expr::and_all(vec![]),
+            &mut ctx,
+        )
+        .unwrap();
+        let err = collect(nl, &mut ctx).unwrap_err();
+        assert!(matches!(err, RelError::BudgetExceeded { budget: 5 }));
+    }
+
+    #[test]
+    fn rows_operator_replays() {
+        let mut ctx = ExecContext::unlimited();
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let got = collect(Rows::new(rows.clone()), &mut ctx).unwrap();
+        assert_eq!(got, rows);
+    }
+}

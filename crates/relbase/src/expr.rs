@@ -1,0 +1,196 @@
+//! Expression AST evaluated against rows.
+
+use crate::{Row, Value};
+
+/// A scalar expression over a row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Column reference by output position.
+    Col(usize),
+    /// Integer literal.
+    LitI(i64),
+    /// Float literal.
+    LitF(f64),
+    /// Equality (ints compare exactly, mixed numerics as floats).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Less-than (numeric).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Less-or-equal (numeric).
+    Le(Box<Expr>, Box<Expr>),
+    /// Greater-than (numeric).
+    Gt(Box<Expr>, Box<Expr>),
+    /// Greater-or-equal (numeric).
+    Ge(Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Float multiplication (probability products).
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn lit_i(v: i64) -> Expr {
+        Expr::LitI(v)
+    }
+
+    /// Float literal.
+    pub fn lit_f(v: f64) -> Expr {
+        Expr::LitF(v)
+    }
+
+    /// `a = b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `a ≠ b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Ne(Box::new(a), Box::new(b))
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Lt(Box::new(a), Box::new(b))
+    }
+
+    /// `a ≤ b`.
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Le(Box::new(a), Box::new(b))
+    }
+
+    /// `a > b`.
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Gt(Box::new(a), Box::new(b))
+    }
+
+    /// `a ≥ b`.
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Ge(Box::new(a), Box::new(b))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a ∨ b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `¬a`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+
+    /// `a · b` (floats).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Folds a conjunction of many predicates (`true` when empty).
+    pub fn and_all(mut preds: Vec<Expr>) -> Expr {
+        match preds.len() {
+            0 => Expr::Eq(Box::new(Expr::LitI(1)), Box::new(Expr::LitI(1))),
+            1 => preds.pop().unwrap(),
+            _ => {
+                let first = preds.remove(0);
+                preds.into_iter().fold(first, Expr::and)
+            }
+        }
+    }
+
+    /// Folds a product of many float expressions (`1.0` when empty).
+    pub fn mul_all(mut factors: Vec<Expr>) -> Expr {
+        match factors.len() {
+            0 => Expr::LitF(1.0),
+            1 => factors.pop().unwrap(),
+            _ => {
+                let first = factors.remove(0);
+                factors.into_iter().fold(first, Expr::mul)
+            }
+        }
+    }
+
+    /// Evaluates against a row.
+    pub fn eval(&self, row: &Row) -> Value {
+        match self {
+            Expr::Col(i) => row[*i],
+            Expr::LitI(v) => Value::Int(*v),
+            Expr::LitF(v) => Value::Float(*v),
+            Expr::Eq(a, b) => Value::Bool(cmp_eq(a.eval(row), b.eval(row))),
+            Expr::Ne(a, b) => Value::Bool(!cmp_eq(a.eval(row), b.eval(row))),
+            Expr::Lt(a, b) => Value::Bool(a.eval(row).as_float() < b.eval(row).as_float()),
+            Expr::Le(a, b) => Value::Bool(a.eval(row).as_float() <= b.eval(row).as_float()),
+            Expr::Gt(a, b) => Value::Bool(a.eval(row).as_float() > b.eval(row).as_float()),
+            Expr::Ge(a, b) => Value::Bool(a.eval(row).as_float() >= b.eval(row).as_float()),
+            Expr::And(a, b) => Value::Bool(a.eval(row).as_bool() && b.eval(row).as_bool()),
+            Expr::Or(a, b) => Value::Bool(a.eval(row).as_bool() || b.eval(row).as_bool()),
+            Expr::Not(a) => Value::Bool(!a.eval(row).as_bool()),
+            Expr::Mul(a, b) => Value::Float(a.eval(row).as_float() * b.eval(row).as_float()),
+        }
+    }
+}
+
+fn cmp_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => a.as_float() == b.as_float(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let row = vec![Value::Int(3), Value::Float(0.5)];
+        assert_eq!(Expr::col(0).eval(&row), Value::Int(3));
+        assert!(Expr::eq(Expr::col(0), Expr::lit_i(3)).eval(&row).as_bool());
+        assert!(Expr::ne(Expr::col(0), Expr::lit_i(4)).eval(&row).as_bool());
+        assert!(Expr::lt(Expr::col(1), Expr::lit_f(0.6)).eval(&row).as_bool());
+        assert!(Expr::ge(Expr::col(0), Expr::lit_f(3.0)).eval(&row).as_bool());
+        let p = Expr::mul(Expr::col(1), Expr::lit_f(0.5)).eval(&row);
+        assert_eq!(p, Value::Float(0.25));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let row = vec![Value::Int(1)];
+        let t = Expr::eq(Expr::col(0), Expr::lit_i(1));
+        let f = Expr::eq(Expr::col(0), Expr::lit_i(2));
+        assert!(Expr::and(t.clone(), Expr::not(f.clone())).eval(&row).as_bool());
+        assert!(Expr::or(f.clone(), t.clone()).eval(&row).as_bool());
+        assert!(!Expr::and(t, f).eval(&row).as_bool());
+    }
+
+    #[test]
+    fn folds() {
+        let row: Row = vec![];
+        assert!(Expr::and_all(vec![]).eval(&row).as_bool());
+        assert_eq!(Expr::mul_all(vec![]).eval(&row), Value::Float(1.0));
+        let p = Expr::mul_all(vec![Expr::lit_f(0.5), Expr::lit_f(0.5), Expr::lit_f(2.0)]);
+        assert_eq!(p.eval(&row), Value::Float(0.5));
+    }
+
+    #[test]
+    fn mixed_numeric_equality() {
+        let row = vec![Value::Int(2), Value::Float(2.0)];
+        assert!(Expr::eq(Expr::col(0), Expr::col(1)).eval(&row).as_bool());
+    }
+}

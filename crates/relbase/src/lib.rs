@@ -1,0 +1,116 @@
+#![warn(missing_docs)]
+
+//! `relbase` — a small relational query engine.
+//!
+//! The paper compares its matcher against a SQL implementation on MySQL
+//! (which "never finishes in a month" on a q(5,7) query over the 100k
+//! dataset). This crate is that baseline's substrate, built from scratch:
+//! typed in-memory tables, an expression AST, and Volcano-style iterators
+//! (scan → filter → hash join → nested-loop join → project) with a row
+//! budget that turns runaway join plans into a clean
+//! [`RelError::BudgetExceeded`] instead of a month of wall clock.
+//!
+//! [`subgraph`] translates a `pegmatch` query into the join plan the paper's
+//! SQL formulation implies: one self-join of the edge table per query edge,
+//! node-label probability joins, injectivity and reference-conflict
+//! anti-join predicates, and a final probability-threshold filter.
+//!
+//! # Example
+//!
+//! ```
+//! use relbase::{Column, Expr, Schema, Table, Value};
+//! use relbase::exec::{ExecContext, Filter, Scan};
+//!
+//! let schema = Schema::new(vec![Column::int("id"), Column::float("p")]);
+//! let mut t = Table::new(schema);
+//! t.push(vec![Value::Int(1), Value::Float(0.9)]).unwrap();
+//! t.push(vec![Value::Int(2), Value::Float(0.4)]).unwrap();
+//! let mut ctx = ExecContext::unlimited();
+//! let plan = Filter::new(
+//!     Scan::new(&t),
+//!     Expr::ge(Expr::col(1), Expr::lit_f(0.5)),
+//! );
+//! let rows = relbase::exec::collect(plan, &mut ctx).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod exec;
+mod expr;
+pub mod subgraph;
+mod table;
+
+pub use expr::Expr;
+pub use table::{Column, ColumnType, Schema, Table};
+
+/// A single cell value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean (produced by predicates).
+    Bool(bool),
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    /// Panics when the value is not an `Int`.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// The float payload (ints widen).
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            Value::Int(v) => *v as f64,
+            other => panic!("expected numeric, got {other:?}"),
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+}
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+/// Errors raised by the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelError {
+    /// Row mismatch against a table schema.
+    Schema(String),
+    /// The execution context's row budget was exhausted — the engine's
+    /// stand-in for "the SQL query never finishes".
+    BudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for RelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelError::Schema(m) => write!(f, "schema error: {m}"),
+            RelError::BudgetExceeded { budget } => {
+                write!(f, "row budget of {budget} exceeded (query would not finish)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RelError>;

@@ -1,0 +1,168 @@
+//! Schemas and in-memory tables.
+
+use crate::{RelError, Result, Row, Value};
+
+/// Column data type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// A named, typed column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    /// Column name (for plan readability).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// An integer column.
+    pub fn int(name: &str) -> Self {
+        Self { name: name.to_string(), ty: ColumnType::Int }
+    }
+
+    /// A float column.
+    pub fn float(name: &str) -> Self {
+        Self { name: name.to_string(), ty: ColumnType::Float }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validates a row against the schema.
+    pub fn check(&self, row: &Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::Schema(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            let ok = matches!(
+                (v, c.ty),
+                (Value::Int(_), ColumnType::Int) | (Value::Float(_), ColumnType::Float)
+            );
+            if !ok {
+                return Err(RelError::Schema(format!(
+                    "value {v:?} does not fit column {} ({:?})",
+                    c.name, c.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenation of two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema::new(columns)
+    }
+}
+
+/// A row-store table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends a row after validation.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        self.schema.check(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_validation() {
+        let s = Schema::new(vec![Column::int("id"), Column::float("p")]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("p"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+        assert!(s.check(&vec![Value::Int(1), Value::Float(0.5)]).is_ok());
+        assert!(s.check(&vec![Value::Int(1)]).is_err());
+        assert!(s.check(&vec![Value::Float(0.5), Value::Float(0.5)]).is_err());
+    }
+
+    #[test]
+    fn table_push_and_len() {
+        let s = Schema::new(vec![Column::int("id")]);
+        let mut t = Table::new(s);
+        assert!(t.is_empty());
+        t.push(vec![Value::Int(7)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.push(vec![Value::Float(0.0)]).is_err());
+    }
+
+    #[test]
+    fn schema_join_concatenates() {
+        let a = Schema::new(vec![Column::int("x")]);
+        let b = Schema::new(vec![Column::float("y"), Column::int("z")]);
+        let j = a.join(&b);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.index_of("z"), Some(2));
+    }
+}

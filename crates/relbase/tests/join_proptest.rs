@@ -1,0 +1,97 @@
+//! Property tests for the relational engine: hash join must agree with
+//! nested-loop join on random tables, and filters must commute with joins.
+
+use proptest::prelude::*;
+use relbase::exec::{collect, ExecContext, Filter, HashJoin, NestedLoopJoin, Scan};
+use relbase::{Column, Expr, Row, Schema, Table, Value};
+
+fn table_strategy(cols: usize, key_range: i64) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..key_range, cols),
+        0..24,
+    )
+}
+
+fn materialize(rows: &[Vec<i64>], cols: usize) -> Table {
+    let schema = Schema::new((0..cols).map(|i| Column::int(&format!("c{i}"))).collect());
+    let mut t = Table::new(schema);
+    for r in rows {
+        t.push(r.iter().map(|&v| Value::Int(v)).collect()).unwrap();
+    }
+    t
+}
+
+fn sort_rows(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by_key(|r| r.iter().map(|v| v.as_int()).collect::<Vec<_>>());
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hash_join_equals_nested_loop(
+        left in table_strategy(2, 5),
+        right in table_strategy(2, 5),
+    ) {
+        let lt = materialize(&left, 2);
+        let rt = materialize(&right, 2);
+
+        let mut ctx = ExecContext::unlimited();
+        let hj = HashJoin::new(Scan::new(&lt), Scan::new(&rt), vec![1], vec![0]);
+        let hj_rows = sort_rows(collect(hj, &mut ctx).unwrap());
+
+        let mut ctx2 = ExecContext::unlimited();
+        let nl = NestedLoopJoin::new(
+            Scan::new(&lt),
+            Scan::new(&rt),
+            Expr::eq(Expr::col(1), Expr::col(2)),
+            &mut ctx2,
+        )
+        .unwrap();
+        let nl_rows = sort_rows(collect(nl, &mut ctx2).unwrap());
+        prop_assert_eq!(hj_rows, nl_rows);
+    }
+
+    #[test]
+    fn filter_pushdown_is_equivalent(
+        left in table_strategy(2, 4),
+        right in table_strategy(2, 4),
+        threshold in 0i64..4,
+    ) {
+        let lt = materialize(&left, 2);
+        let rt = materialize(&right, 2);
+        // Filter after join...
+        let mut ctx = ExecContext::unlimited();
+        let joined = HashJoin::new(Scan::new(&lt), Scan::new(&rt), vec![0], vec![0]);
+        let after = Filter::new(joined, Expr::ge(Expr::col(1), Expr::lit_i(threshold)));
+        let a = sort_rows(collect(after, &mut ctx).unwrap());
+        // ...equals filter on the left input before the join.
+        let mut ctx2 = ExecContext::unlimited();
+        let filtered_left =
+            Filter::new(Scan::new(&lt), Expr::ge(Expr::col(1), Expr::lit_i(threshold)));
+        let pushed = HashJoin::new(filtered_left, Scan::new(&rt), vec![0], vec![0]);
+        let b = sort_rows(collect(pushed, &mut ctx2).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_row_count_matches_key_multiplicity(
+        left in table_strategy(1, 4),
+        right in table_strategy(1, 4),
+    ) {
+        let lt = materialize(&left, 1);
+        let rt = materialize(&right, 1);
+        let mut ctx = ExecContext::unlimited();
+        let hj = HashJoin::new(Scan::new(&lt), Scan::new(&rt), vec![0], vec![0]);
+        let rows = collect(hj, &mut ctx).unwrap();
+        let expected: usize = (0..4i64)
+            .map(|k| {
+                let l = left.iter().filter(|r| r[0] == k).count();
+                let r = right.iter().filter(|r| r[0] == k).count();
+                l * r
+            })
+            .sum();
+        prop_assert_eq!(rows.len(), expected);
+    }
+}

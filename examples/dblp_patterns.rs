@@ -1,0 +1,69 @@
+//! DBLP collaboration patterns (Section 6.3, Figure 7(g) workload).
+//!
+//! Builds the DBLP-like collaboration network — research-area label
+//! distributions, *label-correlated* edge probabilities (the Section 5.3
+//! CPT path), name-similarity identity links — and runs the five Figure-8
+//! collaboration patterns (BF1, BF2, GR, ST, TR) at α = 0.1 for
+//! L = 1, 2, 3.
+//!
+//! Run with: `cargo run -p bench --release --example dblp_patterns`
+
+use datagen::{dblp_like, pattern_query, DblpConfig, Pattern};
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::PathIndexConfig;
+use std::time::Instant;
+
+fn main() {
+    let refs = dblp_like(&DblpConfig::scaled(4_000));
+    println!(
+        "DBLP-like network: {} authors, {} collaborations, {} identity links",
+        refs.n_refs(),
+        refs.n_edges(),
+        refs.ref_sets().len()
+    );
+    let peg = PegBuilder::new().build(&refs).expect("model compiles");
+
+    let mut indexes = Vec::new();
+    for l in 1..=3usize {
+        let t = Instant::now();
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: l, beta: 0.05, ..Default::default() },
+            },
+        )
+        .expect("offline phase");
+        println!(
+            "offline L={l}: {} entries in {}",
+            idx.paths.n_entries(),
+            bench::fmt_duration(t.elapsed())
+        );
+        indexes.push(idx);
+    }
+    println!();
+
+    let lt = peg.graph.label_table();
+    let (d, m, s) = (
+        lt.get("D").expect("Databases label"),
+        lt.get("M").expect("Machine Learning label"),
+        lt.get("S").expect("Software Engineering label"),
+    );
+
+    println!("{:<5} {:>10} {:>10} {:>10} {:>9}", "query", "L=1", "L=2", "L=3", "matches");
+    for p in Pattern::ALL {
+        let q = pattern_query(p, d, m, s).expect("pattern builds");
+        let mut row = format!("{:<5}", p.name());
+        let mut n_matches = 0;
+        for idx in &indexes {
+            let pipe = QueryPipeline::new(&peg, idx);
+            let t = Instant::now();
+            let res = pipe.run(&q, 0.1, &QueryOptions::default()).expect("query runs");
+            row.push_str(&format!(" {:>10}", bench::fmt_duration(t.elapsed())));
+            n_matches = res.matches.len();
+        }
+        row.push_str(&format!(" {n_matches:>9}"));
+        println!("{row}");
+    }
+}

@@ -1,0 +1,69 @@
+//! IMDB co-starring patterns (Section 6.3, Figure 7(h) workload).
+//!
+//! Builds the IMDB-like co-starring network — genre distributions from
+//! filmographies, independent co-star edge probabilities, duplicate actor
+//! mentions — and runs the Figure-8 patterns with all nodes sharing one
+//! genre (the paper's convention for this dataset).
+//!
+//! Run with: `cargo run -p bench --release --example imdb_costar`
+
+use datagen::{imdb_like, pattern_query, ImdbConfig, Pattern};
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::PathIndexConfig;
+use std::time::Instant;
+
+fn main() {
+    let refs = imdb_like(&ImdbConfig::scaled(3_000));
+    println!(
+        "IMDB-like network: {} actors, {} co-star edges, {} identity links",
+        refs.n_refs(),
+        refs.n_edges(),
+        refs.ref_sets().len()
+    );
+    let peg = PegBuilder::new().build(&refs).expect("model compiles");
+
+    // Denser graph: a higher β keeps the L = 3 index manageable, exactly
+    // the trade-off the paper discusses for Figure 6(a)/(b).
+    let mut indexes = Vec::new();
+    for l in 1..=3usize {
+        let t = Instant::now();
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: l, beta: 0.3, ..Default::default() },
+            },
+        )
+        .expect("offline phase");
+        println!(
+            "offline L={l}: {} entries in {}",
+            idx.paths.n_entries(),
+            bench::fmt_duration(t.elapsed())
+        );
+        indexes.push(idx);
+    }
+    println!();
+
+    let lt = peg.graph.label_table();
+    println!("genres: {:?}", lt.names());
+    for genre_name in ["Drama", "Comedy"] {
+        let genre = lt.get(genre_name).expect("genre exists");
+        println!("\n## co-starring patterns within {genre_name}");
+        println!("{:<5} {:>10} {:>10} {:>10} {:>9}", "query", "L=1", "L=2", "L=3", "matches");
+        for p in Pattern::ALL {
+            let q = pattern_query(p, genre, genre, genre).expect("pattern builds");
+            let mut row = format!("{:<5}", p.name());
+            let mut n_matches = 0;
+            for idx in &indexes {
+                let pipe = QueryPipeline::new(&peg, idx);
+                let t = Instant::now();
+                let res = pipe.run(&q, 0.1, &QueryOptions::default()).expect("query runs");
+                row.push_str(&format!(" {:>10}", bench::fmt_duration(t.elapsed())));
+                n_matches = res.matches.len();
+            }
+            row.push_str(&format!(" {n_matches:>9}"));
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline/online separation with durable storage: build the path index
+//! once, persist graph and index into kvstore B+-tree files, then answer
+//! queries from a fresh process state — the paper's offline/online split.
+//!
+//! Run with: `cargo run -p bench --release --example index_persistence`
+
+use datagen::{sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use graphstore::persist::{load_entity_graph, save_entity_graph};
+use kvstore::BTreeStore;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::disk::{load_index, save_index, DiskPathIndex};
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir();
+    let graph_path = dir.join("pegmatch-example-graph.kv");
+    let index_path = dir.join("pegmatch-example-index.kv");
+
+    // --- Offline: build, persist, drop. ---
+    let refs = synthetic_refgraph(&SyntheticConfig::paper(2_000));
+    let peg = PegBuilder::new().build(&refs).expect("model compiles");
+    let offline = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.3))
+        .expect("offline phase");
+    {
+        let mut store = BTreeStore::create(&graph_path).unwrap();
+        save_entity_graph(&peg.graph, &mut store).unwrap();
+        store.flush().unwrap();
+        println!(
+            "entity graph persisted: {} entries, {} KiB on disk",
+            kvstore::Kv::len(&store),
+            store.file_len() / 1024
+        );
+    }
+    {
+        let mut store = BTreeStore::create(&index_path).unwrap();
+        save_index(&offline.paths, &mut store).unwrap();
+        store.flush().unwrap();
+        println!(
+            "path index persisted: {} entries, {} KiB on disk \
+             (built in {})",
+            offline.paths.n_entries(),
+            store.file_len() / 1024,
+            bench::fmt_duration(offline.stats.index_time)
+        );
+    }
+
+    // --- Online: reload everything from disk. ---
+    let t = Instant::now();
+    let graph_store = BTreeStore::open(&graph_path).unwrap();
+    let graph = load_entity_graph(&graph_store).unwrap();
+    let index_store = BTreeStore::open(&index_path).unwrap();
+    let paths = load_index(&index_store).unwrap();
+    println!(
+        "reloaded graph ({} nodes) and index ({} entries) in {}\n",
+        graph.n_nodes(),
+        paths.n_entries(),
+        bench::fmt_duration(t.elapsed())
+    );
+
+    // Rebind the offline artifacts (context info is cheap to recompute).
+    let context = pegmatch::offline::ContextInfo::build(&peg.graph);
+    let offline2 = OfflineIndex { context, paths, stats: offline.stats };
+    let pipeline = QueryPipeline::new(&peg, &offline2);
+
+    let query = sampled_query(&peg.graph, QuerySpec::new(4, 4), 5).expect("sampled query");
+    let t = Instant::now();
+    let res = pipeline.run(&query, 0.4, &QueryOptions::default()).expect("query runs");
+    println!(
+        "query over reloaded index: {} matches in {}",
+        res.matches.len(),
+        bench::fmt_duration(t.elapsed())
+    );
+
+    // Bonus: serve a lookup directly from disk, without loading the index.
+    let disk = DiskPathIndex::open(&index_store).unwrap();
+    let labels: Vec<graphstore::Label> =
+        (0..2).map(|i| graphstore::Label(i as u16)).collect();
+    let t = Instant::now();
+    let hits = disk.lookup(&labels, 0.5).unwrap();
+    println!(
+        "disk-direct lookup for {labels:?}: {} paths in {}",
+        hits.len(),
+        bench::fmt_duration(t.elapsed())
+    );
+
+    std::fs::remove_file(&graph_path).ok();
+    std::fs::remove_file(&index_path).ok();
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests for the two model extensions: transitive-closure
+//! merging constraints and the sampling fallback for oversized existence
+//! components, both validated through the full query pipeline.
+
+use datagen::{sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use graphstore::dist::{EdgeProbability, LabelDist};
+use graphstore::{Label, LabelTable, RefGraph, RefId};
+use pegmatch::matcher::match_bruteforce;
+use pegmatch::model::{add_transitive_closure_sets, ClosureWeight, ComponentFallback, ExistenceOptions, PegBuilder};
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::PathIndexConfig;
+
+#[test]
+fn closure_sets_flow_through_pipeline() {
+    // Synthetic network, then closure over its identity clusters.
+    let mut refs = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(150, 0.5));
+    let added = add_transitive_closure_sets(&mut refs, ClosureWeight::GeometricMean);
+    assert!(!added.is_empty(), "paper groups of 4 should induce closures");
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let idx = OfflineIndex::build(
+        &peg,
+        &OfflineOptions {
+            index: PathIndexConfig { max_len: 2, beta: 0.2, ..Default::default() },
+        },
+    )
+    .unwrap();
+    let pipe = QueryPipeline::new(&peg, &idx);
+    for seed in 0..4u64 {
+        if let Some(q) = sampled_query(&peg.graph, QuerySpec::new(4, 4), seed) {
+            for alpha in [0.1, 0.4] {
+                let want = match_bruteforce(&peg, &q, alpha);
+                let got = pipe.run(&q, alpha, &QueryOptions::default()).unwrap();
+                assert_eq!(got.matches.len(), want.len(), "seed={seed} alpha={alpha}");
+                for (x, y) in got.matches.iter().zip(&want) {
+                    assert_eq!(x.nodes, y.nodes);
+                    assert!((x.prob() - y.prob()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a star cluster whose existence component has many configurations.
+fn star_cluster(k: usize) -> RefGraph {
+    let table = LabelTable::from_names(["x", "y"]);
+    let n = table.len();
+    let mut g = RefGraph::new(table);
+    let hub = g.add_ref(LabelDist::delta(Label(0), n));
+    let mut prev = hub;
+    for i in 1..=k as u32 {
+        let r = g.add_ref(LabelDist::from_pairs(&[(Label(0), 0.5), (Label(1), 0.5)], n));
+        g.add_edge(prev, r, EdgeProbability::Independent(0.9));
+        g.add_ref_set(vec![hub, RefId(i)], 0.4);
+        prev = r;
+    }
+    g
+}
+
+#[test]
+fn sampled_existence_model_supports_queries() {
+    let refs = star_cluster(10);
+    // Exact build for ground truth...
+    let exact_peg = PegBuilder::new().build(&refs).unwrap();
+    assert!(!exact_peg.existence.is_approximate());
+    // ...and a forced-sampling build of the same PGD.
+    let approx_peg = PegBuilder::new()
+        .with_existence_options(ExistenceOptions {
+            max_configs_per_component: 4,
+            fallback: ComponentFallback::Sample { samples: 40_000, seed: 5 },
+            ..Default::default()
+        })
+        .build(&refs)
+        .unwrap();
+    assert!(approx_peg.existence.is_approximate());
+
+    // Marginals agree within sampling tolerance.
+    for v in exact_peg.graph.node_ids() {
+        let e = exact_peg.prn(&[v]);
+        let a = approx_peg.prn(&[v]);
+        assert!((e - a).abs() < 0.03, "{v:?}: exact {e} vs approx {a}");
+    }
+
+    // Full pipeline over the sampled model matches brute force over the
+    // same (sampled) model exactly — internal consistency.
+    let idx = OfflineIndex::build(
+        &approx_peg,
+        &OfflineOptions {
+            index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() },
+        },
+    )
+    .unwrap();
+    let pipe = QueryPipeline::new(&approx_peg, &idx);
+    let q = pegmatch::query::QueryGraph::path(&[Label(0), Label(1)]).unwrap();
+    let got = pipe.run(&q, 0.1, &QueryOptions::default()).unwrap();
+    let want = match_bruteforce(&approx_peg, &q, 0.1);
+    assert_eq!(got.matches.len(), want.len());
+    for (x, y) in got.matches.iter().zip(&want) {
+        assert_eq!(x.nodes, y.nodes);
+        assert!((x.prob() - y.prob()).abs() < 1e-9);
+    }
+
+    // And the sampled pipeline approximates the exact pipeline's answers.
+    let exact_idx = OfflineIndex::build(
+        &exact_peg,
+        &OfflineOptions {
+            index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() },
+        },
+    )
+    .unwrap();
+    let exact_pipe = QueryPipeline::new(&exact_peg, &exact_idx);
+    let exact_res = exact_pipe.run(&q, 0.1, &QueryOptions::default()).unwrap();
+    // Same match sets at a threshold far from any match's probability.
+    assert_eq!(got.matches.len(), exact_res.matches.len());
+    for (x, y) in got.matches.iter().zip(&exact_res.matches) {
+        assert_eq!(x.nodes, y.nodes);
+        assert!((x.prob() - y.prob()).abs() < 0.05);
+    }
+}

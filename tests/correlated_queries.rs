@@ -1,0 +1,85 @@
+//! Section 5.3: label-correlated edge probabilities (CPT edges) through the
+//! full pipeline — validated on the DBLP-like workload, whose edges all
+//! condition on endpoint labels.
+
+use datagen::{dblp_like, pattern_query, sampled_query, DblpConfig, Pattern, QuerySpec};
+use pegmatch::matcher::match_bruteforce;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::PathIndexConfig;
+
+#[test]
+fn pipeline_equals_bruteforce_with_cpt_edges() {
+    let refs = dblp_like(&DblpConfig::scaled(400));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    for l in 1..=3usize {
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: l, beta: 0.1, ..Default::default() },
+            },
+        )
+        .unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        for seed in 0..4u64 {
+            if let Some(q) = sampled_query(&peg.graph, QuerySpec::new(4, 4), seed) {
+                for alpha in [0.1, 0.3, 0.6] {
+                    let want = match_bruteforce(&peg, &q, alpha);
+                    let got = pipe.run(&q, alpha, &QueryOptions::default()).unwrap();
+                    assert_eq!(
+                        got.matches.len(),
+                        want.len(),
+                        "L={l} seed={seed} alpha={alpha}"
+                    );
+                    for (x, y) in got.matches.iter().zip(&want) {
+                        assert_eq!(x.nodes, y.nodes);
+                        assert!((x.prob() - y.prob()).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure8_patterns_run_on_dblp_like_graph() {
+    let refs = dblp_like(&DblpConfig::scaled(600));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let lt = peg.graph.label_table();
+    let (d, m, s) = (lt.get("D").unwrap(), lt.get("M").unwrap(), lt.get("S").unwrap());
+    let idx = OfflineIndex::build(
+        &peg,
+        &OfflineOptions {
+            index: PathIndexConfig { max_len: 3, beta: 0.05, ..Default::default() },
+        },
+    )
+    .unwrap();
+    let pipe = QueryPipeline::new(&peg, &idx);
+    for p in Pattern::ALL {
+        let q = pattern_query(p, d, m, s).unwrap();
+        let got = pipe.run(&q, 0.1, &QueryOptions::default()).unwrap();
+        let want = match_bruteforce(&peg, &q, 0.1);
+        assert_eq!(got.matches.len(), want.len(), "pattern {}", p.name());
+    }
+}
+
+#[test]
+fn correlated_edge_probabilities_affect_results() {
+    // Two queries with the same shape but different label agreement must
+    // see the 0.8 penalty on disagreeing endpoints.
+    let refs = dblp_like(&DblpConfig::scaled(400));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let lt = peg.graph.label_table();
+    let d = lt.get("D").unwrap();
+    let m = lt.get("M").unwrap();
+    // Count edge-level match probability mass for same- vs cross-label.
+    let mut same = 0.0f64;
+    let mut cross = 0.0f64;
+    for e in peg.graph.edges() {
+        same += e.prob.prob(d, d);
+        cross += e.prob.prob(d, m);
+    }
+    assert!(same > cross, "agreeing labels must carry more mass");
+    assert!((cross / same - 0.8).abs() < 1e-9, "the 0.8 factor is exact");
+}

@@ -1,0 +1,99 @@
+//! The Monte Carlo sampling baseline against the exact engine on synthetic
+//! graphs: every exact match must be recovered with a frequency within
+//! sampling error, matches far from the threshold must classify
+//! identically, and the sampler must never produce a mapping that shares
+//! references (an illegal world).
+
+use datagen::{sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use pegmatch::baseline::{match_montecarlo, McOptions};
+use pegmatch::matcher::match_bruteforce;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+#[test]
+fn montecarlo_agrees_with_exact_on_synthetic_graphs() {
+    for seed in [1u64, 2, 3] {
+        let cfg = SyntheticConfig { seed, ..SyntheticConfig::paper_with_uncertainty(60, 0.6) };
+        let refs = synthetic_refgraph(&cfg);
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let Some(q) = sampled_query(&peg.graph, QuerySpec::new(3, 3), seed) else {
+            continue;
+        };
+        let exact = match_bruteforce(&peg, &q, 0.05);
+        let mc = match_montecarlo(&peg, &q, 0.02, &McOptions { samples: 8_000, seed });
+        for m in &exact {
+            let found = mc
+                .iter()
+                .find(|e| e.nodes == m.nodes)
+                .unwrap_or_else(|| panic!("seed {seed}: MC missed {:?}", m.nodes));
+            let tol = (5.0 * found.std_error).max(0.02);
+            assert!(
+                (found.estimate - m.prob()).abs() < tol,
+                "seed {seed}: {:?} estimate {} vs exact {} (tol {tol})",
+                m.nodes,
+                found.estimate,
+                m.prob()
+            );
+        }
+    }
+}
+
+#[test]
+fn montecarlo_and_pipeline_classify_clear_matches_identically() {
+    let cfg = SyntheticConfig { seed: 9, ..SyntheticConfig::paper_with_uncertainty(60, 0.4) };
+    let refs = synthetic_refgraph(&cfg);
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let Some(q) = sampled_query(&peg.graph, QuerySpec::new(3, 2), 9) else {
+        panic!("sampled query exists on this seed");
+    };
+    let idx = OfflineIndex::build(&peg, &OfflineOptions::default()).unwrap();
+    let exact = QueryPipeline::new(&peg, &idx)
+        .run(&q, 0.5, &QueryOptions::default())
+        .unwrap()
+        .matches;
+    let mc = match_montecarlo(&peg, &q, 0.5, &McOptions { samples: 10_000, seed: 9 });
+    // Compare only matches far from the α = 0.5 boundary (> 4σ ≈ 0.015).
+    let margin = 0.05;
+    let exact_clear: Vec<_> =
+        exact.iter().filter(|m| (m.prob() - 0.5).abs() > margin).map(|m| &m.nodes).collect();
+    for nodes in &exact_clear {
+        assert!(
+            mc.iter().any(|e| &&e.nodes == nodes),
+            "exact match {nodes:?} missing from MC at the same threshold"
+        );
+    }
+    for e in &mc {
+        if (e.estimate - 0.5).abs() > margin {
+            assert!(
+                exact.iter().any(|m| m.nodes == e.nodes),
+                "MC reported {:?} at {} which the exact engine rejects",
+                e.nodes,
+                e.estimate
+            );
+        }
+    }
+}
+
+#[test]
+fn sampler_never_emits_reference_sharing_mappings() {
+    // High identity uncertainty: many reference sets.
+    let cfg = SyntheticConfig { seed: 4, ..SyntheticConfig::paper_with_uncertainty(60, 1.0) };
+    let refs = synthetic_refgraph(&cfg);
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let Some(q) = sampled_query(&peg.graph, QuerySpec::new(3, 2), 4) else {
+        return;
+    };
+    let mc = match_montecarlo(&peg, &q, 0.0, &McOptions { samples: 3_000, seed: 4 });
+    for e in &mc {
+        for (i, &u) in e.nodes.iter().enumerate() {
+            for &v in &e.nodes[i + 1..] {
+                assert!(
+                    u == v || peg.graph.refs_disjoint(u, v),
+                    "mapping {:?} puts reference-sharing entities in one world",
+                    e.nodes
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-validation of the specialized existence machinery against the
+//! general PGM engine: Definition 2's node-existence factors, materialized
+//! literally as tabular factors in a Markov network, must yield the same
+//! marginals as `ExistenceModel`'s exact-cover enumeration.
+
+use graphstore::{EntityId, RefId};
+use pegmatch::model::{ExistenceModel, ExistenceOptions};
+use pgm::{Factor, MarkovNet, VarId};
+use proptest::prelude::*;
+
+/// Builds the existence Markov network of Definition 2: one binary variable
+/// per entity set, one factor per reference with value `w(s_i)` on the
+/// assignments where exactly one containing set is true.
+fn existence_net(node_refs: &[Vec<RefId>], weights: &[f64]) -> MarkovNet {
+    let mut net = MarkovNet::new();
+    // Collect references.
+    let mut refs: Vec<RefId> = node_refs.iter().flatten().copied().collect();
+    refs.sort_unstable();
+    refs.dedup();
+    for r in refs {
+        let containing: Vec<usize> = node_refs
+            .iter()
+            .enumerate()
+            .filter(|(_, members)| members.contains(&r))
+            .map(|(i, _)| i)
+            .collect();
+        let k = containing.len();
+        let vars: Vec<VarId> = containing.iter().map(|&i| VarId(i as u32)).collect();
+        let cards = vec![2usize; k];
+        let size = 1usize << k;
+        let mut table = vec![0.0; size];
+        // Row-major with last variable fastest; value of var j in row idx is
+        // bit (k-1-j).
+        for (idx, slot) in table.iter_mut().enumerate() {
+            let mut on = Vec::new();
+            for j in 0..k {
+                if idx >> (k - 1 - j) & 1 == 1 {
+                    on.push(j);
+                }
+            }
+            if on.len() == 1 {
+                *slot = weights[containing[on[0]]];
+            }
+        }
+        net.add_factor(Factor::new(vars, cards, table));
+    }
+    net
+}
+
+/// Marginal `Pr(all query nodes exist)` through the general engine.
+fn pgm_marginal(net: &MarkovNet, n_sets: usize, query: &[usize]) -> f64 {
+    // Nodes untouched by any factor are structurally absent from the net;
+    // they correspond to impossible sets (weight irrelevant) — exclude by
+    // construction in the strategies below.
+    let targets: Vec<VarId> = query.iter().map(|&i| VarId(i as u32)).collect();
+    let marg = net.marginal(&targets);
+    let _ = n_sets;
+    if targets.is_empty() {
+        return 1.0;
+    }
+    let vals: Vec<usize> = marg
+        .vars()
+        .iter()
+        .map(|_| 1usize)
+        .collect();
+    // Align: marginal vars may be ordered differently; all-ones works since
+    // every domain is binary and we ask for "all true".
+    marg.prob(&vals)
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    node_refs: Vec<Vec<RefId>>,
+    weights: Vec<f64>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    // 3..=5 references with all singletons plus 0..=2 random multi-sets.
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let extra_sets = proptest::collection::vec(
+                proptest::collection::btree_set(0u32..n as u32, 2..=n.min(3)),
+                0..=2,
+            );
+            let weights = proptest::collection::vec(0.05f64..=1.0, n + 2);
+            (Just(n), extra_sets, weights)
+        })
+        .prop_map(|(n, extra_sets, weights)| {
+            let mut node_refs: Vec<Vec<RefId>> =
+                (0..n as u32).map(|r| vec![RefId(r)]).collect();
+            for set in extra_sets {
+                let members: Vec<RefId> = set.into_iter().map(RefId).collect();
+                if !node_refs.contains(&members) {
+                    node_refs.push(members);
+                }
+            }
+            let weights = weights[..node_refs.len()].to_vec();
+            Scenario { node_refs, weights }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn existence_marginals_match_pgm_engine(sc in scenario_strategy()) {
+        let model =
+            ExistenceModel::build(&sc.node_refs, &sc.weights, &ExistenceOptions::default())
+                .unwrap();
+        let net = existence_net(&sc.node_refs, &sc.weights);
+        let n = sc.node_refs.len();
+
+        // Single-node marginals.
+        for i in 0..n {
+            let ours = model.prn(&[EntityId(i as u32)]);
+            let theirs = pgm_marginal(&net, n, &[i]);
+            prop_assert!((ours - theirs).abs() < 1e-9,
+                "node {i}: ours={ours} pgm={theirs} scenario={sc:?}");
+        }
+        // Pairwise marginals.
+        for i in 0..n {
+            for j in i + 1..n {
+                let ours = model.prn(&[EntityId(i as u32), EntityId(j as u32)]);
+                let theirs = pgm_marginal(&net, n, &[i, j]);
+                prop_assert!((ours - theirs).abs() < 1e-9,
+                    "pair ({i},{j}): ours={ours} pgm={theirs} scenario={sc:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn figure1_marginals_through_both_engines() {
+    // Figure 1's component: refs r3, r4; sets {r3}, {r4}, {r3,r4}.
+    let q: f64 = 0.8;
+    let node_refs = vec![vec![RefId(0)], vec![RefId(1)], vec![RefId(0), RefId(1)]];
+    let weights = vec![(1.0 - q).sqrt(), (1.0 - q).sqrt(), q.sqrt()];
+    let model =
+        ExistenceModel::build(&node_refs, &weights, &ExistenceOptions::default()).unwrap();
+    let net = existence_net(&node_refs, &weights);
+    assert!((model.prn(&[EntityId(2)]) - 0.8).abs() < 1e-12);
+    assert!((pgm_marginal(&net, 3, &[2]) - 0.8).abs() < 1e-9);
+    assert!((pgm_marginal(&net, 3, &[0, 1]) - 0.2).abs() < 1e-9);
+    // Conflicting sets: zero either way.
+    assert_eq!(model.prn(&[EntityId(0), EntityId(2)]), 0.0);
+    assert!(pgm_marginal(&net, 3, &[0, 2]) < 1e-12);
+}

@@ -1,0 +1,66 @@
+//! Property test: the full optimized pipeline agrees with the brute-force
+//! matcher on randomly drawn graphs, queries, thresholds, and index lengths
+//! — the k-partite reduction and all pruning steps are sound *and* the match
+//! probabilities are exact. Complements `pipeline_equivalence.rs`, which
+//! checks a fixed grid of configurations.
+
+use datagen::{random_query, sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use pegmatch::matcher::match_bruteforce;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pathindex::PathIndexConfig;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case builds a graph + index, so keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn pipeline_matches_bruteforce_on_random_configs(
+        n_refs in 30usize..100,
+        uncertainty in prop::sample::select(vec![0.2, 0.5, 0.8, 1.0]),
+        alpha in prop::sample::select(vec![0.05, 0.3, 0.7]),
+        l in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SyntheticConfig {
+            seed,
+            ..SyntheticConfig::paper_with_uncertainty(n_refs, uncertainty)
+        };
+        let refs = synthetic_refgraph(&cfg);
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let n_labels = peg.graph.label_table().len();
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: l, beta: 0.2, ..Default::default() },
+            },
+        )
+        .unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+
+        let mut queries = vec![random_query(QuerySpec::new(4, 4), n_labels, seed)];
+        if let Some(q) = sampled_query(&peg.graph, QuerySpec::new(4, 4), seed) {
+            queries.push(q);
+        }
+        for q in &queries {
+            let got = pipe.run(q, alpha, &QueryOptions::default()).unwrap().matches;
+            let want = match_bruteforce(&peg, q, alpha);
+            prop_assert_eq!(
+                got.len(),
+                want.len(),
+                "match count differs (α={}, L={}, seed={})",
+                alpha, l, seed
+            );
+            for (x, y) in got.iter().zip(&want) {
+                prop_assert_eq!(&x.nodes, &y.nodes);
+                prop_assert!((x.prob() - y.prob()).abs() < 1e-9,
+                    "probability differs: {} vs {}", x.prob(), y.prob());
+                // The explanation must factorize the same probability.
+                let ex = pegmatch::explain::explain(&peg, q, x);
+                prop_assert!((ex.prob() - x.prob()).abs() < 1e-9,
+                    "explanation product {} != match probability {}", ex.prob(), x.prob());
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The SQL-style relational baseline must agree with the native matchers on
+//! graphs where it finishes — and must fail loudly (budget) where it would
+//! not.
+
+use datagen::{random_query, sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use pegmatch::matcher::match_bruteforce;
+use pegmatch::model::PegBuilder;
+use relbase::subgraph::{run_relational_baseline, tables_from_peg};
+use relbase::RelError;
+
+#[test]
+fn relational_matches_bruteforce_on_random_graphs() {
+    for seed in 1..=3u64 {
+        let cfg = SyntheticConfig { seed, ..SyntheticConfig::paper_with_uncertainty(120, 0.5) };
+        let refs = synthetic_refgraph(&cfg);
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let tables = tables_from_peg(&peg);
+        let n_labels = peg.graph.label_table().len();
+        let mut queries = vec![random_query(QuerySpec::new(3, 3), n_labels, seed)];
+        if let Some(q) = sampled_query(&peg.graph, QuerySpec::new(4, 4), seed) {
+            queries.push(q);
+        }
+        for (qi, q) in queries.iter().enumerate() {
+            for alpha in [0.1, 0.4, 0.8] {
+                let got = run_relational_baseline(&peg, &tables, q, alpha, u64::MAX)
+                    .expect("baseline finishes on small graphs");
+                let want = match_bruteforce(&peg, q, alpha);
+                assert_eq!(got.len(), want.len(), "seed={seed} q#{qi} alpha={alpha}");
+                for (x, y) in got.iter().zip(&want) {
+                    assert_eq!(x.nodes, y.nodes);
+                    assert!((x.prob() - y.prob()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn relational_blows_budget_on_dense_query() {
+    // Mirrors the paper's observation: the join plan's intermediate results
+    // explode even on modest graphs.
+    let refs = synthetic_refgraph(&SyntheticConfig::paper(800));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let tables = tables_from_peg(&peg);
+    let q = random_query(QuerySpec::new(5, 7), peg.graph.label_table().len(), 3);
+    let err = run_relational_baseline(&peg, &tables, &q, 0.7, 10_000).unwrap_err();
+    assert!(matches!(err, RelError::BudgetExceeded { budget: 10_000 }));
+}

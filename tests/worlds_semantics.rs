@@ -1,0 +1,126 @@
+//! Semantic ground truth: on tiny random PGDs, the closed-form match
+//! probabilities (Equation 11) and all matching algorithms agree with
+//! literal possible-world enumeration (Definition 4), via proptest.
+
+use graphstore::dist::{EdgeProbability, LabelDist};
+use graphstore::{Label, LabelTable, RefGraph, RefId};
+use pegmatch::baseline::match_by_worlds;
+use pegmatch::matcher::match_bruteforce;
+use pegmatch::model::worlds::enumerate_worlds;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pegmatch::query::QueryGraph;
+use pathindex::PathIndexConfig;
+use proptest::prelude::*;
+
+/// A random tiny PGD: ≤ 5 references, 2 labels, optional pair set.
+#[derive(Clone, Debug)]
+struct TinyPgd {
+    n_refs: usize,
+    /// Per ref: probability of label 0 (rest on label 1).
+    label_probs: Vec<f64>,
+    /// Edges as (a, b, prob) with a < b.
+    edges: Vec<(u8, u8, f64)>,
+    /// Optional pair reference set (a, b, posterior).
+    pair: Option<(u8, u8, f64)>,
+}
+
+fn tiny_pgd_strategy() -> impl Strategy<Value = TinyPgd> {
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let labels = proptest::collection::vec(0.0f64..=1.0, n);
+            let edges = proptest::collection::vec(
+                (0u8..n as u8, 0u8..n as u8, 0.05f64..=1.0),
+                0..=n + 1,
+            );
+            let pair = proptest::option::of((0u8..n as u8, 0u8..n as u8, 0.1f64..=0.9));
+            (Just(n), labels, edges, pair)
+        })
+        .prop_map(|(n_refs, label_probs, raw_edges, raw_pair)| {
+            let mut edges = Vec::new();
+            for (a, b, p) in raw_edges {
+                if a != b {
+                    let key = (a.min(b), a.max(b));
+                    if !edges.iter().any(|&(x, y, _)| (x, y) == key) {
+                        edges.push((key.0, key.1, p));
+                    }
+                }
+            }
+            let pair = raw_pair.and_then(|(a, b, q)| (a != b).then(|| (a.min(b), a.max(b), q)));
+            TinyPgd { n_refs, label_probs, edges, pair }
+        })
+}
+
+fn build(pgd: &TinyPgd) -> RefGraph {
+    let table = LabelTable::from_names(["x", "y"]);
+    let mut g = RefGraph::new(table);
+    for i in 0..pgd.n_refs {
+        let p = pgd.label_probs[i];
+        let dist = LabelDist::from_pairs(&[(Label(0), p), (Label(1), 1.0 - p)], 2);
+        g.add_ref(dist);
+    }
+    for &(a, b, p) in &pgd.edges {
+        g.add_edge(RefId(a as u32), RefId(b as u32), EdgeProbability::Independent(p));
+    }
+    if let Some((a, b, q)) = pgd.pair {
+        g.add_pair_set_with_posterior(RefId(a as u32), RefId(b as u32), q);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn world_probabilities_always_sum_to_one(pgd in tiny_pgd_strategy()) {
+        let peg = PegBuilder::new().build(&build(&pgd)).unwrap();
+        let worlds = enumerate_worlds(&peg, 5_000_000).unwrap();
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_world_enumeration(pgd in tiny_pgd_strategy()) {
+        let peg = PegBuilder::new().build(&build(&pgd)).unwrap();
+        let q = QueryGraph::path(&[Label(0), Label(1)]).unwrap();
+        for alpha in [0.05, 0.2, 0.5] {
+            let via_worlds = match_by_worlds(&peg, &q, alpha, 5_000_000).unwrap();
+            let direct = match_bruteforce(&peg, &q, alpha);
+            prop_assert_eq!(via_worlds.len(), direct.len(), "alpha={}", alpha);
+            for (x, y) in via_worlds.iter().zip(&direct) {
+                prop_assert_eq!(&x.nodes, &y.nodes);
+                prop_assert!((x.prob() - y.prob()).abs() < 1e-6);
+            }
+            // Optimized pipeline too.
+            let idx = OfflineIndex::build(
+                &peg,
+                &OfflineOptions {
+                    index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() },
+                },
+            )
+            .unwrap();
+            let pipe = QueryPipeline::new(&peg, &idx);
+            let got = pipe.run(&q, alpha, &QueryOptions::default()).unwrap();
+            prop_assert_eq!(got.matches.len(), direct.len());
+            for (x, y) in got.matches.iter().zip(&direct) {
+                prop_assert_eq!(&x.nodes, &y.nodes);
+                prop_assert!((x.prob() - y.prob()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_query_agrees(pgd in tiny_pgd_strategy()) {
+        let peg = PegBuilder::new().build(&build(&pgd)).unwrap();
+        let q = QueryGraph::cycle(&[Label(0), Label(1), Label(1)]).unwrap();
+        let alpha = 0.1;
+        let via_worlds = match_by_worlds(&peg, &q, alpha, 5_000_000).unwrap();
+        let direct = match_bruteforce(&peg, &q, alpha);
+        prop_assert_eq!(via_worlds.len(), direct.len());
+        for (x, y) in via_worlds.iter().zip(&direct) {
+            prop_assert_eq!(&x.nodes, &y.nodes);
+            prop_assert!((x.prob() - y.prob()).abs() < 1e-6);
+        }
+    }
+}
