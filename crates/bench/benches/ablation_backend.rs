@@ -22,9 +22,8 @@ fn bench(c: &mut Criterion) {
     let disk = DiskPathIndex::open(&store).unwrap();
 
     let n_labels = w.peg.graph.label_table().len() as u16;
-    let seqs: Vec<Vec<Label>> = (0..n_labels)
-        .flat_map(|a| (0..n_labels).map(move |b| vec![Label(a), Label(b)]))
-        .collect();
+    let seqs: Vec<Vec<Label>> =
+        (0..n_labels).flat_map(|a| (0..n_labels).map(move |b| vec![Label(a), Label(b)])).collect();
 
     let mut group = c.benchmark_group("ablation_backend");
     group.sample_size(10);

@@ -10,9 +10,9 @@
 use bench::Workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{random_query, QuerySpec};
+use pathindex::PathIndexConfig;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 
 fn bench(c: &mut Criterion) {
     let w = Workload::synthetic(400, 0.2, 0.3, 1);

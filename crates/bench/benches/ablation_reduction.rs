@@ -18,17 +18,17 @@ fn bench(c: &mut Criterion) {
     let q = random_query(QuerySpec::new(10, 20), n_labels, 3);
     let pipe = QueryPipeline::new(&w.peg, w.index(3));
 
+    // `threads: 1` pins the non-"parallel" variants to the sequential
+    // engine; the default (`threads: 0`) would parallelize everything and
+    // turn this ablation into parallel-vs-parallel.
     let variants: Vec<(&str, QueryOptions)> = vec![
-        ("sequential", QueryOptions::default()),
-        (
-            "parallel",
-            QueryOptions { parallel_reduction: true, ..Default::default() },
-        ),
+        ("sequential", QueryOptions::with_threads(1)),
+        ("parallel", QueryOptions { parallel_reduction: true, ..Default::default() }),
         (
             "structure_only",
-            QueryOptions { use_upperbounds: false, ..Default::default() },
+            QueryOptions { use_upperbounds: false, ..QueryOptions::with_threads(1) },
         ),
-        ("no_reduction", QueryOptions::no_reduction()),
+        ("no_reduction", QueryOptions { threads: 1, ..QueryOptions::no_reduction() }),
     ];
 
     let mut group = c.benchmark_group("ablation_reduction");
@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
     for (name, opts) in &variants {
-        group.bench_function(*name, |b| {
-            b.iter(|| pipe.run(&q, 0.5, opts).unwrap())
-        });
+        group.bench_function(*name, |b| b.iter(|| pipe.run(&q, 0.5, opts).unwrap()));
     }
     group.finish();
 }

@@ -28,15 +28,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| pipe.run(&q, 0.3, &QueryOptions::default()).unwrap())
     });
     for samples in [100usize, 1_000] {
-        group.bench_with_input(
-            BenchmarkId::new("montecarlo", samples),
-            &samples,
-            |b, &samples| {
-                b.iter(|| {
-                    match_montecarlo(&w.peg, &q, 0.3, &McOptions { samples, seed: 1 })
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("montecarlo", samples), &samples, |b, &samples| {
+            b.iter(|| match_montecarlo(&w.peg, &q, 0.3, &McOptions { samples, seed: 1 }))
+        });
     }
     group.finish();
 }

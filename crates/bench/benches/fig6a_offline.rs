@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{synthetic_refgraph, SyntheticConfig};
+use pathindex::PathIndexConfig;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
-use pathindex::PathIndexConfig;
 
 fn bench_offline(c: &mut Criterion) {
     let refs = synthetic_refgraph(&SyntheticConfig::paper(500));

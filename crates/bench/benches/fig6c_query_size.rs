@@ -1,8 +1,8 @@
 //! Figure 6(c): online running time vs query size (Optimized L=1,2,3 vs
 //! the Random-Decomposition and No-SS-Reduction baselines), alpha = 0.7.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{random_query, QuerySpec};
 use pegmatch::online::{QueryOptions, QueryPipeline};
 

@@ -1,8 +1,8 @@
 //! Figure 6(d): online running time vs query density (15-node queries of
 //! 20..60 edges), alpha = 0.7.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{random_query, QuerySpec};
 use pegmatch::online::{QueryOptions, QueryPipeline};
 

@@ -20,10 +20,7 @@ fn bench(c: &mut Criterion) {
             for l in 1..=3usize {
                 let pipe = QueryPipeline::new(&w.peg, w.index(l));
                 group.bench_with_input(
-                    BenchmarkId::new(
-                        format!("L{l}_q({n},{m})"),
-                        format!("u{:.0}%", u * 100.0),
-                    ),
+                    BenchmarkId::new(format!("L{l}_q({n},{m})"), format!("u{:.0}%", u * 100.0)),
                     &q,
                     |b, q| b.iter(|| pipe.run(q, 0.7, &QueryOptions::default()).unwrap()),
                 );

@@ -19,11 +19,9 @@ fn bench(c: &mut Criterion) {
         let q = pattern_query(p, genre, genre, genre).unwrap();
         for l in 1..=3usize {
             let pipe = QueryPipeline::new(&w.peg, w.index(l));
-            group.bench_with_input(
-                BenchmarkId::new(p.name(), format!("L{l}")),
-                &q,
-                |b, q| b.iter(|| pipe.run(q, 0.1, &QueryOptions::default()).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(p.name(), format!("L{l}")), &q, |b, q| {
+                b.iter(|| pipe.run(q, 0.1, &QueryOptions::default()).unwrap())
+            });
         }
     }
     group.finish();

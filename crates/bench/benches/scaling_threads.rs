@@ -1,0 +1,50 @@
+//! Thread scaling of the online query path: the same generation-heavy
+//! workload at 1/2/4/8 compute lanes. Low thresholds make match generation
+//! (and candidate pruning) dominate, which is where the seed-parallel
+//! engine earns its speedup; result sets are byte-identical across lane
+//! counts (asserted below before timing).
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    // Generation-heavy: a dense-ish graph, a 6-node query, and a low
+    // threshold so the reduced k-partite graph still yields many matches.
+    let w = Workload::synthetic(1200, 0.4, 0.05, 2);
+    let n_labels = w.peg.graph.label_table().len();
+    let pipe = QueryPipeline::new(&w.peg, w.index(2));
+    let alpha = 0.05;
+    for (n, m, seed) in [(5usize, 5usize, 1u64), (6, 7, 1), (10, 20, 3)] {
+        let q = random_query(QuerySpec::new(n, m), n_labels, seed);
+        // Correctness gate: every lane count must return the same matches.
+        let reference = pipe.run(&q, alpha, &QueryOptions::with_threads(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let got = pipe.run(&q, alpha, &QueryOptions::with_threads(threads)).unwrap();
+            assert_eq!(got.matches.len(), reference.matches.len());
+            for (a, b) in got.matches.iter().zip(&reference.matches) {
+                assert_eq!(a.nodes, b.nodes, "threads={threads} diverged");
+            }
+        }
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("q({n},{m})x{}", reference.matches.len()),
+                    format!("{threads}t"),
+                ),
+                &q,
+                |b, q| b.iter(|| pipe.run(q, alpha, &QueryOptions::with_threads(threads)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,14 +7,17 @@
 //!
 //! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
-//! ablation-parallel ablation-threads ablation-montecarlo all
+//! ablation-parallel ablation-threads ablation-query-threads
+//! ablation-montecarlo all
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
-use datagen::{dblp_like, imdb_like, pattern_query, random_query, DblpConfig, ImdbConfig, Pattern, QuerySpec};
+use datagen::{
+    dblp_like, imdb_like, pattern_query, random_query, DblpConfig, ImdbConfig, Pattern, QuerySpec,
+};
+use pathindex::PathIndexConfig;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
 use pegmatch::query::QueryGraph;
-use pathindex::PathIndexConfig;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -91,6 +94,9 @@ fn main() {
     if run("ablation-threads") {
         ablation_threads(scale);
     }
+    if run("ablation-query-threads") {
+        ablation_query_threads(scale);
+    }
     if run("ablation-montecarlo") {
         ablation_montecarlo(scale);
     }
@@ -124,9 +130,8 @@ fn time_queries(
 /// Figures 6(a)/(b): offline running time and index size over (β, size, L).
 fn fig6ab(scale: Scale) {
     println!("## Figure 6(a): offline phase running time / 6(b): index size");
-    let mut t = Table::new(&[
-        "refs", "beta", "L", "offline time", "entries", "mem bytes", "disk bytes",
-    ]);
+    let mut t =
+        Table::new(&["refs", "beta", "L", "offline time", "entries", "mem bytes", "disk bytes"]);
     for &n in &scale.graph_sizes() {
         let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(n));
         let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
@@ -173,7 +178,8 @@ fn fig6c(scale: Scale) {
         let spec = QuerySpec::new(n, m);
         let mut cells = vec![format!("q({n},{m})")];
         for l in 1..=3 {
-            let (d, _) = time_queries(&w.peg, w.index(l), spec, 0.7, &QueryOptions::default(), 0..5);
+            let (d, _) =
+                time_queries(&w.peg, w.index(l), spec, 0.7, &QueryOptions::default(), 0..5);
             cells.push(fmt_duration(d));
         }
         let (d, _) =
@@ -203,7 +209,8 @@ fn fig6d(scale: Scale) {
         let spec = QuerySpec::new(n, m);
         let mut cells = vec![format!("q({n},{m})")];
         for l in 1..=3 {
-            let (d, _) = time_queries(&w.peg, w.index(l), spec, 0.7, &QueryOptions::default(), 0..5);
+            let (d, _) =
+                time_queries(&w.peg, w.index(l), spec, 0.7, &QueryOptions::default(), 0..5);
             cells.push(fmt_duration(d));
         }
         let (d, _) =
@@ -410,8 +417,7 @@ fn fig7g(scale: Scale) {
     let refs = dblp_like(&DblpConfig::scaled(n));
     let w = Workload::from_refgraph(&refs, 0.05, 3);
     let lt = w.peg.graph.label_table();
-    let (d, m, s) =
-        (lt.get("D").unwrap(), lt.get("M").unwrap(), lt.get("S").unwrap());
+    let (d, m, s) = (lt.get("D").unwrap(), lt.get("M").unwrap(), lt.get("S").unwrap());
     let mut t = Table::new(&["query", "L1", "L2", "L3", "matches(L3)"]);
     for p in Pattern::ALL {
         let q = pattern_query(p, d, m, s).unwrap();
@@ -472,21 +478,15 @@ fn sql_baseline(scale: Scale) {
     let t0 = Instant::now();
     let res = pipe.run(&q, 0.7, &QueryOptions::default()).unwrap();
     let opt_time = t0.elapsed();
-    println!(
-        "optimized (L=3): {} — {} matches",
-        fmt_duration(opt_time),
-        res.matches.len()
-    );
+    println!("optimized (L=3): {} — {} matches", fmt_duration(opt_time), res.matches.len());
 
     let tables = relbase::subgraph::tables_from_peg(&w.peg);
     let budget = 50_000_000u64;
     let t0 = Instant::now();
     match relbase::subgraph::run_relational_baseline(&w.peg, &tables, &q, 0.7, budget) {
-        Ok(ms) => println!(
-            "relational baseline: {} — {} matches",
-            fmt_duration(t0.elapsed()),
-            ms.len()
-        ),
+        Ok(ms) => {
+            println!("relational baseline: {} — {} matches", fmt_duration(t0.elapsed()), ms.len())
+        }
         Err(e) => println!(
             "relational baseline: DID NOT FINISH after {} ({e})",
             fmt_duration(t0.elapsed())
@@ -496,11 +496,9 @@ fn sql_baseline(scale: Scale) {
     // The paper's blow-up case: a dense co-label query (every node carries
     // the most frequent label) floods the join plan's intermediates.
     let l0 = graphstore::Label(0);
-    let dense = QueryGraph::new(
-        vec![l0; 5],
-        vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)],
-    )
-    .unwrap();
+    let dense =
+        QueryGraph::new(vec![l0; 5], vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)])
+            .unwrap();
     let t0 = Instant::now();
     let res = pipe.run(&dense, 0.7, &QueryOptions::default()).unwrap();
     println!(
@@ -543,12 +541,7 @@ fn sql_baseline(scale: Scale) {
             }
         };
         let ratio = rel.as_secs_f64() / opt.as_secs_f64().max(1e-9);
-        t.row(vec![
-            n.to_string(),
-            fmt_duration(opt),
-            fmt_duration(rel),
-            format!("{ratio:.1}x"),
-        ]);
+        t.row(vec![n.to_string(), fmt_duration(opt), fmt_duration(rel), format!("{ratio:.1}x")]);
     }
     t.print();
     println!();
@@ -557,9 +550,7 @@ fn sql_baseline(scale: Scale) {
 /// Ablation: index resolution γ.
 fn ablation_gamma(scale: Scale) {
     println!("## Ablation: index resolution gamma (q(5,9), alpha=0.7)");
-    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(
-        scale.default_graph(),
-    ));
+    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(scale.default_graph()));
     let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
     let mut t = Table::new(&["gamma", "buckets", "build", "avg query"]);
     for gamma in [0.02, 0.05, 0.1, 0.25] {
@@ -572,14 +563,8 @@ fn ablation_gamma(scale: Scale) {
         )
         .unwrap();
         let build = t0.elapsed();
-        let (d, _) = time_queries(
-            &peg,
-            &idx,
-            QuerySpec::new(5, 9),
-            0.7,
-            &QueryOptions::default(),
-            0..5,
-        );
+        let (d, _) =
+            time_queries(&peg, &idx, QuerySpec::new(5, 9), 0.7, &QueryOptions::default(), 0..5);
         t.row(vec![
             format!("{gamma}"),
             idx.paths.config().n_buckets().to_string(),
@@ -605,7 +590,9 @@ fn ablation_backend(scale: Scale) {
 
     let n_labels = w.peg.graph.label_table().len();
     let seqs: Vec<Vec<graphstore::Label>> = (0..n_labels as u16)
-        .flat_map(|a| (0..n_labels as u16).map(move |b| vec![graphstore::Label(a), graphstore::Label(b)]))
+        .flat_map(|a| {
+            (0..n_labels as u16).map(move |b| vec![graphstore::Label(a), graphstore::Label(b)])
+        })
         .collect();
     let t0 = Instant::now();
     let mut mem_total = 0usize;
@@ -638,7 +625,10 @@ fn ablation_parallel(scale: Scale) {
     println!("## Ablation: sequential vs parallel reduction (q(10,20), alpha=0.5)");
     let w = Workload::synthetic(scale.default_graph(), 0.4, 0.2, 3);
     let spec = QuerySpec::new(10, 20);
-    let (seq, _) = time_queries(&w.peg, w.index(3), spec, 0.5, &QueryOptions::default(), 0..5);
+    // `threads: 1` keeps the baseline genuinely sequential (the default of
+    // 0 = all cores would parallelize both arms).
+    let (seq, _) =
+        time_queries(&w.peg, w.index(3), spec, 0.5, &QueryOptions::with_threads(1), 0..5);
     let par_opts = QueryOptions { parallel_reduction: true, ..Default::default() };
     let (par, _) = time_queries(&w.peg, w.index(3), spec, 0.5, &par_opts, 0..5);
     println!("sequential: {}; parallel: {}", fmt_duration(seq), fmt_duration(par));
@@ -648,9 +638,7 @@ fn ablation_parallel(scale: Scale) {
 /// Ablation: index construction thread scaling.
 fn ablation_threads(scale: Scale) {
     println!("## Ablation: index construction threads (L=2)");
-    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(
-        scale.default_graph(),
-    ));
+    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper(scale.default_graph()));
     let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
     let mut t = Table::new(&["threads", "build time", "entries"]);
     for threads in [1usize, 2, 4, 8] {
@@ -658,12 +646,7 @@ fn ablation_threads(scale: Scale) {
         let idx = OfflineIndex::build(
             &peg,
             &OfflineOptions {
-                index: PathIndexConfig {
-                    max_len: 2,
-                    beta: 0.3,
-                    threads,
-                    ..Default::default()
-                },
+                index: PathIndexConfig { max_len: 2, beta: 0.3, threads, ..Default::default() },
             },
         )
         .unwrap();
@@ -672,6 +655,33 @@ fn ablation_threads(scale: Scale) {
             fmt_duration(t0.elapsed()),
             idx.paths.n_entries().to_string(),
         ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: online query thread scaling (the `QueryOptions::threads`
+/// knob) on a generation-heavy workload. Result sets are byte-identical
+/// across lane counts; only latency changes.
+fn ablation_query_threads(scale: Scale) {
+    println!("## Ablation: online query threads (q(6,7) and q(10,20), alpha=0.05)");
+    let w = Workload::synthetic(scale.default_graph(), 0.4, 0.05, 2);
+    let mut t = Table::new(&["query", "threads", "avg online time", "matches", "speedup"]);
+    for (n, m) in [(6usize, 7usize), (10, 20)] {
+        let spec = QuerySpec::new(n, m);
+        let mut base = None;
+        for threads in [1usize, 2, 4, 8] {
+            let opts = QueryOptions { threads, ..Default::default() };
+            let (d, matches) = time_queries(&w.peg, w.index(2), spec, 0.05, &opts, 0..5);
+            let base_secs = *base.get_or_insert(d.as_secs_f64());
+            t.row(vec![
+                format!("q({n},{m})"),
+                threads.to_string(),
+                fmt_duration(d),
+                matches.to_string(),
+                format!("{:.2}x", base_secs / d.as_secs_f64().max(1e-12)),
+            ]);
+        }
     }
     t.print();
     println!();
@@ -689,11 +699,7 @@ fn ablation_montecarlo(scale: Scale) {
     let t0 = Instant::now();
     let exact = pipe.run(&q, 0.3, &QueryOptions::default()).unwrap().matches;
     let exact_time = t0.elapsed();
-    println!(
-        "exact pipeline: {} matches in {}",
-        exact.len(),
-        fmt_duration(exact_time)
-    );
+    println!("exact pipeline: {} matches in {}", exact.len(), fmt_duration(exact_time));
 
     let mut t = Table::new(&["samples", "time", "matches", "max |err|", "max stderr"]);
     for samples in [100usize, 1_000, 10_000] {

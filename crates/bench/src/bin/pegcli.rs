@@ -19,12 +19,12 @@ use datagen::{dblp_like, imdb_like, synthetic_refgraph, DblpConfig, ImdbConfig, 
 use graphstore::persist::save_entity_graph;
 use graphstore::RefGraph;
 use kvstore::BTreeStore;
+use pathindex::disk::{load_index, save_index};
+use pathindex::PathIndexConfig;
 use pegmatch::model::{Peg, PegBuilder};
 use pegmatch::offline::{ContextInfo, OfflineIndex, OfflineOptions, OfflineStats};
 use pegmatch::online::{QueryOptions, QueryPipeline};
 use pegmatch::query::{QNode, QueryGraph};
-use pathindex::disk::{load_index, save_index};
-use pathindex::PathIndexConfig;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -62,7 +62,7 @@ fn usage() {
          \x20 index    --kind ... --size N [--seed S] --out FILE [--max-len L] [--beta B]\n\
          \x20 query    --kind ... --size N [--seed S] [--index FILE]\n\
          \x20          --pattern '(x:a)-(y:b), (y)-(z:a)' [--alpha A]\n\
-         \x20          [--explain true] [--limit N]\n\
+         \x20          [--explain true] [--limit N] [--threads T]\n\
          \x20          (or: --labels a,b,c --edges 0-1,1-2)\n\
          \x20 topk     (same as query, plus --k K)\n\
          \x20 stats    --kind ... --size N [--seed S]"
@@ -90,8 +90,7 @@ fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Str
 
 fn refgraph_from_flags(flags: &HashMap<String, String>) -> Result<RefGraph, String> {
     let kind = get(flags, "kind")?;
-    let size: usize =
-        get(flags, "size")?.parse().map_err(|_| "bad --size".to_string())?;
+    let size: usize = get(flags, "size")?.parse().map_err(|_| "bad --size".to_string())?;
     let seed: u64 = flags.get("seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
     let uncertainty: f64 =
         flags.get("uncertainty").map(|s| s.parse().unwrap_or(0.2)).unwrap_or(0.2);
@@ -161,14 +160,15 @@ fn parse_query(flags: &HashMap<String, String>, peg: &Peg) -> Result<QueryGraph,
     let label_names: Vec<&str> = get(flags, "labels")?.split(',').collect();
     let labels = label_names
         .iter()
-        .map(|n| table.get(n).ok_or_else(|| format!("unknown label '{n}' (have {:?})", table.names())))
+        .map(|n| {
+            table.get(n).ok_or_else(|| format!("unknown label '{n}' (have {:?})", table.names()))
+        })
         .collect::<Result<Vec<_>, _>>()?;
     let mut edges: Vec<(QNode, QNode)> = Vec::new();
     if let Some(spec) = flags.get("edges") {
         for pair in spec.split(',').filter(|s| !s.is_empty()) {
-            let (a, b) = pair
-                .split_once('-')
-                .ok_or_else(|| format!("bad edge '{pair}', expected A-B"))?;
+            let (a, b) =
+                pair.split_once('-').ok_or_else(|| format!("bad edge '{pair}', expected A-B"))?;
             let a: QNode = a.parse().map_err(|_| format!("bad edge endpoint '{a}'"))?;
             let b: QNode = b.parse().map_err(|_| format!("bad edge endpoint '{b}'"))?;
             edges.push((a, b));
@@ -193,6 +193,13 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Online options from flags: `--threads 0` (default) = all cores,
+/// `--threads 1` = sequential; results are identical either way.
+fn query_opts(flags: &HashMap<String, String>) -> QueryOptions {
+    let threads: usize = flags.get("threads").map(|s| s.parse().unwrap_or(0)).unwrap_or(0);
+    QueryOptions { threads, ..Default::default() }
+}
+
 fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
     let peg = peg_from_flags(flags)?;
     // Load the index from disk when given, otherwise build fresh.
@@ -210,15 +217,11 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
     let t = std::time::Instant::now();
     let result = if topk {
         let k: usize = flags.get("k").map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
-        pipeline
-            .run_topk(&query, k, 1e-9, &QueryOptions::default())
-            .map_err(|e| e.to_string())?
+        pipeline.run_topk(&query, k, 1e-9, &query_opts(flags)).map_err(|e| e.to_string())?
     } else {
         let alpha: f64 = flags.get("alpha").map(|s| s.parse().unwrap_or(0.5)).unwrap_or(0.5);
         let limit: Option<usize> = flags.get("limit").and_then(|s| s.parse().ok());
-        pipeline
-            .run_limited(&query, alpha, limit, &QueryOptions::default())
-            .map_err(|e| e.to_string())?
+        pipeline.run_limited(&query, alpha, limit, &query_opts(flags)).map_err(|e| e.to_string())?
     };
     println!(
         "{} match(es){} in {} (search space 10^{:.1} -> 10^{:.1})",

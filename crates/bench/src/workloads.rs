@@ -1,9 +1,9 @@
 //! Shared workload construction for benches and the experiments binary.
 
 use datagen::{synthetic_refgraph, SyntheticConfig};
+use pathindex::PathIndexConfig;
 use pegmatch::model::{Peg, PegBuilder};
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
-use pathindex::PathIndexConfig;
 
 /// Experiment scale: graph sizes swept by the harness.
 ///
@@ -107,10 +107,7 @@ impl Workload {
 /// The paper's query-size ladder for Figure 6(c): a query of `n` nodes has
 /// `min(4n, n(n−1)/2)` edges.
 pub fn fig6c_query_sizes() -> Vec<(usize, usize)> {
-    [3usize, 5, 7, 9, 11, 13, 15]
-        .into_iter()
-        .map(|n| (n, (4 * n).min(n * (n - 1) / 2)))
-        .collect()
+    [3usize, 5, 7, 9, 11, 13, 15].into_iter().map(|n| (n, (4 * n).min(n * (n - 1) / 2))).collect()
 }
 
 /// Figure 6(d): 15-node queries of increasing density.

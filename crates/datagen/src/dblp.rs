@@ -38,11 +38,7 @@ impl DblpConfig {
     /// A scaled-down version preserving the density and uncertainty mix.
     pub fn scaled(n_authors: usize) -> Self {
         let full = Self::default();
-        Self {
-            n_authors,
-            n_edges: n_authors * full.n_edges / full.n_authors,
-            ..full
-        }
+        Self { n_authors, n_edges: n_authors * full.n_edges / full.n_authors, ..full }
     }
 }
 
@@ -91,13 +87,7 @@ pub fn dblp_like(cfg: &DblpConfig) -> RefGraph {
         // Base probability from the number of collaborations.
         let collaborations = 1 + rng.gen_range(0..10);
         let base = 0.5 + 0.5 * (collaborations as f64 / 10.0);
-        let cpt = CondTable::from_fn(n_labels, |x, y| {
-            if x == y {
-                base
-            } else {
-                0.8 * base
-            }
-        });
+        let cpt = CondTable::from_fn(n_labels, |x, y| if x == y { base } else { 0.8 * base });
         g.add_edge(RefId(a), RefId(b), EdgeProbability::Conditional(cpt));
         endpoints.push(a);
         endpoints.push(b);
@@ -143,10 +133,7 @@ mod tests {
     #[test]
     fn edges_are_conditional() {
         let g = dblp_like(&DblpConfig::scaled(200));
-        assert!(g
-            .edges()
-            .iter()
-            .all(|e| matches!(e.prob, EdgeProbability::Conditional(_))));
+        assert!(g.edges().iter().all(|e| matches!(e.prob, EdgeProbability::Conditional(_))));
         // Agreement beats disagreement by the 0.8 factor.
         let e = &g.edges()[0];
         let same = e.prob.prob(Label(0), Label(0));

@@ -53,8 +53,7 @@ pub fn imdb_like(cfg: &ImdbConfig) -> RefGraph {
         // A preferred genre plus occasional others.
         let fav = rng.gen_range(0..n_labels);
         for _ in 0..movies {
-            let genre =
-                if rng.gen_bool(0.6) { fav } else { rng.gen_range(0..n_labels) };
+            let genre = if rng.gen_bool(0.6) { fav } else { rng.gen_range(0..n_labels) };
             counts[genre] += 1;
         }
         let total: u32 = counts.iter().sum();
@@ -129,10 +128,7 @@ mod tests {
     #[test]
     fn edges_are_independent() {
         let g = imdb_like(&ImdbConfig::scaled(300));
-        assert!(g
-            .edges()
-            .iter()
-            .all(|e| matches!(e.prob, EdgeProbability::Independent(_))));
+        assert!(g.edges().iter().all(|e| matches!(e.prob, EdgeProbability::Independent(_))));
         assert!(g.edges().iter().all(|e| e.prob.max_prob() >= 0.5));
     }
 

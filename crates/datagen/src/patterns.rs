@@ -34,7 +34,8 @@ pub enum Pattern {
 
 impl Pattern {
     /// All five patterns in the paper's display order.
-    pub const ALL: [Pattern; 5] = [Pattern::Bf1, Pattern::Bf2, Pattern::Gr, Pattern::St, Pattern::Tr];
+    pub const ALL: [Pattern; 5] =
+        [Pattern::Bf1, Pattern::Bf2, Pattern::Gr, Pattern::St, Pattern::Tr];
 
     /// The paper's axis label for the pattern.
     pub fn name(&self) -> &'static str {
@@ -52,10 +53,7 @@ impl Pattern {
 /// (Databases, Machine Learning, Software Engineering).
 pub fn pattern_query(p: Pattern, d: Label, m: Label, s: Label) -> Result<QueryGraph, PegError> {
     let (labels, edges): (Vec<Label>, Vec<(QNode, QNode)>) = match p {
-        Pattern::Bf1 => (
-            vec![s, d, m, d, m],
-            vec![(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)],
-        ),
+        Pattern::Bf1 => (vec![s, d, m, d, m], vec![(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)]),
         Pattern::Bf2 => (
             vec![s, d, m, d, d, m, d],
             vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6), (6, 0)],
@@ -65,10 +63,9 @@ pub fn pattern_query(p: Pattern, d: Label, m: Label, s: Label) -> Result<QueryGr
             vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (4, 5)],
         ),
         Pattern::St => (vec![s, d, d, m, m], vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
-        Pattern::Tr => (
-            vec![s, d, d, m, m, m, m],
-            vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)],
-        ),
+        Pattern::Tr => {
+            (vec![s, d, d, m, m, m, m], vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)])
+        }
     };
     QueryGraph::new(labels, edges)
 }

@@ -220,8 +220,9 @@ mod tests {
     fn uncertainty_knob_changes_distributions() {
         let low = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(400, 0.0));
         let high = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(400, 1.0));
-        let uncertain_nodes =
-            |g: &RefGraph| g.ref_ids().filter(|&r| g.reference(r).labels.support_size() > 1).count();
+        let uncertain_nodes = |g: &RefGraph| {
+            g.ref_ids().filter(|&r| g.reference(r).labels.support_size() > 1).count()
+        };
         assert_eq!(uncertain_nodes(&low), 0);
         assert!(uncertain_nodes(&high) > 300);
         let certain_edges =

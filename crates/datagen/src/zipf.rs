@@ -9,9 +9,8 @@ use rand::Rng;
 /// a random permutation.
 pub fn zipf_label_dist<R: Rng>(rng: &mut R, n: usize) -> LabelDist {
     assert!(n > 0);
-    let mut probs: Vec<f64> = (0..n)
-        .map(|i| rng.gen_range(0.0f64..1.0).max(1e-6) / (i + 1) as f64)
-        .collect();
+    let mut probs: Vec<f64> =
+        (0..n).map(|i| rng.gen_range(0.0f64..1.0).max(1e-6) / (i + 1) as f64).collect();
     let total: f64 = probs.iter().sum();
     for p in &mut probs {
         *p /= total;

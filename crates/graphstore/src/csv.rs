@@ -339,8 +339,7 @@ pub fn load_ref_graph_csv(dir: &Path) -> Result<RefGraph, CsvError> {
 }
 
 fn add_prob(dist: &LabelDist, label: Label, p: f64, n_labels: usize) -> LabelDist {
-    let mut pairs: Vec<(Label, f64)> =
-        dist.support().map(|l| (l, dist.prob(l))).collect();
+    let mut pairs: Vec<(Label, f64)> = dist.support().map(|l| (l, dist.prob(l))).collect();
     pairs.push((label, p));
     LabelDist::from_pairs(&pairs, n_labels)
 }
@@ -404,11 +403,7 @@ fn read_rows(
         if rows.is_empty() && start_line == 1 {
             let got: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
             if got != header {
-                return Err(err(
-                    name,
-                    1,
-                    format!("bad header {got:?}, expected {header:?}"),
-                ));
+                return Err(err(name, 1, format!("bad header {got:?}, expected {header:?}")));
             }
             continue; // consumed as header
         }
@@ -466,11 +461,7 @@ fn split_csv(line: &str, file: &str, line_no: usize) -> Result<Vec<String>, CsvE
                 return Ok(fields);
             }
             Some(c) => {
-                return Err(err(
-                    file,
-                    line_no,
-                    format!("unexpected `{c}` after closing quote"),
-                ));
+                return Err(err(file, line_no, format!("unexpected `{c}` after closing quote")));
             }
         }
     }
@@ -489,8 +480,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("graphstore-csv-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("graphstore-csv-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

@@ -54,11 +54,7 @@ impl LabelDist {
 
     /// Labels with non-zero probability (the set `L(s)` of the paper).
     pub fn support(&self) -> impl Iterator<Item = Label> + '_ {
-        self.probs
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p > 0.0)
-            .map(|(i, _)| Label(i as u16))
+        self.probs.iter().enumerate().filter(|(_, &p)| p > 0.0).map(|(i, _)| Label(i as u16))
     }
 
     /// Number of labels with non-zero probability.
@@ -322,13 +318,16 @@ mod tests {
         assert_eq!(e.prob(Label(0), Label(1)), 0.4);
         assert_eq!(e.max_prob(), 0.4);
         assert!(e.is_possible());
-        let c = EdgeProbability::Conditional(CondTable::from_fn(2, |a, b| {
-            if a == b {
-                0.8
-            } else {
-                0.0
-            }
-        }));
+        let c = EdgeProbability::Conditional(CondTable::from_fn(
+            2,
+            |a, b| {
+                if a == b {
+                    0.8
+                } else {
+                    0.0
+                }
+            },
+        ));
         assert_eq!(c.prob(Label(1), Label(1)), 0.8);
         assert_eq!(c.max_given(Label(0), false), 0.8);
         assert!(c.is_possible());

@@ -315,10 +315,8 @@ mod tests {
         assert_eq!(g.neighbors(EntityId(0)), &[1, 2]);
         assert_eq!(g.neighbors(EntityId(1)), &[0]);
         assert_eq!(g.degree(EntityId(0)), 2);
-        let nbrs: Vec<(EntityId, f64)> = g
-            .neighbor_edges(EntityId(0))
-            .map(|(v, e)| (v, e.prob.max_prob()))
-            .collect();
+        let nbrs: Vec<(EntityId, f64)> =
+            g.neighbor_edges(EntityId(0)).map(|(v, e)| (v, e.prob.max_prob())).collect();
         assert_eq!(nbrs, vec![(EntityId(1), 0.9), (EntityId(2), 0.75)]);
     }
 

@@ -153,18 +153,16 @@ pub fn save_entity_graph(graph: &EntityGraph, kv: &mut dyn Kv) -> Result<()> {
 
 /// Reads an entity graph previously written by [`save_entity_graph`].
 pub fn load_entity_graph(kv: &dyn Kv) -> Result<EntityGraph> {
-    let meta = kv
-        .get(&meta_key())?
-        .ok_or_else(|| KvError::Corrupt("missing graph meta record".into()))?;
+    let meta =
+        kv.get(&meta_key())?.ok_or_else(|| KvError::Corrupt("missing graph meta record".into()))?;
     let n_nodes = codec::read_u32(&meta, 0);
     let n_edges = codec::read_u32(&meta, 4);
     let n_labels = codec::read_u16(&meta, 8);
 
     let mut names = Vec::with_capacity(n_labels as usize);
     for i in 0..n_labels {
-        let raw = kv
-            .get(&label_key(i))?
-            .ok_or_else(|| KvError::Corrupt(format!("missing label {i}")))?;
+        let raw =
+            kv.get(&label_key(i))?.ok_or_else(|| KvError::Corrupt(format!("missing label {i}")))?;
         names.push(String::from_utf8(raw).map_err(|_| KvError::Corrupt("label not utf-8".into()))?);
     }
     let table = LabelTable::from_names(&names);
@@ -172,9 +170,8 @@ pub fn load_entity_graph(kv: &dyn Kv) -> Result<EntityGraph> {
     let mut builder = EntityGraphBuilder::new(table);
 
     for i in 0..n_nodes {
-        let raw = kv
-            .get(&node_key(i))?
-            .ok_or_else(|| KvError::Corrupt(format!("missing node {i}")))?;
+        let raw =
+            kv.get(&node_key(i))?.ok_or_else(|| KvError::Corrupt(format!("missing node {i}")))?;
         let (dist, mut pos) = decode_dist(&raw, 0, n_alpha);
         let n_refs = codec::read_u16(&raw, pos) as usize;
         pos += 2;
@@ -186,9 +183,8 @@ pub fn load_entity_graph(kv: &dyn Kv) -> Result<EntityGraph> {
         builder.add_node(dist, refs);
     }
     for i in 0..n_edges {
-        let raw = kv
-            .get(&edge_key(i))?
-            .ok_or_else(|| KvError::Corrupt(format!("missing edge {i}")))?;
+        let raw =
+            kv.get(&edge_key(i))?.ok_or_else(|| KvError::Corrupt(format!("missing edge {i}")))?;
         let a = EntityId(codec::read_u32(&raw, 0));
         let b = EntityId(codec::read_u32(&raw, 4));
         let prob = decode_edge_prob(&raw, 8)?;
@@ -234,14 +230,8 @@ mod tests {
             assert_eq!(g2.node(v).labels, g.node(v).labels);
             assert_eq!(g2.node(v).refs, g.node(v).refs);
         }
-        assert_eq!(
-            g2.edge_prob(EntityId(1), EntityId(2), Label(1), Label(1)),
-            0.8
-        );
-        assert_eq!(
-            g2.edge_prob(EntityId(1), EntityId(2), Label(1), Label(2)),
-            0.3
-        );
+        assert_eq!(g2.edge_prob(EntityId(1), EntityId(2), Label(1), Label(1)), 0.8);
+        assert_eq!(g2.edge_prob(EntityId(1), EntityId(2), Label(1), Label(2)), 0.3);
         assert_eq!(g2.edge_prob_max(EntityId(0), EntityId(1)), 0.9);
     }
 

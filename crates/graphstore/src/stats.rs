@@ -94,10 +94,7 @@ pub fn degree_histogram(graph: &EntityGraph, max_degree: usize) -> Vec<usize> {
 
 /// Counts nodes that can carry `label` (non-zero probability).
 pub fn label_frequency(graph: &EntityGraph, label: Label) -> usize {
-    graph
-        .node_ids()
-        .filter(|&v| graph.label_prob(v, label) > 0.0)
-        .count()
+    graph.node_ids().filter(|&v| graph.label_prob(v, label) > 0.0).count()
 }
 
 /// Nodes sorted by degree, descending (hubs first); ties by id.

@@ -24,25 +24,17 @@ fn arb_spec() -> impl Strategy<Value = Spec> {
     ];
     (prop::collection::vec(label, 1..4), 1usize..8).prop_flat_map(|(labels, n_refs)| {
         let n_labels = labels.len() as u16;
-        let refs = prop::collection::vec(
-            prop::collection::vec((0..n_labels, 1u32..100), 1..4),
-            n_refs,
-        );
+        let refs =
+            prop::collection::vec(prop::collection::vec((0..n_labels, 1u32..100), 1..4), n_refs);
         let edges = prop::collection::vec(
-            (
-                0..n_refs as u32,
-                0..n_refs as u32,
-                prop::option::of(0.0..=1.0f64),
-                any::<u64>(),
-            ),
+            (0..n_refs as u32, 0..n_refs as u32, prop::option::of(0.0..=1.0f64), any::<u64>()),
             0..8,
         );
         let sets = prop::collection::vec(
             (prop::collection::vec(0..n_refs as u32, 2..4), 0.01..=1.0f64),
             0..3,
         );
-        let singletons =
-            prop::collection::vec((0..n_refs as u32, 0.01..=1.0f64), 0..3);
+        let singletons = prop::collection::vec((0..n_refs as u32, 0.01..=1.0f64), 0..3);
         (Just(labels), refs, edges, sets, singletons).prop_map(
             |(labels, refs, edges, sets, singletons)| Spec {
                 labels,
@@ -64,10 +56,7 @@ fn build(spec: &Spec) -> RefGraph {
     let mut g = RefGraph::new(table);
     for pairs in &spec.refs {
         let mut dist = LabelDist::from_pairs(
-            &pairs
-                .iter()
-                .map(|&(l, w)| (Label(l % n as u16), w as f64))
-                .collect::<Vec<_>>(),
+            &pairs.iter().map(|&(l, w)| (Label(l % n as u16), w as f64)).collect::<Vec<_>>(),
             n,
         );
         dist.normalize();

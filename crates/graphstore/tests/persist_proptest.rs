@@ -22,10 +22,8 @@ enum EdgeSpec {
 const NL: usize = 3;
 
 fn spec_strategy() -> impl Strategy<Value = Spec> {
-    let node = (
-        proptest::collection::vec(0.0f64..=1.0, NL),
-        proptest::collection::vec(0u32..32, 1..3),
-    );
+    let node =
+        (proptest::collection::vec(0.0f64..=1.0, NL), proptest::collection::vec(0u32..32, 1..3));
     let edge_kind = prop_oneof![
         (0.0f64..=1.0).prop_map(EdgeSpec::Indep),
         proptest::collection::vec(0.0f64..=1.0, NL * NL).prop_map(EdgeSpec::Cond),

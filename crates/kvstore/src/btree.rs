@@ -2,7 +2,9 @@
 
 use crate::buffer::{BufferPool, PoolStats};
 use crate::error::{KvError, Result};
-use crate::page::{check_kv_size, InternalPage, LeafPage, Page, PageId, PAGE_PAYLOAD, TAG_INTERNAL, TAG_LEAF};
+use crate::page::{
+    check_kv_size, InternalPage, LeafPage, Page, PageId, PAGE_PAYLOAD, TAG_INTERNAL, TAG_LEAF,
+};
 use crate::pager::Pager;
 use crate::Kv;
 use std::path::Path;
@@ -78,7 +80,13 @@ impl BTreeStore {
     }
 
     /// Recursive insert; returns a promotion when `pid` split.
-    fn insert_rec(&self, pid: PageId, key: &[u8], value: &[u8], replaced: &mut bool) -> Result<Promotion> {
+    fn insert_rec(
+        &self,
+        pid: PageId,
+        key: &[u8],
+        value: &[u8],
+        replaced: &mut bool,
+    ) -> Result<Promotion> {
         match self.tag_of(pid)? {
             TAG_LEAF => self.insert_leaf(pid, key, value, replaced),
             TAG_INTERNAL => {
@@ -97,7 +105,13 @@ impl BTreeStore {
     }
 
     /// Inserts into a leaf, splitting when necessary.
-    fn insert_leaf(&self, pid: PageId, key: &[u8], value: &[u8], replaced: &mut bool) -> Result<Promotion> {
+    fn insert_leaf(
+        &self,
+        pid: PageId,
+        key: &[u8],
+        value: &[u8],
+        replaced: &mut bool,
+    ) -> Result<Promotion> {
         // Fast path: mutate in place (replace or insert, compacting if the
         // page has reclaimable holes).
         enum Outcome {
@@ -120,8 +134,7 @@ impl BTreeStore {
             // Try compaction before splitting.
             const LEAF_HDR: usize = 9;
             let needed = LeafPage::record_space(key, value);
-            let after_compact =
-                PAGE_PAYLOAD - LEAF_HDR - leaf.live_bytes() - 2 * leaf.nkeys();
+            let after_compact = PAGE_PAYLOAD - LEAF_HDR - leaf.live_bytes() - 2 * leaf.nkeys();
             if after_compact >= needed {
                 leaf.compact();
                 let pos = leaf.search(key).unwrap_err();
@@ -130,9 +143,7 @@ impl BTreeStore {
                 return Outcome::Done;
             }
             let mut records = leaf.records();
-            let pos = records
-                .binary_search_by(|(k, _)| k.as_slice().cmp(key))
-                .unwrap_err();
+            let pos = records.binary_search_by(|(k, _)| k.as_slice().cmp(key)).unwrap_err();
             records.insert(pos, (key.to_vec(), value.to_vec()));
             Outcome::NeedSplit(records)
         })?;
@@ -417,11 +428,12 @@ mod tests {
         assert_eq!(store.get(b"x").unwrap(), None);
         assert_eq!(store.len(), 0);
         let mut visited = false;
-        store.scan(None, None, &mut |_, _| {
-            visited = true;
-            true
-        })
-        .unwrap();
+        store
+            .scan(None, None, &mut |_, _| {
+                visited = true;
+                true
+            })
+            .unwrap();
         assert!(!visited);
         drop(store);
         std::fs::remove_file(path).ok();
@@ -461,13 +473,14 @@ mod tests {
         assert_eq!(store.len(), n as usize);
         store.verify().unwrap();
         let mut expect = 0u32;
-        store.scan(None, None, &mut |k, v| {
-            assert_eq!(k, expect.to_be_bytes());
-            assert_eq!(v[0], (expect % 251) as u8);
-            expect += 1;
-            true
-        })
-        .unwrap();
+        store
+            .scan(None, None, &mut |k, v| {
+                assert_eq!(k, expect.to_be_bytes());
+                assert_eq!(v[0], (expect % 251) as u8);
+                expect += 1;
+                true
+            })
+            .unwrap();
         assert_eq!(expect, n);
         drop(store);
         std::fs::remove_file(path).ok();

@@ -24,10 +24,7 @@ impl MemStore {
     /// Approximate heap footprint in bytes (keys + values + per-entry
     /// bookkeeping), reported as "index size" for the memory backend.
     pub fn approx_bytes(&self) -> u64 {
-        self.map
-            .iter()
-            .map(|(k, v)| (k.len() + v.len() + 48) as u64)
-            .sum()
+        self.map.iter().map(|(k, v)| (k.len() + v.len() + 48) as u64).sum()
     }
 }
 
@@ -97,7 +94,10 @@ mod tests {
             kv.put(k, b"v").unwrap();
         }
         let got = kv.range_vec(Some(b"b"), Some(b"d")).unwrap();
-        assert_eq!(got.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(
+            got.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![b"b".to_vec(), b"c".to_vec()]
+        );
         let mut first = None;
         kv.scan(None, None, &mut |k, _| {
             first = Some(k.to_vec());

@@ -583,10 +583,7 @@ mod tests {
     #[test]
     fn size_limits_enforced() {
         assert!(check_kv_size(&[0; MAX_KEY_LEN], &[0; MAX_VALUE_LEN]).is_ok());
-        assert!(matches!(
-            check_kv_size(&[0; MAX_KEY_LEN + 1], b""),
-            Err(KvError::KeyTooLarge(_))
-        ));
+        assert!(matches!(check_kv_size(&[0; MAX_KEY_LEN + 1], b""), Err(KvError::KeyTooLarge(_))));
         assert!(matches!(
             check_kv_size(b"", &[0; MAX_VALUE_LEN + 1]),
             Err(KvError::ValueTooLarge(_))

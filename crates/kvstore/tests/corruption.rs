@@ -89,9 +89,8 @@ fn every_data_page_is_protected() {
         flip_byte(&damaged, page * PAGE_SIZE as u64 + within);
 
         let store = BTreeStore::open(&damaged).unwrap();
-        let err = scan_all(&store, &kvs).expect_err(&format!(
-            "flip in page {page} at offset {within} must be detected"
-        ));
+        let err = scan_all(&store, &kvs)
+            .expect_err(&format!("flip in page {page} at offset {within} must be detected"));
         assert!(matches!(err, KvError::Corrupt(_)), "page {page}: {err}");
         std::fs::remove_file(&damaged).ok();
     }

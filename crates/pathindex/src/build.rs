@@ -4,7 +4,7 @@
 //! start node, pruning by the anti-monotone bound `Prle · Prn ≥ β` (any
 //! prefix of an indexable path is itself indexable — the property the paper
 //! exploits to build length `l+1` from length `l`). Start nodes are
-//! partitioned across worker threads (crossbeam scoped threads with a merge
+//! partitioned across the persistent [`pegpool`] worker pool (with a merge
 //! barrier, mirroring the paper's per-length synchronization barrier);
 //! each worker emits only canonically-oriented paths so every undirected
 //! path/labeling pair is stored exactly once.
@@ -29,34 +29,25 @@ pub fn build_index(
     let n = graph.n_nodes();
     let threads = threads.clamp(1, n.max(1));
 
-    let mut partials: Vec<Vec<(Vec<u16>, StoredPath)>> = Vec::with_capacity(threads);
-    if threads == 1 {
+    let partials: Vec<Vec<(Vec<u16>, StoredPath)>> = if threads == 1 {
         let mut out = Vec::new();
         for v in 0..n as u32 {
             enumerate_from(graph, oracle, config, EntityId(v), &mut out);
         }
-        partials.push(out);
+        vec![out]
     } else {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut v = t;
-                        while v < n {
-                            enumerate_from(graph, oracle, config, EntityId(v as u32), &mut out);
-                            v += threads;
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("index worker panicked"));
+        // Strided partitioning over start nodes on the shared persistent
+        // pool; merge order is by worker index, so output is deterministic.
+        pegpool::pool_with(threads).map(threads, |t| {
+            let mut out = Vec::new();
+            let mut v = t;
+            while v < n {
+                enumerate_from(graph, oracle, config, EntityId(v as u32), &mut out);
+                v += threads;
             }
+            out
         })
-        .expect("crossbeam scope failed");
-    }
+    };
 
     let mut index = PathIndex::empty(config.clone());
     for partial in partials {
@@ -132,7 +123,11 @@ fn extend(walk: &mut Walk<'_>, prle: f64, out: &mut Vec<(Vec<u16>, StoredPath)>)
         let support: Vec<Label> = walk.graph.node(nb).labels.support().collect();
         for l in support {
             let lp = walk.graph.label_prob(nb, l);
-            let ep = if edge.a == last { edge.prob.prob(last_label, l) } else { edge.prob.prob(l, last_label) };
+            let ep = if edge.a == last {
+                edge.prob.prob(last_label, l)
+            } else {
+                edge.prob.prob(l, last_label)
+            };
             if lp <= 0.0 || ep <= 0.0 {
                 continue;
             }
@@ -298,10 +293,7 @@ mod tests {
         assert_eq!(xy.len(), 1);
         let yx = idx.lookup(&[Label(1), Label(0)], 0.1);
         assert_eq!(yx.len(), 1);
-        assert_eq!(
-            xy[0].nodes.iter().rev().copied().collect::<Vec<_>>(),
-            yx[0].nodes
-        );
+        assert_eq!(xy[0].nodes.iter().rev().copied().collect::<Vec<_>>(), yx[0].nodes);
         // (x,z) matches two edges: v0-v2 and v3-v2.
         assert_eq!(idx.lookup(&[Label(0), Label(2)], 0.1).len(), 2);
     }
@@ -371,8 +363,7 @@ mod tests {
         // x-z-x path: v0-v2-v3 (labels x,z,x). Palindromic: both directions.
         let got = idx.lookup(&[Label(0), Label(2), Label(0)], 0.1);
         assert_eq!(got.len(), 2);
-        let ns: Vec<Vec<u32>> =
-            got.iter().map(|m| m.nodes.iter().map(|v| v.0).collect()).collect();
+        let ns: Vec<Vec<u32>> = got.iter().map(|m| m.nodes.iter().map(|v| v.0).collect()).collect();
         assert!(ns.contains(&vec![0, 2, 3]));
         assert!(ns.contains(&vec![3, 2, 0]));
     }

@@ -124,8 +124,7 @@ fn decode_entry(buf: &[u8]) -> StoredPath {
 
 /// Reads a full [`PathIndex`] back into memory.
 pub fn load_index(kv: &dyn Kv) -> Result<PathIndex> {
-    let meta =
-        kv.get(&meta_key())?.ok_or_else(|| KvError::Corrupt("missing index meta".into()))?;
+    let meta = kv.get(&meta_key())?.ok_or_else(|| KvError::Corrupt("missing index meta".into()))?;
     let max_len = codec::read_u16(&meta, 0) as usize;
     let beta = codec::read_f64_prob(&meta, 2);
     let gamma = codec::read_f64_prob(&meta, 10);
@@ -260,15 +259,17 @@ mod tests {
         let n = table.len();
         let mut b = EntityGraphBuilder::new(table);
         let vs: Vec<_> = (0..6)
-            .map(|i| {
-                b.add_node(LabelDist::delta(Label((i % 3) as u16), n), vec![RefId(i as u32)])
-            })
+            .map(|i| b.add_node(LabelDist::delta(Label((i % 3) as u16), n), vec![RefId(i as u32)]))
             .collect();
         for w in vs.windows(2) {
             b.add_edge(w[0], w[1], EdgeProbability::Independent(0.9));
         }
         let g = b.build();
-        build_index(&g, &NoIdentity, &PathIndexConfig { max_len: 3, beta: 0.2, ..Default::default() })
+        build_index(
+            &g,
+            &NoIdentity,
+            &PathIndexConfig { max_len: 3, beta: 0.2, ..Default::default() },
+        )
     }
 
     #[test]
@@ -289,7 +290,10 @@ mod tests {
             a.sort_by(|x, y| x.nodes.cmp(&y.nodes));
             b.sort_by(|x, y| x.nodes.cmp(&y.nodes));
             assert_eq!(a, b);
-            assert!((idx.estimate_count(&labels, 0.45) - back.estimate_count(&labels, 0.45)).abs() < 1e-9);
+            assert!(
+                (idx.estimate_count(&labels, 0.45) - back.estimate_count(&labels, 0.45)).abs()
+                    < 1e-9
+            );
         }
     }
 
@@ -299,11 +303,9 @@ mod tests {
         let mut kv = MemStore::new();
         save_index(&idx, &mut kv).unwrap();
         let disk = DiskPathIndex::open(&kv).unwrap();
-        for labels in [
-            vec![Label(0)],
-            vec![Label(1), Label(2)],
-            vec![Label(0), Label(1), Label(2), Label(0)],
-        ] {
+        for labels in
+            [vec![Label(0)], vec![Label(1), Label(2)], vec![Label(0), Label(1), Label(2), Label(0)]]
+        {
             for alpha in [0.2, 0.5, 0.9] {
                 let mut a = idx.lookup(&labels, alpha);
                 let mut b = disk.lookup(&labels, alpha).unwrap();

@@ -269,9 +269,7 @@ impl PathIndex {
     }
 
     /// Iterates all canonical sequences with their entries (persistence).
-    pub(crate) fn iter_sequences(
-        &self,
-    ) -> impl Iterator<Item = (&Vec<u16>, &SeqBuckets)> {
+    pub(crate) fn iter_sequences(&self) -> impl Iterator<Item = (&Vec<u16>, &SeqBuckets)> {
         self.map.iter()
     }
 }
@@ -310,10 +308,7 @@ mod tests {
     fn insert_lookup_direction_handling() {
         let mut idx = PathIndex::empty(PathIndexConfig::default());
         // Canonical sequence [1,2,3] with a path 10-11-12.
-        idx.insert(
-            vec![1, 2, 3],
-            StoredPath { nodes: vec![10, 11, 12], prle: 0.8, prn: 1.0 },
-        );
+        idx.insert(vec![1, 2, 3], StoredPath { nodes: vec![10, 11, 12], prle: 0.8, prn: 1.0 });
         idx.rebuild_histograms();
 
         let fwd = idx.lookup(&[Label(1), Label(2), Label(3)], 0.5);

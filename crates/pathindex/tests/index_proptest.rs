@@ -30,10 +30,8 @@ fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
     (4usize..=9)
         .prop_flat_map(|n| {
             let labels = proptest::collection::vec(0u16..3, n);
-            let edges = proptest::collection::vec(
-                (0u8..n as u8, 0u8..n as u8, 0.2f64..=1.0),
-                0..=(2 * n),
-            );
+            let edges =
+                proptest::collection::vec((0u8..n as u8, 0u8..n as u8, 0.2f64..=1.0), 0..=(2 * n));
             (Just(n), labels, edges)
         })
         .prop_map(|(n, labels, raw)| {

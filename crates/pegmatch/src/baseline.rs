@@ -188,12 +188,7 @@ impl WorldView {
 
     /// Invokes `emit` for every injective embedding of `query` (nodes in
     /// query-node index order).
-    fn for_each_match(
-        &self,
-        query: &QueryGraph,
-        order: &[QNode],
-        emit: &mut dyn FnMut(&[u32]),
-    ) {
+    fn for_each_match(&self, query: &QueryGraph, order: &[QNode], emit: &mut dyn FnMut(&[u32])) {
         let nq = query.n_nodes();
         let mut mapping: Vec<Option<u32>> = vec![None; nq];
         self.extend_match(query, order, 0, &mut mapping, emit);
@@ -216,10 +211,7 @@ impl WorldView {
         let want = query.label(q);
         // Candidates: adjacency of an already-matched neighbor when one
         // exists (always, past depth 0), else all nodes with the label.
-        let anchor = query
-            .neighbors(q)
-            .iter()
-            .find_map(|&m| mapping[m as usize]);
+        let anchor = query.neighbors(q).iter().find_map(|&m| mapping[m as usize]);
         let empty: Vec<u32> = Vec::new();
         let candidates = match anchor {
             Some(img) => self.adj.get(&img).unwrap_or(&empty),

@@ -100,7 +100,7 @@ impl Explanation {
     pub fn weakest_factor(&self) -> Option<(String, f64)> {
         let mut best: Option<(String, f64)> = None;
         let mut consider = |desc: String, p: f64| {
-            if p < 1.0 && best.as_ref().map_or(true, |(_, b)| p < *b) {
+            if p < 1.0 && best.as_ref().is_none_or(|(_, b)| p < *b) {
                 best = Some((desc, p));
             }
         };
@@ -108,10 +108,7 @@ impl Explanation {
             consider(format!("label of e{} (query node {})", n.entity.0, n.qnode), n.prob);
         }
         for e in &self.edges {
-            consider(
-                format!("edge (e{}, e{})", e.entities.0 .0, e.entities.1 .0),
-                e.prob,
-            );
+            consider(format!("edge (e{}, e{})", e.entities.0 .0, e.entities.1 .0), e.prob);
         }
         for c in &self.identity {
             let ids: Vec<String> = c.entities.iter().map(|v| format!("e{}", v.0)).collect();
@@ -127,11 +124,7 @@ impl Explanation {
 /// Panics when `m.nodes` does not have one entity per query node (the match
 /// must come from this query).
 pub fn explain(peg: &Peg, query: &QueryGraph, m: &Match) -> Explanation {
-    assert_eq!(
-        m.nodes.len(),
-        query.n_nodes(),
-        "match arity disagrees with the query"
-    );
+    assert_eq!(m.nodes.len(), query.n_nodes(), "match arity disagrees with the query");
     let g = &peg.graph;
 
     let nodes: Vec<NodeFactor> = m
@@ -156,10 +149,8 @@ pub fn explain(peg: &Peg, query: &QueryGraph, m: &Match) -> Explanation {
         .map(|&(a, b)| {
             let (u, v) = (m.nodes[a as usize], m.nodes[b as usize]);
             let (lu, lv) = (query.label(a), query.label(b));
-            let conditional = g
-                .edge_between(u, v)
-                .map(|e| e.prob.is_conditional())
-                .unwrap_or(false);
+            let conditional =
+                g.edge_between(u, v).map(|e| e.prob.is_conditional()).unwrap_or(false);
             EdgeFactor {
                 qedge: (a, b),
                 entities: (u, v),
@@ -218,8 +209,7 @@ impl Explanation {
             Some(t) if l.idx() < t.len() => t.name(l).to_string(),
             _ => format!("σ{}", l.0),
         };
-        let ids: Vec<String> =
-            self.nodes.iter().map(|n| format!("e{}", n.entity.0)).collect();
+        let ids: Vec<String> = self.nodes.iter().map(|n| format!("e{}", n.entity.0)).collect();
         writeln!(
             f,
             "match [{}]  Pr = {:.4} = Prle {:.4} × Prn {:.4}",
@@ -286,11 +276,7 @@ mod tests {
         let refs = figure1_refgraph();
         let peg = PegBuilder::new().build(&refs).unwrap();
         let table = peg.graph.label_table();
-        let (r, a, i) = (
-            table.get("r").unwrap(),
-            table.get("a").unwrap(),
-            table.get("i").unwrap(),
-        );
+        let (r, a, i) = (table.get("r").unwrap(), table.get("a").unwrap(), table.get("i").unwrap());
         let q = QueryGraph::path(&[r, a, i]).unwrap();
         (peg, q)
     }

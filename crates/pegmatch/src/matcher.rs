@@ -152,11 +152,7 @@ fn matching_order(query: &QueryGraph) -> Vec<QNode> {
         let next = (0..n as QNode)
             .filter(|&u| !placed[u as usize])
             .max_by_key(|&u| {
-                let mapped = query
-                    .neighbors(u)
-                    .iter()
-                    .filter(|&&m| placed[m as usize])
-                    .count();
+                let mapped = query.neighbors(u).iter().filter(|&&m| placed[m as usize]).count();
                 (mapped, query.degree(u))
             })
             .unwrap();
@@ -171,11 +167,8 @@ fn matching_order(query: &QueryGraph) -> Vec<QNode> {
 pub fn recompute(peg: &Peg, query: &QueryGraph, nodes: &[EntityId]) -> Match {
     let pairs: Vec<(EntityId, Label)> =
         nodes.iter().enumerate().map(|(q, &v)| (v, query.label(q as QNode))).collect();
-    let edges: Vec<(EntityId, EntityId)> = query
-        .edges()
-        .iter()
-        .map(|&(u, w)| (nodes[u as usize], nodes[w as usize]))
-        .collect();
+    let edges: Vec<(EntityId, EntityId)> =
+        query.edges().iter().map(|&(u, w)| (nodes[u as usize], nodes[w as usize])).collect();
     Match {
         nodes: nodes.to_vec(),
         prle: crate::prob::prle(peg, &pairs, &edges),

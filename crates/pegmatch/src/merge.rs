@@ -86,7 +86,8 @@ mod tests {
     fn average_edge_matches_paper_example() {
         // Figure 1: merging edge probs {1.0, 0.5} gives 0.75 for s34–s2.
         let m = AverageMerge;
-        let out = EdgeMerge::merge(&m, 
+        let out = EdgeMerge::merge(
+            &m,
             &[EdgeProbability::Independent(1.0), EdgeProbability::Independent(0.5)],
             3,
         );
@@ -96,7 +97,8 @@ mod tests {
     #[test]
     fn average_includes_zero_pairs() {
         let m = AverageMerge;
-        let out = EdgeMerge::merge(&m, 
+        let out = EdgeMerge::merge(
+            &m,
             &[EdgeProbability::Independent(0.9), EdgeProbability::Independent(0.0)],
             3,
         );
@@ -107,7 +109,8 @@ mod tests {
     fn average_mixing_cpt_and_scalar() {
         let m = AverageMerge;
         let cpt = CondTable::from_fn(2, |a, b| if a == b { 1.0 } else { 0.0 });
-        let out = EdgeMerge::merge(&m, 
+        let out = EdgeMerge::merge(
+            &m,
             &[EdgeProbability::Conditional(cpt), EdgeProbability::Independent(0.5)],
             2,
         );
@@ -123,12 +126,14 @@ mod tests {
     #[test]
     fn disjunct_is_noisy_or() {
         let m = DisjunctMerge;
-        let out = EdgeMerge::merge(&m, 
+        let out = EdgeMerge::merge(
+            &m,
             &[EdgeProbability::Independent(0.5), EdgeProbability::Independent(0.5)],
             2,
         );
         assert_eq!(out, EdgeProbability::Independent(0.75));
-        let one = EdgeMerge::merge(&m, 
+        let one = EdgeMerge::merge(
+            &m,
             &[EdgeProbability::Independent(1.0), EdgeProbability::Independent(0.0)],
             2,
         );

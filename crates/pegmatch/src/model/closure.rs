@@ -52,10 +52,7 @@ impl ClosureWeight {
 /// Existing sets are left untouched; the new sets compete with them in the
 /// normalized existence distribution (Equation 7), so declaring a closure
 /// set *lowers* the posterior of the partial merges, exactly as intended.
-pub fn add_transitive_closure_sets(
-    refs: &mut RefGraph,
-    weight: ClosureWeight,
-) -> Vec<RefSetId> {
+pub fn add_transitive_closure_sets(refs: &mut RefGraph, weight: ClosureWeight) -> Vec<RefSetId> {
     // Union-find over references through declared multi-member sets.
     let mut parent: FxHashMap<RefId, RefId> = FxHashMap::default();
     fn find(parent: &mut FxHashMap<RefId, RefId>, x: RefId) -> RefId {

@@ -81,8 +81,7 @@ impl Component {
         if let Some(dense) = &self.dense {
             return dense[mask as usize] / self.z;
         }
-        let sum: f64 =
-            self.configs.iter().filter(|(c, _)| c & mask == mask).map(|(_, w)| w).sum();
+        let sum: f64 = self.configs.iter().filter(|(c, _)| c & mask == mask).map(|(_, w)| w).sum();
         sum / self.z
     }
 }
@@ -168,10 +167,8 @@ impl ExistenceModel {
                 });
             }
             // Local reference universe for the component.
-            let mut local_refs: Vec<RefId> = members
-                .iter()
-                .flat_map(|&m| node_refs[m as usize].iter().copied())
-                .collect();
+            let mut local_refs: Vec<RefId> =
+                members.iter().flat_map(|&m| node_refs[m as usize].iter().copied()).collect();
             local_refs.sort_unstable();
             local_refs.dedup();
             if local_refs.len() > 63 {
@@ -182,18 +179,13 @@ impl ExistenceModel {
             }
             let ref_pos: FxHashMap<RefId, u8> =
                 local_refs.iter().enumerate().map(|(i, &r)| (r, i as u8)).collect();
-            let full: u64 = if local_refs.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << local_refs.len()) - 1
-            };
+            let full: u64 =
+                if local_refs.len() == 64 { u64::MAX } else { (1u64 << local_refs.len()) - 1 };
             // Per member: reference mask and per-reference weight factor.
             let masks: Vec<u64> = members
                 .iter()
                 .map(|&m| {
-                    node_refs[m as usize]
-                        .iter()
-                        .fold(0u64, |acc, r| acc | 1u64 << ref_pos[r])
+                    node_refs[m as usize].iter().fold(0u64, |acc, r| acc | 1u64 << ref_pos[r])
                 })
                 .collect();
             let weights: Vec<f64> = members
@@ -211,13 +203,8 @@ impl ExistenceModel {
                 }
             }
             // Backtracking exact cover, with sampling fallback on blowup.
-            let enumerated = enumerate_configs(
-                &masks,
-                &weights,
-                &by_ref,
-                full,
-                opts.max_configs_per_component,
-            );
+            let enumerated =
+                enumerate_configs(&masks, &weights, &by_ref, full, opts.max_configs_per_component);
             let (configs, sampled) = match enumerated {
                 Some(configs) => (configs, false),
                 None => match opts.fallback {
@@ -227,10 +214,9 @@ impl ExistenceModel {
                             limit: opts.max_configs_per_component,
                         })
                     }
-                    ComponentFallback::Sample { samples, seed } => (
-                        sample_configs(&masks, &weights, &by_ref, full, samples, seed)?,
-                        true,
-                    ),
+                    ComponentFallback::Sample { samples, seed } => {
+                        (sample_configs(&masks, &weights, &by_ref, full, samples, seed)?, true)
+                    }
                 },
             };
             approximate |= sampled;
@@ -564,13 +550,9 @@ mod tests {
         let m = figure1_model();
         let comp = &m.components[0];
         for mask in 0..(1u64 << comp.sets.len()) {
-            let direct: f64 = comp
-                .configs
-                .iter()
-                .filter(|(c, _)| c & mask == mask)
-                .map(|(_, w)| w)
-                .sum::<f64>()
-                / comp.z;
+            let direct: f64 =
+                comp.configs.iter().filter(|(c, _)| c & mask == mask).map(|(_, w)| w).sum::<f64>()
+                    / comp.z;
             assert!((comp.marginal(mask) - direct).abs() < 1e-12);
         }
     }
@@ -580,8 +562,7 @@ mod tests {
         let node_refs = vec![vec![RefId(0)], vec![RefId(1)], vec![RefId(0), RefId(1)]];
         // Both covers impossible: singletons have weight 0 and pair has 0.
         let w = vec![0.0, 0.0, 0.0];
-        let err =
-            ExistenceModel::build(&node_refs, &w, &ExistenceOptions::default()).unwrap_err();
+        let err = ExistenceModel::build(&node_refs, &w, &ExistenceOptions::default()).unwrap_err();
         assert!(matches!(err, PegError::Invalid(_)));
     }
 
@@ -645,10 +626,7 @@ mod sampling_tests {
     #[test]
     fn error_fallback_still_default() {
         let (node_refs, weights) = star(6);
-        let opts = ExistenceOptions {
-            max_configs_per_component: 2,
-            ..Default::default()
-        };
+        let opts = ExistenceOptions { max_configs_per_component: 2, ..Default::default() };
         let err = ExistenceModel::build(&node_refs, &weights, &opts).unwrap_err();
         assert!(matches!(err, PegError::ComponentTooLarge { .. }));
     }

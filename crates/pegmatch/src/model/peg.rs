@@ -107,11 +107,8 @@ impl PegBuilder {
         for members in &node_refs {
             let dists: Vec<&LabelDist> =
                 members.iter().map(|r| &refs.reference(*r).labels).collect();
-            let merged = if dists.len() == 1 {
-                dists[0].clone()
-            } else {
-                self.label_merge.merge(&dists)
-            };
+            let merged =
+                if dists.len() == 1 { dists[0].clone() } else { self.label_merge.merge(&dists) };
             builder.add_node(merged, members.clone());
         }
 

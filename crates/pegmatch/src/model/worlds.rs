@@ -88,11 +88,10 @@ pub fn enumerate_worlds(peg: &Peg, limit: usize) -> Result<Vec<World>, PegError>
                 }
             }
         }
-        let total = label_combos * 2f64.powi(possible_edges.len() as i32) * worlds.len().max(1) as f64;
+        let total =
+            label_combos * 2f64.powi(possible_edges.len() as i32) * worlds.len().max(1) as f64;
         if total > limit as f64 {
-            return Err(PegError::Invalid(format!(
-                "too many worlds ({total}) for enumeration"
-            )));
+            return Err(PegError::Invalid(format!("too many worlds ({total}) for enumeration")));
         }
 
         // Cartesian product over node labels.
@@ -170,8 +169,7 @@ pub fn sample_world<R: rand::Rng>(peg: &Peg, rng: &mut R) -> World {
             }
         }
         // Cumulative rounding can leave a sliver; take the last config then.
-        let (mask, p) =
-            chosen.or(configs.last().copied()).expect("component has a configuration");
+        let (mask, p) = chosen.or(configs.last().copied()).expect("component has a configuration");
         prob *= p;
         for (i, &s) in sets.iter().enumerate() {
             if mask & (1u64 << i) != 0 {
@@ -195,9 +193,7 @@ pub fn sample_world<R: rand::Rng>(peg: &Peg, rng: &mut R) -> World {
                 break;
             }
         }
-        let l = pick
-            .or_else(|| dist.support().last())
-            .expect("label distribution has support");
+        let l = pick.or_else(|| dist.support().last()).expect("label distribution has support");
         prob *= dist.prob(l);
         labeled.push((v, l));
     }
@@ -331,10 +327,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..50 {
             let w = sample_world(&peg, &mut rng);
-            let matching: Vec<&World> = worlds
-                .iter()
-                .filter(|e| e.nodes == w.nodes && e.edges == w.edges)
-                .collect();
+            let matching: Vec<&World> =
+                worlds.iter().filter(|e| e.nodes == w.nodes && e.edges == w.edges).collect();
             assert_eq!(matching.len(), 1, "sampled world must be a possible world");
             assert!(
                 (matching[0].prob - w.prob).abs() < 1e-12,

@@ -9,7 +9,9 @@ pub use context::ContextInfo;
 use crate::error::PegError;
 use crate::model::{ExistenceModel, Peg};
 use graphstore::{EntityId, Label};
-use pathindex::{build_index, enumerate_paths_online, IdentityOracle, PathIndex, PathIndexConfig, PathMatch};
+use pathindex::{
+    build_index, enumerate_paths_online, IdentityOracle, PathIndex, PathIndexConfig, PathMatch,
+};
 use std::time::{Duration, Instant};
 
 impl IdentityOracle for ExistenceModel {

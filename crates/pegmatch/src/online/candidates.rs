@@ -18,8 +18,14 @@ use crate::Peg;
 use graphstore::hash::FxHashMap;
 use graphstore::{EntityId, Label};
 use pathindex::PathMatch;
+use pegpool::ThreadPool;
+use std::sync::Mutex;
 
 const EPS: f64 = 1e-12;
+
+/// Number of lock shards in [`NodeCandidateCache`]; a power of two so the
+/// shard pick is a mask.
+const CACHE_SHARDS: usize = 16;
 
 /// Pre-derived query-side statistics for one decomposition path
 /// (path neighbors, reverse path neighbors, path cycles — Section 5.2.2).
@@ -69,10 +75,15 @@ impl PathStats {
     }
 }
 
-/// Memoized node-level candidacy tests (`v ∈ cn(n)`).
+/// Memoized node-level candidacy tests (`v ∈ cn(n)`), shared by every
+/// worker retrieving candidates for one query execution.
+///
+/// The memo is sharded by entity id so concurrent path workers contend on
+/// different locks; a race merely recomputes the (pure) test and both
+/// writers store the same bit, so results never depend on scheduling.
 #[derive(Debug, Default)]
 pub struct NodeCandidateCache {
-    cache: FxHashMap<(QNode, u32), bool>,
+    shards: [Mutex<FxHashMap<(QNode, u32), bool>>; CACHE_SHARDS],
 }
 
 impl NodeCandidateCache {
@@ -81,9 +92,16 @@ impl NodeCandidateCache {
         Self::default()
     }
 
+    #[inline]
+    fn shard(&self, v: EntityId) -> &Mutex<FxHashMap<(QNode, u32), bool>> {
+        // Fibonacci-hash the id so consecutive entities spread over shards.
+        let h = (v.0 as usize).wrapping_mul(0x9e37_79b9) >> 16;
+        &self.shards[h & (CACHE_SHARDS - 1)]
+    }
+
     /// Tests whether `v` passes node-level pruning for query node `n`.
     pub fn is_candidate(
-        &mut self,
+        &self,
         peg: &Peg,
         offline: &OfflineIndex,
         query: &QueryGraph,
@@ -91,11 +109,11 @@ impl NodeCandidateCache {
         n: QNode,
         v: EntityId,
     ) -> bool {
-        if let Some(&hit) = self.cache.get(&(n, v.0)) {
+        if let Some(&hit) = self.shard(v).lock().unwrap().get(&(n, v.0)) {
             return hit;
         }
         let ok = node_candidate_test(peg, offline, query, alpha, n, v);
-        self.cache.insert((n, v.0), ok);
+        self.shard(v).lock().unwrap().insert((n, v.0), ok);
         ok
     }
 }
@@ -142,6 +160,14 @@ pub struct CandidateSet {
 }
 
 /// Retrieves and prunes candidates for `path`.
+///
+/// Retrieval is the index lookup; pruning evaluates the keep-predicate in
+/// contiguous chunks over `pool` (order-preserving, so the surviving list
+/// is identical to a sequential filter) and compacts survivors in place —
+/// no per-match clones. Already-pruned raw sets are re-filtered cheaply by
+/// [`prune_candidates`] when a higher threshold revisits them
+/// (incremental top-k).
+#[allow(clippy::too_many_arguments)]
 pub fn find_candidates(
     peg: &Peg,
     offline: &OfflineIndex,
@@ -149,35 +175,105 @@ pub fn find_candidates(
     path: &QueryPath,
     stats: &PathStats,
     alpha: f64,
-    node_cache: &mut NodeCandidateCache,
+    node_cache: &NodeCandidateCache,
+    pool: &ThreadPool,
 ) -> CandidateSet {
     let labels = path.labels(query);
-    let raw = offline.path_matches(peg, &labels, alpha);
+    let mut raw = offline.path_matches(peg, &labels, alpha);
     let raw_count = raw.len();
+    prune_candidates_in_place(peg, offline, query, path, stats, alpha, node_cache, pool, &mut raw);
+    CandidateSet { matches: raw, raw_count }
+}
 
-    let matches: Vec<PathMatch> = raw
-        .into_iter()
-        .filter(|pm| {
-            // 1. Node-level candidacy at every position.
-            for (pos, &v) in pm.nodes.iter().enumerate() {
-                if !node_cache.is_candidate(peg, offline, query, alpha, path.nodes[pos], v) {
-                    return false;
-                }
-            }
-            // 2. Path-level probability bound.
-            let p = pm.prle * pm.prn;
-            let pu = path_neighborhood_bound(peg, offline, query, pm, stats);
-            if pu == 0.0 {
+/// The combined candidate predicate of Section 5.2.2, evaluated in
+/// contiguous chunks over `pool`; `mask[i]` is whether `raw[i]` survives.
+#[allow(clippy::too_many_arguments)]
+fn candidate_mask(
+    peg: &Peg,
+    offline: &OfflineIndex,
+    query: &QueryGraph,
+    path: &QueryPath,
+    stats: &PathStats,
+    alpha: f64,
+    node_cache: &NodeCandidateCache,
+    pool: &ThreadPool,
+    raw: &[PathMatch],
+) -> Vec<bool> {
+    let keep = |pm: &PathMatch| -> bool {
+        // 0. The raw-retrieval threshold (relevant when `raw` is a
+        // superset fetched at a lower threshold).
+        if pm.prle * pm.prn + EPS < alpha {
+            return false;
+        }
+        // 1. Node-level candidacy at every position.
+        for (pos, &v) in pm.nodes.iter().enumerate() {
+            if !node_cache.is_candidate(peg, offline, query, alpha, path.nodes[pos], v) {
                 return false;
             }
-            let cpr = cycle_probability(peg, query, path, pm, stats);
-            if cpr == 0.0 {
-                return false;
-            }
-            p * pu * cpr + EPS >= alpha
-        })
-        .collect();
-    CandidateSet { matches, raw_count }
+        }
+        // 2. Path-level probability bound.
+        let p = pm.prle * pm.prn;
+        let pu = path_neighborhood_bound(peg, offline, query, pm, stats);
+        if pu == 0.0 {
+            return false;
+        }
+        let cpr = cycle_probability(peg, query, path, pm, stats);
+        if cpr == 0.0 {
+            return false;
+        }
+        p * pu * cpr + EPS >= alpha
+    };
+
+    if pool.lanes() > 1 && raw.len() >= 64 {
+        let chunks = pool.chunks(raw.len(), 4);
+        pool.map(chunks.len(), |ci| raw[chunks[ci].clone()].iter().map(keep).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        raw.iter().map(keep).collect()
+    }
+}
+
+/// Context pruning that consumes the raw retrieval: survivors are
+/// compacted in place (one `retain` pass), avoiding any clone of the
+/// surviving matches. This is the one-shot `run` / `run_limited` path.
+#[allow(clippy::too_many_arguments)]
+pub fn prune_candidates_in_place(
+    peg: &Peg,
+    offline: &OfflineIndex,
+    query: &QueryGraph,
+    path: &QueryPath,
+    stats: &PathStats,
+    alpha: f64,
+    node_cache: &NodeCandidateCache,
+    pool: &ThreadPool,
+    raw: &mut Vec<PathMatch>,
+) {
+    let mask = candidate_mask(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
+    let mut it = mask.into_iter();
+    raw.retain(|_| it.next().expect("mask covers raw"));
+}
+
+/// Context pruning over a borrowed raw set that must stay intact for later
+/// reuse (incremental top-k: the raw retrieval may have been fetched at a
+/// threshold ≤ `alpha`; the path-level bound subsumes the raw threshold,
+/// so entries below `alpha` are rejected here). Survivor order equals a
+/// sequential filter's regardless of pool size.
+#[allow(clippy::too_many_arguments)]
+pub fn prune_candidates(
+    peg: &Peg,
+    offline: &OfflineIndex,
+    query: &QueryGraph,
+    path: &QueryPath,
+    stats: &PathStats,
+    alpha: f64,
+    node_cache: &NodeCandidateCache,
+    pool: &ThreadPool,
+    raw: &[PathMatch],
+) -> Vec<PathMatch> {
+    let mask = candidate_mask(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
+    raw.iter().zip(&mask).filter(|&(_, &keep)| keep).map(|(pm, _)| pm.clone()).collect()
 }
 
 /// `pu(Pu)`: upper bound on the probability of matching the path's query
@@ -200,11 +296,7 @@ pub fn path_neighborhood_bound(
         let mut best = f64::INFINITY;
         for &pos in rv {
             let ppu_n = ctx.ppu(pm.nodes[pos], lm);
-            let val = if ppu_n > 0.0 {
-                ctx.fpu(pm.nodes[pos], lm) * ppu_all / ppu_n
-            } else {
-                0.0
-            };
+            let val = if ppu_n > 0.0 { ctx.fpu(pm.nodes[pos], lm) * ppu_all / ppu_n } else { 0.0 };
             if val < best {
                 best = val;
             }
@@ -284,12 +376,35 @@ mod tests {
         let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
         assert_eq!(d.paths.len(), 1);
         let stats = PathStats::new(&q, &d.paths[0]);
-        let mut cache = NodeCandidateCache::new();
-        let cs = find_candidates(&peg, &idx, &q, &d.paths[0], &stats, 0.2, &mut cache);
+        let cache = NodeCandidateCache::new();
+        let pool = pegpool::pool_with(1);
+        let cs = find_candidates(&peg, &idx, &q, &d.paths[0], &stats, 0.2, &cache, &pool);
         assert_eq!(cs.matches.len(), 1);
         let nodes: Vec<u32> = cs.matches[0].nodes.iter().map(|v| v.0).collect();
         assert_eq!(nodes, vec![4, 1, 0]);
         assert!(cs.raw_count >= 1);
+    }
+
+    #[test]
+    fn pruning_a_low_threshold_superset_matches_fresh_retrieval() {
+        let (peg, idx) = setup();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        let stats = PathStats::new(&q, &d.paths[0]);
+        let cache = NodeCandidateCache::new();
+        let pool = pegpool::pool_with(1);
+        // Superset fetched at a much lower threshold, pruned at 0.2, must
+        // equal the direct retrieval at 0.2 (the incremental top-k path).
+        let superset = idx.path_matches(&peg, &d.paths[0].labels(&q), 0.01);
+        let direct = find_candidates(&peg, &idx, &q, &d.paths[0], &stats, 0.2, &cache, &pool);
+        let via_superset =
+            prune_candidates(&peg, &idx, &q, &d.paths[0], &stats, 0.2, &cache, &pool, &superset);
+        assert!(superset.len() >= direct.matches.len());
+        assert_eq!(via_superset.len(), direct.matches.len());
+        for (x, y) in via_superset.iter().zip(&direct.matches) {
+            assert_eq!(x.nodes, y.nodes);
+        }
     }
 
     #[test]
@@ -299,13 +414,14 @@ mod tests {
         // s2 has c(s2, i) ≥ 2 (s1, s4, s34 can be i)... build a query whose
         // center needs three `i` neighbors instead — impossible.
         let q = QueryGraph::star(Label(0), &[Label(2), Label(2), Label(2)]).unwrap();
-        let mut cache = NodeCandidateCache::new();
+        let cache = NodeCandidateCache::new();
         // s2 = EntityId(1): c(s2, i) counts neighbors with i support that
         // are ref-disjoint: s1, s4, s34 → 3, so it survives the count test;
         // but the fpu bound at α=0.9 eliminates it (0.75^3 < 0.9).
         assert!(!cache.is_candidate(&peg, &idx, &q, 0.9, 0, EntityId(1)));
-        // At a low threshold it passes.
-        let mut cache2 = NodeCandidateCache::new();
+        // At a low threshold it passes (per-execution caches are keyed to
+        // one alpha, so a fresh cache is used).
+        let cache2 = NodeCandidateCache::new();
         assert!(cache2.is_candidate(&peg, &idx, &q, 0.01, 0, EntityId(1)));
     }
 
@@ -319,11 +435,8 @@ mod tests {
         let p = QueryPath { nodes: vec![0, 1, 2] };
         let s = PathStats::new(&q, &p);
         assert_eq!(s.cycles, vec![(0, 2)]);
-        let pm = PathMatch {
-            nodes: vec![EntityId(2), EntityId(1), EntityId(3)],
-            prle: 0.5,
-            prn: 0.2,
-        };
+        let pm =
+            PathMatch { nodes: vec![EntityId(2), EntityId(1), EntityId(3)], prle: 0.5, prn: 0.2 };
         assert_eq!(cycle_probability(&peg, &q, &p, &pm, &s), 0.0);
     }
 }

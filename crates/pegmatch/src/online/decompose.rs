@@ -74,12 +74,8 @@ impl Decomposition {
         let mut shared = FxHashMap::default();
         for i in 0..k {
             for j in i + 1..k {
-                let mut common: Vec<QNode> = paths[i]
-                    .nodes
-                    .iter()
-                    .copied()
-                    .filter(|n| paths[j].nodes.contains(n))
-                    .collect();
+                let mut common: Vec<QNode> =
+                    paths[i].nodes.iter().copied().filter(|n| paths[j].nodes.contains(n)).collect();
                 if common.is_empty() {
                     continue;
                 }
@@ -193,7 +189,7 @@ fn greedy_cover(
                 continue;
             }
             let eff = new_edges as f64 / costs[i];
-            if best.map_or(true, |(_, b)| eff > b) {
+            if best.is_none_or(|(_, b)| eff > b) {
                 best = Some((i, eff));
             }
         }
@@ -231,10 +227,8 @@ fn random_cover(
             break;
         }
         let nodes = &candidates[i];
-        let new_edges = nodes
-            .windows(2)
-            .filter(|w| !covered[&(w[0].min(w[1]), w[0].max(w[1]))])
-            .count();
+        let new_edges =
+            nodes.windows(2).filter(|w| !covered[&(w[0].min(w[1]), w[0].max(w[1]))]).count();
         if new_edges == 0 {
             continue;
         }
@@ -315,10 +309,7 @@ mod tests {
         };
         let d = decompose(&q, 2, &est, DecompStrategy::CostBased).unwrap();
         // The cheap (0,1) path must be part of the cover.
-        assert!(d
-            .paths
-            .iter()
-            .any(|p| p.nodes == vec![0, 1] || p.nodes == vec![1, 0]));
+        assert!(d.paths.iter().any(|p| p.nodes == vec![0, 1] || p.nodes == vec![1, 0]));
     }
 
     #[test]

@@ -7,6 +7,9 @@ use crate::query::{QNode, QueryGraph};
 use crate::Peg;
 use graphstore::hash::FxHashMap;
 use graphstore::EntityId;
+use pegpool::ThreadPool;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const EPS: f64 = 1e-12;
 
@@ -40,10 +43,8 @@ pub fn join_order(decomp: &Decomposition, sizes: &[usize], strategy: JoinOrder) 
             order.push(first);
             placed[first] = true;
             while order.len() < k {
-                let mut placed_nodes: Vec<QNode> = order
-                    .iter()
-                    .flat_map(|&i| decomp.paths[i].nodes.iter().copied())
-                    .collect();
+                let mut placed_nodes: Vec<QNode> =
+                    order.iter().flat_map(|&i| decomp.paths[i].nodes.iter().copied()).collect();
                 placed_nodes.sort_unstable();
                 placed_nodes.dedup();
                 let next = (0..k)
@@ -70,11 +71,8 @@ fn order_key(
     placed: &[bool],
     i: usize,
 ) -> (usize, usize, i64) {
-    let overlap = decomp.paths[i]
-        .nodes
-        .iter()
-        .filter(|n| placed_nodes.binary_search(n).is_ok())
-        .count();
+    let overlap =
+        decomp.paths[i].nodes.iter().filter(|n| placed_nodes.binary_search(n).is_ok()).count();
     let preds: usize = decomp.joins[i]
         .iter()
         .filter(|&&j| placed[j])
@@ -96,8 +94,40 @@ pub fn generate_matches(
     kp: &KPartiteGraph,
     order: &[usize],
     alpha: f64,
+    pool: &ThreadPool,
 ) -> Vec<Match> {
-    generate_matches_limited(peg, query, decomp, kp, order, alpha, None).0
+    generate_matches_limited(peg, query, decomp, kp, order, alpha, None, pool).0
+}
+
+/// Read-only inputs shared by every extension step.
+struct GenShared<'a> {
+    peg: &'a Peg,
+    query: &'a QueryGraph,
+    decomp: &'a Decomposition,
+    kp: &'a KPartiteGraph,
+    order: &'a [usize],
+    alpha: f64,
+    limit: Option<usize>,
+}
+
+/// Per-worker backtracking scratch, allocated once and reused across every
+/// seed vertex the worker processes.
+struct GenScratch {
+    chosen: Vec<Option<u32>>,
+    mapping: Vec<Option<EntityId>>,
+    entity_of: FxHashMap<u32, QNode>,
+    out: Vec<Match>,
+}
+
+impl GenScratch {
+    fn new(n_partitions: usize, n_qnodes: usize) -> Self {
+        Self {
+            chosen: vec![None; n_partitions],
+            mapping: vec![None; n_qnodes],
+            entity_of: FxHashMap::default(),
+            out: Vec::new(),
+        }
+    }
 }
 
 /// [`generate_matches`] with an optional result cap: generation stops as
@@ -105,6 +135,14 @@ pub fn generate_matches(
 /// was truncated. The matches found are sorted canonically but are *not*
 /// guaranteed to be the first in that order (generation order follows the
 /// join order, not the sort).
+///
+/// Parallel runs split the first-ordered partition's alive vertices (the
+/// "seeds") across the pool's lanes; each worker keeps thread-local
+/// `mapping`/`entity_of` scratch reused across its seeds. Seeds are claimed
+/// from a shared atomic in index order and results reassembled in that
+/// order, so the returned match set — including which matches survive a
+/// `limit` cut — is byte-identical to the sequential (`threads = 1`) run.
+#[allow(clippy::too_many_arguments)]
 pub fn generate_matches_limited(
     peg: &Peg,
     query: &QueryGraph,
@@ -113,157 +151,246 @@ pub fn generate_matches_limited(
     order: &[usize],
     alpha: f64,
     limit: Option<usize>,
+    pool: &ThreadPool,
 ) -> (Vec<Match>, bool) {
-    let mut out = Vec::new();
     if order.is_empty() || limit == Some(0) {
-        return (out, limit == Some(0));
+        return (Vec::new(), limit == Some(0));
     }
-    let mut chosen: Vec<Option<u32>> = vec![None; kp.partitions.len()];
-    let mut mapping: Vec<Option<EntityId>> = vec![None; query.n_nodes()];
-    let mut entity_of: FxHashMap<u32, QNode> = FxHashMap::default();
-    let completed = extend(
-        peg,
-        query,
-        decomp,
-        kp,
-        order,
-        alpha,
-        limit,
-        0,
-        1.0,
-        &mut chosen,
-        &mut mapping,
-        &mut entity_of,
-        &mut out,
-    );
-    sort_matches(&mut out);
-    (out, !completed)
+    let sh = GenShared { peg, query, decomp, kp, order, alpha, limit };
+
+    let first = order[0];
+    let seeds: Vec<u32> = (0..kp.partitions[first].verts.len() as u32)
+        .filter(|&v| kp.partitions[first].verts[v as usize].alive)
+        .collect();
+
+    let lanes = pool.lanes().min(seeds.len().max(1));
+    if lanes <= 1 || seeds.len() < 2 {
+        return generate_sequential(&sh, &seeds);
+    }
+    generate_parallel(&sh, &seeds, pool, lanes)
 }
 
-/// Recursive partition placement; returns `false` when the `limit` was hit
-/// and generation must stop.
-#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+/// The `threads = 1` reference path: one recursion over all seeds with the
+/// cap applied globally, exactly as the pre-parallel engine behaved.
+fn generate_sequential(sh: &GenShared<'_>, seeds: &[u32]) -> (Vec<Match>, bool) {
+    let mut st = GenScratch::new(sh.kp.partitions.len(), sh.query.n_nodes());
+    let mut completed = true;
+    for &seed in seeds {
+        if !extend_seed(sh, seed, sh.limit, &mut st) {
+            completed = false;
+            break;
+        }
+    }
+    sort_matches(&mut st.out);
+    (st.out, !completed)
+}
+
+/// Tracks how many matches the completed *contiguous prefix* of seed
+/// chunks has produced; once that reaches the cap, no further chunk needs
+/// to run.
+struct PrefixTracker {
+    counts: Vec<Option<usize>>,
+    frontier: usize,
+    cum: usize,
+}
+
+fn generate_parallel(
+    sh: &GenShared<'_>,
+    seeds: &[u32],
+    pool: &ThreadPool,
+    lanes: usize,
+) -> (Vec<Match>, bool) {
+    // Claim contiguous seed *chunks* rather than single seeds: one atomic
+    // claim, one result slot, and one tracker update per ~n/(8·lanes)
+    // seeds keeps coordination cost negligible even with tens of
+    // thousands of seeds.
+    let chunks = pool.chunks(seeds.len(), 8);
+    let n = chunks.len();
+    let results: Vec<Mutex<Option<Vec<Match>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let claim = AtomicUsize::new(0);
+    let enough = AtomicBool::new(false);
+    let tracker = Mutex::new(PrefixTracker { counts: vec![None; n], frontier: 0, cum: 0 });
+
+    pool.for_each(lanes, &|_lane| {
+        let mut st = GenScratch::new(sh.kp.partitions.len(), sh.query.n_nodes());
+        loop {
+            if sh.limit.is_some() && enough.load(Ordering::Relaxed) {
+                return;
+            }
+            let c = claim.fetch_add(1, Ordering::Relaxed);
+            if c >= n {
+                return;
+            }
+            // A chunk contributes at most `limit` matches to the final
+            // prefix cut, so its own recursion is capped there too; the
+            // scratch accumulates across the chunk's seeds exactly like
+            // the sequential run does globally.
+            for &seed in &seeds[chunks[c].clone()] {
+                if !extend_seed(sh, seed, sh.limit, &mut st) {
+                    break;
+                }
+            }
+            let found = std::mem::take(&mut st.out);
+            let count = found.len();
+            *results[c].lock().unwrap() = Some(found);
+            if let Some(k) = sh.limit {
+                let mut t = tracker.lock().unwrap();
+                t.counts[c] = Some(count);
+                while t.frontier < n {
+                    let Some(fc) = t.counts[t.frontier] else { break };
+                    t.cum += fc;
+                    t.frontier += 1;
+                    if t.cum >= k {
+                        enough.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                if t.cum >= k {
+                    return;
+                }
+            }
+        }
+    });
+
+    // Reassemble in chunk (= seed) order; cut at the cap exactly where
+    // the sequential run would have stopped.
+    let mut out = Vec::new();
+    let mut truncated = false;
+    for slot in &results {
+        let Some(found) = slot.lock().unwrap().take() else { break };
+        for m in found {
+            out.push(m);
+            if sh.limit.is_some_and(|k| out.len() >= k) {
+                truncated = true;
+                break;
+            }
+        }
+        if truncated {
+            break;
+        }
+    }
+    sort_matches(&mut out);
+    (out, truncated)
+}
+
+/// Places `seed` in the first-ordered partition and recurses over the rest.
+/// Returns `false` when the per-run cap stopped generation.
+fn extend_seed(sh: &GenShared<'_>, seed: u32, cap: Option<usize>, st: &mut GenScratch) -> bool {
+    extend(sh, 0, 1.0, Some(seed), cap, st)
+}
+
+/// Recursive partition placement; returns `false` when `cap` was hit and
+/// generation must stop. At depth 0 `seed` pins the candidate choice.
 fn extend(
-    peg: &Peg,
-    query: &QueryGraph,
-    decomp: &Decomposition,
-    kp: &KPartiteGraph,
-    order: &[usize],
-    alpha: f64,
-    limit: Option<usize>,
+    sh: &GenShared<'_>,
     depth: usize,
     w1_product: f64,
-    chosen: &mut Vec<Option<u32>>,
-    mapping: &mut Vec<Option<EntityId>>,
-    entity_of: &mut FxHashMap<u32, QNode>,
-    out: &mut Vec<Match>,
+    seed: Option<u32>,
+    cap: Option<usize>,
+    st: &mut GenScratch,
 ) -> bool {
-    if depth == order.len() {
-        let nodes: Vec<EntityId> = mapping.iter().map(|m| m.expect("full mapping")).collect();
-        let prn = peg.prn(&nodes);
-        if w1_product * prn + EPS >= alpha && prn > 0.0 {
-            out.push(Match { nodes, prle: w1_product, prn });
-            if limit.is_some_and(|k| out.len() >= k) {
+    if depth == sh.order.len() {
+        let nodes: Vec<EntityId> = st.mapping.iter().map(|m| m.expect("full mapping")).collect();
+        let prn = sh.peg.prn(&nodes);
+        if w1_product * prn + EPS >= sh.alpha && prn > 0.0 {
+            st.out.push(Match { nodes, prle: w1_product, prn });
+            if cap.is_some_and(|k| st.out.len() >= k) {
                 return false;
             }
         }
         return true;
     }
-    let pi = order[depth];
-    let partition = &kp.partitions[pi];
+    let pi = sh.order[depth];
+    let partition = &sh.kp.partitions[pi];
 
-    // Candidate vertices: intersect link lists from placed joined partitions.
-    let placed_joined: Vec<(usize, u32)> = partition
-        .joined
-        .iter()
-        .filter_map(|&j| chosen[j].map(|v| (j, v)))
-        .collect();
-
-    let candidates: Vec<u32> = if placed_joined.is_empty() {
-        (0..partition.verts.len() as u32).filter(|&v| partition.verts[v as usize].alive).collect()
+    // Candidate vertices: the pinned seed at depth 0, otherwise the
+    // intersection of link lists from placed joined partitions.
+    let candidates: Vec<u32> = if depth == 0 {
+        vec![seed.expect("seed pinned at depth 0")]
     } else {
-        // Start from the smallest link list.
-        let lists: Vec<&[u32]> = placed_joined
-            .iter()
-            .map(|&(j, vj)| {
-                let pj = &kp.partitions[j];
-                let slot = pj.slot_of(pi).expect("symmetric join");
-                pj.verts[vj as usize].links[slot].as_slice()
-            })
-            .collect();
-        let smallest = lists.iter().enumerate().min_by_key(|(_, l)| l.len()).unwrap().0;
-        lists[smallest]
-            .iter()
-            .copied()
-            .filter(|&v| {
-                partition.verts[v as usize].alive
-                    && lists
-                        .iter()
-                        .enumerate()
-                        .all(|(li, l)| li == smallest || l.binary_search(&v).is_ok())
-            })
-            .collect()
+        let placed_joined: Vec<(usize, u32)> =
+            partition.joined.iter().filter_map(|&j| st.chosen[j].map(|v| (j, v))).collect();
+        if placed_joined.is_empty() {
+            (0..partition.verts.len() as u32)
+                .filter(|&v| partition.verts[v as usize].alive)
+                .collect()
+        } else {
+            // Start from the smallest link list.
+            let lists: Vec<&[u32]> = placed_joined
+                .iter()
+                .map(|&(j, vj)| {
+                    let pj = &sh.kp.partitions[j];
+                    let slot = pj.slot_of(pi).expect("symmetric join");
+                    pj.verts[vj as usize].links[slot].as_slice()
+                })
+                .collect();
+            let smallest = lists.iter().enumerate().min_by_key(|(_, l)| l.len()).unwrap().0;
+            lists[smallest]
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    partition.verts[v as usize].alive
+                        && lists
+                            .iter()
+                            .enumerate()
+                            .all(|(li, l)| li == smallest || l.binary_search(&v).is_ok())
+                })
+                .collect()
+        }
     };
 
     'cand: for vid in candidates {
         let vert = &partition.verts[vid as usize];
         // Merge the vertex's images into the global mapping.
         let mut added: Vec<QNode> = Vec::new();
-        for (pos, &n) in decomp.paths[pi].nodes.iter().enumerate() {
+        for (pos, &n) in sh.decomp.paths[pi].nodes.iter().enumerate() {
             let e = vert.nodes[pos];
-            match mapping[n as usize] {
+            match st.mapping[n as usize] {
                 Some(prev) => {
                     if prev != e {
-                        undo(mapping, entity_of, &added);
+                        undo(&mut st.mapping, &mut st.entity_of, &added);
                         continue 'cand;
                     }
                 }
                 None => {
                     // Injectivity across query nodes.
-                    if let Some(&other) = entity_of.get(&e.0) {
+                    if let Some(&other) = st.entity_of.get(&e.0) {
                         if other != n {
-                            undo(mapping, entity_of, &added);
+                            undo(&mut st.mapping, &mut st.entity_of, &added);
                             continue 'cand;
                         }
                     }
                     // Reference compatibility with everything placed.
-                    for m in mapping.iter().flatten() {
-                        if *m != e && !peg.graph.refs_disjoint(*m, e) {
-                            undo(mapping, entity_of, &added);
+                    for m in st.mapping.iter().flatten() {
+                        if *m != e && !sh.peg.graph.refs_disjoint(*m, e) {
+                            undo(&mut st.mapping, &mut st.entity_of, &added);
                             continue 'cand;
                         }
                     }
-                    mapping[n as usize] = Some(e);
-                    entity_of.insert(e.0, n);
+                    st.mapping[n as usize] = Some(e);
+                    st.entity_of.insert(e.0, n);
                     added.push(n);
                 }
             }
         }
         let new_w1 = w1_product * vert.w1;
-        let union: Vec<EntityId> = mapping.iter().flatten().copied().collect();
-        let prn = peg.prn(&union);
-        if new_w1 * prn + EPS >= alpha && prn > 0.0 {
-            chosen[pi] = Some(vid);
-            let keep_going = extend(
-                peg, query, decomp, kp, order, alpha, limit, depth + 1, new_w1, chosen,
-                mapping, entity_of, out,
-            );
-            chosen[pi] = None;
+        let union: Vec<EntityId> = st.mapping.iter().flatten().copied().collect();
+        let prn = sh.peg.prn(&union);
+        if new_w1 * prn + EPS >= sh.alpha && prn > 0.0 {
+            st.chosen[pi] = Some(vid);
+            let keep_going = extend(sh, depth + 1, new_w1, None, cap, st);
+            st.chosen[pi] = None;
             if !keep_going {
-                undo(mapping, entity_of, &added);
+                undo(&mut st.mapping, &mut st.entity_of, &added);
                 return false;
             }
         }
-        undo(mapping, entity_of, &added);
+        undo(&mut st.mapping, &mut st.entity_of, &added);
     }
     true
 }
 
-fn undo(
-    mapping: &mut [Option<EntityId>],
-    entity_of: &mut FxHashMap<u32, QNode>,
-    added: &[QNode],
-) {
+fn undo(mapping: &mut [Option<EntityId>], entity_of: &mut FxHashMap<u32, QNode>, added: &[QNode]) {
     for &n in added {
         if let Some(e) = mapping[n as usize].take() {
             entity_of.remove(&e.0);

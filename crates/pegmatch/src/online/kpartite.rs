@@ -90,16 +90,30 @@ pub struct ReductionStats {
 pub struct ReduceOptions {
     /// Apply reduction by upper bounds after structure.
     pub use_upperbounds: bool,
-    /// Run message passing with one worker per partition.
+    /// Run message passing with partitions distributed over the pool.
     pub parallel: bool,
+    /// Pool size for parallel passes (`0` = available parallelism). The
+    /// pool is the process-wide persistent one — no threads are spawned
+    /// per round (or even per query).
+    pub threads: usize,
     /// Safety cap on message-passing rounds per pass.
     pub max_rounds: usize,
 }
 
 impl Default for ReduceOptions {
     fn default() -> Self {
-        Self { use_upperbounds: true, parallel: false, max_rounds: 32 }
+        Self { use_upperbounds: true, parallel: false, threads: 0, max_rounds: 32 }
     }
+}
+
+/// One proposed perception tightening: `verts[vi].perception[entry] = val`.
+/// Flat triples keep the per-round output buffers reusable and free of
+/// nested allocations.
+#[derive(Clone, Copy, Debug)]
+struct PerceptionUpdate {
+    vi: u32,
+    entry: u32,
+    val: f64,
 }
 
 /// The candidate k-partite graph (Definition 6).
@@ -173,10 +187,11 @@ impl KPartiteGraph {
     /// scheduling any neighbor that drops to zero.
     fn kill(&mut self, pi: usize, vi: u32, worklist: &mut Vec<(usize, u32)>) {
         self.partitions[pi].verts[vi as usize].alive = false;
-        let links = self.partitions[pi].verts[vi as usize].links.clone();
-        let joined = self.partitions[pi].joined.clone();
+        // A dead vertex's link lists are never read again, so take them
+        // instead of cloning (kills are the hot edge of the cascade).
+        let links = std::mem::take(&mut self.partitions[pi].verts[vi as usize].links);
         for (slot, nbrs) in links.iter().enumerate() {
-            let pj = joined[slot];
+            let pj = self.partitions[pi].joined[slot];
             let back_slot =
                 self.partitions[pj].slot_of(pi).expect("join relation must be symmetric");
             for &w in nbrs {
@@ -195,25 +210,44 @@ impl KPartiteGraph {
 
     /// Message passing to fixpoint, then pruning by `w2 · ∏ perception < α`.
     /// Returns the number of vertices killed.
+    ///
+    /// Rounds are Jacobi: every proposed update of a round reads only the
+    /// previous round's state, so the parallel schedule is bit-identical to
+    /// the sequential one. Per-partition update buffers are allocated once
+    /// per pass and reused across rounds; only *changed* entries are ever
+    /// emitted (no per-vertex perception clones).
     fn upperbound_pass(&mut self, alpha: f64, opts: &ReduceOptions, rounds: &mut usize) -> usize {
         let k = self.partitions.len();
+        // `parallel` forces the pooled path even when the pool resolves to
+        // one lane (it then runs inline, bit-identically) — so the flag
+        // deterministically exercises the parallel implementation.
+        let pool = (opts.parallel && k > 1).then(|| pegpool::pool_with(opts.threads));
+        let scratch: Vec<std::sync::Mutex<Vec<PerceptionUpdate>>> =
+            (0..k).map(|_| std::sync::Mutex::new(Vec::new())).collect();
         for _ in 0..opts.max_rounds {
             *rounds += 1;
-            let updates = if opts.parallel && k > 1 {
-                self.compute_round_parallel()
-            } else {
-                self.compute_round_sequential()
-            };
-            let mut changed = false;
-            for (pi, per_vert) in updates.into_iter().enumerate() {
-                for (vi, vec) in per_vert {
-                    let v = &mut self.partitions[pi].verts[vi as usize];
-                    for (p, val) in vec.into_iter().enumerate() {
-                        if val + 1e-15 < v.perception[p] {
-                            v.perception[p] = val;
-                            changed = true;
-                        }
+            // Compute phase: disjoint buffers, shared read-only graph.
+            match &pool {
+                Some(pool) => {
+                    let this = &*self;
+                    pool.for_each(k, &|pi| {
+                        this.round_for_partition(pi, &mut scratch[pi].lock().unwrap());
+                    });
+                }
+                None => {
+                    for (pi, buf) in scratch.iter().enumerate() {
+                        self.round_for_partition(pi, &mut buf.lock().unwrap());
                     }
+                }
+            }
+            // Apply phase.
+            let mut changed = false;
+            for (pi, buf) in scratch.iter().enumerate() {
+                let mut buf = buf.lock().unwrap();
+                changed |= !buf.is_empty();
+                let verts = &mut self.partitions[pi].verts;
+                for u in buf.drain(..) {
+                    verts[u.vi as usize].perception[u.entry as usize] = u.val;
                 }
             }
             if !changed {
@@ -242,41 +276,25 @@ impl KPartiteGraph {
         killed
     }
 
-    /// One Jacobi round of perception updates (sequential).
-    fn compute_round_sequential(&self) -> Vec<Vec<(u32, Vec<f64>)>> {
-        (0..self.partitions.len()).map(|pi| self.round_for_partition(pi)).collect()
-    }
-
-    /// One Jacobi round with one worker per partition (the paper's parallel
-    /// implementation; identical results by construction).
-    fn compute_round_parallel(&self) -> Vec<Vec<(u32, Vec<f64>)>> {
-        let mut out: Vec<Vec<(u32, Vec<f64>)>> = Vec::with_capacity(self.partitions.len());
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.partitions.len())
-                .map(|pi| {
-                    let this = &*self;
-                    scope.spawn(move |_| this.round_for_partition(pi))
-                })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("reduction worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        out
-    }
-
-    /// Proposed perception updates for the vertices of partition `pi`.
-    #[allow(clippy::needless_range_loop)]
-    fn round_for_partition(&self, pi: usize) -> Vec<(u32, Vec<f64>)> {
+    /// Proposed perception tightenings for the vertices of partition `pi`
+    /// (one Jacobi half-round), appended to `out`.
+    ///
+    /// For entry `e ≠ pi`, a vertex's new bound is the min over its joined
+    /// partitions of the max `perception[e]` among its alive links there.
+    /// The joined partition `e` itself participates: its vertices' own
+    /// entries hold their `w1`, which is exactly the direct-link base case
+    /// of the paper's message definition. (An earlier revision carried a
+    /// dead `entry == pi` re-check here whose comment suggested skipping
+    /// `pj == entry`; that variant would discard the base case and weaken
+    /// the bound — see `direct_links_feed_the_perception_bound`.) The
+    /// receiver's own entry stays at `w1` — senders never overwrite it.
+    fn round_for_partition(&self, pi: usize, out: &mut Vec<PerceptionUpdate>) {
         let k = self.partitions.len();
         let p = &self.partitions[pi];
-        let mut out = Vec::new();
         for (vi, v) in p.verts.iter().enumerate() {
             if !v.alive {
                 continue;
             }
-            let mut vec = v.perception.clone();
             for entry in 0..k {
                 if entry == pi {
                     continue; // Own entry stays at w1.
@@ -284,10 +302,6 @@ impl KPartiteGraph {
                 // min over joined partitions of (max over alive links).
                 let mut candidate = f64::INFINITY;
                 for (slot, &pj) in p.joined.iter().enumerate() {
-                    // A sender never transmits the receiver's own entry.
-                    if entry == pi {
-                        continue;
-                    }
                     let mut best = 0.0f64;
                     for &w in &v.links[slot] {
                         let wv = &self.partitions[pj].verts[w as usize];
@@ -302,15 +316,15 @@ impl KPartiteGraph {
                         candidate = best;
                     }
                 }
-                if candidate.is_finite() && candidate < vec[entry] {
-                    vec[entry] = candidate;
+                if candidate.is_finite() && candidate + 1e-15 < v.perception[entry] {
+                    out.push(PerceptionUpdate {
+                        vi: vi as u32,
+                        entry: entry as u32,
+                        val: candidate,
+                    });
                 }
             }
-            if vec != v.perception {
-                out.push((vi as u32, vec));
-            }
         }
-        out
     }
 }
 
@@ -547,13 +561,14 @@ mod tests {
         let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
         let d = decompose(&q, 1, &|_| 1.0, DecompStrategy::CostBased).unwrap();
         assert_eq!(d.paths.len(), 2);
-        let mut cache = NodeCandidateCache::new();
+        let cache = NodeCandidateCache::new();
+        let pool = pegpool::pool_with(1);
         let sets: Vec<CandidateSet> = d
             .paths
             .iter()
             .map(|p| {
                 let s = PathStats::new(&q, p);
-                find_candidates(&peg, &idx, &q, p, &s, alpha, &mut cache)
+                find_candidates(&peg, &idx, &q, p, &s, alpha, &cache, &pool)
             })
             .collect();
         let kp = build_kpartite(&peg, &q, &d, &sets, alpha);
@@ -588,7 +603,8 @@ mod tests {
     fn structure_reduction_kills_linkless() {
         let (_peg, mut kp, _d) = setup(0.05);
         let before: usize = kp.alive_counts().iter().sum();
-        let stats = kp.reduce(0.05, &ReduceOptions { use_upperbounds: false, ..Default::default() });
+        let stats =
+            kp.reduce(0.05, &ReduceOptions { use_upperbounds: false, ..Default::default() });
         let after: usize = kp.alive_counts().iter().sum();
         assert_eq!(before - after, stats.removed_structure);
         // Every survivor keeps a link everywhere it must.
@@ -611,26 +627,81 @@ mod tests {
         let alive_low: usize = kp_low.alive_counts().iter().sum();
         let alive_high: usize = kp_high.alive_counts().iter().sum();
         assert!(alive_high <= alive_low);
-        assert!(high.removed_upperbound + high.removed_structure >= low.removed_upperbound + low.removed_structure);
+        assert!(
+            high.removed_upperbound + high.removed_structure
+                >= low.removed_upperbound + low.removed_structure
+        );
     }
 
     #[test]
     fn parallel_reduction_matches_sequential() {
-        let (_p1, mut seq, _) = setup(0.05);
-        let (_p2, mut par, _) = setup(0.05);
-        let s1 = seq.reduce(0.1, &ReduceOptions { parallel: false, ..Default::default() });
-        let s2 = par.reduce(0.1, &ReduceOptions { parallel: true, ..Default::default() });
-        assert_eq!(seq.alive_counts(), par.alive_counts());
-        assert_eq!(s1.removed_structure, s2.removed_structure);
-        assert_eq!(s1.removed_upperbound, s2.removed_upperbound);
-        for (p, q) in seq.partitions.iter().zip(&par.partitions) {
-            for (a, b) in p.verts.iter().zip(&q.verts) {
-                assert_eq!(a.alive, b.alive);
-                for (x, y) in a.perception.iter().zip(&b.perception) {
-                    assert!((x - y).abs() < 1e-12);
+        for threads in [0usize, 2, 4] {
+            let (_p1, mut seq, _) = setup(0.05);
+            let (_p2, mut par, _) = setup(0.05);
+            let s1 = seq.reduce(0.1, &ReduceOptions { parallel: false, ..Default::default() });
+            let s2 =
+                par.reduce(0.1, &ReduceOptions { parallel: true, threads, ..Default::default() });
+            assert_eq!(seq.alive_counts(), par.alive_counts());
+            assert_eq!(s1.removed_structure, s2.removed_structure);
+            assert_eq!(s1.removed_upperbound, s2.removed_upperbound);
+            assert_eq!(s1.rounds, s2.rounds);
+            for (p, q) in seq.partitions.iter().zip(&par.partitions) {
+                for (a, b) in p.verts.iter().zip(&q.verts) {
+                    assert_eq!(a.alive, b.alive);
+                    for (x, y) in a.perception.iter().zip(&b.perception) {
+                        assert!((x - y).abs() < 1e-12);
+                    }
                 }
             }
         }
+    }
+
+    /// A two-partition graph where each partition's only join partner is
+    /// the other one. A vertex `A` with `w1 = 1` links only to a weak
+    /// vertex `B` (`w1 = 0.3`), so `A`'s perception of partition 1 must
+    /// tighten to exactly `B.w1` via the *direct* link — the `pj == entry`
+    /// message the dead guard's comment would have skipped. Under that
+    /// (incorrect) skip-variant no message about partition 1 could ever
+    /// reach `A` (partition 1 is its only sender), perception would stay
+    /// at 1.0, and the α = 0.5 prune below would not fire.
+    fn two_partition_chain() -> KPartiteGraph {
+        let vert = |w1: f64, own: usize, other_links: Vec<u32>| Vert {
+            nodes: vec![EntityId(own as u32)],
+            w1,
+            w2: 1.0,
+            alive: true,
+            links: vec![other_links.clone()],
+            alive_counts: vec![other_links.len() as u32],
+            perception: {
+                let mut p = vec![1.0; 2];
+                p[own] = w1;
+                p
+            },
+        };
+        KPartiteGraph {
+            partitions: vec![
+                Partition { joined: vec![1], verts: vec![vert(1.0, 0, vec![0])] },
+                Partition { joined: vec![0], verts: vec![vert(0.3, 1, vec![0])] },
+            ],
+        }
+    }
+
+    #[test]
+    fn direct_links_feed_the_perception_bound() {
+        // At a permissive threshold nothing dies, exposing the fixpoint
+        // perceptions: A learned B's w1 through the direct link.
+        let mut kp = two_partition_chain();
+        let stats = kp.reduce(0.1, &ReduceOptions::default());
+        assert_eq!(stats.removed_structure + stats.removed_upperbound, 0);
+        let a = &kp.partitions[0].verts[0];
+        assert!((a.perception[1] - 0.3).abs() < 1e-12, "direct-link base case must propagate");
+        assert!((a.upper_bound() - 0.3).abs() < 1e-12);
+
+        // At α = 0.5 the tightened bound prunes A (and B cascades away).
+        let mut kp = two_partition_chain();
+        let stats = kp.reduce(0.5, &ReduceOptions::default());
+        assert!(stats.removed_upperbound >= 1, "upper-bound prune must fire: {stats:?}");
+        assert!(kp.partitions.iter().all(|p| p.alive_count() == 0));
     }
 
     #[test]

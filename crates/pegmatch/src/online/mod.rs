@@ -16,6 +16,9 @@ use crate::matcher::Match;
 use crate::offline::OfflineIndex;
 use crate::query::QueryGraph;
 use crate::Peg;
+use pathindex::PathMatch;
+use pegpool::ThreadPool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Online query processing options (the knobs behind the paper's baselines).
@@ -27,12 +30,21 @@ pub struct QueryOptions {
     pub use_reduction: bool,
     /// Within reduction, run reduction by upper bounds.
     pub use_upperbounds: bool,
-    /// Parallel (per-partition) message passing.
+    /// Force parallel (per-partition) message passing even when `threads`
+    /// resolves to one lane. With `threads > 1` reduction is parallel
+    /// regardless of this flag; results are identical either way (the
+    /// rounds are Jacobi).
     pub parallel_reduction: bool,
     /// Join-order strategy.
     pub join_order: JoinOrder,
     /// Cap on message-passing rounds per pass.
     pub max_rounds: usize,
+    /// Compute lanes for the whole online phase — candidate retrieval,
+    /// joint reduction, and match generation all share one persistent
+    /// process-wide pool of this size. `0` = available parallelism,
+    /// `1` = fully sequential. Result sets are byte-identical across
+    /// settings; only latency changes.
+    pub threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -44,6 +56,7 @@ impl Default for QueryOptions {
             parallel_reduction: false,
             join_order: JoinOrder::Heuristic,
             max_rounds: 32,
+            threads: 0,
         }
     }
 }
@@ -62,6 +75,16 @@ impl QueryOptions {
     /// The paper's "No search-space reduction" baseline.
     pub fn no_reduction() -> Self {
         Self { use_reduction: false, ..Default::default() }
+    }
+
+    /// Default options pinned to `threads` compute lanes.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, ..Default::default() }
+    }
+
+    /// The persistent pool serving this option set.
+    fn pool(&self) -> Arc<ThreadPool> {
+        pegpool::pool_with(self.threads)
     }
 }
 
@@ -107,10 +130,7 @@ pub struct PipelineStats {
 }
 
 fn log10_product(counts: &[usize]) -> f64 {
-    counts
-        .iter()
-        .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64).log10() })
-        .sum()
+    counts.iter().map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64).log10() }).sum()
 }
 
 /// Result of one query execution.
@@ -125,6 +145,21 @@ pub struct QueryResult {
     pub truncated: bool,
     /// Stage instrumentation.
     pub stats: PipelineStats,
+}
+
+/// Alpha-independent (or alpha-superset) artifacts reusable across the
+/// threshold refinements of a top-k run: the decomposition, per-path query
+/// statistics, and the raw index retrievals.
+///
+/// `raw[i]` holds `PIndex(labels_i, raw_alpha)`; any run at
+/// `alpha ≥ raw_alpha` can reuse it, because the index-lookup threshold
+/// predicate (`prob + ε ≥ α`) filters the superset to exactly the fresh
+/// lookup's result, and the context-pruning predicate already subsumes it.
+struct PreparedQuery {
+    decomp: Decomposition,
+    pstats: Vec<PathStats>,
+    raw: Vec<Vec<PathMatch>>,
+    raw_alpha: f64,
 }
 
 /// The optimized online query processor.
@@ -162,6 +197,16 @@ impl<'a> QueryPipeline<'a> {
         limit: Option<usize>,
         opts: &QueryOptions,
     ) -> Result<QueryResult, PegError> {
+        self.validate(query, alpha)?;
+        let mut prep_stats = PipelineStats::default();
+        let mut prepared = self.prepare(query, alpha, opts, &mut prep_stats)?;
+        // One-shot run: nothing revisits `prepared`, so pruning may consume
+        // the raw retrievals in place (no survivor clones, raw memory
+        // released at the candidates stage).
+        self.run_prepared(query, &mut prepared, alpha, limit, opts, prep_stats, false)
+    }
+
+    fn validate(&self, query: &QueryGraph, alpha: f64) -> Result<(), PegError> {
         if !(0.0..=1.0).contains(&alpha) {
             return Err(PegError::Invalid(format!("threshold {alpha} out of range")));
         }
@@ -171,35 +216,125 @@ impl<'a> QueryPipeline<'a> {
                 return Err(PegError::UnknownLabel(format!("{l:?}")));
             }
         }
-        let mut stats = PipelineStats::default();
-        let t_total = Instant::now();
+        Ok(())
+    }
 
-        // 1. Path decomposition.
+    /// Stage 1 + raw retrieval: decomposition and per-path index lookups at
+    /// `alpha`, both reusable by later runs at thresholds ≥ `alpha`.
+    fn prepare(
+        &self,
+        query: &QueryGraph,
+        alpha: f64,
+        opts: &QueryOptions,
+        stats: &mut PipelineStats,
+    ) -> Result<PreparedQuery, PegError> {
         let t = Instant::now();
         let max_len = self.offline.paths.config().max_len.max(1);
         let est = |labels: &[graphstore::Label]| self.offline.estimate_path_count(labels, alpha);
         let decomp = decompose(query, max_len, &est, opts.strategy)?;
         stats.decompose_time = t.elapsed();
-        stats.n_paths = decomp.paths.len();
+        let pstats: Vec<PathStats> =
+            decomp.paths.iter().map(|p| PathStats::new(query, p)).collect();
+        let raw = self.fetch_raw(query, &decomp, alpha, opts);
+        Ok(PreparedQuery { decomp, pstats, raw, raw_alpha: alpha })
+    }
 
-        // 2. Path candidates with context pruning.
+    /// Raw per-path index retrieval (`PIndex(lQ(VP), α)`), parallel across
+    /// paths on the shared pool.
+    fn fetch_raw(
+        &self,
+        query: &QueryGraph,
+        decomp: &Decomposition,
+        alpha: f64,
+        opts: &QueryOptions,
+    ) -> Vec<Vec<PathMatch>> {
+        let pool = opts.pool();
+        pool.map(decomp.paths.len(), |i| {
+            let labels = decomp.paths[i].labels(query);
+            self.offline.path_matches(self.peg, &labels, alpha)
+        })
+    }
+
+    /// Stages 2–5 over prepared artifacts. `alpha` must be ≥ the prepared
+    /// `raw_alpha`; results are identical to a from-scratch run with the
+    /// same decomposition.
+    ///
+    /// With `reuse_raw` the raw retrievals are left intact (top-k revisits
+    /// them at lower thresholds) and survivors are cloned out; without it
+    /// pruning consumes them in place — no clones, and the raw memory is
+    /// gone by the time the k-partite graph is built.
+    #[allow(clippy::too_many_arguments)]
+    fn run_prepared(
+        &self,
+        query: &QueryGraph,
+        prepared: &mut PreparedQuery,
+        alpha: f64,
+        limit: Option<usize>,
+        opts: &QueryOptions,
+        mut stats: PipelineStats,
+        reuse_raw: bool,
+    ) -> Result<QueryResult, PegError> {
+        debug_assert!(alpha + 1e-12 >= prepared.raw_alpha);
+        let pool = opts.pool();
+        let t_total = Instant::now();
+        stats.n_paths = prepared.decomp.paths.len();
+
+        // 2. Path candidates with context pruning. The per-path filter
+        // fans out over the pool in order-preserving chunks; the reusable
+        // (top-k) variant additionally runs paths in parallel.
         let t = Instant::now();
-        let mut node_cache = NodeCandidateCache::new();
-        let mut sets = Vec::with_capacity(decomp.paths.len());
-        for path in &decomp.paths {
-            let pstats = PathStats::new(query, path);
-            let cs = candidates::find_candidates(
-                self.peg,
-                self.offline,
-                query,
-                path,
-                &pstats,
-                alpha,
-                &mut node_cache,
-            );
+        let node_cache = NodeCandidateCache::new();
+        let sets: Vec<CandidateSet> = if reuse_raw {
+            let prepared: &PreparedQuery = prepared;
+            pool.map(prepared.decomp.paths.len(), |i| {
+                let raw = &prepared.raw[i];
+                let raw_count = if alpha > prepared.raw_alpha {
+                    // The index-lookup threshold predicate, applied to the
+                    // prepared superset.
+                    raw.iter().filter(|m| m.prob() + 1e-12 >= alpha).count()
+                } else {
+                    raw.len()
+                };
+                let matches = candidates::prune_candidates(
+                    self.peg,
+                    self.offline,
+                    query,
+                    &prepared.decomp.paths[i],
+                    &prepared.pstats[i],
+                    alpha,
+                    &node_cache,
+                    &pool,
+                    raw,
+                );
+                CandidateSet { matches, raw_count }
+            })
+        } else {
+            debug_assert!(alpha <= prepared.raw_alpha + 1e-12, "one-shot runs fetch at alpha");
+            let raw_all = std::mem::take(&mut prepared.raw);
+            raw_all
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut raw)| {
+                    let raw_count = raw.len();
+                    candidates::prune_candidates_in_place(
+                        self.peg,
+                        self.offline,
+                        query,
+                        &prepared.decomp.paths[i],
+                        &prepared.pstats[i],
+                        alpha,
+                        &node_cache,
+                        &pool,
+                        &mut raw,
+                    );
+                    CandidateSet { matches: raw, raw_count }
+                })
+                .collect()
+        };
+        let decomp = &prepared.decomp;
+        for cs in &sets {
             stats.raw_counts.push(cs.raw_count);
             stats.context_counts.push(cs.matches.len());
-            sets.push(cs);
         }
         stats.candidates_time = t.elapsed();
         stats.log10_ss_index = log10_product(&stats.raw_counts);
@@ -207,7 +342,7 @@ impl<'a> QueryPipeline<'a> {
 
         // 3. Join-candidates / k-partite construction.
         let t = Instant::now();
-        let mut kp = build_kpartite(self.peg, query, &decomp, &sets, alpha);
+        let mut kp = build_kpartite(self.peg, query, decomp, &sets, alpha);
         stats.join_time = t.elapsed();
 
         // 4. Joint search-space reduction.
@@ -217,7 +352,8 @@ impl<'a> QueryPipeline<'a> {
                 alpha,
                 &ReduceOptions {
                     use_upperbounds: opts.use_upperbounds,
-                    parallel: opts.parallel_reduction,
+                    parallel: opts.parallel_reduction || pool.lanes() > 1,
+                    threads: opts.threads,
                     max_rounds: opts.max_rounds,
                 },
             );
@@ -232,11 +368,11 @@ impl<'a> QueryPipeline<'a> {
         stats.final_counts = kp.alive_counts();
         stats.log10_ss_final = kp.log10_search_space();
 
-        // 5. Join order + match generation.
+        // 5. Join order + match generation (seed-parallel over the pool).
         let t = Instant::now();
-        let order = join_order(&decomp, &stats.final_counts, opts.join_order);
+        let order = join_order(decomp, &stats.final_counts, opts.join_order);
         let (matches, truncated) =
-            generate_matches_limited(self.peg, query, &decomp, &kp, &order, alpha, limit);
+            generate_matches_limited(self.peg, query, decomp, &kp, &order, alpha, limit, &pool);
         stats.generation_time = t.elapsed();
         stats.n_matches = matches.len();
         stats.total_time = t_total.elapsed();
@@ -254,6 +390,12 @@ impl<'a> QueryPipeline<'a> {
     /// matches above the threshold, the best `k` of a sufficiently large
     /// result set are the global top-k.
     ///
+    /// Refinement is incremental: the decomposition, per-path statistics,
+    /// and raw index retrievals are computed once and reused across
+    /// iterations. When the threshold drops below the prepared retrieval
+    /// threshold, the raw sets are refetched one geometric step *ahead* of
+    /// schedule, so at most every other iteration touches the index.
+    ///
     /// Returns matches sorted by descending probability (ties broken by
     /// node ids); the stats are those of the final (lowest-threshold) run.
     pub fn run_topk(
@@ -270,8 +412,25 @@ impl<'a> QueryPipeline<'a> {
         }
         let mut alpha = 0.5f64;
         let floor = min_alpha.max(1e-12);
+        self.validate(query, alpha)?;
+        let mut prep_stats = PipelineStats::default();
+        let mut prepared = self.prepare(query, alpha, opts, &mut prep_stats)?;
         loop {
-            let mut res = self.run(query, alpha, opts)?;
+            if alpha + 1e-12 < prepared.raw_alpha {
+                // Refetch with one step of lookahead; the next refinement
+                // (if any) reuses this retrieval.
+                prepared.raw_alpha = (alpha * 0.25).max(floor);
+                prepared.raw = self.fetch_raw(query, &prepared.decomp, prepared.raw_alpha, opts);
+            }
+            let mut res = self.run_prepared(
+                query,
+                &mut prepared,
+                alpha,
+                None,
+                opts,
+                prep_stats.clone(),
+                true,
+            )?;
             if res.matches.len() >= k || alpha <= floor {
                 res.matches.sort_by(|a, b| {
                     b.prob()
@@ -311,9 +470,8 @@ mod tests {
         let (a, r, i) = (Label(0), Label(1), Label(2));
         let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
         for max_len in [1usize, 2, 3] {
-            let idx =
-                OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(max_len, 0.01))
-                    .unwrap();
+            let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(max_len, 0.01))
+                .unwrap();
             let pipe = QueryPipeline::new(&peg, &idx);
             for alpha in [0.01, 0.05, 0.1, 0.2, 0.25, 0.5] {
                 let got = pipe.run(&q, alpha, &QueryOptions::default()).unwrap();
@@ -377,9 +535,70 @@ mod tests {
             QueryOptions::no_reduction(),
             QueryOptions { parallel_reduction: true, ..Default::default() },
             QueryOptions { use_upperbounds: false, ..Default::default() },
+            QueryOptions::with_threads(1),
+            QueryOptions::with_threads(2),
+            QueryOptions::with_threads(4),
         ] {
             let got = pipe.run(&q, 0.05, &opts).unwrap();
             assert_same_matches(&got.matches, &reference.matches);
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_is_byte_identical_to_sequential() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(1, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        for alpha in [0.01, 0.05, 0.2] {
+            let seq = pipe.run(&q, alpha, &QueryOptions::with_threads(1)).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = pipe.run(&q, alpha, &QueryOptions::with_threads(threads)).unwrap();
+                assert_same_matches(&par.matches, &seq.matches);
+                assert_eq!(par.stats.raw_counts, seq.stats.raw_counts, "threads={threads}");
+                assert_eq!(par.stats.final_counts, seq.stats.final_counts, "threads={threads}");
+                assert_eq!(par.stats.message_rounds, seq.stats.message_rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_limited_truncates_identically() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        let full = pipe.run(&q, 0.01, &QueryOptions::with_threads(1)).unwrap();
+        for limit in 0..=full.matches.len() + 2 {
+            let seq =
+                pipe.run_limited(&q, 0.01, Some(limit), &QueryOptions::with_threads(1)).unwrap();
+            for threads in [2usize, 4] {
+                let par = pipe
+                    .run_limited(&q, 0.01, Some(limit), &QueryOptions::with_threads(threads))
+                    .unwrap();
+                assert_eq!(par.truncated, seq.truncated, "limit={limit} threads={threads}");
+                assert_same_matches(&par.matches, &seq.matches);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_is_thread_count_invariant() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        for k in [1usize, 3, 10] {
+            let seq = pipe.run_topk(&q, k, 1e-9, &QueryOptions::with_threads(1)).unwrap();
+            let par = pipe.run_topk(&q, k, 1e-9, &QueryOptions::with_threads(4)).unwrap();
+            assert_eq!(seq.matches.len(), par.matches.len());
+            for (x, y) in seq.matches.iter().zip(&par.matches) {
+                assert_eq!(x.nodes, y.nodes, "k={k}");
+                assert!((x.prob() - y.prob()).abs() < 1e-12);
+            }
         }
     }
 

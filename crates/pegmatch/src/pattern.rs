@@ -350,10 +350,10 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, want: Token) -> Result<(), PegError> {
         match self.next() {
             Some((_, tok)) if tok == want => Ok(()),
-            Some((off, tok)) => Err(self.err(
-                off,
-                format!("expected {}, found {}", want.describe(), tok.describe()),
-            )),
+            Some((off, tok)) => {
+                Err(self
+                    .err(off, format!("expected {}, found {}", want.describe(), tok.describe())))
+            }
             None => Err(self.eof(&want.describe())),
         }
     }
@@ -429,11 +429,8 @@ mod tests {
     #[test]
     fn double_dash_and_comments_and_whitespace() {
         let t = table();
-        let q = parse_pattern(
-            "# a path query\n  (x:r) -- (y:a)\n  , (y) - (z:i) # tail\n",
-            &t,
-        )
-        .unwrap();
+        let q = parse_pattern("# a path query\n  (x:r) -- (y:a)\n  , (y) - (z:i) # tail\n", &t)
+            .unwrap();
         assert_eq!(q.n_nodes(), 3);
         assert_eq!(q.n_edges(), 2);
     }
@@ -526,10 +523,7 @@ mod tests {
         let t = table();
         let q = parse_pattern(r#"(x:"Research Lab")-(y:a), (y)-(z:i), (x)-(z)"#, &t).unwrap();
         let s = format_pattern(&q, &t);
-        assert_eq!(
-            s,
-            r#"(n0:"Research Lab"), (n1:a), (n2:i), (n0)-(n1), (n1)-(n2), (n0)-(n2)"#
-        );
+        assert_eq!(s, r#"(n0:"Research Lab"), (n1:a), (n2:i), (n0)-(n1), (n1)-(n2), (n0)-(n2)"#);
         let q2 = parse_pattern(&s, &t).unwrap();
         assert_eq!(q, q2);
     }

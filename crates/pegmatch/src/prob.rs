@@ -114,9 +114,7 @@ mod tests {
         let labels = [r, a, i];
         let pairs: Vec<(EntityId, Label)> = nodes.iter().copied().zip(labels).collect();
         let edges = [(nodes[0], nodes[1]), (nodes[1], nodes[2])];
-        assert!(
-            (prle_path(&peg, &nodes, &labels) - prle(&peg, &pairs, &edges)).abs() < 1e-12
-        );
+        assert!((prle_path(&peg, &nodes, &labels) - prle(&peg, &pairs, &edges)).abs() < 1e-12);
     }
 
     #[test]

@@ -74,9 +74,8 @@ impl QueryGraph {
 
     /// A simple path query over the given label sequence.
     pub fn path(labels: &[Label]) -> Result<Self, PegError> {
-        let edges = (0..labels.len().saturating_sub(1))
-            .map(|i| (i as QNode, (i + 1) as QNode))
-            .collect();
+        let edges =
+            (0..labels.len().saturating_sub(1)).map(|i| (i as QNode, (i + 1) as QNode)).collect();
         Self::new(labels.to_vec(), edges)
     }
 

@@ -23,30 +23,24 @@ struct Spec {
 fn arb_spec() -> impl Strategy<Value = Spec> {
     (2usize..4, 2usize..10).prop_flat_map(|(n_labels, n_nodes)| {
         let nodes = prop::collection::vec(
-            (
-                prop::collection::vec(0u32..50, n_labels),
-                prop::collection::vec(0u8..12, 1..3),
-            ),
+            (prop::collection::vec(0u32..50, n_labels), prop::collection::vec(0u8..12, 1..3)),
             n_nodes,
         );
         let edges = prop::collection::vec(
-            (
-                0..n_nodes as u8,
-                0..n_nodes as u8,
-                prop::option::of(0.0..=1.0f64),
-                any::<u64>(),
-            ),
+            (0..n_nodes as u8, 0..n_nodes as u8, prop::option::of(0.0..=1.0f64), any::<u64>()),
             0..(n_nodes * 2),
         );
-        (Just(n_labels), nodes, edges)
-            .prop_map(|(n_labels, nodes, edges)| Spec { n_labels, nodes, edges })
+        (Just(n_labels), nodes, edges).prop_map(|(n_labels, nodes, edges)| Spec {
+            n_labels,
+            nodes,
+            edges,
+        })
     })
 }
 
 fn build(spec: &Spec) -> EntityGraph {
-    let table = LabelTable::from_names(
-        (0..spec.n_labels).map(|i| format!("l{i}")).collect::<Vec<_>>(),
-    );
+    let table =
+        LabelTable::from_names((0..spec.n_labels).map(|i| format!("l{i}")).collect::<Vec<_>>());
     let n = table.len();
     let mut bld = EntityGraphBuilder::new(table);
     for (weights, refs) in &spec.nodes {
@@ -54,11 +48,8 @@ fn build(spec: &Spec) -> EntityGraph {
         let mut dist = if total == 0 {
             LabelDist::delta(Label(0), n)
         } else {
-            let pairs: Vec<(Label, f64)> = weights
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| (Label(i as u16), w as f64))
-                .collect();
+            let pairs: Vec<(Label, f64)> =
+                weights.iter().enumerate().map(|(i, &w)| (Label(i as u16), w as f64)).collect();
             LabelDist::from_pairs(&pairs, n)
         };
         dist.normalize();

@@ -24,11 +24,8 @@ fn arb_query(n_labels: usize) -> impl Strategy<Value = QueryGraph> {
                     edges.push((u.min(v), u.max(v)));
                 }
             }
-            QueryGraph::new(
-                labels.into_iter().map(graphstore::Label).collect(),
-                edges,
-            )
-            .expect("spanning tree keeps it connected")
+            QueryGraph::new(labels.into_iter().map(graphstore::Label).collect(), edges)
+                .expect("spanning tree keeps it connected")
         })
     })
 }
@@ -60,12 +57,8 @@ fn check_decomposition(query: &QueryGraph, max_len: usize, strategy: DecompStrat
     // (c) join structure is symmetric and matches actual node sharing.
     for i in 0..d.paths.len() {
         for j in i + 1..d.paths.len() {
-            let mut common: Vec<QNode> = d.paths[i]
-                .nodes
-                .iter()
-                .copied()
-                .filter(|n| d.paths[j].nodes.contains(n))
-                .collect();
+            let mut common: Vec<QNode> =
+                d.paths[i].nodes.iter().copied().filter(|n| d.paths[j].nodes.contains(n)).collect();
             common.sort_unstable();
             assert_eq!(d.shared_nodes(i, j), common.as_slice(), "shared({i},{j})");
             assert_eq!(d.shared_nodes(j, i), common.as_slice(), "shared({j},{i})");

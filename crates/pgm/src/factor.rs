@@ -146,14 +146,10 @@ impl Factor {
         let mut table = vec![0.0; size];
 
         // Positions of each output variable within self/other.
-        let self_pos: Vec<Option<usize>> = vars
-            .iter()
-            .map(|v| self.vars.iter().position(|x| x == v))
-            .collect();
-        let other_pos: Vec<Option<usize>> = vars
-            .iter()
-            .map(|v| other.vars.iter().position(|x| x == v))
-            .collect();
+        let self_pos: Vec<Option<usize>> =
+            vars.iter().map(|v| self.vars.iter().position(|x| x == v)).collect();
+        let other_pos: Vec<Option<usize>> =
+            vars.iter().map(|v| other.vars.iter().position(|x| x == v)).collect();
 
         let mut assign = vec![0usize; vars.len()];
         let mut self_vals = vec![0usize; self.vars.len()];
@@ -263,11 +259,7 @@ mod tests {
     use super::*;
 
     fn f_ab() -> Factor {
-        Factor::new(
-            vec![VarId(0), VarId(1)],
-            vec![2, 3],
-            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
-        )
+        Factor::new(vec![VarId(0), VarId(1)], vec![2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
     }
 
     #[test]

@@ -38,12 +38,8 @@ pub fn enumerate_joint(factors: &[&Factor], targets: &[VarId]) -> Factor {
         product = product.product(f);
     }
     let target_set: BTreeSet<VarId> = targets.iter().copied().collect();
-    let to_remove: Vec<VarId> = product
-        .vars()
-        .iter()
-        .copied()
-        .filter(|v| !target_set.contains(v))
-        .collect();
+    let to_remove: Vec<VarId> =
+        product.vars().iter().copied().filter(|v| !target_set.contains(v)).collect();
     for v in to_remove {
         product = product.marginalize_out(v);
     }

@@ -113,8 +113,7 @@ impl MarkovNet {
         for (vars, factor_idx) in self.components() {
             let comp_targets: Vec<VarId> =
                 vars.iter().copied().filter(|v| target_set.contains(v)).collect();
-            let comp_factors: Vec<&Factor> =
-                factor_idx.iter().map(|&i| &self.factors[i]).collect();
+            let comp_factors: Vec<&Factor> = factor_idx.iter().map(|&i| &self.factors[i]).collect();
             let mut marg = match eliminate(&comp_factors, &comp_targets) {
                 Ok(f) => f,
                 Err(_) => enumerate_joint(&comp_factors, &comp_targets),
@@ -141,10 +140,7 @@ impl MarkovNet {
         for (v, &val) in evidence.vars.iter().zip(&evidence.vals) {
             let card = self.card_of(*v).unwrap_or_else(|| panic!("unknown variable {v:?}"));
             assert!(val < card, "evidence value out of range for {v:?}");
-            assert!(
-                !targets.contains(v),
-                "variable {v:?} cannot be both target and evidence"
-            );
+            assert!(!targets.contains(v), "variable {v:?} cannot be both target and evidence");
         }
         let mut conditioned = MarkovNet::new();
         for f in &self.factors {
@@ -162,10 +158,7 @@ impl MarkovNet {
                 conditioned.add_factor(Factor::new(vec![t], vec![card], vec![1.0; card]));
             }
         }
-        assert!(
-            conditioned.partition_function() > 0.0,
-            "evidence has zero probability"
-        );
+        assert!(conditioned.partition_function() > 0.0, "evidence has zero probability");
         conditioned.marginal(targets)
     }
 
@@ -175,8 +168,7 @@ impl MarkovNet {
     pub fn partition_function(&self) -> f64 {
         let mut z = 1.0;
         for (_, factor_idx) in self.components() {
-            let comp_factors: Vec<&Factor> =
-                factor_idx.iter().map(|&i| &self.factors[i]).collect();
+            let comp_factors: Vec<&Factor> = factor_idx.iter().map(|&i| &self.factors[i]).collect();
             let joint = enumerate_joint(&comp_factors, &[]);
             z *= joint.total();
         }
@@ -285,11 +277,7 @@ mod tests {
         // x0 ~ (0.3, 0.7); coupling prefers equality 0.9/0.1.
         let mut net = MarkovNet::new();
         net.add_factor(Factor::new(vec![VarId(0)], vec![2], vec![0.3, 0.7]));
-        net.add_factor(Factor::new(
-            vec![VarId(0), VarId(1)],
-            vec![2, 2],
-            vec![0.9, 0.1, 0.1, 0.9],
-        ));
+        net.add_factor(Factor::new(vec![VarId(0), VarId(1)], vec![2, 2], vec![0.9, 0.1, 0.1, 0.9]));
         // P(x0 | x1 = 1) ∝ (0.3·0.1, 0.7·0.9).
         let m = net.marginal_given(&[VarId(0)], &Assignment::new(vec![VarId(1)], vec![1]));
         let expect1 = 0.63 / (0.03 + 0.63);

@@ -10,16 +10,12 @@ const EPS: f64 = 1e-9;
 
 /// Evaluates `factor` under a global assignment (indexed by variable id).
 fn eval(factor: &Factor, global: &[usize]) -> f64 {
-    let vals: Vec<usize> =
-        factor.vars().iter().map(|v| global[v.0 as usize]).collect();
+    let vals: Vec<usize> = factor.vars().iter().map(|v| global[v.0 as usize]).collect();
     factor.prob(&vals)
 }
 
 /// Returns the first joint assignment over `cards` where `pred` fails.
-fn first_violation(
-    cards: &[usize],
-    mut pred: impl FnMut(&[usize]) -> bool,
-) -> Option<Vec<usize>> {
+fn first_violation(cards: &[usize], mut pred: impl FnMut(&[usize]) -> bool) -> Option<Vec<usize>> {
     let mut assign = vec![0usize; cards.len()];
     loop {
         if !pred(&assign) {
@@ -53,8 +49,7 @@ fn arb_universe() -> impl Strategy<Value = Vec<usize>> {
 fn arb_factor(cards: Vec<usize>) -> impl Strategy<Value = Factor> {
     let n = cards.len();
     prop::collection::vec(any::<bool>(), n).prop_flat_map(move |mask| {
-        let vars: Vec<VarId> =
-            (0..n).filter(|&i| mask[i]).map(|i| VarId(i as u32)).collect();
+        let vars: Vec<VarId> = (0..n).filter(|&i| mask[i]).map(|i| VarId(i as u32)).collect();
         let fcards: Vec<usize> = vars.iter().map(|v| cards[v.0 as usize]).collect();
         let size: usize = fcards.iter().product();
         prop::collection::vec(0.0..10.0f64, size.max(1)).prop_map(move |table| {

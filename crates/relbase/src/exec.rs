@@ -196,8 +196,7 @@ impl<L: Operator, R: Operator> Operator for HashJoin<L, R> {
             match self.left.next(ctx)? {
                 None => return Ok(None),
                 Some(row) => {
-                    let key: Vec<i64> =
-                        self.left_keys.iter().map(|&k| row[k].as_int()).collect();
+                    let key: Vec<i64> = self.left_keys.iter().map(|&k| row[k].as_int()).collect();
                     self.current_matches = self.table.get(&key).cloned().unwrap_or_default();
                     self.current_left = Some(row);
                     self.match_pos = 0;
@@ -358,13 +357,8 @@ mod tests {
         let d = depts();
         let mut ctx = ExecContext::with_budget(5);
         // Cross product: 9 combined rows + scan rows blows a budget of 5.
-        let nl = NestedLoopJoin::new(
-            Scan::new(&p),
-            Scan::new(&d),
-            Expr::and_all(vec![]),
-            &mut ctx,
-        )
-        .unwrap();
+        let nl = NestedLoopJoin::new(Scan::new(&p), Scan::new(&d), Expr::and_all(vec![]), &mut ctx)
+            .unwrap();
         let err = collect(nl, &mut ctx).unwrap_err();
         assert!(matches!(err, RelError::BudgetExceeded { budget: 5 }));
     }

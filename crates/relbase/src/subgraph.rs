@@ -82,8 +82,7 @@ pub fn tables_from_peg(peg: &Peg) -> GraphTables {
         }
     }
 
-    let mut conflicts =
-        Table::new(Schema::new(vec![Column::int("a"), Column::int("b")]));
+    let mut conflicts = Table::new(Schema::new(vec![Column::int("a"), Column::int("b")]));
     for u in g.node_ids() {
         for v in g.node_ids() {
             if u < v && !g.refs_disjoint(u, v) {
@@ -205,8 +204,7 @@ pub fn run_relational_baseline(
     // Threshold on the Prle product, then project ids + product.
     let product = Expr::mul_all(prob_cols.iter().map(|&c| Expr::col(c)).collect());
     plan = Box::new(Filter::new(plan, Expr::ge(product.clone(), Expr::lit_f(alpha - 1e-12))));
-    let mut projections: Vec<Expr> =
-        (0..n).map(|q| Expr::col(id_col[q])).collect();
+    let mut projections: Vec<Expr> = (0..n).map(|q| Expr::col(id_col[q])).collect();
     projections.push(product);
     let plan = Project::new(plan, projections);
 
@@ -215,8 +213,7 @@ pub fn run_relational_baseline(
     // Stored-procedure step: conflicts + identity marginal.
     let mut out = Vec::new();
     for row in rows {
-        let nodes: Vec<EntityId> =
-            (0..n).map(|q| EntityId(row[q].as_int() as u32)).collect();
+        let nodes: Vec<EntityId> = (0..n).map(|q| EntityId(row[q].as_int() as u32)).collect();
         let prle = row[n].as_float();
         let mut conflict = false;
         'outer: for (a, &x) in nodes.iter().enumerate() {
@@ -272,8 +269,7 @@ mod tests {
         let (a, r, i) = (Label(0), Label(1), Label(2));
         let q = QueryGraph::path(&[r, a, i]).unwrap();
         for alpha in [0.01, 0.05, 0.1, 0.2, 0.5] {
-            let got =
-                run_relational_baseline(&peg, &tables, &q, alpha, u64::MAX).unwrap();
+            let got = run_relational_baseline(&peg, &tables, &q, alpha, u64::MAX).unwrap();
             let want = match_bruteforce(&peg, &q, alpha);
             assert_eq!(got.len(), want.len(), "alpha = {alpha}");
             for (x, y) in got.iter().zip(&want) {

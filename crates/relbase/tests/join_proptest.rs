@@ -6,10 +6,7 @@ use relbase::exec::{collect, ExecContext, Filter, HashJoin, NestedLoopJoin, Scan
 use relbase::{Column, Expr, Row, Schema, Table, Value};
 
 fn table_strategy(cols: usize, key_range: i64) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..key_range, cols),
-        0..24,
-    )
+    proptest::collection::vec(proptest::collection::vec(0..key_range, cols), 0..24)
 }
 
 fn materialize(rows: &[Vec<i64>], cols: usize) -> Table {

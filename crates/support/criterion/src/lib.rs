@@ -1,0 +1,282 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so the API
+//! subset the `bench` crate's benchmarks use is implemented here:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], and [`black_box`].
+//!
+//! Statistics are simpler than upstream (no bootstrap/outlier analysis):
+//! each benchmark warms up for `warm_up_time`, then runs `sample_size`
+//! samples sized to fit `measurement_time`, reporting min/mean/median.
+//! Benchmark targets must set `harness = false`, exactly as with upstream
+//! criterion. A benchmark name filter may be passed as the first CLI
+//! argument (substring match), and `--bench`/`--test` flags from the cargo
+//! harness protocol are accepted and ignored.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { function: s, parameter: String::new() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+            printed_header: false,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    printed_header: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark taking only the bencher.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (parity with upstream; all work already happened).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &BenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.render());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if !self.printed_header {
+            println!("\n{}", self.name);
+            self.printed_header = true;
+        }
+
+        let time_once = |f: &mut F, iters: u64| -> Duration {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO, _marker: Default::default() };
+            f(&mut b);
+            b.elapsed
+        };
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter = time_once(&mut f, 1).max(Duration::from_nanos(1));
+        while Instant::now() < warm_deadline {
+            per_iter = time_once(&mut f, 1).max(Duration::from_nanos(1)).min(per_iter);
+        }
+
+        // Size samples so all of them fit the measurement budget.
+        let budget_per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (budget_per_sample / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| time_once(&mut f, iters).as_secs_f64() / iters as f64)
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "  {:<56} min {:>12}  mean {:>12}  median {:>12}  ({} samples x {} iters)",
+            id.render(),
+            fmt_secs(min),
+            fmt_secs(mean),
+            fmt_secs(median),
+            samples.len(),
+            iters,
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.1}ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group: a name followed by benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn groups_measure_without_panicking() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sum", "8"), &8u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion { filter: Some("nomatch-xyz".into()) };
+        let mut c = c;
+        let mut g = c.benchmark_group("unit2");
+        let mut ran = false;
+        g.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

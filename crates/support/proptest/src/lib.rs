@@ -1,0 +1,726 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates registry, so the subset
+//! of proptest this workspace's property tests use is implemented here:
+//! the [`proptest!`] macro, the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, [`prop_oneof!`], `any::<T>()`, [`Just`], collection /
+//! option / sample strategies, a small `[class]{lo,hi}` regex-string
+//! strategy, and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//! * **no shrinking** — a failing case panics with its case number and the
+//!   generated inputs' `Debug` (via the normal assert message);
+//! * deterministic seeding: case `i` of every test uses the same derived
+//!   seed on every run, so failures reproduce without a persistence file;
+//!   set `PROPTEST_BASE_SEED` to explore a different stream.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    /// Per-case RNG handed to strategies.
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// RNG for the `case`-th execution of a test.
+        pub fn for_case(case: u64) -> Self {
+            let base = std::env::var("PROPTEST_BASE_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0x5eed_c0de_2024_0001);
+            TestRng(StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        }
+    }
+
+    /// A generator of random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed to mix arms in [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Object-safe strategy facade behind [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+            let i = rng.0.gen_range(0..self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // ---- primitive strategies -------------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    // ---- regex-subset string strategy -----------------------------------
+
+    /// One `[class]{lo,hi}` unit of a pattern.
+    #[derive(Clone, Debug)]
+    struct ClassRep {
+        chars: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `&str` patterns are string strategies, as in proptest. Supported
+    /// subset: a sequence of `[...]` character classes (literals, `\x`
+    /// escapes, `a-z` ranges, trailing literal `-`), each optionally
+    /// followed by `{n}` or `{lo,hi}`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let units = parse_pattern(self);
+            let mut out = String::new();
+            for u in &units {
+                let n = rng.0.gen_range(u.lo..=u.hi);
+                for _ in 0..n {
+                    out.push(u.chars[rng.0.gen_range(0..u.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<ClassRep> {
+        let mut units = Vec::new();
+        let mut it = pat.chars().peekable();
+        while let Some(c) = it.next() {
+            assert_eq!(c, '[', "unsupported pattern {pat:?}: expected `[`, got {c:?}");
+            let mut chars: Vec<char> = Vec::new();
+            loop {
+                let c = it.next().unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+                match c {
+                    ']' => break,
+                    '\\' => {
+                        let e = it.next().unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                        chars.push(e);
+                    }
+                    _ => {
+                        if it.peek() == Some(&'-') {
+                            let mut ahead = it.clone();
+                            ahead.next(); // consume '-'
+                            match ahead.peek() {
+                                Some(&']') | None => chars.push(c), // trailing literal '-'
+                                Some(&hi) => {
+                                    it = ahead;
+                                    it.next();
+                                    assert!(c <= hi, "bad range {c}-{hi} in {pat:?}");
+                                    chars.extend(c..=hi);
+                                }
+                            }
+                        } else {
+                            chars.push(c);
+                        }
+                    }
+                }
+            }
+            assert!(!chars.is_empty(), "empty class in {pat:?}");
+            let (lo, hi) = if it.peek() == Some(&'{') {
+                it.next();
+                let spec: String = it.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad repeat lower bound"),
+                        b.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            units.push(ClassRep { chars, lo, hi });
+        }
+        units
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Full-domain strategy for `T`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.gen()
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+}
+
+/// Collection strategies (`vec`, `btree_map`, `btree_set`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// An inclusive size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Smallest size generated.
+        pub lo: usize,
+        /// Largest size generated (inclusive).
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Map with keys/values from the given strategies; duplicate keys
+    /// collapse, so the final size may be below the drawn size.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.0.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+
+    /// Set of values from `element`; duplicates collapse.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.0.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `None` a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.0.gen_bool(0.75) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling from fixed collections.
+pub mod sample {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `proptest::sample::select`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty list");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.0.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// Test-runner configuration (`cases` is the only knob honored).
+pub mod test_runner {
+    pub use super::strategy::TestRng;
+
+    /// Configuration block accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+        /// Accepted for upstream parity; this implementation never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    /// Why a test case did not pass: assertion failure or precondition
+    /// rejection (`prop_assume!`). The `prop_assert*` macros return this
+    /// through `?`-compatible `Result`s, as in upstream proptest.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Inputs rejected by `prop_assume!` — the case is skipped.
+        Reject(String),
+        /// A `prop_assert*` failed — the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure carrying its message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A precondition rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias used throughout test files.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a property test (or any helper returning
+/// `Result<_, TestCaseError>`): failure returns `Err` rather than
+/// panicking, exactly as in upstream proptest.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} == {:?}", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.cases as u64 {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => continue,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => panic!("property failed at case {}: {}", __case, __msg),
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..10, 1..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_vecs(v in small_vec(), x in 3usize..9, f in 0.0f64..=1.0) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_maps(y in prop_oneof![(0u32..5).prop_map(|v| v * 2), Just(99u32)]) {
+            prop_assert!(y == 99 || (y.is_multiple_of(2) && y < 10));
+        }
+
+        #[test]
+        fn flat_map_links_sizes((n, v) in (1usize..6).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(any::<u8>(), n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n.is_multiple_of(2));
+            prop_assert!(n.is_multiple_of(2));
+        }
+
+        #[test]
+        fn regex_subset_strings(s in "[a-z][a-z0-9_]{0,8}", t in r#"[a-z, "]{1,6}"#) {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!((1..=6).contains(&t.chars().count()));
+            prop_assert!(t.chars().all(|c| c.is_ascii_lowercase() || c == ',' || c == ' ' || c == '"'));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_case(7);
+        let mut b = crate::test_runner::TestRng::for_case(7);
+        let s = small_vec();
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

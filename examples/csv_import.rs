@@ -52,11 +52,8 @@ fn main() {
     .unwrap();
     // Mentions 1 & 6 look like the same person (posterior-ish weight), and
     // so do 4 & 7.
-    std::fs::write(
-        dir.join("refsets.csv"),
-        "set,ref,weight\n0,1,0.2\n0,6,0.2\n1,4,0.3\n1,7,0.3\n",
-    )
-    .unwrap();
+    std::fs::write(dir.join("refsets.csv"), "set,ref,weight\n0,1,0.2\n0,6,0.2\n1,4,0.3\n1,7,0.3\n")
+        .unwrap();
 
     // --- 2. Load and compile. ---
     let refs = load_ref_graph_csv(&dir).expect("CSV files load");

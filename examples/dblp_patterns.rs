@@ -9,10 +9,10 @@
 //! Run with: `cargo run -p bench --release --example dblp_patterns`
 
 use datagen::{dblp_like, pattern_query, DblpConfig, Pattern};
+use pathindex::PathIndexConfig;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 use std::time::Instant;
 
 fn main() {

@@ -68,12 +68,7 @@ fn main() {
     run_and_report(&pipeline, "cross-sector triangle", &triangle, 0.3);
 }
 
-fn run_and_report(
-    pipeline: &QueryPipeline<'_>,
-    name: &str,
-    query: &QueryGraph,
-    alpha: f64,
-) {
+fn run_and_report(pipeline: &QueryPipeline<'_>, name: &str, query: &QueryGraph, alpha: f64) {
     let t = Instant::now();
     let res = pipeline.run(query, alpha, &QueryOptions::default()).expect("query runs");
     println!(

@@ -8,10 +8,10 @@
 //! Run with: `cargo run -p bench --release --example imdb_costar`
 
 use datagen::{imdb_like, pattern_query, ImdbConfig, Pattern};
+use pathindex::PathIndexConfig;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 use std::time::Instant;
 
 fn main() {

@@ -7,10 +7,10 @@
 use datagen::{sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
 use graphstore::persist::{load_entity_graph, save_entity_graph};
 use kvstore::BTreeStore;
+use pathindex::disk::{load_index, save_index, DiskPathIndex};
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::disk::{load_index, save_index, DiskPathIndex};
 use std::time::Instant;
 
 fn main() {
@@ -75,8 +75,7 @@ fn main() {
 
     // Bonus: serve a lookup directly from disk, without loading the index.
     let disk = DiskPathIndex::open(&index_store).unwrap();
-    let labels: Vec<graphstore::Label> =
-        (0..2).map(|i| graphstore::Label(i as u16)).collect();
+    let labels: Vec<graphstore::Label> = (0..2).map(|i| graphstore::Label(i as u16)).collect();
     let t = Instant::now();
     let hits = disk.lookup(&labels, 0.5).unwrap();
     println!(

@@ -44,10 +44,8 @@ fn main() {
         let main = roles[i % roles.len()];
         let conf: f64 = rng.gen_range(0.6..1.0);
         let spread = (1.0 - conf) / (n_labels - 1) as f64;
-        let pairs: Vec<_> = roles
-            .iter()
-            .map(|&r| (r, if r == main { conf } else { spread }))
-            .collect();
+        let pairs: Vec<_> =
+            roles.iter().map(|&r| (r, if r == main { conf } else { spread })).collect();
         ids.push(net.add_ref(LabelDist::from_pairs(&pairs, n_labels)));
     }
 
@@ -113,9 +111,7 @@ fn main() {
         let r = pipeline.run(&q, alpha, &QueryOptions::default()).expect("query");
         println!("  alpha = {alpha}: {} candidate motif instances", r.matches.len());
     }
-    let top = pipeline
-        .run_topk(&q, 3, 1e-6, &QueryOptions::default())
-        .expect("top-k query");
+    let top = pipeline.run_topk(&q, 3, 1e-6, &QueryOptions::default()).expect("top-k query");
     println!("  top 3 by probability:");
     for m in &top.matches {
         let names: Vec<String> = m.nodes.iter().map(|v| format!("P{}", v.0)).collect();

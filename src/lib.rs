@@ -1,0 +1,9 @@
+//! Root integration package of the pegmatch workspace.
+//!
+//! Holds no logic of its own — the engine lives in `crates/` (see the
+//! README's crate map). This package exists so the workspace-level
+//! `tests/` and `examples/` compile as cargo targets and so the `pegcli` /
+//! `experiments` binaries are owned by the same package as the CLI
+//! integration tests that spawn them.
+
+pub use pegmatch;

@@ -6,10 +6,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn pegcli(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_pegcli"))
-        .args(args)
-        .output()
-        .expect("pegcli runs")
+    Command::new(env!("CARGO_BIN_EXE_pegcli")).args(args).output().expect("pegcli runs")
 }
 
 fn stdout(out: &Output) -> String {
@@ -48,7 +45,12 @@ fn unknown_command_fails_cleanly() {
 fn generate_writes_a_store_file() {
     let path = tmp("gen");
     let out = pegcli(&[
-        "generate", "--kind", "synthetic", "--size", "300", "--out",
+        "generate",
+        "--kind",
+        "synthetic",
+        "--size",
+        "300",
+        "--out",
         path.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -62,8 +64,17 @@ fn generate_writes_a_store_file() {
 fn index_then_query_round_trip() {
     let index = tmp("idx");
     let out = pegcli(&[
-        "index", "--kind", "synthetic", "--size", "300", "--max-len", "2",
-        "--beta", "0.3", "--out", index.to_str().unwrap(),
+        "index",
+        "--kind",
+        "synthetic",
+        "--size",
+        "300",
+        "--max-len",
+        "2",
+        "--beta",
+        "0.3",
+        "--out",
+        index.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("wrote path index"));
@@ -71,8 +82,17 @@ fn index_then_query_round_trip() {
     // Query against the persisted index; same generator seed regenerates
     // the same graph.
     let out = pegcli(&[
-        "query", "--kind", "synthetic", "--size", "300", "--index",
-        index.to_str().unwrap(), "--pattern", "(x:l0)-(y:l1)", "--alpha", "0.3",
+        "query",
+        "--kind",
+        "synthetic",
+        "--size",
+        "300",
+        "--index",
+        index.to_str().unwrap(),
+        "--pattern",
+        "(x:l0)-(y:l1)",
+        "--alpha",
+        "0.3",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -83,12 +103,28 @@ fn index_then_query_round_trip() {
 #[test]
 fn query_pattern_and_legacy_flags_agree() {
     let a = pegcli(&[
-        "query", "--kind", "synthetic", "--size", "250", "--pattern",
-        "(x:l0)-(y:l1)-(z:l2)", "--alpha", "0.4",
+        "query",
+        "--kind",
+        "synthetic",
+        "--size",
+        "250",
+        "--pattern",
+        "(x:l0)-(y:l1)-(z:l2)",
+        "--alpha",
+        "0.4",
     ]);
     let b = pegcli(&[
-        "query", "--kind", "synthetic", "--size", "250", "--labels",
-        "l0,l1,l2", "--edges", "0-1,1-2", "--alpha", "0.4",
+        "query",
+        "--kind",
+        "synthetic",
+        "--size",
+        "250",
+        "--labels",
+        "l0,l1,l2",
+        "--edges",
+        "0-1,1-2",
+        "--alpha",
+        "0.4",
     ]);
     assert!(a.status.success() && b.status.success());
     let (ta, tb) = (stdout(&a), stdout(&b));
@@ -103,8 +139,17 @@ fn query_pattern_and_legacy_flags_agree() {
 #[test]
 fn query_explain_prints_factors() {
     let out = pegcli(&[
-        "query", "--kind", "synthetic", "--size", "250", "--pattern",
-        "(x:l0)-(y:l1)", "--alpha", "0.2", "--explain", "true",
+        "query",
+        "--kind",
+        "synthetic",
+        "--size",
+        "250",
+        "--pattern",
+        "(x:l0)-(y:l1)",
+        "--alpha",
+        "0.2",
+        "--explain",
+        "true",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -115,8 +160,15 @@ fn query_explain_prints_factors() {
 #[test]
 fn topk_returns_k_results() {
     let out = pegcli(&[
-        "topk", "--kind", "synthetic", "--size", "250", "--pattern",
-        "(x:l0)-(y:l1)", "--k", "5",
+        "topk",
+        "--kind",
+        "synthetic",
+        "--size",
+        "250",
+        "--pattern",
+        "(x:l0)-(y:l1)",
+        "--k",
+        "5",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -137,8 +189,15 @@ fn stats_reports_structure() {
 #[test]
 fn bad_pattern_is_reported_with_position() {
     let out = pegcli(&[
-        "query", "--kind", "synthetic", "--size", "250", "--pattern",
-        "(x:l0)-(", "--alpha", "0.5",
+        "query",
+        "--kind",
+        "synthetic",
+        "--size",
+        "250",
+        "--pattern",
+        "(x:l0)-(",
+        "--alpha",
+        "0.5",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("at byte"), "{}", stderr(&out));
@@ -147,8 +206,15 @@ fn bad_pattern_is_reported_with_position() {
 #[test]
 fn unknown_label_is_reported() {
     let out = pegcli(&[
-        "query", "--kind", "synthetic", "--size", "250", "--pattern",
-        "(x:nosuchlabel)-(y:l0)", "--alpha", "0.5",
+        "query",
+        "--kind",
+        "synthetic",
+        "--size",
+        "250",
+        "--pattern",
+        "(x:nosuchlabel)-(y:l0)",
+        "--alpha",
+        "0.5",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown label"), "{}", stderr(&out));

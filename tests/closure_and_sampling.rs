@@ -5,11 +5,13 @@
 use datagen::{sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
 use graphstore::dist::{EdgeProbability, LabelDist};
 use graphstore::{Label, LabelTable, RefGraph, RefId};
+use pathindex::PathIndexConfig;
 use pegmatch::matcher::match_bruteforce;
-use pegmatch::model::{add_transitive_closure_sets, ClosureWeight, ComponentFallback, ExistenceOptions, PegBuilder};
+use pegmatch::model::{
+    add_transitive_closure_sets, ClosureWeight, ComponentFallback, ExistenceOptions, PegBuilder,
+};
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 
 #[test]
 fn closure_sets_flow_through_pipeline() {
@@ -20,9 +22,7 @@ fn closure_sets_flow_through_pipeline() {
     let peg = PegBuilder::new().build(&refs).unwrap();
     let idx = OfflineIndex::build(
         &peg,
-        &OfflineOptions {
-            index: PathIndexConfig { max_len: 2, beta: 0.2, ..Default::default() },
-        },
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.2, ..Default::default() } },
     )
     .unwrap();
     let pipe = QueryPipeline::new(&peg, &idx);
@@ -85,9 +85,7 @@ fn sampled_existence_model_supports_queries() {
     // same (sampled) model exactly — internal consistency.
     let idx = OfflineIndex::build(
         &approx_peg,
-        &OfflineOptions {
-            index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() },
-        },
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() } },
     )
     .unwrap();
     let pipe = QueryPipeline::new(&approx_peg, &idx);
@@ -103,9 +101,7 @@ fn sampled_existence_model_supports_queries() {
     // And the sampled pipeline approximates the exact pipeline's answers.
     let exact_idx = OfflineIndex::build(
         &exact_peg,
-        &OfflineOptions {
-            index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() },
-        },
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() } },
     )
     .unwrap();
     let exact_pipe = QueryPipeline::new(&exact_peg, &exact_idx);

@@ -3,11 +3,11 @@
 //! condition on endpoint labels.
 
 use datagen::{dblp_like, pattern_query, sampled_query, DblpConfig, Pattern, QuerySpec};
+use pathindex::PathIndexConfig;
 use pegmatch::matcher::match_bruteforce;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 
 #[test]
 fn pipeline_equals_bruteforce_with_cpt_edges() {
@@ -27,11 +27,7 @@ fn pipeline_equals_bruteforce_with_cpt_edges() {
                 for alpha in [0.1, 0.3, 0.6] {
                     let want = match_bruteforce(&peg, &q, alpha);
                     let got = pipe.run(&q, alpha, &QueryOptions::default()).unwrap();
-                    assert_eq!(
-                        got.matches.len(),
-                        want.len(),
-                        "L={l} seed={seed} alpha={alpha}"
-                    );
+                    assert_eq!(got.matches.len(), want.len(), "L={l} seed={seed} alpha={alpha}");
                     for (x, y) in got.matches.iter().zip(&want) {
                         assert_eq!(x.nodes, y.nodes);
                         assert!((x.prob() - y.prob()).abs() < 1e-9);
@@ -50,9 +46,7 @@ fn figure8_patterns_run_on_dblp_like_graph() {
     let (d, m, s) = (lt.get("D").unwrap(), lt.get("M").unwrap(), lt.get("S").unwrap());
     let idx = OfflineIndex::build(
         &peg,
-        &OfflineOptions {
-            index: PathIndexConfig { max_len: 3, beta: 0.05, ..Default::default() },
-        },
+        &OfflineOptions { index: PathIndexConfig { max_len: 3, beta: 0.05, ..Default::default() } },
     )
     .unwrap();
     let pipe = QueryPipeline::new(&peg, &idx);

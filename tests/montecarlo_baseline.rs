@@ -48,10 +48,8 @@ fn montecarlo_and_pipeline_classify_clear_matches_identically() {
         panic!("sampled query exists on this seed");
     };
     let idx = OfflineIndex::build(&peg, &OfflineOptions::default()).unwrap();
-    let exact = QueryPipeline::new(&peg, &idx)
-        .run(&q, 0.5, &QueryOptions::default())
-        .unwrap()
-        .matches;
+    let exact =
+        QueryPipeline::new(&peg, &idx).run(&q, 0.5, &QueryOptions::default()).unwrap().matches;
     let mc = match_montecarlo(&peg, &q, 0.5, &McOptions { samples: 10_000, seed: 9 });
     // Compare only matches far from the α = 0.5 boundary (> 4σ ≈ 0.015).
     let margin = 0.05;

@@ -4,12 +4,12 @@
 use datagen::{sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
 use graphstore::persist::{load_entity_graph, save_entity_graph};
 use kvstore::{BTreeStore, Kv, MemStore};
+use pathindex::disk::{load_index, save_index, DiskPathIndex};
+use pathindex::PathIndexConfig;
 use pegmatch::matcher::match_bruteforce;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::disk::{load_index, save_index, DiskPathIndex};
-use pathindex::PathIndexConfig;
 
 fn tmp(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -43,9 +43,8 @@ fn entity_graph_roundtrip_via_disk() {
 fn index_roundtrip_preserves_query_results() {
     let refs = synthetic_refgraph(&SyntheticConfig::paper(250));
     let peg = PegBuilder::new().build(&refs).unwrap();
-    let opts = OfflineOptions {
-        index: PathIndexConfig { max_len: 2, beta: 0.2, ..Default::default() },
-    };
+    let opts =
+        OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.2, ..Default::default() } };
     let idx = OfflineIndex::build(&peg, &opts).unwrap();
 
     // Persist the path index through the disk B+-tree and reload.
@@ -59,11 +58,7 @@ fn index_roundtrip_preserves_query_results() {
     let paths2 = load_index(&store).unwrap();
     assert_eq!(paths2.n_entries(), idx.paths.n_entries());
 
-    let idx2 = OfflineIndex {
-        context: idx.context.clone(),
-        paths: paths2,
-        stats: idx.stats,
-    };
+    let idx2 = OfflineIndex { context: idx.context.clone(), paths: paths2, stats: idx.stats };
     let pipe1 = QueryPipeline::new(&peg, &idx);
     let pipe2 = QueryPipeline::new(&peg, &idx2);
     for seed in 0..4u64 {
@@ -87,9 +82,8 @@ fn index_roundtrip_preserves_query_results() {
 fn disk_index_lookups_match_memory() {
     let refs = synthetic_refgraph(&SyntheticConfig::paper(200));
     let peg = PegBuilder::new().build(&refs).unwrap();
-    let opts = OfflineOptions {
-        index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() },
-    };
+    let opts =
+        OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() } };
     let idx = OfflineIndex::build(&peg, &opts).unwrap();
     let mut kv = MemStore::new();
     save_index(&idx.paths, &mut kv).unwrap();

@@ -58,11 +58,7 @@ fn pgm_marginal(net: &MarkovNet, n_sets: usize, query: &[usize]) -> f64 {
     if targets.is_empty() {
         return 1.0;
     }
-    let vals: Vec<usize> = marg
-        .vars()
-        .iter()
-        .map(|_| 1usize)
-        .collect();
+    let vals: Vec<usize> = marg.vars().iter().map(|_| 1usize).collect();
     // Align: marginal vars may be ordered differently; all-ones works since
     // every domain is binary and we ask for "all true".
     marg.prob(&vals)
@@ -86,8 +82,7 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             (Just(n), extra_sets, weights)
         })
         .prop_map(|(n, extra_sets, weights)| {
-            let mut node_refs: Vec<Vec<RefId>> =
-                (0..n as u32).map(|r| vec![RefId(r)]).collect();
+            let mut node_refs: Vec<Vec<RefId>> = (0..n as u32).map(|r| vec![RefId(r)]).collect();
             for set in extra_sets {
                 let members: Vec<RefId> = set.into_iter().map(RefId).collect();
                 if !node_refs.contains(&members) {
@@ -135,8 +130,7 @@ fn figure1_marginals_through_both_engines() {
     let q: f64 = 0.8;
     let node_refs = vec![vec![RefId(0)], vec![RefId(1)], vec![RefId(0), RefId(1)]];
     let weights = vec![(1.0 - q).sqrt(), (1.0 - q).sqrt(), q.sqrt()];
-    let model =
-        ExistenceModel::build(&node_refs, &weights, &ExistenceOptions::default()).unwrap();
+    let model = ExistenceModel::build(&node_refs, &weights, &ExistenceOptions::default()).unwrap();
     let net = existence_net(&node_refs, &weights);
     assert!((model.prn(&[EntityId(2)]) - 0.8).abs() < 1e-12);
     assert!((pgm_marginal(&net, 3, &[2]) - 0.8).abs() < 1e-9);

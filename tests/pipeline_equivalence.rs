@@ -5,11 +5,11 @@
 //! baseline configuration.
 
 use datagen::{random_query, sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use pathindex::PathIndexConfig;
 use pegmatch::matcher::{match_bruteforce, Match};
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 
 fn assert_same(got: &[Match], want: &[Match], ctx: &str) {
     assert_eq!(
@@ -27,10 +27,8 @@ fn assert_same(got: &[Match], want: &[Match], ctx: &str) {
 }
 
 fn check_graph(n_refs: usize, uncertainty: f64, seed: u64) {
-    let cfg = SyntheticConfig {
-        seed,
-        ..SyntheticConfig::paper_with_uncertainty(n_refs, uncertainty)
-    };
+    let cfg =
+        SyntheticConfig { seed, ..SyntheticConfig::paper_with_uncertainty(n_refs, uncertainty) };
     let refs = synthetic_refgraph(&cfg);
     let peg = PegBuilder::new().build(&refs).unwrap();
     let n_labels = peg.graph.label_table().len();
@@ -62,9 +60,8 @@ fn check_graph(n_refs: usize, uncertainty: f64, seed: u64) {
         for (qi, q) in queries.iter().enumerate() {
             for alpha in [0.1, 0.3, 0.6, 0.9] {
                 let want = match_bruteforce(&peg, q, alpha);
-                let ctx = format!(
-                    "graph(n={n_refs},u={uncertainty},seed={seed}) L={l} q#{qi} α={alpha}"
-                );
+                let ctx =
+                    format!("graph(n={n_refs},u={uncertainty},seed={seed}) L={l} q#{qi} α={alpha}");
                 let got = pipe.run(q, alpha, &QueryOptions::default()).unwrap();
                 assert_same(&got.matches, &want, &ctx);
             }
@@ -96,9 +93,7 @@ fn baselines_equal_optimized_on_random_graphs() {
     let peg = PegBuilder::new().build(&refs).unwrap();
     let idx = OfflineIndex::build(
         &peg,
-        &OfflineOptions {
-            index: PathIndexConfig { max_len: 3, beta: 0.2, ..Default::default() },
-        },
+        &OfflineOptions { index: PathIndexConfig { max_len: 3, beta: 0.2, ..Default::default() } },
     )
     .unwrap();
     let pipe = QueryPipeline::new(&peg, &idx);
@@ -113,10 +108,7 @@ fn baselines_equal_optimized_on_random_graphs() {
             ("random-decomp", QueryOptions::random_decomposition(qseed)),
             ("no-reduction", QueryOptions::no_reduction()),
             ("no-upperbounds", QueryOptions { use_upperbounds: false, ..Default::default() }),
-            (
-                "parallel",
-                QueryOptions { parallel_reduction: true, ..Default::default() },
-            ),
+            ("parallel", QueryOptions { parallel_reduction: true, ..Default::default() }),
         ] {
             let got = pipe.run(&q, 0.25, &opts).unwrap();
             assert_same(&got.matches, &reference, &format!("{name} q#{qseed}"));
@@ -131,9 +123,7 @@ fn alpha_below_beta_uses_on_demand_enumeration() {
     // β = 0.7 is far above the query threshold 0.05.
     let idx = OfflineIndex::build(
         &peg,
-        &OfflineOptions {
-            index: PathIndexConfig { max_len: 2, beta: 0.7, ..Default::default() },
-        },
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.7, ..Default::default() } },
     )
     .unwrap();
     let pipe = QueryPipeline::new(&peg, &idx);

@@ -5,12 +5,25 @@
 //! checks a fixed grid of configurations.
 
 use datagen::{random_query, sampled_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
-use pegmatch::matcher::match_bruteforce;
+use pathindex::PathIndexConfig;
+use pegmatch::matcher::{match_bruteforce, Match};
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
-use pathindex::PathIndexConfig;
 use proptest::prelude::*;
+
+/// Byte-level equality of two match sets: same images, bit-identical
+/// probability components (the parallel engine must execute the exact same
+/// floating-point expression tree as the sequential one).
+fn assert_bit_identical(got: &[Match], want: &[Match]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len(), "match-set sizes differ");
+    for (x, y) in got.iter().zip(want) {
+        prop_assert_eq!(&x.nodes, &y.nodes);
+        prop_assert_eq!(x.prle.to_bits(), y.prle.to_bits(), "prle bits differ");
+        prop_assert_eq!(x.prn.to_bits(), y.prn.to_bits(), "prn bits differ");
+    }
+    Ok(())
+}
 
 proptest! {
     // Each case builds a graph + index, so keep the count moderate.
@@ -61,6 +74,66 @@ proptest! {
                 prop_assert!((ex.prob() - x.prob()).abs() < 1e-9,
                     "explanation product {} != match probability {}", ex.prob(), x.prob());
             }
+        }
+    }
+
+    // The thread-pooled engine must be indistinguishable from `threads = 1`
+    // on randomized PEGs: candidate retrieval, reduction, and generation are
+    // all parallel, and every one of them must preserve the exact result —
+    // including which matches survive a `run_limited` cap.
+    #[test]
+    fn parallel_pipeline_equals_sequential_on_random_configs(
+        n_refs in 30usize..120,
+        uncertainty in prop::sample::select(vec![0.2, 0.6, 1.0]),
+        alpha in prop::sample::select(vec![0.05, 0.3, 0.7]),
+        l in 1usize..3,
+        threads in prop::sample::select(vec![2usize, 4, 8]),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SyntheticConfig {
+            seed,
+            ..SyntheticConfig::paper_with_uncertainty(n_refs, uncertainty)
+        };
+        let refs = synthetic_refgraph(&cfg);
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let n_labels = peg.graph.label_table().len();
+        let idx = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: l, beta: 0.2, ..Default::default() },
+            },
+        )
+        .unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+
+        let mut queries = vec![random_query(QuerySpec::new(4, 4), n_labels, seed)];
+        if let Some(q) = sampled_query(&peg.graph, QuerySpec::new(4, 4), seed) {
+            queries.push(q);
+        }
+        let seq_opts = QueryOptions::with_threads(1);
+        let par_opts = QueryOptions::with_threads(threads);
+        for q in &queries {
+            let seq = pipe.run(q, alpha, &seq_opts).unwrap();
+            let par = pipe.run(q, alpha, &par_opts).unwrap();
+            assert_bit_identical(&par.matches, &seq.matches)?;
+            prop_assert_eq!(&par.stats.raw_counts, &seq.stats.raw_counts);
+            prop_assert_eq!(&par.stats.context_counts, &seq.stats.context_counts);
+            prop_assert_eq!(&par.stats.final_counts, &seq.stats.final_counts);
+            prop_assert_eq!(par.stats.message_rounds, seq.stats.message_rounds);
+
+            // run_limited truncation: every cap from 0 through "everything"
+            // keeps the same prefix semantics under parallel generation.
+            for limit in [0usize, 1, seq.matches.len() / 2, seq.matches.len() + 3] {
+                let ls = pipe.run_limited(q, alpha, Some(limit), &seq_opts).unwrap();
+                let lp = pipe.run_limited(q, alpha, Some(limit), &par_opts).unwrap();
+                prop_assert_eq!(lp.truncated, ls.truncated, "cap {} truncation", limit);
+                assert_bit_identical(&lp.matches, &ls.matches)?;
+            }
+
+            // Incremental top-k must agree across thread counts too.
+            let ks = pipe.run_topk(q, 3, 1e-6, &seq_opts).unwrap();
+            let kp = pipe.run_topk(q, 3, 1e-6, &par_opts).unwrap();
+            assert_bit_identical(&kp.matches, &ks.matches)?;
         }
     }
 }

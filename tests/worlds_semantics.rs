@@ -4,6 +4,7 @@
 
 use graphstore::dist::{EdgeProbability, LabelDist};
 use graphstore::{Label, LabelTable, RefGraph, RefId};
+use pathindex::PathIndexConfig;
 use pegmatch::baseline::match_by_worlds;
 use pegmatch::matcher::match_bruteforce;
 use pegmatch::model::worlds::enumerate_worlds;
@@ -11,7 +12,6 @@ use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{QueryOptions, QueryPipeline};
 use pegmatch::query::QueryGraph;
-use pathindex::PathIndexConfig;
 use proptest::prelude::*;
 
 /// A random tiny PGD: ≤ 5 references, 2 labels, optional pair set.
@@ -30,10 +30,8 @@ fn tiny_pgd_strategy() -> impl Strategy<Value = TinyPgd> {
     (3usize..=5)
         .prop_flat_map(|n| {
             let labels = proptest::collection::vec(0.0f64..=1.0, n);
-            let edges = proptest::collection::vec(
-                (0u8..n as u8, 0u8..n as u8, 0.05f64..=1.0),
-                0..=n + 1,
-            );
+            let edges =
+                proptest::collection::vec((0u8..n as u8, 0u8..n as u8, 0.05f64..=1.0), 0..=n + 1);
             let pair = proptest::option::of((0u8..n as u8, 0u8..n as u8, 0.1f64..=0.9));
             (Just(n), labels, edges, pair)
         })
