@@ -1,0 +1,159 @@
+//! Incremental vs rebuild top-k refinement.
+//!
+//! `run_topk` refines its threshold over one `QuerySession`: the k-partite
+//! reduction base is kept across refinements and only continued (or reused
+//! outright) when the threshold sits above the base. The rebuild baseline
+//! here replays the identical geometric threshold schedule with a full
+//! per-threshold pipeline run. Before timing, the bench asserts both sides
+//! return the same top-k set and that the incremental side executes
+//! strictly fewer reduction rounds over the refinement steps.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pegmatch::matcher::Match;
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pegmatch::query::QueryGraph;
+
+fn sort_topk(matches: &mut Vec<Match>, k: usize) {
+    matches.sort_by(|a, b| {
+        b.prob().partial_cmp(&a.prob()).unwrap().then_with(|| a.nodes.cmp(&b.nodes))
+    });
+    matches.truncate(k);
+}
+
+/// Rounds accounting for one driven schedule: `refine` counts only the
+/// rounds refinement steps (step 2 onward) execute themselves; `total`
+/// additionally includes every base build / rebase convergence, so the two
+/// sides are comparable all-in.
+#[derive(Default)]
+struct Rounds {
+    refine: usize,
+    total: usize,
+    steps: usize,
+}
+
+/// The rebuild baseline: the same threshold schedule as `run_topk`, each
+/// step a full from-scratch pipeline run.
+fn rebuild_topk(
+    pipe: &QueryPipeline<'_>,
+    q: &QueryGraph,
+    k: usize,
+    floor: f64,
+    opts: &QueryOptions,
+) -> (Vec<Match>, Rounds) {
+    let mut alpha = 0.5f64;
+    let mut rounds = Rounds::default();
+    loop {
+        let res = pipe.run(q, alpha, opts).expect("query runs");
+        rounds.steps += 1;
+        rounds.total += res.stats.message_rounds;
+        if rounds.steps > 1 {
+            rounds.refine += res.stats.message_rounds;
+        }
+        if res.matches.len() >= k || alpha <= floor {
+            let mut matches = res.matches;
+            sort_topk(&mut matches, k);
+            return (matches, rounds);
+        }
+        alpha = (alpha * 0.25).max(floor);
+    }
+}
+
+/// The incremental side, instrumented: drives a session exactly like
+/// `run_topk`, summing both the refinement-step rounds and the all-in
+/// total (lookahead rebase convergence included).
+fn incremental_topk(
+    pipe: &QueryPipeline<'_>,
+    q: &QueryGraph,
+    k: usize,
+    floor: f64,
+    opts: &QueryOptions,
+) -> (Vec<Match>, Rounds) {
+    let prepared = pipe.prepare(q, 0.5, opts).expect("prepare");
+    let mut session = pipe.session(&prepared, opts);
+    let mut alpha = 0.5f64;
+    let mut rounds = Rounds::default();
+    loop {
+        if let Some(base) = session.base_alpha() {
+            if alpha + 1e-12 < base {
+                session.rebase((alpha * 0.25).max(floor)).expect("rebase");
+                rounds.total += session.base_stats().expect("base").message_rounds;
+            }
+        }
+        let res = session.run_at(alpha, None).expect("run");
+        rounds.steps += 1;
+        rounds.total += res.stats.message_rounds;
+        if rounds.steps > 1 {
+            rounds.refine += res.stats.message_rounds;
+        }
+        if res.matches.len() >= k || alpha <= floor {
+            let mut matches = res.matches;
+            sort_topk(&mut matches, k);
+            return (matches, rounds);
+        }
+        alpha = (alpha * 0.25).max(floor);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_incremental");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let w = Workload::synthetic(800, 0.4, 0.05, 2);
+    let n_labels = w.peg.graph.label_table().len();
+    let pipe = QueryPipeline::new(&w.peg, w.index(2));
+    let opts = QueryOptions::default();
+    let floor = 1e-7;
+
+    // k sits above the α=0.125 result count, so the schedule takes three
+    // threshold steps (0.5 → 0.125 → 0.03125): one base build at 0.5, one
+    // lookahead rebase to 0.03125 with an incremental continuation at
+    // 0.125, and one pure base reuse.
+    for (n, m, k, seed) in [(4usize, 4usize, 500usize, 1u64), (5, 5, 2000, 2)] {
+        let q = random_query(QuerySpec::new(n, m), n_labels, seed);
+        // Correctness + efficiency gate before timing.
+        let (inc, ir) = incremental_topk(&pipe, &q, k, floor, &opts);
+        let (reb, rr) = rebuild_topk(&pipe, &q, k, floor, &opts);
+        let steps = ir.steps;
+        assert_eq!(steps, rr.steps, "schedules must agree");
+        assert_eq!(inc.len(), reb.len());
+        for (x, y) in inc.iter().zip(&reb) {
+            assert_eq!(x.nodes, y.nodes, "q({n},{m}) top-k diverged");
+            assert!((x.prob() - y.prob()).abs() < 1e-9);
+        }
+        if steps >= 3 {
+            assert!(
+                ir.refine < rr.refine,
+                "q({n},{m}): incremental refinement rounds {} not fewer than rebuild's {}",
+                ir.refine,
+                rr.refine,
+            );
+            assert!(
+                ir.total <= rr.total,
+                "q({n},{m}): incremental total rounds {} exceed rebuild total {}",
+                ir.total,
+                rr.total,
+            );
+        }
+        println!(
+            "topk_incremental gate: q({n},{m}) k={k}: {steps} threshold steps, reduction \
+             rounds incremental {} refine / {} total vs rebuild {} refine / {} total",
+            ir.refine, ir.total, rr.refine, rr.total,
+        );
+
+        let label = format!("q({n},{m})k{k}s{steps}");
+        group.bench_with_input(BenchmarkId::new(&label, "incremental"), &q, |b, q| {
+            b.iter(|| pipe.run_topk(q, k, floor, &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new(&label, "rebuild"), &q, |b, q| {
+            b.iter(|| rebuild_topk(&pipe, q, k, floor, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

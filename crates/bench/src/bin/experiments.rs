@@ -8,7 +8,7 @@
 //! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
-//! ablation-montecarlo all
+//! ablation-montecarlo ablation-plan-cache all
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -99,6 +99,9 @@ fn main() {
     }
     if run("ablation-montecarlo") {
         ablation_montecarlo(scale);
+    }
+    if run("ablation-plan-cache") {
+        ablation_plan_cache(scale);
     }
 }
 
@@ -682,6 +685,105 @@ fn ablation_query_threads(scale: Scale) {
                 format!("{:.2}x", base_secs / d.as_secs_f64().max(1e-12)),
             ]);
         }
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: the shape-keyed plan cache on repeated-shape workloads.
+///
+/// A workload of `shapes × repeats` queries where each repeat is an
+/// isomorphic renumbering of its shape (a different query text, same
+/// canonical form — exactly what a multi-user serving mix looks like).
+/// Reports end-to-end time without and with a shared
+/// [`pegmatch::online::PlanCache`], the hit rate, and the per-stage
+/// planning time the cache saved.
+fn ablation_plan_cache(scale: Scale) {
+    use pegmatch::online::PlanCache;
+    use std::sync::Arc;
+
+    /// The query with its variables renumbered through a random permutation
+    /// (xorshift Fisher–Yates; the root package carries no RNG dependency).
+    fn permuted(q: &QueryGraph, seed: u64) -> QueryGraph {
+        let n = q.n_nodes();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut labels = vec![graphstore::Label(0); n];
+        for (old, &new) in perm.iter().enumerate() {
+            labels[new] = q.label(old as pegmatch::query::QNode);
+        }
+        let edges: Vec<(pegmatch::query::QNode, pegmatch::query::QNode)> = q
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                let (a, b) = (
+                    perm[u as usize] as pegmatch::query::QNode,
+                    perm[v as usize] as pegmatch::query::QNode,
+                );
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        QueryGraph::new(labels, edges).expect("renumbering preserves validity")
+    }
+
+    println!("## Ablation: plan cache on repeated-shape workloads (alpha=0.5)");
+    let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, 2);
+    let n_labels = w.peg.graph.label_table().len();
+    let alpha = 0.5;
+    let mut t = Table::new(&[
+        "shapes",
+        "queries",
+        "no cache",
+        "with cache",
+        "hit rate",
+        "plan time saved",
+        "avg plan (miss/hit)",
+    ]);
+    for (n_shapes, repeats) in [(2usize, 8usize), (4, 8), (8, 4)] {
+        // Repeated-shape mix: each shape appears `repeats` times under
+        // different variable numberings.
+        let queries: Vec<QueryGraph> = (0..n_shapes as u64)
+            .flat_map(|s| {
+                let base = random_query(QuerySpec::new(5, 6), n_labels, s);
+                (0..repeats as u64).map(move |r| permuted(&base, s * 1000 + r)).collect::<Vec<_>>()
+            })
+            .collect();
+
+        let plain = QueryPipeline::new(&w.peg, w.index(2));
+        let t0 = Instant::now();
+        let mut miss_plan = Duration::ZERO;
+        for q in &queries {
+            let res = plain.run(q, alpha, &QueryOptions::default()).expect("query runs");
+            miss_plan += res.stats.decompose_time;
+        }
+        let cold = t0.elapsed();
+
+        let cache = Arc::new(PlanCache::new());
+        let cached = QueryPipeline::new(&w.peg, w.index(2)).with_plan_cache(cache.clone());
+        let t0 = Instant::now();
+        let mut hit_plan = Duration::ZERO;
+        for q in &queries {
+            let res = cached.run(q, alpha, &QueryOptions::default()).expect("query runs");
+            hit_plan += res.stats.decompose_time;
+        }
+        let warm = t0.elapsed();
+        let s = cache.stats();
+        let n_q = queries.len() as u32;
+        t.row(vec![
+            n_shapes.to_string(),
+            queries.len().to_string(),
+            fmt_duration(cold),
+            fmt_duration(warm),
+            format!("{:.0}%", s.hit_rate() * 100.0),
+            fmt_duration(s.saved),
+            format!("{} / {}", fmt_duration(miss_plan / n_q), fmt_duration(hit_plan / n_q)),
+        ]);
     }
     t.print();
     println!();

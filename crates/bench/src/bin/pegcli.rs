@@ -23,7 +23,7 @@ use pathindex::disk::{load_index, save_index};
 use pathindex::PathIndexConfig;
 use pegmatch::model::{Peg, PegBuilder};
 use pegmatch::offline::{ContextInfo, OfflineIndex, OfflineOptions, OfflineStats};
-use pegmatch::online::{QueryOptions, QueryPipeline};
+use pegmatch::online::{PlanCache, QueryOptions, QueryPipeline};
 use pegmatch::query::{QNode, QueryGraph};
 use std::collections::HashMap;
 use std::process::exit;
@@ -62,7 +62,8 @@ fn usage() {
          \x20 index    --kind ... --size N [--seed S] --out FILE [--max-len L] [--beta B]\n\
          \x20 query    --kind ... --size N [--seed S] [--index FILE]\n\
          \x20          --pattern '(x:a)-(y:b), (y)-(z:a)' [--alpha A]\n\
-         \x20          [--explain true] [--limit N] [--threads T]\n\
+         \x20          [--explain] [--limit N] [--threads T]\n\
+         \x20          [--repeat N] [--plan-cache-stats]\n\
          \x20          (or: --labels a,b,c --edges 0-1,1-2)\n\
          \x20 topk     (same as query, plus --k K)\n\
          \x20 stats    --kind ... --size N [--seed S]"
@@ -74,9 +75,17 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            out.insert(name.to_string(), value);
-            i += 2;
+            // A flag followed by another flag (or nothing) is boolean.
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    out.insert(name.to_string(), value.clone());
+                    i += 2;
+                }
+                None => {
+                    out.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
@@ -213,21 +222,35 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
         None => OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?,
     };
     let query = parse_query(flags, &peg)?;
-    let pipeline = QueryPipeline::new(&peg, &offline);
+    let want_cache_stats = flags.contains_key("plan-cache-stats");
+    let cache = std::sync::Arc::new(PlanCache::new());
+    let mut pipeline = QueryPipeline::new(&peg, &offline);
+    if want_cache_stats {
+        pipeline = pipeline.with_plan_cache(cache.clone());
+    }
+    let repeat: usize = flags.get("repeat").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
     let t = std::time::Instant::now();
-    let result = if topk {
-        let k: usize = flags.get("k").map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
-        pipeline.run_topk(&query, k, 1e-9, &query_opts(flags)).map_err(|e| e.to_string())?
-    } else {
-        let alpha: f64 = flags.get("alpha").map(|s| s.parse().unwrap_or(0.5)).unwrap_or(0.5);
-        let limit: Option<usize> = flags.get("limit").and_then(|s| s.parse().ok());
-        pipeline.run_limited(&query, alpha, limit, &query_opts(flags)).map_err(|e| e.to_string())?
-    };
+    let mut result = None;
+    for _ in 0..repeat {
+        let res = if topk {
+            let k: usize = flags.get("k").map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
+            pipeline.run_topk(&query, k, 1e-9, &query_opts(flags)).map_err(|e| e.to_string())?
+        } else {
+            let alpha: f64 = flags.get("alpha").map(|s| s.parse().unwrap_or(0.5)).unwrap_or(0.5);
+            let limit: Option<usize> = flags.get("limit").and_then(|s| s.parse().ok());
+            pipeline
+                .run_limited(&query, alpha, limit, &query_opts(flags))
+                .map_err(|e| e.to_string())?
+        };
+        result = Some(res);
+    }
+    let result = result.expect("repeat >= 1");
     println!(
-        "{} match(es){} in {} (search space 10^{:.1} -> 10^{:.1})",
+        "{} match(es){} in {}{} (search space 10^{:.1} -> 10^{:.1})",
         result.matches.len(),
         if result.truncated { " (truncated by --limit)" } else { "" },
         bench::fmt_duration(t.elapsed()),
+        if repeat > 1 { format!(" over {repeat} runs") } else { String::new() },
         result.stats.log10_ss_index.max(0.0),
         result.stats.log10_ss_final.max(0.0),
     );
@@ -243,6 +266,28 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
     }
     if result.matches.len() > 20 {
         println!("  ... and {} more", result.matches.len() - 20);
+    }
+    if want_cache_stats {
+        let s = cache.stats();
+        println!(
+            "plan cache: {} hit(s), {} miss(es) ({:.0}% hit rate), {} shape(s), \
+             planning time saved {}",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.entries,
+            bench::fmt_duration(s.saved),
+        );
+        for e in cache.entries() {
+            println!(
+                "  shape {:016x}  hits {:>4}  paths {}  plan cost {}  {}",
+                e.shape_hash,
+                e.hits,
+                e.n_paths,
+                bench::fmt_duration(e.build_time),
+                pegmatch::pattern::format_pattern(&e.shape, peg.graph.label_table()),
+            );
+        }
     }
     Ok(())
 }

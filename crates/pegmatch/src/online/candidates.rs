@@ -164,9 +164,9 @@ pub struct CandidateSet {
 /// Retrieval is the index lookup; pruning evaluates the keep-predicate in
 /// contiguous chunks over `pool` (order-preserving, so the surviving list
 /// is identical to a sequential filter) and compacts survivors in place —
-/// no per-match clones. Already-pruned raw sets are re-filtered cheaply by
-/// [`prune_candidates`] when a higher threshold revisits them
-/// (incremental top-k).
+/// no per-match clones. A session pays this once per base threshold;
+/// higher thresholds are answered from the reduction state instead of
+/// re-pruning (see [`QuerySession`](crate::online::QuerySession)).
 #[allow(clippy::too_many_arguments)]
 pub fn find_candidates(
     peg: &Peg,
@@ -237,7 +237,8 @@ fn candidate_mask(
 
 /// Context pruning that consumes the raw retrieval: survivors are
 /// compacted in place (one `retain` pass), avoiding any clone of the
-/// surviving matches. This is the one-shot `run` / `run_limited` path.
+/// surviving matches. This is the session rebase path (every base build:
+/// one-shot runs and incremental top-k alike).
 #[allow(clippy::too_many_arguments)]
 pub fn prune_candidates_in_place(
     peg: &Peg,
@@ -253,27 +254,6 @@ pub fn prune_candidates_in_place(
     let mask = candidate_mask(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
     let mut it = mask.into_iter();
     raw.retain(|_| it.next().expect("mask covers raw"));
-}
-
-/// Context pruning over a borrowed raw set that must stay intact for later
-/// reuse (incremental top-k: the raw retrieval may have been fetched at a
-/// threshold ≤ `alpha`; the path-level bound subsumes the raw threshold,
-/// so entries below `alpha` are rejected here). Survivor order equals a
-/// sequential filter's regardless of pool size.
-#[allow(clippy::too_many_arguments)]
-pub fn prune_candidates(
-    peg: &Peg,
-    offline: &OfflineIndex,
-    query: &QueryGraph,
-    path: &QueryPath,
-    stats: &PathStats,
-    alpha: f64,
-    node_cache: &NodeCandidateCache,
-    pool: &ThreadPool,
-    raw: &[PathMatch],
-) -> Vec<PathMatch> {
-    let mask = candidate_mask(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
-    raw.iter().zip(&mask).filter(|&(_, &keep)| keep).map(|(pm, _)| pm.clone()).collect()
 }
 
 /// `pu(Pu)`: upper bound on the probability of matching the path's query
@@ -395,11 +375,22 @@ mod tests {
         let cache = NodeCandidateCache::new();
         let pool = pegpool::pool_with(1);
         // Superset fetched at a much lower threshold, pruned at 0.2, must
-        // equal the direct retrieval at 0.2 (the incremental top-k path).
+        // equal the direct retrieval at 0.2: the keep-predicate's raw
+        // threshold check subsumes the index lookup's.
         let superset = idx.path_matches(&peg, &d.paths[0].labels(&q), 0.01);
         let direct = find_candidates(&peg, &idx, &q, &d.paths[0], &stats, 0.2, &cache, &pool);
-        let via_superset =
-            prune_candidates(&peg, &idx, &q, &d.paths[0], &stats, 0.2, &cache, &pool, &superset);
+        let mut via_superset = superset.clone();
+        prune_candidates_in_place(
+            &peg,
+            &idx,
+            &q,
+            &d.paths[0],
+            &stats,
+            0.2,
+            &cache,
+            &pool,
+            &mut via_superset,
+        );
         assert!(superset.len() >= direct.matches.len());
         assert_eq!(via_superset.len(), direct.matches.len());
         for (x, y) in via_superset.iter().zip(&direct.matches) {

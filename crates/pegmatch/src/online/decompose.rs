@@ -15,7 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// How to pick the decomposition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DecompStrategy {
     /// Greedy SET-COVER over the cost model (the paper's optimized method).
     CostBased,
@@ -66,6 +66,29 @@ impl Decomposition {
     pub fn shared_nodes(&self, i: usize, j: usize) -> &[QNode] {
         let key = (i.min(j), i.max(j));
         self.shared.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The same decomposition with every query node renumbered through
+    /// `map` (`map[old] = new`). Used by the plan cache to move a plan
+    /// between a query's numbering and its canonical numbering: a
+    /// label-preserving renumbering maps covering paths to covering paths,
+    /// so the result is a valid decomposition of the renumbered query.
+    pub fn renumbered(&self, map: &[QNode]) -> Decomposition {
+        let paths = self
+            .paths
+            .iter()
+            .map(|p| QueryPath { nodes: p.nodes.iter().map(|&n| map[n as usize]).collect() })
+            .collect();
+        let shared = self
+            .shared
+            .iter()
+            .map(|(&k, v)| {
+                let mut nodes: Vec<QNode> = v.iter().map(|&n| map[n as usize]).collect();
+                nodes.sort_unstable();
+                (k, nodes)
+            })
+            .collect();
+        Decomposition { paths, joins: self.joins.clone(), shared }
     }
 
     fn compute_join_structure(paths: Vec<QueryPath>) -> Self {
@@ -323,6 +346,32 @@ mod tests {
         }
         let total_shared: usize = d.shared.values().map(|v| v.len()).sum();
         assert_eq!(total_shared, 3);
+    }
+
+    #[test]
+    fn renumbering_round_trips_and_preserves_cover() {
+        let q = QueryGraph::cycle(&[l(0), l(1), l(2), l(3)]).unwrap();
+        let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        // An arbitrary permutation and its inverse.
+        let map: Vec<QNode> = vec![2, 0, 3, 1];
+        let mut inv = vec![0 as QNode; 4];
+        for (old, &new) in map.iter().enumerate() {
+            inv[new as usize] = old as QNode;
+        }
+        let r = d.renumbered(&map);
+        assert_eq!(r.joins, d.joins);
+        // Edge cover maps edge-for-edge.
+        let mut edges: Vec<(QNode, QNode)> =
+            r.paths.iter().flat_map(|p| p.edges().collect::<Vec<_>>()).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(edges.len(), q.n_edges());
+        // Round trip restores the original paths and shared sets.
+        let back = r.renumbered(&inv);
+        for (a, b) in back.paths.iter().zip(&d.paths) {
+            assert_eq!(a.nodes, b.nodes);
+        }
+        assert_eq!(back.shared, d.shared);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Mutex;
 const EPS: f64 = 1e-12;
 
 /// Join order strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum JoinOrder {
     /// The paper's heuristic: most node overlap with the placed set, then
     /// most join predicates, then smallest cardinality.

@@ -378,12 +378,20 @@ impl CoverAssignment {
 
 /// Builds the candidate k-partite graph: vertices from `candidate_sets`,
 /// links from join-candidate computation (lookup tables per joined pair).
+///
+/// Both stages fan out over `pool` in order-preserving chunks — vertex
+/// construction per partition, and the per-pair probe loop (which carries
+/// the `joined_pair_ok` admission test, the hot part on high-candidate
+/// queries). Chunk results are reassembled in index order and the final
+/// sort/dedup canonicalizes link lists, so the graph is byte-identical to
+/// the sequential build at any lane count.
 pub fn build_kpartite(
     peg: &Peg,
     query: &QueryGraph,
     decomp: &Decomposition,
     candidate_sets: &[CandidateSet],
     alpha: f64,
+    pool: &pegpool::ThreadPool,
 ) -> KPartiteGraph {
     let k = decomp.paths.len();
     let cover = CoverAssignment::new(query, decomp);
@@ -392,35 +400,43 @@ pub fn build_kpartite(
     for i in 0..k {
         let joined = decomp.joins[i].clone();
         let path = &decomp.paths[i];
-        let verts = candidate_sets[i]
-            .matches
-            .iter()
-            .map(|pm| {
-                let mut w1 = 1.0;
-                for &pos in &cover.owned_nodes[i] {
-                    w1 *= peg.graph.label_prob(pm.nodes[pos], query.label(path.nodes[pos]));
-                }
-                for &(a, b) in &cover.owned_edges[i] {
-                    w1 *= peg.graph.edge_prob(
-                        pm.nodes[a],
-                        pm.nodes[b],
-                        query.label(path.nodes[a]),
-                        query.label(path.nodes[b]),
-                    );
-                }
-                let mut perception = vec![1.0; k];
-                perception[i] = w1;
-                Vert {
-                    nodes: pm.nodes.clone(),
-                    w1,
-                    w2: pm.prn,
-                    alive: true,
-                    links: vec![Vec::new(); joined.len()],
-                    alive_counts: vec![0; joined.len()],
-                    perception,
-                }
+        let make_vert = |pm: &pathindex::PathMatch| {
+            let mut w1 = 1.0;
+            for &pos in &cover.owned_nodes[i] {
+                w1 *= peg.graph.label_prob(pm.nodes[pos], query.label(path.nodes[pos]));
+            }
+            for &(a, b) in &cover.owned_edges[i] {
+                w1 *= peg.graph.edge_prob(
+                    pm.nodes[a],
+                    pm.nodes[b],
+                    query.label(path.nodes[a]),
+                    query.label(path.nodes[b]),
+                );
+            }
+            let mut perception = vec![1.0; k];
+            perception[i] = w1;
+            Vert {
+                nodes: pm.nodes.clone(),
+                w1,
+                w2: pm.prn,
+                alive: true,
+                links: vec![Vec::new(); joined.len()],
+                alive_counts: vec![0; joined.len()],
+                perception,
+            }
+        };
+        let matches = &candidate_sets[i].matches;
+        let verts: Vec<Vert> = if pool.lanes() > 1 && matches.len() >= 64 {
+            let chunks = pool.chunks(matches.len(), 4);
+            pool.map(chunks.len(), |ci| {
+                matches[chunks[ci].clone()].iter().map(make_vert).collect::<Vec<_>>()
             })
-            .collect();
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            matches.iter().map(make_vert).collect()
+        };
         partitions.push(Partition { joined, verts });
     }
 
@@ -446,17 +462,29 @@ pub fn build_kpartite(
 
             let slot_ij = partitions[i].slot_of(j).unwrap();
             let slot_ji = partitions[j].slot_of(i).unwrap();
-            let mut new_links: Vec<(u32, u32)> = Vec::new();
-            for (wi, v) in partitions[i].verts.iter().enumerate() {
+            let probe = |wi: usize| -> Vec<(u32, u32)> {
+                let v = &partitions[i].verts[wi];
                 let key: Vec<u32> = pos_i.iter().map(|&p| v.nodes[p].0).collect();
-                let Some(buddies) = table.get(&key) else { continue };
-                for &wj in buddies {
-                    let w = &partitions[j].verts[wj as usize];
-                    if joined_pair_ok(peg, query, decomp, i, j, v, w, alpha) {
-                        new_links.push((wi as u32, wj));
-                    }
-                }
-            }
+                let Some(buddies) = table.get(&key) else { return Vec::new() };
+                buddies
+                    .iter()
+                    .filter(|&&wj| {
+                        let w = &partitions[j].verts[wj as usize];
+                        joined_pair_ok(peg, query, decomp, i, j, v, w, alpha)
+                    })
+                    .map(|&wj| (wi as u32, wj))
+                    .collect()
+            };
+            let n_i = partitions[i].verts.len();
+            let new_links: Vec<(u32, u32)> = if pool.lanes() > 1 && n_i >= 64 {
+                let chunks = pool.chunks(n_i, 4);
+                pool.map(chunks.len(), |ci| chunks[ci].clone().flat_map(&probe).collect::<Vec<_>>())
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                (0..n_i).flat_map(probe).collect()
+            };
             for (wi, wj) in new_links {
                 partitions[i].verts[wi as usize].links[slot_ij].push(wj);
                 partitions[j].verts[wj as usize].links[slot_ji].push(wi);
@@ -571,7 +599,7 @@ mod tests {
                 find_candidates(&peg, &idx, &q, p, &s, alpha, &cache, &pool)
             })
             .collect();
-        let kp = build_kpartite(&peg, &q, &d, &sets, alpha);
+        let kp = build_kpartite(&peg, &q, &d, &sets, alpha, &pool);
         (peg, kp, d)
     }
 
@@ -631,6 +659,52 @@ mod tests {
             high.removed_upperbound + high.removed_structure
                 >= low.removed_upperbound + low.removed_structure
         );
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(1, 0.01)).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let d = decompose(&q, 1, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        let cache = NodeCandidateCache::new();
+        let seq_pool = pegpool::pool_with(1);
+        let sets: Vec<CandidateSet> = d
+            .paths
+            .iter()
+            .map(|p| {
+                let s = PathStats::new(&q, p);
+                let mut cs = find_candidates(&peg, &idx, &q, p, &s, 0.01, &cache, &seq_pool);
+                // Tile the figure-1 candidates past the chunking threshold
+                // (64) so the pooled vertex-build and probe branches —
+                // which this test exists to cover — actually execute.
+                assert!(!cs.matches.is_empty());
+                let originals = cs.matches.clone();
+                while cs.matches.len() < 100 {
+                    cs.matches.extend(originals.iter().cloned());
+                }
+                cs
+            })
+            .collect();
+        assert!(sets.iter().all(|cs| cs.matches.len() >= 64));
+        let seq = build_kpartite(&peg, &q, &d, &sets, 0.01, &seq_pool);
+        for threads in [2usize, 4] {
+            let pool = pegpool::pool_with(threads);
+            let par = build_kpartite(&peg, &q, &d, &sets, 0.01, &pool);
+            assert_eq!(seq.partitions.len(), par.partitions.len());
+            for (p, q2) in seq.partitions.iter().zip(&par.partitions) {
+                assert_eq!(p.joined, q2.joined);
+                assert_eq!(p.verts.len(), q2.verts.len());
+                for (x, y) in p.verts.iter().zip(&q2.verts) {
+                    assert_eq!(x.nodes, y.nodes);
+                    assert_eq!(x.w1.to_bits(), y.w1.to_bits(), "threads={threads}");
+                    assert_eq!(x.w2.to_bits(), y.w2.to_bits());
+                    assert_eq!(x.links, y.links);
+                    assert_eq!(x.alive_counts, y.alive_counts);
+                }
+            }
+        }
     }
 
     #[test]

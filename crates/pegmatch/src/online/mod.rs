@@ -1,22 +1,33 @@
-//! The online phase (Section 5.2): decomposition → candidates →
-//! join-candidates → joint reduction → match generation.
+//! The online phase (Section 5.2), layered prepared-statement style:
+//!
+//! * [`PreparedQuery`] ([`plan`]) — the cacheable plan: canonical shape,
+//!   decomposition, per-path statistics, join order. Shareable across
+//!   calls through a [`PlanCache`] keyed by canonical query shape.
+//! * [`QuerySession`] ([`session`]) — per-execution state: pruned
+//!   candidates, the k-partite graph, and its alpha-monotone incremental
+//!   reduction base.
+//! * [`QueryPipeline`] — thin `run` / `run_limited` / `run_topk` drivers
+//!   over prepare + session.
 
 pub mod candidates;
 pub mod decompose;
 pub mod generate;
 pub mod kpartite;
+pub mod plan;
+pub mod session;
 
 pub use candidates::{CandidateSet, NodeCandidateCache, PathStats};
 pub use decompose::{decompose, DecompStrategy, Decomposition, QueryPath};
 pub use generate::{generate_matches, generate_matches_limited, join_order, JoinOrder};
 pub use kpartite::{build_kpartite, KPartiteGraph, ReduceOptions, ReductionStats};
+pub use plan::{PlanCache, PlanCacheEntry, PlanCacheStats, PreparedQuery};
+pub use session::QuerySession;
 
 use crate::error::PegError;
 use crate::matcher::Match;
 use crate::offline::OfflineIndex;
 use crate::query::QueryGraph;
 use crate::Peg;
-use pathindex::PathMatch;
 use pegpool::ThreadPool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,7 +94,7 @@ impl QueryOptions {
     }
 
     /// The persistent pool serving this option set.
-    fn pool(&self) -> Arc<ThreadPool> {
+    pub(crate) fn pool(&self) -> Arc<ThreadPool> {
         pegpool::pool_with(self.threads)
     }
 }
@@ -127,9 +138,14 @@ pub struct PipelineStats {
     pub generation_time: Duration,
     /// End-to-end time.
     pub total_time: Duration,
+    /// Threshold the session base serving this run was converged at.
+    pub base_alpha: f64,
+    /// True when this run reused an existing session base (pure reuse or
+    /// incremental refinement) instead of building one.
+    pub base_reused: bool,
 }
 
-fn log10_product(counts: &[usize]) -> f64 {
+pub(crate) fn log10_product(counts: &[usize]) -> f64 {
     counts.iter().map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64).log10() }).sum()
 }
 
@@ -147,31 +163,31 @@ pub struct QueryResult {
     pub stats: PipelineStats,
 }
 
-/// Alpha-independent (or alpha-superset) artifacts reusable across the
-/// threshold refinements of a top-k run: the decomposition, per-path query
-/// statistics, and the raw index retrievals.
-///
-/// `raw[i]` holds `PIndex(labels_i, raw_alpha)`; any run at
-/// `alpha ≥ raw_alpha` can reuse it, because the index-lookup threshold
-/// predicate (`prob + ε ≥ α`) filters the superset to exactly the fresh
-/// lookup's result, and the context-pruning predicate already subsumes it.
-struct PreparedQuery {
-    decomp: Decomposition,
-    pstats: Vec<PathStats>,
-    raw: Vec<Vec<PathMatch>>,
-    raw_alpha: f64,
-}
-
-/// The optimized online query processor.
+/// The optimized online query processor: thin drivers over the
+/// prepare → session layering, plus an optional shared [`PlanCache`].
 pub struct QueryPipeline<'a> {
     peg: &'a Peg,
     offline: &'a OfflineIndex,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl<'a> QueryPipeline<'a> {
     /// Binds a pipeline to a PEG and its offline artifacts.
     pub fn new(peg: &'a Peg, offline: &'a OfflineIndex) -> Self {
-        Self { peg, offline }
+        Self { peg, offline, plan_cache: None }
+    }
+
+    /// Attaches a shared plan cache: [`QueryPipeline::prepare`] then keys
+    /// plans by canonical query shape and reuses them across calls (and
+    /// across pipelines sharing the cache for the *same* graph + index).
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
     }
 
     /// Answers a probabilistic subgraph pattern matching query
@@ -197,13 +213,9 @@ impl<'a> QueryPipeline<'a> {
         limit: Option<usize>,
         opts: &QueryOptions,
     ) -> Result<QueryResult, PegError> {
-        self.validate(query, alpha)?;
-        let mut prep_stats = PipelineStats::default();
-        let mut prepared = self.prepare(query, alpha, opts, &mut prep_stats)?;
-        // One-shot run: nothing revisits `prepared`, so pruning may consume
-        // the raw retrievals in place (no survivor clones, raw memory
-        // released at the candidates stage).
-        self.run_prepared(query, &mut prepared, alpha, limit, opts, prep_stats, false)
+        let prepared = self.prepare(query, alpha, opts)?;
+        let mut session = self.session(&prepared, opts);
+        session.run_at(alpha, limit)
     }
 
     fn validate(&self, query: &QueryGraph, alpha: f64) -> Result<(), PegError> {
@@ -219,165 +231,71 @@ impl<'a> QueryPipeline<'a> {
         Ok(())
     }
 
-    /// Stage 1 + raw retrieval: decomposition and per-path index lookups at
-    /// `alpha`, both reusable by later runs at thresholds ≥ `alpha`.
-    fn prepare(
+    /// Stage 1, prepared-statement style: decomposition, per-path
+    /// statistics, and join order — everything about answering `query`
+    /// that does not depend on the data retrieved. With a plan cache
+    /// attached, the plan is fetched by canonical shape when present and
+    /// cached for future isomorphic queries when not. `alpha` only seeds
+    /// the cost model on a planning miss; the plan answers any threshold.
+    pub fn prepare(
         &self,
         query: &QueryGraph,
         alpha: f64,
         opts: &QueryOptions,
-        stats: &mut PipelineStats,
     ) -> Result<PreparedQuery, PegError> {
-        let t = Instant::now();
+        self.validate(query, alpha)?;
+        let t0 = Instant::now();
         let max_len = self.offline.paths.config().max_len.max(1);
-        let est = |labels: &[graphstore::Label]| self.offline.estimate_path_count(labels, alpha);
-        let decomp = decompose(query, max_len, &est, opts.strategy)?;
-        stats.decompose_time = t.elapsed();
+        let build = || {
+            let t = Instant::now();
+            let est =
+                |labels: &[graphstore::Label]| self.offline.estimate_path_count(labels, alpha);
+            let decomp = decompose(query, max_len, &est, opts.strategy)?;
+            // Join order from the same cost estimates that priced the
+            // decomposition; pinned to the plan so every execution
+            // multiplies weights in the same order (bit-exact results).
+            let sizes: Vec<usize> = decomp
+                .paths
+                .iter()
+                .map(|p| est(&p.labels(query)).round().max(0.0) as usize)
+                .collect();
+            let order = join_order(&decomp, &sizes, opts.join_order);
+            Ok((decomp, order, t.elapsed()))
+        };
+        let (decomp, order, from_cache, shape_hash) = match &self.plan_cache {
+            Some(cache) => {
+                let canon = query.canonical_form();
+                let hash = canon.hash64();
+                let (d, o, hit) =
+                    cache.plan_for(&canon, opts.strategy, opts.join_order, max_len, build)?;
+                (d, o, hit, Some(hash))
+            }
+            None => {
+                let (d, o, _) = build()?;
+                (d, o, false, None)
+            }
+        };
         let pstats: Vec<PathStats> =
             decomp.paths.iter().map(|p| PathStats::new(query, p)).collect();
-        let raw = self.fetch_raw(query, &decomp, alpha, opts);
-        Ok(PreparedQuery { decomp, pstats, raw, raw_alpha: alpha })
-    }
-
-    /// Raw per-path index retrieval (`PIndex(lQ(VP), α)`), parallel across
-    /// paths on the shared pool.
-    fn fetch_raw(
-        &self,
-        query: &QueryGraph,
-        decomp: &Decomposition,
-        alpha: f64,
-        opts: &QueryOptions,
-    ) -> Vec<Vec<PathMatch>> {
-        let pool = opts.pool();
-        pool.map(decomp.paths.len(), |i| {
-            let labels = decomp.paths[i].labels(query);
-            self.offline.path_matches(self.peg, &labels, alpha)
+        Ok(PreparedQuery {
+            query: query.clone(),
+            decomp,
+            order,
+            pstats,
+            decompose_time: t0.elapsed(),
+            shape_hash,
+            from_cache,
         })
     }
 
-    /// Stages 2–5 over prepared artifacts. `alpha` must be ≥ the prepared
-    /// `raw_alpha`; results are identical to a from-scratch run with the
-    /// same decomposition.
-    ///
-    /// With `reuse_raw` the raw retrievals are left intact (top-k revisits
-    /// them at lower thresholds) and survivors are cloned out; without it
-    /// pruning consumes them in place — no clones, and the raw memory is
-    /// gone by the time the k-partite graph is built.
-    #[allow(clippy::too_many_arguments)]
-    fn run_prepared(
+    /// Opens a fresh execution session over a prepared plan. Any number of
+    /// sessions (including concurrent ones) may run over one plan.
+    pub fn session<'p>(
         &self,
-        query: &QueryGraph,
-        prepared: &mut PreparedQuery,
-        alpha: f64,
-        limit: Option<usize>,
+        prepared: &'p PreparedQuery,
         opts: &QueryOptions,
-        mut stats: PipelineStats,
-        reuse_raw: bool,
-    ) -> Result<QueryResult, PegError> {
-        debug_assert!(alpha + 1e-12 >= prepared.raw_alpha);
-        let pool = opts.pool();
-        let t_total = Instant::now();
-        stats.n_paths = prepared.decomp.paths.len();
-
-        // 2. Path candidates with context pruning. The per-path filter
-        // fans out over the pool in order-preserving chunks; the reusable
-        // (top-k) variant additionally runs paths in parallel.
-        let t = Instant::now();
-        let node_cache = NodeCandidateCache::new();
-        let sets: Vec<CandidateSet> = if reuse_raw {
-            let prepared: &PreparedQuery = prepared;
-            pool.map(prepared.decomp.paths.len(), |i| {
-                let raw = &prepared.raw[i];
-                let raw_count = if alpha > prepared.raw_alpha {
-                    // The index-lookup threshold predicate, applied to the
-                    // prepared superset.
-                    raw.iter().filter(|m| m.prob() + 1e-12 >= alpha).count()
-                } else {
-                    raw.len()
-                };
-                let matches = candidates::prune_candidates(
-                    self.peg,
-                    self.offline,
-                    query,
-                    &prepared.decomp.paths[i],
-                    &prepared.pstats[i],
-                    alpha,
-                    &node_cache,
-                    &pool,
-                    raw,
-                );
-                CandidateSet { matches, raw_count }
-            })
-        } else {
-            debug_assert!(alpha <= prepared.raw_alpha + 1e-12, "one-shot runs fetch at alpha");
-            let raw_all = std::mem::take(&mut prepared.raw);
-            raw_all
-                .into_iter()
-                .enumerate()
-                .map(|(i, mut raw)| {
-                    let raw_count = raw.len();
-                    candidates::prune_candidates_in_place(
-                        self.peg,
-                        self.offline,
-                        query,
-                        &prepared.decomp.paths[i],
-                        &prepared.pstats[i],
-                        alpha,
-                        &node_cache,
-                        &pool,
-                        &mut raw,
-                    );
-                    CandidateSet { matches: raw, raw_count }
-                })
-                .collect()
-        };
-        let decomp = &prepared.decomp;
-        for cs in &sets {
-            stats.raw_counts.push(cs.raw_count);
-            stats.context_counts.push(cs.matches.len());
-        }
-        stats.candidates_time = t.elapsed();
-        stats.log10_ss_index = log10_product(&stats.raw_counts);
-        stats.log10_ss_context = log10_product(&stats.context_counts);
-
-        // 3. Join-candidates / k-partite construction.
-        let t = Instant::now();
-        let mut kp = build_kpartite(self.peg, query, decomp, &sets, alpha);
-        stats.join_time = t.elapsed();
-
-        // 4. Joint search-space reduction.
-        let t = Instant::now();
-        if opts.use_reduction {
-            let r = kp.reduce(
-                alpha,
-                &ReduceOptions {
-                    use_upperbounds: opts.use_upperbounds,
-                    parallel: opts.parallel_reduction || pool.lanes() > 1,
-                    threads: opts.threads,
-                    max_rounds: opts.max_rounds,
-                },
-            );
-            stats.removed_structure = r.removed_structure;
-            stats.removed_upperbound = r.removed_upperbound;
-            stats.message_rounds = r.rounds;
-            stats.log10_ss_after_structure = r.log10_after_structure;
-        } else {
-            stats.log10_ss_after_structure = kp.log10_search_space();
-        }
-        stats.reduction_time = t.elapsed();
-        stats.final_counts = kp.alive_counts();
-        stats.log10_ss_final = kp.log10_search_space();
-
-        // 5. Join order + match generation (seed-parallel over the pool).
-        let t = Instant::now();
-        let order = join_order(decomp, &stats.final_counts, opts.join_order);
-        let (matches, truncated) =
-            generate_matches_limited(self.peg, query, decomp, &kp, &order, alpha, limit, &pool);
-        stats.generation_time = t.elapsed();
-        stats.n_matches = matches.len();
-        stats.total_time = t_total.elapsed();
-
-        Ok(QueryResult { matches, truncated, stats })
+    ) -> QuerySession<'a, 'p> {
+        QuerySession::new(self.peg, self.offline, prepared, *opts)
     }
 
     /// Finds the `k` most probable matches of `query` (an extension beyond
@@ -390,14 +308,20 @@ impl<'a> QueryPipeline<'a> {
     /// matches above the threshold, the best `k` of a sufficiently large
     /// result set are the global top-k.
     ///
-    /// Refinement is incremental: the decomposition, per-path statistics,
-    /// and raw index retrievals are computed once and reused across
-    /// iterations. When the threshold drops below the prepared retrieval
-    /// threshold, the raw sets are refetched one geometric step *ahead* of
-    /// schedule, so at most every other iteration touches the index.
+    /// Refinement is incremental over one [`QuerySession`]: the plan is
+    /// prepared once, and when the threshold drops below the session base
+    /// the base is rebuilt one geometric step *ahead* of schedule — so at
+    /// most every other refinement pays candidate pruning, k-partite
+    /// construction, and reduction convergence; the others reuse the
+    /// converged base (alpha-monotone: at the base threshold outright, and
+    /// above it by continuing from the converged state).
     ///
     /// Returns matches sorted by descending probability (ties broken by
-    /// node ids); the stats are those of the final (lowest-threshold) run.
+    /// node ids); the stats are those of the final run — where that run
+    /// reused the session base, its stage counters describe the base
+    /// build that served it (at [`PipelineStats::base_alpha`], one
+    /// lookahead step below the final threshold), per the
+    /// [`QuerySession::run_at`] stats contract.
     pub fn run_topk(
         &self,
         query: &QueryGraph,
@@ -412,32 +336,19 @@ impl<'a> QueryPipeline<'a> {
         }
         let mut alpha = 0.5f64;
         let floor = min_alpha.max(1e-12);
-        self.validate(query, alpha)?;
-        let mut prep_stats = PipelineStats::default();
-        let mut prepared = self.prepare(query, alpha, opts, &mut prep_stats)?;
+        let prepared = self.prepare(query, alpha, opts)?;
+        let mut session = self.session(&prepared, opts);
         loop {
-            if alpha + 1e-12 < prepared.raw_alpha {
-                // Refetch with one step of lookahead; the next refinement
-                // (if any) reuses this retrieval.
-                prepared.raw_alpha = (alpha * 0.25).max(floor);
-                prepared.raw = self.fetch_raw(query, &prepared.decomp, prepared.raw_alpha, opts);
+            if let Some(base) = session.base_alpha() {
+                if alpha + 1e-12 < base {
+                    // Rebase with one step of lookahead; the next
+                    // refinement (if any) reuses this base outright.
+                    session.rebase((alpha * 0.25).max(floor))?;
+                }
             }
-            let mut res = self.run_prepared(
-                query,
-                &mut prepared,
-                alpha,
-                None,
-                opts,
-                prep_stats.clone(),
-                true,
-            )?;
+            let mut res = session.run_at(alpha, None)?;
             if res.matches.len() >= k || alpha <= floor {
-                res.matches.sort_by(|a, b| {
-                    b.prob()
-                        .partial_cmp(&a.prob())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.nodes.cmp(&b.nodes))
-                });
+                QuerySession::sort_topk(&mut res.matches);
                 res.matches.truncate(k);
                 res.stats.n_matches = res.matches.len();
                 return Ok(res);
@@ -658,6 +569,70 @@ mod tests {
         let got = pipe.run_topk(&q, 10, 0.15, &QueryOptions::default()).unwrap();
         assert!(got.matches.iter().all(|m| m.prob() >= 0.15 - 1e-12));
         assert_eq!(got.matches.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_hits_isomorphic_shapes() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let cache = Arc::new(PlanCache::new());
+        let pipe = QueryPipeline::new(&peg, &idx).with_plan_cache(cache.clone());
+        let plain = QueryPipeline::new(&peg, &idx);
+        let opts = QueryOptions::default();
+
+        // The same labeled path under two different variable numberings.
+        let q1 = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let q2 = crate::query::QueryGraph::new(vec![i, a, r], vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(q1.shape_hash(), q2.shape_hash());
+
+        let r1 = pipe.run(&q1, 0.05, &opts).unwrap();
+        let r2 = pipe.run(&q2, 0.05, &opts).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // Cached-plan answers equal the uncached pipeline's.
+        let w1 = plain.run(&q1, 0.05, &opts).unwrap();
+        let w2 = plain.run(&q2, 0.05, &opts).unwrap();
+        assert_same_matches(&r1.matches, &w1.matches);
+        assert_same_matches(&r2.matches, &w2.matches);
+        // Repeats hit.
+        let _ = pipe.run(&q1, 0.2, &opts).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        let prepared = pipe.prepare(&q1, 0.2, &opts).unwrap();
+        assert!(prepared.from_cache());
+        assert_eq!(prepared.shape_hash(), Some(q1.shape_hash()));
+        assert_eq!(cache.entries().len(), 1);
+        assert!(cache.entries()[0].hits >= 3);
+    }
+
+    #[test]
+    fn session_incremental_refinement_is_bit_exact() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = crate::query::QueryGraph::path(&[r, a, i]).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let pipe = QueryPipeline::new(&peg, &idx);
+        let opts = QueryOptions::default();
+        let prepared = pipe.prepare(&q, 0.01, &opts).unwrap();
+
+        // One session based low, refined upward; fresh sessions per alpha.
+        let mut session = pipe.session(&prepared, &opts);
+        session.rebase(0.01).unwrap();
+        for alpha in [0.01, 0.05, 0.1, 0.2, 0.5] {
+            let inc = session.run_at(alpha, None).unwrap();
+            assert!(inc.stats.base_reused || alpha == 0.01);
+            let mut fresh = pipe.session(&prepared, &opts);
+            let scratch = fresh.run_at(alpha, None).unwrap();
+            assert!(!scratch.stats.base_reused);
+            assert_eq!(inc.matches.len(), scratch.matches.len(), "alpha={alpha}");
+            for (x, y) in inc.matches.iter().zip(&scratch.matches) {
+                assert_eq!(x.nodes, y.nodes);
+                assert_eq!(x.prle.to_bits(), y.prle.to_bits(), "alpha={alpha}");
+                assert_eq!(x.prn.to_bits(), y.prn.to_bits(), "alpha={alpha}");
+            }
+            // The base survives raising the threshold.
+            assert!((session.base_alpha().unwrap() - 0.01).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Per-execution query state: the [`QuerySession`].
+//!
+//! A session binds one [`PreparedQuery`] to one execution context — pruned
+//! candidates, the candidate k-partite graph, and its reduction state. The
+//! session's *base* is that state converged at some threshold `base_alpha`;
+//! any query threshold `alpha ≥ base_alpha` is then answered
+//! **alpha-monotone incrementally**: raising the threshold keeps the base's
+//! kill lists and perception bounds, kills exactly the vertices whose
+//! converged upper bound falls below the new alpha, and continues Jacobi
+//! rounds from the converged state instead of rebuilding. Soundness is the
+//! same argument as the from-scratch reduction (perception fixpoints are
+//! upper bounds on any extension's probability, and every vertex dead at
+//! `base_alpha` is dead at any higher threshold), and match generation
+//! re-checks every candidate exactly, so results are byte-identical to a
+//! from-scratch run over the same plan — the incremental path only changes
+//! how much reduction work a refinement pays.
+
+use crate::error::PegError;
+use crate::matcher::Match;
+use crate::offline::OfflineIndex;
+use crate::online::candidates::{self, CandidateSet, NodeCandidateCache};
+use crate::online::generate::generate_matches_limited;
+use crate::online::kpartite::{build_kpartite, KPartiteGraph, ReduceOptions};
+use crate::online::plan::PreparedQuery;
+use crate::online::{log10_product, PipelineStats, QueryOptions, QueryResult};
+use crate::Peg;
+use pathindex::PathMatch;
+use std::time::Instant;
+
+const EPS: f64 = 1e-12;
+
+/// The session base: candidates pruned, k-partite graph built, and
+/// reduction converged at `alpha`.
+struct SessionBase {
+    alpha: f64,
+    kp: KPartiteGraph,
+    /// Stage stats of the base build (stages 2–4).
+    stats: PipelineStats,
+}
+
+/// Mutable per-execution state for one prepared plan.
+///
+/// Create with [`QueryPipeline::session`]; drive with
+/// [`QuerySession::run_at`] (and [`QuerySession::rebase`] to pre-position
+/// the base below an upcoming threshold, as the top-k driver does). The
+/// thin [`QueryPipeline::run`] / `run_limited` / `run_topk` drivers are
+/// exactly this: prepare, open a session, run.
+///
+/// [`QueryPipeline::session`]: crate::online::QueryPipeline::session
+/// [`QueryPipeline::run`]: crate::online::QueryPipeline::run
+pub struct QuerySession<'a, 'p> {
+    peg: &'a Peg,
+    offline: &'a OfflineIndex,
+    prepared: &'p PreparedQuery,
+    opts: QueryOptions,
+    base: Option<SessionBase>,
+}
+
+impl<'a, 'p> QuerySession<'a, 'p> {
+    pub(crate) fn new(
+        peg: &'a Peg,
+        offline: &'a OfflineIndex,
+        prepared: &'p PreparedQuery,
+        opts: QueryOptions,
+    ) -> Self {
+        Self { peg, offline, prepared, opts, base: None }
+    }
+
+    /// The plan this session executes.
+    pub fn prepared(&self) -> &'p PreparedQuery {
+        self.prepared
+    }
+
+    /// Threshold the base state is converged at (`None` before any run).
+    pub fn base_alpha(&self) -> Option<f64> {
+        self.base.as_ref().map(|b| b.alpha)
+    }
+
+    /// Stage stats of the current base build (stages 2–4 at the base
+    /// threshold) — what a rebase cost, for work accounting.
+    pub fn base_stats(&self) -> Option<&PipelineStats> {
+        self.base.as_ref().map(|b| &b.stats)
+    }
+
+    /// (Re)builds the base at `alpha`: raw retrieval, context pruning,
+    /// k-partite construction, and reduction to fixpoint. Subsequent
+    /// [`QuerySession::run_at`] calls at thresholds `≥ alpha` refine this
+    /// state incrementally; a call below `alpha` triggers another rebase.
+    pub fn rebase(&mut self, alpha: f64) -> Result<(), PegError> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(PegError::Invalid(format!("threshold {alpha} out of range")));
+        }
+        let prepared = self.prepared;
+        let query = &prepared.query;
+        let decomp = &prepared.decomp;
+        let pool = self.opts.pool();
+        let mut stats = PipelineStats {
+            n_paths: decomp.paths.len(),
+            decompose_time: prepared.decompose_time,
+            base_alpha: alpha,
+            ..PipelineStats::default()
+        };
+
+        // 2. Raw retrieval (parallel across paths) + context pruning. The
+        // raw sets are consumed in place: survivors are compacted without
+        // clones, and the raw memory is gone before the k-partite build.
+        let t = Instant::now();
+        let raw: Vec<Vec<PathMatch>> = pool.map(decomp.paths.len(), |i| {
+            let labels = decomp.paths[i].labels(query);
+            self.offline.path_matches(self.peg, &labels, alpha)
+        });
+        let node_cache = NodeCandidateCache::new();
+        let sets: Vec<CandidateSet> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut raw)| {
+                let raw_count = raw.len();
+                candidates::prune_candidates_in_place(
+                    self.peg,
+                    self.offline,
+                    query,
+                    &decomp.paths[i],
+                    &prepared.pstats[i],
+                    alpha,
+                    &node_cache,
+                    &pool,
+                    &mut raw,
+                );
+                CandidateSet { matches: raw, raw_count }
+            })
+            .collect();
+        for cs in &sets {
+            stats.raw_counts.push(cs.raw_count);
+            stats.context_counts.push(cs.matches.len());
+        }
+        stats.candidates_time = t.elapsed();
+        stats.log10_ss_index = log10_product(&stats.raw_counts);
+        stats.log10_ss_context = log10_product(&stats.context_counts);
+
+        // 3. Join-candidates / k-partite construction.
+        let t = Instant::now();
+        let mut kp = build_kpartite(self.peg, query, decomp, &sets, alpha, &pool);
+        stats.join_time = t.elapsed();
+
+        // 4. Joint search-space reduction to fixpoint.
+        let t = Instant::now();
+        if self.opts.use_reduction {
+            let r = kp.reduce(alpha, &self.reduce_opts(&pool));
+            stats.removed_structure = r.removed_structure;
+            stats.removed_upperbound = r.removed_upperbound;
+            stats.message_rounds = r.rounds;
+            stats.log10_ss_after_structure = r.log10_after_structure;
+        } else {
+            stats.log10_ss_after_structure = kp.log10_search_space();
+        }
+        stats.reduction_time = t.elapsed();
+        stats.final_counts = kp.alive_counts();
+        stats.log10_ss_final = kp.log10_search_space();
+
+        self.base = Some(SessionBase { alpha, kp, stats });
+        Ok(())
+    }
+
+    fn reduce_opts(&self, pool: &pegpool::ThreadPool) -> ReduceOptions {
+        ReduceOptions {
+            use_upperbounds: self.opts.use_upperbounds,
+            parallel: self.opts.parallel_reduction || pool.lanes() > 1,
+            threads: self.opts.threads,
+            max_rounds: self.opts.max_rounds,
+        }
+    }
+
+    /// Answers the query at `alpha` (all matches with `Pr(M) ≥ alpha`,
+    /// optionally capped at `limit`).
+    ///
+    /// Builds the base at `alpha` when none exists or the existing base
+    /// sits above `alpha`; otherwise reuses it — exactly at the base
+    /// threshold the converged state is final, and above it the session
+    /// refines a copy incrementally (kills by converged bound, cascades,
+    /// continues Jacobi rounds). The returned
+    /// [`PipelineStats::message_rounds`] counts only rounds this call
+    /// executed, which is what the incremental top-k saves.
+    ///
+    /// Stats caveat for base-reusing calls: the stage counters and timings
+    /// (raw/context counts, candidates/join times, and for pure reuse the
+    /// search-space numbers) describe the *base build* that serves this
+    /// threshold — i.e. the work and search space the session actually
+    /// processed, at [`PipelineStats::base_alpha`] — not a hypothetical
+    /// from-scratch run at `alpha`. [`PipelineStats::total_time`] covers
+    /// only this call.
+    pub fn run_at(&mut self, alpha: f64, limit: Option<usize>) -> Result<QueryResult, PegError> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(PegError::Invalid(format!("threshold {alpha} out of range")));
+        }
+        let t_total = Instant::now();
+        let needs_base = match &self.base {
+            None => true,
+            Some(b) => alpha + EPS < b.alpha,
+        };
+        if needs_base {
+            self.rebase(alpha)?;
+        }
+        let base = self.base.as_ref().expect("base built above");
+        let pool = self.opts.pool();
+
+        let mut stats = base.stats.clone();
+        stats.base_reused = !needs_base;
+        // The refined graph when `alpha` sits strictly above the base and
+        // there is reduction work to do; without reduction the base graph
+        // answers any higher threshold as-is (generation re-filters
+        // exactly), so no copy is made.
+        let strictly_above = !needs_base && alpha > base.alpha + EPS;
+        let refined: Option<KPartiteGraph> = if strictly_above && self.opts.use_reduction {
+            let t = Instant::now();
+            let mut kp = base.kp.clone();
+            let r = kp.reduce(alpha, &self.reduce_opts(&pool));
+            stats.message_rounds = r.rounds;
+            stats.removed_structure = r.removed_structure;
+            stats.removed_upperbound = r.removed_upperbound;
+            stats.log10_ss_after_structure = r.log10_after_structure;
+            stats.reduction_time = t.elapsed();
+            stats.final_counts = kp.alive_counts();
+            stats.log10_ss_final = kp.log10_search_space();
+            Some(kp)
+        } else {
+            if !needs_base {
+                // Pure reuse (or reduction disabled): the converged base
+                // answers `alpha` directly; no reduction work this call.
+                stats.message_rounds = 0;
+                stats.removed_structure = 0;
+                stats.removed_upperbound = 0;
+                stats.reduction_time = std::time::Duration::ZERO;
+            }
+            None
+        };
+        let kp = refined.as_ref().unwrap_or(&base.kp);
+
+        // 5. Match generation over the plan's join order (seed-parallel).
+        let t = Instant::now();
+        let (matches, truncated) = generate_matches_limited(
+            self.peg,
+            &self.prepared.query,
+            &self.prepared.decomp,
+            kp,
+            &self.prepared.order,
+            alpha,
+            limit,
+            &pool,
+        );
+        stats.generation_time = t.elapsed();
+        stats.n_matches = matches.len();
+        stats.total_time = t_total.elapsed();
+
+        Ok(QueryResult { matches, truncated, stats })
+    }
+
+    /// Convenience: sorts `matches` the way top-k results are returned
+    /// (descending probability, ties by node ids).
+    pub(crate) fn sort_topk(matches: &mut [Match]) {
+        matches.sort_by(|a, b| {
+            b.prob()
+                .partial_cmp(&a.prob())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.nodes.cmp(&b.nodes))
+        });
+    }
+}

@@ -1,8 +1,10 @@
-//! Query graphs: small labeled patterns to match against the PEG.
+//! Query graphs: small labeled patterns to match against the PEG, plus the
+//! canonical shape form that keys the online plan cache.
 
 use crate::error::PegError;
-use graphstore::hash::FxHashSet;
+use graphstore::hash::{FxHashSet, FxHasher};
 use graphstore::Label;
+use std::hash::Hasher as _;
 
 /// Index of a node within a query graph.
 pub type QNode = u16;
@@ -202,6 +204,170 @@ impl QueryGraph {
             current.pop();
         }
     }
+
+    /// Canonical form of the query under label-preserving node renumbering.
+    ///
+    /// Two queries produce equal `(labels, edges)` exactly when they are
+    /// isomorphic as labeled graphs (same shape, any variable numbering), so
+    /// the pair is a collision-free plan-cache key. Computed by
+    /// individualization–refinement: Weisfeiler-Leman color refinement
+    /// seeded with label ranks, branching on the smallest ambiguous color
+    /// class and keeping the lexicographically smallest relabeled encoding.
+    /// Worst-case exponential on highly symmetric shapes, but queries are
+    /// small patterns (refinement discretizes typical ones in one or two
+    /// branch levels).
+    pub fn canonical_form(&self) -> CanonicalForm {
+        // Initial colors: rank of each node's label among the distinct
+        // labels present (invariant under node renumbering).
+        let mut distinct: Vec<Label> = self.labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut colors: Vec<u32> = self
+            .labels
+            .iter()
+            .map(|l| distinct.binary_search(l).expect("own label present") as u32)
+            .collect();
+        self.refine_colors(&mut colors);
+        let mut best: Option<CanonicalForm> = None;
+        self.canon_search(&colors, &mut best);
+        best.expect("search visits at least one leaf")
+    }
+
+    /// Hash of [`QueryGraph::canonical_form`] — a compact shape fingerprint
+    /// for display and telemetry (cache lookups use the exact form).
+    pub fn shape_hash(&self) -> u64 {
+        self.canonical_form().hash64()
+    }
+
+    /// WL color refinement to a stable partition: a node's new color is the
+    /// rank of `(old color, sorted neighbor colors)` among all signatures.
+    fn refine_colors(&self, colors: &mut [u32]) {
+        let n = self.n_nodes();
+        loop {
+            let mut sigs: Vec<(u32, Vec<u32>)> = (0..n)
+                .map(|u| {
+                    let mut nb: Vec<u32> =
+                        self.adj[u].iter().map(|&v| colors[v as usize]).collect();
+                    nb.sort_unstable();
+                    (colors[u], nb)
+                })
+                .collect();
+            let mut ranked: Vec<(u32, Vec<u32>)> = sigs.clone();
+            ranked.sort();
+            ranked.dedup();
+            let mut changed = false;
+            for (u, sig) in sigs.drain(..).enumerate() {
+                let c = ranked.binary_search(&sig).expect("own signature present") as u32;
+                if colors[u] != c {
+                    changed = true;
+                }
+                colors[u] = c;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Individualization–refinement search for the minimal encoding.
+    fn canon_search(&self, colors: &[u32], best: &mut Option<CanonicalForm>) {
+        let n = self.n_nodes();
+        // Smallest (by size, then color) non-singleton color class.
+        let mut counts = vec![0usize; n];
+        for &c in colors {
+            counts[c as usize] += 1;
+        }
+        let target = (0..n as u32)
+            .filter(|&c| counts[c as usize] > 1)
+            .min_by_key(|&c| (counts[c as usize], c));
+        let Some(cls) = target else {
+            // Discrete coloring: colors are a permutation; encode and keep
+            // the minimum.
+            let mut perm = vec![0 as QNode; n];
+            for (u, &c) in colors.iter().enumerate() {
+                perm[u] = c as QNode;
+            }
+            let mut labels = vec![Label(0); n];
+            for (u, &c) in perm.iter().enumerate() {
+                labels[c as usize] = self.labels[u];
+            }
+            let mut edges: Vec<(QNode, QNode)> = self
+                .edges
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = (perm[u as usize], perm[v as usize]);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            edges.sort_unstable();
+            let cand = CanonicalForm { labels, edges, perm };
+            if best.as_ref().is_none_or(|b| (&cand.labels, &cand.edges) < (&b.labels, &b.edges)) {
+                *best = Some(cand);
+            }
+            return;
+        };
+        for v in 0..n {
+            if colors[v] != cls {
+                continue;
+            }
+            // Individualize `v`: split it off just below the rest of its
+            // class, keeping relative color order (doubling makes room).
+            let mut split: Vec<u32> = colors
+                .iter()
+                .enumerate()
+                .map(|(u, &c)| 2 * c + u32::from(c == cls && u != v))
+                .collect();
+            self.refine_colors(&mut split);
+            self.canon_search(&split, best);
+        }
+    }
+}
+
+/// The canonical relabeling of a query: `perm[orig] = canonical index`, and
+/// the query's labels/edges expressed in canonical numbering (edges as
+/// `(min, max)` pairs in ascending order).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalForm {
+    /// Node labels in canonical order.
+    pub labels: Vec<Label>,
+    /// Edges in canonical numbering, normalized and sorted.
+    pub edges: Vec<(QNode, QNode)>,
+    /// Maps each original node index to its canonical index.
+    pub perm: Vec<QNode>,
+}
+
+impl CanonicalForm {
+    /// Maps a canonical node index back to this query's node index.
+    pub fn inverse(&self) -> Vec<QNode> {
+        let mut inv = vec![0 as QNode; self.perm.len()];
+        for (orig, &canon) in self.perm.iter().enumerate() {
+            inv[canon as usize] = orig as QNode;
+        }
+        inv
+    }
+
+    /// The canonical query graph itself (node `i` = canonical index `i`).
+    pub fn to_query(&self) -> QueryGraph {
+        QueryGraph::new(self.labels.clone(), self.edges.clone())
+            .expect("canonical form of a valid query is valid")
+    }
+
+    /// 64-bit fingerprint of the shape (labels + edges only; `perm` is
+    /// per-query and excluded). Sequence lengths are hashed first so the
+    /// label and edge streams cannot alias across different splits.
+    pub fn hash64(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(self.labels.len());
+        h.write_usize(self.edges.len());
+        for l in &self.labels {
+            h.write_u16(l.0);
+        }
+        for &(a, b) in &self.edges {
+            h.write_u16(a);
+            h.write_u16(b);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +430,71 @@ mod tests {
             let mut rev = p.clone();
             rev.reverse();
             assert!(!seen.contains(&rev) || rev == *p, "reverse duplicate {p:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_invariant_under_renumbering() {
+        // A triangle with a tail, numbered two different ways.
+        let q1 =
+            QueryGraph::new(vec![l(0), l(1), l(2), l(0)], vec![(0, 1), (1, 2), (2, 0), (2, 3)])
+                .unwrap();
+        let q2 =
+            QueryGraph::new(vec![l(0), l(2), l(1), l(0)], vec![(3, 2), (2, 1), (1, 3), (1, 0)])
+                .unwrap();
+        let c1 = q1.canonical_form();
+        let c2 = q2.canonical_form();
+        assert_eq!(c1.labels, c2.labels);
+        assert_eq!(c1.edges, c2.edges);
+        assert_eq!(q1.shape_hash(), q2.shape_hash());
+        // The permutation maps the query onto its canonical form.
+        for (u, &cu) in c1.perm.iter().enumerate() {
+            assert_eq!(q1.label(u as QNode), c1.labels[cu as usize]);
+        }
+        assert_eq!(c1.to_query().canonical_form().edges, c1.edges);
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_shapes() {
+        let path = QueryGraph::path(&[l(0), l(0), l(0)]).unwrap();
+        let tri = QueryGraph::cycle(&[l(0), l(0), l(0)]).unwrap();
+        assert_ne!(path.canonical_form().edges, tri.canonical_form().edges);
+        // Same shape, different labels.
+        let p2 = QueryGraph::path(&[l(0), l(0), l(1)]).unwrap();
+        assert_ne!(path.canonical_form().labels, p2.canonical_form().labels);
+    }
+
+    #[test]
+    fn canonical_form_handles_symmetric_shapes() {
+        // Label-uniform cycles maximize color-class ambiguity — every node
+        // starts in one class and IR must branch.
+        for n in [3usize, 4, 6] {
+            let labels = vec![l(7); n];
+            let q = QueryGraph::cycle(&labels).unwrap();
+            let c = q.canonical_form();
+            assert_eq!(c.labels.len(), n);
+            assert_eq!(c.edges.len(), n);
+            // Rotated numbering cannot change the form.
+            let rot: Vec<(QNode, QNode)> = q
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = ((u + 1) % n as QNode, (v + 1) % n as QNode);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            let q2 = QueryGraph::new(labels.clone(), rot).unwrap();
+            assert_eq!(q2.canonical_form().edges, c.edges);
+        }
+    }
+
+    #[test]
+    fn inverse_permutation_round_trips() {
+        let q = QueryGraph::star(l(3), &[l(1), l(2), l(1)]).unwrap();
+        let c = q.canonical_form();
+        let inv = c.inverse();
+        for (orig, &canon) in c.perm.iter().enumerate() {
+            assert_eq!(inv[canon as usize] as usize, orig);
         }
     }
 

@@ -1,0 +1,140 @@
+//! Property tests for the plan-cache key: the canonical form (labels +
+//! edges) of a query must be invariant under variable renumbering —
+//! isomorphic/relabelled query graphs canonicalize to the same key — and
+//! must separate non-isomorphic shapes exactly (no collisions on small
+//! shapes, verified against brute-force isomorphism).
+
+use graphstore::Label;
+use pegmatch::query::{QNode, QueryGraph};
+use proptest::prelude::*;
+
+/// A random connected labeled graph: spanning tree plus extra edges.
+fn random_graph(n: usize, n_labels: u16, extra: usize, seed: u64) -> QueryGraph {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let labels: Vec<Label> = (0..n).map(|_| Label((next() % n_labels as u64) as u16)).collect();
+    let mut edges: Vec<(QNode, QNode)> = (1..n as QNode)
+        .map(|v| {
+            let u = (next() % v as u64) as QNode;
+            (u.min(v), u.max(v))
+        })
+        .collect();
+    for _ in 0..extra {
+        let u = (next() % n as u64) as QNode;
+        let v = (next() % n as u64) as QNode;
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    QueryGraph::new(labels, edges).expect("spanning tree keeps the graph connected")
+}
+
+/// The same graph with nodes renumbered through a random permutation.
+fn permuted(q: &QueryGraph, seed: u64) -> QueryGraph {
+    let n = q.n_nodes();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        perm.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    let mut labels = vec![Label(0); n];
+    for (old, &new) in perm.iter().enumerate() {
+        labels[new] = q.label(old as QNode);
+    }
+    let edges: Vec<(QNode, QNode)> = q
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            let (a, b) = (perm[u as usize] as QNode, perm[v as usize] as QNode);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    QueryGraph::new(labels, edges).expect("permutation preserves validity")
+}
+
+/// Brute-force label-preserving isomorphism test (small n only).
+fn isomorphic(a: &QueryGraph, b: &QueryGraph) -> bool {
+    let n = a.n_nodes();
+    if n != b.n_nodes() || a.n_edges() != b.n_edges() {
+        return false;
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    permutations(&mut perm, 0, &mut |p| {
+        (0..n).all(|u| a.label(u as QNode) == b.label(p[u] as QNode))
+            && a.edges()
+                .iter()
+                .all(|&(u, v)| b.has_edge(p[u as usize] as QNode, p[v as usize] as QNode))
+    })
+}
+
+fn permutations(perm: &mut Vec<usize>, k: usize, found: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == perm.len() {
+        return found(perm);
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        if permutations(perm, k + 1, found) {
+            perm.swap(k, i);
+            return true;
+        }
+        perm.swap(k, i);
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn renumbered_queries_share_the_canonical_key(
+        n in 2usize..8,
+        n_labels in 1u16..4,
+        extra in 0usize..6,
+        seed in 0u64..1_000_000,
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let q = random_graph(n, n_labels, extra, seed);
+        let p = permuted(&q, perm_seed);
+        let cq = q.canonical_form();
+        let cp = p.canonical_form();
+        prop_assert_eq!(&cq.labels, &cp.labels, "labels diverge for {:?} vs {:?}", q, p);
+        prop_assert_eq!(&cq.edges, &cp.edges, "edges diverge for {:?} vs {:?}", q, p);
+        prop_assert_eq!(q.shape_hash(), p.shape_hash());
+        // The permutation really maps the query onto the canonical graph.
+        let canon = cq.to_query();
+        for u in 0..q.n_nodes() {
+            prop_assert_eq!(q.label(u as QNode), canon.label(cq.perm[u]));
+        }
+        for &(u, v) in q.edges() {
+            prop_assert!(canon.has_edge(cq.perm[u as usize], cq.perm[v as usize]));
+        }
+    }
+
+    #[test]
+    fn canonical_keys_collide_exactly_on_isomorphism(
+        n in 2usize..6,
+        n_labels in 1u16..3,
+        extra_a in 0usize..4,
+        extra_b in 0usize..4,
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        let a = random_graph(n, n_labels, extra_a, seed_a);
+        let b = random_graph(n, n_labels, extra_b, seed_b);
+        let ca = a.canonical_form();
+        let cb = b.canonical_form();
+        let same_key = ca.labels == cb.labels && ca.edges == cb.edges;
+        prop_assert_eq!(
+            same_key,
+            isomorphic(&a, &b),
+            "canonical key must separate exactly by isomorphism: {:?} vs {:?}", a, b
+        );
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! The build environment has no access to a crates registry, so the subset
 //! of proptest this workspace's property tests use is implemented here:
-//! the [`proptest!`] macro, the [`Strategy`] trait with `prop_map` /
-//! `prop_flat_map`, [`prop_oneof!`], `any::<T>()`, [`Just`], collection /
-//! option / sample strategies, a small `[class]{lo,hi}` regex-string
-//! strategy, and the `prop_assert*` / [`prop_assume!`] macros.
+//! the [`proptest!`] macro, the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, [`prop_oneof!`], `any::<T>()`,
+//! [`strategy::Just`], collection / option / sample strategies, a small
+//! `[class]{lo,hi}` regex-string strategy, and the `prop_assert*` /
+//! [`prop_assume!`] macros.
 //!
 //! Differences from upstream, by design:
 //! * **no shrinking** — a failing case panics with its case number and the
@@ -60,7 +61,8 @@ pub mod strategy {
             FlatMap { inner: self, f }
         }
 
-        /// Type-erases the strategy (needed to mix arms in [`prop_oneof!`]).
+        /// Type-erases the strategy (needed to mix arms in
+        /// [`prop_oneof!`](crate::prop_oneof)).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -126,7 +128,8 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    /// Uniform choice between type-erased alternatives
+    /// ([`prop_oneof!`](crate::prop_oneof)).
     pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
 
     impl<V> Clone for Union<V> {

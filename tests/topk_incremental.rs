@@ -1,0 +1,147 @@
+//! Regression: incremental top-k refinement is indistinguishable from
+//! from-scratch execution. At every intermediate threshold of the top-k
+//! schedule, a single session refining alpha-monotone incrementally must
+//! return the same match set — `f64`-bit-exact in both probability
+//! components — as a fresh session rebuilt from scratch over the same
+//! plan at that threshold, across `threads ∈ {1, 0}`. The incremental
+//! path must also pay strictly fewer reduction rounds over the
+//! refinement steps than the rebuild baseline.
+
+use datagen::{random_query, synthetic_refgraph, QuerySpec, SyntheticConfig};
+use pathindex::PathIndexConfig;
+use pegmatch::matcher::Match;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{QueryOptions, QueryPipeline};
+
+fn assert_bit_identical(got: &[Match], want: &[Match], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: match-set sizes differ");
+    for (x, y) in got.iter().zip(want) {
+        assert_eq!(x.nodes, y.nodes, "{ctx}");
+        assert_eq!(x.prle.to_bits(), y.prle.to_bits(), "{ctx}: prle bits differ");
+        assert_eq!(x.prn.to_bits(), y.prn.to_bits(), "{ctx}: prn bits differ");
+    }
+}
+
+/// The top-k threshold schedule: geometric descent from 0.5 to the floor.
+fn schedule(k: usize, floor: f64, counts_at: impl Fn(f64) -> usize) -> Vec<f64> {
+    let mut alphas = Vec::new();
+    let mut alpha = 0.5f64;
+    loop {
+        alphas.push(alpha);
+        if counts_at(alpha) >= k || alpha <= floor {
+            return alphas;
+        }
+        alpha = (alpha * 0.25).max(floor);
+    }
+}
+
+#[test]
+fn incremental_topk_equals_from_scratch_at_every_threshold() {
+    let cfg = SyntheticConfig { seed: 7, ..SyntheticConfig::paper_with_uncertainty(220, 0.4) };
+    let refs = synthetic_refgraph(&cfg);
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let n_labels = peg.graph.label_table().len();
+    let idx = OfflineIndex::build(
+        &peg,
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.05, ..Default::default() } },
+    )
+    .unwrap();
+    let pipe = QueryPipeline::new(&peg, &idx);
+    let (k, floor) = (40usize, 1e-7);
+
+    for threads in [1usize, 0] {
+        let opts = QueryOptions::with_threads(threads);
+        for seed in 0..3u64 {
+            let q = random_query(QuerySpec::new(4, 4), n_labels, seed);
+            let prepared = pipe.prepare(&q, 0.5, &opts).unwrap();
+
+            // Rebuild baseline drives a fresh session per threshold; it also
+            // fixes the schedule the incremental session will follow.
+            let alphas = schedule(k, floor, |alpha| {
+                let mut s = pipe.session(&prepared, &opts);
+                s.run_at(alpha, None).unwrap().matches.len()
+            });
+
+            // One incremental session across the whole schedule, mirroring
+            // the run_topk driver's lookahead rebases. Two accountings:
+            // refinement-only rounds (what a reusing run_at itself pays)
+            // and total rounds *including* lookahead rebase convergence —
+            // the honest all-in comparison against per-step rebuilds.
+            let mut session = pipe.session(&prepared, &opts);
+            let mut inc_refine_rounds = 0usize;
+            let mut scratch_refine_rounds = 0usize;
+            let mut inc_total_rounds = 0usize;
+            let mut scratch_total_rounds = 0usize;
+            let mut last = None;
+            for (step, &alpha) in alphas.iter().enumerate() {
+                if let Some(base) = session.base_alpha() {
+                    if alpha + 1e-12 < base {
+                        session.rebase((alpha * 0.25).max(floor)).unwrap();
+                        inc_total_rounds += session.base_stats().unwrap().message_rounds;
+                    }
+                }
+                let inc = session.run_at(alpha, None).unwrap();
+                let mut fresh = pipe.session(&prepared, &opts);
+                let scratch = fresh.run_at(alpha, None).unwrap();
+                let ctx = format!("threads={threads} seed={seed} alpha={alpha}");
+                assert_bit_identical(&inc.matches, &scratch.matches, &ctx);
+                inc_total_rounds += inc.stats.message_rounds;
+                scratch_total_rounds += scratch.stats.message_rounds;
+                if step > 0 {
+                    assert!(inc.stats.base_reused, "{ctx}: refinements must reuse the base");
+                    inc_refine_rounds += inc.stats.message_rounds;
+                    scratch_refine_rounds += scratch.stats.message_rounds;
+                }
+                last = Some(inc);
+            }
+            if alphas.len() >= 3 {
+                // Two or more refinement steps: the pure-reuse steps do no
+                // reduction work at all, so the incremental side is
+                // strictly ahead of per-threshold rebuilds.
+                assert!(
+                    inc_refine_rounds < scratch_refine_rounds,
+                    "threads={threads} seed={seed}: incremental rounds {inc_refine_rounds} \
+                     not fewer than rebuild rounds {scratch_refine_rounds}"
+                );
+                // All-in (rebase convergence included) it must not do more
+                // reduction work than rebuilding every threshold.
+                assert!(
+                    inc_total_rounds <= scratch_total_rounds,
+                    "threads={threads} seed={seed}: incremental total rounds \
+                     {inc_total_rounds} exceed rebuild total {scratch_total_rounds}"
+                );
+            }
+
+            // The run_topk driver returns exactly the best k of the final
+            // incremental result.
+            let topk = pipe.run_topk(&q, k, floor, &opts).unwrap();
+            let mut want = last.unwrap().matches;
+            want.sort_by(|a, b| {
+                b.prob().partial_cmp(&a.prob()).unwrap().then_with(|| a.nodes.cmp(&b.nodes))
+            });
+            want.truncate(k);
+            assert_bit_identical(&topk.matches, &want, &format!("threads={threads} topk"));
+        }
+    }
+}
+
+#[test]
+fn incremental_topk_is_thread_invariant_bitwise() {
+    let cfg = SyntheticConfig { seed: 11, ..SyntheticConfig::paper_with_uncertainty(150, 0.6) };
+    let refs = synthetic_refgraph(&cfg);
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let n_labels = peg.graph.label_table().len();
+    let idx = OfflineIndex::build(
+        &peg,
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.1, ..Default::default() } },
+    )
+    .unwrap();
+    let pipe = QueryPipeline::new(&peg, &idx);
+    for seed in 0..3u64 {
+        let q = random_query(QuerySpec::new(4, 4), n_labels, seed);
+        let seq = pipe.run_topk(&q, 10, 1e-6, &QueryOptions::with_threads(1)).unwrap();
+        let par = pipe.run_topk(&q, 10, 1e-6, &QueryOptions::with_threads(0)).unwrap();
+        assert_bit_identical(&par.matches, &seq.matches, &format!("seed={seed}"));
+    }
+}
