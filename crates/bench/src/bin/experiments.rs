@@ -8,7 +8,7 @@
 //! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
-//! ablation-montecarlo ablation-plan-cache all
+//! ablation-montecarlo ablation-plan-cache serving-mix all
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -102,6 +102,9 @@ fn main() {
     }
     if run("ablation-plan-cache") {
         ablation_plan_cache(scale);
+    }
+    if run("serving-mix") {
+        serving_mix(scale);
     }
 }
 
@@ -699,38 +702,9 @@ fn ablation_query_threads(scale: Scale) {
 /// [`pegmatch::online::PlanCache`], the hit rate, and the per-stage
 /// planning time the cache saved.
 fn ablation_plan_cache(scale: Scale) {
+    use bench::workloads::permuted_query as permuted;
     use pegmatch::online::PlanCache;
     use std::sync::Arc;
-
-    /// The query with its variables renumbered through a random permutation
-    /// (xorshift Fisher–Yates; the root package carries no RNG dependency).
-    fn permuted(q: &QueryGraph, seed: u64) -> QueryGraph {
-        let n = q.n_nodes();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
-        for i in (1..n).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            perm.swap(i, (state % (i as u64 + 1)) as usize);
-        }
-        let mut labels = vec![graphstore::Label(0); n];
-        for (old, &new) in perm.iter().enumerate() {
-            labels[new] = q.label(old as pegmatch::query::QNode);
-        }
-        let edges: Vec<(pegmatch::query::QNode, pegmatch::query::QNode)> = q
-            .edges()
-            .iter()
-            .map(|&(u, v)| {
-                let (a, b) = (
-                    perm[u as usize] as pegmatch::query::QNode,
-                    perm[v as usize] as pegmatch::query::QNode,
-                );
-                (a.min(b), a.max(b))
-            })
-            .collect();
-        QueryGraph::new(labels, edges).expect("renumbering preserves validity")
-    }
 
     println!("## Ablation: plan cache on repeated-shape workloads (alpha=0.5)");
     let w = Workload::synthetic(scale.default_graph(), 0.2, 0.3, 2);
@@ -786,6 +760,213 @@ fn ablation_plan_cache(scale: Scale) {
         ]);
     }
     t.print();
+    println!();
+}
+
+/// Serving: a repeated-shape query mix replayed by concurrent clients
+/// against a live `pegserve` server.
+///
+/// Boots a server on a loopback port, loads a synthetic graph, and drives
+/// `clients` threads each replaying its slice of a shapes×repeats mix of
+/// isomorphic renumberings (the workload a multi-user front end produces).
+/// Reports the per-graph plan-cache hit rate, admission counters, and
+/// client-observed p50/p99 latency; then a deliberate overload burst
+/// (admission-held slow queries beyond the session bound) shows that the
+/// server answers every request with a structured `overloaded`/`timeout`
+/// reply instead of hanging.
+fn serving_mix(scale: Scale) {
+    use bench::workloads::permuted_query;
+    use pegserve::{obj, Client, Json, Server, ServerConfig};
+
+    println!("## Serving: repeated-shape mix against a live server (alpha=0.5)");
+    let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper_with_uncertainty(
+        scale.default_graph(),
+        0.2,
+    ));
+    let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
+    let offline = OfflineIndex::build(
+        &peg,
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() } },
+    )
+    .unwrap();
+    let n_labels = peg.graph.label_table().len();
+
+    // The mix: `shapes` distinct canonical shapes, each repeated as
+    // isomorphic renumberings. Pattern text is rendered against the
+    // graph's own label table before the graph moves into the server.
+    let (n_shapes, repeats, clients) = (4usize, 16usize, 4usize);
+    let shapes: Vec<QueryGraph> =
+        (0..n_shapes as u64).map(|s| random_query(QuerySpec::new(5, 6), n_labels, s)).collect();
+    let pattern_text =
+        |q: &QueryGraph| pegmatch::pattern::format_pattern(q, peg.graph.label_table());
+    let shape_patterns: Vec<String> = shapes.iter().map(&pattern_text).collect();
+    let mix: Vec<String> = (0..n_shapes as u64)
+        .flat_map(|s| {
+            let base = &shapes[s as usize];
+            (0..repeats as u64)
+                .map(|r| pattern_text(&permuted_query(base, s * 1000 + r)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let config = ServerConfig {
+        max_sessions: 4,
+        queue_depth: 16,
+        deadline: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    server.insert_graph("mix", peg, offline);
+    let handle = server.spawn();
+    let addr = handle.addr;
+
+    // One warmup query per shape makes the steady-state hit rate
+    // deterministic even under client concurrency.
+    let mut warm = Client::connect(addr).unwrap();
+    for pattern in &shape_patterns {
+        let req = obj()
+            .field("op", "query")
+            .field("pattern", pattern.as_str())
+            .field("alpha", 0.5)
+            .build();
+        let reply = warm.request(&req).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "warmup failed: {reply}");
+    }
+    let per_client = mix.len().div_ceil(clients);
+    let t0 = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = mix
+            .chunks(per_client)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut out = Vec::with_capacity(slice.len());
+                    for pattern in slice {
+                        let req = obj()
+                            .field("op", "query")
+                            .field("pattern", pattern.as_str())
+                            .field("alpha", 0.5)
+                            .build();
+                        let t = Instant::now();
+                        let reply = client.request(&req).unwrap();
+                        out.push(t.elapsed());
+                        assert_eq!(
+                            reply.get("ok"),
+                            Some(&Json::Bool(true)),
+                            "mix query failed: {reply}"
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    let stats =
+        Client::connect(addr).unwrap().request(&obj().field("op", "stats").build()).unwrap();
+    let cache = stats.get("graphs").unwrap().as_arr().unwrap()[0].get("plan_cache").unwrap();
+    let hit_rate = cache.get("hit_rate").unwrap().as_f64().unwrap();
+    let admission = stats.get("admission").unwrap();
+
+    let mut t = Table::new(&[
+        "shapes",
+        "queries",
+        "clients",
+        "wall",
+        "p50",
+        "p99",
+        "plan-cache hit rate",
+        "admitted",
+        "peak sessions",
+    ]);
+    t.row(vec![
+        n_shapes.to_string(),
+        (mix.len() + n_shapes).to_string(),
+        clients.to_string(),
+        fmt_duration(wall),
+        fmt_duration(pct(0.50)),
+        fmt_duration(pct(0.99)),
+        format!("{:.0}%", hit_rate * 100.0),
+        admission.get("admitted").unwrap().as_u64().unwrap().to_string(),
+        admission.get("peak_running").unwrap().as_u64().unwrap().to_string(),
+    ]);
+    t.print();
+    assert!(
+        hit_rate >= 0.80,
+        "repeated-shape mix must hit the plan cache ≥80% (got {:.0}%)",
+        hit_rate * 100.0
+    );
+
+    // Overload burst: 8 clients send admission-held queries at a server
+    // bound of 4 sessions + 2 queue slots — at least two must be rejected
+    // with a structured reply, and every client gets *some* reply.
+    let burst_config = ServerConfig {
+        max_sessions: 4,
+        queue_depth: 2,
+        deadline: Duration::from_millis(300),
+        allow_debug_sleep: true,
+        ..Default::default()
+    };
+    let burst_server = Server::bind("127.0.0.1:0", burst_config).unwrap();
+    let refs =
+        datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper_with_uncertainty(400, 0.2));
+    let peg = pegmatch::model::PegBuilder::new().build(&refs).unwrap();
+    let offline = OfflineIndex::build(
+        &peg,
+        &OfflineOptions { index: PathIndexConfig { max_len: 1, beta: 0.3, ..Default::default() } },
+    )
+    .unwrap();
+    burst_server.insert_graph("burst", peg, offline);
+    let burst_handle = burst_server.spawn();
+    let burst_addr = burst_handle.addr;
+    let outcomes: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(burst_addr).unwrap();
+                    let req = obj()
+                        .field("op", "query")
+                        .field("pattern", "(x:l0)-(y:l1)")
+                        .field("alpha", 0.5)
+                        .field("debug_sleep_ms", 600u64)
+                        .build();
+                    let reply = client.request(&req).unwrap();
+                    match reply.get("error").and_then(Json::as_str) {
+                        Some(code) => code.to_string(),
+                        None => "ok".to_string(),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = outcomes.iter().filter(|o| *o == "ok").count();
+    let rejected = outcomes.len() - ok;
+    println!(
+        "overload burst: {} requests -> {} served, {} rejected ({})",
+        outcomes.len(),
+        ok,
+        rejected,
+        {
+            let mut codes: Vec<&str> =
+                outcomes.iter().filter(|o| *o != "ok").map(String::as_str).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            codes.join("/")
+        }
+    );
+    assert!(rejected >= 2, "overload must produce structured rejections, got {outcomes:?}");
+    assert!(
+        outcomes.iter().all(|o| matches!(o.as_str(), "ok" | "overloaded" | "timeout")),
+        "unexpected outcome in {outcomes:?}"
+    );
+    burst_handle.shutdown().unwrap();
+    handle.shutdown().unwrap();
     println!();
 }
 

@@ -41,6 +41,8 @@ fn main() {
         "query" => cmd_query(&flags, false),
         "topk" => cmd_query(&flags, true),
         "stats" => cmd_stats(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -66,7 +68,13 @@ fn usage() {
          \x20          [--repeat N] [--plan-cache-stats]\n\
          \x20          (or: --labels a,b,c --edges 0-1,1-2)\n\
          \x20 topk     (same as query, plus --k K)\n\
-         \x20 stats    --kind ... --size N [--seed S]"
+         \x20 stats    --kind ... --size N [--seed S]\n\
+         \x20 serve    --addr HOST:PORT [--kind ... --size N [--seed S] [--max-len L] [--beta B]\n\
+         \x20          [--name G]] [--max-sessions N] [--queue-depth N] [--deadline-ms MS]\n\
+         \x20          [--max-connections N]\n\
+         \x20          [--debug-sleep]   (honor debug_sleep_ms requests — admission drills)\n\
+         \x20 client   --addr HOST:PORT [--json REQUEST]   (no --json: one request line per\n\
+         \x20          stdin line; replies print to stdout)"
     );
 }
 
@@ -207,6 +215,66 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 fn query_opts(flags: &HashMap<String, String>) -> QueryOptions {
     let threads: usize = flags.get("threads").map(|s| s.parse().unwrap_or(0)).unwrap_or(0);
     QueryOptions { threads, ..Default::default() }
+}
+
+/// `pegcli serve`: boot the multi-client query server. With `--kind` a
+/// graph is generated and indexed in-process before listening (named by
+/// `--name`, default `default`); otherwise clients send `load_graph`.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let config = pegserve::ServerConfig {
+        max_sessions: flags.get("max-sessions").and_then(|s| s.parse().ok()).unwrap_or(4),
+        queue_depth: flags.get("queue-depth").and_then(|s| s.parse().ok()).unwrap_or(16),
+        deadline: std::time::Duration::from_millis(
+            flags.get("deadline-ms").and_then(|s| s.parse().ok()).unwrap_or(5000),
+        ),
+        max_connections: flags.get("max-connections").and_then(|s| s.parse().ok()).unwrap_or(256),
+        allow_debug_sleep: flags.contains_key("debug-sleep"),
+    };
+    let server = pegserve::Server::bind(addr, config).map_err(|e| e.to_string())?;
+    if flags.contains_key("kind") {
+        let peg = peg_from_flags(flags)?;
+        let offline = OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?;
+        let name = flags.get("name").map(String::as_str).unwrap_or("default");
+        println!(
+            "loaded graph '{}': {} nodes, {} edges",
+            name,
+            peg.graph.n_nodes(),
+            peg.graph.n_edges()
+        );
+        server.insert_graph(name, peg, offline);
+    }
+    println!("pegserve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.serve().map_err(|e| e.to_string())
+}
+
+/// `pegcli client`: send line-delimited JSON requests to a running server.
+/// `--json REQ` sends one request; without it, each stdin line is a
+/// request. Reply lines print to stdout verbatim (greppable in scripts).
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let mut client = pegserve::Client::connect(addr).map_err(|e| e.to_string())?;
+    if let Some(req) = flags.get("json") {
+        let reply = client.request_line(req).map_err(|e| e.to_string())?;
+        println!("{reply}");
+        return Ok(());
+    }
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead as _;
+        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = client.request_line(line.trim()).map_err(|e| e.to_string())?;
+        println!("{reply}");
+    }
 }
 
 fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {

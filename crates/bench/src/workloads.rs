@@ -104,6 +104,10 @@ impl Workload {
     }
 }
 
+/// Re-exported for workload construction: isomorphic renumbering of a
+/// query (the building block of repeated-shape serving mixes).
+pub use datagen::permuted_query;
+
 /// The paper's query-size ladder for Figure 6(c): a query of `n` nodes has
 /// `min(4n, n(n−1)/2)` edges.
 pub fn fig6c_query_sizes() -> Vec<(usize, usize)> {
@@ -143,5 +147,23 @@ mod tests {
         assert_eq!(w.index_by_l.len(), 3);
         assert!(w.index(1).paths.n_entries() > 0);
         assert!(w.index(3).paths.n_entries() >= w.index(2).paths.n_entries());
+    }
+
+    #[test]
+    fn permuted_query_is_isomorphic_not_identical() {
+        use graphstore::Label;
+        use pegmatch::query::QueryGraph;
+        let q = QueryGraph::path(&[Label(0), Label(1), Label(2), Label(0)]).unwrap();
+        let mut saw_different_text = false;
+        for seed in 0..8 {
+            let p = permuted_query(&q, seed);
+            assert_eq!(p.n_nodes(), q.n_nodes());
+            assert_eq!(p.n_edges(), q.n_edges());
+            assert_eq!(p.shape_hash(), q.shape_hash(), "seed={seed}: same canonical shape");
+            if p.edges() != q.edges() || p.labels() != q.labels() {
+                saw_different_text = true;
+            }
+        }
+        assert!(saw_different_text, "permutations vary the query text");
     }
 }

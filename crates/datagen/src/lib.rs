@@ -26,5 +26,5 @@ pub mod zipf;
 pub use dblp::{dblp_like, DblpConfig};
 pub use imdb::{imdb_like, ImdbConfig};
 pub use patterns::{pattern_query, Pattern};
-pub use queries::{random_query, sampled_query, QuerySpec};
+pub use queries::{permuted_query, random_query, sampled_query, QuerySpec};
 pub use synthetic::{synthetic_refgraph, SyntheticConfig};

@@ -62,6 +62,38 @@ pub fn random_query(spec: QuerySpec, n_labels: usize, seed: u64) -> QueryGraph {
     QueryGraph::new(labels, edges).expect("generated query must validate")
 }
 
+/// The query with its variables renumbered through a seeded random
+/// permutation (xorshift Fisher–Yates) — an isomorphic copy with a
+/// different query text. Repeated-shape serving mixes are built from
+/// exactly these: many users writing the same pattern with their own
+/// variable numbering, all hitting one plan-cache entry; the
+/// canonicalization tests use the same construction as ground truth for
+/// shape equality.
+pub fn permuted_query(q: &QueryGraph, seed: u64) -> QueryGraph {
+    let n = q.n_nodes();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        perm.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    let mut labels = vec![Label(0); n];
+    for (old, &new) in perm.iter().enumerate() {
+        labels[new] = q.label(old as QNode);
+    }
+    let edges: Vec<(QNode, QNode)> = q
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            let (a, b) = (perm[u as usize] as QNode, perm[v as usize] as QNode);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    QueryGraph::new(labels, edges).expect("renumbering preserves validity")
+}
+
 /// Samples a connected subgraph of `graph` and lifts it into a query, using
 /// labels from the sampled nodes' supports — such a query is guaranteed to
 /// have at least one match at a sufficiently low threshold.

@@ -112,15 +112,27 @@ struct CachedPlan {
     shape_hash: u64,
     build_time: Duration,
     hits: u64,
+    /// Logical clock value of the entry's last lookup or insertion; the
+    /// eviction victim is the minimum (true LRU).
+    last_used: u64,
 }
 
 #[derive(Debug, Default)]
 struct PlanCacheInner {
     map: FxHashMap<PlanKey, CachedPlan>,
+    /// Logical clock: bumped once per lookup/insertion touch.
+    tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
     saved: Duration,
+}
+
+impl PlanCacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// Snapshot of a [`PlanCache`]'s counters.
@@ -178,9 +190,11 @@ pub struct PlanCacheEntry {
 /// plan across refinements.
 ///
 /// Capacity is bounded ([`PlanCache::with_capacity`]; default 1024
-/// shapes): inserting past the bound evicts the least-hit entry, so a
-/// diverse or adversarial query stream cannot grow the cache without
-/// limit.
+/// shapes): inserting past the bound evicts the least-recently-used entry
+/// (true LRU — recency, not hit count — so a long-lived server ages out
+/// shapes that *were* hot but stopped arriving), and a diverse or
+/// adversarial query stream cannot grow the cache without limit. Eviction
+/// counts surface in [`PlanCacheStats::evictions`].
 #[derive(Debug)]
 pub struct PlanCache {
     inner: Mutex<PlanCacheInner>,
@@ -227,9 +241,11 @@ impl PlanCache {
         };
         let hit = {
             let mut inner = self.inner.lock().unwrap();
+            let now = inner.next_tick();
             match inner.map.get_mut(&key) {
                 Some(entry) => {
                     entry.hits += 1;
+                    entry.last_used = now;
                     let build_time = entry.build_time;
                     // Only ref-count bumps under the lock; the renumbering
                     // allocation happens outside it.
@@ -255,15 +271,17 @@ impl PlanCache {
         let canonical = std::sync::Arc::new(decomp.renumbered(&canon.perm));
         let mut inner = self.inner.lock().unwrap();
         if !inner.map.contains_key(&key) && inner.map.len() >= self.max_entries {
-            // Evict the least-hit shape (ties by hash, deterministically);
-            // O(n) scan is fine at cache-bound sizes.
+            // Evict the least-recently-used shape (ticks are unique, so
+            // the victim is unambiguous); O(n) scan is fine at
+            // cache-bound sizes.
             if let Some(victim) =
-                inner.map.iter().min_by_key(|(_, p)| (p.hits, p.shape_hash)).map(|(k, _)| k.clone())
+                inner.map.iter().min_by_key(|(_, p)| p.last_used).map(|(k, _)| k.clone())
             {
                 inner.map.remove(&victim);
                 inner.evictions += 1;
             }
         }
+        let now = inner.next_tick();
         inner.map.insert(
             key,
             CachedPlan {
@@ -272,6 +290,7 @@ impl PlanCache {
                 shape_hash: canon.hash64(),
                 build_time,
                 hits: 0,
+                last_used: now,
             },
         );
         Ok((decomp, order, false))
@@ -381,24 +400,44 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_least_hit_shape() {
+    fn capacity_bound_evicts_least_recently_used_shape() {
         let cache = PlanCache::with_capacity(2);
         let hot = QueryGraph::path(&[l(0), l(1)]).unwrap();
         let cold = QueryGraph::path(&[l(1), l(1)]).unwrap();
         let newcomer = QueryGraph::path(&[l(0), l(0)]).unwrap();
         let _ = plan_for(&cache, &hot);
         let _ = plan_for(&cache, &cold);
-        let _ = plan_for(&cache, &hot); // hot: 1 hit, cold: 0 hits
+        let _ = plan_for(&cache, &hot); // recency: cold < hot
         let (_, was_hit) = plan_for(&cache, &newcomer); // evicts cold
         assert!(!was_hit);
         let s = cache.stats();
         assert_eq!(s.entries, 2);
         assert_eq!(s.evictions, 1);
-        // The hot shape survived; the cold one re-plans.
+        // The recently-used shape survived; the stale one re-plans.
         let (_, hot_hit) = plan_for(&cache, &hot);
         assert!(hot_hit);
         let (_, cold_hit) = plan_for(&cache, &cold);
-        assert!(!cold_hit, "least-hit shape must have been evicted");
+        assert!(!cold_hit, "least-recently-used shape must have been evicted");
+    }
+
+    #[test]
+    fn eviction_is_by_recency_not_hit_count() {
+        // A shape with many old hits ages out in favor of a newer shape
+        // with fewer — the serving behavior least-hit eviction got wrong
+        // (a formerly-hot shape could pin its slot forever).
+        let cache = PlanCache::with_capacity(2);
+        let former_hot = QueryGraph::path(&[l(0), l(1)]).unwrap();
+        let recent = QueryGraph::path(&[l(1), l(1)]).unwrap();
+        let newcomer = QueryGraph::path(&[l(0), l(0)]).unwrap();
+        let _ = plan_for(&cache, &former_hot);
+        let _ = plan_for(&cache, &former_hot);
+        let _ = plan_for(&cache, &former_hot); // 2 hits, but goes stale now
+        let _ = plan_for(&cache, &recent); // 0 hits, most recent
+        let _ = plan_for(&cache, &newcomer); // must evict former_hot (LRU)
+        let (_, recent_hit) = plan_for(&cache, &recent);
+        assert!(recent_hit, "recently-used shape survives despite fewer hits");
+        let (_, former_hit) = plan_for(&cache, &former_hot);
+        assert!(!former_hit, "stale shape is evicted despite more hits");
     }
 
     #[test]

@@ -205,6 +205,12 @@ impl QueryGraph {
         }
     }
 
+    /// Default individualization–refinement budget: search-tree node
+    /// visits allowed before [`QueryGraph::canonical_form`] falls back to
+    /// the identity encoding. Typical patterns discretize within a few
+    /// dozen visits; even label-uniform cycles stay well under this.
+    pub const CANON_BUDGET: usize = 4096;
+
     /// Canonical form of the query under label-preserving node renumbering.
     ///
     /// Two queries produce equal `(labels, edges)` exactly when they are
@@ -213,10 +219,32 @@ impl QueryGraph {
     /// individualization–refinement: Weisfeiler-Leman color refinement
     /// seeded with label ranks, branching on the smallest ambiguous color
     /// class and keeping the lexicographically smallest relabeled encoding.
-    /// Worst-case exponential on highly symmetric shapes, but queries are
-    /// small patterns (refinement discretizes typical ones in one or two
-    /// branch levels).
+    ///
+    /// IR is worst-case exponential on pathological symmetric shapes, so
+    /// the search is budgeted ([`QueryGraph::CANON_BUDGET`] tree-node
+    /// visits — generous for every real pattern): a query that exhausts
+    /// the budget gets the **identity fallback** instead (see
+    /// [`QueryGraph::canonical_form_budgeted`]). This keeps a public
+    /// `prepare`/`query` endpoint safe against adversarial shapes — the
+    /// cost of canonicalization is bounded, and the only downside of the
+    /// fallback is a possible plan-cache miss, never a wrong plan.
     pub fn canonical_form(&self) -> CanonicalForm {
+        self.canonical_form_budgeted(Self::CANON_BUDGET)
+    }
+
+    /// [`QueryGraph::canonical_form`] with an explicit search budget.
+    ///
+    /// The budget counts individualization–refinement search-tree node
+    /// visits. If the search exhausts it before completing, the result is
+    /// the **identity fallback**: the query's own numbering (identity
+    /// permutation, edges normalized and sorted) with a fallback
+    /// fingerprint derived from that encoding. The fallback is *sound* as
+    /// a cache key — equal `(labels, edges)` vectors mean identical
+    /// labeled graphs regardless of how they were produced — but it is no
+    /// longer *complete*: two isomorphic queries under different
+    /// numberings may get different keys, costing a plan-cache hit (each
+    /// numbering plans and caches separately), never a wrong answer.
+    pub fn canonical_form_budgeted(&self, budget: usize) -> CanonicalForm {
         // Initial colors: rank of each node's label among the distinct
         // labels present (invariant under node renumbering).
         let mut distinct: Vec<Label> = self.labels.clone();
@@ -229,8 +257,23 @@ impl QueryGraph {
             .collect();
         self.refine_colors(&mut colors);
         let mut best: Option<CanonicalForm> = None;
-        self.canon_search(&colors, &mut best);
-        best.expect("search visits at least one leaf")
+        let mut budget = budget;
+        let complete = self.canon_search(&colors, &mut best, &mut budget);
+        match best {
+            Some(form) if complete => form,
+            // Budget exhausted (possibly mid-search with a non-minimal
+            // candidate found): use the deterministic identity encoding so
+            // equal inputs keep equal keys.
+            _ => {
+                let mut edges = self.edges.clone();
+                edges.sort_unstable();
+                CanonicalForm {
+                    labels: self.labels.clone(),
+                    edges,
+                    perm: (0..self.n_nodes() as QNode).collect(),
+                }
+            }
+        }
     }
 
     /// Hash of [`QueryGraph::canonical_form`] — a compact shape fingerprint
@@ -270,7 +313,19 @@ impl QueryGraph {
     }
 
     /// Individualization–refinement search for the minimal encoding.
-    fn canon_search(&self, colors: &[u32], best: &mut Option<CanonicalForm>) {
+    /// Each call consumes one unit of `budget`; returns `false` once the
+    /// budget is exhausted (the caller then discards any partial result
+    /// and falls back to the identity encoding).
+    fn canon_search(
+        &self,
+        colors: &[u32],
+        best: &mut Option<CanonicalForm>,
+        budget: &mut usize,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
         let n = self.n_nodes();
         // Smallest (by size, then color) non-singleton color class.
         let mut counts = vec![0usize; n];
@@ -304,7 +359,7 @@ impl QueryGraph {
             if best.as_ref().is_none_or(|b| (&cand.labels, &cand.edges) < (&b.labels, &b.edges)) {
                 *best = Some(cand);
             }
-            return;
+            return true;
         };
         for v in 0..n {
             if colors[v] != cls {
@@ -318,8 +373,11 @@ impl QueryGraph {
                 .map(|(u, &c)| 2 * c + u32::from(c == cls && u != v))
                 .collect();
             self.refine_colors(&mut split);
-            self.canon_search(&split, best);
+            if !self.canon_search(&split, best, budget) {
+                return false;
+            }
         }
+        true
     }
 }
 
@@ -485,6 +543,61 @@ mod tests {
                 .collect();
             let q2 = QueryGraph::new(labels.clone(), rot).unwrap();
             assert_eq!(q2.canonical_form().edges, c.edges);
+        }
+    }
+
+    #[test]
+    fn budget_fallback_is_deterministic_and_sound() {
+        // A label-uniform path maximizes symmetry for its size; budget 1
+        // cannot finish the IR search, forcing the identity fallback.
+        let q = QueryGraph::path(&[l(5), l(5), l(5)]).unwrap();
+        let fb = q.canonical_form_budgeted(1);
+        assert_eq!(fb.perm, vec![0, 1, 2], "fallback keeps the identity numbering");
+        assert_eq!(fb.labels, q.labels().to_vec());
+        assert_eq!(fb.edges, vec![(0, 1), (1, 2)]);
+        // Deterministic: the same query always yields the same key.
+        assert_eq!(q.canonical_form_budgeted(1), fb);
+        assert_eq!(fb.to_query().edges(), q.edges());
+        // Documented incompleteness: an isomorphic renumbering (center as
+        // node 0) gets a *different* fallback key — a safe cache miss.
+        let renum = QueryGraph::new(vec![l(5); 3], vec![(0, 1), (0, 2)]).unwrap();
+        assert_ne!(renum.canonical_form_budgeted(1).edges, fb.edges);
+        // With the default budget both canonicalize to one shared key.
+        assert_eq!(q.canonical_form().edges, renum.canonical_form().edges);
+        assert_eq!(q.shape_hash(), renum.shape_hash());
+    }
+
+    #[test]
+    fn default_budget_covers_symmetric_small_patterns() {
+        // Uniform cycles are the most symmetric connected shapes the
+        // system meets in practice; the default budget must canonicalize
+        // them fully (no fallback), which shows as renumbering invariance.
+        for n in [3usize, 5, 8, 10] {
+            let labels = vec![l(1); n];
+            let q = QueryGraph::cycle(&labels).unwrap();
+            let c = q.canonical_form();
+            let rot: Vec<(QNode, QNode)> = q
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = ((u + 1) % n as QNode, (v + 1) % n as QNode);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            let q2 = QueryGraph::new(labels, rot).unwrap();
+            assert_eq!(q2.canonical_form().edges, c.edges, "n={n}");
+            // And the canonical perm is a genuine relabeling, not identity
+            // fallback happenstance: it maps edges onto the form's edges.
+            let mut mapped: Vec<(QNode, QNode)> = q
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = (c.perm[u as usize], c.perm[v as usize]);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            mapped.sort_unstable();
+            assert_eq!(mapped, c.edges, "n={n}");
         }
     }
 

@@ -4,6 +4,7 @@
 //! must separate non-isomorphic shapes exactly (no collisions on small
 //! shapes, verified against brute-force isomorphism).
 
+use datagen::permuted_query as permuted;
 use graphstore::Label;
 use pegmatch::query::{QNode, QueryGraph};
 use proptest::prelude::*;
@@ -32,32 +33,6 @@ fn random_graph(n: usize, n_labels: u16, extra: usize, seed: u64) -> QueryGraph 
         }
     }
     QueryGraph::new(labels, edges).expect("spanning tree keeps the graph connected")
-}
-
-/// The same graph with nodes renumbered through a random permutation.
-fn permuted(q: &QueryGraph, seed: u64) -> QueryGraph {
-    let n = q.n_nodes();
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
-    for i in (1..n).rev() {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        perm.swap(i, (state % (i as u64 + 1)) as usize);
-    }
-    let mut labels = vec![Label(0); n];
-    for (old, &new) in perm.iter().enumerate() {
-        labels[new] = q.label(old as QNode);
-    }
-    let edges: Vec<(QNode, QNode)> = q
-        .edges()
-        .iter()
-        .map(|&(u, v)| {
-            let (a, b) = (perm[u as usize] as QNode, perm[v as usize] as QNode);
-            (a.min(b), a.max(b))
-        })
-        .collect();
-    QueryGraph::new(labels, edges).expect("permutation preserves validity")
 }
 
 /// Brute-force label-preserving isomorphism test (small n only).

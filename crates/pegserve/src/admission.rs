@@ -1,0 +1,318 @@
+//! Query admission control: a counting semaphore with a bounded wait queue
+//! and a per-request deadline.
+//!
+//! A server without admission control degrades badly past saturation:
+//! every accepted query opens a session and contends for the shared
+//! compute pool, so latency climbs for *all* requests until none meet
+//! their deadline. Bounding concurrency keeps the pool at a productive
+//! multiprogramming level and converts overload into fast, structured
+//! rejections:
+//!
+//! * up to `max_sessions` queries execute at once;
+//! * up to `queue_depth` more wait for a slot, served strictly in arrival
+//!   order (a fresh arrival never barges past a queued waiter);
+//! * anything beyond that is rejected immediately ([`AdmitError::Overloaded`]);
+//! * a waiter whose `deadline` elapses before a slot frees is rejected
+//!   with [`AdmitError::Timeout`].
+//!
+//! Rejections never block and admitted work is never interrupted, so the
+//! caller can always produce a reply — overload degrades predictably
+//! instead of hanging connections.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a request was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Concurrency and the wait queue are both full; rejected immediately.
+    Overloaded {
+        /// Sessions executing at rejection time.
+        running: usize,
+        /// Requests already waiting at rejection time.
+        waiting: usize,
+    },
+    /// A queue slot was granted but no session slot freed within the
+    /// deadline.
+    Timeout {
+        /// How long the request waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl AdmitError {
+    /// The protocol error code (`overloaded` / `timeout`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmitError::Overloaded { .. } => "overloaded",
+            AdmitError::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Overloaded { running, waiting } => {
+                write!(f, "server overloaded ({running} running, {waiting} queued)")
+            }
+            AdmitError::Timeout { waited } => {
+                write!(f, "no session slot freed within deadline (waited {waited:?})")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    /// FIFO of ticket numbers still waiting; the front waiter has priority
+    /// over both later waiters and fresh arrivals (no barging).
+    queue: std::collections::VecDeque<u64>,
+    next_ticket: u64,
+    admitted: u64,
+    rejected_overloaded: u64,
+    rejected_timeout: u64,
+    peak_running: usize,
+}
+
+impl State {
+    fn grant(&mut self) {
+        self.running += 1;
+        self.admitted += 1;
+        self.peak_running = self.peak_running.max(self.running);
+    }
+}
+
+/// Counter snapshot for `stats` replies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmissionStats {
+    /// Sessions executing right now.
+    pub running: usize,
+    /// Requests waiting for a slot right now.
+    pub waiting: usize,
+    /// Requests admitted since start.
+    pub admitted: u64,
+    /// Requests rejected because queue and sessions were full.
+    pub rejected_overloaded: u64,
+    /// Requests rejected because the deadline elapsed while queued.
+    pub rejected_timeout: u64,
+    /// Highest concurrent session count observed.
+    pub peak_running: usize,
+}
+
+/// The counting semaphore. One per server; admission wraps only query
+/// *execution* (the part that opens a session and occupies the pool).
+#[derive(Debug)]
+pub struct Admission {
+    max_sessions: usize,
+    queue_depth: usize,
+    deadline: Duration,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// A semaphore admitting `max_sessions` concurrent sessions (min 1)
+    /// with `queue_depth` wait slots and the given queue deadline.
+    pub fn new(max_sessions: usize, queue_depth: usize, deadline: Duration) -> Self {
+        Self {
+            max_sessions: max_sessions.max(1),
+            queue_depth,
+            deadline,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Concurrent-session bound.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Wait-queue bound.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Per-request queueing deadline.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Tries to admit one session, waiting in the bounded FIFO queue up to
+    /// the deadline. Queued requests are served strictly in arrival order
+    /// — a fresh arrival never takes a freed slot past a waiter (barging
+    /// would starve queued requests to timeout under sustained load while
+    /// later arrivals get served). The returned permit releases its slot
+    /// on drop.
+    pub fn admit(&self) -> Result<Permit<'_>, AdmitError> {
+        let mut s = self.state.lock().unwrap();
+        if s.running < self.max_sessions && s.queue.is_empty() {
+            s.grant();
+            return Ok(Permit(self));
+        }
+        if s.queue.len() >= self.queue_depth {
+            s.rejected_overloaded += 1;
+            return Err(AdmitError::Overloaded { running: s.running, waiting: s.queue.len() });
+        }
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        s.queue.push_back(ticket);
+        let start = Instant::now();
+        loop {
+            if s.running < self.max_sessions && s.queue.front() == Some(&ticket) {
+                s.queue.pop_front();
+                s.grant();
+                // A successor may also fit (e.g. several slots freed at
+                // once); pass the wakeup along.
+                self.cv.notify_all();
+                return Ok(Permit(self));
+            }
+            let waited = start.elapsed();
+            let Some(remaining) = self.deadline.checked_sub(waited) else {
+                s.queue.retain(|&t| t != ticket);
+                s.rejected_timeout += 1;
+                // Our departure may unblock the new front waiter.
+                self.cv.notify_all();
+                return Err(AdmitError::Timeout { waited });
+            };
+            let (guard, _) = self.cv.wait_timeout(s, remaining).unwrap();
+            s = guard;
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let s = self.state.lock().unwrap();
+        AdmissionStats {
+            running: s.running,
+            waiting: s.queue.len(),
+            admitted: s.admitted,
+            rejected_overloaded: s.rejected_overloaded,
+            rejected_timeout: s.rejected_timeout,
+            peak_running: s.peak_running,
+        }
+    }
+}
+
+/// An admitted session slot; dropping it frees the slot and wakes one
+/// waiter.
+#[derive(Debug)]
+pub struct Permit<'a>(&'a Admission);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.0.state.lock().unwrap();
+        s.running -= 1;
+        drop(s);
+        // notify_all, not notify_one: only the front-of-queue waiter may
+        // take the slot, and notify_one could wake a different one.
+        self.0.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_the_bound_then_queues_then_rejects() {
+        let adm = Arc::new(Admission::new(2, 1, Duration::from_secs(5)));
+        let a = adm.admit().unwrap();
+        let b = adm.admit().unwrap();
+        // Sessions full, queue has one slot: a third caller waits; a
+        // concurrent fourth is rejected outright.
+        let adm2 = adm.clone();
+        let waiter = std::thread::spawn(move || adm2.admit().map(|_| ()));
+        // Let the waiter enter the queue.
+        while adm.stats().waiting == 0 {
+            std::thread::yield_now();
+        }
+        let rejected = adm.admit();
+        assert!(matches!(rejected, Err(AdmitError::Overloaded { running: 2, waiting: 1 })));
+        // Freeing a slot admits the waiter.
+        drop(a);
+        assert!(waiter.join().unwrap().is_ok());
+        drop(b);
+        let s = adm.stats();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.rejected_overloaded, 1);
+        assert_eq!(s.peak_running, 2);
+    }
+
+    #[test]
+    fn queued_request_times_out_at_the_deadline() {
+        let adm = Admission::new(1, 4, Duration::from_millis(30));
+        let held = adm.admit().unwrap();
+        let t0 = Instant::now();
+        let err = adm.admit().unwrap_err();
+        assert!(matches!(err, AdmitError::Timeout { .. }), "{err:?}");
+        assert_eq!(err.code(), "timeout");
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        drop(held);
+        let s = adm.stats();
+        assert_eq!((s.rejected_timeout, s.waiting, s.running), (1, 0, 0));
+        // The slot is usable again.
+        assert!(adm.admit().is_ok());
+    }
+
+    #[test]
+    fn queued_waiters_are_served_fifo_without_barging() {
+        let adm = Arc::new(Admission::new(1, 4, Duration::from_secs(5)));
+        let held = adm.admit().unwrap();
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let spawn_waiter = |label: char| {
+            let (adm, order) = (adm.clone(), order.clone());
+            std::thread::spawn(move || {
+                let _permit = adm.admit().unwrap();
+                order.lock().unwrap().push(label);
+                std::thread::sleep(Duration::from_millis(5));
+            })
+        };
+        let a = spawn_waiter('A');
+        while adm.stats().waiting < 1 {
+            std::thread::yield_now();
+        }
+        let b = spawn_waiter('B');
+        while adm.stats().waiting < 2 {
+            std::thread::yield_now();
+        }
+        // Free the slot, then let a late arrival race the queued waiters:
+        // FIFO means it must be served last no matter how the wakeups land.
+        drop(held);
+        let c = spawn_waiter('C');
+        for h in [a, b, c] {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec!['A', 'B', 'C']);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_bound() {
+        let adm = Arc::new(Admission::new(3, 64, Duration::from_secs(5)));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let (adm, live, peak) = (adm.clone(), live.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    let _permit = adm.admit().unwrap();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        let s = adm.stats();
+        assert_eq!(s.admitted, 16);
+        assert!(s.peak_running <= 3);
+    }
+}

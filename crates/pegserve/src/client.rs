@@ -1,0 +1,78 @@
+//! A blocking line-protocol client for [`Server`](crate::server::Server).
+//!
+//! One request per call: write a JSON line, read the JSON reply line.
+//! Requests on one connection are processed in order by a dedicated server
+//! thread, so the pairing is exact. Concurrency comes from opening one
+//! client per thread, which is also what gives the server's admission
+//! control something to arbitrate.
+
+use crate::json::{Json, JsonError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Client-side failure: transport or malformed reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply line was not valid JSON.
+    BadReply(JsonError, String),
+    /// The server closed the connection.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::BadReply(e, line) => write!(f, "bad reply ({e}): {line}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends a raw line and returns the raw reply line (no JSON handling);
+    /// the scripting path `pegcli client` uses.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Sends one request object and parses the reply.
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let line = self.request_line(&req.to_string())?;
+        Json::parse(&line).map_err(|e| ClientError::BadReply(e, line))
+    }
+}

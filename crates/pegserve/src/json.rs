@@ -1,0 +1,560 @@
+//! A minimal JSON value with parser and compact writer.
+//!
+//! The build environment has no registry access, so `serde_json` cannot be
+//! used; this is the small subset the wire protocol needs. Numbers are
+//! `f64` (every id this system serializes fits in the 53-bit exact range),
+//! objects preserve insertion order, and the writer emits compact output
+//! (no whitespace) so protocol lines are greppable as exact substrings like
+//! `"ok":true`.
+//!
+//! Round-trip guarantee relied on by the serving tests: Rust's `{}`
+//! formatting of an `f64` prints the shortest string that parses back to
+//! the identical bits, and the parser reads numbers with `str::parse`,
+//! so probabilities survive a protocol round trip bit-exactly.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered; duplicate keys keep the last value on
+    /// lookup, mirroring common parsers).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member `key` of an object (`None` for other variants or absence).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as a non-negative integer (rejects fractions,
+    /// negatives, and values past the `f64`-exact range).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// [`Json::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Maximum container nesting accepted by [`Json::parse`]. The parser
+    /// is recursive-descent, so unbounded depth would let one crafted
+    /// line (e.g. 200k `[`s, well under the server's line cap) overflow
+    /// the handler thread's stack and abort the whole process.
+    pub const MAX_DEPTH: usize = 128;
+
+    /// Parses one JSON document, requiring it to span the whole input.
+    /// Container nesting beyond [`Json::MAX_DEPTH`] is rejected.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+/// Ergonomic object construction: `obj().field("ok", true).build()`.
+#[derive(Default)]
+pub struct ObjBuilder(Vec<(String, Json)>);
+
+/// Starts an [`ObjBuilder`].
+pub fn obj() -> ObjBuilder {
+    ObjBuilder::default()
+}
+
+impl ObjBuilder {
+    /// Appends a field.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Appends a field only when the value is present.
+    pub fn field_opt(self, key: &str, value: Option<impl Into<Json>>) -> Self {
+        match value {
+            Some(v) => self.field(key, v),
+            None => self,
+        }
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+/// Parse failure with the byte offset where it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), at: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { message: format!("bad number '{text}'"), at: start })
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let code =
+                                    0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32;
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a valid &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u16::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > Json::MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        self.enter()?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization (no whitespace). Non-finite numbers serialize
+    /// as `null` (JSON has no representation for them).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) if !n.is_finite() => f.write_str("null"),
+            // The integer fast path must skip -0.0: `0` would parse back
+            // as +0.0, breaking the bit-exact round trip ("-0" keeps it).
+            Json::Num(n)
+                if n.fract() == 0.0 && n.abs() < 9.0e15 && !(*n == 0.0 && n.is_sign_negative()) =>
+            {
+                write!(f, "{}", *n as i64)
+            }
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(Json::parse(r#""a\"b\n""#).unwrap(), Json::Str("a\"b\n".into()));
+        assert_eq!(Json::parse(r#""é😀""#).unwrap(), Json::Str("é😀".into()));
+        let v = Json::parse(r#"{"a":[1,2,{"b":false}],"c":null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", r#"{"a"}"#, "tru", "1 2", r#""unterminated"#, "{\"a\":}"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let err = Json::parse("[1, oops]").unwrap_err();
+        assert!(err.at >= 4, "position recorded: {err}");
+    }
+
+    #[test]
+    fn writer_is_compact_and_round_trips() {
+        let v = obj()
+            .field("ok", true)
+            .field("n", 3usize)
+            .field("p", 0.1f64 + 0.2f64)
+            .field("s", "he said \"hi\"\n")
+            .field("items", vec![Json::Num(1.0), Json::Null])
+            .build();
+        let text = v.to_string();
+        assert!(text.starts_with(r#"{"ok":true,"n":3,"#), "{text}");
+        assert!(!text.contains(": "), "compact output: {text}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for x in [0.1, 1.0 / 3.0, 0.7357912, 1e-12, 123456789.12345679, f64::MIN_POSITIVE, -0.0] {
+            let text = Json::Num(x).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // A deep-but-legal document parses...
+        let deep = format!("{}1{}", "[".repeat(Json::MAX_DEPTH), "]".repeat(Json::MAX_DEPTH));
+        assert!(Json::parse(&deep).is_ok());
+        // ...and one bracket past the limit is rejected, not recursed —
+        // with no limit, ~200k brackets would overflow the handler
+        // thread's stack and abort the whole server process.
+        let over =
+            format!("{}1{}", "[".repeat(Json::MAX_DEPTH + 1), "]".repeat(Json::MAX_DEPTH + 1));
+        assert!(Json::parse(&over).is_err());
+        let bomb = "[".repeat(200_000);
+        assert!(Json::parse(&bomb).is_err());
+        // Mixed containers count the same.
+        let mixed = "{\"a\":".repeat(Json::MAX_DEPTH + 1) + "1" + &"}".repeat(Json::MAX_DEPTH + 1);
+        assert!(Json::parse(&mixed).is_err());
+        // Depth resets between siblings: wide-but-shallow stays fine.
+        let wide = format!("[{}1]", "[1],".repeat(10_000));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn integer_accessors_validate() {
+        assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(Json::parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("7").unwrap().as_usize(), Some(7));
+    }
+}

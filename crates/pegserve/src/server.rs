@@ -1,0 +1,839 @@
+//! The query server: `std::net` TCP, thread-per-connection, line-delimited
+//! JSON.
+//!
+//! One [`Server`] owns any number of loaded graphs; each graph carries its
+//! probabilistic entity graph, offline index, and one shared
+//! [`PlanCache`] — the plan-cache/session seam the online pipeline was
+//! layered for. Every `query` / `query_topk` request passes the
+//! [`Admission`] semaphore, opens a fresh `QuerySession` over the shared
+//! cacheable plan, and executes on the persistent `pegpool` pool sized by
+//! the request's `threads` field. Results are therefore bit-identical to a
+//! direct [`QueryPipeline::run`] / `run_topk` with the same graph,
+//! threshold, and thread count — the server adds sharing and scheduling,
+//! never different math.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction. Requests carry an `"op"`:
+//!
+//! | op           | fields                                                            |
+//! |--------------|-------------------------------------------------------------------|
+//! | `ping`       | —                                                                 |
+//! | `load_graph` | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?` |
+//! | `prepare`    | `graph?`, `pattern`, `alpha?`                                     |
+//! | `query`      | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
+//! | `query_topk` | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
+//! | `stats`      | —                                                                 |
+//! | `shutdown`   | —                                                                 |
+//!
+//! `graph` may be omitted when exactly one graph is loaded. Replies are
+//! `{"ok":true,...}` or `{"ok":false,"error":CODE,"message":...}` with
+//! codes `bad_request`, `unknown_graph`, `overloaded`, `timeout`,
+//! `internal`. `query`, `query_topk`, `prepare`, and `load_graph` (the
+//! compute-occupying ops) pass admission; `load_graph` additionally caps
+//! `size` at [`MAX_LOAD_SIZE`], `max_len` at [`MAX_LOAD_PATH_LEN`], and
+//! `beta` at no less than [`MIN_LOAD_BETA`]; patterns are capped at
+//! [`MAX_PATTERN_NODES`] nodes, per-query `threads` is clamped to the
+//! machine's parallelism, request lines are capped at
+//! [`MAX_LINE_BYTES`], and replies at [`MAX_RESULT_MATCHES`] matches.
+//! `debug_sleep_ms` holds the admission permit while sleeping before
+//! execution — an operational knob for exercising admission control
+//! deterministically (tests, drills), not part of the query semantics —
+//! and is honored only when [`ServerConfig::allow_debug_sleep`] is set.
+
+use crate::admission::{Admission, AdmissionStats};
+use crate::json::{obj, Json};
+use pathindex::PathIndexConfig;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::{PlanCache, QueryOptions, QueryPipeline, QueryResult};
+use pegmatch::Peg;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server knobs. Admission bounds apply to `query` / `query_topk` /
+/// `prepare` / `load_graph` — the ops that occupy compute.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent query sessions executing at once.
+    pub max_sessions: usize,
+    /// Requests allowed to wait for a session slot beyond `max_sessions`.
+    pub queue_depth: usize,
+    /// How long a queued request may wait before a `timeout` reply.
+    pub deadline: Duration,
+    /// Live connections (= handler threads) accepted at once. Connections
+    /// past the bound get an `overloaded` reply and are closed — with
+    /// thread-per-connection, sockets and thread stacks are a resource
+    /// like any other, and idle connections hold them without ever
+    /// touching admission.
+    pub max_connections: usize,
+    /// Honor the `debug_sleep_ms` request field (admission-drill knob).
+    /// Off by default: on a public endpoint it would let any client hold
+    /// session permits doing zero work; requests carrying the field are
+    /// rejected with `bad_request` unless this is set.
+    pub allow_debug_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 4,
+            queue_depth: 16,
+            deadline: Duration::from_secs(5),
+            max_connections: 256,
+            allow_debug_sleep: false,
+        }
+    }
+}
+
+/// One loaded graph: the PEG, its offline artifacts, and the shared
+/// per-graph plan cache all sessions hit.
+pub struct GraphEntry {
+    /// Name the graph was registered under.
+    pub name: String,
+    /// The probabilistic entity graph.
+    pub peg: Peg,
+    /// Offline index (path index + context information).
+    pub offline: OfflineIndex,
+    /// Plan cache shared by every request against this graph.
+    pub plans: Arc<PlanCache>,
+}
+
+struct ServerState {
+    graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    admission: Admission,
+    allow_debug_sleep: bool,
+    max_connections: usize,
+    shutdown: AtomicBool,
+    queries_served: AtomicU64,
+    addr: SocketAddr,
+}
+
+/// A bound (not yet serving) query server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    /// The bound address (resolves port 0).
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Signals shutdown and joins the accept loop (idempotent with a
+    /// protocol-level `shutdown` op).
+    pub fn shutdown(self) -> std::io::Result<()> {
+        request_shutdown(&self.state);
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+fn request_shutdown(state: &ServerState) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(state.addr);
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            graphs: Mutex::new(HashMap::new()),
+            admission: Admission::new(config.max_sessions, config.queue_depth, config.deadline),
+            allow_debug_sleep: config.allow_debug_sleep,
+            max_connections: config.max_connections.max(1),
+            shutdown: AtomicBool::new(false),
+            queries_served: AtomicU64::new(0),
+            addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Registers a graph under `name` before (or while) serving — the
+    /// embedding-side twin of the protocol's `load_graph`.
+    pub fn insert_graph(&self, name: &str, peg: Peg, offline: OfflineIndex) {
+        insert_graph(&self.state, name, peg, offline);
+    }
+
+    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`]).
+    /// Connections are handled thread-per-connection; the accept loop
+    /// reaps finished handlers and joins the rest before returning.
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                Err(_) => {
+                    // Persistent accept errors (e.g. fd exhaustion under
+                    // load) must not busy-spin the accept thread.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let state = self.state.clone();
+            handlers.retain(|h| !h.is_finished());
+            if handlers.len() >= self.state.max_connections {
+                // Every handler slot is a live thread + socket; past the
+                // bound, reply structured overload and close rather than
+                // letting idle connections grow those resources unbounded.
+                let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let reply = error_reply("overloaded", "connection limit reached").0;
+                let _ = writeln!(stream, "{reply}");
+                continue;
+            }
+            handlers.push(std::thread::spawn(move || handle_connection(stream, &state)));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Starts serving on a background thread and returns a handle.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let state = self.state.clone();
+        let join = std::thread::Builder::new()
+            .name("pegserve-accept".into())
+            .spawn(move || self.serve())
+            .expect("spawn server thread");
+        ServerHandle { addr, state, join }
+    }
+}
+
+fn insert_graph(state: &ServerState, name: &str, peg: Peg, offline: OfflineIndex) {
+    let entry = Arc::new(GraphEntry {
+        name: name.to_string(),
+        peg,
+        offline,
+        plans: Arc::new(PlanCache::new()),
+    });
+    state.graphs.lock().unwrap().insert(name.to_string(), entry);
+}
+
+/// A reply-carrying protocol error.
+struct Reply(Json);
+
+fn error_reply(code: &str, message: impl std::fmt::Display) -> Reply {
+    Reply(
+        obj().field("ok", false).field("error", code).field("message", message.to_string()).build(),
+    )
+}
+
+/// Per-request line cap: one connection cannot grow the server's memory
+/// without bound by streaming bytes that never contain a newline.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    // Poll for shutdown between requests: a blocked read wakes every 250ms
+    // so idle connections notice a shutdown promptly. The write timeout
+    // keeps a client that never drains its replies from pinning the
+    // handler thread (and thereby the shutdown join) forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Byte-level framing (not `read_line`): a read timeout firing inside a
+    // multi-byte UTF-8 character must not drop the partial bytes, and a
+    // `Vec<u8>` accumulator survives any split. UTF-8 is validated (lossy)
+    // only once a full line is framed.
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut eof = false;
+        // The cap must bound each read, not just be checked afterwards: an
+        // unlimited `read_until` on a fast newline-free stream would never
+        // return (and never time out), growing `buf` to OOM. Reading
+        // through a `Take` of the remaining allowance makes the cap a hard
+        // memory bound — the limit exhausting looks like EOF to
+        // `read_until` and leaves `buf` one byte over the cap.
+        let allowance = (MAX_LINE_BYTES + 1 - buf.len()) as u64;
+        match (&mut reader).take(allowance).read_until(b'\n', &mut buf) {
+            Ok(0) => eof = true, // client closed (any accumulated tail still answers)
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial line: keep accumulating.
+                continue;
+            }
+            Err(_) => return,
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            // Over the cap (the allowance ran out before a newline): the
+            // stream cannot be resynchronized, so reply and close.
+            let reply = error_reply("bad_request", "request line too long").0;
+            let _ = writeln!(writer, "{reply}");
+            return;
+        }
+        if !buf.ends_with(b"\n") && !eof {
+            // The `Take` hit EOF-of-allowance exactly at the cap boundary
+            // or the socket yielded a short read without a newline; keep
+            // accumulating until a newline, real EOF, or the cap trips.
+            continue;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        if !line.trim().is_empty() {
+            let reply = dispatch(state, line.trim());
+            if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
+                return;
+            }
+        }
+        buf.clear();
+        if eof {
+            return;
+        }
+    }
+}
+
+fn dispatch(state: &ServerState, line: &str) -> Json {
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_reply("bad_request", format!("malformed JSON: {e}")).0,
+    };
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return error_reply("bad_request", "missing \"op\"").0;
+    };
+    let result = match op {
+        "ping" => Ok(obj().field("ok", true).field("pong", true).build()),
+        "load_graph" => op_load_graph(state, &req),
+        "prepare" => op_prepare(state, &req),
+        "query" => op_query(state, &req, false),
+        "query_topk" => op_query(state, &req, true),
+        "stats" => Ok(op_stats(state)),
+        "shutdown" => {
+            request_shutdown(state);
+            Ok(obj().field("ok", true).field("shutdown", true).build())
+        }
+        other => Err(error_reply("bad_request", format!("unknown op '{other}'"))),
+    };
+    match result {
+        Ok(reply) => reply,
+        Err(Reply(reply)) => reply,
+    }
+}
+
+fn resolve_graph(state: &ServerState, req: &Json) -> Result<Arc<GraphEntry>, Reply> {
+    let graphs = state.graphs.lock().unwrap();
+    match req.get("graph").and_then(Json::as_str) {
+        Some(name) => graphs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| error_reply("unknown_graph", format!("no graph named '{name}'"))),
+        None if graphs.len() == 1 => Ok(graphs.values().next().unwrap().clone()),
+        None if graphs.is_empty() => {
+            Err(error_reply("unknown_graph", "no graph loaded; send load_graph first"))
+        }
+        None => Err(error_reply(
+            "bad_request",
+            format!("{} graphs loaded; specify \"graph\"", graphs.len()),
+        )),
+    }
+}
+
+fn field_f64(req: &Json, key: &str, default: f64) -> Result<f64, Reply> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| error_reply("bad_request", format!("\"{key}\" must be a number"))),
+    }
+}
+
+fn field_usize(req: &Json, key: &str, default: usize) -> Result<usize, Reply> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_usize().ok_or_else(|| {
+            error_reply("bad_request", format!("\"{key}\" must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Reference-count ceiling for protocol-initiated graph builds: the
+/// paper's largest evaluation size. Anything bigger must be loaded by the
+/// embedder ([`Server::insert_graph`]), not by a remote request.
+pub const MAX_LOAD_SIZE: usize = 1_000_000;
+
+/// Index path-length ceiling for protocol-initiated builds: the paper's
+/// `L = 3`. Path enumeration grows like `degree^max_len`, so an
+/// uncapped `max_len` would let one request force an exponential index
+/// build regardless of the size ceiling.
+pub const MAX_LOAD_PATH_LEN: usize = 3;
+
+/// Lowest `beta` a protocol-initiated build may use. `beta` is the path
+/// index's probability-pruning threshold — driving it to 0 disables
+/// pruning and blows up the index; the embedder can still build with any
+/// `beta` via [`Server::insert_graph`].
+pub const MIN_LOAD_BETA: f64 = 0.01;
+
+/// Builds a graph + offline index from a `load_graph` request (the same
+/// generator specs `pegcli` exposes; the registry-free environment has no
+/// external data files to point at). The build runs *inside* an admission
+/// permit — it occupies the shared compute pool like a query session does
+/// — with `size` capped at [`MAX_LOAD_SIZE`], `max_len` at
+/// [`MAX_LOAD_PATH_LEN`], and `beta` floored at [`MIN_LOAD_BETA`], so a
+/// public endpoint cannot be driven to OOM or pool monopolization by one
+/// request's build parameters.
+fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req.get("name").and_then(Json::as_str).unwrap_or("default").to_string();
+    let kind = req
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_reply("bad_request", "missing \"kind\""))?;
+    let size = req
+        .get("size")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| error_reply("bad_request", "missing or bad \"size\""))?;
+    if size > MAX_LOAD_SIZE {
+        return Err(error_reply(
+            "bad_request",
+            format!("\"size\" {size} exceeds the load_graph ceiling of {MAX_LOAD_SIZE}"),
+        ));
+    }
+    let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(42);
+    let uncertainty = field_f64(req, "uncertainty", 0.2)?;
+    let max_len = field_usize(req, "max_len", 2)?;
+    if !(1..=MAX_LOAD_PATH_LEN).contains(&max_len) {
+        return Err(error_reply(
+            "bad_request",
+            format!("\"max_len\" {max_len} out of range 1..={MAX_LOAD_PATH_LEN}"),
+        ));
+    }
+    let beta = field_f64(req, "beta", 0.3)?;
+    if !(MIN_LOAD_BETA..=1.0).contains(&beta) {
+        return Err(error_reply(
+            "bad_request",
+            format!("\"beta\" {beta} out of range {MIN_LOAD_BETA}..=1"),
+        ));
+    }
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let refs = match kind {
+        "synthetic" => datagen::synthetic_refgraph(&datagen::SyntheticConfig {
+            seed,
+            ..datagen::SyntheticConfig::paper_with_uncertainty(size, uncertainty)
+        }),
+        "dblp" => {
+            datagen::dblp_like(&datagen::DblpConfig { seed, ..datagen::DblpConfig::scaled(size) })
+        }
+        "imdb" => {
+            datagen::imdb_like(&datagen::ImdbConfig { seed, ..datagen::ImdbConfig::scaled(size) })
+        }
+        other => return Err(error_reply("bad_request", format!("unknown kind '{other}'"))),
+    };
+    let t0 = Instant::now();
+    let peg = PegBuilder::new()
+        .build(&refs)
+        .map_err(|e| error_reply("internal", format!("model build failed: {e}")))?;
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let offline = OfflineIndex::build(&peg, &opts)
+        .map_err(|e| error_reply("internal", format!("offline phase failed: {e}")))?;
+    let (nodes, edges) = (peg.graph.n_nodes(), peg.graph.n_edges());
+    insert_graph(state, &name, peg, offline);
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", name)
+        .field("nodes", nodes)
+        .field("edges", edges)
+        .field("build_us", t0.elapsed().as_micros() as u64)
+        .build())
+}
+
+/// Matches returned per reply, tops. Replies are one JSON line held fully
+/// in memory, so the reply direction needs a hard bound symmetric to the
+/// request direction's [`MAX_LINE_BYTES`]: a low-threshold broad pattern
+/// on a 1M-node graph would otherwise materialize a multi-GB reply.
+/// Threshold queries report `truncated: true` when the cap bites; `k` is
+/// clamped silently (top-k is already a "best N" contract).
+pub const MAX_RESULT_MATCHES: usize = 10_000;
+
+/// Query-pattern node ceiling. The paper's largest query is 15 nodes and
+/// planning cost grows steeply with pattern size (canonicalization's
+/// refinement is polynomial per budgeted search visit, decomposition
+/// enumerates covering paths), so a public endpoint caps patterns well
+/// below anything the engine is sized for rather than letting one request
+/// monopolize its handler thread.
+pub const MAX_PATTERN_NODES: usize = 64;
+
+fn parse_request_query(
+    entry: &GraphEntry,
+    req: &Json,
+) -> Result<pegmatch::query::QueryGraph, Reply> {
+    let pattern = req
+        .get("pattern")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_reply("bad_request", "missing \"pattern\""))?;
+    let query = pegmatch::pattern::parse_pattern(pattern, entry.peg.graph.label_table())
+        .map_err(|e| error_reply("bad_request", format!("bad pattern: {e}")))?;
+    if query.n_nodes() > MAX_PATTERN_NODES {
+        return Err(error_reply(
+            "bad_request",
+            format!("pattern has {} nodes, limit is {MAX_PATTERN_NODES}", query.n_nodes()),
+        ));
+    }
+    Ok(query)
+}
+
+fn op_prepare(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, req)?;
+    let query = parse_request_query(&entry, req)?;
+    let alpha = field_f64(req, "alpha", 0.5)?;
+    // Planning is compute too (decomposition + cost estimation over the
+    // index), so `prepare` takes an admission permit like the query ops.
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let pipe = QueryPipeline::new(&entry.peg, &entry.offline).with_plan_cache(entry.plans.clone());
+    let prepared = pipe
+        .prepare(&query, alpha, &QueryOptions::default())
+        .map_err(|e| error_reply("bad_request", e))?;
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", entry.name.as_str())
+        .field("n_paths", prepared.n_paths())
+        .field("from_cache", prepared.from_cache())
+        .field_opt("shape_hash", prepared.shape_hash().map(|h| format!("{h:016x}")))
+        .field("plan_us", prepared.decompose_time().as_micros() as u64)
+        .build())
+}
+
+fn op_query(state: &ServerState, req: &Json, topk: bool) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, req)?;
+    let query = parse_request_query(&entry, req)?;
+    // Per-query lanes default to 1: a multi-client server gets its
+    // parallelism across sessions; `threads: 0` opts one query into all
+    // cores. Results are identical either way. Clamped to the machine's
+    // parallelism: an unbounded client value would otherwise spawn that
+    // many OS threads and leak a persistent pool per distinct count.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = field_usize(req, "threads", 1)?.min(cores);
+    let opts = QueryOptions { threads, ..Default::default() };
+
+    if req.get("debug_sleep_ms").is_some() && !state.allow_debug_sleep {
+        return Err(error_reply(
+            "bad_request",
+            "debug_sleep_ms requires the server's allow_debug_sleep knob (pegcli serve --debug-sleep)",
+        ));
+    }
+    // Validate every field before taking a permit: a malformed request
+    // must fail immediately, not after queueing for a session slot. `k`
+    // and `limit` are clamped to [`MAX_RESULT_MATCHES`] — replies are
+    // materialized as one JSON line, so the reply direction needs a bound
+    // just like the request direction's line cap; a truncated threshold
+    // query reports `truncated: true`.
+    let k = field_usize(req, "k", 10)?.min(MAX_RESULT_MATCHES);
+    let min_alpha = field_f64(req, "min_alpha", 1e-9)?;
+    let alpha = field_f64(req, "alpha", 0.5)?;
+    let limit = match req.get("limit") {
+        None | Some(Json::Null) => MAX_RESULT_MATCHES,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| error_reply("bad_request", "\"limit\" must be a non-negative integer"))?
+            .min(MAX_RESULT_MATCHES),
+    };
+    let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    if let Some(ms) = req.get("debug_sleep_ms").and_then(Json::as_u64) {
+        std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+    }
+    let pipe = QueryPipeline::new(&entry.peg, &entry.offline).with_plan_cache(entry.plans.clone());
+    let t0 = Instant::now();
+    let (result, from_cache): (QueryResult, Option<bool>) = if topk {
+        let res = pipe
+            .run_topk(&query, k, min_alpha, &opts)
+            .map_err(|e| error_reply("bad_request", e))?;
+        (res, None)
+    } else {
+        let prepared =
+            pipe.prepare(&query, alpha, &opts).map_err(|e| error_reply("bad_request", e))?;
+        let mut session = pipe.session(&prepared, &opts);
+        let res = session.run_at(alpha, Some(limit)).map_err(|e| error_reply("bad_request", e))?;
+        (res, Some(prepared.from_cache()))
+    };
+    let elapsed = t0.elapsed();
+    drop(permit);
+    state.queries_served.fetch_add(1, Ordering::Relaxed);
+
+    let matches: Vec<Json> = result
+        .matches
+        .iter()
+        .map(|m| {
+            obj()
+                .field("nodes", Json::Arr(m.nodes.iter().map(|e| Json::Num(e.0 as f64)).collect()))
+                .field("prle", m.prle)
+                .field("prn", m.prn)
+                .field("prob", m.prob())
+                .build()
+        })
+        .collect();
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", entry.name.as_str())
+        .field("n", matches.len())
+        .field("truncated", result.truncated)
+        .field_opt("plan_from_cache", from_cache)
+        .field("elapsed_us", elapsed.as_micros() as u64)
+        .field("matches", Json::Arr(matches))
+        .build())
+}
+
+fn admission_json(a: &Admission, s: AdmissionStats) -> Json {
+    obj()
+        .field("max_sessions", a.max_sessions())
+        .field("queue_depth", a.queue_depth())
+        .field("deadline_ms", a.deadline().as_millis() as u64)
+        .field("running", s.running)
+        .field("waiting", s.waiting)
+        .field("admitted", s.admitted)
+        .field("rejected_overloaded", s.rejected_overloaded)
+        .field("rejected_timeout", s.rejected_timeout)
+        .field("peak_running", s.peak_running)
+        .build()
+}
+
+fn op_stats(state: &ServerState) -> Json {
+    let graphs = state.graphs.lock().unwrap();
+    let mut entries: Vec<&Arc<GraphEntry>> = graphs.values().collect();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    let graph_stats: Vec<Json> = entries
+        .iter()
+        .map(|g| {
+            let p = g.plans.stats();
+            obj()
+                .field("name", g.name.as_str())
+                .field("nodes", g.peg.graph.n_nodes())
+                .field("edges", g.peg.graph.n_edges())
+                .field(
+                    "plan_cache",
+                    obj()
+                        .field("hits", p.hits)
+                        .field("misses", p.misses)
+                        .field("entries", p.entries)
+                        .field("evictions", p.evictions)
+                        .field("hit_rate", p.hit_rate())
+                        .field("saved_us", p.saved.as_micros() as u64)
+                        .build(),
+                )
+                .build()
+        })
+        .collect();
+    obj()
+        .field("ok", true)
+        .field("queries_served", state.queries_served.load(Ordering::Relaxed))
+        .field("graphs", Json::Arr(graph_stats))
+        .field("admission", admission_json(&state.admission, state.admission.stats()))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn tiny_server(config: ServerConfig) -> (ServerHandle, Client) {
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper_with_uncertainty(
+            200, 0.2,
+        ));
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let offline = OfflineIndex::build(
+            &peg,
+            &OfflineOptions {
+                index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() },
+            },
+        )
+        .unwrap();
+        server.insert_graph("tiny", peg, offline);
+        let handle = server.spawn();
+        let client = Client::connect(handle.addr).unwrap();
+        (handle, client)
+    }
+
+    #[test]
+    fn ping_query_and_stats_round_trip() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let pong = client.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let n = reply.get("n").unwrap().as_usize().unwrap();
+        assert_eq!(reply.get("matches").unwrap().as_arr().unwrap().len(), n);
+        assert_eq!(reply.get("plan_from_cache"), Some(&Json::Bool(false)));
+
+        // The isomorphic renumbering hits the shared plan cache.
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"query","pattern":"(a:l1)-(b:l0)","alpha":0.3}"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("plan_from_cache"), Some(&Json::Bool(true)), "{reply}");
+
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert_eq!(stats.get("queries_served").unwrap().as_u64(), Some(2));
+        let graphs = stats.get("graphs").unwrap().as_arr().unwrap();
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].get("plan_cache").unwrap().get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("admission").unwrap().get("admitted").unwrap().as_u64(), Some(2));
+
+        let bye = client.request(&Json::parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+        assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn protocol_errors_are_structured() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let bad = client.request_line("this is not json").unwrap();
+        assert!(bad.contains("\"error\":\"bad_request\""), "{bad}");
+        let reply = client.request(&Json::parse(r#"{"op":"warp"}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"));
+        let reply = client
+            .request(&Json::parse(r#"{"op":"query","graph":"nope","pattern":"(x:l0)"}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("unknown_graph"));
+        let reply = client
+            .request(&Json::parse(r#"{"op":"query","pattern":"(x:nosuch)"}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_threads_and_load_size_are_bounded() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        // A huge "threads" is clamped to the machine's parallelism, not
+        // turned into a million-thread pool.
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3,"threads":1000000}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        // load_graph over the ceilings is rejected before any build work:
+        // size, path length, and pruning threshold are each bounded.
+        for bad in [
+            r#"{"op":"load_graph","kind":"synthetic","size":999999999}"#,
+            r#"{"op":"load_graph","kind":"synthetic","size":100,"max_len":12}"#,
+            r#"{"op":"load_graph","kind":"synthetic","size":100,"beta":0}"#,
+        ] {
+            let reply = client.request(&Json::parse(bad).unwrap()).unwrap();
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some("bad_request"),
+                "{bad}: {reply}"
+            );
+        }
+        // Replies are capped: a permissive threshold query cannot
+        // materialize more than MAX_RESULT_MATCHES matches, and an
+        // explicit limit above the cap is clamped the same way.
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"query","pattern":"(x:l0)","alpha":0.0001,"limit":99999999}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert!(reply.get("n").unwrap().as_usize().unwrap() <= MAX_RESULT_MATCHES, "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn slow_partial_request_lines_survive_the_read_timeout() {
+        use std::io::{BufRead, BufReader, Write};
+        let (handle, _client) = tiny_server(ServerConfig::default());
+        // Write a request in two fragments with a gap longer than the
+        // server's 250ms poll timeout; the partial first fragment must be
+        // kept, not discarded.
+        let mut stream = std::net::TcpStream::connect(handle.addr).unwrap();
+        stream.write_all(br#"{"op":"query","pattern":"#).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(600));
+        stream.write_all(b"\"(x:l0)-(y:l1)\",\"alpha\":0.3}\n").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        let reply = Json::parse(reply.trim()).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connection_limit_rejects_with_structured_reply() {
+        let (handle, mut first) =
+            tiny_server(ServerConfig { max_connections: 1, ..ServerConfig::default() });
+        // The first connection owns the only handler slot.
+        let pong = first.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        // A second connection is told it's over the limit and closed.
+        let mut second = Client::connect(handle.addr).unwrap();
+        let reply = second.request_line(r#"{"op":"ping"}"#);
+        // The server may instead close the socket before our write lands
+        // (an Err) — either way no handler was granted, which is the bound.
+        if let Ok(line) = reply {
+            assert!(line.contains("\"error\":\"overloaded\""), "{line}");
+        }
+        // The first connection keeps working.
+        let pong = first.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn load_graph_over_the_wire() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let handle = server.spawn();
+        let mut client = Client::connect(handle.addr).unwrap();
+        // No graph yet.
+        let reply =
+            client.request(&Json::parse(r#"{"op":"query","pattern":"(x:l0)"}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("unknown_graph"));
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"load_graph","kind":"synthetic","size":150,"max_len":1}"#)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert!(reply.get("nodes").unwrap().as_u64().unwrap() > 0);
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.4}"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        handle.shutdown().unwrap();
+    }
+}
