@@ -1,0 +1,65 @@
+//! Shard scaling of the online query path: one fixed graph, the shard
+//! count swept over {1, 2, 3, 4} plus the unsharded pipeline as the
+//! baseline. Sharding buys retrieval parallelism at the cost of
+//! boundary-replicated lookups, so single-machine numbers mostly measure
+//! that overhead; the interesting artifact is the bit-exactness gate
+//! (asserted below before timing) and the per-shard-count latency curve.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{random_query, QuerySpec};
+use pathindex::PathIndexConfig;
+use pegmatch::offline::OfflineOptions;
+use pegmatch::online::{QueryOptions, QueryPipeline};
+use pegshard::ShardedGraphStore;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_shards");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let (beta, max_len) = (0.1, 2);
+    let w = Workload::synthetic(1000, 0.3, beta, max_len);
+    let n_labels = w.peg.graph.label_table().len();
+    let plain = QueryPipeline::new(&w.peg, w.index(max_len));
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let alpha = 0.1;
+    let qopts = QueryOptions::default();
+
+    let shard_counts = [1usize, 2, 3, 4];
+    let stores: Vec<ShardedGraphStore> = shard_counts
+        .iter()
+        .map(|&s| ShardedGraphStore::build(w.peg.clone(), &opts, s).expect("sharded build"))
+        .collect();
+
+    for (n, m, seed) in [(4usize, 4usize, 1u64), (6, 7, 2)] {
+        let q = random_query(QuerySpec::new(n, m), n_labels, seed);
+        // Bit-exactness gate before timing: every shard count must
+        // reproduce the unsharded result exactly.
+        let reference = plain.run(&q, alpha, &qopts).unwrap();
+        for store in &stores {
+            let got = store.pipeline().run(&q, alpha, &qopts).unwrap();
+            bench::workloads::assert_matches_bit_identical(
+                &got.matches,
+                &reference.matches,
+                &format!("q({n},{m}) shards={}", store.n_shards()),
+            );
+        }
+        let label = format!("q({n},{m})x{}", reference.matches.len());
+        group.bench_with_input(BenchmarkId::new(&label, "unsharded"), &q, |b, q| {
+            b.iter(|| plain.run(q, alpha, &qopts).unwrap())
+        });
+        for store in &stores {
+            group.bench_with_input(
+                BenchmarkId::new(&label, format!("{}sh", store.n_shards())),
+                &q,
+                |b, q| b.iter(|| store.pipeline().run(q, alpha, &qopts).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

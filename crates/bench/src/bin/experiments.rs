@@ -8,7 +8,7 @@
 //! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
-//! ablation-montecarlo ablation-plan-cache serving-mix all
+//! ablation-montecarlo ablation-plan-cache ablation-shards serving-mix all
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -102,6 +102,9 @@ fn main() {
     }
     if run("ablation-plan-cache") {
         ablation_plan_cache(scale);
+    }
+    if run("ablation-shards") {
+        ablation_shards(scale);
     }
     if run("serving-mix") {
         serving_mix(scale);
@@ -690,6 +693,84 @@ fn ablation_query_threads(scale: Scale) {
         }
     }
     t.print();
+    println!();
+}
+
+/// Ablation: sharded scatter-gather retrieval vs the unsharded store.
+///
+/// One fixed graph, shard count swept over {1, 2, 3, 4}. Per shard count:
+/// build-time replication overhead (replicated nodes, replication factor,
+/// Σ index entries), and per-query scatter statistics — per-shard
+/// candidate counts, boundary duplicates dropped at the gather, and the
+/// retrieval wall time — with a bit-exactness check against the unsharded
+/// pipeline on every query.
+fn ablation_shards(scale: Scale) {
+    use pegshard::ShardedGraphStore;
+
+    println!("## Ablation: sharded store (q(4,4) and q(6,7), alpha=0.1)");
+    let (beta, max_len) = (0.1, 2);
+    let w = Workload::synthetic(scale.default_graph(), 0.3, beta, max_len);
+    let n_labels = w.peg.graph.label_table().len();
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let plain = QueryPipeline::new(&w.peg, w.index(max_len));
+    let specs = [(4usize, 4usize), (6, 7)];
+    let queries: Vec<QueryGraph> =
+        specs.iter().map(|&(n, m)| random_query(QuerySpec::new(n, m), n_labels, 7)).collect();
+
+    let mut build = Table::new(&[
+        "shards",
+        "build time",
+        "replicated nodes",
+        "replication",
+        "Σ index entries",
+        "per-shard nodes",
+    ]);
+    let mut retrieval = Table::new(&[
+        "query",
+        "shards",
+        "retrieval time",
+        "per-shard candidates",
+        "distinct",
+        "dupes dropped",
+        "total online",
+    ]);
+    for shards in [1usize, 2, 3, 4] {
+        let store = ShardedGraphStore::build(w.peg.clone(), &opts, shards).expect("sharded build");
+        let s = store.stats();
+        build.row(vec![
+            shards.to_string(),
+            fmt_duration(s.build_time),
+            s.replicated_nodes.to_string(),
+            format!("{:.3}x", s.replication_factor),
+            s.total_index_entries.to_string(),
+            format!("{:?}", s.per_shard.iter().map(|p| p.nodes).collect::<Vec<_>>()),
+        ]);
+        for (&(n, m), q) in specs.iter().zip(&queries) {
+            let t0 = Instant::now();
+            let got = store.pipeline().run(q, 0.1, &QueryOptions::default()).unwrap();
+            let total = t0.elapsed();
+            let want = plain.run(q, 0.1, &QueryOptions::default()).unwrap();
+            bench::workloads::assert_matches_bit_identical(
+                &got.matches,
+                &want.matches,
+                &format!("q({n},{m}) shards={shards}"),
+            );
+            let sc = store.last_scatter();
+            retrieval.row(vec![
+                format!("q({n},{m})"),
+                shards.to_string(),
+                fmt_duration(sc.retrieve_time),
+                format!("{:?}", sc.per_shard_pruned),
+                sc.pruned_distinct.to_string(),
+                sc.duplicates_dropped.to_string(),
+                fmt_duration(total),
+            ]);
+        }
+    }
+    build.print();
+    println!();
+    retrieval.print();
+    println!("(every row bit-exact vs the unsharded pipeline)");
     println!();
 }
 

@@ -64,17 +64,18 @@ fn usage() {
          \x20 index    --kind ... --size N [--seed S] --out FILE [--max-len L] [--beta B]\n\
          \x20 query    --kind ... --size N [--seed S] [--index FILE]\n\
          \x20          --pattern '(x:a)-(y:b), (y)-(z:a)' [--alpha A]\n\
-         \x20          [--explain] [--limit N] [--threads T]\n\
+         \x20          [--explain] [--limit N] [--threads T] [--shards N]\n\
          \x20          [--repeat N] [--plan-cache-stats]\n\
          \x20          (or: --labels a,b,c --edges 0-1,1-2)\n\
          \x20 topk     (same as query, plus --k K)\n\
          \x20 stats    --kind ... --size N [--seed S]\n\
          \x20 serve    --addr HOST:PORT [--kind ... --size N [--seed S] [--max-len L] [--beta B]\n\
-         \x20          [--name G]] [--max-sessions N] [--queue-depth N] [--deadline-ms MS]\n\
-         \x20          [--max-connections N]\n\
+         \x20          [--shards N] [--name G]] [--max-sessions N] [--queue-depth N]\n\
+         \x20          [--deadline-ms MS] [--max-connections N]\n\
          \x20          [--debug-sleep]   (honor debug_sleep_ms requests — admission drills)\n\
          \x20 client   --addr HOST:PORT [--json REQUEST]   (no --json: one request line per\n\
-         \x20          stdin line; replies print to stdout)"
+         \x20          stdin line; replies print to stdout; --json exits non-zero on a\n\
+         \x20          structured error reply)"
     );
 }
 
@@ -234,15 +235,24 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let server = pegserve::Server::bind(addr, config).map_err(|e| e.to_string())?;
     if flags.contains_key("kind") {
         let peg = peg_from_flags(flags)?;
-        let offline = OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?;
         let name = flags.get("name").map(String::as_str).unwrap_or("default");
+        let shards: usize = flags.get("shards").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
         println!(
-            "loaded graph '{}': {} nodes, {} edges",
+            "loaded graph '{}': {} nodes, {} edges{}",
             name,
             peg.graph.n_nodes(),
-            peg.graph.n_edges()
+            peg.graph.n_edges(),
+            if shards > 1 { format!(", {shards} shards") } else { String::new() }
         );
-        server.insert_graph(name, peg, offline);
+        if shards > 1 {
+            let store = pegshard::ShardedGraphStore::build(peg, &offline_opts(flags), shards)
+                .map_err(|e| e.to_string())?;
+            server.insert_sharded_graph(name, store);
+        } else {
+            let offline =
+                OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?;
+            server.insert_graph(name, peg, offline);
+        }
     }
     println!("pegserve listening on {}", server.local_addr());
     use std::io::Write as _;
@@ -253,12 +263,28 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `pegcli client`: send line-delimited JSON requests to a running server.
 /// `--json REQ` sends one request; without it, each stdin line is a
 /// request. Reply lines print to stdout verbatim (greppable in scripts).
+///
+/// In `--json` one-shot mode the process exits non-zero when the server's
+/// reply is a structured error (`"ok":false` — `bad_request`,
+/// `unknown_graph`, `not_found`, `overloaded`, `timeout`, `internal`), so
+/// scripts can branch on `$?` instead of parsing every reply. The reply
+/// line still prints to stdout either way.
 fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = get(flags, "addr")?;
     let mut client = pegserve::Client::connect(addr).map_err(|e| e.to_string())?;
     if let Some(req) = flags.get("json") {
         let reply = client.request_line(req).map_err(|e| e.to_string())?;
         println!("{reply}");
+        if let Ok(parsed) = pegserve::Json::parse(&reply) {
+            if parsed.get("ok") == Some(&pegserve::Json::Bool(false)) {
+                let code = parsed
+                    .get("error")
+                    .and_then(pegserve::Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                return Err(format!("server replied with a structured '{code}' error"));
+            }
+        }
         return Ok(());
     }
     let stdin = std::io::stdin();
@@ -279,20 +305,49 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
     let peg = peg_from_flags(flags)?;
-    // Load the index from disk when given, otherwise build fresh.
-    let offline = match flags.get("index") {
-        Some(path) => {
+    let query = parse_query(flags, &peg)?;
+    let shards: usize = flags.get("shards").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
+    // --shards > 1: partition the store and scatter-gather retrieval;
+    // results are bit-identical to the unsharded pipeline.
+    let sharded = if shards > 1 {
+        if flags.contains_key("index") {
+            return Err("--shards builds per-shard indexes; drop --index".into());
+        }
+        let store = pegshard::ShardedGraphStore::build(peg.clone(), &offline_opts(flags), shards)
+            .map_err(|e| e.to_string())?;
+        let s = store.stats();
+        println!(
+            "sharded store: {} shard(s), halo {} hop(s), {} replicated node(s) \
+             (replication factor {:.3}), built in {}",
+            s.n_shards,
+            s.halo_radius,
+            s.replicated_nodes,
+            s.replication_factor,
+            bench::fmt_duration(s.build_time),
+        );
+        Some(store)
+    } else {
+        None
+    };
+    // Unsharded: load the index from disk when given, otherwise build fresh.
+    let offline = match (&sharded, flags.get("index")) {
+        (Some(_), _) => None,
+        (None, Some(path)) => {
             let store = BTreeStore::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
             let paths = load_index(&store).map_err(|e| e.to_string())?;
             let context = ContextInfo::build(&peg.graph);
-            OfflineIndex { context, paths, stats: OfflineStats::default() }
+            Some(OfflineIndex { context, paths, stats: OfflineStats::default() })
         }
-        None => OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?,
+        (None, None) => {
+            Some(OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?)
+        }
     };
-    let query = parse_query(flags, &peg)?;
     let want_cache_stats = flags.contains_key("plan-cache-stats");
     let cache = std::sync::Arc::new(PlanCache::new());
-    let mut pipeline = QueryPipeline::new(&peg, &offline);
+    let mut pipeline = match &sharded {
+        Some(store) => store.pipeline(),
+        None => QueryPipeline::new(&peg, offline.as_ref().expect("unsharded index built")),
+    };
     if want_cache_stats {
         pipeline = pipeline.with_plan_cache(cache.clone());
     }
@@ -334,6 +389,17 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
     }
     if result.matches.len() > 20 {
         println!("  ... and {} more", result.matches.len() - 20);
+    }
+    if let Some(store) = &sharded {
+        let sc = store.last_scatter();
+        println!(
+            "scatter-gather: per-shard candidates {:?} ({} distinct, {} boundary duplicate(s) \
+             dropped), retrieval {}",
+            sc.per_shard_pruned,
+            sc.pruned_distinct,
+            sc.duplicates_dropped,
+            bench::fmt_duration(sc.retrieve_time),
+        );
     }
     if want_cache_stats {
         let s = cache.stats();

@@ -108,6 +108,26 @@ impl Workload {
 /// query (the building block of repeated-shape serving mixes).
 pub use datagen::permuted_query;
 
+/// Asserts two match lists are f64-bit-identical — same node images, same
+/// `prle` bits, same `prn` bits. The gate sharded execution must pass
+/// against the unsharded pipeline; shared so the `scaling_shards` bench
+/// and `experiments ablation-shards` enforce exactly the same contract.
+///
+/// # Panics
+/// Panics (with `ctx`) on the first divergence.
+pub fn assert_matches_bit_identical(
+    got: &[pegmatch::matcher::Match],
+    want: &[pegmatch::matcher::Match],
+    ctx: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{ctx}: match count diverged");
+    for (a, b) in got.iter().zip(want) {
+        assert_eq!(a.nodes, b.nodes, "{ctx}: node images diverged");
+        assert_eq!(a.prle.to_bits(), b.prle.to_bits(), "{ctx}: prle bits diverged");
+        assert_eq!(a.prn.to_bits(), b.prn.to_bits(), "{ctx}: prn bits diverged");
+    }
+}
+
 /// The paper's query-size ladder for Figure 6(c): a query of `n` nodes has
 /// `min(4n, n(n−1)/2)` edges.
 pub fn fig6c_query_sizes() -> Vec<(usize, usize)> {

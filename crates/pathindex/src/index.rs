@@ -147,6 +147,37 @@ pub(crate) fn canonicalize(seq: &[u16]) -> (Vec<u16>, Orientation) {
     }
 }
 
+/// Canonical storage orientation of a label sequence, plus whether the
+/// sequence is palindromic (palindromic lookups yield both directions per
+/// stored entry, which doubles histogram estimates).
+///
+/// Public so composite stores (e.g. a sharded store merging per-shard
+/// histograms) can reproduce [`PathIndex::estimate_count`]'s keying
+/// exactly.
+pub fn canonical_label_seq(labels: &[Label]) -> (Vec<u16>, bool) {
+    let seq: Vec<u16> = labels.iter().map(|l| l.0).collect();
+    let (canonical, orient) = canonicalize(&seq);
+    (canonical, orient == Orientation::Palindrome)
+}
+
+/// The estimation core shared by [`PathIndex::estimate_count`] and
+/// composite stores holding merged histograms: interpolate `counts` at
+/// `alpha` over `grid` and double palindromic multi-node sequences (their
+/// entries answer both directions). Keeping this in one place is what
+/// guarantees a store with bit-identical counts produces bit-identical
+/// estimates.
+pub fn estimate_from_counts(
+    grid: &[f64],
+    counts: &[u32],
+    alpha: f64,
+    palindrome: bool,
+    seq_len: usize,
+) -> f64 {
+    let base = estimate_at(grid, counts, alpha);
+    let factor = if palindrome && seq_len > 1 { 2.0 } else { 1.0 };
+    base * factor
+}
+
 impl PathIndex {
     pub(crate) fn empty(config: PathIndexConfig) -> Self {
         Self { config, map: FxHashMap::default(), hist: FxHashMap::default(), n_entries: 0 }
@@ -216,6 +247,47 @@ impl PathIndex {
         }
     }
 
+    /// Per-sequence histogram counts over the subset of entries
+    /// satisfying `keep` — computed exactly as the index's own histograms
+    /// are, but with non-matching entries skipped. Sequences with no kept
+    /// entry are omitted; the output is sorted by sequence for
+    /// deterministic iteration.
+    ///
+    /// A sharded store uses this to count each path exactly once (at the
+    /// shard that owns it), so that summing per-shard histograms
+    /// element-wise reproduces the unsharded histogram — and with it,
+    /// bit-identical cardinality estimates.
+    pub fn histogram_counts_where(
+        &self,
+        keep: &dyn Fn(&StoredPath) -> bool,
+    ) -> Vec<(Vec<u16>, Vec<u32>)> {
+        let grid = &self.config.hist_grid;
+        let mut out: Vec<(Vec<u16>, Vec<u32>)> = Vec::new();
+        for (seq, sb) in &self.map {
+            let mut counts = vec![0u32; grid.len()];
+            let mut any = false;
+            for b in &sb.buckets {
+                for e in b {
+                    if !keep(e) {
+                        continue;
+                    }
+                    any = true;
+                    let p = e.prob();
+                    for (i, &g) in grid.iter().enumerate() {
+                        if p >= g {
+                            counts[i] += 1;
+                        }
+                    }
+                }
+            }
+            if any {
+                out.push((seq.clone(), counts));
+            }
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// All directed path matches for `labels` with total probability
     /// ≥ `min_prob`. (`PIndex(lQ(VP), α)` of the paper.)
     pub fn lookup(&self, labels: &[Label], min_prob: f64) -> Vec<PathMatch> {
@@ -263,9 +335,13 @@ impl PathIndex {
         let Some(counts) = self.hist.get(&canonical) else {
             return 0.0;
         };
-        let base = estimate_at(&self.config.hist_grid, counts, alpha);
-        let factor = if orient == Orientation::Palindrome && labels.len() > 1 { 2.0 } else { 1.0 };
-        base * factor
+        estimate_from_counts(
+            &self.config.hist_grid,
+            counts,
+            alpha,
+            orient == Orientation::Palindrome,
+            labels.len(),
+        )
     }
 
     /// Iterates all canonical sequences with their entries (persistence).

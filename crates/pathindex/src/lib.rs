@@ -26,7 +26,10 @@ pub mod histogram;
 mod index;
 
 pub use build::{build_index, enumerate_paths_online};
-pub use index::{IdentityOracle, NoIdentity, PathIndex, PathIndexConfig, PathMatch};
+pub use index::{
+    canonical_label_seq, estimate_from_counts, IdentityOracle, NoIdentity, PathIndex,
+    PathIndexConfig, PathMatch, StoredPath,
+};
 
 /// Default histogram grid (the paper's "selected probability points").
 pub const DEFAULT_HIST_GRID: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];

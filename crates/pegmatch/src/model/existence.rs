@@ -15,6 +15,7 @@
 use crate::error::PegError;
 use graphstore::hash::FxHashMap;
 use graphstore::{EntityId, RefId};
+use std::sync::Arc;
 
 /// What to do when a component's valid configurations exceed the budget.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,7 +97,10 @@ pub struct ExistenceModel {
     node_component: Vec<u32>,
     /// Bit position of each node within its component (garbage if trivial).
     node_pos: Vec<u8>,
-    components: Vec<Component>,
+    /// Components behind `Arc`: immutable once built, so projections
+    /// ([`ExistenceModel::project`]) share them instead of copying their
+    /// configuration and superset-sum tables per shard.
+    components: Vec<Arc<Component>>,
     /// True when at least one component uses sampled marginals.
     approximate: bool,
 }
@@ -250,12 +254,12 @@ impl ExistenceModel {
                 node_component[m as usize] = comp_idx;
                 node_pos[m as usize] = pos as u8;
             }
-            components.push(Component {
+            components.push(Arc::new(Component {
                 sets: members.iter().map(|&m| EntityId(m)).collect(),
                 configs,
                 z,
                 dense,
-            });
+            }));
         }
 
         Ok(Self { node_component, node_pos, components, approximate })
@@ -322,6 +326,45 @@ impl ExistenceModel {
             }
         }
         p
+    }
+
+    /// Projects the model onto a node subset: `to_source[i]` is the source
+    /// model's node id of local node `i` (callers pass a strictly
+    /// increasing list, as a sharded store's monotone renumbering does).
+    ///
+    /// Components touched by the subset are carried over *whole* and
+    /// shared by reference (`Arc`) — their configuration tables and
+    /// partition functions are literally the source model's, not copies —
+    /// so every marginal a projected node can ask for
+    /// ([`ExistenceModel::prn`], [`ExistenceModel::prn_single`]) is
+    /// bit-identical to the source model's answer for the corresponding
+    /// source nodes, and N projections cost N index maps, not N copies of
+    /// the component tables. This is what makes per-shard path probabilities
+    /// (`Prn`) exact even when a component straddles a shard boundary:
+    /// the component travels with every shard that sees any of it.
+    ///
+    /// Caveat: the projected components' `sets` keep *source* ids, so
+    /// [`ExistenceModel::component_configs`] on a projection describes the
+    /// source numbering. `prn`/`prn_single`/`always_exists` never consult
+    /// `sets` and speak the local numbering.
+    pub fn project(&self, to_source: &[u32]) -> ExistenceModel {
+        let mut comp_map: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut components: Vec<Arc<Component>> = Vec::new();
+        let mut node_component = vec![TRIVIAL; to_source.len()];
+        let mut node_pos = vec![0u8; to_source.len()];
+        for (i, &src) in to_source.iter().enumerate() {
+            let c = self.node_component[src as usize];
+            if c == TRIVIAL {
+                continue;
+            }
+            let local_c = *comp_map.entry(c).or_insert_with(|| {
+                components.push(self.components[c as usize].clone());
+                (components.len() - 1) as u32
+            });
+            node_component[i] = local_c;
+            node_pos[i] = self.node_pos[src as usize];
+        }
+        ExistenceModel { node_component, node_pos, components, approximate: self.approximate }
     }
 
     /// Enumerates, per non-trivial component, its entity sets and valid
@@ -555,6 +598,29 @@ mod tests {
                     / comp.z;
             assert!((comp.marginal(mask) - direct).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn projection_marginals_are_bit_identical() {
+        let m = figure1_model();
+        // Keep nodes {1, 3, 4} (→ local ids 0, 1, 2): one trivial node and
+        // two members of the r3/r4 component — the component must travel
+        // whole even though member 2 stays behind.
+        let p = m.project(&[1, 3, 4]);
+        assert!(p.always_exists(EntityId(0)));
+        assert!(!p.always_exists(EntityId(1)));
+        assert_eq!(p.n_components(), 1);
+        assert_eq!(p.prn_single(EntityId(1)).to_bits(), m.prn_single(EntityId(3)).to_bits());
+        assert_eq!(p.prn_single(EntityId(2)).to_bits(), m.prn_single(EntityId(4)).to_bits());
+        // r4 and s34 share a reference: still never co-exist.
+        assert_eq!(p.prn(&[EntityId(1), EntityId(2)]), 0.0);
+        assert_eq!(
+            p.prn(&[EntityId(0), EntityId(2)]).to_bits(),
+            m.prn(&[EntityId(1), EntityId(4)]).to_bits()
+        );
+        // Empty projection is valid and trivially exact.
+        let none = m.project(&[]);
+        assert_eq!(none.n_components(), 0);
     }
 
     #[test]

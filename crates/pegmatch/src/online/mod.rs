@@ -15,6 +15,7 @@ pub mod generate;
 pub mod kpartite;
 pub mod plan;
 pub mod session;
+pub mod source;
 
 pub use candidates::{CandidateSet, NodeCandidateCache, PathStats};
 pub use decompose::{decompose, DecompStrategy, Decomposition, QueryPath};
@@ -22,6 +23,7 @@ pub use generate::{generate_matches, generate_matches_limited, join_order, JoinO
 pub use kpartite::{build_kpartite, KPartiteGraph, ReduceOptions, ReductionStats};
 pub use plan::{PlanCache, PlanCacheEntry, PlanCacheStats, PreparedQuery};
 pub use session::QuerySession;
+pub use source::{sort_candidates, CandidateSource, LocalSource};
 
 use crate::error::PegError;
 use crate::matcher::Match;
@@ -163,18 +165,48 @@ pub struct QueryResult {
     pub stats: PipelineStats,
 }
 
+/// The pipeline's binding to a candidate source: either the classic
+/// single-store pair (owned inline so `QueryPipeline::new` needs no extra
+/// allocation) or any shared [`CandidateSource`] implementation.
+enum PipelineSource<'a> {
+    Local(source::LocalSource<'a>),
+    Shared(&'a dyn CandidateSource),
+}
+
+impl<'a> PipelineSource<'a> {
+    fn as_dyn(&self) -> &dyn CandidateSource {
+        match self {
+            PipelineSource::Local(local) => local,
+            PipelineSource::Shared(shared) => *shared,
+        }
+    }
+}
+
 /// The optimized online query processor: thin drivers over the
 /// prepare → session layering, plus an optional shared [`PlanCache`].
 pub struct QueryPipeline<'a> {
     peg: &'a Peg,
-    offline: &'a OfflineIndex,
+    source: PipelineSource<'a>,
     plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl<'a> QueryPipeline<'a> {
     /// Binds a pipeline to a PEG and its offline artifacts.
     pub fn new(peg: &'a Peg, offline: &'a OfflineIndex) -> Self {
-        Self { peg, offline, plan_cache: None }
+        Self {
+            peg,
+            source: PipelineSource::Local(source::LocalSource { peg, offline }),
+            plan_cache: None,
+        }
+    }
+
+    /// Binds a pipeline to a PEG and an arbitrary [`CandidateSource`] —
+    /// the entry point for sharded stores, whose scatter-gather retrieval
+    /// replaces the single offline index. `peg` must be the *full* graph
+    /// the source's candidates refer to: k-partite construction and match
+    /// generation evaluate cross-path edges and joint existence on it.
+    pub fn with_source(peg: &'a Peg, source: &'a dyn CandidateSource) -> Self {
+        Self { peg, source: PipelineSource::Shared(source), plan_cache: None }
     }
 
     /// Attaches a shared plan cache: [`QueryPipeline::prepare`] then keys
@@ -245,11 +277,11 @@ impl<'a> QueryPipeline<'a> {
     ) -> Result<PreparedQuery, PegError> {
         self.validate(query, alpha)?;
         let t0 = Instant::now();
-        let max_len = self.offline.paths.config().max_len.max(1);
+        let source = self.source.as_dyn();
+        let max_len = source.max_len().max(1);
         let build = || {
             let t = Instant::now();
-            let est =
-                |labels: &[graphstore::Label]| self.offline.estimate_path_count(labels, alpha);
+            let est = |labels: &[graphstore::Label]| source.estimate_path_count(labels, alpha);
             let decomp = decompose(query, max_len, &est, opts.strategy)?;
             // Join order from the same cost estimates that priced the
             // decomposition; pinned to the plan so every execution
@@ -290,12 +322,12 @@ impl<'a> QueryPipeline<'a> {
 
     /// Opens a fresh execution session over a prepared plan. Any number of
     /// sessions (including concurrent ones) may run over one plan.
-    pub fn session<'p>(
-        &self,
+    pub fn session<'s, 'p>(
+        &'s self,
         prepared: &'p PreparedQuery,
         opts: &QueryOptions,
-    ) -> QuerySession<'a, 'p> {
-        QuerySession::new(self.peg, self.offline, prepared, *opts)
+    ) -> QuerySession<'s, 'p> {
+        QuerySession::new(self.peg, self.source.as_dyn(), prepared, *opts)
     }
 
     /// Finds the `k` most probable matches of `query` (an extension beyond

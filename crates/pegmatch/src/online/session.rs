@@ -17,14 +17,13 @@
 
 use crate::error::PegError;
 use crate::matcher::Match;
-use crate::offline::OfflineIndex;
-use crate::online::candidates::{self, CandidateSet, NodeCandidateCache};
+use crate::online::candidates::CandidateSet;
 use crate::online::generate::generate_matches_limited;
 use crate::online::kpartite::{build_kpartite, KPartiteGraph, ReduceOptions};
 use crate::online::plan::PreparedQuery;
+use crate::online::source::CandidateSource;
 use crate::online::{log10_product, PipelineStats, QueryOptions, QueryResult};
 use crate::Peg;
-use pathindex::PathMatch;
 use std::time::Instant;
 
 const EPS: f64 = 1e-12;
@@ -50,7 +49,7 @@ struct SessionBase {
 /// [`QueryPipeline::run`]: crate::online::QueryPipeline::run
 pub struct QuerySession<'a, 'p> {
     peg: &'a Peg,
-    offline: &'a OfflineIndex,
+    source: &'a dyn CandidateSource,
     prepared: &'p PreparedQuery,
     opts: QueryOptions,
     base: Option<SessionBase>,
@@ -59,11 +58,11 @@ pub struct QuerySession<'a, 'p> {
 impl<'a, 'p> QuerySession<'a, 'p> {
     pub(crate) fn new(
         peg: &'a Peg,
-        offline: &'a OfflineIndex,
+        source: &'a dyn CandidateSource,
         prepared: &'p PreparedQuery,
         opts: QueryOptions,
     ) -> Self {
-        Self { peg, offline, prepared, opts, base: None }
+        Self { peg, source, prepared, opts, base: None }
     }
 
     /// The plan this session executes.
@@ -101,34 +100,13 @@ impl<'a, 'p> QuerySession<'a, 'p> {
             ..PipelineStats::default()
         };
 
-        // 2. Raw retrieval (parallel across paths) + context pruning. The
-        // raw sets are consumed in place: survivors are compacted without
-        // clones, and the raw memory is gone before the k-partite build.
+        // 2. Raw retrieval + context pruning, through the session's
+        // candidate source (single store or scatter-gather over shards).
+        // Every source emits candidates in the canonical node-sequence
+        // order, so everything from here on is source-independent.
         let t = Instant::now();
-        let raw: Vec<Vec<PathMatch>> = pool.map(decomp.paths.len(), |i| {
-            let labels = decomp.paths[i].labels(query);
-            self.offline.path_matches(self.peg, &labels, alpha)
-        });
-        let node_cache = NodeCandidateCache::new();
-        let sets: Vec<CandidateSet> = raw
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut raw)| {
-                let raw_count = raw.len();
-                candidates::prune_candidates_in_place(
-                    self.peg,
-                    self.offline,
-                    query,
-                    &decomp.paths[i],
-                    &prepared.pstats[i],
-                    alpha,
-                    &node_cache,
-                    &pool,
-                    &mut raw,
-                );
-                CandidateSet { matches: raw, raw_count }
-            })
-            .collect();
+        let sets: Vec<CandidateSet> =
+            self.source.retrieve(query, decomp, &prepared.pstats, alpha, &pool);
         for cs in &sets {
             stats.raw_counts.push(cs.raw_count);
             stats.context_counts.push(cs.matches.len());

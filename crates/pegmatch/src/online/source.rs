@@ -1,0 +1,161 @@
+//! Pluggable candidate retrieval: the seam between the online pipeline and
+//! whatever store holds the path index.
+//!
+//! [`QuerySession`] drives stage 2 (raw retrieval + context pruning) and
+//! planning-time cardinality estimation through a [`CandidateSource`]
+//! rather than talking to an [`OfflineIndex`] directly:
+//!
+//! * [`LocalSource`] — the classic single-store binding (one PEG, one
+//!   offline index); what [`QueryPipeline::new`] constructs.
+//! * `pegshard::ShardedGraphStore` — scatter-gather over N per-shard
+//!   stores, plugged in via [`QueryPipeline::with_source`].
+//!
+//! The contract that keeps every source interchangeable **bit-for-bit** is
+//! the canonical candidate order: [`CandidateSource::retrieve`] must emit
+//! each path's pruned candidates sorted by ascending node sequence (see
+//! [`sort_candidates`]). Node sequences are unique within one retrieval,
+//! so the order is a total one that no merge strategy, shard count, or
+//! index-build thread count can perturb — and everything downstream
+//! (k-partite construction, Jacobi reduction, match generation) is a
+//! deterministic function of the ordered candidate lists.
+//!
+//! [`QuerySession`]: crate::online::QuerySession
+//! [`QueryPipeline::new`]: crate::online::QueryPipeline::new
+//! [`QueryPipeline::with_source`]: crate::online::QueryPipeline::with_source
+//! [`OfflineIndex`]: crate::offline::OfflineIndex
+
+use crate::offline::OfflineIndex;
+use crate::online::candidates::{self, CandidateSet, NodeCandidateCache, PathStats};
+use crate::online::decompose::Decomposition;
+use crate::query::QueryGraph;
+use crate::Peg;
+use graphstore::Label;
+use pathindex::PathMatch;
+use pegpool::ThreadPool;
+
+/// Where the online pipeline gets per-path candidates and planning
+/// estimates. Implementations must be shareable across concurrent
+/// sessions (`Sync`) and must uphold the canonical-order contract
+/// documented on [`CandidateSource::retrieve`].
+pub trait CandidateSource: Sync {
+    /// Maximum indexed path length in edges — the bound query
+    /// decomposition plans against.
+    fn max_len(&self) -> usize;
+
+    /// Estimated `|PIndex(labels, alpha)|` for the cost model. Two sources
+    /// over the same logical graph must return bit-identical estimates for
+    /// plans (and therefore results) to agree bit-for-bit.
+    fn estimate_path_count(&self, labels: &[Label], alpha: f64) -> f64;
+
+    /// Pruned candidate sets for *every* decomposition path at threshold
+    /// `alpha`, parallelized over `pool` as the source sees fit.
+    ///
+    /// Contract: `out[i]` holds path `i`'s surviving candidates sorted by
+    /// ascending node sequence with no duplicate node sequences, and
+    /// `out[i].raw_count` counts the distinct raw retrievals before
+    /// context pruning (each logical path counted once, however many
+    /// physical replicas the store keeps).
+    fn retrieve(
+        &self,
+        query: &QueryGraph,
+        decomp: &Decomposition,
+        pstats: &[PathStats],
+        alpha: f64,
+        pool: &ThreadPool,
+    ) -> Vec<CandidateSet>;
+}
+
+/// Sorts path matches into the canonical candidate order every source
+/// emits: ascending node sequences. Sequences are unique per retrieval, so
+/// an unstable sort is deterministic.
+pub fn sort_candidates(matches: &mut [PathMatch]) {
+    matches.sort_unstable_by(|a, b| a.nodes.cmp(&b.nodes));
+}
+
+/// The single-store candidate source: one PEG and its offline index.
+#[derive(Clone, Copy)]
+pub struct LocalSource<'a> {
+    /// The probabilistic entity graph.
+    pub peg: &'a Peg,
+    /// Its offline artifacts (path index + context information).
+    pub offline: &'a OfflineIndex,
+}
+
+impl CandidateSource for LocalSource<'_> {
+    fn max_len(&self) -> usize {
+        self.offline.paths.config().max_len
+    }
+
+    fn estimate_path_count(&self, labels: &[Label], alpha: f64) -> f64 {
+        self.offline.estimate_path_count(labels, alpha)
+    }
+
+    fn retrieve(
+        &self,
+        query: &QueryGraph,
+        decomp: &Decomposition,
+        pstats: &[PathStats],
+        alpha: f64,
+        pool: &ThreadPool,
+    ) -> Vec<CandidateSet> {
+        // Raw retrieval in parallel across paths; sorted into canonical
+        // order at the source so downstream state never depends on index
+        // insertion order. The raw sets are consumed in place: survivors
+        // are compacted without clones.
+        let raw: Vec<Vec<PathMatch>> = pool.map(decomp.paths.len(), |i| {
+            let labels = decomp.paths[i].labels(query);
+            let mut matches = self.offline.path_matches(self.peg, &labels, alpha);
+            sort_candidates(&mut matches);
+            matches
+        });
+        let node_cache = NodeCandidateCache::new();
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, mut raw)| {
+                let raw_count = raw.len();
+                candidates::prune_candidates_in_place(
+                    self.peg,
+                    self.offline,
+                    query,
+                    &decomp.paths[i],
+                    &pstats[i],
+                    alpha,
+                    &node_cache,
+                    pool,
+                    &mut raw,
+                );
+                CandidateSet { matches: raw, raw_count }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::peg::{figure1_refgraph, PegBuilder};
+    use crate::offline::{OfflineIndex, OfflineOptions};
+    use crate::online::decompose::{decompose, DecompStrategy};
+    use graphstore::Label;
+
+    #[test]
+    fn local_source_emits_sorted_unique_candidates() {
+        let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+        let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
+        let src = LocalSource { peg: &peg, offline: &idx };
+        assert_eq!(src.max_len(), 2);
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        let pstats: Vec<PathStats> = d.paths.iter().map(|p| PathStats::new(&q, p)).collect();
+        let pool = pegpool::pool_with(1);
+        let sets = src.retrieve(&q, &d, &pstats, 0.01, &pool);
+        assert_eq!(sets.len(), d.paths.len());
+        for cs in &sets {
+            assert!(cs.raw_count >= cs.matches.len());
+            for w in cs.matches.windows(2) {
+                assert!(w[0].nodes < w[1].nodes, "canonical order violated");
+            }
+        }
+    }
+}

@@ -35,4 +35,4 @@ pub mod server;
 pub use admission::{AdmissionStats, AdmitError};
 pub use client::{Client, ClientError};
 pub use json::{obj, Json};
-pub use server::{GraphEntry, Server, ServerConfig, ServerHandle};
+pub use server::{GraphEntry, GraphStore, Server, ServerConfig, ServerHandle};

@@ -16,23 +16,29 @@
 //!
 //! One JSON object per line in each direction. Requests carry an `"op"`:
 //!
-//! | op           | fields                                                            |
-//! |--------------|-------------------------------------------------------------------|
-//! | `ping`       | —                                                                 |
-//! | `load_graph` | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?` |
-//! | `prepare`    | `graph?`, `pattern`, `alpha?`                                     |
-//! | `query`      | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
-//! | `query_topk` | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
-//! | `stats`      | —                                                                 |
-//! | `shutdown`   | —                                                                 |
+//! | op             | fields                                                            |
+//! |----------------|-------------------------------------------------------------------|
+//! | `ping`         | —                                                                 |
+//! | `load_graph`   | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?`, `shards?` |
+//! | `unload_graph` | `graph` (required; `not_found` for unknown names)                 |
+//! | `prepare`      | `graph?`, `pattern`, `alpha?`                                     |
+//! | `query`        | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
+//! | `query_topk`   | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
+//! | `stats`        | —                                                                 |
+//! | `shutdown`     | —                                                                 |
 //!
-//! `graph` may be omitted when exactly one graph is loaded. Replies are
+//! `graph` may be omitted when exactly one graph is loaded. `load_graph`
+//! with `shards > 1` builds a [`pegshard::ShardedGraphStore`] behind the
+//! same plan-cache/session flow — replies stay bit-identical to the
+//! unsharded store's. `unload_graph` drops the named graph and its plan
+//! cache so long-lived servers reclaim memory. Replies are
 //! `{"ok":true,...}` or `{"ok":false,"error":CODE,"message":...}` with
-//! codes `bad_request`, `unknown_graph`, `overloaded`, `timeout`,
-//! `internal`. `query`, `query_topk`, `prepare`, and `load_graph` (the
-//! compute-occupying ops) pass admission; `load_graph` additionally caps
-//! `size` at [`MAX_LOAD_SIZE`], `max_len` at [`MAX_LOAD_PATH_LEN`], and
-//! `beta` at no less than [`MIN_LOAD_BETA`]; patterns are capped at
+//! codes `bad_request`, `unknown_graph`, `not_found`, `overloaded`,
+//! `timeout`, `internal`. `query`, `query_topk`, `prepare`, and
+//! `load_graph` (the compute-occupying ops) pass admission; `load_graph`
+//! additionally caps `size` at [`MAX_LOAD_SIZE`], `max_len` at
+//! [`MAX_LOAD_PATH_LEN`], `shards` at [`MAX_LOAD_SHARDS`], and `beta` at
+//! no less than [`MIN_LOAD_BETA`]; patterns are capped at
 //! [`MAX_PATTERN_NODES`] nodes, per-query `threads` is clamped to the
 //! machine's parallelism, request lines are capped at
 //! [`MAX_LINE_BYTES`], and replies at [`MAX_RESULT_MATCHES`] matches.
@@ -48,6 +54,7 @@ use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{PlanCache, QueryOptions, QueryPipeline, QueryResult};
 use pegmatch::Peg;
+use pegshard::ShardedGraphStore;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -90,15 +97,55 @@ impl Default for ServerConfig {
     }
 }
 
-/// One loaded graph: the PEG, its offline artifacts, and the shared
-/// per-graph plan cache all sessions hit.
+/// How a loaded graph is stored: one offline index, or partitioned across
+/// shards with scatter-gather retrieval. Both sit behind the same
+/// [`PlanCache`]/`QuerySession` flow and answer bit-identically.
+pub enum GraphStore {
+    /// The classic single store: one PEG, one offline index.
+    Unsharded {
+        /// The probabilistic entity graph.
+        peg: Peg,
+        /// Offline index (path index + context information).
+        offline: OfflineIndex,
+    },
+    /// A sharded store (`load_graph` with `shards > 1`).
+    Sharded(ShardedGraphStore),
+}
+
+impl GraphStore {
+    /// The full entity graph (for pattern parsing and stats).
+    pub fn peg(&self) -> &Peg {
+        match self {
+            GraphStore::Unsharded { peg, .. } => peg,
+            GraphStore::Sharded(store) => store.peg(),
+        }
+    }
+
+    /// A pipeline over this store.
+    pub fn pipeline(&self) -> QueryPipeline<'_> {
+        match self {
+            GraphStore::Unsharded { peg, offline } => QueryPipeline::new(peg, offline),
+            GraphStore::Sharded(store) => store.pipeline(),
+        }
+    }
+
+    /// Shard count (1 for the unsharded store).
+    pub fn n_shards(&self) -> usize {
+        match self {
+            GraphStore::Unsharded { .. } => 1,
+            GraphStore::Sharded(store) => store.n_shards(),
+        }
+    }
+}
+
+/// One loaded graph: its store and the shared per-graph plan cache all
+/// sessions hit. Dropping the entry (see `unload_graph`) drops the plan
+/// cache with it.
 pub struct GraphEntry {
     /// Name the graph was registered under.
     pub name: String,
-    /// The probabilistic entity graph.
-    pub peg: Peg,
-    /// Offline index (path index + context information).
-    pub offline: OfflineIndex,
+    /// The graph store (unsharded or sharded).
+    pub store: GraphStore,
     /// Plan cache shared by every request against this graph.
     pub plans: Arc<PlanCache>,
 }
@@ -167,7 +214,13 @@ impl Server {
     /// Registers a graph under `name` before (or while) serving — the
     /// embedding-side twin of the protocol's `load_graph`.
     pub fn insert_graph(&self, name: &str, peg: Peg, offline: OfflineIndex) {
-        insert_graph(&self.state, name, peg, offline);
+        insert_store(&self.state, name, GraphStore::Unsharded { peg, offline });
+    }
+
+    /// Registers a pre-built sharded store under `name` — the
+    /// embedding-side twin of `load_graph` with `shards > 1`.
+    pub fn insert_sharded_graph(&self, name: &str, store: ShardedGraphStore) {
+        insert_store(&self.state, name, GraphStore::Sharded(store));
     }
 
     /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`]).
@@ -220,13 +273,9 @@ impl Server {
     }
 }
 
-fn insert_graph(state: &ServerState, name: &str, peg: Peg, offline: OfflineIndex) {
-    let entry = Arc::new(GraphEntry {
-        name: name.to_string(),
-        peg,
-        offline,
-        plans: Arc::new(PlanCache::new()),
-    });
+fn insert_store(state: &ServerState, name: &str, store: GraphStore) {
+    let entry =
+        Arc::new(GraphEntry { name: name.to_string(), store, plans: Arc::new(PlanCache::new()) });
     state.graphs.lock().unwrap().insert(name.to_string(), entry);
 }
 
@@ -324,6 +373,7 @@ fn dispatch(state: &ServerState, line: &str) -> Json {
     let result = match op {
         "ping" => Ok(obj().field("ok", true).field("pong", true).build()),
         "load_graph" => op_load_graph(state, &req),
+        "unload_graph" => op_unload_graph(state, &req),
         "prepare" => op_prepare(state, &req),
         "query" => op_query(state, &req, false),
         "query_topk" => op_query(state, &req, true),
@@ -393,6 +443,11 @@ pub const MAX_LOAD_PATH_LEN: usize = 3;
 /// `beta` via [`Server::insert_graph`].
 pub const MIN_LOAD_BETA: f64 = 0.01;
 
+/// Shard-count ceiling for protocol-initiated builds. Each shard costs a
+/// halo-replicated subgraph plus its own index build; uncapped, one
+/// request could multiply the graph's memory footprint arbitrarily.
+pub const MAX_LOAD_SHARDS: usize = 16;
+
 /// Builds a graph + offline index from a `load_graph` request (the same
 /// generator specs `pegcli` exposes; the registry-free environment has no
 /// external data files to point at). The build runs *inside* an admission
@@ -433,6 +488,13 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
             format!("\"beta\" {beta} out of range {MIN_LOAD_BETA}..=1"),
         ));
     }
+    let shards = field_usize(req, "shards", 1)?;
+    if !(1..=MAX_LOAD_SHARDS).contains(&shards) {
+        return Err(error_reply(
+            "bad_request",
+            format!("\"shards\" {shards} out of range 1..={MAX_LOAD_SHARDS}"),
+        ));
+    }
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
     let refs = match kind {
         "synthetic" => datagen::synthetic_refgraph(&datagen::SyntheticConfig {
@@ -452,17 +514,49 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
         .build(&refs)
         .map_err(|e| error_reply("internal", format!("model build failed: {e}")))?;
     let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
-    let offline = OfflineIndex::build(&peg, &opts)
-        .map_err(|e| error_reply("internal", format!("offline phase failed: {e}")))?;
     let (nodes, edges) = (peg.graph.n_nodes(), peg.graph.n_edges());
-    insert_graph(state, &name, peg, offline);
-    Ok(obj()
+    let mut reply = obj()
         .field("ok", true)
-        .field("graph", name)
+        .field("graph", name.as_str())
         .field("nodes", nodes)
         .field("edges", edges)
-        .field("build_us", t0.elapsed().as_micros() as u64)
-        .build())
+        .field("shards", shards);
+    let store = if shards > 1 {
+        let sharded = ShardedGraphStore::build(peg, &opts, shards)
+            .map_err(|e| error_reply("internal", format!("sharded build failed: {e}")))?;
+        let s = sharded.stats();
+        reply = reply
+            .field("replicated_nodes", s.replicated_nodes)
+            .field("replication_factor", s.replication_factor);
+        GraphStore::Sharded(sharded)
+    } else {
+        let offline = OfflineIndex::build(&peg, &opts)
+            .map_err(|e| error_reply("internal", format!("offline phase failed: {e}")))?;
+        GraphStore::Unsharded { peg, offline }
+    };
+    insert_store(state, &name, store);
+    Ok(reply.field("build_us", t0.elapsed().as_micros() as u64).build())
+}
+
+/// Drops a loaded graph so a long-lived server can reclaim its memory:
+/// the store (graph + index or shards) and the graph's plan cache go with
+/// the entry once in-flight requests holding it finish. Unknown names get
+/// a structured `not_found` reply. `graph` is required — implicit
+/// resolution would make "unload the only graph" too easy to do by
+/// accident from a script.
+fn op_unload_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
+    match state.graphs.lock().unwrap().remove(name) {
+        Some(entry) => Ok(obj()
+            .field("ok", true)
+            .field("unloaded", name)
+            .field("shards", entry.store.n_shards())
+            .build()),
+        None => Err(error_reply("not_found", format!("no graph named '{name}'"))),
+    }
 }
 
 /// Matches returned per reply, tops. Replies are one JSON line held fully
@@ -489,7 +583,7 @@ fn parse_request_query(
         .get("pattern")
         .and_then(Json::as_str)
         .ok_or_else(|| error_reply("bad_request", "missing \"pattern\""))?;
-    let query = pegmatch::pattern::parse_pattern(pattern, entry.peg.graph.label_table())
+    let query = pegmatch::pattern::parse_pattern(pattern, entry.store.peg().graph.label_table())
         .map_err(|e| error_reply("bad_request", format!("bad pattern: {e}")))?;
     if query.n_nodes() > MAX_PATTERN_NODES {
         return Err(error_reply(
@@ -507,7 +601,7 @@ fn op_prepare(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     // Planning is compute too (decomposition + cost estimation over the
     // index), so `prepare` takes an admission permit like the query ops.
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let pipe = QueryPipeline::new(&entry.peg, &entry.offline).with_plan_cache(entry.plans.clone());
+    let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
     let prepared = pipe
         .prepare(&query, alpha, &QueryOptions::default())
         .map_err(|e| error_reply("bad_request", e))?;
@@ -559,7 +653,7 @@ fn op_query(state: &ServerState, req: &Json, topk: bool) -> Result<Json, Reply> 
     if let Some(ms) = req.get("debug_sleep_ms").and_then(Json::as_u64) {
         std::thread::sleep(Duration::from_millis(ms.min(60_000)));
     }
-    let pipe = QueryPipeline::new(&entry.peg, &entry.offline).with_plan_cache(entry.plans.clone());
+    let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
     let t0 = Instant::now();
     let (result, from_cache): (QueryResult, Option<bool>) = if topk {
         let res = pipe
@@ -624,8 +718,9 @@ fn op_stats(state: &ServerState) -> Json {
             let p = g.plans.stats();
             obj()
                 .field("name", g.name.as_str())
-                .field("nodes", g.peg.graph.n_nodes())
-                .field("edges", g.peg.graph.n_edges())
+                .field("nodes", g.store.peg().graph.n_nodes())
+                .field("edges", g.store.peg().graph.n_edges())
+                .field("shards", g.store.n_shards())
                 .field(
                     "plan_cache",
                     obj()
@@ -808,6 +903,97 @@ mod tests {
         // The first connection keeps working.
         let pong = first.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
         assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sharded_load_graph_round_trip() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"load_graph","name":"sh","kind":"synthetic","size":200,"max_len":2,"shards":3}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("shards").and_then(Json::as_usize), Some(3));
+        assert!(reply.get("replication_factor").unwrap().as_f64().unwrap() >= 1.0);
+        // Queries flow through the same plan-cache/session path.
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"query","graph":"sh","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"query","graph":"sh","pattern":"(a:l1)-(b:l0)","alpha":0.3}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("plan_from_cache"), Some(&Json::Bool(true)), "{reply}");
+        // Stats report the shard count.
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let graphs = stats.get("graphs").unwrap().as_arr().unwrap();
+        let sh = graphs
+            .iter()
+            .find(|g| g.get("name").and_then(Json::as_str) == Some("sh"))
+            .expect("sharded graph listed");
+        assert_eq!(sh.get("shards").and_then(Json::as_usize), Some(3));
+        // An over-the-cap shard count is rejected before any build.
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"load_graph","kind":"synthetic","size":100,"shards":99}"#)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unload_graph_drops_entry_and_reports_not_found() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"load_graph","name":"scratch","kind":"synthetic","size":120,"max_len":1}"#)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let reply = client
+            .request(&Json::parse(r#"{"op":"unload_graph","graph":"scratch"}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("unloaded").and_then(Json::as_str), Some("scratch"));
+        // The graph is gone for queries...
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"query","graph":"scratch","pattern":"(x:l0)"}"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("unknown_graph"));
+        // ...and a second unload (or any unknown name) is a structured
+        // not_found, distinguishable from transport failure in scripts.
+        let reply = client
+            .request(&Json::parse(r#"{"op":"unload_graph","graph":"scratch"}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("not_found"), "{reply}");
+        // The op requires an explicit name.
+        let reply = client.request(&Json::parse(r#"{"op":"unload_graph"}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"));
+        // The preloaded graph is untouched.
+        let reply = client
+            .request(&Json::parse(r#"{"op":"query","graph":"tiny","pattern":"(x:l0)"}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
         handle.shutdown().unwrap();
     }
 

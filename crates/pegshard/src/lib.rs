@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! `pegshard` — sharded entity-graph store with scatter-gather query
+//! execution.
+//!
+//! Partitions one probabilistic entity graph into N shards, each owning
+//! its own subgraph and path index, and runs the online pipeline's
+//! candidate retrieval as a scatter-gather over them — with results
+//! **f64-bit-identical** to the unsharded [`QueryPipeline`] at every shard
+//! count. Sharding changes where retrieval work happens, never the math.
+//!
+//! # Partitioning and replication
+//!
+//! * **Placement** — entity `v` is *owned* by shard
+//!   [`shard_of`]`(v, N)`, a pure deterministic hash (SplitMix64). No
+//!   placement table, no coordination.
+//! * **Replication rule** — each shard additionally holds every node
+//!   within `max_len + 1` hops of an owned node (its *halo*), as an
+//!   induced subgraph under a monotone (order-preserving) renumbering,
+//!   with the existence model projected component-whole. `max_len` hops
+//!   make every owned path fully visible; the extra hop makes the context
+//!   statistics of every node an owned path can touch exact.
+//! * **Home** — a path's home shard is the owner of its minimum-id node;
+//!   exactly one shard is home to any path, and every shard agrees on it.
+//!
+//! # Why the gather is exact
+//!
+//! Per decomposition path, every shard retrieves and context-prunes from
+//! its own index. A path's home shard reproduces the unsharded pipeline's
+//! decision exactly (full visibility + exact context). Boundary shards
+//! may see *replicas* of paths homed elsewhere; their truncated halos can
+//! only **under**-state the context statistics, and every pruning bound is
+//! monotone in them — so a replica is at most over-pruned, never kept when
+//! the home shard (and therefore the unsharded pipeline) would prune it.
+//! Stored probabilities (`Prle`, `Prn`) are bit-exact everywhere: `Prle`
+//! is path-local and the monotone renumbering preserves every traversal
+//! order, and `Prn` comes from projected existence components shared
+//! verbatim with the full model. The gather therefore merge-sorts shard
+//! contributions into the canonical candidate order and drops duplicate
+//! node sequences — any surviving copy is the right one — yielding exactly
+//! the unsharded candidate lists. Identical candidate lists + identical
+//! plans (per-shard home-only histograms sum to the unsharded histogram,
+//! so cost estimates match bit-for-bit) ⇒ identical k-partite reduction
+//! and match generation on the full graph.
+//!
+//! # Toward multi-process sharding
+//!
+//! In-process, a shard is `(subgraph, index, ownership bitmap)` and the
+//! scatter is a pool fan-out. Because shards never share mutable state and
+//! the gather consumes only `(nodes, prle, prn)` triples plus two counts
+//! per shard, moving a shard behind a socket is a serialization problem:
+//! ship the per-path retrieval request, stream back the pruned triples.
+//!
+//! ```
+//! use pegmatch::model::peg::{figure1_refgraph, PegBuilder};
+//! use pegmatch::offline::OfflineOptions;
+//! use pegmatch::online::QueryOptions;
+//! use pegmatch::query::QueryGraph;
+//! use graphstore::Label;
+//! use pegshard::ShardedGraphStore;
+//!
+//! let peg = PegBuilder::new().build(&figure1_refgraph()).unwrap();
+//! let opts = OfflineOptions::with_len_and_beta(2, 0.01);
+//! let store = ShardedGraphStore::build(peg, &opts, 3).unwrap();
+//! let q = QueryGraph::path(&[Label(1), Label(0), Label(2)]).unwrap();
+//! let res = store.pipeline().run(&q, 0.05, &QueryOptions::default()).unwrap();
+//! assert!(!res.matches.is_empty());
+//! ```
+//!
+//! [`QueryPipeline`]: pegmatch::online::QueryPipeline
+
+pub mod partition;
+mod shard;
+mod store;
+
+pub use partition::shard_of;
+pub use store::{ScatterStats, ShardInfo, ShardedGraphStore, ShardingStats};

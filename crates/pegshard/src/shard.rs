@@ -1,0 +1,138 @@
+//! One shard: an induced subgraph with halo replication, its projected
+//! existence model, and its own offline index.
+//!
+//! A shard's node set is its *owned* entities (hash placement, see
+//! [`crate::partition`]) plus every node within `halo = max_len + 1` hops
+//! of an owned node. Two properties follow, and together they make
+//! per-shard retrieval exact for every path the shard owns:
+//!
+//! * **path visibility** — any index path (≤ `max_len` edges) containing
+//!   an owned node lies entirely within `max_len` hops of that node, so
+//!   the shard sees all of its nodes and edges;
+//! * **context exactness** — every node within `max_len` hops of an owned
+//!   node has its *entire* 1-hop neighborhood inside the shard (radius
+//!   `max_len + 1`), so the per-node context statistics (`c`, `ppu`,
+//!   `fpu`) computed from the shard subgraph equal the full graph's
+//!   bit-for-bit for every node a home path can touch.
+//!
+//! Node ids are renumbered **monotonically** (ascending global order), so
+//! every id comparison the index builder makes — CSR neighbor order,
+//! canonical-orientation tie-breaks, home-node selection by minimum id —
+//! agrees with the full graph, and the existence model is *projected*
+//! (components carried whole, see `ExistenceModel::project`), so stored
+//! `Prle`/`Prn` values are bit-identical to the unsharded index's.
+
+use crate::partition::shard_of;
+use graphstore::{EntityGraphBuilder, EntityId};
+use pathindex::PathMatch;
+use pegmatch::error::PegError;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::Peg;
+use std::collections::VecDeque;
+
+/// Marker for global nodes absent from a shard.
+const ABSENT: u32 = u32::MAX;
+
+/// One shard of a [`ShardedGraphStore`](crate::ShardedGraphStore).
+pub struct Shard {
+    /// The shard subgraph plus projected existence model.
+    pub(crate) peg: Peg,
+    /// The shard's own offline artifacts (path index + context).
+    pub(crate) offline: OfflineIndex,
+    /// Local node id → global node id; strictly increasing.
+    pub(crate) to_global: Vec<u32>,
+    /// Per local node: whether this shard owns it (vs. halo replication).
+    pub(crate) owned: Vec<bool>,
+    /// Number of owned nodes.
+    pub(crate) n_owned: usize,
+}
+
+impl Shard {
+    /// Builds shard `shard` of `n_shards` over `full`, replicating to
+    /// `halo` hops around owned nodes.
+    pub(crate) fn build(
+        full: &Peg,
+        opts: &OfflineOptions,
+        shard: usize,
+        n_shards: usize,
+        halo: usize,
+    ) -> Result<Shard, PegError> {
+        let graph = &full.graph;
+        let n = graph.n_nodes();
+
+        // Multi-source BFS from owned seeds out to `halo` hops.
+        let mut depth: Vec<u32> = vec![ABSENT; n];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for v in 0..n as u32 {
+            if shard_of(EntityId(v), n_shards) == shard {
+                depth[v as usize] = 0;
+                queue.push_back(v);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = depth[v as usize];
+            if d as usize >= halo {
+                continue;
+            }
+            for &nb in graph.neighbors(EntityId(v)) {
+                if depth[nb as usize] == ABSENT {
+                    depth[nb as usize] = d + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+
+        // Monotone renumbering: ascending global ids.
+        let to_global: Vec<u32> = (0..n as u32).filter(|&v| depth[v as usize] != ABSENT).collect();
+        let mut local_of: Vec<u32> = vec![ABSENT; n];
+        for (i, &g) in to_global.iter().enumerate() {
+            local_of[g as usize] = i as u32;
+        }
+
+        // Induced subgraph: every node payload verbatim, every edge whose
+        // endpoints are both present, stored-orientation preserved (CPT
+        // rows stay attached to the same endpoint).
+        let mut builder = EntityGraphBuilder::new(graph.label_table().clone());
+        for &g in &to_global {
+            let node = graph.node(EntityId(g));
+            builder.add_node(node.labels.clone(), node.refs.clone());
+        }
+        for e in graph.edges() {
+            let (la, lb) = (local_of[e.a.idx()], local_of[e.b.idx()]);
+            if la != ABSENT && lb != ABSENT {
+                builder.add_edge(EntityId(la), EntityId(lb), e.prob.clone());
+            }
+        }
+        let existence = full.existence.project(&to_global);
+        let peg = Peg { graph: builder.build(), existence };
+        let offline = OfflineIndex::build(&peg, opts)?;
+
+        let owned: Vec<bool> =
+            to_global.iter().map(|&g| shard_of(EntityId(g), n_shards) == shard).collect();
+        let n_owned = owned.iter().filter(|&&o| o).count();
+        Ok(Shard { peg, offline, to_global, owned, n_owned })
+    }
+
+    /// True when this shard is the path's *home*: the path's minimum-id
+    /// node is owned here. Minimum local id ↔ minimum global id under the
+    /// monotone renumbering, so every shard (and the unsharded store)
+    /// agrees on a path's unique home.
+    #[inline]
+    pub(crate) fn is_home(&self, local_nodes: &[EntityId]) -> bool {
+        local_nodes.iter().map(|v| v.idx()).min().is_some_and(|i| self.owned[i])
+    }
+
+    /// [`Shard::is_home`] over a stored path's raw node array.
+    #[inline]
+    pub(crate) fn is_home_stored(&self, local_nodes: &[u32]) -> bool {
+        local_nodes.iter().min().is_some_and(|&i| self.owned[i as usize])
+    }
+
+    /// Rewrites a path match from shard-local to global ids, in place.
+    #[inline]
+    pub(crate) fn globalize(&self, m: &mut PathMatch) {
+        for v in &mut m.nodes {
+            *v = EntityId(self.to_global[v.idx()]);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The sharded store and its scatter-gather [`CandidateSource`].
+
+use crate::shard::Shard;
+use graphstore::hash::FxHashMap;
+use graphstore::Label;
+use pathindex::PathMatch;
+use pegmatch::error::PegError;
+use pegmatch::offline::OfflineOptions;
+use pegmatch::online::candidates::prune_candidates_in_place;
+use pegmatch::online::{
+    sort_candidates, CandidateSet, CandidateSource, Decomposition, NodeCandidateCache, PathStats,
+    QueryPipeline,
+};
+use pegmatch::query::QueryGraph;
+use pegmatch::Peg;
+use pegpool::ThreadPool;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-shard size and ownership breakdown.
+#[derive(Clone, Debug)]
+pub struct ShardInfo {
+    /// Nodes in the shard subgraph (owned + replicated halo).
+    pub nodes: usize,
+    /// Nodes this shard owns.
+    pub owned_nodes: usize,
+    /// Edges in the shard subgraph.
+    pub edges: usize,
+    /// Path-index entries the shard stores.
+    pub index_entries: usize,
+    /// Approximate in-memory path-index bytes.
+    pub index_bytes: u64,
+}
+
+/// Build-time sharding statistics: partition shape and replication cost.
+#[derive(Clone, Debug)]
+pub struct ShardingStats {
+    /// Shard count.
+    pub n_shards: usize,
+    /// Replication radius in hops around owned nodes (`max_len + 1`).
+    pub halo_radius: usize,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardInfo>,
+    /// Σ shard nodes − graph nodes: the boundary copies replication pays.
+    pub replicated_nodes: usize,
+    /// Σ shard nodes ÷ graph nodes (1.0 = no replication).
+    pub replication_factor: f64,
+    /// Σ shard index entries ÷ unsharded entry count is not tracked here
+    /// (no unsharded index is built); this is the raw Σ entries.
+    pub total_index_entries: usize,
+    /// Wall time of the whole sharded build (subgraphs + indexes).
+    pub build_time: Duration,
+}
+
+/// Retrieval-time scatter-gather statistics for the most recent
+/// [`CandidateSource::retrieve`] call (a top-k run rebases more than once;
+/// this snapshot describes the last scatter).
+#[derive(Clone, Debug, Default)]
+pub struct ScatterStats {
+    /// Raw index retrievals per shard (including boundary replicas).
+    pub per_shard_raw: Vec<usize>,
+    /// Pruned candidates contributed per shard (pre-dedup).
+    pub per_shard_pruned: Vec<usize>,
+    /// Distinct raw retrievals (each logical path counted at its home
+    /// shard) — equals the unsharded pipeline's raw count.
+    pub raw_distinct: usize,
+    /// Distinct pruned candidates after the gather dedup.
+    pub pruned_distinct: usize,
+    /// Boundary-replicated candidates dropped by the gather dedup.
+    pub duplicates_dropped: usize,
+    /// Wall time of the scatter + gather.
+    pub retrieve_time: Duration,
+}
+
+/// One entity graph partitioned into N shards, each owning its own
+/// subgraph ([`Peg`]) and offline index, with a scatter-gather
+/// [`CandidateSource`] on top.
+///
+/// The store keeps the **full** PEG for the global phases (k-partite
+/// construction, joint reduction, match generation evaluate cross-path
+/// edges and joint existence), while the *path index* — the offline
+/// phase's dominant artifact — exists only in partitioned form. Results
+/// through [`ShardedGraphStore::pipeline`] are f64-bit-identical to an
+/// unsharded [`QueryPipeline`] over the same graph and offline options,
+/// for every shard count; see the crate docs for the exactness argument.
+pub struct ShardedGraphStore {
+    peg: Peg,
+    shards: Vec<Shard>,
+    /// Shared index config needed to reproduce unsharded estimates.
+    beta: f64,
+    max_len: usize,
+    hist_grid: Vec<f64>,
+    /// Merged per-sequence histograms: element-wise sums of each shard's
+    /// home-only counts, bit-identical to the unsharded histogram.
+    hist: FxHashMap<Vec<u16>, Vec<u32>>,
+    stats: ShardingStats,
+    last_scatter: Mutex<ScatterStats>,
+}
+
+impl ShardedGraphStore {
+    /// Partitions `peg` into `n_shards` shards and builds each shard's
+    /// offline index with `opts` (shard builds fan out on the shared
+    /// pool). `n_shards == 1` is the degenerate single-shard store — same
+    /// machinery, no boundary replication.
+    pub fn build(peg: Peg, opts: &OfflineOptions, n_shards: usize) -> Result<Self, PegError> {
+        if n_shards == 0 {
+            return Err(PegError::Invalid("shard count must be at least 1".into()));
+        }
+        let t0 = Instant::now();
+        let max_len = opts.index.max_len.max(1);
+        let halo = if n_shards == 1 { 0 } else { max_len + 1 };
+        let shards: Vec<Shard> = pegpool::global()
+            .map(n_shards, |s| Shard::build(&peg, opts, s, n_shards, halo))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        // Merge home-only histograms: each indexed path is counted exactly
+        // once (at its home shard), so the element-wise integer sums equal
+        // the unsharded index's histogram — and with it, every cardinality
+        // estimate the planner asks for, bit-for-bit.
+        let mut hist: FxHashMap<Vec<u16>, Vec<u32>> = FxHashMap::default();
+        for shard in &shards {
+            for (seq, counts) in
+                shard.offline.paths.histogram_counts_where(&|sp| shard.is_home_stored(&sp.nodes))
+            {
+                match hist.get_mut(&seq) {
+                    Some(acc) => {
+                        for (a, c) in acc.iter_mut().zip(&counts) {
+                            *a += c;
+                        }
+                    }
+                    None => {
+                        hist.insert(seq, counts);
+                    }
+                }
+            }
+        }
+
+        let per_shard: Vec<ShardInfo> = shards
+            .iter()
+            .map(|s| ShardInfo {
+                nodes: s.peg.graph.n_nodes(),
+                owned_nodes: s.n_owned,
+                edges: s.peg.graph.n_edges(),
+                index_entries: s.offline.paths.n_entries(),
+                index_bytes: s.offline.paths.approx_bytes(),
+            })
+            .collect();
+        let total_nodes: usize = per_shard.iter().map(|s| s.nodes).sum();
+        let stats = ShardingStats {
+            n_shards,
+            halo_radius: halo,
+            replicated_nodes: total_nodes.saturating_sub(peg.graph.n_nodes()),
+            replication_factor: if peg.graph.n_nodes() == 0 {
+                1.0
+            } else {
+                total_nodes as f64 / peg.graph.n_nodes() as f64
+            },
+            total_index_entries: per_shard.iter().map(|s| s.index_entries).sum(),
+            per_shard,
+            build_time: t0.elapsed(),
+        };
+        Ok(Self {
+            peg,
+            shards,
+            beta: opts.index.beta,
+            max_len: opts.index.max_len,
+            hist_grid: opts.index.hist_grid.clone(),
+            hist,
+            stats,
+            last_scatter: Mutex::new(ScatterStats::default()),
+        })
+    }
+
+    /// The full probabilistic entity graph (global phases run on it).
+    pub fn peg(&self) -> &Peg {
+        &self.peg
+    }
+
+    /// Shard count.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Build-time partition and replication statistics.
+    pub fn stats(&self) -> &ShardingStats {
+        &self.stats
+    }
+
+    /// Scatter-gather statistics of the most recent retrieval.
+    pub fn last_scatter(&self) -> ScatterStats {
+        self.last_scatter.lock().unwrap().clone()
+    }
+
+    /// A query pipeline over this store: the same `run` / `run_limited` /
+    /// `run_topk` / plan-cache surface as the unsharded pipeline, with
+    /// candidate retrieval scattered across the shards.
+    pub fn pipeline(&self) -> QueryPipeline<'_> {
+        QueryPipeline::with_source(&self.peg, self)
+    }
+}
+
+/// Per-(shard, path) scatter result.
+struct ShardPartial {
+    raw_total: usize,
+    raw_home: usize,
+    matches: Vec<PathMatch>,
+}
+
+impl CandidateSource for ShardedGraphStore {
+    fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    fn estimate_path_count(&self, labels: &[Label], alpha: f64) -> f64 {
+        // Mirror `OfflineIndex::estimate_path_count` over the merged
+        // histogram: clamp below-β thresholds to β (the on-demand
+        // fallback's count is approximated by the count at β, exactly as
+        // the unsharded store does), then the shared estimation core.
+        // Counts equal the unsharded histogram's, so estimates are
+        // bit-identical.
+        let alpha = alpha.max(self.beta);
+        let (canonical, palindrome) = pathindex::canonical_label_seq(labels);
+        let Some(counts) = self.hist.get(&canonical) else {
+            return 0.0;
+        };
+        pathindex::estimate_from_counts(&self.hist_grid, counts, alpha, palindrome, labels.len())
+    }
+
+    fn retrieve(
+        &self,
+        query: &QueryGraph,
+        decomp: &Decomposition,
+        pstats: &[PathStats],
+        alpha: f64,
+        pool: &ThreadPool,
+    ) -> Vec<CandidateSet> {
+        let t0 = Instant::now();
+        let n_paths = decomp.paths.len();
+        let n_shards = self.shards.len();
+
+        // Scatter: one task per (shard, decomposition path) on the shared
+        // pool. Each shard retrieves from its own index (or enumerates its
+        // own subgraph below β) and prunes with its own exact-for-home
+        // context; replicas of a path may be over-pruned by boundary
+        // shards, never under-pruned, and every surviving copy carries
+        // bit-identical probabilities — which is what lets the gather keep
+        // an arbitrary copy. One node-candidate memo per shard (shared
+        // across that shard's path tasks, like the unsharded source shares
+        // one across paths): the test is pure, so racing writers are
+        // harmless and results never depend on scheduling.
+        let node_caches: Vec<NodeCandidateCache> =
+            (0..n_shards).map(|_| NodeCandidateCache::new()).collect();
+        let partials: Vec<ShardPartial> = pool.map(n_shards * n_paths, |t| {
+            let (s, i) = (t / n_paths, t % n_paths);
+            let shard = &self.shards[s];
+            let labels = decomp.paths[i].labels(query);
+            let mut raw = shard.offline.path_matches(&shard.peg, &labels, alpha);
+            let raw_total = raw.len();
+            let raw_home = raw.iter().filter(|m| shard.is_home(&m.nodes)).count();
+            prune_candidates_in_place(
+                &shard.peg,
+                &shard.offline,
+                query,
+                &decomp.paths[i],
+                &pstats[i],
+                alpha,
+                &node_caches[s],
+                pool,
+                &mut raw,
+            );
+            for m in &mut raw {
+                shard.globalize(m);
+            }
+            ShardPartial { raw_total, raw_home, matches: raw }
+        });
+
+        // Gather: per path, merge shard contributions into the canonical
+        // node-sequence order and drop boundary-replicated duplicates
+        // (copies are bit-identical, so "keep first" loses nothing).
+        let mut scatter = ScatterStats {
+            per_shard_raw: vec![0; n_shards],
+            per_shard_pruned: vec![0; n_shards],
+            ..ScatterStats::default()
+        };
+        let mut partials: Vec<Option<ShardPartial>> = partials.into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(n_paths);
+        for i in 0..n_paths {
+            let mut merged: Vec<PathMatch> = Vec::new();
+            let mut raw_count = 0usize;
+            for s in 0..n_shards {
+                let part = partials[s * n_paths + i].take().expect("each partial taken once");
+                scatter.per_shard_raw[s] += part.raw_total;
+                scatter.per_shard_pruned[s] += part.matches.len();
+                raw_count += part.raw_home;
+                merged.extend(part.matches);
+            }
+            let before = merged.len();
+            sort_candidates(&mut merged);
+            merged.dedup_by(|a, b| a.nodes == b.nodes);
+            scatter.duplicates_dropped += before - merged.len();
+            scatter.pruned_distinct += merged.len();
+            scatter.raw_distinct += raw_count;
+            out.push(CandidateSet { matches: merged, raw_count });
+        }
+        scatter.retrieve_time = t0.elapsed();
+        *self.last_scatter.lock().unwrap() = scatter;
+        out
+    }
+}

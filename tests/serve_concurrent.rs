@@ -325,3 +325,117 @@ fn queued_requests_time_out_at_the_deadline() {
     assert_eq!(holder.join().unwrap().get("ok"), Some(&Json::Bool(true)));
     handle.shutdown().unwrap();
 }
+
+#[test]
+fn sharded_server_matches_direct_pipeline_bit_exactly() {
+    // A server whose graph is loaded sharded (3 shards) must answer every
+    // query and top-k request bit-identically to the direct *unsharded*
+    // pipeline — scatter-gather retrieval is invisible over the wire.
+    let (peg, offline) = build_workload();
+    let direct = QueryPipeline::new(&peg, &offline);
+    let n_labels = peg.graph.label_table().len();
+
+    let (server_peg, _) = build_workload();
+    let store = pegshard::ShardedGraphStore::build(
+        server_peg,
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() } },
+        3,
+    )
+    .unwrap();
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    server.insert_sharded_graph("g", store);
+    let handle = server.spawn();
+    let addr = handle.addr;
+
+    let mut cases: Vec<(String, QueryGraph)> = Vec::new();
+    for shape_seed in 0..2u64 {
+        let base = random_query(QuerySpec::new(4, 4), n_labels, shape_seed);
+        for r in 0..2u64 {
+            let q = permuted_query(&base, shape_seed * 100 + r);
+            cases.push((pattern_text(&q, &peg), q));
+        }
+    }
+    let alpha = 0.3;
+    for threads in [1usize, 0] {
+        let opts = QueryOptions::with_threads(threads);
+        let expected: Vec<Vec<(Vec<u64>, u64, u64)>> = cases
+            .iter()
+            .map(|(_, q)| expected_triples(&direct.run(q, alpha, &opts).unwrap().matches))
+            .collect();
+        let expected_topk: Vec<Vec<(Vec<u64>, u64, u64)>> = cases
+            .iter()
+            .map(|(_, q)| expected_triples(&direct.run_topk(q, 5, 1e-9, &opts).unwrap().matches))
+            .collect();
+        std::thread::scope(|scope| {
+            let (cases, expected, expected_topk) = (&cases, &expected, &expected_topk);
+            let handles: Vec<_> = (0..3usize)
+                .map(|offset| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        for i in 0..cases.len() {
+                            let idx = (i + offset) % cases.len();
+                            let reply = client
+                                .request(
+                                    &obj()
+                                        .field("op", "query")
+                                        .field("pattern", cases[idx].0.as_str())
+                                        .field("alpha", alpha)
+                                        .field("threads", threads)
+                                        .build(),
+                                )
+                                .unwrap();
+                            assert_eq!(
+                                reply.get("ok"),
+                                Some(&Json::Bool(true)),
+                                "threads={threads} case={idx}: {reply}"
+                            );
+                            assert_eq!(
+                                reply_triples(&reply),
+                                expected[idx],
+                                "sharded threads={threads} case={idx} must be bit-identical"
+                            );
+                            let reply = client
+                                .request(
+                                    &obj()
+                                        .field("op", "query_topk")
+                                        .field("pattern", cases[idx].0.as_str())
+                                        .field("k", 5usize)
+                                        .field("threads", threads)
+                                        .build(),
+                                )
+                                .unwrap();
+                            assert_eq!(
+                                reply_triples(&reply),
+                                expected_topk[idx],
+                                "sharded topk threads={threads} case={idx}"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    // Stats surface the shard count.
+    let mut probe = Client::connect(addr).unwrap();
+    let stats = probe.request(&obj().field("op", "stats").build()).unwrap();
+    let g = &stats.get("graphs").unwrap().as_arr().unwrap()[0];
+    assert_eq!(g.get("shards").unwrap().as_usize(), Some(3), "{stats}");
+
+    // unload_graph reclaims the sharded store; further queries see
+    // unknown_graph and a repeated unload sees not_found.
+    let reply =
+        probe.request(&obj().field("op", "unload_graph").field("graph", "g").build()).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    assert_eq!(reply.get("shards").unwrap().as_usize(), Some(3), "{reply}");
+    let reply =
+        probe.request(&obj().field("op", "query").field("pattern", "(x:l0)").build()).unwrap();
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("unknown_graph"), "{reply}");
+    let reply =
+        probe.request(&obj().field("op", "unload_graph").field("graph", "g").build()).unwrap();
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("not_found"), "{reply}");
+    handle.shutdown().unwrap();
+}
