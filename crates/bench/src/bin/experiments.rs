@@ -8,7 +8,8 @@
 //! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
-//! ablation-montecarlo ablation-plan-cache ablation-shards serving-mix all
+//! ablation-montecarlo ablation-plan-cache ablation-shards
+//! ablation-transport serving-mix all
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -105,6 +106,9 @@ fn main() {
     }
     if run("ablation-shards") {
         ablation_shards(scale);
+    }
+    if run("ablation-transport") {
+        ablation_transport(scale);
     }
     if run("serving-mix") {
         serving_mix(scale);
@@ -771,6 +775,113 @@ fn ablation_shards(scale: Scale) {
     println!();
     retrieval.print();
     println!("(every row bit-exact vs the unsharded pipeline)");
+    println!();
+}
+
+/// Ablation: in-process vs loopback-TCP shard transport.
+///
+/// The same graph, the same 2-shard partition, the same queries — once
+/// through `InProcessTransport` (pool fan-out) and once through
+/// `TcpTransport` against two in-process worker servers on loopback
+/// ports. Per query: retrieval wall time under both transports, the
+/// delta (the serialization tax the ROADMAP predicted the multi-process
+/// shard server would pay), and the bytes on the wire. Every row is
+/// checked bit-exact against the unsharded pipeline — the transport may
+/// only change latency, never a bit of the answer.
+fn ablation_transport(scale: Scale) {
+    use pegserve::{GraphSpec, Server, ServerConfig};
+    use pegshard::{ShardedGraphStore, TcpTransport, TcpTransportConfig};
+
+    println!("## Ablation: shard transport — in-process vs loopback TCP (2 shards, alpha=0.1)");
+    let (beta, max_len, uncertainty) = (0.1, 2, 0.3);
+    let size = scale.default_graph();
+    let w = Workload::synthetic(size, uncertainty, beta, max_len);
+    let n_labels = w.peg.graph.label_table().len();
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let plain = QueryPipeline::new(&w.peg, w.index(max_len));
+    let specs = [(4usize, 4usize), (6, 7)];
+    let queries: Vec<QueryGraph> =
+        specs.iter().map(|&(n, m)| random_query(QuerySpec::new(n, m), n_labels, 7)).collect();
+
+    let n_shards = 2usize;
+    let inproc =
+        ShardedGraphStore::build(w.peg.clone(), &opts, n_shards).expect("in-process build");
+
+    // Two worker servers on loopback; the distributed store's workers
+    // rebuild their shard from the same generator spec `Workload` used
+    // (seed 42 is the generator default both paths share).
+    let handles: Vec<_> = (0..n_shards)
+        .map(|_| Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().spawn())
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr.to_string()).collect();
+    let spec = GraphSpec { kind: "synthetic".into(), size, seed: 42, uncertainty };
+    let transport = TcpTransport::connect("ablate", &addrs, TcpTransportConfig::default())
+        .expect("loopback workers reachable");
+    let dist = ShardedGraphStore::connect(w.peg.clone(), &opts, transport, |s, n| {
+        spec.shard_load_json("ablate", &opts.index, s, n)
+    })
+    .expect("distributed connect");
+
+    let mut t = Table::new(&[
+        "query",
+        "transport",
+        "retrieval",
+        "Δ vs in-proc",
+        "bytes/query",
+        "total online",
+    ]);
+    for (&(n, m), q) in specs.iter().zip(&queries) {
+        let want = plain.run(q, 0.1, &QueryOptions::default()).unwrap();
+
+        let t0 = Instant::now();
+        let got = inproc.pipeline().run(q, 0.1, &QueryOptions::default()).unwrap();
+        let total_inproc = t0.elapsed();
+        bench::workloads::assert_matches_bit_identical(
+            &got.matches,
+            &want.matches,
+            &format!("q({n},{m}) in-process"),
+        );
+        let rt_in = inproc.last_scatter().retrieve_time;
+        t.row(vec![
+            format!("q({n},{m})"),
+            "in-process".into(),
+            fmt_duration(rt_in),
+            "—".into(),
+            "0".into(),
+            fmt_duration(total_inproc),
+        ]);
+
+        let wire_before: u64 =
+            dist.worker_stats().unwrap().iter().map(|ws| ws.bytes_tx + ws.bytes_rx).sum();
+        let t0 = Instant::now();
+        let got = dist.pipeline().run(q, 0.1, &QueryOptions::default()).unwrap();
+        let total_tcp = t0.elapsed();
+        bench::workloads::assert_matches_bit_identical(
+            &got.matches,
+            &want.matches,
+            &format!("q({n},{m}) loopback-tcp"),
+        );
+        let wire_after: u64 =
+            dist.worker_stats().unwrap().iter().map(|ws| ws.bytes_tx + ws.bytes_rx).sum();
+        let rt_tcp = dist.last_scatter().retrieve_time;
+        t.row(vec![
+            format!("q({n},{m})"),
+            "loopback-tcp".into(),
+            fmt_duration(rt_tcp),
+            format!("+{}", fmt_duration(rt_tcp.saturating_sub(rt_in))),
+            (wire_after - wire_before).to_string(),
+            fmt_duration(total_tcp),
+        ]);
+    }
+    t.print();
+    println!(
+        "(every row bit-exact vs the unsharded pipeline; bytes = request + reply lines \
+         across both workers)"
+    );
+    dist.release_workers();
+    for h in handles {
+        let _ = h.shutdown();
+    }
     println!();
 }
 

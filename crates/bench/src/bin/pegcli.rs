@@ -42,6 +42,7 @@ fn main() {
         "topk" => cmd_query(&flags, true),
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
+        "shard-worker" => cmd_shard_worker(&flags),
         "client" => cmd_client(&flags),
         "--help" | "-h" | "help" => {
             usage();
@@ -72,10 +73,17 @@ fn usage() {
          \x20 serve    --addr HOST:PORT [--kind ... --size N [--seed S] [--max-len L] [--beta B]\n\
          \x20          [--shards N] [--name G]] [--max-sessions N] [--queue-depth N]\n\
          \x20          [--deadline-ms MS] [--max-connections N]\n\
+         \x20          [--workers A1,A2,...]  (distribute retrieval across shard-worker\n\
+         \x20          processes, one shard per worker; needs --kind)\n\
+         \x20          [--worker-timeout-ms MS]   (wire deadline per worker exchange)\n\
          \x20          [--debug-sleep]   (honor debug_sleep_ms requests — admission drills)\n\
-         \x20 client   --addr HOST:PORT [--json REQUEST]   (no --json: one request line per\n\
-         \x20          stdin line; replies print to stdout; --json exits non-zero on a\n\
-         \x20          structured error reply)"
+         \x20 shard-worker --addr HOST:PORT [--max-sessions N] [--queue-depth N]\n\
+         \x20          (a shard-worker process; a coordinator assigns it a shard via\n\
+         \x20          load_graph workers=[...] and scatters shard_retrieve requests to it)\n\
+         \x20 client   --addr HOST:PORT [--json REQUEST] [--pretty]   (no --json: one request\n\
+         \x20          line per stdin line; replies print to stdout; --json exits non-zero on\n\
+         \x20          a structured error reply; --pretty renders stats replies' per-worker\n\
+         \x20          counters as a table on stderr)"
     );
 }
 
@@ -218,12 +226,8 @@ fn query_opts(flags: &HashMap<String, String>) -> QueryOptions {
     QueryOptions { threads, ..Default::default() }
 }
 
-/// `pegcli serve`: boot the multi-client query server. With `--kind` a
-/// graph is generated and indexed in-process before listening (named by
-/// `--name`, default `default`); otherwise clients send `load_graph`.
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
-    let config = pegserve::ServerConfig {
+fn server_config(flags: &HashMap<String, String>) -> pegserve::ServerConfig {
+    pegserve::ServerConfig {
         max_sessions: flags.get("max-sessions").and_then(|s| s.parse().ok()).unwrap_or(4),
         queue_depth: flags.get("queue-depth").and_then(|s| s.parse().ok()).unwrap_or(16),
         deadline: std::time::Duration::from_millis(
@@ -231,30 +235,114 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         ),
         max_connections: flags.get("max-connections").and_then(|s| s.parse().ok()).unwrap_or(256),
         allow_debug_sleep: flags.contains_key("debug-sleep"),
-    };
-    let server = pegserve::Server::bind(addr, config).map_err(|e| e.to_string())?;
+    }
+}
+
+/// `pegcli serve`: boot the multi-client query server. With `--kind` a
+/// graph is generated and indexed in-process before listening (named by
+/// `--name`, default `default`); otherwise clients send `load_graph`.
+/// With `--workers a,b,...` (requires `--kind`) the graph goes
+/// distributed: one shard per worker process, retrieval scattered over
+/// TCP, everything else (and every result bit) identical.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let server = pegserve::Server::bind(addr, server_config(flags)).map_err(|e| e.to_string())?;
+    let workers: Vec<String> = flags
+        .get("workers")
+        .map(|w| w.split(',').filter(|a| !a.is_empty()).map(str::to_string).collect())
+        .unwrap_or_default();
+    if !workers.is_empty() && !flags.contains_key("kind") {
+        return Err("--workers needs --kind: workers rebuild their shard from the spec".into());
+    }
+    if !workers.is_empty() {
+        // One shard per worker; a conflicting --shards must fail loudly
+        // (the wire protocol's load_graph rejects the same combination).
+        if let Some(shards) = flags.get("shards").and_then(|s| s.parse::<usize>().ok()) {
+            if shards != workers.len() {
+                return Err(format!(
+                    "--shards {shards} conflicts with {} --workers (one shard per worker); \
+                     drop --shards or match the worker count",
+                    workers.len()
+                ));
+            }
+        }
+    }
     if flags.contains_key("kind") {
         let peg = peg_from_flags(flags)?;
         let name = flags.get("name").map(String::as_str).unwrap_or("default");
+        let offline_opts = offline_opts(flags);
         let shards: usize = flags.get("shards").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
         println!(
             "loaded graph '{}': {} nodes, {} edges{}",
             name,
             peg.graph.n_nodes(),
             peg.graph.n_edges(),
-            if shards > 1 { format!(", {shards} shards") } else { String::new() }
+            if !workers.is_empty() {
+                format!(", {} worker shard(s)", workers.len())
+            } else if shards > 1 {
+                format!(", {shards} shards")
+            } else {
+                String::new()
+            }
         );
-        if shards > 1 {
-            let store = pegshard::ShardedGraphStore::build(peg, &offline_opts(flags), shards)
+        if !workers.is_empty() {
+            let spec = pegserve::GraphSpec {
+                kind: get(flags, "kind")?.to_string(),
+                size: get(flags, "size")?.parse().map_err(|_| "bad --size".to_string())?,
+                seed: flags.get("seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42),
+                uncertainty: flags
+                    .get("uncertainty")
+                    .map(|s| s.parse().unwrap_or(0.2))
+                    .unwrap_or(0.2),
+            };
+            let timeout_ms: u64 =
+                flags.get("worker-timeout-ms").and_then(|s| s.parse().ok()).unwrap_or(30_000);
+            let config = pegshard::TcpTransportConfig {
+                io_timeout: std::time::Duration::from_millis(timeout_ms),
+                ..Default::default()
+            };
+            let transport = pegshard::TcpTransport::connect(name, &workers, config)
+                .map_err(|e| e.to_string())?;
+            let store =
+                pegshard::ShardedGraphStore::connect(peg, &offline_opts, transport, |s, n| {
+                    spec.shard_load_json(name, &offline_opts.index, s, n)
+                })
+                .map_err(|e| e.to_string())?;
+            let st = store.stats();
+            println!(
+                "workers built {} shard(s): {} replicated node(s) (factor {:.3}) in {}",
+                st.n_shards,
+                st.replicated_nodes,
+                st.replication_factor,
+                bench::fmt_duration(st.build_time),
+            );
+            server.insert_sharded_graph(name, store);
+        } else if shards > 1 {
+            let store = pegshard::ShardedGraphStore::build(peg, &offline_opts, shards)
                 .map_err(|e| e.to_string())?;
             server.insert_sharded_graph(name, store);
         } else {
-            let offline =
-                OfflineIndex::build(&peg, &offline_opts(flags)).map_err(|e| e.to_string())?;
+            let offline = OfflineIndex::build(&peg, &offline_opts).map_err(|e| e.to_string())?;
             server.insert_graph(name, peg, offline);
         }
     }
     println!("pegserve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.serve().map_err(|e| e.to_string())
+}
+
+/// `pegcli shard-worker`: boot a shard-worker process. A worker is a
+/// `pegserve` server that starts empty and waits for a coordinator to
+/// assign it a shard (`shard_load`, sent by the coordinator's
+/// `load_graph` with `workers=[...]`), then answers `shard_retrieve`
+/// scatters. It handles `shutdown` like any server, and a coordinator
+/// dying mid-exchange just closes the connection (Rust ignores SIGPIPE;
+/// the write error ends that handler thread, the worker keeps serving).
+fn cmd_shard_worker(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7879");
+    let server = pegserve::Server::bind(addr, server_config(flags)).map_err(|e| e.to_string())?;
+    println!("pegshard worker listening on {}", server.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     server.serve().map_err(|e| e.to_string())
@@ -269,13 +357,52 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `unknown_graph`, `not_found`, `overloaded`, `timeout`, `internal`), so
 /// scripts can branch on `$?` instead of parsing every reply. The reply
 /// line still prints to stdout either way.
+/// With `--pretty`, renders a `stats` reply's per-worker transport
+/// counters as a table on **stderr** (stdout keeps the raw greppable
+/// reply line either way).
+fn pretty_print_workers(reply: &pegserve::Json) {
+    use pegserve::Json;
+    let Some(graphs) = reply.get("graphs").and_then(Json::as_arr) else {
+        return;
+    };
+    for g in graphs {
+        let Some(workers) = g.get("workers").and_then(Json::as_arr) else {
+            continue;
+        };
+        let name = g.get("name").and_then(Json::as_str).unwrap_or("?");
+        eprintln!("workers of graph '{name}':");
+        eprintln!(
+            "  {:>5}  {:<21}  {:>9}  {:>12}  {:>12}  {:>10}  {:>9}  {:>9}",
+            "shard", "addr", "requests", "bytes tx", "bytes rx", "reconnects", "p50", "p99"
+        );
+        for w in workers {
+            let num = |k: &str| w.get(k).and_then(Json::as_u64).unwrap_or(0);
+            eprintln!(
+                "  {:>5}  {:<21}  {:>9}  {:>12}  {:>12}  {:>10}  {:>9}  {:>9}",
+                num("shard"),
+                w.get("addr").and_then(Json::as_str).unwrap_or("?"),
+                num("requests"),
+                num("bytes_tx"),
+                num("bytes_rx"),
+                num("reconnects"),
+                bench::fmt_duration(std::time::Duration::from_micros(num("p50_us"))),
+                bench::fmt_duration(std::time::Duration::from_micros(num("p99_us"))),
+            );
+        }
+    }
+}
+
 fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = get(flags, "addr")?;
+    let pretty = flags.contains_key("pretty");
     let mut client = pegserve::Client::connect(addr).map_err(|e| e.to_string())?;
     if let Some(req) = flags.get("json") {
         let reply = client.request_line(req).map_err(|e| e.to_string())?;
         println!("{reply}");
         if let Ok(parsed) = pegserve::Json::parse(&reply) {
+            if pretty {
+                pretty_print_workers(&parsed);
+            }
             if parsed.get("ok") == Some(&pegserve::Json::Bool(false)) {
                 let code = parsed
                     .get("error")
@@ -300,6 +427,11 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         let reply = client.request_line(line.trim()).map_err(|e| e.to_string())?;
         println!("{reply}");
+        if pretty {
+            if let Ok(parsed) = pegserve::Json::parse(&reply) {
+                pretty_print_workers(&parsed);
+            }
+        }
     }
 }
 

@@ -19,6 +19,17 @@ pub enum PegError {
     UnknownLabel(String),
     /// Persistence failure from the underlying key/value store.
     Store(String),
+    /// A candidate source backed by remote shard workers could not reach
+    /// one of them during retrieval. Carries the failing shard index so
+    /// serving layers can surface a structured `shard_unavailable` reply;
+    /// the query as a whole fails (partial candidate lists would silently
+    /// change results, which the bit-exactness contract forbids).
+    ShardUnavailable {
+        /// Index of the unreachable shard.
+        shard: usize,
+        /// Transport-level detail (address, io error, peer reply).
+        detail: String,
+    },
 }
 
 impl fmt::Display for PegError {
@@ -32,6 +43,9 @@ impl fmt::Display for PegError {
             PegError::Invalid(msg) => write!(f, "invalid input: {msg}"),
             PegError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
             PegError::Store(msg) => write!(f, "store error: {msg}"),
+            PegError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
         }
     }
 }

@@ -106,7 +106,7 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         // order, so everything from here on is source-independent.
         let t = Instant::now();
         let sets: Vec<CandidateSet> =
-            self.source.retrieve(query, decomp, &prepared.pstats, alpha, &pool);
+            self.source.retrieve(query, decomp, &prepared.pstats, alpha, &pool)?;
         for cs in &sets {
             stats.raw_counts.push(cs.raw_count);
             stats.context_counts.push(cs.matches.len());

@@ -19,11 +19,20 @@
 //! (k-partite construction, Jacobi reduction, match generation) is a
 //! deterministic function of the ordered candidate lists.
 //!
+//! Retrieval is fallible: a source backed by remote shard workers (the
+//! `pegshard` TCP transport) can lose a worker mid-query. The contract for
+//! failure is **all-or-nothing within a deadline** — a source must either
+//! return the complete, exact candidate lists or a
+//! [`PegError::ShardUnavailable`]; it must never hang and never return
+//! partial lists (which would silently change results). Purely local
+//! sources are infallible and simply return `Ok`.
+//!
 //! [`QuerySession`]: crate::online::QuerySession
 //! [`QueryPipeline::new`]: crate::online::QueryPipeline::new
 //! [`QueryPipeline::with_source`]: crate::online::QueryPipeline::with_source
 //! [`OfflineIndex`]: crate::offline::OfflineIndex
 
+use crate::error::PegError;
 use crate::offline::OfflineIndex;
 use crate::online::candidates::{self, CandidateSet, NodeCandidateCache, PathStats};
 use crate::online::decompose::Decomposition;
@@ -54,7 +63,10 @@ pub trait CandidateSource: Sync {
     /// ascending node sequence with no duplicate node sequences, and
     /// `out[i].raw_count` counts the distinct raw retrievals before
     /// context pruning (each logical path counted once, however many
-    /// physical replicas the store keeps).
+    /// physical replicas the store keeps). Failure is all-or-nothing: a
+    /// source whose backing store is unreachable returns
+    /// [`PegError::ShardUnavailable`] (within its transport deadline —
+    /// never a hang) rather than partial lists.
     fn retrieve(
         &self,
         query: &QueryGraph,
@@ -62,7 +74,7 @@ pub trait CandidateSource: Sync {
         pstats: &[PathStats],
         alpha: f64,
         pool: &ThreadPool,
-    ) -> Vec<CandidateSet>;
+    ) -> Result<Vec<CandidateSet>, PegError>;
 }
 
 /// Sorts path matches into the canonical candidate order every source
@@ -97,7 +109,7 @@ impl CandidateSource for LocalSource<'_> {
         pstats: &[PathStats],
         alpha: f64,
         pool: &ThreadPool,
-    ) -> Vec<CandidateSet> {
+    ) -> Result<Vec<CandidateSet>, PegError> {
         // Raw retrieval in parallel across paths; sorted into canonical
         // order at the source so downstream state never depends on index
         // insertion order. The raw sets are consumed in place: survivors
@@ -109,7 +121,8 @@ impl CandidateSource for LocalSource<'_> {
             matches
         });
         let node_cache = NodeCandidateCache::new();
-        raw.into_iter()
+        Ok(raw
+            .into_iter()
             .enumerate()
             .map(|(i, mut raw)| {
                 let raw_count = raw.len();
@@ -126,7 +139,7 @@ impl CandidateSource for LocalSource<'_> {
                 );
                 CandidateSet { matches: raw, raw_count }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -149,7 +162,7 @@ mod tests {
         let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
         let pstats: Vec<PathStats> = d.paths.iter().map(|p| PathStats::new(&q, p)).collect();
         let pool = pegpool::pool_with(1);
-        let sets = src.retrieve(&q, &d, &pstats, 0.01, &pool);
+        let sets = src.retrieve(&q, &d, &pstats, 0.01, &pool).unwrap();
         assert_eq!(sets.len(), d.paths.len());
         for cs in &sets {
             assert!(cs.raw_count >= cs.matches.len());

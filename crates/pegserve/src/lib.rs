@@ -29,10 +29,14 @@
 
 pub mod admission;
 pub mod client;
-pub mod json;
 pub mod server;
+
+/// The protocol's JSON value, re-exported from [`pegwire`] (it moved
+/// below this crate so the shard transport can speak the same encoding
+/// without a circular dependency).
+pub use pegwire::json;
 
 pub use admission::{AdmissionStats, AdmitError};
 pub use client::{Client, ClientError};
 pub use json::{obj, Json};
-pub use server::{GraphEntry, GraphStore, Server, ServerConfig, ServerHandle};
+pub use server::{GraphEntry, GraphSpec, GraphStore, Server, ServerConfig, ServerHandle};

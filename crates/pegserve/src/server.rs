@@ -16,26 +16,41 @@
 //!
 //! One JSON object per line in each direction. Requests carry an `"op"`:
 //!
-//! | op             | fields                                                            |
-//! |----------------|-------------------------------------------------------------------|
-//! | `ping`         | —                                                                 |
-//! | `load_graph`   | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?`, `shards?` |
-//! | `unload_graph` | `graph` (required; `not_found` for unknown names)                 |
-//! | `prepare`      | `graph?`, `pattern`, `alpha?`                                     |
-//! | `query`        | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
-//! | `query_topk`   | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
-//! | `stats`        | —                                                                 |
-//! | `shutdown`     | —                                                                 |
+//! | op               | fields                                                            |
+//! |------------------|-------------------------------------------------------------------|
+//! | `ping`           | —                                                                 |
+//! | `load_graph`     | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?`, `shards?`, `workers?`, `worker_timeout_ms?` |
+//! | `unload_graph`   | `graph` (required; `not_found` for unknown names)                 |
+//! | `prepare`        | `graph?`, `pattern`, `alpha?`                                     |
+//! | `query`          | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
+//! | `query_topk`     | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
+//! | `stats`          | —                                                                 |
+//! | `shutdown`       | —                                                                 |
+//! | `shard_load`     | `graph?`, generator spec (`kind`/`size`/`seed?`/`uncertainty?`/`max_len?`/`beta?`), `shard`, `n_shards` |
+//! | `shard_retrieve` | `graph`, `alpha`, `labels`, `edges`, `paths`, `threads?`          |
+//! | `shard_unload`   | `graph`                                                           |
 //!
 //! `graph` may be omitted when exactly one graph is loaded. `load_graph`
 //! with `shards > 1` builds a [`pegshard::ShardedGraphStore`] behind the
 //! same plan-cache/session flow — replies stay bit-identical to the
-//! unsharded store's. `unload_graph` drops the named graph and its plan
-//! cache so long-lived servers reclaim memory. Replies are
+//! unsharded store's. `load_graph` with `workers: [addr, ...]` goes
+//! **distributed**: each worker process (any `pegserve` server — see
+//! `pegcli shard-worker`) receives a `shard_load` with the same generator
+//! spec plus its `(shard, n_shards)` assignment, rebuilds its shard
+//! deterministically, and answers `shard_retrieve` scatters from then on,
+//! while planning, k-partite reduction, and match generation stay on the
+//! coordinator — results remain bit-identical to the unsharded store's. A
+//! worker lost mid-query yields a structured `shard_unavailable` reply
+//! within the transport deadline (never a hang), and the coordinator
+//! stays serviceable for its other graphs. `unload_graph` drops the named
+//! graph and its plan cache (releasing worker connections and worker-side
+//! shard state for distributed graphs) so long-lived servers reclaim
+//! memory. Replies are
 //! `{"ok":true,...}` or `{"ok":false,"error":CODE,"message":...}` with
 //! codes `bad_request`, `unknown_graph`, `not_found`, `overloaded`,
-//! `timeout`, `internal`. `query`, `query_topk`, `prepare`, and
-//! `load_graph` (the compute-occupying ops) pass admission; `load_graph`
+//! `timeout`, `shard_unavailable`, `internal`. `query`, `query_topk`,
+//! `prepare`, `load_graph`, `shard_load`, and `shard_retrieve` (the
+//! compute-occupying ops) pass admission; `load_graph`
 //! additionally caps `size` at [`MAX_LOAD_SIZE`], `max_len` at
 //! [`MAX_LOAD_PATH_LEN`], `shards` at [`MAX_LOAD_SHARDS`], and `beta` at
 //! no less than [`MIN_LOAD_BETA`]; patterns are capped at
@@ -49,12 +64,16 @@
 
 use crate::admission::{Admission, AdmissionStats};
 use crate::json::{obj, Json};
+use graphstore::RefGraph;
 use pathindex::PathIndexConfig;
+use pegmatch::error::PegError;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
 use pegmatch::online::{PlanCache, QueryOptions, QueryPipeline, QueryResult};
 use pegmatch::Peg;
-use pegshard::ShardedGraphStore;
+use pegshard::{
+    wire as shard_wire, ShardedGraphStore, TcpTransport, TcpTransportConfig, WorkerShard,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -152,6 +171,11 @@ pub struct GraphEntry {
 
 struct ServerState {
     graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    /// Shard-worker state: one shard per graph name, loaded by a
+    /// coordinator's `shard_load`. Any server can act as a worker — the
+    /// coordinator/worker distinction is which ops a peer sends, not a
+    /// process mode.
+    worker_shards: Mutex<HashMap<String, Arc<WorkerShard>>>,
     admission: Admission,
     allow_debug_sleep: bool,
     max_connections: usize,
@@ -196,6 +220,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             graphs: Mutex::new(HashMap::new()),
+            worker_shards: Mutex::new(HashMap::new()),
             admission: Admission::new(config.max_sessions, config.queue_depth, config.deadline),
             allow_debug_sleep: config.allow_debug_sleep,
             max_connections: config.max_connections.max(1),
@@ -293,6 +318,11 @@ fn error_reply(code: &str, message: impl std::fmt::Display) -> Reply {
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 fn handle_connection(stream: TcpStream, state: &ServerState) {
+    // One reply per request line is the worst case for Nagle + delayed
+    // ACK (a ~40ms stall per exchange on loopback, measured via the
+    // shard-transport ablation): replies must leave the socket
+    // immediately.
+    let _ = stream.set_nodelay(true);
     // Poll for shutdown between requests: a blocked read wakes every 250ms
     // so idle connections notice a shutdown promptly. The write timeout
     // keeps a client that never drains its replies from pinning the
@@ -350,8 +380,14 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         }
         let line = String::from_utf8_lossy(&buf);
         if !line.trim().is_empty() {
-            let reply = dispatch(state, line.trim());
-            if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
+            // Serialize the whole reply before touching the socket:
+            // formatting straight into an unbuffered TcpStream would
+            // issue one write syscall per JSON fragment (thousands per
+            // large reply — measured as the dominant cost of big
+            // shard_retrieve replies).
+            let mut text = dispatch(state, line.trim()).to_string();
+            text.push('\n');
+            if writer.write_all(text.as_bytes()).and_then(|_| writer.flush()).is_err() {
                 return;
             }
         }
@@ -378,6 +414,9 @@ fn dispatch(state: &ServerState, line: &str) -> Json {
         "query" => op_query(state, &req, false),
         "query_topk" => op_query(state, &req, true),
         "stats" => Ok(op_stats(state)),
+        shard_wire::OP_SHARD_LOAD => op_shard_load(state, &req),
+        shard_wire::OP_SHARD_RETRIEVE => op_shard_retrieve(state, &req),
+        shard_wire::OP_SHARD_UNLOAD => op_shard_unload(state, &req),
         "shutdown" => {
             request_shutdown(state);
             Ok(obj().field("ok", true).field("shutdown", true).build())
@@ -448,32 +487,112 @@ pub const MIN_LOAD_BETA: f64 = 0.01;
 /// request could multiply the graph's memory footprint arbitrarily.
 pub const MAX_LOAD_SHARDS: usize = 16;
 
-/// Builds a graph + offline index from a `load_graph` request (the same
-/// generator specs `pegcli` exposes; the registry-free environment has no
-/// external data files to point at). The build runs *inside* an admission
-/// permit — it occupies the shared compute pool like a query session does
-/// — with `size` capped at [`MAX_LOAD_SIZE`], `max_len` at
-/// [`MAX_LOAD_PATH_LEN`], and `beta` floored at [`MIN_LOAD_BETA`], so a
-/// public endpoint cannot be driven to OOM or pool monopolization by one
-/// request's build parameters.
-fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req.get("name").and_then(Json::as_str).unwrap_or("default").to_string();
-    let kind = req
-        .get("kind")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_reply("bad_request", "missing \"kind\""))?;
-    let size = req
-        .get("size")
-        .and_then(Json::as_usize)
-        .ok_or_else(|| error_reply("bad_request", "missing or bad \"size\""))?;
-    if size > MAX_LOAD_SIZE {
-        return Err(error_reply(
-            "bad_request",
-            format!("\"size\" {size} exceeds the load_graph ceiling of {MAX_LOAD_SIZE}"),
-        ));
+/// The deterministic generator spec a protocol-loaded graph is built
+/// from. The distributed path leans on determinism twice: the coordinator
+/// builds the full graph from the spec, and each worker rebuilds *its
+/// shard* of the same graph from the same spec (forwarded in
+/// `shard_load`) — so nothing graph-sized ever crosses the wire, and the
+/// coordinator can cross-check node/edge counts to catch spec drift.
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// Generator family: `synthetic`, `dblp`, or `imdb`.
+    pub kind: String,
+    /// Reference count the generator is scaled to.
+    pub size: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Identity-uncertainty knob (synthetic generator only).
+    pub uncertainty: f64,
+}
+
+impl GraphSpec {
+    /// Parses the spec fields shared by `load_graph` and `shard_load`,
+    /// enforcing the [`MAX_LOAD_SIZE`] ceiling.
+    fn from_request(req: &Json) -> Result<GraphSpec, Reply> {
+        let kind = req
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| error_reply("bad_request", "missing \"kind\""))?;
+        if !matches!(kind, "synthetic" | "dblp" | "imdb") {
+            return Err(error_reply("bad_request", format!("unknown kind '{kind}'")));
+        }
+        let size = req
+            .get("size")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| error_reply("bad_request", "missing or bad \"size\""))?;
+        if size > MAX_LOAD_SIZE {
+            return Err(error_reply(
+                "bad_request",
+                format!("\"size\" {size} exceeds the load_graph ceiling of {MAX_LOAD_SIZE}"),
+            ));
+        }
+        let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(42);
+        let uncertainty = field_f64(req, "uncertainty", 0.2)?;
+        Ok(GraphSpec { kind: kind.to_string(), size, seed, uncertainty })
     }
-    let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(42);
-    let uncertainty = field_f64(req, "uncertainty", 0.2)?;
+
+    /// Runs the generator.
+    pub fn build_refs(&self) -> RefGraph {
+        match self.kind.as_str() {
+            "synthetic" => datagen::synthetic_refgraph(&datagen::SyntheticConfig {
+                seed: self.seed,
+                ..datagen::SyntheticConfig::paper_with_uncertainty(self.size, self.uncertainty)
+            }),
+            "dblp" => datagen::dblp_like(&datagen::DblpConfig {
+                seed: self.seed,
+                ..datagen::DblpConfig::scaled(self.size)
+            }),
+            "imdb" => datagen::imdb_like(&datagen::ImdbConfig {
+                seed: self.seed,
+                ..datagen::ImdbConfig::scaled(self.size)
+            }),
+            other => unreachable!("kind '{other}' validated at parse"),
+        }
+    }
+
+    /// The `shard_load` request that makes a worker rebuild shard `shard`
+    /// of `n_shards` of this spec's graph under `graph`. The **whole**
+    /// index config crosses the wire — `gamma` and `hist_grid` included,
+    /// not just `max_len`/`beta` — because any result-affecting knob the
+    /// worker filled in from its own defaults would silently build a
+    /// different index than the coordinator assumes, breaking
+    /// bit-exactness in a way the node/edge-count cross-check cannot see.
+    /// (f64 knobs survive bit-exactly on the JSON round-trip guarantee.)
+    pub fn shard_load_json(
+        &self,
+        graph: &str,
+        index: &PathIndexConfig,
+        shard: usize,
+        n_shards: usize,
+    ) -> Json {
+        obj()
+            .field("op", shard_wire::OP_SHARD_LOAD)
+            .field("graph", graph)
+            .field("kind", self.kind.as_str())
+            .field("size", self.size)
+            .field("seed", self.seed)
+            .field("uncertainty", self.uncertainty)
+            .field("max_len", index.max_len)
+            .field("beta", index.beta)
+            .field("gamma", index.gamma)
+            .field("hist_grid", Json::Arr(index.hist_grid.iter().map(|&g| Json::Num(g)).collect()))
+            .field("shard", shard)
+            .field("n_shards", n_shards)
+            .build()
+    }
+}
+
+/// Largest `hist_grid` a protocol request may carry (defaults have ~10
+/// points; the cap only bounds a hostile request's memory).
+const MAX_HIST_GRID_POINTS: usize = 128;
+
+/// Parses and bounds the offline-index knobs shared by `load_graph` and
+/// `shard_load`: `max_len` capped at [`MAX_LOAD_PATH_LEN`], `beta`
+/// floored at [`MIN_LOAD_BETA`], `gamma`/`hist_grid` validated when given
+/// (they default like the local build's config, so both sides agree even
+/// when the coordinator omits them).
+fn parse_index_opts(req: &Json) -> Result<PathIndexConfig, Reply> {
+    let defaults = PathIndexConfig::default();
     let max_len = field_usize(req, "max_len", 2)?;
     if !(1..=MAX_LOAD_PATH_LEN).contains(&max_len) {
         return Err(error_reply(
@@ -488,32 +607,109 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
             format!("\"beta\" {beta} out of range {MIN_LOAD_BETA}..=1"),
         ));
     }
-    let shards = field_usize(req, "shards", 1)?;
+    let gamma = field_f64(req, "gamma", defaults.gamma)?;
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(error_reply("bad_request", format!("\"gamma\" {gamma} out of range 0..=1")));
+    }
+    let hist_grid = match req.get("hist_grid") {
+        None | Some(Json::Null) => defaults.hist_grid,
+        Some(v) => {
+            let points = v
+                .as_arr()
+                .ok_or_else(|| error_reply("bad_request", "\"hist_grid\" must be an array"))?;
+            if points.is_empty() || points.len() > MAX_HIST_GRID_POINTS {
+                return Err(error_reply(
+                    "bad_request",
+                    format!("\"hist_grid\" must carry 1..={MAX_HIST_GRID_POINTS} points"),
+                ));
+            }
+            let grid = points
+                .iter()
+                .map(|p| {
+                    p.as_f64().filter(|x| (0.0..=1.0).contains(x)).ok_or_else(|| {
+                        error_reply("bad_request", "\"hist_grid\" points must be numbers in 0..=1")
+                    })
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            if !grid.windows(2).all(|w| w[0] < w[1]) {
+                return Err(error_reply(
+                    "bad_request",
+                    "\"hist_grid\" points must be strictly ascending",
+                ));
+            }
+            grid
+        }
+    };
+    Ok(PathIndexConfig { max_len, beta, gamma, hist_grid, ..defaults })
+}
+
+/// Maps a pipeline error to its protocol code: a lost shard worker is
+/// `shard_unavailable` (retryable, operational), everything else a
+/// client-side `bad_request`.
+fn peg_error_reply(e: PegError) -> Reply {
+    match &e {
+        PegError::ShardUnavailable { .. } => error_reply("shard_unavailable", e),
+        _ => error_reply("bad_request", e),
+    }
+}
+
+/// Builds a graph + offline index from a `load_graph` request (the same
+/// generator specs `pegcli` exposes; the registry-free environment has no
+/// external data files to point at). The build runs *inside* an admission
+/// permit — it occupies the shared compute pool like a query session does
+/// — with `size` capped at [`MAX_LOAD_SIZE`], `max_len` at
+/// [`MAX_LOAD_PATH_LEN`], and `beta` floored at [`MIN_LOAD_BETA`], so a
+/// public endpoint cannot be driven to OOM or pool monopolization by one
+/// request's build parameters.
+///
+/// With `workers: [addr, ...]` the graph goes distributed: one shard per
+/// worker (so `shards`, if given, must equal the worker count), loaded by
+/// forwarding the generator spec to each worker and connected through a
+/// persistent [`TcpTransport`]. `worker_timeout_ms` bounds every wire
+/// exchange with the workers (default 30s — it must also cover the
+/// worker-side shard build triggered by the handshake).
+fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req.get("name").and_then(Json::as_str).unwrap_or("default").to_string();
+    let spec = GraphSpec::from_request(req)?;
+    let index_cfg = parse_index_opts(req)?;
+    let workers: Vec<String> = match req.get("workers") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| error_reply("bad_request", "\"workers\" must be an array"))?
+            .iter()
+            .map(|a| {
+                a.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| error_reply("bad_request", "worker addresses must be strings"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let shards = field_usize(req, "shards", workers.len().max(1))?;
     if !(1..=MAX_LOAD_SHARDS).contains(&shards) {
         return Err(error_reply(
             "bad_request",
             format!("\"shards\" {shards} out of range 1..={MAX_LOAD_SHARDS}"),
         ));
     }
+    if !workers.is_empty() && shards != workers.len() {
+        return Err(error_reply(
+            "bad_request",
+            format!(
+                "\"shards\" {shards} conflicts with {} workers (one shard per worker)",
+                workers.len()
+            ),
+        ));
+    }
+    let worker_timeout =
+        Duration::from_millis(field_usize(req, "worker_timeout_ms", 30_000)? as u64);
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let refs = match kind {
-        "synthetic" => datagen::synthetic_refgraph(&datagen::SyntheticConfig {
-            seed,
-            ..datagen::SyntheticConfig::paper_with_uncertainty(size, uncertainty)
-        }),
-        "dblp" => {
-            datagen::dblp_like(&datagen::DblpConfig { seed, ..datagen::DblpConfig::scaled(size) })
-        }
-        "imdb" => {
-            datagen::imdb_like(&datagen::ImdbConfig { seed, ..datagen::ImdbConfig::scaled(size) })
-        }
-        other => return Err(error_reply("bad_request", format!("unknown kind '{other}'"))),
-    };
+    let refs = spec.build_refs();
     let t0 = Instant::now();
     let peg = PegBuilder::new()
         .build(&refs)
         .map_err(|e| error_reply("internal", format!("model build failed: {e}")))?;
-    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let opts = OfflineOptions { index: index_cfg };
     let (nodes, edges) = (peg.graph.n_nodes(), peg.graph.n_edges());
     let mut reply = obj()
         .field("ok", true)
@@ -521,7 +717,21 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
         .field("nodes", nodes)
         .field("edges", edges)
         .field("shards", shards);
-    let store = if shards > 1 {
+    let store = if !workers.is_empty() {
+        let config = TcpTransportConfig { io_timeout: worker_timeout, ..Default::default() };
+        let transport = TcpTransport::connect(&name, &workers, config)
+            .map_err(|e| peg_error_reply(e.into_peg()))?;
+        let sharded = ShardedGraphStore::connect(peg, &opts, transport, |shard, n_shards| {
+            spec.shard_load_json(&name, &opts.index, shard, n_shards)
+        })
+        .map_err(peg_error_reply)?;
+        let s = sharded.stats();
+        reply = reply
+            .field("workers", Json::Arr(workers.iter().map(|a| Json::Str(a.clone())).collect()))
+            .field("replicated_nodes", s.replicated_nodes)
+            .field("replication_factor", s.replication_factor);
+        GraphStore::Sharded(sharded)
+    } else if shards > 1 {
         let sharded = ShardedGraphStore::build(peg, &opts, shards)
             .map_err(|e| error_reply("internal", format!("sharded build failed: {e}")))?;
         let s = sharded.stats();
@@ -538,23 +748,138 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     Ok(reply.field("build_us", t0.elapsed().as_micros() as u64).build())
 }
 
+/// Worker side of the distributed handshake: rebuilds one shard of the
+/// spec's graph (same generator, same placement hash, same halo rule as
+/// the coordinator would use in-process) and holds it for subsequent
+/// `shard_retrieve` scatters. Spec and index knobs are bounded exactly
+/// like `load_graph`'s — a worker is a public endpoint too.
+fn op_shard_load(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req.get("graph").and_then(Json::as_str).unwrap_or("default").to_string();
+    let spec = GraphSpec::from_request(req)?;
+    let index_cfg = parse_index_opts(req)?;
+    let shard = req
+        .get("shard")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| error_reply("bad_request", "missing or bad \"shard\""))?;
+    let n_shards = req
+        .get("n_shards")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| error_reply("bad_request", "missing or bad \"n_shards\""))?;
+    if !(1..=MAX_LOAD_SHARDS).contains(&n_shards) || shard >= n_shards {
+        return Err(error_reply(
+            "bad_request",
+            format!("shard {shard} of {n_shards} out of range (1..={MAX_LOAD_SHARDS} shards)"),
+        ));
+    }
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let refs = spec.build_refs();
+    let t0 = Instant::now();
+    let peg = PegBuilder::new()
+        .build(&refs)
+        .map_err(|e| error_reply("internal", format!("model build failed: {e}")))?;
+    let opts = OfflineOptions { index: index_cfg };
+    let ws = WorkerShard::build(peg, &opts, shard, n_shards)
+        .map_err(|e| error_reply("internal", format!("shard build failed: {e}")))?;
+    let info = ws.info();
+    let hist = shard_wire::encode_histogram(&ws.histogram());
+    let reply = obj()
+        .field("ok", true)
+        .field("graph", name.as_str())
+        .field("shard", shard)
+        .field("n_shards", n_shards)
+        .field("nodes", ws.full_nodes())
+        .field("edges", ws.full_edges())
+        .field("shard_nodes", info.nodes)
+        .field("owned_nodes", info.owned_nodes)
+        .field("shard_edges", info.edges)
+        .field("index_entries", info.index_entries)
+        .field("index_bytes", info.index_bytes)
+        .field("hist", hist)
+        .field("build_us", t0.elapsed().as_micros() as u64)
+        .build();
+    state.worker_shards.lock().unwrap().insert(name, Arc::new(ws));
+    Ok(reply)
+}
+
+/// Worker side of one scatter leg: decode the query + decomposition
+/// paths, run the shared per-path retrieval unit over the worker's pool,
+/// and encode the home-filtered partials back. Compute-occupying, so it
+/// passes admission like a query session.
+fn op_shard_retrieve(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
+    let ws = state
+        .worker_shards
+        .lock()
+        .unwrap()
+        .get(name)
+        .cloned()
+        .ok_or_else(|| error_reply("unknown_graph", format!("no shard loaded for '{name}'")))?;
+    let (query, paths, alpha) = shard_wire::decode_retrieve_request(req)
+        .map_err(|e| error_reply("bad_request", format!("bad shard_retrieve: {e}")))?;
+    // Workers default to all cores (`threads: 0`): a shard worker is a
+    // dedicated process, not one session among many. Explicit counts are
+    // clamped to the machine like `query`'s.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = match field_usize(req, "threads", 0)? {
+        0 => 0,
+        t => t.min(cores),
+    };
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let pool = pegpool::pool_with(threads);
+    let reply = ws.retrieve(&query, &paths, alpha, &pool).map_err(peg_error_reply)?;
+    Ok(shard_wire::encode_retrieve_reply(&reply))
+}
+
+/// Drops a worker's shard state for a graph (sent by the coordinator's
+/// `unload_graph`).
+fn op_shard_unload(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
+    match state.worker_shards.lock().unwrap().remove(name) {
+        Some(ws) => Ok(obj()
+            .field("ok", true)
+            .field("unloaded", name)
+            .field("shard", ws.shard_index())
+            .build()),
+        None => Err(error_reply("not_found", format!("no shard loaded for '{name}'"))),
+    }
+}
+
 /// Drops a loaded graph so a long-lived server can reclaim its memory:
 /// the store (graph + index or shards) and the graph's plan cache go with
-/// the entry once in-flight requests holding it finish. Unknown names get
-/// a structured `not_found` reply. `graph` is required — implicit
-/// resolution would make "unload the only graph" too easy to do by
-/// accident from a script.
+/// the entry once in-flight requests holding it finish. For a distributed
+/// graph, the workers are released too — each gets a best-effort
+/// `shard_unload` so it frees its shard state, and the persistent
+/// connections close. Unknown names get a structured `not_found` reply.
+/// `graph` is required — implicit resolution would make "unload the only
+/// graph" too easy to do by accident from a script.
 fn op_unload_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     let name = req
         .get("graph")
         .and_then(Json::as_str)
         .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
-    match state.graphs.lock().unwrap().remove(name) {
-        Some(entry) => Ok(obj()
-            .field("ok", true)
-            .field("unloaded", name)
-            .field("shards", entry.store.n_shards())
-            .build()),
+    // Take the entry out under the lock, release workers *after* dropping
+    // it: releasing a distributed graph's workers is blocking network I/O
+    // (up to the worker deadline per socket operation), and holding the
+    // server-wide graphs mutex through that would stall every request on
+    // every other graph.
+    let removed = state.graphs.lock().unwrap().remove(name);
+    match removed {
+        Some(entry) => {
+            if let GraphStore::Sharded(store) = &entry.store {
+                store.release_workers();
+            }
+            Ok(obj()
+                .field("ok", true)
+                .field("unloaded", name)
+                .field("shards", entry.store.n_shards())
+                .build())
+        }
         None => Err(error_reply("not_found", format!("no graph named '{name}'"))),
     }
 }
@@ -602,9 +927,8 @@ fn op_prepare(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     // index), so `prepare` takes an admission permit like the query ops.
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
     let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
-    let prepared = pipe
-        .prepare(&query, alpha, &QueryOptions::default())
-        .map_err(|e| error_reply("bad_request", e))?;
+    let prepared =
+        pipe.prepare(&query, alpha, &QueryOptions::default()).map_err(peg_error_reply)?;
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
@@ -656,15 +980,12 @@ fn op_query(state: &ServerState, req: &Json, topk: bool) -> Result<Json, Reply> 
     let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
     let t0 = Instant::now();
     let (result, from_cache): (QueryResult, Option<bool>) = if topk {
-        let res = pipe
-            .run_topk(&query, k, min_alpha, &opts)
-            .map_err(|e| error_reply("bad_request", e))?;
+        let res = pipe.run_topk(&query, k, min_alpha, &opts).map_err(peg_error_reply)?;
         (res, None)
     } else {
-        let prepared =
-            pipe.prepare(&query, alpha, &opts).map_err(|e| error_reply("bad_request", e))?;
+        let prepared = pipe.prepare(&query, alpha, &opts).map_err(peg_error_reply)?;
         let mut session = pipe.session(&prepared, &opts);
-        let res = session.run_at(alpha, Some(limit)).map_err(|e| error_reply("bad_request", e))?;
+        let res = session.run_at(alpha, Some(limit)).map_err(peg_error_reply)?;
         (res, Some(prepared.from_cache()))
     };
     let elapsed = t0.elapsed();
@@ -709,18 +1030,48 @@ fn admission_json(a: &Admission, s: AdmissionStats) -> Json {
 }
 
 fn op_stats(state: &ServerState) -> Json {
-    let graphs = state.graphs.lock().unwrap();
-    let mut entries: Vec<&Arc<GraphEntry>> = graphs.values().collect();
+    // Clone the entry Arcs out and drop the map lock before touching any
+    // store: the graphs mutex is the server-wide hot lock and must never
+    // be held across per-graph work.
+    let mut entries: Vec<Arc<GraphEntry>> = {
+        let graphs = state.graphs.lock().unwrap();
+        graphs.values().cloned().collect()
+    };
     entries.sort_by(|a, b| a.name.cmp(&b.name));
     let graph_stats: Vec<Json> = entries
         .iter()
         .map(|g| {
             let p = g.plans.stats();
+            // Distributed graphs report their per-worker transport
+            // counters: exchanges, bytes each way, reconnects, and the
+            // recent-window p50/p99 exchange latency.
+            let workers: Option<Json> = match &g.store {
+                GraphStore::Sharded(store) => store.worker_stats().map(|ws| {
+                    Json::Arr(
+                        ws.iter()
+                            .map(|w| {
+                                obj()
+                                    .field("shard", w.shard)
+                                    .field("addr", w.addr.as_str())
+                                    .field("requests", w.requests)
+                                    .field("bytes_tx", w.bytes_tx)
+                                    .field("bytes_rx", w.bytes_rx)
+                                    .field("reconnects", w.reconnects)
+                                    .field("p50_us", w.p50_us)
+                                    .field("p99_us", w.p99_us)
+                                    .build()
+                            })
+                            .collect(),
+                    )
+                }),
+                GraphStore::Unsharded { .. } => None,
+            };
             obj()
                 .field("name", g.name.as_str())
                 .field("nodes", g.store.peg().graph.n_nodes())
                 .field("edges", g.store.peg().graph.n_edges())
                 .field("shards", g.store.n_shards())
+                .field_opt("workers", workers)
                 .field(
                     "plan_cache",
                     obj()
@@ -994,6 +1345,64 @@ mod tests {
             .request(&Json::parse(r#"{"op":"query","graph":"tiny","pattern":"(x:l0)"}"#).unwrap())
             .unwrap();
         assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn worker_ops_round_trip_and_validate() {
+        // Any server can act as a shard worker: shard_load builds one
+        // shard from the spec, shard_retrieve answers scatters,
+        // shard_unload frees it.
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let handle = server.spawn();
+        let mut client = Client::connect(handle.addr).unwrap();
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"shard_load","graph":"w","kind":"synthetic","size":200,"max_len":2,"beta":0.3,"shard":1,"n_shards":2}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("shard").and_then(Json::as_usize), Some(1));
+        assert!(reply.get("nodes").unwrap().as_usize().unwrap() > 0);
+        assert!(
+            reply.get("owned_nodes").unwrap().as_usize().unwrap()
+                <= reply.get("shard_nodes").unwrap().as_usize().unwrap()
+        );
+        assert!(reply.get("hist").unwrap().as_arr().is_some(), "{reply}");
+
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"shard_retrieve","graph":"w","alpha":0.3,"labels":[0,1],"edges":[[0,1]],"paths":[[0,1]]}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let paths = reply.get("paths").unwrap().as_arr().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].get("raw_total").unwrap().as_usize().is_some());
+
+        // Malformed scatter requests are structured bad_request replies.
+        for bad in [
+            r#"{"op":"shard_retrieve","graph":"w","alpha":2.0,"labels":[0],"edges":[],"paths":[[0]]}"#,
+            r#"{"op":"shard_retrieve","graph":"w","alpha":0.5,"labels":[0],"edges":[],"paths":[[9]]}"#,
+            r#"{"op":"shard_retrieve","graph":"nope","alpha":0.5,"labels":[0],"edges":[],"paths":[[0]]}"#,
+            r#"{"op":"shard_load","kind":"synthetic","size":100,"shard":5,"n_shards":2}"#,
+        ] {
+            let reply = client.request(&Json::parse(bad).unwrap()).unwrap();
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{bad}: {reply}");
+        }
+
+        let reply =
+            client.request(&Json::parse(r#"{"op":"shard_unload","graph":"w"}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("unloaded").and_then(Json::as_str), Some("w"), "{reply}");
+        let reply =
+            client.request(&Json::parse(r#"{"op":"shard_unload","graph":"w"}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("not_found"), "{reply}");
         handle.shutdown().unwrap();
     }
 

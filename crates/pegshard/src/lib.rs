@@ -43,13 +43,31 @@
 //! so cost estimates match bit-for-bit) ⇒ identical k-partite reduction
 //! and match generation on the full graph.
 //!
-//! # Toward multi-process sharding
+//! # The transport seam
 //!
-//! In-process, a shard is `(subgraph, index, ownership bitmap)` and the
-//! scatter is a pool fan-out. Because shards never share mutable state and
-//! the gather consumes only `(nodes, prle, prn)` triples plus two counts
-//! per shard, moving a shard behind a socket is a serialization problem:
-//! ship the per-path retrieval request, stream back the pruned triples.
+//! Scatter-gather is written once against [`ShardTransport`]
+//! ([`transport`]): the store asks the transport for each shard's
+//! home-filtered candidate partials and merges them; *where* the shard
+//! lives is the transport's business.
+//!
+//! * [`InProcessTransport`] — shards in this process, flat
+//!   `(shard × path)` pool fan-out ([`ShardedGraphStore::build`]).
+//! * [`TcpTransport`] — one worker process per shard, reached over
+//!   persistent line-protocol connections with pipelined scatter,
+//!   reconnect-once recovery, and hard deadlines
+//!   ([`ShardedGraphStore::connect`]). Workers rebuild their shard
+//!   deterministically from the generator spec ([`worker::WorkerShard`]),
+//!   so nothing but the spec, queries, and `(nodes, prle, prn)` triples
+//!   ever crosses the wire — bit-exactly, on [`pegwire::json`]'s f64
+//!   round-trip guarantee (see [`wire`] for the codec and NaN policy).
+//!
+//! Because both transports run the identical per-shard unit
+//! (`Shard::retrieve_path`) and the gather consumes only home-filtered
+//! triples plus two counts per shard, distributed results are
+//! f64-bit-exact against the in-process store *and* the unsharded
+//! pipeline. A lost worker surfaces as
+//! [`PegError::ShardUnavailable`](pegmatch::error::PegError) within the
+//! transport deadline — never a hang, never a silently partial answer.
 //!
 //! ```
 //! use pegmatch::model::peg::{figure1_refgraph, PegBuilder};
@@ -72,6 +90,14 @@
 pub mod partition;
 mod shard;
 mod store;
+pub mod transport;
+pub mod wire;
+pub mod worker;
 
 pub use partition::shard_of;
 pub use store::{ScatterStats, ShardInfo, ShardedGraphStore, ShardingStats};
+pub use transport::{
+    InProcessTransport, PathPartial, ShardReply, ShardRequest, ShardTransport, TcpTransport,
+    TcpTransportConfig, TransportError, WorkerStats,
+};
+pub use worker::WorkerShard;

@@ -23,15 +23,33 @@
 //! `Prle`/`Prn` values are bit-identical to the unsharded index's.
 
 use crate::partition::shard_of;
+use crate::transport::PathPartial;
 use graphstore::{EntityGraphBuilder, EntityId};
 use pathindex::PathMatch;
 use pegmatch::error::PegError;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::online::candidates::prune_candidates_in_place;
+use pegmatch::online::{sort_candidates, NodeCandidateCache, PathStats, QueryPath};
+use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
+use pegpool::ThreadPool;
 use std::collections::VecDeque;
 
 /// Marker for global nodes absent from a shard.
 const ABSENT: u32 = u32::MAX;
+
+/// Replication radius for `n_shards` shards at indexed path length
+/// `max_len`: `max_len + 1` hops (path visibility plus one hop of exact
+/// context), except the degenerate single shard, which replicates
+/// nothing. Both the in-process store and remote shard workers must use
+/// this same rule or their partitions would disagree.
+pub(crate) fn halo_for(n_shards: usize, max_len: usize) -> usize {
+    if n_shards == 1 {
+        0
+    } else {
+        max_len + 1
+    }
+}
 
 /// One shard of a [`ShardedGraphStore`](crate::ShardedGraphStore).
 pub struct Shard {
@@ -134,5 +152,51 @@ impl Shard {
         for v in &mut m.nodes {
             *v = EntityId(self.to_global[v.idx()]);
         }
+    }
+
+    /// The transport-independent unit of scatter work: retrieves and
+    /// context-prunes one decomposition path against this shard, then
+    /// keeps only the paths this shard is **home** to, globalized and in
+    /// canonical candidate order.
+    ///
+    /// Home-filtering at the shard is what makes the reply exact *and*
+    /// minimal: the home shard reproduces the unsharded pruning decision
+    /// bit-for-bit (full visibility + exact context), while boundary
+    /// replicas can only be over-pruned — so any replica surviving here
+    /// is a path its home shard also keeps, and shipping it would only
+    /// duplicate bytes the gather must drop. The union of home-filtered
+    /// replies over all shards is therefore exactly the unsharded
+    /// candidate list, with no gather-side dedup required.
+    pub(crate) fn retrieve_path(
+        &self,
+        query: &QueryGraph,
+        path: &QueryPath,
+        pstats: &PathStats,
+        alpha: f64,
+        cache: &NodeCandidateCache,
+        pool: &ThreadPool,
+    ) -> PathPartial {
+        let labels = path.labels(query);
+        let mut raw = self.offline.path_matches(&self.peg, &labels, alpha);
+        let raw_total = raw.len();
+        let raw_home = raw.iter().filter(|m| self.is_home(&m.nodes)).count();
+        prune_candidates_in_place(
+            &self.peg,
+            &self.offline,
+            query,
+            path,
+            pstats,
+            alpha,
+            cache,
+            pool,
+            &mut raw,
+        );
+        let pruned_total = raw.len();
+        raw.retain(|m| self.is_home(&m.nodes));
+        for m in &mut raw {
+            self.globalize(m);
+        }
+        sort_candidates(&mut raw);
+        PathPartial { raw_total, raw_home, pruned_total, matches: raw }
     }
 }

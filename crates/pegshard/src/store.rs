@@ -1,19 +1,23 @@
-//! The sharded store and its scatter-gather [`CandidateSource`].
+//! The sharded store: transport-independent scatter-gather on the
+//! [`ShardTransport`] seam.
 
-use crate::shard::Shard;
+use crate::shard::{halo_for, Shard};
+use crate::transport::{
+    InProcessTransport, ShardReply, ShardRequest, ShardTransport, TcpTransport, WorkerStats,
+};
+use crate::wire;
 use graphstore::hash::FxHashMap;
 use graphstore::Label;
 use pathindex::PathMatch;
 use pegmatch::error::PegError;
 use pegmatch::offline::OfflineOptions;
-use pegmatch::online::candidates::prune_candidates_in_place;
 use pegmatch::online::{
-    sort_candidates, CandidateSet, CandidateSource, Decomposition, NodeCandidateCache, PathStats,
-    QueryPipeline,
+    sort_candidates, CandidateSet, CandidateSource, Decomposition, PathStats, QueryPipeline,
 };
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
 use pegpool::ThreadPool;
+use pegwire::Json;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -48,7 +52,9 @@ pub struct ShardingStats {
     /// Σ shard index entries ÷ unsharded entry count is not tracked here
     /// (no unsharded index is built); this is the raw Σ entries.
     pub total_index_entries: usize,
-    /// Wall time of the whole sharded build (subgraphs + indexes).
+    /// Wall time of the whole sharded build (subgraphs + indexes —
+    /// or, for a distributed store, the worker handshake that built
+    /// them remotely).
     pub build_time: Duration,
 }
 
@@ -59,14 +65,17 @@ pub struct ShardingStats {
 pub struct ScatterStats {
     /// Raw index retrievals per shard (including boundary replicas).
     pub per_shard_raw: Vec<usize>,
-    /// Pruned candidates contributed per shard (pre-dedup).
+    /// Per shard: survivors of that shard's own context pruning,
+    /// boundary replicas included (replicas are dropped by the shard's
+    /// home filter before the gather ever sees them).
     pub per_shard_pruned: Vec<usize>,
     /// Distinct raw retrievals (each logical path counted at its home
     /// shard) — equals the unsharded pipeline's raw count.
     pub raw_distinct: usize,
-    /// Distinct pruned candidates after the gather dedup.
+    /// Distinct pruned candidates after the gather.
     pub pruned_distinct: usize,
-    /// Boundary-replicated candidates dropped by the gather dedup.
+    /// Boundary-replicated candidates that survived a shard's pruning but
+    /// were dropped by its home filter (never shipped, never gathered).
     pub duplicates_dropped: usize,
     /// Wall time of the scatter + gather.
     pub retrieve_time: Duration,
@@ -74,7 +83,10 @@ pub struct ScatterStats {
 
 /// One entity graph partitioned into N shards, each owning its own
 /// subgraph ([`Peg`]) and offline index, with a scatter-gather
-/// [`CandidateSource`] on top.
+/// [`CandidateSource`] on top — written once against the
+/// [`ShardTransport`] seam, so the shards may live in this process
+/// ([`ShardedGraphStore::build`]) or behind worker processes
+/// ([`ShardedGraphStore::connect`]) with **identical** results.
 ///
 /// The store keeps the **full** PEG for the global phases (k-partite
 /// construction, joint reduction, match generation evaluate cross-path
@@ -82,10 +94,11 @@ pub struct ScatterStats {
 /// phase's dominant artifact — exists only in partitioned form. Results
 /// through [`ShardedGraphStore::pipeline`] are f64-bit-identical to an
 /// unsharded [`QueryPipeline`] over the same graph and offline options,
-/// for every shard count; see the crate docs for the exactness argument.
+/// for every shard count and either transport; see the crate docs for
+/// the exactness argument.
 pub struct ShardedGraphStore {
     peg: Peg,
-    shards: Vec<Shard>,
+    transport: Box<dyn ShardTransport>,
     /// Shared index config needed to reproduce unsharded estimates.
     beta: f64,
     max_len: usize,
@@ -97,18 +110,57 @@ pub struct ShardedGraphStore {
     last_scatter: Mutex<ScatterStats>,
 }
 
+/// Merges one shard's home-only histogram into the accumulator
+/// (element-wise integer sums — exact, order-independent).
+fn merge_histogram(hist: &mut FxHashMap<Vec<u16>, Vec<u32>>, entries: Vec<(Vec<u16>, Vec<u32>)>) {
+    for (seq, counts) in entries {
+        match hist.get_mut(&seq) {
+            Some(acc) => {
+                for (a, c) in acc.iter_mut().zip(&counts) {
+                    *a += c;
+                }
+            }
+            None => {
+                hist.insert(seq, counts);
+            }
+        }
+    }
+}
+
+fn sharding_stats(
+    n_shards: usize,
+    halo: usize,
+    per_shard: Vec<ShardInfo>,
+    graph_nodes: usize,
+    build_time: Duration,
+) -> ShardingStats {
+    let total_nodes: usize = per_shard.iter().map(|s| s.nodes).sum();
+    ShardingStats {
+        n_shards,
+        halo_radius: halo,
+        replicated_nodes: total_nodes.saturating_sub(graph_nodes),
+        replication_factor: if graph_nodes == 0 {
+            1.0
+        } else {
+            total_nodes as f64 / graph_nodes as f64
+        },
+        total_index_entries: per_shard.iter().map(|s| s.index_entries).sum(),
+        per_shard,
+        build_time,
+    }
+}
+
 impl ShardedGraphStore {
-    /// Partitions `peg` into `n_shards` shards and builds each shard's
-    /// offline index with `opts` (shard builds fan out on the shared
-    /// pool). `n_shards == 1` is the degenerate single-shard store — same
-    /// machinery, no boundary replication.
+    /// Partitions `peg` into `n_shards` in-process shards and builds each
+    /// shard's offline index with `opts` (shard builds fan out on the
+    /// shared pool). `n_shards == 1` is the degenerate single-shard store
+    /// — same machinery, no boundary replication.
     pub fn build(peg: Peg, opts: &OfflineOptions, n_shards: usize) -> Result<Self, PegError> {
         if n_shards == 0 {
             return Err(PegError::Invalid("shard count must be at least 1".into()));
         }
         let t0 = Instant::now();
-        let max_len = opts.index.max_len.max(1);
-        let halo = if n_shards == 1 { 0 } else { max_len + 1 };
+        let halo = halo_for(n_shards, opts.index.max_len.max(1));
         let shards: Vec<Shard> = pegpool::global()
             .map(n_shards, |s| Shard::build(&peg, opts, s, n_shards, halo))
             .into_iter()
@@ -120,20 +172,10 @@ impl ShardedGraphStore {
         // estimate the planner asks for, bit-for-bit.
         let mut hist: FxHashMap<Vec<u16>, Vec<u32>> = FxHashMap::default();
         for shard in &shards {
-            for (seq, counts) in
-                shard.offline.paths.histogram_counts_where(&|sp| shard.is_home_stored(&sp.nodes))
-            {
-                match hist.get_mut(&seq) {
-                    Some(acc) => {
-                        for (a, c) in acc.iter_mut().zip(&counts) {
-                            *a += c;
-                        }
-                    }
-                    None => {
-                        hist.insert(seq, counts);
-                    }
-                }
-            }
+            merge_histogram(
+                &mut hist,
+                shard.offline.paths.histogram_counts_where(&|sp| shard.is_home_stored(&sp.nodes)),
+            );
         }
 
         let per_shard: Vec<ShardInfo> = shards
@@ -146,23 +188,120 @@ impl ShardedGraphStore {
                 index_bytes: s.offline.paths.approx_bytes(),
             })
             .collect();
-        let total_nodes: usize = per_shard.iter().map(|s| s.nodes).sum();
-        let stats = ShardingStats {
-            n_shards,
-            halo_radius: halo,
-            replicated_nodes: total_nodes.saturating_sub(peg.graph.n_nodes()),
-            replication_factor: if peg.graph.n_nodes() == 0 {
-                1.0
-            } else {
-                total_nodes as f64 / peg.graph.n_nodes() as f64
-            },
-            total_index_entries: per_shard.iter().map(|s| s.index_entries).sum(),
-            per_shard,
-            build_time: t0.elapsed(),
-        };
+        let stats = sharding_stats(n_shards, halo, per_shard, peg.graph.n_nodes(), t0.elapsed());
         Ok(Self {
             peg,
-            shards,
+            transport: Box::new(InProcessTransport { shards }),
+            beta: opts.index.beta,
+            max_len: opts.index.max_len,
+            hist_grid: opts.index.hist_grid.clone(),
+            hist,
+            stats,
+            last_scatter: Mutex::new(ScatterStats::default()),
+        })
+    }
+
+    /// Binds a store to remote shard workers: sends one `shard_load`
+    /// request per worker (built by `load_request(shard, n_shards)` — the
+    /// caller supplies the generator spec; requests are issued
+    /// concurrently so workers build in parallel), merges the home-only
+    /// histograms from the replies, and cross-checks every worker's full
+    /// graph against `peg` (node and edge counts must match — a worker
+    /// that built a different graph would silently break bit-exactness,
+    /// so it is an error instead).
+    ///
+    /// `peg` is the full graph, which the coordinator keeps for the
+    /// global phases; only candidate retrieval goes over the wire.
+    pub fn connect(
+        peg: Peg,
+        opts: &OfflineOptions,
+        transport: TcpTransport,
+        load_request: impl Fn(usize, usize) -> Json,
+    ) -> Result<Self, PegError> {
+        let n_shards = transport.n_shards();
+        if n_shards == 0 {
+            return Err(PegError::Invalid("at least one worker required".into()));
+        }
+        let t0 = Instant::now();
+        let requests: Vec<Json> = (0..n_shards).map(|s| load_request(s, n_shards)).collect();
+        let replies: Vec<Result<Json, PegError>> = std::thread::scope(|scope| {
+            let transport = &transport;
+            let handles: Vec<_> = requests
+                .iter()
+                .enumerate()
+                .map(|(s, req)| {
+                    scope.spawn(move || transport.call(s, req).map_err(|e| e.into_peg()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("handshake thread")).collect()
+        });
+
+        let mut hist: FxHashMap<Vec<u16>, Vec<u32>> = FxHashMap::default();
+        let mut per_shard = Vec::with_capacity(n_shards);
+        let merged = (|| -> Result<(), PegError> {
+            for (s, reply) in replies.into_iter().enumerate() {
+                let reply = reply?;
+                if reply.get("ok") != Some(&Json::Bool(true)) {
+                    let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
+                    let msg = reply.get("message").and_then(Json::as_str).unwrap_or("no detail");
+                    return Err(PegError::ShardUnavailable {
+                        shard: s,
+                        detail: format!("shard_load rejected ({code}): {msg}"),
+                    });
+                }
+                let field = |k: &str| -> Result<usize, PegError> {
+                    reply.get(k).and_then(Json::as_usize).ok_or_else(|| {
+                        PegError::ShardUnavailable {
+                            shard: s,
+                            detail: format!("shard_load reply missing \"{k}\""),
+                        }
+                    })
+                };
+                let (full_nodes, full_edges) = (field("nodes")?, field("edges")?);
+                if full_nodes != peg.graph.n_nodes() || full_edges != peg.graph.n_edges() {
+                    return Err(PegError::Invalid(format!(
+                        "worker {s} built a different graph ({full_nodes} nodes / {full_edges} \
+                         edges vs the coordinator's {} / {}); generator specs must match",
+                        peg.graph.n_nodes(),
+                        peg.graph.n_edges()
+                    )));
+                }
+                per_shard.push(ShardInfo {
+                    nodes: field("shard_nodes")?,
+                    owned_nodes: field("owned_nodes")?,
+                    edges: field("shard_edges")?,
+                    index_entries: field("index_entries")?,
+                    index_bytes: field("index_bytes")? as u64,
+                });
+                let entries = reply
+                    .get("hist")
+                    .ok_or_else(|| PegError::ShardUnavailable {
+                        shard: s,
+                        detail: "shard_load reply missing \"hist\"".into(),
+                    })
+                    .and_then(|h| {
+                        wire::decode_histogram(h).map_err(|e| PegError::ShardUnavailable {
+                            shard: s,
+                            detail: format!("bad histogram: {e}"),
+                        })
+                    })?;
+                merge_histogram(&mut hist, entries);
+            }
+            Ok(())
+        })();
+        if let Err(e) = merged {
+            // A partial handshake must not strand shard state on the
+            // workers that *did* build: best-effort shard_unload to each
+            // (workers that never loaded reply not_found, harmlessly)
+            // before dropping the connections with the error.
+            transport.release();
+            return Err(e);
+        }
+        let halo = halo_for(n_shards, opts.index.max_len.max(1));
+        let stats = sharding_stats(n_shards, halo, per_shard, peg.graph.n_nodes(), t0.elapsed());
+        Ok(Self {
+            peg,
+            transport: Box::new(transport),
             beta: opts.index.beta,
             max_len: opts.index.max_len,
             hist_grid: opts.index.hist_grid.clone(),
@@ -179,7 +318,7 @@ impl ShardedGraphStore {
 
     /// Shard count.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.transport.n_shards()
     }
 
     /// Build-time partition and replication statistics.
@@ -187,9 +326,26 @@ impl ShardedGraphStore {
         &self.stats
     }
 
-    /// Scatter-gather statistics of the most recent retrieval.
+    /// Scatter-gather statistics of the most recent retrieval. A failed
+    /// retrieval resets the snapshot to its default (all-zero) state, so
+    /// a reader never mistakes a previous query's numbers for the failed
+    /// one's.
     pub fn last_scatter(&self) -> ScatterStats {
         self.last_scatter.lock().unwrap().clone()
+    }
+
+    /// Per-worker transport counters (`None` for the in-process
+    /// transport, which has no wire to measure).
+    pub fn worker_stats(&self) -> Option<Vec<WorkerStats>> {
+        self.transport.worker_stats()
+    }
+
+    /// Releases transport-side resources: for a distributed store, tells
+    /// every worker to drop its shard state (best-effort) and closes the
+    /// persistent connections. In-process stores free everything on drop
+    /// and this is a no-op.
+    pub fn release_workers(&self) {
+        self.transport.release()
     }
 
     /// A query pipeline over this store: the same `run` / `run_limited` /
@@ -198,13 +354,6 @@ impl ShardedGraphStore {
     pub fn pipeline(&self) -> QueryPipeline<'_> {
         QueryPipeline::with_source(&self.peg, self)
     }
-}
-
-/// Per-(shard, path) scatter result.
-struct ShardPartial {
-    raw_total: usize,
-    raw_home: usize,
-    matches: Vec<PathMatch>,
 }
 
 impl CandidateSource for ShardedGraphStore {
@@ -234,77 +383,69 @@ impl CandidateSource for ShardedGraphStore {
         pstats: &[PathStats],
         alpha: f64,
         pool: &ThreadPool,
-    ) -> Vec<CandidateSet> {
+    ) -> Result<Vec<CandidateSet>, PegError> {
         let t0 = Instant::now();
         let n_paths = decomp.paths.len();
-        let n_shards = self.shards.len();
+        let n_shards = self.transport.n_shards();
+        // Cleared up front: if the scatter fails below, the snapshot must
+        // not keep advertising a previous query's numbers.
+        *self.last_scatter.lock().unwrap() = ScatterStats::default();
 
-        // Scatter: one task per (shard, decomposition path) on the shared
-        // pool. Each shard retrieves from its own index (or enumerates its
-        // own subgraph below β) and prunes with its own exact-for-home
-        // context; replicas of a path may be over-pruned by boundary
-        // shards, never under-pruned, and every surviving copy carries
-        // bit-identical probabilities — which is what lets the gather keep
-        // an arbitrary copy. One node-candidate memo per shard (shared
-        // across that shard's path tasks, like the unsharded source shares
-        // one across paths): the test is pure, so racing writers are
-        // harmless and results never depend on scheduling.
-        let node_caches: Vec<NodeCandidateCache> =
-            (0..n_shards).map(|_| NodeCandidateCache::new()).collect();
-        let partials: Vec<ShardPartial> = pool.map(n_shards * n_paths, |t| {
-            let (s, i) = (t / n_paths, t % n_paths);
-            let shard = &self.shards[s];
-            let labels = decomp.paths[i].labels(query);
-            let mut raw = shard.offline.path_matches(&shard.peg, &labels, alpha);
-            let raw_total = raw.len();
-            let raw_home = raw.iter().filter(|m| shard.is_home(&m.nodes)).count();
-            prune_candidates_in_place(
-                &shard.peg,
-                &shard.offline,
-                query,
-                &decomp.paths[i],
-                &pstats[i],
-                alpha,
-                &node_caches[s],
-                pool,
-                &mut raw,
-            );
-            for m in &mut raw {
-                shard.globalize(m);
+        // Scatter, through the transport seam: every shard answers every
+        // path with home-filtered, globalized, canonically sorted
+        // partials (see `Shard::retrieve_path` for the exactness
+        // argument). A failed shard fails the query — partial candidate
+        // lists would silently change results. The first failing shard
+        // (lowest index) wins deterministically.
+        let req = ShardRequest { query, decomp, pstats, alpha };
+        let mut replies: Vec<ShardReply> = Vec::with_capacity(n_shards);
+        for (s, reply) in self.transport.scatter(&req, pool).into_iter().enumerate() {
+            let reply = reply.map_err(|e| e.into_peg())?;
+            if reply.paths.len() != n_paths {
+                return Err(PegError::ShardUnavailable {
+                    shard: s,
+                    detail: format!(
+                        "reply carries {} path partials, expected {n_paths}",
+                        reply.paths.len()
+                    ),
+                });
             }
-            ShardPartial { raw_total, raw_home, matches: raw }
-        });
+            replies.push(reply);
+        }
 
-        // Gather: per path, merge shard contributions into the canonical
-        // node-sequence order and drop boundary-replicated duplicates
-        // (copies are bit-identical, so "keep first" loses nothing).
+        // Gather: per path, concatenate the disjoint home-filtered shard
+        // contributions and sort into the canonical candidate order. The
+        // dedup is defense-in-depth against a misbehaving remote worker —
+        // with correct workers home sets are disjoint and it drops
+        // nothing.
         let mut scatter = ScatterStats {
             per_shard_raw: vec![0; n_shards],
             per_shard_pruned: vec![0; n_shards],
             ..ScatterStats::default()
         };
-        let mut partials: Vec<Option<ShardPartial>> = partials.into_iter().map(Some).collect();
         let mut out = Vec::with_capacity(n_paths);
         for i in 0..n_paths {
             let mut merged: Vec<PathMatch> = Vec::new();
             let mut raw_count = 0usize;
-            for s in 0..n_shards {
-                let part = partials[s * n_paths + i].take().expect("each partial taken once");
+            for (s, reply) in replies.iter_mut().enumerate() {
+                let part = &mut reply.paths[i];
                 scatter.per_shard_raw[s] += part.raw_total;
-                scatter.per_shard_pruned[s] += part.matches.len();
+                scatter.per_shard_pruned[s] += part.pruned_total;
                 raw_count += part.raw_home;
-                merged.extend(part.matches);
+                merged.append(&mut part.matches);
             }
-            let before = merged.len();
             sort_candidates(&mut merged);
             merged.dedup_by(|a, b| a.nodes == b.nodes);
-            scatter.duplicates_dropped += before - merged.len();
             scatter.pruned_distinct += merged.len();
             scatter.raw_distinct += raw_count;
             out.push(CandidateSet { matches: merged, raw_count });
         }
+        // Survivors a shard's home filter dropped (boundary replicas),
+        // plus anything the defensive gather dedup removed.
+        scatter.duplicates_dropped =
+            scatter.per_shard_pruned.iter().sum::<usize>().saturating_sub(scatter.pruned_distinct);
         scatter.retrieve_time = t0.elapsed();
         *self.last_scatter.lock().unwrap() = scatter;
-        out
+        Ok(out)
     }
 }

@@ -1,0 +1,608 @@
+//! The transport seam: scatter-gather written once, executed anywhere.
+//!
+//! [`ShardedGraphStore`](crate::ShardedGraphStore) drives candidate
+//! retrieval through a [`ShardTransport`], which answers one question:
+//! *given this query, decomposition, and threshold, what are shard `s`'s
+//! home-filtered candidate partials?* Everything else — the gather, the
+//! merged histogram, planning estimates, the global pipeline phases — is
+//! transport-independent. Two implementations ship:
+//!
+//! * [`InProcessTransport`] — the shards live in this process; the
+//!   scatter is a flat `(shard × path)` fan-out on the shared pool
+//!   (exactly the pre-seam behavior).
+//! * [`TcpTransport`] — each shard lives behind a worker process speaking
+//!   the line protocol; the scatter pipelines one `shard_retrieve`
+//!   request per worker (send to all, then read in order, so workers
+//!   compute concurrently), with persistent connections, one reconnect +
+//!   resend on failure, and hard io timeouts — a dead worker yields a
+//!   [`TransportError`] within the deadline, never a hang.
+//!
+//! Both return the same [`ShardReply`] shape, and the home-filter
+//! argument (see `Shard::retrieve_path`) guarantees the
+//! union of replies is exactly the unsharded candidate list — which is
+//! why the store's results are f64-bit-exact no matter which transport
+//! runs underneath.
+
+use crate::shard::Shard;
+use crate::wire;
+use pathindex::PathMatch;
+use pegmatch::error::PegError;
+use pegmatch::online::{Decomposition, NodeCandidateCache, PathStats};
+use pegmatch::query::QueryGraph;
+use pegpool::ThreadPool;
+use pegwire::{Json, LineConn, LineError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// One retrieval request, broadcast identically to every shard.
+pub struct ShardRequest<'a> {
+    /// The full query graph (shards re-derive per-path statistics).
+    pub query: &'a QueryGraph,
+    /// The plan's decomposition; shards answer every path.
+    pub decomp: &'a Decomposition,
+    /// Per-path statistics, aligned with `decomp.paths`.
+    pub pstats: &'a [PathStats],
+    /// The probability threshold.
+    pub alpha: f64,
+}
+
+/// One shard's partial result for one decomposition path.
+pub struct PathPartial {
+    /// Raw index retrievals on this shard, boundary replicas included.
+    pub raw_total: usize,
+    /// Raw retrievals this shard is home to (= this shard's contribution
+    /// to the distinct raw count).
+    pub raw_home: usize,
+    /// Survivors of this shard's context pruning *before* home filtering
+    /// (boundary replicas included) — the replication-overhead stat.
+    pub pruned_total: usize,
+    /// Home-filtered surviving candidates: global ids, canonical
+    /// ascending-node-sequence order, disjoint across shards.
+    pub matches: Vec<PathMatch>,
+}
+
+/// One shard's complete reply: one [`PathPartial`] per decomposition
+/// path, in path order.
+pub struct ShardReply {
+    /// Per-path partials, aligned with the request's `decomp.paths`.
+    pub paths: Vec<PathPartial>,
+}
+
+/// A shard could not answer: connection lost and not re-establishable,
+/// deadline exceeded, or a malformed / error reply from the worker.
+#[derive(Debug)]
+pub struct TransportError {
+    /// The shard that failed.
+    pub shard: usize,
+    /// Worker address, when the transport is remote.
+    pub addr: Option<String>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.addr {
+            Some(a) => write!(f, "shard {} (worker {a}): {}", self.shard, self.detail),
+            None => write!(f, "shard {}: {}", self.shard, self.detail),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    /// Converts into the pipeline-facing error the serving layer maps to
+    /// a structured `shard_unavailable` reply.
+    pub fn into_peg(self) -> PegError {
+        let detail = match &self.addr {
+            Some(a) => format!("worker {a}: {}", self.detail),
+            None => self.detail.clone(),
+        };
+        PegError::ShardUnavailable { shard: self.shard, detail }
+    }
+}
+
+/// Per-worker transport counters (the `stats` reply's `workers` array).
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// Shard index this worker serves.
+    pub shard: usize,
+    /// Worker address.
+    pub addr: String,
+    /// Completed request/reply exchanges.
+    pub requests: u64,
+    /// Bytes shipped to the worker (request lines).
+    pub bytes_tx: u64,
+    /// Bytes received from the worker (reply lines).
+    pub bytes_rx: u64,
+    /// Times the persistent connection had to be re-established.
+    pub reconnects: u64,
+    /// Median exchange latency over the recent-sample window, in µs.
+    pub p50_us: u64,
+    /// 99th-percentile exchange latency over the window, in µs.
+    pub p99_us: u64,
+}
+
+/// Where shard retrieval executes. Implementations must uphold the reply
+/// contract documented on [`PathPartial`] (home-filtered, globalized,
+/// canonical order) and the no-hang rule: every path out of
+/// [`ShardTransport::retrieve_shard`] is bounded by a deadline.
+pub trait ShardTransport: Send + Sync {
+    /// Number of shards this transport reaches.
+    fn n_shards(&self) -> usize;
+
+    /// Executes the request against one shard.
+    fn retrieve_shard(
+        &self,
+        shard: usize,
+        req: &ShardRequest<'_>,
+        pool: &ThreadPool,
+    ) -> Result<ShardReply, TransportError>;
+
+    /// Executes the request against every shard, returning replies in
+    /// shard order. The default fans [`ShardTransport::retrieve_shard`]
+    /// out on the pool; transports override to exploit their medium
+    /// (flat task fan-out in-process, request pipelining over TCP).
+    fn scatter(
+        &self,
+        req: &ShardRequest<'_>,
+        pool: &ThreadPool,
+    ) -> Vec<Result<ShardReply, TransportError>> {
+        pool.map(self.n_shards(), |s| self.retrieve_shard(s, req, pool))
+    }
+
+    /// Per-worker counters, when the transport is remote.
+    fn worker_stats(&self) -> Option<Vec<WorkerStats>> {
+        None
+    }
+
+    /// Releases remote resources (worker-side shard state, connections).
+    /// In-process transports have nothing to release.
+    fn release(&self) {}
+}
+
+/// All shards in this process: the classic single-machine store.
+pub struct InProcessTransport {
+    pub(crate) shards: Vec<Shard>,
+}
+
+impl ShardTransport for InProcessTransport {
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn retrieve_shard(
+        &self,
+        shard: usize,
+        req: &ShardRequest<'_>,
+        pool: &ThreadPool,
+    ) -> Result<ShardReply, TransportError> {
+        let s = &self.shards[shard];
+        // One node-candidate memo shared across this shard's path tasks
+        // (the test is pure; racing writers are harmless).
+        let cache = NodeCandidateCache::new();
+        let paths = pool.map(req.decomp.paths.len(), |i| {
+            s.retrieve_path(
+                req.query,
+                &req.decomp.paths[i],
+                &req.pstats[i],
+                req.alpha,
+                &cache,
+                pool,
+            )
+        });
+        Ok(ShardReply { paths })
+    }
+
+    fn scatter(
+        &self,
+        req: &ShardRequest<'_>,
+        pool: &ThreadPool,
+    ) -> Vec<Result<ShardReply, TransportError>> {
+        // Flat (shard × path) fan-out: finer grains than shard-at-a-time,
+        // so a skewed shard cannot serialize the scatter.
+        let n_shards = self.shards.len();
+        let n_paths = req.decomp.paths.len();
+        let caches: Vec<NodeCandidateCache> =
+            (0..n_shards).map(|_| NodeCandidateCache::new()).collect();
+        let mut partials: Vec<Option<PathPartial>> = pool
+            .map(n_shards * n_paths, |t| {
+                let (s, i) = (t / n_paths, t % n_paths);
+                self.shards[s].retrieve_path(
+                    req.query,
+                    &req.decomp.paths[i],
+                    &req.pstats[i],
+                    req.alpha,
+                    &caches[s],
+                    pool,
+                )
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
+        (0..n_shards)
+            .map(|s| {
+                let paths = (0..n_paths)
+                    .map(|i| partials[s * n_paths + i].take().expect("each partial taken once"))
+                    .collect();
+                Ok(ShardReply { paths })
+            })
+            .collect()
+    }
+}
+
+/// Knobs for [`TcpTransport`]. Every socket operation is bounded:
+/// `connect_timeout` caps dials, `io_timeout` caps each write and each
+/// **whole reply** (the wait is re-bounded by the remaining deadline
+/// before every socket read — see [`LineConn::recv`] — so a trickling
+/// peer cannot stretch it). A full exchange performs at most two redials
+/// (one on the send side, one on the receive side), so it can never
+/// exceed a few multiples of `connect_timeout + io_timeout`.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTransportConfig {
+    /// Dial deadline per connection attempt.
+    pub connect_timeout: Duration,
+    /// Deadline per write and per whole-reply read. Must also cover the
+    /// worker's compute for one request (a `shard_load` build, a
+    /// `shard_retrieve` scatter leg), so it is generous by default.
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self { connect_timeout: Duration::from_secs(2), io_timeout: Duration::from_secs(30) }
+    }
+}
+
+/// Recent-latency window per worker (enough for stable p99 at serving
+/// rates without unbounded growth).
+const LATENCY_SAMPLES: usize = 4096;
+
+/// Ring of recent exchange latencies (µs).
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, us: u64) {
+        if self.samples.len() < LATENCY_SAMPLES {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+            self.next = (self.next + 1) % LATENCY_SAMPLES;
+        }
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted[((sorted.len() - 1) as f64 * p) as usize]
+    }
+}
+
+/// Per-worker state. Only the connection itself sits behind the exchange
+/// mutex (line protocols cannot interleave request/reply pairs on one
+/// socket); the counters are atomics and the latency ring has its own
+/// short-lived lock, so [`TcpTransport::worker_stats`] never blocks on an
+/// in-flight exchange — a `stats` request must not stall behind a slow
+/// scatter.
+struct WorkerCell {
+    conn: Mutex<Option<LineConn>>,
+    requests: AtomicU64,
+    reconnects: AtomicU64,
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl WorkerCell {
+    fn new(conn: LineConn) -> WorkerCell {
+        WorkerCell {
+            conn: Mutex::new(Some(conn)),
+            requests: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            bytes_tx: AtomicU64::new(0),
+            bytes_rx: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::default()),
+        }
+    }
+}
+
+/// One worker process per shard, reached over persistent TCP line-protocol
+/// connections.
+///
+/// Failure model: on any socket error the transport drops the connection,
+/// redials once, and resends the request once; a second failure is a
+/// [`TransportError`] (surfaced as `shard_unavailable` by the serving
+/// layer). A worker replying with a structured `"ok":false` error is also
+/// a [`TransportError`] — a shard that cannot answer is unavailable
+/// whatever the reason. Exchanges never hang: all socket operations carry
+/// the [`TcpTransportConfig`] deadlines.
+///
+/// Concurrency note: one persistent connection per worker means one
+/// scatter in flight per distributed graph — concurrent sessions on the
+/// same graph serialize their *retrieval* phase on the connection mutexes
+/// (planning, reduction, and generation still overlap). Lifting that
+/// requires a per-worker connection pool or request-id multiplexing;
+/// tracked in the ROADMAP as remaining scale-out work.
+pub struct TcpTransport {
+    graph: String,
+    addrs: Vec<String>,
+    config: TcpTransportConfig,
+    workers: Vec<WorkerCell>,
+}
+
+impl TcpTransport {
+    /// Connects to every worker eagerly (failing fast if one is down) and
+    /// binds the transport to `graph` — the name workers hold their shard
+    /// state under.
+    pub fn connect(
+        graph: &str,
+        addrs: &[String],
+        config: TcpTransportConfig,
+    ) -> Result<TcpTransport, TransportError> {
+        let workers = addrs
+            .iter()
+            .enumerate()
+            .map(|(s, addr)| {
+                let conn = LineConn::connect(addr, config.connect_timeout, config.io_timeout)
+                    .map_err(|e| TransportError {
+                        shard: s,
+                        addr: Some(addr.clone()),
+                        detail: e.to_string(),
+                    })?;
+                Ok(WorkerCell::new(conn))
+            })
+            .collect::<Result<Vec<_>, TransportError>>()?;
+        Ok(TcpTransport { graph: graph.to_string(), addrs: addrs.to_vec(), config, workers })
+    }
+
+    /// The graph name this transport's workers serve.
+    pub fn graph(&self) -> &str {
+        &self.graph
+    }
+
+    /// Worker addresses, by shard index.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    fn err(&self, shard: usize, detail: impl std::fmt::Display) -> TransportError {
+        TransportError { shard, addr: Some(self.addrs[shard].clone()), detail: detail.to_string() }
+    }
+
+    fn dial(&self, shard: usize) -> Result<LineConn, LineError> {
+        LineConn::connect(&self.addrs[shard], self.config.connect_timeout, self.config.io_timeout)
+    }
+
+    /// Redials and resends in one step — the shared recovery arm of every
+    /// retry path. Resending is safe: the worker ops are read-only
+    /// against shard state (retrieval) or idempotent (load/unload).
+    fn redial_and_send(&self, shard: usize, line: &str) -> Result<LineConn, LineError> {
+        self.workers[shard].reconnects.fetch_add(1, Ordering::Relaxed);
+        let mut conn = self.dial(shard)?;
+        conn.send(line)?;
+        self.workers[shard].bytes_tx.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        Ok(conn)
+    }
+
+    /// Sends `line` on the worker's live connection (dialing first if a
+    /// previous failure dropped it); one redial + resend on failure.
+    fn send_with_retry(
+        &self,
+        shard: usize,
+        conn: &mut Option<LineConn>,
+        line: &str,
+    ) -> Result<(), TransportError> {
+        let cell = &self.workers[shard];
+        let first = (|| -> Result<(), LineError> {
+            if conn.is_none() {
+                *conn = Some(self.dial(shard)?);
+                cell.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            conn.as_mut().expect("dialed above").send(line)
+        })();
+        match first {
+            Ok(()) => {
+                cell.bytes_tx.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(first_err) => {
+                *conn = None;
+                match self.redial_and_send(shard, line) {
+                    Ok(fresh) => {
+                        *conn = Some(fresh);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        Err(self.err(shard, format!("send: {first_err}; after reconnect: {e}")))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads the reply for an already-sent `line`; on failure the
+    /// pipelined send is lost with its connection, so the retry is a full
+    /// redial + resend + read.
+    fn recv_with_retry(
+        &self,
+        shard: usize,
+        conn: &mut Option<LineConn>,
+        line: &str,
+    ) -> Result<Json, TransportError> {
+        let cell = &self.workers[shard];
+        let live = conn.as_mut().expect("recv follows a successful send");
+        let before = live.bytes_rx;
+        match live.recv() {
+            Ok(reply) => {
+                cell.bytes_rx.fetch_add(live.bytes_rx - before, Ordering::Relaxed);
+                Ok(reply)
+            }
+            Err(first_err) => {
+                *conn = None;
+                match self.redial_and_send(shard, line).and_then(|mut c| c.recv().map(|r| (c, r))) {
+                    Ok((c, reply)) => {
+                        cell.bytes_rx.fetch_add(c.bytes_rx, Ordering::Relaxed);
+                        *conn = Some(c);
+                        Ok(reply)
+                    }
+                    Err(e) => Err(self.err(shard, format!("{first_err}; after reconnect: {e}"))),
+                }
+            }
+        }
+    }
+
+    /// One full exchange (send + recv, each with its single retry),
+    /// recording the request count and latency sample.
+    fn exchange_line(
+        &self,
+        shard: usize,
+        conn: &mut Option<LineConn>,
+        line: &str,
+    ) -> Result<Json, TransportError> {
+        let t0 = Instant::now();
+        self.send_with_retry(shard, conn, line)?;
+        let reply = self.recv_with_retry(shard, conn, line)?;
+        let cell = &self.workers[shard];
+        cell.requests.fetch_add(1, Ordering::Relaxed);
+        cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
+        Ok(reply)
+    }
+
+    /// One raw request/reply exchange with worker `shard`. Structured
+    /// error replies are returned as-is — typed wrappers decide whether
+    /// `"ok":false` is fatal for their op.
+    pub fn call(&self, shard: usize, req: &Json) -> Result<Json, TransportError> {
+        let mut conn = self.workers[shard].conn.lock().unwrap();
+        self.exchange_line(shard, &mut conn, &req.to_string())
+    }
+
+    fn reply_to_shard_reply(
+        &self,
+        shard: usize,
+        reply: Json,
+        n_paths: usize,
+    ) -> Result<ShardReply, TransportError> {
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
+            let msg = reply.get("message").and_then(Json::as_str).unwrap_or("no detail");
+            return Err(self.err(shard, format!("worker replied {code}: {msg}")));
+        }
+        wire::decode_retrieve_reply(&reply, n_paths)
+            .map_err(|e| self.err(shard, format!("malformed reply: {e}")))
+    }
+}
+
+impl ShardTransport for TcpTransport {
+    fn n_shards(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn retrieve_shard(
+        &self,
+        shard: usize,
+        req: &ShardRequest<'_>,
+        _pool: &ThreadPool,
+    ) -> Result<ShardReply, TransportError> {
+        let line = wire::retrieve_request(&self.graph, req).to_string();
+        let reply = {
+            let mut conn = self.workers[shard].conn.lock().unwrap();
+            self.exchange_line(shard, &mut conn, &line)?
+        };
+        self.reply_to_shard_reply(shard, reply, req.decomp.paths.len())
+    }
+
+    fn scatter(
+        &self,
+        req: &ShardRequest<'_>,
+        _pool: &ThreadPool,
+    ) -> Vec<Result<ShardReply, TransportError>> {
+        let n = self.addrs.len();
+        let n_paths = req.decomp.paths.len();
+        let line = wire::retrieve_request(&self.graph, req).to_string();
+
+        // Pipelined scatter: lock every worker's connection in ascending
+        // index order (deadlock-free across concurrent scatters — all
+        // lockers agree on the order), send the request to all, then read
+        // replies in order. Workers compute concurrently; the
+        // coordinator's wait is max(worker time), not the sum, without
+        // spending a thread per worker.
+        let mut guards: Vec<MutexGuard<'_, Option<LineConn>>> =
+            self.workers.iter().map(|w| w.conn.lock().unwrap()).collect();
+
+        // Send phase (single retry inside `send_with_retry`).
+        let mut sent: Vec<Result<Instant, TransportError>> = Vec::with_capacity(n);
+        for (s, conn) in guards.iter_mut().enumerate() {
+            sent.push(self.send_with_retry(s, conn, &line).map(|()| Instant::now()));
+        }
+
+        // Read phase, in shard order (a failed read retries as a full
+        // redial + resend + read inside `recv_with_retry`).
+        let mut out: Vec<Result<ShardReply, TransportError>> = Vec::with_capacity(n);
+        for (s, conn) in guards.iter_mut().enumerate() {
+            let t0 = match &sent[s] {
+                Ok(t0) => *t0,
+                Err(e) => {
+                    out.push(Err(TransportError {
+                        shard: e.shard,
+                        addr: e.addr.clone(),
+                        detail: e.detail.clone(),
+                    }));
+                    continue;
+                }
+            };
+            out.push(self.recv_with_retry(s, conn, &line).and_then(|reply| {
+                let cell = &self.workers[s];
+                cell.requests.fetch_add(1, Ordering::Relaxed);
+                cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
+                self.reply_to_shard_reply(s, reply, n_paths)
+            }));
+        }
+        out
+    }
+
+    /// Reads only atomics and the briefly-held latency ring — never the
+    /// connection mutex — so stats stay available while a scatter is in
+    /// flight.
+    fn worker_stats(&self) -> Option<Vec<WorkerStats>> {
+        let stats = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(s, w)| {
+                let lats = w.latencies.lock().unwrap();
+                WorkerStats {
+                    shard: s,
+                    addr: self.addrs[s].clone(),
+                    requests: w.requests.load(Ordering::Relaxed),
+                    bytes_tx: w.bytes_tx.load(Ordering::Relaxed),
+                    bytes_rx: w.bytes_rx.load(Ordering::Relaxed),
+                    reconnects: w.reconnects.load(Ordering::Relaxed),
+                    p50_us: lats.percentile(0.50),
+                    p99_us: lats.percentile(0.99),
+                }
+            })
+            .collect();
+        Some(stats)
+    }
+
+    /// Tells every worker to drop its shard state for this graph
+    /// (best-effort — a dead worker has nothing to free) and closes the
+    /// persistent connections.
+    fn release(&self) {
+        let unload = wire::unload_request(&self.graph).to_string();
+        for (s, w) in self.workers.iter().enumerate() {
+            let mut conn = w.conn.lock().unwrap();
+            let _ = self.exchange_line(s, &mut conn, &unload);
+            *conn = None;
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Wire codec for the shard-worker protocol ops.
+//!
+//! Three ops extend the serving line protocol (one JSON object per line,
+//! `{"ok":true,...}` / `{"ok":false,"error":...}` replies):
+//!
+//! | op               | direction             | payload                                   |
+//! |------------------|-----------------------|-------------------------------------------|
+//! | `shard_load`     | coordinator → worker  | generator spec + `shard`, `n_shards`      |
+//! | `shard_retrieve` | coordinator → worker  | query (label ids + edges), paths, `alpha` |
+//! | `shard_unload`   | coordinator → worker  | `graph`                                   |
+//!
+//! The query crosses the wire as **label ids** (`u16`) and query-node
+//! indexes, not label names: coordinator and workers build the same graph
+//! from the same deterministic generator spec, so their label tables are
+//! identical and ids are exact. Candidate triples come back as
+//! `[[node ids...], prle, prn]` arrays — the most compact shape the JSON
+//! value offers, and the one the bytes-on-wire ablation measures.
+//!
+//! # f64 round trip and the NaN policy
+//!
+//! Probabilities ride on [`pegwire::json`]'s round-trip guarantee: the
+//! writer emits the shortest decimal that parses back to the identical
+//! bits, so `prle`/`prn` survive the wire **bit-exactly** — including
+//! `-0.0` (kept by a writer special case) and subnormals. Non-finite
+//! values have no JSON representation; the writer serializes them as
+//! `null` and this decoder rejects any non-number where a probability
+//! belongs. The policy is therefore: *NaN and infinities cannot cross
+//! the wire silently* — a non-finite probability (impossible by
+//! construction, since all stored probabilities live in `[0, 1]`) fails
+//! the exchange with a decode error instead of smuggling a `null`
+//! through. `crates/pegshard/tests/wire_proptest.rs` pins both halves:
+//! arbitrary finite bit patterns round-trip exactly, non-finite ones are
+//! rejected.
+
+use crate::transport::{PathPartial, ShardReply, ShardRequest};
+use graphstore::EntityId;
+use pathindex::PathMatch;
+use pegmatch::online::QueryPath;
+use pegmatch::query::{QNode, QueryGraph};
+use pegwire::{obj, Json};
+
+/// Op name: build one shard of a graph on a worker.
+pub const OP_SHARD_LOAD: &str = "shard_load";
+/// Op name: retrieve + prune candidates for every decomposition path.
+pub const OP_SHARD_RETRIEVE: &str = "shard_retrieve";
+/// Op name: drop a worker's shard state for a graph.
+pub const OP_SHARD_UNLOAD: &str = "shard_unload";
+
+/// Home-only histogram entries as shipped in a `shard_load` reply:
+/// `(canonical label sequence, per-grid-cell counts)`.
+pub type HistogramEntries = Vec<(Vec<u16>, Vec<u32>)>;
+
+/// A malformed wire payload (field missing, wrong type, out of range,
+/// non-finite probability).
+#[derive(Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+fn need_arr<'a>(v: Option<&'a Json>, what: &str) -> Result<&'a [Json], WireError> {
+    v.and_then(Json::as_arr).ok_or_else(|| err(format!("missing or non-array \"{what}\"")))
+}
+
+fn need_u64(v: &Json, what: &str) -> Result<u64, WireError> {
+    v.as_u64().ok_or_else(|| err(format!("bad {what}: expected a non-negative integer")))
+}
+
+/// Decodes a probability: must be a finite JSON number (see the module
+/// docs for the NaN policy).
+fn need_prob(v: Option<&Json>, what: &str) -> Result<f64, WireError> {
+    match v {
+        Some(Json::Num(n)) if n.is_finite() => Ok(*n),
+        _ => Err(err(format!("bad {what}: expected a finite number"))),
+    }
+}
+
+/// Encodes the `shard_retrieve` request for one scatter.
+pub fn retrieve_request(graph: &str, req: &ShardRequest<'_>) -> Json {
+    let labels: Vec<Json> = req.query.labels().iter().map(|l| Json::Num(l.0 as f64)).collect();
+    let edges: Vec<Json> = req
+        .query
+        .edges()
+        .iter()
+        .map(|&(a, b)| Json::Arr(vec![Json::Num(a as f64), Json::Num(b as f64)]))
+        .collect();
+    let paths: Vec<Json> = req
+        .decomp
+        .paths
+        .iter()
+        .map(|p| Json::Arr(p.nodes.iter().map(|&n| Json::Num(n as f64)).collect()))
+        .collect();
+    obj()
+        .field("op", OP_SHARD_RETRIEVE)
+        .field("graph", graph)
+        .field("alpha", req.alpha)
+        .field("labels", Json::Arr(labels))
+        .field("edges", Json::Arr(edges))
+        .field("paths", Json::Arr(paths))
+        .build()
+}
+
+/// Decodes a `shard_retrieve` request into the query graph, decomposition
+/// paths, and threshold the worker executes. Validates ranges (`u16`
+/// label ids, path nodes inside the query) so a malformed coordinator
+/// cannot panic a worker.
+pub fn decode_retrieve_request(req: &Json) -> Result<(QueryGraph, Vec<QueryPath>, f64), WireError> {
+    let alpha = need_prob(req.get("alpha"), "\"alpha\"")?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(err(format!("alpha {alpha} out of range")));
+    }
+    let labels = need_arr(req.get("labels"), "labels")?
+        .iter()
+        .map(|v| {
+            let id = need_u64(v, "label id")?;
+            u16::try_from(id)
+                .map(graphstore::Label)
+                .map_err(|_| err(format!("label id {id} exceeds u16")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let n_nodes = labels.len();
+    let qnode = |v: &Json, what: &str| -> Result<QNode, WireError> {
+        let id = need_u64(v, what)?;
+        let n = u16::try_from(id).map_err(|_| err(format!("{what} {id} exceeds u16")))?;
+        if (n as usize) >= n_nodes {
+            return Err(err(format!("{what} {n} out of range for {n_nodes} query nodes")));
+        }
+        Ok(n)
+    };
+    let edges = need_arr(req.get("edges"), "edges")?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| err("bad edge: expected a two-element array"))?;
+            Ok((qnode(&pair[0], "edge endpoint")?, qnode(&pair[1], "edge endpoint")?))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let query = QueryGraph::new(labels, edges).map_err(|e| err(format!("bad query graph: {e}")))?;
+    let paths = need_arr(req.get("paths"), "paths")?
+        .iter()
+        .map(|p| {
+            let nodes = p
+                .as_arr()
+                .ok_or_else(|| err("bad path: expected an array of query nodes"))?
+                .iter()
+                .map(|v| qnode(v, "path node"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if nodes.is_empty() {
+                return Err(err("bad path: empty"));
+            }
+            Ok(QueryPath { nodes })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    if paths.is_empty() {
+        return Err(err("no decomposition paths"));
+    }
+    Ok((query, paths, alpha))
+}
+
+/// Encodes one candidate triple as `[[nodes...], prle, prn]`.
+pub fn encode_match(m: &PathMatch) -> Json {
+    Json::Arr(vec![
+        Json::Arr(m.nodes.iter().map(|v| Json::Num(v.0 as f64)).collect()),
+        Json::Num(m.prle),
+        Json::Num(m.prn),
+    ])
+}
+
+/// Decodes one candidate triple; rejects non-finite probabilities and
+/// node ids outside `u32`.
+pub fn decode_match(v: &Json) -> Result<PathMatch, WireError> {
+    let triple = v
+        .as_arr()
+        .filter(|t| t.len() == 3)
+        .ok_or_else(|| err("bad match: expected [[nodes...], prle, prn]"))?;
+    let nodes = triple[0]
+        .as_arr()
+        .ok_or_else(|| err("bad match nodes: expected an array"))?
+        .iter()
+        .map(|n| {
+            let id = need_u64(n, "node id")?;
+            u32::try_from(id).map(EntityId).map_err(|_| err(format!("node id {id} exceeds u32")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let prle = need_prob(Some(&triple[1]), "prle")?;
+    let prn = need_prob(Some(&triple[2]), "prn")?;
+    Ok(PathMatch { nodes, prle, prn })
+}
+
+/// Encodes the `shard_retrieve` reply (`ok` + per-path partials).
+pub fn encode_retrieve_reply(reply: &ShardReply) -> Json {
+    let paths: Vec<Json> = reply
+        .paths
+        .iter()
+        .map(|p| {
+            obj()
+                .field("raw_total", p.raw_total)
+                .field("raw_home", p.raw_home)
+                .field("pruned_total", p.pruned_total)
+                .field("matches", Json::Arr(p.matches.iter().map(encode_match).collect()))
+                .build()
+        })
+        .collect();
+    obj().field("ok", true).field("paths", Json::Arr(paths)).build()
+}
+
+/// Decodes a `shard_retrieve` reply, requiring exactly `n_paths` partials
+/// (a worker answering a different decomposition is a protocol error, not
+/// something to silently zip over).
+pub fn decode_retrieve_reply(reply: &Json, n_paths: usize) -> Result<ShardReply, WireError> {
+    let paths = need_arr(reply.get("paths"), "paths")?;
+    if paths.len() != n_paths {
+        return Err(err(format!("expected {n_paths} path partials, got {}", paths.len())));
+    }
+    let paths = paths
+        .iter()
+        .map(|p| {
+            let field = |k: &str| -> Result<usize, WireError> {
+                p.get(k)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| err(format!("missing or bad \"{k}\"")))
+            };
+            let matches = need_arr(p.get("matches"), "matches")?
+                .iter()
+                .map(decode_match)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(PathPartial {
+                raw_total: field("raw_total")?,
+                raw_home: field("raw_home")?,
+                pruned_total: field("pruned_total")?,
+                matches,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(ShardReply { paths })
+}
+
+/// Encodes the home-only histogram (the `shard_load` reply's `hist`
+/// field): integer counts, so the coordinator's element-wise merge equals
+/// the unsharded histogram exactly.
+pub fn encode_histogram(entries: &[(Vec<u16>, Vec<u32>)]) -> Json {
+    let items: Vec<Json> = entries
+        .iter()
+        .map(|(seq, counts)| {
+            obj()
+                .field("seq", Json::Arr(seq.iter().map(|&l| Json::Num(l as f64)).collect()))
+                .field("counts", Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect()))
+                .build()
+        })
+        .collect();
+    Json::Arr(items)
+}
+
+/// Decodes a `shard_load` reply's histogram.
+pub fn decode_histogram(v: &Json) -> Result<HistogramEntries, WireError> {
+    v.as_arr()
+        .ok_or_else(|| err("missing or non-array \"hist\""))?
+        .iter()
+        .map(|entry| {
+            let seq = need_arr(entry.get("seq"), "hist seq")?
+                .iter()
+                .map(|l| {
+                    let id = need_u64(l, "hist label")?;
+                    u16::try_from(id).map_err(|_| err(format!("hist label {id} exceeds u16")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let counts = need_arr(entry.get("counts"), "hist counts")?
+                .iter()
+                .map(|c| {
+                    let n = need_u64(c, "hist count")?;
+                    u32::try_from(n).map_err(|_| err(format!("hist count {n} exceeds u32")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((seq, counts))
+        })
+        .collect()
+}
+
+/// Encodes the `shard_unload` request for a graph.
+pub fn unload_request(graph: &str) -> Json {
+    obj().field("op", OP_SHARD_UNLOAD).field("graph", graph).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieve_request_round_trips() {
+        use graphstore::Label;
+        let query =
+            QueryGraph::new(vec![Label(0), Label(3), Label(1)], vec![(0, 1), (1, 2)]).unwrap();
+        let decomp = pegmatch::online::decompose(
+            &query,
+            2,
+            &|_| 1.0,
+            pegmatch::online::DecompStrategy::CostBased,
+        )
+        .unwrap();
+        let pstats: Vec<pegmatch::online::PathStats> =
+            decomp.paths.iter().map(|p| pegmatch::online::PathStats::new(&query, p)).collect();
+        let req = ShardRequest { query: &query, decomp: &decomp, pstats: &pstats, alpha: 0.25 };
+        let json = retrieve_request("g", &req);
+        let parsed = Json::parse(&json.to_string()).unwrap();
+        let (q2, paths, alpha) = decode_retrieve_request(&parsed).unwrap();
+        assert_eq!(alpha, 0.25);
+        assert_eq!(q2.labels(), query.labels());
+        assert_eq!(q2.edges(), query.edges());
+        assert_eq!(paths.len(), decomp.paths.len());
+        for (a, b) in paths.iter().zip(&decomp.paths) {
+            assert_eq!(a.nodes, b.nodes);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        for bad in [
+            r#"{"op":"shard_retrieve"}"#,
+            r#"{"alpha":2.0,"labels":[0],"edges":[],"paths":[[0]]}"#,
+            r#"{"alpha":0.5,"labels":[0],"edges":[[0,5]],"paths":[[0]]}"#,
+            r#"{"alpha":0.5,"labels":[99999],"edges":[],"paths":[[0]]}"#,
+            r#"{"alpha":0.5,"labels":[0],"edges":[],"paths":[[7]]}"#,
+            r#"{"alpha":0.5,"labels":[0],"edges":[],"paths":[]}"#,
+            r#"{"alpha":null,"labels":[0],"edges":[],"paths":[[0]]}"#,
+        ] {
+            let req = Json::parse(bad).unwrap();
+            assert!(decode_retrieve_request(&req).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn reply_round_trips_and_validates_path_count() {
+        let reply = ShardReply {
+            paths: vec![PathPartial {
+                raw_total: 5,
+                raw_home: 3,
+                pruned_total: 4,
+                matches: vec![PathMatch {
+                    nodes: vec![EntityId(7), EntityId(2)],
+                    prle: 0.125,
+                    prn: -0.0,
+                }],
+            }],
+        };
+        let json = Json::parse(&encode_retrieve_reply(&reply).to_string()).unwrap();
+        let back = decode_retrieve_reply(&json, 1).unwrap();
+        assert_eq!(back.paths[0].raw_total, 5);
+        assert_eq!(back.paths[0].raw_home, 3);
+        assert_eq!(back.paths[0].pruned_total, 4);
+        assert_eq!(back.paths[0].matches[0].nodes, vec![EntityId(7), EntityId(2)]);
+        assert_eq!(back.paths[0].matches[0].prle.to_bits(), 0.125f64.to_bits());
+        assert_eq!(back.paths[0].matches[0].prn.to_bits(), (-0.0f64).to_bits());
+        assert!(decode_retrieve_reply(&json, 2).is_err(), "path-count mismatch rejected");
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_rejected() {
+        // The writer turns NaN into null; the decoder must refuse it.
+        let m = PathMatch { nodes: vec![EntityId(1)], prle: f64::NAN, prn: 0.5 };
+        let json = Json::parse(&encode_match(&m).to_string()).unwrap();
+        assert!(decode_match(&json).is_err());
+        let m = PathMatch { nodes: vec![EntityId(1)], prle: 0.5, prn: f64::INFINITY };
+        let json = Json::parse(&encode_match(&m).to_string()).unwrap();
+        assert!(decode_match(&json).is_err());
+    }
+
+    #[test]
+    fn histogram_round_trips() {
+        let entries =
+            vec![(vec![0u16, 2, 1], vec![1u32, 0, 7, 19]), (vec![3u16], vec![0u32, 0, 0, 2])];
+        let json = Json::parse(&encode_histogram(&entries).to_string()).unwrap();
+        assert_eq!(decode_histogram(&json).unwrap(), entries);
+    }
+}

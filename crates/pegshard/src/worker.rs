@@ -1,0 +1,143 @@
+//! Worker-side shard state: one shard of one graph, behind the wire ops.
+//!
+//! A shard-worker process holds a [`WorkerShard`] per loaded graph —
+//! exactly the `(subgraph, OfflineIndex, owned bitmap)` triple the
+//! in-process store keeps per shard, built by the **same**
+//! `Shard::build` code path from the same deterministic
+//! generator spec the coordinator uses. Determinism is the whole trick:
+//! instead of shipping a partitioned graph over the wire, the coordinator
+//! sends the generator spec plus `(shard, n_shards)` and the worker
+//! reproduces its shard locally, bit-for-bit (same placement hash, same
+//! halo rule, same monotone renumbering, same index build). The
+//! coordinator cross-checks the full graph's node/edge counts from the
+//! `shard_load` reply to catch spec or version drift.
+//!
+//! Retrieval then goes through the same
+//! `Shard::retrieve_path` unit the in-process transport
+//! uses — the scatter logic exists once; only the bytes in between
+//! differ.
+
+use crate::shard::{halo_for, Shard};
+use crate::store::ShardInfo;
+use crate::transport::ShardReply;
+use pegmatch::error::PegError;
+use pegmatch::offline::OfflineOptions;
+use pegmatch::online::{NodeCandidateCache, PathStats, QueryPath};
+use pegmatch::query::QueryGraph;
+use pegmatch::Peg;
+use pegpool::ThreadPool;
+
+/// One shard of one graph, held by a worker process.
+pub struct WorkerShard {
+    shard: Shard,
+    shard_index: usize,
+    n_shards: usize,
+    full_nodes: usize,
+    full_edges: usize,
+    n_labels: usize,
+}
+
+impl WorkerShard {
+    /// Builds shard `shard` of `n_shards` from the **full** graph
+    /// (consumed: the worker keeps only its shard). Uses the same halo
+    /// rule as [`ShardedGraphStore::build`](crate::ShardedGraphStore), so
+    /// worker-built shards are identical to coordinator-built ones.
+    pub fn build(
+        full: Peg,
+        opts: &OfflineOptions,
+        shard: usize,
+        n_shards: usize,
+    ) -> Result<WorkerShard, PegError> {
+        if n_shards == 0 {
+            return Err(PegError::Invalid("shard count must be at least 1".into()));
+        }
+        if shard >= n_shards {
+            return Err(PegError::Invalid(format!(
+                "shard index {shard} out of range for {n_shards} shards"
+            )));
+        }
+        let halo = halo_for(n_shards, opts.index.max_len.max(1));
+        let full_nodes = full.graph.n_nodes();
+        let full_edges = full.graph.n_edges();
+        let n_labels = full.graph.label_table().len();
+        let built = Shard::build(&full, opts, shard, n_shards, halo)?;
+        Ok(WorkerShard {
+            shard: built,
+            shard_index: shard,
+            n_shards,
+            full_nodes,
+            full_edges,
+            n_labels,
+        })
+    }
+
+    /// This worker's shard index.
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// Total shard count of the partition this shard belongs to.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Node count of the full graph the shard was cut from (the
+    /// coordinator cross-checks this against its own build).
+    pub fn full_nodes(&self) -> usize {
+        self.full_nodes
+    }
+
+    /// Edge count of the full graph the shard was cut from.
+    pub fn full_edges(&self) -> usize {
+        self.full_edges
+    }
+
+    /// Size and ownership breakdown of this shard.
+    pub fn info(&self) -> ShardInfo {
+        ShardInfo {
+            nodes: self.shard.peg.graph.n_nodes(),
+            owned_nodes: self.shard.n_owned,
+            edges: self.shard.peg.graph.n_edges(),
+            index_entries: self.shard.offline.paths.n_entries(),
+            index_bytes: self.shard.offline.paths.approx_bytes(),
+        }
+    }
+
+    /// Home-only histogram counts: each stored path counted once, at its
+    /// home shard, so the coordinator's element-wise merge over all
+    /// workers reproduces the unsharded histogram exactly.
+    pub fn histogram(&self) -> crate::wire::HistogramEntries {
+        self.shard.offline.paths.histogram_counts_where(&|sp| self.shard.is_home_stored(&sp.nodes))
+    }
+
+    /// Executes one retrieval request: per decomposition path, raw index
+    /// lookup, context pruning, home filtering, globalization, canonical
+    /// sort — the identical `Shard::retrieve_path` unit
+    /// the in-process transport runs, fanned over this worker's pool.
+    ///
+    /// Returns `Err` when the query references labels outside this
+    /// graph's alphabet (a coordinator/worker mismatch, surfaced as a
+    /// structured reply rather than an index panic).
+    pub fn retrieve(
+        &self,
+        query: &QueryGraph,
+        paths: &[QueryPath],
+        alpha: f64,
+        pool: &ThreadPool,
+    ) -> Result<ShardReply, PegError> {
+        for &l in query.labels() {
+            if (l.0 as usize) >= self.n_labels {
+                return Err(PegError::UnknownLabel(format!(
+                    "label id {} outside this graph's {}-label alphabet",
+                    l.0, self.n_labels
+                )));
+            }
+        }
+        let pstats: Vec<PathStats> = paths.iter().map(|p| PathStats::new(query, p)).collect();
+        let cache = NodeCandidateCache::new();
+        let partials = pool.map(paths.len(), |i| {
+            self.shard.retrieve_path(query, &paths[i], &pstats[i], alpha, &cache, pool)
+        });
+        Ok(ShardReply { paths: partials })
+    }
+}

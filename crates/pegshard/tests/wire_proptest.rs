@@ -1,0 +1,116 @@
+//! Property test: the shard-wire candidate codec is bit-exact.
+//!
+//! Arbitrary candidate triples `(nodes, prle, prn)` — with probabilities
+//! drawn from **arbitrary f64 bit patterns**, so the generator hits
+//! `-0.0`, subnormals, and garbage exponents, not just round numbers —
+//! must encode → serialize → parse → decode to identical bits. The NaN
+//! policy (documented on `pegshard::wire`) is pinned from both sides:
+//! finite values round-trip exactly; non-finite values (NaN, ±inf) are
+//! *rejected at decode*, because the JSON writer has no representation
+//! for them and emits `null`, which the decoder refuses to read as a
+//! probability — a NaN can never silently cross the wire.
+
+use graphstore::EntityId;
+use pathindex::PathMatch;
+use pegshard::wire::{decode_match, decode_retrieve_reply, encode_match, encode_retrieve_reply};
+use pegshard::{PathPartial, ShardReply};
+use pegwire::Json;
+use proptest::prelude::*;
+
+/// f64 from raw bits: covers normals, subnormals, ±0.0, NaN payloads,
+/// and infinities with positive probability each.
+fn f64_from_bits(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn candidate_triples_round_trip_bit_exact(
+        n_nodes in 1usize..6,
+        node_seed in any::<u64>(),
+        prle_bits in any::<u64>(),
+        prn_bits in any::<u64>(),
+    ) {
+        let nodes: Vec<EntityId> = (0..n_nodes)
+            .map(|i| EntityId((node_seed.rotate_left(i as u32 * 13) & 0xFFFF_FFFF) as u32))
+            .collect();
+        let m = PathMatch {
+            nodes: nodes.clone(),
+            prle: f64_from_bits(prle_bits),
+            prn: f64_from_bits(prn_bits),
+        };
+        // Encode, serialize to the actual wire line, parse back, decode.
+        let line = encode_match(&m).to_string();
+        let parsed = Json::parse(&line).unwrap();
+        let decoded = decode_match(&parsed);
+        if m.prle.is_finite() && m.prn.is_finite() {
+            let back = decoded.expect("finite triple decodes");
+            prop_assert_eq!(&back.nodes, &nodes, "nodes survive");
+            prop_assert_eq!(back.prle.to_bits(), m.prle.to_bits(), "prle bits survive");
+            prop_assert_eq!(back.prn.to_bits(), m.prn.to_bits(), "prn bits survive");
+        } else {
+            // NaN policy: non-finite probabilities serialize as null and
+            // must be rejected, not smuggled through as something else.
+            prop_assert!(decoded.is_err(), "non-finite probability must be rejected");
+        }
+    }
+
+    #[test]
+    fn edge_probability_values_round_trip(
+        scale in prop::sample::select(vec![
+            0.0f64, -0.0, f64::MIN_POSITIVE, 4.9e-324, // smallest subnormal
+            1e-300, 0.1, 1.0 / 3.0, 0.5, 1.0 - 1e-16, 1.0,
+        ]),
+        sign in any::<bool>(),
+    ) {
+        let p = if sign { scale } else { -scale };
+        let m = PathMatch { nodes: vec![EntityId(0)], prle: p, prn: scale };
+        let parsed = Json::parse(&encode_match(&m).to_string()).unwrap();
+        let back = decode_match(&parsed).unwrap();
+        prop_assert_eq!(back.prle.to_bits(), p.to_bits());
+        prop_assert_eq!(back.prn.to_bits(), scale.to_bits());
+    }
+
+    #[test]
+    fn whole_replies_round_trip(
+        n_paths in 1usize..4,
+        counts_seed in any::<u64>(),
+        prob_bits in any::<u64>(),
+    ) {
+        // Finite probabilities only (the store never produces others).
+        let p = f64_from_bits(prob_bits & !(0x7FFu64 << 52)); // clear exponent top: finite
+        let reply = ShardReply {
+            paths: (0..n_paths)
+                .map(|i| {
+                    let base = counts_seed.rotate_left(i as u32 * 7);
+                    PathPartial {
+                        raw_total: (base & 0xFF) as usize,
+                        raw_home: ((base >> 8) & 0xFF) as usize,
+                        pruned_total: ((base >> 16) & 0xFF) as usize,
+                        matches: vec![PathMatch {
+                            nodes: vec![EntityId(i as u32), EntityId((base & 0xFFFF) as u32)],
+                            prle: p,
+                            prn: -p,
+                        }],
+                    }
+                })
+                .collect(),
+        };
+        let parsed = Json::parse(&encode_retrieve_reply(&reply).to_string()).unwrap();
+        let back = decode_retrieve_reply(&parsed, n_paths).unwrap();
+        for (a, b) in back.paths.iter().zip(&reply.paths) {
+            prop_assert_eq!(a.raw_total, b.raw_total);
+            prop_assert_eq!(a.raw_home, b.raw_home);
+            prop_assert_eq!(a.pruned_total, b.pruned_total);
+            prop_assert_eq!(a.matches.len(), b.matches.len());
+            for (x, y) in a.matches.iter().zip(&b.matches) {
+                prop_assert_eq!(&x.nodes, &y.nodes);
+                prop_assert_eq!(x.prle.to_bits(), y.prle.to_bits());
+                prop_assert_eq!(x.prn.to_bits(), y.prn.to_bits());
+            }
+        }
+        // And a path-count mismatch is a protocol error.
+        prop_assert!(decode_retrieve_reply(&parsed, n_paths + 1).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `pegwire` — the wire-protocol atoms every networked peg component
+//! speaks.
+//!
+//! Extracted from `pegserve` so the shard transport (`pegshard`) can
+//! serialize requests and replies without depending on the serving layer
+//! (which itself depends on `pegshard` — the JSON value had to move below
+//! both). Two pieces live here:
+//!
+//! * [`json`] — the minimal in-tree JSON value with a compact writer and
+//!   a hardened parser (depth-capped, f64 bit-exact round trip). This is
+//!   the encoding every protocol line uses, coordinator↔client and
+//!   coordinator↔shard-worker alike.
+//! * [`mod@line`] — a blocking line-exchange connection (`LineConn`): one
+//!   JSON object per line in each direction over a `TcpStream`, with
+//!   connect/read/write timeouts so a dead peer yields an error, never a
+//!   hang.
+//!
+//! The f64 round-trip guarantee documented on [`json`] is what makes a
+//! multi-process scatter-gather bit-exact: probabilities cross the wire
+//! through the shortest-round-trip `{}` formatting and come back with
+//! identical bits.
+
+pub mod json;
+pub mod line;
+
+pub use json::{obj, Json, JsonError, ObjBuilder};
+pub use line::{LineConn, LineError};

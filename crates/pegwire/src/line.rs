@@ -1,0 +1,288 @@
+//! A blocking one-line-per-message TCP connection with hard timeouts.
+//!
+//! The shard transport and any other wire peer exchange exactly one JSON
+//! object per line in each direction. [`LineConn`] wraps a `TcpStream`
+//! with connect / read / write timeouts so that a dead or wedged peer
+//! always surfaces as an [`LineError`] within the deadline — the
+//! no-hang guarantee every caller (coordinator scatter, CLI, tests)
+//! relies on. Byte counters are tracked per connection so transports can
+//! report bytes-on-wire without re-measuring.
+
+use crate::json::{Json, JsonError};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Line-exchange failure: transport-level or malformed peer JSON.
+#[derive(Debug)]
+pub enum LineError {
+    /// Socket-level failure (connect, read, write, or timeout).
+    Io(std::io::Error),
+    /// The peer's reply line was not valid JSON.
+    BadReply(JsonError, String),
+    /// The peer closed the connection.
+    Closed,
+    /// The address did not resolve to any socket address.
+    BadAddr(String),
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineError::Io(e) => write!(f, "io error: {e}"),
+            LineError::BadReply(e, line) => write!(f, "bad reply ({e}): {line}"),
+            LineError::Closed => write!(f, "peer closed the connection"),
+            LineError::BadAddr(a) => write!(f, "address '{a}' did not resolve"),
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+impl From<std::io::Error> for LineError {
+    fn from(e: std::io::Error) -> Self {
+        LineError::Io(e)
+    }
+}
+
+/// A connected line-protocol peer with timeouts on every operation.
+pub struct LineConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    io_timeout: Duration,
+    /// Bytes written since connect (request lines incl. newline).
+    pub bytes_tx: u64,
+    /// Bytes read since connect (reply lines incl. newline).
+    pub bytes_rx: u64,
+}
+
+/// Hard cap on one reply line. This is a memory backstop against a
+/// malicious or broken peer streaming newline-free bytes, not a semantic
+/// limit — legitimate shard replies are orders of magnitude smaller (the
+/// serving layer separately caps result sizes). Mirrors the server-side
+/// request cap, which the coordinator/client read path previously lacked.
+pub const MAX_REPLY_BYTES: usize = 64 << 20;
+
+impl LineConn {
+    /// Connects to `addr` within `connect_timeout`; each write and the
+    /// **whole** reply read are bounded by `io_timeout` (see
+    /// [`LineConn::recv`]). A zero `io_timeout` is rejected by the OS, so
+    /// callers should pass a real deadline.
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> Result<LineConn, LineError> {
+        let sockaddr: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(LineError::Io)?
+            .next()
+            .ok_or_else(|| LineError::BadAddr(addr.to_string()))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(LineConn {
+            reader: BufReader::new(stream),
+            writer,
+            io_timeout,
+            bytes_tx: 0,
+            bytes_rx: 0,
+        })
+    }
+
+    /// Writes one request line (newline appended, one write so the
+    /// framed request leaves as a single flush) without waiting for a
+    /// reply — the pipelined-scatter half; pair with [`LineConn::recv`].
+    pub fn send(&mut self, line: &str) -> Result<(), LineError> {
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
+        self.writer.flush()?;
+        self.bytes_tx += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Reads one reply line and parses it.
+    ///
+    /// The whole reply must arrive within `io_timeout` **total** and fit
+    /// in [`MAX_REPLY_BYTES`]: the wait is re-bounded by the remaining
+    /// deadline before every socket read, so a peer trickling one byte
+    /// per almost-timeout cannot stretch one exchange indefinitely (each
+    /// read would succeed, resetting a naive per-read timeout), and the
+    /// accumulation buffer cannot grow without bound.
+    pub fn recv(&mut self) -> Result<Json, LineError> {
+        use std::io::BufRead;
+        let start = std::time::Instant::now();
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            let remaining =
+                self.io_timeout.checked_sub(start.elapsed()).filter(|d| !d.is_zero()).ok_or_else(
+                    || {
+                        LineError::Io(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "reply deadline exceeded",
+                        ))
+                    },
+                )?;
+            self.reader.get_ref().set_read_timeout(Some(remaining))?;
+            let available = match self.reader.fill_buf() {
+                Ok(b) => b,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(LineError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "reply deadline exceeded",
+                    )));
+                }
+                Err(e) => return Err(LineError::Io(e)),
+            };
+            if available.is_empty() {
+                return if line.is_empty() {
+                    Err(LineError::Closed)
+                } else {
+                    Err(LineError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-reply",
+                    )))
+                };
+            }
+            if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+                line.extend_from_slice(&available[..pos]);
+                self.reader.consume(pos + 1);
+                break;
+            }
+            line.extend_from_slice(available);
+            let n = available.len();
+            self.reader.consume(n);
+            if line.len() > MAX_REPLY_BYTES {
+                return Err(LineError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "reply line exceeds the size cap",
+                )));
+            }
+        }
+        self.bytes_rx += line.len() as u64 + 1;
+        let text = String::from_utf8_lossy(&line);
+        let trimmed = text.trim_end();
+        Json::parse(trimmed).map_err(|e| LineError::BadReply(e, trimmed.to_string()))
+    }
+
+    /// One full exchange: send a request object, read the reply object.
+    pub fn call(&mut self, req: &Json) -> Result<Json, LineError> {
+        self.send(&req.to_string())?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn call_round_trips_one_line_each_way() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut stream = stream;
+            write!(stream, "{}", line).unwrap();
+        });
+        let mut conn =
+            LineConn::connect(&addr.to_string(), Duration::from_secs(2), Duration::from_secs(2))
+                .unwrap();
+        let req = obj().field("op", "ping").build();
+        let reply = conn.call(&req).unwrap();
+        assert_eq!(reply, req);
+        assert!(conn.bytes_tx > 0 && conn.bytes_rx > 0);
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_errors_instead_of_hanging() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept but never reply.
+        let silent = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let mut conn = LineConn::connect(
+            &addr.to_string(),
+            Duration::from_secs(2),
+            Duration::from_millis(100),
+        )
+        .unwrap();
+        let err = conn.call(&obj().field("op", "ping").build()).unwrap_err();
+        assert!(matches!(err, LineError::Io(_)), "{err}");
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn trickling_peer_cannot_stretch_the_reply_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A peer that drips one byte at a time, each arriving well within
+        // a per-read timeout, and never sends a newline: a naive per-read
+        // bound would reset on every byte and wait forever.
+        let trickler = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..100 {
+                if stream.write_all(b"x").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+        let mut conn = LineConn::connect(
+            &addr.to_string(),
+            Duration::from_secs(2),
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        conn.send("{}").unwrap();
+        let t0 = std::time::Instant::now();
+        let err = conn.recv().unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(
+            matches!(err, LineError::Io(ref e) if e.kind() == std::io::ErrorKind::TimedOut),
+            "{err}"
+        );
+        assert!(
+            elapsed >= Duration::from_millis(250) && elapsed < Duration::from_secs(2),
+            "whole-reply deadline enforced, got {elapsed:?}"
+        );
+        trickler.join().unwrap();
+    }
+
+    #[test]
+    fn closed_peer_is_a_structured_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let closer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        });
+        let mut conn =
+            LineConn::connect(&addr.to_string(), Duration::from_secs(2), Duration::from_secs(1))
+                .unwrap();
+        closer.join().unwrap();
+        let err = conn.call(&obj().field("op", "ping").build()).unwrap_err();
+        assert!(
+            matches!(err, LineError::Closed | LineError::Io(_)),
+            "closed peer must error: {err}"
+        );
+    }
+}
