@@ -9,7 +9,10 @@
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
 //! ablation-montecarlo ablation-plan-cache ablation-shards
-//! ablation-transport serving-mix all
+//! ablation-transport serving-mix saturation all
+//!
+//! `saturation` additionally writes its machine-readable results to
+//! `BENCH_saturation.json` in the working directory.
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -112,6 +115,9 @@ fn main() {
     }
     if run("serving-mix") {
         serving_mix(scale);
+    }
+    if run("saturation") {
+        saturation(scale);
     }
 }
 
@@ -789,7 +795,7 @@ fn ablation_shards(scale: Scale) {
 /// checked bit-exact against the unsharded pipeline — the transport may
 /// only change latency, never a bit of the answer.
 fn ablation_transport(scale: Scale) {
-    use pegserve::{GraphSpec, Server, ServerConfig};
+    use pegserve::{obj, Client, GraphSpec, Server, ServerConfig};
     use pegshard::{ShardedGraphStore, TcpTransport, TcpTransportConfig};
 
     println!("## Ablation: shard transport — in-process vs loopback TCP (2 shards, alpha=0.1)");
@@ -877,6 +883,27 @@ fn ablation_transport(scale: Scale) {
     println!(
         "(every row bit-exact vs the unsharded pipeline; bytes = request + reply lines \
          across both workers)"
+    );
+
+    // Socket-hygiene ceiling: ~200 control-op round trips against one
+    // worker. Every peg socket runs TCP_NODELAY with exactly one framed
+    // write per message; a regression on either side reintroduces the
+    // Nagle + delayed-ACK interaction (~40ms per exchange), which this
+    // 10ms mean ceiling fails loudly.
+    let mut ping = Client::connect(handles[0].addr).unwrap();
+    let stats_req = obj().field("op", "stats").build();
+    let t0 = Instant::now();
+    let pings = 200u32;
+    for _ in 0..pings {
+        let reply = ping.request(&stats_req).unwrap();
+        assert_eq!(reply.get("ok"), Some(&pegserve::Json::Bool(true)), "{reply}");
+    }
+    let mean = t0.elapsed() / pings;
+    drop(ping);
+    println!("socket hygiene: {pings} loopback round trips, mean {}", fmt_duration(mean));
+    assert!(
+        mean < Duration::from_millis(10),
+        "loopback exchange mean {mean:?} breaches the no-Nagle latency ceiling"
     );
     dist.release_workers();
     for h in handles {
@@ -1159,6 +1186,526 @@ fn serving_mix(scale: Scale) {
     );
     burst_handle.shutdown().unwrap();
     handle.shutdown().unwrap();
+    println!();
+}
+
+/// One match as `(nodes, prle bits, prn bits)` — the bit-exact contract
+/// every serving front end must reproduce through the JSON round trip
+/// (same triple the `serve_concurrent` integration test pins).
+type MatchTriple = (Vec<u64>, u64, u64);
+
+fn match_triples(result: &[pegmatch::matcher::Match]) -> Vec<MatchTriple> {
+    result
+        .iter()
+        .map(|m| (m.nodes.iter().map(|e| e.0 as u64).collect(), m.prle.to_bits(), m.prn.to_bits()))
+        .collect()
+}
+
+fn reply_match_triples(reply: &pegserve::Json) -> Vec<MatchTriple> {
+    use pegserve::Json;
+    reply
+        .get("matches")
+        .and_then(Json::as_arr)
+        .expect("matches array")
+        .iter()
+        .map(|m| {
+            (
+                m.get("nodes")
+                    .unwrap()
+                    .as_arr()
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.as_u64().unwrap())
+                    .collect(),
+                m.get("prle").unwrap().as_f64().unwrap().to_bits(),
+                m.get("prn").unwrap().as_f64().unwrap().to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile over a sorted latency list.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Saturation: concurrent-client sweeps over both serving front ends,
+/// batched queries, and distributed scatter overlap.
+///
+/// Four sections, all checked bit-exact against the direct pipeline:
+///
+/// 1. **Front-end sweep** — N concurrent clients replay a repeated-shape
+///    mix against a live server, once per front end (`threads`, and
+///    `epoll` on Linux), reporting queries/sec and client-observed
+///    p50/p99.
+/// 2. **Connection ceiling** — a burst of 4× the thread front end's
+///    `max_connections` held open at once: thread mode must shed the
+///    overflow with structured `overloaded` replies, the epoll loop must
+///    serve every one (the ≥4× concurrent-connection claim).
+/// 3. **Batching** — the same queries shipped 1, 8, and 32 per round
+///    trip via `query_batch`, amortizing the per-query wire tax.
+/// 4. **Distributed overlap** — a coordinator + 2 loopback shard workers;
+///    4 concurrent sessions on one graph must not serialize their
+///    scatters per worker now that the worker wire is request-id
+///    multiplexed (mean latency < 2× single-session when enough cores
+///    exist for compute not to be the bottleneck).
+///
+/// Results also land in `BENCH_saturation.json` (working directory).
+fn saturation(scale: Scale) {
+    use pegserve::{obj, Client, Json, ServeMode, Server, ServerConfig};
+    use std::net::SocketAddr;
+    use std::sync::Barrier;
+
+    println!("## Saturation: concurrent clients, front ends, batching (alpha=0.5)");
+    let (size, thread_cap, sweep_threads, sweep_epoll, exchanges, batch_rounds): (
+        usize,
+        usize,
+        Vec<usize>,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = match scale {
+        Scale::Tiny => (300, 16, vec![1, 4, 16], vec![1, 4, 16, 64], 4, 4),
+        Scale::Small => (800, 64, vec![1, 4, 16, 64], vec![1, 4, 16, 64, 256], 6, 8),
+        Scale::Paper => (2000, 64, vec![1, 4, 16, 64], vec![1, 4, 16, 64, 256], 10, 16),
+    };
+    let (beta, max_len, uncertainty) = (0.3, 2, 0.2);
+    let w = Workload::synthetic(size, uncertainty, beta, max_len);
+    let direct = QueryPipeline::new(&w.peg, w.index(max_len));
+    let n_labels = w.peg.graph.label_table().len();
+    let alpha = 0.5;
+
+    // The mix: distinct shapes rendered to pattern text, with ground-truth
+    // triples from the direct pipeline at the same thread count the server
+    // is asked for (`threads: 1` keeps rows comparable across loads).
+    let qopts = QueryOptions::with_threads(1);
+    let mix: Vec<(String, Vec<MatchTriple>)> = (0..4u64)
+        .map(|s| {
+            let q = random_query(QuerySpec::new(4, 4), n_labels, s);
+            let pattern = pegmatch::pattern::format_pattern(&q, w.peg.graph.label_table());
+            let expected = match_triples(&direct.run(&q, alpha, &qopts).unwrap().matches);
+            (pattern, expected)
+        })
+        .collect();
+
+    // One concurrent sweep: N clients all start behind a barrier, each
+    // replays `exchanges` queries off the shared mix, asserting every
+    // reply ok and bit-identical. Returns (wall, sorted latencies).
+    let run_sweep = |addr: SocketAddr, clients: usize| -> (Duration, Vec<Duration>) {
+        let barrier = Barrier::new(clients);
+        let t0 = Instant::now();
+        let mut lat: Vec<Duration> = std::thread::scope(|scope| {
+            let (barrier, mix) = (&barrier, &mix);
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        barrier.wait();
+                        let mut out = Vec::with_capacity(exchanges);
+                        for k in 0..exchanges {
+                            let (pattern, expected) = &mix[(c + k) % mix.len()];
+                            let req = obj()
+                                .field("op", "query")
+                                .field("pattern", pattern.as_str())
+                                .field("alpha", alpha)
+                                .field("threads", 1usize)
+                                .build();
+                            let t = Instant::now();
+                            let reply = client.request(&req).unwrap();
+                            out.push(t.elapsed());
+                            assert_eq!(
+                                reply.get("ok"),
+                                Some(&Json::Bool(true)),
+                                "saturation query failed: {reply}"
+                            );
+                            assert_eq!(
+                                &reply_match_triples(&reply),
+                                expected,
+                                "saturation reply must be bit-identical"
+                            );
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed();
+        lat.sort_unstable();
+        (wall, lat)
+    };
+
+    let config_for = |mode: ServeMode| ServerConfig {
+        max_sessions: 4,
+        queue_depth: 4 * thread_cap,
+        deadline: Duration::from_secs(60),
+        max_connections: match mode {
+            ServeMode::Threads => thread_cap,
+            ServeMode::Epoll => 1024,
+        },
+        serve_mode: mode,
+        ..Default::default()
+    };
+    if !cfg!(target_os = "linux") {
+        println!("(epoll front end is linux-only; sweeping threads mode alone)");
+    }
+
+    // One long-lived server per front end, sharing the same graph copy —
+    // the sweep, the connection-ceiling burst, and the batch rows all run
+    // against these two.
+    let offline = w.index(max_len).clone();
+    let threads_server = {
+        let s = Server::bind("127.0.0.1:0", config_for(ServeMode::Threads)).unwrap();
+        s.insert_graph("sat", w.peg.clone(), offline.clone());
+        s.spawn()
+    };
+    let epoll_server = if cfg!(target_os = "linux") {
+        let s = Server::bind("127.0.0.1:0", config_for(ServeMode::Epoll)).unwrap();
+        s.insert_graph("sat", w.peg.clone(), offline.clone());
+        Some(s.spawn())
+    } else {
+        None
+    };
+
+    let mut t =
+        Table::new(&["front end", "clients", "queries", "wall", "qps", "p50", "p99", "max"]);
+    let mut json_sweep: Vec<Json> = Vec::new();
+    let sweeps: Vec<(&str, SocketAddr, &Vec<usize>)> = {
+        let mut v = vec![("threads", threads_server.addr, &sweep_threads)];
+        if let Some(h) = &epoll_server {
+            v.push(("epoll", h.addr, &sweep_epoll));
+        }
+        v
+    };
+    for &(mode_name, addr, sweep) in &sweeps {
+        for &clients in sweep {
+            let (wall, lat) = run_sweep(addr, clients);
+            let queries = clients * exchanges;
+            let qps = queries as f64 / wall.as_secs_f64().max(1e-9);
+            t.row(vec![
+                mode_name.into(),
+                clients.to_string(),
+                queries.to_string(),
+                fmt_duration(wall),
+                format!("{qps:.0}"),
+                fmt_duration(percentile(&lat, 50.0)),
+                fmt_duration(percentile(&lat, 99.0)),
+                fmt_duration(*lat.last().unwrap()),
+            ]);
+            json_sweep.push(
+                obj()
+                    .field("mode", mode_name)
+                    .field("clients", clients)
+                    .field("queries", queries)
+                    .field("wall_us", wall.as_micros() as u64)
+                    .field("qps", qps)
+                    .field("p50_us", percentile(&lat, 50.0).as_micros() as u64)
+                    .field("p99_us", percentile(&lat, 99.0).as_micros() as u64)
+                    .build(),
+            );
+        }
+    }
+    t.print();
+    println!("(every reply bit-exact vs the direct pipeline)");
+    println!();
+
+    // Connection ceiling: hold `burst` connections open at once and send
+    // one query on each. The thread front end sheds everything past its
+    // `max_connections` with a structured `overloaded` line; the epoll
+    // loop serves the whole burst through the same admission bounds.
+    let burst = 4 * thread_cap;
+    let hold_burst = |addr: SocketAddr, n: usize| -> (usize, usize) {
+        let start = Barrier::new(n);
+        let done = Barrier::new(n);
+        let outcomes: Vec<bool> = std::thread::scope(|scope| {
+            let (start, done, mix) = (&start, &done, &mix);
+            let handles: Vec<_> = (0..n)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).ok();
+                        start.wait();
+                        let ok = match client.as_mut() {
+                            Some(client) => {
+                                let (pattern, _) = &mix[c % mix.len()];
+                                let req = obj()
+                                    .field("op", "query")
+                                    .field("pattern", pattern.as_str())
+                                    .field("alpha", alpha)
+                                    .field("threads", 1usize)
+                                    .build();
+                                match client.request(&req) {
+                                    Ok(reply) => reply.get("ok") == Some(&Json::Bool(true)),
+                                    Err(_) => false,
+                                }
+                            }
+                            None => false,
+                        };
+                        // Hold the connection (borrowed, not consumed, by the
+                        // request above) until the whole burst has its reply:
+                        // a client that closed early would free its handler
+                        // slot and let the server admit past the cap.
+                        done.wait();
+                        drop(client);
+                        ok
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let served = outcomes.iter().filter(|&&ok| ok).count();
+        (served, n - served)
+    };
+
+    let mut json_ceiling = obj().field("burst", burst).field("threads_cap", thread_cap);
+    {
+        let (served, shed) = hold_burst(threads_server.addr, burst);
+        println!(
+            "connection ceiling, threads (cap {thread_cap}): burst {burst} -> \
+             {served} served, {shed} shed with structured overload"
+        );
+        assert!(
+            served <= thread_cap,
+            "thread front end must cap concurrent connections at {thread_cap}, served {served}"
+        );
+        json_ceiling = json_ceiling.field("threads_served", served);
+    }
+    if let Some(h) = &epoll_server {
+        let (served, shed) = hold_burst(h.addr, burst);
+        println!(
+            "connection ceiling, epoll (cap 1024): burst {burst} -> {served} served, {shed} shed"
+        );
+        assert_eq!(
+            served, burst,
+            "epoll front end must hold 4x the thread mode's concurrent connections"
+        );
+        json_ceiling = json_ceiling.field("epoll_served", served);
+    }
+    println!();
+
+    // Batching: the same mix shipped 1 (plain `query`), 8, and 32 per
+    // round trip. The per-query wire tax — one request line, one reply
+    // line, two syscalls each way — amortizes across the batch.
+    let mut client = Client::connect(threads_server.addr).unwrap();
+    let mut t = Table::new(&["batch", "round trips", "queries", "wall", "per query"]);
+    let mut json_batch: Vec<Json> = Vec::new();
+    for batch in [1usize, 8, 32] {
+        let t0 = Instant::now();
+        let mut queries = 0usize;
+        for round in 0..batch_rounds {
+            if batch == 1 {
+                let (pattern, expected) = &mix[round % mix.len()];
+                let req = obj()
+                    .field("op", "query")
+                    .field("pattern", pattern.as_str())
+                    .field("alpha", alpha)
+                    .field("threads", 1usize)
+                    .build();
+                let reply = client.request(&req).unwrap();
+                assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+                assert_eq!(&reply_match_triples(&reply), expected, "batch=1 bit-exact");
+                queries += 1;
+            } else {
+                let items: Vec<Json> = (0..batch)
+                    .map(|k| {
+                        let (pattern, _) = &mix[(round + k) % mix.len()];
+                        obj().field("pattern", pattern.as_str()).field("alpha", alpha).build()
+                    })
+                    .collect();
+                let req = obj()
+                    .field("op", "query_batch")
+                    .field("queries", Json::Arr(items))
+                    .field("threads", 1usize)
+                    .build();
+                let reply = client.request(&req).unwrap();
+                assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+                let results = reply.get("results").and_then(Json::as_arr).unwrap();
+                assert_eq!(results.len(), batch, "{reply}");
+                for (k, item) in results.iter().enumerate() {
+                    let (_, expected) = &mix[(round + k) % mix.len()];
+                    assert_eq!(
+                        &reply_match_triples(item),
+                        expected,
+                        "batch={batch} item {k} bit-exact"
+                    );
+                }
+                queries += batch;
+            }
+        }
+        let wall = t0.elapsed();
+        let per_query = wall / queries.max(1) as u32;
+        t.row(vec![
+            batch.to_string(),
+            batch_rounds.to_string(),
+            queries.to_string(),
+            fmt_duration(wall),
+            fmt_duration(per_query),
+        ]);
+        json_batch.push(
+            obj()
+                .field("batch", batch)
+                .field("queries", queries)
+                .field("wall_us", wall.as_micros() as u64)
+                .field("per_query_us", per_query.as_micros() as u64)
+                .build(),
+        );
+    }
+    // Handler threads block on their connection reads; drop the client
+    // before joining the thread front end.
+    drop(client);
+    threads_server.shutdown().unwrap();
+    if let Some(h) = epoll_server {
+        h.shutdown().unwrap();
+    }
+    t.print();
+    println!("(every batched result bit-exact vs the direct pipeline)");
+    println!();
+
+    // Distributed overlap: coordinator + 2 loopback shard workers, graph
+    // loaded over the wire. 4 concurrent sessions share the multiplexed
+    // worker connections, so their scatters interleave in flight instead
+    // of queueing behind a per-worker exchange lock.
+    let workers: Vec<_> = (0..2)
+        .map(|_| Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().spawn())
+        .collect();
+    let worker_addrs: Vec<Json> = workers.iter().map(|h| Json::Str(h.addr.to_string())).collect();
+    let coord = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 4,
+            queue_depth: 16,
+            deadline: Duration::from_secs(60),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let mut admin = Client::connect(coord.addr).unwrap();
+    let reply = admin
+        .request(
+            &obj()
+                .field("op", "load_graph")
+                .field("name", "dist")
+                .field("kind", "synthetic")
+                .field("size", size)
+                .field("seed", 42u64)
+                .field("uncertainty", uncertainty)
+                .field("max_len", max_len)
+                .field("beta", beta)
+                .field("workers", Json::Arr(worker_addrs))
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "distributed load failed: {reply}");
+
+    let dist_exchanges = mix.len() * 2;
+    let run_session = |client: &mut Client| -> Vec<Duration> {
+        let mut out = Vec::with_capacity(dist_exchanges);
+        for k in 0..dist_exchanges {
+            let (pattern, expected) = &mix[k % mix.len()];
+            let req = obj()
+                .field("op", "query")
+                .field("graph", "dist")
+                .field("pattern", pattern.as_str())
+                .field("alpha", alpha)
+                .field("threads", 1usize)
+                .build();
+            let t = Instant::now();
+            let reply = client.request(&req).unwrap();
+            out.push(t.elapsed());
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+            assert_eq!(&reply_match_triples(&reply), expected, "distributed bit-exact");
+        }
+        out
+    };
+    let single: Vec<Duration> = run_session(&mut Client::connect(coord.addr).unwrap());
+    let avg =
+        |lat: &[Duration]| -> Duration { lat.iter().sum::<Duration>() / lat.len().max(1) as u32 };
+    let avg_single = avg(&single);
+    let coord_addr = coord.addr;
+    let concurrent: Vec<Duration> = std::thread::scope(|scope| {
+        let run_session = &run_session;
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(move || run_session(&mut Client::connect(coord_addr).unwrap())))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let avg_concurrent = avg(&concurrent);
+    let ratio = avg_concurrent.as_secs_f64() / avg_single.as_secs_f64().max(1e-9);
+    println!(
+        "distributed (2 workers): single-session avg {}, 4-session avg {} ({ratio:.2}x)",
+        fmt_duration(avg_single),
+        fmt_duration(avg_concurrent),
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 4 {
+        assert!(
+            ratio < 2.0,
+            "multiplexed scatters must overlap: 4 concurrent sessions ran at {ratio:.2}x \
+             single-session latency"
+        );
+    } else {
+        println!("({cores} core(s): compute serializes, the <2x overlap bound is not enforced)");
+    }
+
+    // One distributed query_batch round trip — prefetched scatters feed
+    // the per-item sessions, every item still bit-exact.
+    let items: Vec<Json> = mix
+        .iter()
+        .map(|(pattern, _)| obj().field("pattern", pattern.as_str()).field("alpha", alpha).build())
+        .collect();
+    let reply = admin
+        .request(
+            &obj()
+                .field("op", "query_batch")
+                .field("graph", "dist")
+                .field("queries", Json::Arr(items))
+                .field("threads", 1usize)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    let results = reply.get("results").and_then(Json::as_arr).unwrap();
+    for (k, item) in results.iter().enumerate() {
+        assert_eq!(&reply_match_triples(item), &mix[k].1, "distributed batch item {k}");
+    }
+    println!("distributed query_batch: {} queries in one round trip, all bit-exact", mix.len());
+    // Unloading drops the coordinator's worker transport (closing the
+    // multiplexed connections), so the workers' handler threads see EOF
+    // and their accept loops can join cleanly.
+    let reply =
+        admin.request(&obj().field("op", "unload_graph").field("graph", "dist").build()).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    drop(admin);
+    coord.shutdown().unwrap();
+    for h in workers {
+        let _ = h.shutdown();
+    }
+    println!();
+
+    let report = obj()
+        .field("experiment", "saturation")
+        .field("scale", format!("{scale:?}").to_lowercase())
+        .field("graph_size", size)
+        .field("sweep", Json::Arr(json_sweep))
+        .field("connection_ceiling", json_ceiling.build())
+        .field("batching", Json::Arr(json_batch))
+        .field(
+            "distributed",
+            obj()
+                .field("workers", 2usize)
+                .field("single_session_avg_us", avg_single.as_micros() as u64)
+                .field("concurrent4_avg_us", avg_concurrent.as_micros() as u64)
+                .field("overlap_ratio", ratio)
+                .field("cores", cores)
+                .build(),
+        )
+        .build();
+    std::fs::write("BENCH_saturation.json", format!("{report}\n")).expect("write BENCH json");
+    println!("(wrote BENCH_saturation.json)");
     println!();
 }
 

@@ -68,6 +68,15 @@ impl PreparedQuery {
         &self.order
     }
 
+    /// Per-path statistics, aligned with the decomposition's paths. A
+    /// session's retrieval passes exactly these to its
+    /// [`CandidateSource`](crate::online::CandidateSource), which is what
+    /// lets a batched caller prefetch candidates for a prepared plan ahead
+    /// of execution with the precise arguments the session will use.
+    pub fn path_stats(&self) -> &[PathStats] {
+        &self.pstats
+    }
+
     /// Canonical shape fingerprint (present when planned through a cache).
     pub fn shape_hash(&self) -> Option<u64> {
         self.shape_hash

@@ -57,7 +57,15 @@ impl Client {
     /// Sends a raw line and returns the raw reply line (no JSON handling);
     /// the scripting path `pegcli client` uses.
     pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{line}")?;
+        // One framed write per request: `writeln!` straight into an
+        // unbuffered TcpStream would issue a write syscall per format
+        // fragment, and a request split across segments invites the
+        // Nagle + delayed-ACK stall the no-Nagle socket contract exists
+        // to avoid.
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
         self.writer.flush()?;
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;

@@ -9,11 +9,17 @@
 //! common case for multi-user traffic) pay planning once per shape instead
 //! of once per query. This crate supplies the process around that seam:
 //!
-//! * [`server`] — `std::net` TCP, thread-per-connection, line-delimited
-//!   JSON protocol (`load_graph`, `prepare`, `query`, `query_topk`,
-//!   `stats`, `shutdown`). No async runtime: the registry is unreachable,
-//!   so tokio is out of reach, and blocking threads over the persistent
-//!   `pegpool` compute pool are all the online phase needs.
+//! * [`server`] — `std::net` TCP, line-delimited JSON protocol
+//!   (`load_graph`, `prepare`, `query`, `query_batch`, `query_topk`,
+//!   `stats`, `shutdown`) behind two interchangeable front ends: classic
+//!   thread-per-connection, or the [`reactor`] epoll readiness loop for
+//!   connection counts far past what per-connection thread stacks allow.
+//!   No async runtime: the registry is unreachable, so tokio is out of
+//!   reach, and blocking threads over the persistent `pegpool` compute
+//!   pool are all the online phase needs.
+//! * [`reactor`] — the hand-rolled epoll front end (Linux only): one
+//!   event loop owns every socket, query execution runs on a fixed
+//!   executor pool, replies are identical to thread mode byte for byte.
 //! * [`admission`] — the query-admission semaphore: bounded concurrent
 //!   sessions, bounded wait queue, per-request deadline, structured
 //!   `overloaded` / `timeout` rejections so overload degrades predictably
@@ -29,6 +35,8 @@
 
 pub mod admission;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 
 /// The protocol's JSON value, re-exported from [`pegwire`] (it moved
@@ -39,4 +47,6 @@ pub use pegwire::json;
 pub use admission::{AdmissionStats, AdmitError};
 pub use client::{Client, ClientError};
 pub use json::{obj, Json};
-pub use server::{GraphEntry, GraphSpec, GraphStore, Server, ServerConfig, ServerHandle};
+pub use server::{
+    GraphEntry, GraphSpec, GraphStore, ServeMode, Server, ServerConfig, ServerHandle,
+};

@@ -23,12 +23,35 @@
 //! | `unload_graph`   | `graph` (required; `not_found` for unknown names)                 |
 //! | `prepare`        | `graph?`, `pattern`, `alpha?`                                     |
 //! | `query`          | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
+//! | `query_batch`    | `graph?`, `queries` (array of `{pattern, alpha?, limit?}`), `threads?` |
 //! | `query_topk`     | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
 //! | `stats`          | —                                                                 |
 //! | `shutdown`       | —                                                                 |
 //! | `shard_load`     | `graph?`, generator spec (`kind`/`size`/`seed?`/`uncertainty?`/`max_len?`/`beta?`), `shard`, `n_shards` |
 //! | `shard_retrieve` | `graph`, `alpha`, `labels`, `edges`, `paths`, `threads?`          |
+//! | `shard_retrieve_batch` | `graph`, `queries` (array of retrieve bodies), `threads?`   |
 //! | `shard_unload`   | `graph`                                                           |
+//!
+//! # Request ids and in-flight concurrency
+//!
+//! Any request may carry a `u64` `"id"` field; the reply echoes it
+//! verbatim. An id opts the request into **out-of-order** completion on
+//! its connection: the thread-per-connection handler dispatches id'd
+//! requests on their own threads (bounded per connection) and writes each
+//! reply as it finishes, so a multiplexing client
+//! ([`pegwire::MuxConn`] — notably the coordinator's shard transport)
+//! overlaps many exchanges on one socket. Requests without an id keep
+//! strict FIFO request/reply order. The epoll front end (see
+//! [`ServeMode`]) processes each connection serially — ids are still
+//! echoed, but replies stay in order; its concurrency is across
+//! connections, which is the axis an event loop scales.
+//!
+//! `query_batch` ships many threshold queries in one line and one reply —
+//! amortizing the per-exchange wire tax — and executes them under **one**
+//! admission permit, prefetching all their candidate scatters in a single
+//! batched round trip per shard worker when the graph is distributed.
+//! Every per-query result is bit-identical to the same `query` sent
+//! alone.
 //!
 //! `graph` may be omitted when exactly one graph is loaded. `load_graph`
 //! with `shards > 1` builds a [`pegshard::ShardedGraphStore`] behind the
@@ -81,6 +104,35 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Which connection front end [`Server::serve`] runs.
+///
+/// Both modes speak the identical protocol and produce byte-identical
+/// replies; they differ in how connections map to OS resources.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One OS thread per live connection (the default). Simple, and id'd
+    /// requests overlap within a connection — but each idle connection
+    /// pins a thread stack, so `max_connections` stays small.
+    #[default]
+    Threads,
+    /// A single epoll readiness loop owns every socket; query execution
+    /// is dispatched to a fixed worker pool so the loop never blocks.
+    /// Idle connections cost one registered fd, letting `max_connections`
+    /// scale far past the thread mode's ceiling. Linux only.
+    Epoll,
+}
+
+impl std::str::FromStr for ServeMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "threads" => Ok(ServeMode::Threads),
+            "epoll" => Ok(ServeMode::Epoll),
+            other => Err(format!("unknown serve mode {other:?} (threads|epoll)")),
+        }
+    }
+}
+
 /// Server knobs. Admission bounds apply to `query` / `query_topk` /
 /// `prepare` / `load_graph` — the ops that occupy compute.
 #[derive(Clone, Debug)]
@@ -102,6 +154,8 @@ pub struct ServerConfig {
     /// session permits doing zero work; requests carrying the field are
     /// rejected with `bad_request` unless this is set.
     pub allow_debug_sleep: bool,
+    /// Connection front end (see [`ServeMode`]).
+    pub serve_mode: ServeMode,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +166,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(5),
             max_connections: 256,
             allow_debug_sleep: false,
+            serve_mode: ServeMode::default(),
         }
     }
 }
@@ -169,7 +224,7 @@ pub struct GraphEntry {
     pub plans: Arc<PlanCache>,
 }
 
-struct ServerState {
+pub(crate) struct ServerState {
     graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
     /// Shard-worker state: one shard per graph name, loaded by a
     /// coordinator's `shard_load`. Any server can act as a worker — the
@@ -178,16 +233,22 @@ struct ServerState {
     worker_shards: Mutex<HashMap<String, Arc<WorkerShard>>>,
     admission: Admission,
     allow_debug_sleep: bool,
-    max_connections: usize,
-    shutdown: AtomicBool,
+    pub(crate) max_connections: usize,
+    pub(crate) shutdown: AtomicBool,
     queries_served: AtomicU64,
     addr: SocketAddr,
+    /// Worker threads the epoll front end dispatches requests to — sized
+    /// so admission (not the executor) is what queues compute: every
+    /// session slot plus the full admission queue can be mid-request at
+    /// once, with a little slack for cheap control ops.
+    pub(crate) executor_threads: usize,
 }
 
 /// A bound (not yet serving) query server.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    mode: ServeMode,
 }
 
 /// Handle to a server running on a background thread.
@@ -227,8 +288,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queries_served: AtomicU64::new(0),
             addr,
+            executor_threads: config.max_sessions + config.queue_depth + 2,
         });
-        Ok(Server { listener, state })
+        Ok(Server { listener, state, mode: config.serve_mode })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -248,10 +310,24 @@ impl Server {
         insert_store(&self.state, name, GraphStore::Sharded(store));
     }
 
-    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`]).
-    /// Connections are handled thread-per-connection; the accept loop
-    /// reaps finished handlers and joins the rest before returning.
+    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`]),
+    /// on the front end picked by [`ServerConfig::serve_mode`].
     pub fn serve(self) -> std::io::Result<()> {
+        match self.mode {
+            ServeMode::Threads => self.serve_threads(),
+            #[cfg(target_os = "linux")]
+            ServeMode::Epoll => crate::reactor::serve_epoll(self.listener, self.state),
+            #[cfg(not(target_os = "linux"))]
+            ServeMode::Epoll => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "epoll serve mode is linux-only; use ServeMode::Threads",
+            )),
+        }
+    }
+
+    /// Thread-per-connection front end: the accept loop reaps finished
+    /// handlers and joins the rest before returning.
+    fn serve_threads(self) -> std::io::Result<()> {
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for incoming in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
@@ -273,9 +349,11 @@ impl Server {
                 // bound, reply structured overload and close rather than
                 // letting idle connections grow those resources unbounded.
                 let mut stream = stream;
+                let _ = stream.set_nodelay(true);
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let reply = error_reply("overloaded", "connection limit reached").0;
-                let _ = writeln!(stream, "{reply}");
+                let mut text = error_reply("overloaded", "connection limit reached").0.to_string();
+                text.push('\n');
+                let _ = stream.write_all(text.as_bytes()).and_then(|_| stream.flush());
                 continue;
             }
             handlers.push(std::thread::spawn(move || handle_connection(stream, &state)));
@@ -317,7 +395,24 @@ fn error_reply(code: &str, message: impl std::fmt::Display) -> Reply {
 /// without bound by streaming bytes that never contain a newline.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
-fn handle_connection(stream: TcpStream, state: &ServerState) {
+/// In-flight id'd requests one connection may overlap (thread front
+/// end). At the cap the handler joins the oldest before reading on —
+/// backpressure, not rejection: a multiplexing client this deep is
+/// better slowed than disconnected.
+const MAX_INFLIGHT_PER_CONN: usize = 64;
+
+/// One framed reply write: the whole line (newline included) leaves in a
+/// single `write_all` + flush under the lock. Overlapped id'd requests
+/// interleave replies on one socket *as lines*, never as bytes — and a
+/// single syscall per reply is also the no-Nagle latency contract.
+fn write_reply(writer: &Mutex<TcpStream>, reply: &Json) -> bool {
+    let mut text = reply.to_string();
+    text.push('\n');
+    let mut w = writer.lock().unwrap();
+    w.write_all(text.as_bytes()).and_then(|_| w.flush()).is_ok()
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     // One reply per request line is the worst case for Nagle + delayed
     // ACK (a ~40ms stall per exchange on loopback, measured via the
     // shard-transport ablation): replies must leave the socket
@@ -329,10 +424,14 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     // handler thread (and thereby the shutdown join) forever.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let mut writer = match stream.try_clone() {
+    let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    let writer = Arc::new(Mutex::new(writer));
+    // Dispatch threads for id'd (out-of-order-eligible) requests; joined
+    // before the handler returns so no reply outlives its connection.
+    let mut inflight: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut reader = BufReader::new(stream);
     // Byte-level framing (not `read_line`): a read timeout firing inside a
     // multi-byte UTF-8 character must not drop the partial bytes, and a
@@ -341,7 +440,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     let mut buf: Vec<u8> = Vec::new();
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         let mut eof = false;
         // The cap must bound each read, not just be checked afterwards: an
@@ -363,14 +462,13 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 // Partial line: keep accumulating.
                 continue;
             }
-            Err(_) => return,
+            Err(_) => break,
         }
         if buf.len() > MAX_LINE_BYTES {
             // Over the cap (the allowance ran out before a newline): the
             // stream cannot be resynchronized, so reply and close.
-            let reply = error_reply("bad_request", "request line too long").0;
-            let _ = writeln!(writer, "{reply}");
-            return;
+            let _ = write_reply(&writer, &error_reply("bad_request", "request line too long").0);
+            break;
         }
         if !buf.ends_with(b"\n") && !eof {
             // The `Take` hit EOF-of-allowance exactly at the cap boundary
@@ -380,43 +478,102 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         }
         let line = String::from_utf8_lossy(&buf);
         if !line.trim().is_empty() {
-            // Serialize the whole reply before touching the socket:
-            // formatting straight into an unbuffered TcpStream would
-            // issue one write syscall per JSON fragment (thousands per
-            // large reply — measured as the dominant cost of big
-            // shard_retrieve replies).
-            let mut text = dispatch(state, line.trim()).to_string();
-            text.push('\n');
-            if writer.write_all(text.as_bytes()).and_then(|_| writer.flush()).is_err() {
-                return;
+            match parse_request(line.trim()) {
+                Ok((req, Some(id))) => {
+                    // An id opts the request into out-of-order completion:
+                    // dispatch on its own thread, reply written whenever it
+                    // finishes. Admission still bounds the *compute* these
+                    // threads can occupy; this cap only bounds the threads
+                    // one connection can pin.
+                    inflight.retain(|h| !h.is_finished());
+                    if inflight.len() >= MAX_INFLIGHT_PER_CONN {
+                        let _ = inflight.remove(0).join();
+                    }
+                    let st = Arc::clone(state);
+                    let wr = Arc::clone(&writer);
+                    inflight.push(std::thread::spawn(move || {
+                        let reply = attach_id(dispatch_parsed(&st, &req), Some(id));
+                        let _ = write_reply(&wr, &reply);
+                    }));
+                }
+                Ok((req, None)) => {
+                    // No id: strict FIFO request/reply order, in line with
+                    // pre-id clients.
+                    if !write_reply(&writer, &dispatch_parsed(state, &req)) {
+                        break;
+                    }
+                }
+                Err(Reply(reply)) => {
+                    if !write_reply(&writer, &reply) {
+                        break;
+                    }
+                }
             }
         }
         buf.clear();
         if eof {
-            return;
+            break;
         }
+    }
+    for h in inflight {
+        let _ = h.join();
     }
 }
 
-fn dispatch(state: &ServerState, line: &str) -> Json {
-    let req = match Json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return error_reply("bad_request", format!("malformed JSON: {e}")).0,
+/// Parses one request line and extracts its optional `"id"`. A present
+/// but non-u64 id is rejected *without* an echo — there is no
+/// trustworthy id to route the error back by.
+fn parse_request(line: &str) -> Result<(Json, Option<u64>), Reply> {
+    let req = Json::parse(line)
+        .map_err(|e| error_reply("bad_request", format!("malformed JSON: {e}")))?;
+    let id = match req.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            error_reply("bad_request", "\"id\" must be an unsigned integer below 2^53")
+        })?),
     };
+    Ok((req, id))
+}
+
+/// Echoes the request id onto a reply — success and error replies alike,
+/// because a multiplexing client routes *every* reply by its id.
+fn attach_id(reply: Json, id: Option<u64>) -> Json {
+    match (reply, id) {
+        (Json::Obj(mut fields), Some(id)) => {
+            fields.push(("id".to_string(), Json::Num(id as f64)));
+            Json::Obj(fields)
+        }
+        (reply, _) => reply,
+    }
+}
+
+/// Full request handling for one line: parse, route, echo the id. The
+/// single entry point shared by the epoll front end (which frames lines
+/// itself) and any serial caller.
+pub(crate) fn dispatch(state: &ServerState, line: &str) -> Json {
+    match parse_request(line) {
+        Ok((req, id)) => attach_id(dispatch_parsed(state, &req), id),
+        Err(Reply(reply)) => reply,
+    }
+}
+
+fn dispatch_parsed(state: &ServerState, req: &Json) -> Json {
     let Some(op) = req.get("op").and_then(Json::as_str) else {
         return error_reply("bad_request", "missing \"op\"").0;
     };
     let result = match op {
         "ping" => Ok(obj().field("ok", true).field("pong", true).build()),
-        "load_graph" => op_load_graph(state, &req),
-        "unload_graph" => op_unload_graph(state, &req),
-        "prepare" => op_prepare(state, &req),
-        "query" => op_query(state, &req, false),
-        "query_topk" => op_query(state, &req, true),
+        "load_graph" => op_load_graph(state, req),
+        "unload_graph" => op_unload_graph(state, req),
+        "prepare" => op_prepare(state, req),
+        "query" => op_query(state, req, false),
+        "query_batch" => op_query_batch(state, req),
+        "query_topk" => op_query(state, req, true),
         "stats" => Ok(op_stats(state)),
-        shard_wire::OP_SHARD_LOAD => op_shard_load(state, &req),
-        shard_wire::OP_SHARD_RETRIEVE => op_shard_retrieve(state, &req),
-        shard_wire::OP_SHARD_UNLOAD => op_shard_unload(state, &req),
+        shard_wire::OP_SHARD_LOAD => op_shard_load(state, req),
+        shard_wire::OP_SHARD_RETRIEVE => op_shard_retrieve(state, req),
+        shard_wire::OP_SHARD_RETRIEVE_BATCH => op_shard_retrieve_batch(state, req),
+        shard_wire::OP_SHARD_UNLOAD => op_shard_unload(state, req),
         "shutdown" => {
             request_shutdown(state);
             Ok(obj().field("ok", true).field("shutdown", true).build())
@@ -833,6 +990,39 @@ fn op_shard_retrieve(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     Ok(shard_wire::encode_retrieve_reply(&reply))
 }
 
+/// Worker side of a batched scatter: decode `queries`, run each through
+/// the shared per-path retrieval unit, encode every reply into one line.
+/// One admission permit covers the whole batch — it is one exchange on
+/// the wire, and splitting permits across items would let a batch
+/// deadlock against the admission queue it already holds a slot in.
+fn op_shard_retrieve_batch(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let name = req
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
+    let ws = state
+        .worker_shards
+        .lock()
+        .unwrap()
+        .get(name)
+        .cloned()
+        .ok_or_else(|| error_reply("unknown_graph", format!("no shard loaded for '{name}'")))?;
+    let items = shard_wire::decode_retrieve_batch_request(req)
+        .map_err(|e| error_reply("bad_request", format!("bad shard_retrieve_batch: {e}")))?;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = match field_usize(req, "threads", 0)? {
+        0 => 0,
+        t => t.min(cores),
+    };
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let pool = pegpool::pool_with(threads);
+    let mut replies = Vec::with_capacity(items.len());
+    for (query, paths, alpha) in &items {
+        replies.push(ws.retrieve(query, paths, *alpha, &pool).map_err(peg_error_reply)?);
+    }
+    Ok(shard_wire::encode_retrieve_batch_reply(&replies))
+}
+
 /// Drops a worker's shard state for a graph (sent by the coordinator's
 /// `unload_graph`).
 fn op_shard_unload(state: &ServerState, req: &Json) -> Result<Json, Reply> {
@@ -992,26 +1182,132 @@ fn op_query(state: &ServerState, req: &Json, topk: bool) -> Result<Json, Reply> 
     drop(permit);
     state.queries_served.fetch_add(1, Ordering::Relaxed);
 
-    let matches: Vec<Json> = result
-        .matches
-        .iter()
-        .map(|m| {
-            obj()
-                .field("nodes", Json::Arr(m.nodes.iter().map(|e| Json::Num(e.0 as f64)).collect()))
-                .field("prle", m.prle)
-                .field("prn", m.prn)
-                .field("prob", m.prob())
-                .build()
-        })
-        .collect();
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
-        .field("n", matches.len())
+        .field("n", result.matches.len())
         .field("truncated", result.truncated)
         .field_opt("plan_from_cache", from_cache)
         .field("elapsed_us", elapsed.as_micros() as u64)
-        .field("matches", Json::Arr(matches))
+        .field("matches", matches_json(&result))
+        .build())
+}
+
+/// Encodes a result's match list: `{"nodes":[...],"prle":..,"prn":..,
+/// "prob":..}` per match, f64s bit-exact on the JSON round trip.
+fn matches_json(result: &QueryResult) -> Json {
+    Json::Arr(
+        result
+            .matches
+            .iter()
+            .map(|m| {
+                obj()
+                    .field(
+                        "nodes",
+                        Json::Arr(m.nodes.iter().map(|e| Json::Num(e.0 as f64)).collect()),
+                    )
+                    .field("prle", m.prle)
+                    .field("prn", m.prn)
+                    .field("prob", m.prob())
+                    .build()
+            })
+            .collect(),
+    )
+}
+
+/// Queries one `query_batch` may carry, tops. A batch runs under a
+/// single admission permit, so the cap bounds the compute one permit can
+/// occupy — and, with [`MAX_RESULT_MATCHES`] per item, the reply line.
+pub const MAX_QUERY_BATCH: usize = 32;
+
+/// Rewraps a per-item validation error with the item's index, keeping
+/// the structured code.
+fn item_reply(Reply(r): Reply, i: usize) -> Reply {
+    let code = r.get("error").and_then(Json::as_str).unwrap_or("bad_request").to_string();
+    let msg = r.get("message").and_then(Json::as_str).unwrap_or("invalid").to_string();
+    error_reply(&code, format!("queries[{i}]: {msg}"))
+}
+
+/// `query_batch`: many threshold queries in one line and one reply,
+/// amortizing the per-exchange wire tax the transport ablation measured.
+/// Every item is validated *before* the single admission permit is
+/// taken; execution shares the graph's plan cache and the per-request
+/// session flow, so each per-item result is bit-identical to the same
+/// `query` sent alone. On a distributed graph, every item's candidate
+/// scatter is prefetched in one `shard_retrieve_batch` round trip per
+/// worker before the sessions run (best-effort: a missed prefetch just
+/// falls back to a live scatter). Failure is whole-batch: results are
+/// not useful if their siblings silently vanished.
+fn op_query_batch(state: &ServerState, req: &Json) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, req)?;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = field_usize(req, "threads", 1)?.min(cores);
+    let opts = QueryOptions { threads, ..Default::default() };
+    let items = req
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| error_reply("bad_request", "missing \"queries\" array"))?;
+    if items.is_empty() || items.len() > MAX_QUERY_BATCH {
+        return Err(error_reply(
+            "bad_request",
+            format!("\"queries\" must carry 1..={MAX_QUERY_BATCH} items"),
+        ));
+    }
+    let mut parsed = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let query = parse_request_query(&entry, item).map_err(|r| item_reply(r, i))?;
+        let alpha = field_f64(item, "alpha", 0.5).map_err(|r| item_reply(r, i))?;
+        let limit = match item.get("limit") {
+            None | Some(Json::Null) => MAX_RESULT_MATCHES,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| {
+                    item_reply(
+                        error_reply("bad_request", "\"limit\" must be a non-negative integer"),
+                        i,
+                    )
+                })?
+                .min(MAX_RESULT_MATCHES),
+        };
+        parsed.push((query, alpha, limit));
+    }
+    let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
+    let t0 = Instant::now();
+    let mut prepared = Vec::with_capacity(parsed.len());
+    for (query, alpha, _) in &parsed {
+        prepared.push(pipe.prepare(query, *alpha, &opts).map_err(peg_error_reply)?);
+    }
+    if let GraphStore::Sharded(store) = &entry.store {
+        let batch: Vec<(&pegmatch::online::PreparedQuery, f64)> =
+            prepared.iter().zip(&parsed).map(|(p, (_, alpha, _))| (p, *alpha)).collect();
+        let pool = pegpool::pool_with(threads);
+        store.prefetch(&batch, &pool);
+    }
+    let mut results = Vec::with_capacity(parsed.len());
+    for (p, (_, alpha, limit)) in prepared.iter().zip(&parsed) {
+        let t_item = Instant::now();
+        let mut session = pipe.session(p, &opts);
+        let res = session.run_at(*alpha, Some(*limit)).map_err(peg_error_reply)?;
+        results.push(
+            obj()
+                .field("n", res.matches.len())
+                .field("truncated", res.truncated)
+                .field("plan_from_cache", p.from_cache())
+                .field("elapsed_us", t_item.elapsed().as_micros() as u64)
+                .field("matches", matches_json(&res))
+                .build(),
+        );
+    }
+    let elapsed = t0.elapsed();
+    drop(permit);
+    state.queries_served.fetch_add(parsed.len() as u64, Ordering::Relaxed);
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", entry.name.as_str())
+        .field("n", results.len())
+        .field("elapsed_us", elapsed.as_micros() as u64)
+        .field("results", Json::Arr(results))
         .build())
 }
 
@@ -1429,6 +1725,219 @@ mod tests {
             )
             .unwrap();
         assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn request_ids_echo_on_success_and_error() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        // Success replies echo the id verbatim.
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3,"id":7}"#)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(7), "{reply}");
+        // Error replies echo it too — a multiplexing client must be able
+        // to route failures to the caller that owns them.
+        let reply = client.request(&Json::parse(r#"{"op":"warp","id":8}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(8), "{reply}");
+        // A non-integer id cannot be trusted as routing state: structured
+        // rejection *without* an echo.
+        for bad in
+            [r#"{"op":"ping","id":1.5}"#, r#"{"op":"ping","id":-3}"#, r#"{"op":"ping","id":"x"}"#]
+        {
+            let reply = client.request(&Json::parse(bad).unwrap()).unwrap();
+            assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+            assert!(reply.get("id").is_none(), "{bad}: {reply}");
+        }
+        // A request without an id gets a reply without one.
+        let reply = client.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert!(reply.get("id").is_none(), "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn id_requests_overlap_out_of_order_within_a_connection() {
+        let (handle, client) =
+            tiny_server(ServerConfig { allow_debug_sleep: true, ..Default::default() });
+        drop(client);
+        // Raw socket: pipeline a slow id'd query and a fast id'd ping in
+        // one write. The fast reply overtakes the slow one — id'd
+        // requests run concurrently within a connection.
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .write_all(
+                concat!(
+                    r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3,"debug_sleep_ms":400,"id":1}"#,
+                    "\n",
+                    r#"{"op":"ping","id":2}"#,
+                    "\n",
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        stream.flush().unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut read_id = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            Json::parse(line.trim()).unwrap().get("id").and_then(Json::as_u64).unwrap()
+        };
+        assert_eq!(read_id(), 2, "the fast id'd request must not queue behind the slow one");
+        assert_eq!(read_id(), 1);
+        // Un-id'd requests afterwards still run strictly FIFO.
+        stream.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let reply = Json::parse(line.trim()).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert!(reply.get("id").is_none(), "{reply}");
+        drop(reader);
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn query_batch_matches_individual_queries_bit_exactly() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let patterns = ["(x:l0)-(y:l1)", "(a:l1)-(b:l0)", "(x:l0)-(y:l1)-(z:l0)"];
+        let individual: Vec<Json> = patterns
+            .iter()
+            .map(|p| {
+                let reply = client
+                    .request(
+                        &obj()
+                            .field("op", "query")
+                            .field("pattern", *p)
+                            .field("alpha", 0.3)
+                            .build(),
+                    )
+                    .unwrap();
+                assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+                reply.get("matches").unwrap().clone()
+            })
+            .collect();
+        let items: Vec<Json> = patterns
+            .iter()
+            .map(|p| obj().field("pattern", *p).field("alpha", 0.3).build())
+            .collect();
+        let reply = client
+            .request(&obj().field("op", "query_batch").field("queries", Json::Arr(items)).build())
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("n").and_then(Json::as_usize), Some(patterns.len()), "{reply}");
+        let results = reply.get("results").unwrap().as_arr().unwrap();
+        for (i, want) in individual.iter().enumerate() {
+            assert_eq!(
+                results[i].get("matches"),
+                Some(want),
+                "batch item {i} must match the lone query bit for bit"
+            );
+        }
+        // Admission charges the batch once but the query counter sees
+        // every item.
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert_eq!(stats.get("queries_served").unwrap().as_u64(), Some(6), "{stats}");
+        assert_eq!(
+            stats.get("admission").unwrap().get("admitted").unwrap().as_u64(),
+            Some(4),
+            "{stats}"
+        );
+
+        // A bad item fails the whole batch, naming the offender.
+        let items = vec![
+            obj().field("pattern", "(x:l0)").build(),
+            obj().field("pattern", "(x:nosuch)").build(),
+        ];
+        let reply = client
+            .request(&obj().field("op", "query_batch").field("queries", Json::Arr(items)).build())
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        assert!(
+            reply.get("message").and_then(Json::as_str).unwrap().contains("queries[1]"),
+            "{reply}"
+        );
+        // Size bounds: empty and past MAX_QUERY_BATCH are both refused.
+        for n in [0usize, MAX_QUERY_BATCH + 1] {
+            let items: Vec<Json> =
+                (0..n).map(|_| obj().field("pattern", "(x:l0)").build()).collect();
+            let reply = client
+                .request(
+                    &obj().field("op", "query_batch").field("queries", Json::Arr(items)).build(),
+                )
+                .unwrap();
+            assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        }
+        handle.shutdown().unwrap();
+    }
+
+    /// The epoll front end speaks the identical protocol (Linux only).
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_front_end_round_trips_the_protocol() {
+        let (handle, mut client) =
+            tiny_server(ServerConfig { serve_mode: ServeMode::Epoll, ..Default::default() });
+        let pong = client.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        let reply = client
+            .request(
+                &Json::parse(r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3,"id":11}"#)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(11), "{reply}");
+        let n = reply.get("n").unwrap().as_usize().unwrap();
+        assert_eq!(reply.get("matches").unwrap().as_arr().unwrap().len(), n);
+        // Structured protocol errors, same as thread mode.
+        let bad = client.request_line("this is not json").unwrap();
+        assert!(bad.contains("\"error\":\"bad_request\""), "{bad}");
+        let reply = client
+            .request(&Json::parse(r#"{"op":"query","graph":"nope","pattern":"(x:l0)"}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("unknown_graph"), "{reply}");
+        // Pipelined requests come back in order (the loop reads one
+        // request per connection at a time; the socket buffers the rest).
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        stream.write_all(b"{\"op\":\"ping\",\"id\":1}\n{\"op\":\"ping\",\"id\":2}\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        for want in [1u64, 2] {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let reply = Json::parse(line.trim()).unwrap();
+            assert_eq!(reply.get("id").and_then(Json::as_u64), Some(want), "{reply}");
+        }
+        drop(reader);
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    /// The epoll front end sheds connections past `max_connections` with
+    /// a structured reply, like thread mode.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_connection_limit_rejects_with_structured_reply() {
+        let (handle, client) = tiny_server(ServerConfig {
+            serve_mode: ServeMode::Epoll,
+            max_connections: 1,
+            ..Default::default()
+        });
+        // `client` holds the one slot; the next connection is refused
+        // with an `overloaded` line and closed.
+        let mut second = Client::connect(handle.addr).unwrap();
+        let line = second.request_line(r#"{"op":"ping"}"#);
+        match line {
+            Ok(text) => assert!(text.contains("\"error\":\"overloaded\""), "{text}"),
+            // The server may close before our request is written.
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "{e}"),
+        }
+        drop(second);
+        drop(client);
         handle.shutdown().unwrap();
     }
 }

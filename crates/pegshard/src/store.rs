@@ -3,7 +3,8 @@
 
 use crate::shard::{halo_for, Shard};
 use crate::transport::{
-    InProcessTransport, ShardReply, ShardRequest, ShardTransport, TcpTransport, WorkerStats,
+    InProcessTransport, ShardReply, ShardRequest, ShardTransport, TcpTransport, TransportError,
+    WorkerStats,
 };
 use crate::wire;
 use graphstore::hash::FxHashMap;
@@ -12,7 +13,8 @@ use pathindex::PathMatch;
 use pegmatch::error::PegError;
 use pegmatch::offline::OfflineOptions;
 use pegmatch::online::{
-    sort_candidates, CandidateSet, CandidateSource, Decomposition, PathStats, QueryPipeline,
+    sort_candidates, CandidateSet, CandidateSource, Decomposition, PathStats, PreparedQuery,
+    QueryPipeline,
 };
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
@@ -77,8 +79,13 @@ pub struct ScatterStats {
     /// Boundary-replicated candidates that survived a shard's pruning but
     /// were dropped by its home filter (never shipped, never gathered).
     pub duplicates_dropped: usize,
-    /// Wall time of the scatter + gather.
+    /// Wall time of the scatter + gather. For a prefetched retrieval this
+    /// is the batched scatter's wall time, not the (near-zero) cache hit.
     pub retrieve_time: Duration,
+    /// True when this retrieval was served from the prefetch cache (its
+    /// scatter ran earlier, inside a batched
+    /// [`ShardedGraphStore::prefetch`]).
+    pub prefetched: bool,
 }
 
 /// One entity graph partitioned into N shards, each owning its own
@@ -108,7 +115,48 @@ pub struct ShardedGraphStore {
     hist: FxHashMap<Vec<u16>, Vec<u32>>,
     stats: ShardingStats,
     last_scatter: Mutex<ScatterStats>,
+    /// Gathered candidate sets scattered ahead of execution by
+    /// [`ShardedGraphStore::prefetch`], keyed by the exact retrieve
+    /// arguments; [`CandidateSource::retrieve`] consumes a matching entry
+    /// instead of scattering again.
+    prefetched: Mutex<Vec<PrefetchEntry>>,
 }
+
+/// The exact arguments a retrieval scatters with, in owned form — what a
+/// prefetched result is keyed by. Equality here is equality of the wire
+/// request: same label ids, same edges, same decomposition paths, same
+/// threshold bits. `pstats` is excluded deliberately: it is a pure
+/// function of `(query, path)` (recomputed shard-side), so it cannot
+/// diverge between prefetch and retrieve.
+#[derive(PartialEq)]
+struct PrefetchKey {
+    labels: Vec<u16>,
+    edges: Vec<(u16, u16)>,
+    paths: Vec<Vec<u16>>,
+    alpha_bits: u64,
+}
+
+impl PrefetchKey {
+    fn new(query: &QueryGraph, decomp: &Decomposition, alpha: f64) -> PrefetchKey {
+        PrefetchKey {
+            labels: query.labels().iter().map(|l| l.0).collect(),
+            edges: query.edges().to_vec(),
+            paths: decomp.paths.iter().map(|p| p.nodes.clone()).collect(),
+            alpha_bits: alpha.to_bits(),
+        }
+    }
+}
+
+struct PrefetchEntry {
+    key: PrefetchKey,
+    sets: Vec<CandidateSet>,
+    scatter: ScatterStats,
+}
+
+/// Prefetch-cache entry cap: a batched `query_batch` is bounded well
+/// below this, so entries only pile up if callers prefetch and never
+/// execute; FIFO eviction bounds that memory.
+const MAX_PREFETCHED: usize = 64;
 
 /// Merges one shard's home-only histogram into the accumulator
 /// (element-wise integer sums — exact, order-independent).
@@ -198,6 +246,7 @@ impl ShardedGraphStore {
             hist,
             stats,
             last_scatter: Mutex::new(ScatterStats::default()),
+            prefetched: Mutex::new(Vec::new()),
         })
     }
 
@@ -308,6 +357,7 @@ impl ShardedGraphStore {
             hist,
             stats,
             last_scatter: Mutex::new(ScatterStats::default()),
+            prefetched: Mutex::new(Vec::new()),
         })
     }
 
@@ -354,6 +404,108 @@ impl ShardedGraphStore {
     pub fn pipeline(&self) -> QueryPipeline<'_> {
         QueryPipeline::with_source(&self.peg, self)
     }
+
+    /// Validates and gathers one scatter's per-shard results into
+    /// candidate sets: per path, concatenate the disjoint home-filtered
+    /// shard contributions and sort into the canonical candidate order.
+    /// A failed shard fails the whole retrieval — partial candidate lists
+    /// would silently change results; the first failing shard (lowest
+    /// index) wins deterministically. The dedup is defense-in-depth
+    /// against a misbehaving remote worker — with correct workers home
+    /// sets are disjoint and it drops nothing. `retrieve_time` is left
+    /// zero for the caller to stamp.
+    fn gather(
+        &self,
+        n_paths: usize,
+        results: Vec<Result<ShardReply, TransportError>>,
+    ) -> Result<(Vec<CandidateSet>, ScatterStats), PegError> {
+        let n_shards = results.len();
+        let mut replies: Vec<ShardReply> = Vec::with_capacity(n_shards);
+        for (s, reply) in results.into_iter().enumerate() {
+            let reply = reply.map_err(|e| e.into_peg())?;
+            if reply.paths.len() != n_paths {
+                return Err(PegError::ShardUnavailable {
+                    shard: s,
+                    detail: format!(
+                        "reply carries {} path partials, expected {n_paths}",
+                        reply.paths.len()
+                    ),
+                });
+            }
+            replies.push(reply);
+        }
+
+        let mut scatter = ScatterStats {
+            per_shard_raw: vec![0; n_shards],
+            per_shard_pruned: vec![0; n_shards],
+            ..ScatterStats::default()
+        };
+        let mut out = Vec::with_capacity(n_paths);
+        for i in 0..n_paths {
+            let mut merged: Vec<PathMatch> = Vec::new();
+            let mut raw_count = 0usize;
+            for (s, reply) in replies.iter_mut().enumerate() {
+                let part = &mut reply.paths[i];
+                scatter.per_shard_raw[s] += part.raw_total;
+                scatter.per_shard_pruned[s] += part.pruned_total;
+                raw_count += part.raw_home;
+                merged.append(&mut part.matches);
+            }
+            sort_candidates(&mut merged);
+            merged.dedup_by(|a, b| a.nodes == b.nodes);
+            scatter.pruned_distinct += merged.len();
+            scatter.raw_distinct += raw_count;
+            out.push(CandidateSet { matches: merged, raw_count });
+        }
+        // Survivors a shard's home filter dropped (boundary replicas),
+        // plus anything the defensive gather dedup removed.
+        scatter.duplicates_dropped =
+            scatter.per_shard_pruned.iter().sum::<usize>().saturating_sub(scatter.pruned_distinct);
+        Ok((out, scatter))
+    }
+
+    /// Scatters many retrievals at once — one batched round trip per
+    /// worker on a remote transport ([`ShardTransport::scatter_many`]) —
+    /// and parks the gathered candidate sets in the prefetch cache, keyed
+    /// by the exact arguments [`CandidateSource::retrieve`] will pass
+    /// when each prepared query executes (see [`PreparedQuery`]'s
+    /// accessors: a session rebasing at `alpha` retrieves with precisely
+    /// its plan's query, decomposition, and statistics). Best-effort: a
+    /// failed query is simply not cached, and its later live scatter
+    /// surfaces the error — correctness never depends on prefetching.
+    pub fn prefetch(&self, batch: &[(&PreparedQuery, f64)], pool: &ThreadPool) {
+        if batch.is_empty() {
+            return;
+        }
+        let reqs: Vec<ShardRequest<'_>> = batch
+            .iter()
+            .map(|(p, alpha)| ShardRequest {
+                query: p.query(),
+                decomp: p.decomposition(),
+                pstats: p.path_stats(),
+                alpha: *alpha,
+            })
+            .collect();
+        let t0 = Instant::now();
+        let all = self.transport.scatter_many(&reqs, pool);
+        let elapsed = t0.elapsed();
+        let mut cache = self.prefetched.lock().unwrap();
+        for (req, results) in reqs.iter().zip(all) {
+            let Ok((sets, mut scatter)) = self.gather(req.decomp.paths.len(), results) else {
+                continue;
+            };
+            // The batch's wall time is the honest scatter cost of each
+            // member — they shared one round trip.
+            scatter.retrieve_time = elapsed;
+            scatter.prefetched = true;
+            let key = PrefetchKey::new(req.query, req.decomp, req.alpha);
+            cache.retain(|e| e.key != key);
+            if cache.len() >= MAX_PREFETCHED {
+                cache.remove(0);
+            }
+            cache.push(PrefetchEntry { key, sets, scatter });
+        }
+    }
 }
 
 impl CandidateSource for ShardedGraphStore {
@@ -386,64 +538,31 @@ impl CandidateSource for ShardedGraphStore {
     ) -> Result<Vec<CandidateSet>, PegError> {
         let t0 = Instant::now();
         let n_paths = decomp.paths.len();
-        let n_shards = self.transport.n_shards();
         // Cleared up front: if the scatter fails below, the snapshot must
         // not keep advertising a previous query's numbers.
         *self.last_scatter.lock().unwrap() = ScatterStats::default();
 
+        // A matching prefetched result short-circuits the scatter — its
+        // candidates came from the identical wire request, gathered the
+        // identical way, so the result is bit-for-bit what a live scatter
+        // would produce.
+        let key = PrefetchKey::new(query, decomp, alpha);
+        let hit = {
+            let mut cache = self.prefetched.lock().unwrap();
+            cache.iter().position(|e| e.key == key).map(|pos| cache.remove(pos))
+        };
+        if let Some(entry) = hit {
+            *self.last_scatter.lock().unwrap() = entry.scatter;
+            return Ok(entry.sets);
+        }
+
         // Scatter, through the transport seam: every shard answers every
         // path with home-filtered, globalized, canonically sorted
         // partials (see `Shard::retrieve_path` for the exactness
-        // argument). A failed shard fails the query — partial candidate
-        // lists would silently change results. The first failing shard
-        // (lowest index) wins deterministically.
+        // argument).
         let req = ShardRequest { query, decomp, pstats, alpha };
-        let mut replies: Vec<ShardReply> = Vec::with_capacity(n_shards);
-        for (s, reply) in self.transport.scatter(&req, pool).into_iter().enumerate() {
-            let reply = reply.map_err(|e| e.into_peg())?;
-            if reply.paths.len() != n_paths {
-                return Err(PegError::ShardUnavailable {
-                    shard: s,
-                    detail: format!(
-                        "reply carries {} path partials, expected {n_paths}",
-                        reply.paths.len()
-                    ),
-                });
-            }
-            replies.push(reply);
-        }
-
-        // Gather: per path, concatenate the disjoint home-filtered shard
-        // contributions and sort into the canonical candidate order. The
-        // dedup is defense-in-depth against a misbehaving remote worker —
-        // with correct workers home sets are disjoint and it drops
-        // nothing.
-        let mut scatter = ScatterStats {
-            per_shard_raw: vec![0; n_shards],
-            per_shard_pruned: vec![0; n_shards],
-            ..ScatterStats::default()
-        };
-        let mut out = Vec::with_capacity(n_paths);
-        for i in 0..n_paths {
-            let mut merged: Vec<PathMatch> = Vec::new();
-            let mut raw_count = 0usize;
-            for (s, reply) in replies.iter_mut().enumerate() {
-                let part = &mut reply.paths[i];
-                scatter.per_shard_raw[s] += part.raw_total;
-                scatter.per_shard_pruned[s] += part.pruned_total;
-                raw_count += part.raw_home;
-                merged.append(&mut part.matches);
-            }
-            sort_candidates(&mut merged);
-            merged.dedup_by(|a, b| a.nodes == b.nodes);
-            scatter.pruned_distinct += merged.len();
-            scatter.raw_distinct += raw_count;
-            out.push(CandidateSet { matches: merged, raw_count });
-        }
-        // Survivors a shard's home filter dropped (boundary replicas),
-        // plus anything the defensive gather dedup removed.
-        scatter.duplicates_dropped =
-            scatter.per_shard_pruned.iter().sum::<usize>().saturating_sub(scatter.pruned_distinct);
+        let results = self.transport.scatter(&req, pool);
+        let (out, mut scatter) = self.gather(n_paths, results)?;
         scatter.retrieve_time = t0.elapsed();
         *self.last_scatter.lock().unwrap() = scatter;
         Ok(out)

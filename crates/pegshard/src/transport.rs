@@ -11,11 +11,13 @@
 //!   scatter is a flat `(shard × path)` fan-out on the shared pool
 //!   (exactly the pre-seam behavior).
 //! * [`TcpTransport`] — each shard lives behind a worker process speaking
-//!   the line protocol; the scatter pipelines one `shard_retrieve`
-//!   request per worker (send to all, then read in order, so workers
-//!   compute concurrently), with persistent connections, one reconnect +
-//!   resend on failure, and hard io timeouts — a dead worker yields a
-//!   [`TransportError`] within the deadline, never a hang.
+//!   the line protocol over one persistent **multiplexed** connection
+//!   ([`pegwire::MuxConn`]): every request carries a unique id the worker
+//!   echoes, so many scatters from concurrent sessions ride the same
+//!   socket with out-of-order replies routed back to the right waiter.
+//!   One reconnect + resend on failure, hard deadlines on every wait — a
+//!   dead worker yields a [`TransportError`] within the deadline, never a
+//!   hang.
 //!
 //! Both return the same [`ShardReply`] shape, and the home-filter
 //! argument (see `Shard::retrieve_path`) guarantees the
@@ -30,9 +32,9 @@ use pegmatch::error::PegError;
 use pegmatch::online::{Decomposition, NodeCandidateCache, PathStats};
 use pegmatch::query::QueryGraph;
 use pegpool::ThreadPool;
-use pegwire::{Json, LineConn, LineError};
+use pegwire::{Json, MuxConn, MuxError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One retrieval request, broadcast identically to every shard.
@@ -153,6 +155,19 @@ pub trait ShardTransport: Send + Sync {
         pool.map(self.n_shards(), |s| self.retrieve_shard(s, req, pool))
     }
 
+    /// Executes many requests, returning `out[request][shard]` — the
+    /// batched-scatter seam `query_batch` rides on. The default loops
+    /// [`ShardTransport::scatter`]; remote transports override to ship
+    /// the whole batch in one round trip per worker
+    /// (`shard_retrieve_batch`), amortizing the per-exchange wire tax.
+    fn scatter_many(
+        &self,
+        reqs: &[ShardRequest<'_>],
+        pool: &ThreadPool,
+    ) -> Vec<Vec<Result<ShardReply, TransportError>>> {
+        reqs.iter().map(|r| self.scatter(r, pool)).collect()
+    }
+
     /// Per-worker counters, when the transport is remote.
     fn worker_stats(&self) -> Option<Vec<WorkerStats>> {
         None
@@ -233,13 +248,11 @@ impl ShardTransport for InProcessTransport {
     }
 }
 
-/// Knobs for [`TcpTransport`]. Every socket operation is bounded:
+/// Knobs for [`TcpTransport`]. Every operation is bounded:
 /// `connect_timeout` caps dials, `io_timeout` caps each write and each
-/// **whole reply** (the wait is re-bounded by the remaining deadline
-/// before every socket read — see [`LineConn::recv`] — so a trickling
-/// peer cannot stretch it). A full exchange performs at most two redials
-/// (one on the send side, one on the receive side), so it can never
-/// exceed a few multiples of `connect_timeout + io_timeout`.
+/// per-request reply wait ([`pegwire::PendingReply::wait`]). A full
+/// exchange performs at most one redial + resend, so it can never exceed
+/// a few multiples of `connect_timeout + io_timeout`.
 #[derive(Clone, Copy, Debug)]
 pub struct TcpTransportConfig {
     /// Dial deadline per connection attempt.
@@ -287,14 +300,13 @@ impl LatencyRing {
     }
 }
 
-/// Per-worker state. Only the connection itself sits behind the exchange
-/// mutex (line protocols cannot interleave request/reply pairs on one
-/// socket); the counters are atomics and the latency ring has its own
-/// short-lived lock, so [`TcpTransport::worker_stats`] never blocks on an
-/// in-flight exchange — a `stats` request must not stall behind a slow
-/// scatter.
+/// Per-worker state. The connection slot's mutex guards only the
+/// `Arc<MuxConn>` handle, held for nanoseconds per clone — exchanges
+/// themselves run on the shared mux connection with no per-worker
+/// serialization, and the counters are atomics, so
+/// [`TcpTransport::worker_stats`] never blocks on an in-flight scatter.
 struct WorkerCell {
-    conn: Mutex<Option<LineConn>>,
+    conn: Mutex<Option<Arc<MuxConn>>>,
     requests: AtomicU64,
     reconnects: AtomicU64,
     bytes_tx: AtomicU64,
@@ -303,9 +315,9 @@ struct WorkerCell {
 }
 
 impl WorkerCell {
-    fn new(conn: LineConn) -> WorkerCell {
+    fn new(conn: MuxConn) -> WorkerCell {
         WorkerCell {
-            conn: Mutex::new(Some(conn)),
+            conn: Mutex::new(Some(Arc::new(conn))),
             requests: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             bytes_tx: AtomicU64::new(0),
@@ -315,23 +327,25 @@ impl WorkerCell {
     }
 }
 
-/// One worker process per shard, reached over persistent TCP line-protocol
-/// connections.
+/// One worker process per shard, reached over one persistent multiplexed
+/// TCP connection each.
 ///
-/// Failure model: on any socket error the transport drops the connection,
-/// redials once, and resends the request once; a second failure is a
-/// [`TransportError`] (surfaced as `shard_unavailable` by the serving
-/// layer). A worker replying with a structured `"ok":false` error is also
-/// a [`TransportError`] — a shard that cannot answer is unavailable
-/// whatever the reason. Exchanges never hang: all socket operations carry
-/// the [`TcpTransportConfig`] deadlines.
+/// Every request goes out with a connection-unique id the worker echoes;
+/// replies route back to their waiter in any order. Concurrent sessions
+/// on the same graph therefore overlap their retrieval phases freely —
+/// a scatter holds no lock while a worker computes, only the nanoseconds
+/// it takes to clone the connection handle out of its slot. (This lifted
+/// the pre-mux ceiling where one in-flight scatter per worker serialized
+/// concurrent sessions on the connection mutexes.)
 ///
-/// Concurrency note: one persistent connection per worker means one
-/// scatter in flight per distributed graph — concurrent sessions on the
-/// same graph serialize their *retrieval* phase on the connection mutexes
-/// (planning, reduction, and generation still overlap). Lifting that
-/// requires a per-worker connection pool or request-id multiplexing;
-/// tracked in the ROADMAP as remaining scale-out work.
+/// Failure model: on any exchange error the transport invalidates the
+/// shared connection, redials once, and resends once; a second failure is
+/// a [`TransportError`] (surfaced as `shard_unavailable` by the serving
+/// layer). Resending is safe: the worker ops are read-only against shard
+/// state (retrieval) or idempotent (load/unload). A worker replying with
+/// a structured `"ok":false` error is also a [`TransportError`] — a shard
+/// that cannot answer is unavailable whatever the reason. Exchanges never
+/// hang: every wait carries the [`TcpTransportConfig`] deadlines.
 pub struct TcpTransport {
     graph: String,
     addrs: Vec<String>,
@@ -352,7 +366,7 @@ impl TcpTransport {
             .iter()
             .enumerate()
             .map(|(s, addr)| {
-                let conn = LineConn::connect(addr, config.connect_timeout, config.io_timeout)
+                let conn = MuxConn::connect(addr, config.connect_timeout, config.io_timeout)
                     .map_err(|e| TransportError {
                         shard: s,
                         addr: Some(addr.clone()),
@@ -378,99 +392,76 @@ impl TcpTransport {
         TransportError { shard, addr: Some(self.addrs[shard].clone()), detail: detail.to_string() }
     }
 
-    fn dial(&self, shard: usize) -> Result<LineConn, LineError> {
-        LineConn::connect(&self.addrs[shard], self.config.connect_timeout, self.config.io_timeout)
-    }
-
-    /// Redials and resends in one step — the shared recovery arm of every
-    /// retry path. Resending is safe: the worker ops are read-only
-    /// against shard state (retrieval) or idempotent (load/unload).
-    fn redial_and_send(&self, shard: usize, line: &str) -> Result<LineConn, LineError> {
-        self.workers[shard].reconnects.fetch_add(1, Ordering::Relaxed);
-        let mut conn = self.dial(shard)?;
-        conn.send(line)?;
-        self.workers[shard].bytes_tx.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
-        Ok(conn)
-    }
-
-    /// Sends `line` on the worker's live connection (dialing first if a
-    /// previous failure dropped it); one redial + resend on failure.
-    fn send_with_retry(
-        &self,
-        shard: usize,
-        conn: &mut Option<LineConn>,
-        line: &str,
-    ) -> Result<(), TransportError> {
+    /// Clones the worker's live connection handle out of its slot,
+    /// redialing first if the slot is empty or the reader declared the
+    /// connection dead. The lock is held only for the check + clone.
+    fn conn_arc(&self, shard: usize) -> Result<Arc<MuxConn>, TransportError> {
         let cell = &self.workers[shard];
-        let first = (|| -> Result<(), LineError> {
-            if conn.is_none() {
-                *conn = Some(self.dial(shard)?);
-                cell.reconnects.fetch_add(1, Ordering::Relaxed);
+        let mut slot = cell.conn.lock().unwrap();
+        if let Some(conn) = slot.as_ref() {
+            if conn.is_alive() {
+                return Ok(conn.clone());
             }
-            conn.as_mut().expect("dialed above").send(line)
-        })();
-        match first {
-            Ok(()) => {
-                cell.bytes_tx.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(first_err) => {
-                *conn = None;
-                match self.redial_and_send(shard, line) {
-                    Ok(fresh) => {
-                        *conn = Some(fresh);
-                        Ok(())
-                    }
-                    Err(e) => {
-                        Err(self.err(shard, format!("send: {first_err}; after reconnect: {e}")))
-                    }
-                }
-            }
+        }
+        let fresh = MuxConn::connect(
+            &self.addrs[shard],
+            self.config.connect_timeout,
+            self.config.io_timeout,
+        )
+        .map_err(|e| self.err(shard, e))?;
+        cell.reconnects.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(fresh);
+        *slot = Some(fresh.clone());
+        Ok(fresh)
+    }
+
+    /// Drops `failed` from the worker's slot — but only if the slot still
+    /// holds that very connection, so a concurrent exchange that already
+    /// redialed is not knocked out by a stale failure.
+    fn invalidate(&self, shard: usize, failed: &Arc<MuxConn>) {
+        let mut slot = self.workers[shard].conn.lock().unwrap();
+        if slot.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, failed)) {
+            *slot = None;
         }
     }
 
-    /// Reads the reply for an already-sent `line`; on failure the
-    /// pipelined send is lost with its connection, so the retry is a full
-    /// redial + resend + read.
-    fn recv_with_retry(
-        &self,
-        shard: usize,
-        conn: &mut Option<LineConn>,
-        line: &str,
-    ) -> Result<Json, TransportError> {
+    /// One attempt at a full multiplexed exchange; invalidates the
+    /// connection on failure so the next attempt redials.
+    fn try_exchange(&self, shard: usize, line: &str) -> Result<Json, TransportError> {
+        let conn = self.conn_arc(shard)?;
         let cell = &self.workers[shard];
-        let live = conn.as_mut().expect("recv follows a successful send");
-        let before = live.bytes_rx;
-        match live.recv() {
-            Ok(reply) => {
-                cell.bytes_rx.fetch_add(live.bytes_rx - before, Ordering::Relaxed);
+        let attempt = conn.begin(line).and_then(|pending| {
+            cell.bytes_tx.fetch_add(pending.sent_bytes, Ordering::Relaxed);
+            pending.wait(self.config.io_timeout)
+        });
+        match attempt {
+            Ok((reply, wire_bytes)) => {
+                cell.bytes_rx.fetch_add(wire_bytes, Ordering::Relaxed);
                 Ok(reply)
             }
-            Err(first_err) => {
-                *conn = None;
-                match self.redial_and_send(shard, line).and_then(|mut c| c.recv().map(|r| (c, r))) {
-                    Ok((c, reply)) => {
-                        cell.bytes_rx.fetch_add(c.bytes_rx, Ordering::Relaxed);
-                        *conn = Some(c);
-                        Ok(reply)
-                    }
-                    Err(e) => Err(self.err(shard, format!("{first_err}; after reconnect: {e}"))),
+            Err(e) => {
+                // A timed-out wait leaves the connection itself healthy
+                // (the slot was cancelled; a late reply is discarded), but
+                // a worker slow enough to blow the io deadline is one we
+                // want a fresh start with either way.
+                if !matches!(e, MuxError::Timeout) || !conn.is_alive() {
+                    self.invalidate(shard, &conn);
                 }
+                Err(self.err(shard, e))
             }
         }
     }
 
-    /// One full exchange (send + recv, each with its single retry),
-    /// recording the request count and latency sample.
-    fn exchange_line(
-        &self,
-        shard: usize,
-        conn: &mut Option<LineConn>,
-        line: &str,
-    ) -> Result<Json, TransportError> {
+    /// One full exchange with a single redial + resend on failure,
+    /// recording the request count and latency sample on success.
+    fn exchange_line(&self, shard: usize, line: &str) -> Result<Json, TransportError> {
         let t0 = Instant::now();
-        self.send_with_retry(shard, conn, line)?;
-        let reply = self.recv_with_retry(shard, conn, line)?;
+        let reply = match self.try_exchange(shard, line) {
+            Ok(reply) => reply,
+            Err(first_err) => self.try_exchange(shard, line).map_err(|e| {
+                self.err(shard, format!("{}; after reconnect: {}", first_err.detail, e.detail))
+            })?,
+        };
         let cell = &self.workers[shard];
         cell.requests.fetch_add(1, Ordering::Relaxed);
         cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
@@ -481,8 +472,65 @@ impl TcpTransport {
     /// error replies are returned as-is — typed wrappers decide whether
     /// `"ok":false` is fatal for their op.
     pub fn call(&self, shard: usize, req: &Json) -> Result<Json, TransportError> {
-        let mut conn = self.workers[shard].conn.lock().unwrap();
-        self.exchange_line(shard, &mut conn, &req.to_string())
+        self.exchange_line(shard, &req.to_string())
+    }
+
+    /// Begins the same request line on every worker without waiting —
+    /// each `begin` holds only its connection's writer lock for one
+    /// framed write, so all workers start computing concurrently and
+    /// nothing stays locked while they do.
+    #[allow(clippy::type_complexity)]
+    fn begin_all(
+        &self,
+        line: &str,
+    ) -> Vec<Result<(Arc<MuxConn>, pegwire::PendingReply, Instant), TransportError>> {
+        (0..self.addrs.len())
+            .map(|s| {
+                let conn = self.conn_arc(s)?;
+                match conn.begin(line) {
+                    Ok(pending) => {
+                        self.workers[s].bytes_tx.fetch_add(pending.sent_bytes, Ordering::Relaxed);
+                        Ok((conn, pending, Instant::now()))
+                    }
+                    Err(e) => {
+                        self.invalidate(s, &conn);
+                        Err(self.err(s, e))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Waits out one begun exchange, falling back to a single full
+    /// redial + resend on any failure (including a begin that never got
+    /// off the ground).
+    fn finish_one(
+        &self,
+        s: usize,
+        begun: Result<(Arc<MuxConn>, pegwire::PendingReply, Instant), TransportError>,
+        line: &str,
+    ) -> Result<Json, TransportError> {
+        match begun {
+            Ok((conn, pending, t0)) => match pending.wait(self.config.io_timeout) {
+                Ok((reply, wire_bytes)) => {
+                    let cell = &self.workers[s];
+                    cell.bytes_rx.fetch_add(wire_bytes, Ordering::Relaxed);
+                    cell.requests.fetch_add(1, Ordering::Relaxed);
+                    cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
+                    Ok(reply)
+                }
+                Err(e) => {
+                    if !matches!(e, MuxError::Timeout) || !conn.is_alive() {
+                        self.invalidate(s, &conn);
+                    }
+                    self.exchange_line(s, line)
+                        .map_err(|e2| self.err(s, format!("{e}; after retry: {}", e2.detail)))
+                }
+            },
+            Err(first) => self
+                .exchange_line(s, line)
+                .map_err(|e2| self.err(s, format!("{}; after retry: {}", first.detail, e2.detail))),
+        }
     }
 
     fn reply_to_shard_reply(
@@ -513,10 +561,7 @@ impl ShardTransport for TcpTransport {
         _pool: &ThreadPool,
     ) -> Result<ShardReply, TransportError> {
         let line = wire::retrieve_request(&self.graph, req).to_string();
-        let reply = {
-            let mut conn = self.workers[shard].conn.lock().unwrap();
-            self.exchange_line(shard, &mut conn, &line)?
-        };
+        let reply = self.exchange_line(shard, &line)?;
         self.reply_to_shard_reply(shard, reply, req.decomp.paths.len())
     }
 
@@ -525,46 +570,83 @@ impl ShardTransport for TcpTransport {
         req: &ShardRequest<'_>,
         _pool: &ThreadPool,
     ) -> Vec<Result<ShardReply, TransportError>> {
-        let n = self.addrs.len();
         let n_paths = req.decomp.paths.len();
         let line = wire::retrieve_request(&self.graph, req).to_string();
 
-        // Pipelined scatter: lock every worker's connection in ascending
-        // index order (deadlock-free across concurrent scatters — all
-        // lockers agree on the order), send the request to all, then read
-        // replies in order. Workers compute concurrently; the
-        // coordinator's wait is max(worker time), not the sum, without
-        // spending a thread per worker.
-        let mut guards: Vec<MutexGuard<'_, Option<LineConn>>> =
-            self.workers.iter().map(|w| w.conn.lock().unwrap()).collect();
+        // Multiplexed scatter: begin the exchange on every worker, then
+        // wait for replies in shard order. Workers compute concurrently,
+        // the coordinator's wait is max(worker time), and — unlike the
+        // pre-mux pipelined scatter — nothing is locked while workers
+        // compute, so concurrent sessions' scatters interleave freely on
+        // the same connections.
+        self.begin_all(&line)
+            .into_iter()
+            .enumerate()
+            .map(|(s, b)| {
+                self.finish_one(s, b, &line).and_then(|r| self.reply_to_shard_reply(s, r, n_paths))
+            })
+            .collect()
+    }
 
-        // Send phase (single retry inside `send_with_retry`).
-        let mut sent: Vec<Result<Instant, TransportError>> = Vec::with_capacity(n);
-        for (s, conn) in guards.iter_mut().enumerate() {
-            sent.push(self.send_with_retry(s, conn, &line).map(|()| Instant::now()));
+    /// Ships the whole batch to every worker as one `shard_retrieve_batch`
+    /// exchange (begun on all workers before any wait), amortizing the
+    /// per-query wire tax. Oversized batches fall back to chunks of
+    /// [`wire::MAX_RETRIEVE_BATCH`].
+    fn scatter_many(
+        &self,
+        reqs: &[ShardRequest<'_>],
+        pool: &ThreadPool,
+    ) -> Vec<Vec<Result<ShardReply, TransportError>>> {
+        if reqs.len() == 1 {
+            return vec![self.scatter(&reqs[0], pool)];
         }
-
-        // Read phase, in shard order (a failed read retries as a full
-        // redial + resend + read inside `recv_with_retry`).
-        let mut out: Vec<Result<ShardReply, TransportError>> = Vec::with_capacity(n);
-        for (s, conn) in guards.iter_mut().enumerate() {
-            let t0 = match &sent[s] {
-                Ok(t0) => *t0,
-                Err(e) => {
-                    out.push(Err(TransportError {
-                        shard: e.shard,
-                        addr: e.addr.clone(),
-                        detail: e.detail.clone(),
-                    }));
-                    continue;
+        let n = self.addrs.len();
+        let mut out: Vec<Vec<Result<ShardReply, TransportError>>> = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(wire::MAX_RETRIEVE_BATCH) {
+            let line = wire::retrieve_batch_request(&self.graph, chunk).to_string();
+            let n_paths: Vec<usize> = chunk.iter().map(|r| r.decomp.paths.len()).collect();
+            // Per shard: one batched exchange (with the usual single
+            // retry), decoded into per-query replies.
+            let per_shard: Vec<Result<Vec<ShardReply>, TransportError>> = self
+                .begin_all(&line)
+                .into_iter()
+                .enumerate()
+                .map(|(s, b)| {
+                    self.finish_one(s, b, &line).and_then(|r| {
+                        if r.get("ok") != Some(&Json::Bool(true)) {
+                            let code = r.get("error").and_then(Json::as_str).unwrap_or("error");
+                            let msg =
+                                r.get("message").and_then(Json::as_str).unwrap_or("no detail");
+                            return Err(self.err(s, format!("worker replied {code}: {msg}")));
+                        }
+                        wire::decode_retrieve_batch_reply(&r, &n_paths)
+                            .map_err(|e| self.err(s, format!("malformed batch reply: {e}")))
+                    })
+                })
+                .collect();
+            // Transpose: per_shard[shard] -> chunk_out[query][shard]. A
+            // failed worker fails every query in the chunk for that shard.
+            let mut chunk_out: Vec<Vec<Result<ShardReply, TransportError>>> =
+                (0..chunk.len()).map(|_| Vec::with_capacity(n)).collect();
+            for (s, shard_result) in per_shard.into_iter().enumerate() {
+                match shard_result {
+                    Ok(replies) => {
+                        for (q, reply) in replies.into_iter().enumerate() {
+                            chunk_out[q].push(Ok(reply));
+                        }
+                    }
+                    Err(e) => {
+                        for row in chunk_out.iter_mut() {
+                            row.push(Err(TransportError {
+                                shard: s,
+                                addr: e.addr.clone(),
+                                detail: e.detail.clone(),
+                            }));
+                        }
+                    }
                 }
-            };
-            out.push(self.recv_with_retry(s, conn, &line).and_then(|reply| {
-                let cell = &self.workers[s];
-                cell.requests.fetch_add(1, Ordering::Relaxed);
-                cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
-                self.reply_to_shard_reply(s, reply, n_paths)
-            }));
+            }
+            out.extend(chunk_out);
         }
         out
     }
@@ -600,9 +682,8 @@ impl ShardTransport for TcpTransport {
     fn release(&self) {
         let unload = wire::unload_request(&self.graph).to_string();
         for (s, w) in self.workers.iter().enumerate() {
-            let mut conn = w.conn.lock().unwrap();
-            let _ = self.exchange_line(s, &mut conn, &unload);
-            *conn = None;
+            let _ = self.exchange_line(s, &unload);
+            *w.conn.lock().unwrap() = None;
         }
     }
 }

@@ -3,11 +3,23 @@
 //! Three ops extend the serving line protocol (one JSON object per line,
 //! `{"ok":true,...}` / `{"ok":false,"error":...}` replies):
 //!
-//! | op               | direction             | payload                                   |
-//! |------------------|-----------------------|-------------------------------------------|
-//! | `shard_load`     | coordinator → worker  | generator spec + `shard`, `n_shards`      |
-//! | `shard_retrieve` | coordinator → worker  | query (label ids + edges), paths, `alpha` |
-//! | `shard_unload`   | coordinator → worker  | `graph`                                   |
+//! | op                     | direction             | payload                                   |
+//! |------------------------|-----------------------|-------------------------------------------|
+//! | `shard_load`           | coordinator → worker  | generator spec + `shard`, `n_shards`      |
+//! | `shard_retrieve`       | coordinator → worker  | query (label ids + edges), paths, `alpha` |
+//! | `shard_retrieve_batch` | coordinator → worker  | `queries`: many retrieve bodies           |
+//! | `shard_unload`         | coordinator → worker  | `graph`                                   |
+//!
+//! Every request may additionally carry a `u64` `id` field (spliced in by
+//! [`pegwire::MuxConn`]); the worker echoes it verbatim on the reply so
+//! one connection can carry many in-flight retrieves with out-of-order
+//! replies routed back to the right scatter. The codec itself is
+//! id-agnostic — ids live one layer down, in the mux framing.
+//!
+//! `shard_retrieve_batch` amortizes the per-exchange wire tax (measured
+//! by `experiments ablation-transport` at ~38 KB and ~1 ms per query on
+//! loopback) by shipping up to [`MAX_RETRIEVE_BATCH`] retrieve bodies in
+//! one line and all their partials back in one reply line.
 //!
 //! The query crosses the wire as **label ids** (`u16`) and query-node
 //! indexes, not label names: coordinator and workers build the same graph
@@ -43,8 +55,15 @@ use pegwire::{obj, Json};
 pub const OP_SHARD_LOAD: &str = "shard_load";
 /// Op name: retrieve + prune candidates for every decomposition path.
 pub const OP_SHARD_RETRIEVE: &str = "shard_retrieve";
+/// Op name: many retrieves in one round trip.
+pub const OP_SHARD_RETRIEVE_BATCH: &str = "shard_retrieve_batch";
 /// Op name: drop a worker's shard state for a graph.
 pub const OP_SHARD_UNLOAD: &str = "shard_unload";
+
+/// Most retrieve bodies one `shard_retrieve_batch` line may carry. Caps
+/// worker memory per request line; the serving layer's own
+/// `query_batch` cap sits below this.
+pub const MAX_RETRIEVE_BATCH: usize = 64;
 
 /// Home-only histogram entries as shipped in a `shard_load` reply:
 /// `(canonical label sequence, per-grid-cell counts)`.
@@ -84,8 +103,9 @@ fn need_prob(v: Option<&Json>, what: &str) -> Result<f64, WireError> {
     }
 }
 
-/// Encodes the `shard_retrieve` request for one scatter.
-pub fn retrieve_request(graph: &str, req: &ShardRequest<'_>) -> Json {
+/// Appends one retrieve body (`alpha`/`labels`/`edges`/`paths`) to a
+/// builder — the shared core of the single and batched request shapes.
+fn retrieve_body(b: pegwire::ObjBuilder, req: &ShardRequest<'_>) -> pegwire::ObjBuilder {
     let labels: Vec<Json> = req.query.labels().iter().map(|l| Json::Num(l.0 as f64)).collect();
     let edges: Vec<Json> = req
         .query
@@ -99,13 +119,25 @@ pub fn retrieve_request(graph: &str, req: &ShardRequest<'_>) -> Json {
         .iter()
         .map(|p| Json::Arr(p.nodes.iter().map(|&n| Json::Num(n as f64)).collect()))
         .collect();
-    obj()
-        .field("op", OP_SHARD_RETRIEVE)
-        .field("graph", graph)
-        .field("alpha", req.alpha)
+    b.field("alpha", req.alpha)
         .field("labels", Json::Arr(labels))
         .field("edges", Json::Arr(edges))
         .field("paths", Json::Arr(paths))
+}
+
+/// Encodes the `shard_retrieve` request for one scatter.
+pub fn retrieve_request(graph: &str, req: &ShardRequest<'_>) -> Json {
+    retrieve_body(obj().field("op", OP_SHARD_RETRIEVE).field("graph", graph), req).build()
+}
+
+/// Encodes the `shard_retrieve_batch` request: many retrieve bodies in
+/// one line. The caller keeps batches within [`MAX_RETRIEVE_BATCH`].
+pub fn retrieve_batch_request(graph: &str, reqs: &[ShardRequest<'_>]) -> Json {
+    let queries: Vec<Json> = reqs.iter().map(|r| retrieve_body(obj(), r).build()).collect();
+    obj()
+        .field("op", OP_SHARD_RETRIEVE_BATCH)
+        .field("graph", graph)
+        .field("queries", Json::Arr(queries))
         .build()
 }
 
@@ -168,6 +200,26 @@ pub fn decode_retrieve_request(req: &Json) -> Result<(QueryGraph, Vec<QueryPath>
     Ok((query, paths, alpha))
 }
 
+/// Decodes a `shard_retrieve_batch` request into its per-query bodies.
+/// Each body validates exactly like a single retrieve; the batch must be
+/// non-empty and within [`MAX_RETRIEVE_BATCH`].
+#[allow(clippy::type_complexity)]
+pub fn decode_retrieve_batch_request(
+    req: &Json,
+) -> Result<Vec<(QueryGraph, Vec<QueryPath>, f64)>, WireError> {
+    let queries = need_arr(req.get("queries"), "queries")?;
+    if queries.is_empty() {
+        return Err(err("empty batch"));
+    }
+    if queries.len() > MAX_RETRIEVE_BATCH {
+        return Err(err(format!(
+            "batch of {} exceeds the cap of {MAX_RETRIEVE_BATCH}",
+            queries.len()
+        )));
+    }
+    queries.iter().map(decode_retrieve_request).collect()
+}
+
 /// Encodes one candidate triple as `[[nodes...], prle, prn]`.
 pub fn encode_match(m: &PathMatch) -> Json {
     Json::Arr(vec![
@@ -198,8 +250,9 @@ pub fn decode_match(v: &Json) -> Result<PathMatch, WireError> {
     Ok(PathMatch { nodes, prle, prn })
 }
 
-/// Encodes the `shard_retrieve` reply (`ok` + per-path partials).
-pub fn encode_retrieve_reply(reply: &ShardReply) -> Json {
+/// Encodes one reply's per-path partials as a JSON array — the shared
+/// core of the single and batched reply shapes.
+fn encode_paths(reply: &ShardReply) -> Json {
     let paths: Vec<Json> = reply
         .paths
         .iter()
@@ -212,7 +265,20 @@ pub fn encode_retrieve_reply(reply: &ShardReply) -> Json {
                 .build()
         })
         .collect();
-    obj().field("ok", true).field("paths", Json::Arr(paths)).build()
+    Json::Arr(paths)
+}
+
+/// Encodes the `shard_retrieve` reply (`ok` + per-path partials).
+pub fn encode_retrieve_reply(reply: &ShardReply) -> Json {
+    obj().field("ok", true).field("paths", encode_paths(reply)).build()
+}
+
+/// Encodes the `shard_retrieve_batch` reply: one `{"paths":[...]}` result
+/// per query, in request order.
+pub fn encode_retrieve_batch_reply(replies: &[ShardReply]) -> Json {
+    let results: Vec<Json> =
+        replies.iter().map(|r| obj().field("paths", encode_paths(r)).build()).collect();
+    obj().field("ok", true).field("results", Json::Arr(results)).build()
 }
 
 /// Decodes a `shard_retrieve` reply, requiring exactly `n_paths` partials
@@ -244,6 +310,24 @@ pub fn decode_retrieve_reply(reply: &Json, n_paths: usize) -> Result<ShardReply,
         })
         .collect::<Result<Vec<_>, WireError>>()?;
     Ok(ShardReply { paths })
+}
+
+/// Decodes a `shard_retrieve_batch` reply. `n_paths` gives the expected
+/// partial count per query (request order); a result count or per-query
+/// path count mismatch is a protocol error.
+pub fn decode_retrieve_batch_reply(
+    reply: &Json,
+    n_paths: &[usize],
+) -> Result<Vec<ShardReply>, WireError> {
+    let results = need_arr(reply.get("results"), "results")?;
+    if results.len() != n_paths.len() {
+        return Err(err(format!(
+            "expected {} batch results, got {}",
+            n_paths.len(),
+            results.len()
+        )));
+    }
+    results.iter().zip(n_paths).map(|(r, &n)| decode_retrieve_reply(r, n)).collect()
 }
 
 /// Encodes the home-only histogram (the `shard_load` reply's `hist`
@@ -362,6 +446,59 @@ mod tests {
         assert_eq!(back.paths[0].matches[0].prle.to_bits(), 0.125f64.to_bits());
         assert_eq!(back.paths[0].matches[0].prn.to_bits(), (-0.0f64).to_bits());
         assert!(decode_retrieve_reply(&json, 2).is_err(), "path-count mismatch rejected");
+    }
+
+    #[test]
+    fn batch_request_and_reply_round_trip() {
+        use graphstore::Label;
+        let q1 = QueryGraph::new(vec![Label(0), Label(1)], vec![(0, 1)]).unwrap();
+        let q2 = QueryGraph::new(vec![Label(2), Label(0), Label(1)], vec![(0, 1), (1, 2)]).unwrap();
+        let strategy = pegmatch::online::DecompStrategy::CostBased;
+        let d1 = pegmatch::online::decompose(&q1, 2, &|_| 1.0, strategy).unwrap();
+        let d2 = pegmatch::online::decompose(&q2, 2, &|_| 1.0, strategy).unwrap();
+        let s1: Vec<_> =
+            d1.paths.iter().map(|p| pegmatch::online::PathStats::new(&q1, p)).collect();
+        let s2: Vec<_> =
+            d2.paths.iter().map(|p| pegmatch::online::PathStats::new(&q2, p)).collect();
+        let reqs = [
+            ShardRequest { query: &q1, decomp: &d1, pstats: &s1, alpha: 0.5 },
+            ShardRequest { query: &q2, decomp: &d2, pstats: &s2, alpha: 0.75 },
+        ];
+        let json = Json::parse(&retrieve_batch_request("g", &reqs).to_string()).unwrap();
+        let decoded = decode_retrieve_batch_request(&json).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].2, 0.5);
+        assert_eq!(decoded[1].0.labels(), q2.labels());
+        assert_eq!(decoded[1].1.len(), d2.paths.len());
+
+        let replies = vec![
+            ShardReply {
+                paths: vec![PathPartial {
+                    raw_total: 2,
+                    raw_home: 1,
+                    pruned_total: 1,
+                    matches: vec![PathMatch { nodes: vec![EntityId(4)], prle: 0.5, prn: 0.25 }],
+                }],
+            },
+            ShardReply {
+                paths: vec![
+                    PathPartial { raw_total: 0, raw_home: 0, pruned_total: 0, matches: vec![] },
+                    PathPartial { raw_total: 1, raw_home: 1, pruned_total: 1, matches: vec![] },
+                ],
+            },
+        ];
+        let wire = Json::parse(&encode_retrieve_batch_reply(&replies).to_string()).unwrap();
+        let back = decode_retrieve_batch_reply(&wire, &[1, 2]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].paths[0].matches[0].prle.to_bits(), 0.5f64.to_bits());
+        assert_eq!(back[1].paths.len(), 2);
+        // Count mismatches are protocol errors, not zips.
+        assert!(decode_retrieve_batch_reply(&wire, &[1]).is_err());
+        assert!(decode_retrieve_batch_reply(&wire, &[1, 3]).is_err());
+        // Empty and oversized batches are rejected at decode.
+        let empty =
+            Json::parse(r#"{"op":"shard_retrieve_batch","graph":"g","queries":[]}"#).unwrap();
+        assert!(decode_retrieve_batch_request(&empty).is_err());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   JSON object per line in each direction over a `TcpStream`, with
 //!   connect/read/write timeouts so a dead peer yields an error, never a
 //!   hang.
+//! * [`mux`] — a multiplexed connection (`MuxConn`): many in-flight
+//!   requests on one socket, each carrying a connection-unique `"id"`
+//!   the peer echoes, with out-of-order replies routed back to the
+//!   caller that sent the matching request.
 //!
 //! The f64 round-trip guarantee documented on [`json`] is what makes a
 //! multi-process scatter-gather bit-exact: probabilities cross the wire
@@ -24,6 +28,8 @@
 
 pub mod json;
 pub mod line;
+pub mod mux;
 
 pub use json::{obj, Json, JsonError, ObjBuilder};
 pub use line::{LineConn, LineError};
+pub use mux::{Demux, DemuxError, MuxConn, MuxError, PendingReply};

@@ -1,0 +1,145 @@
+//! Property tests for the mux reply-routing table ([`Demux`]): arbitrary
+//! out-of-order reply interleavings route every reply to the caller that
+//! registered its id, cancelled ids swallow exactly one late reply, and
+//! duplicate/unknown ids are rejected without disturbing other in-flight
+//! requests. The table is what keeps one multiplexed worker connection
+//! safe for any number of concurrent scatters — these invariants are the
+//! whole correctness argument.
+
+use pegwire::{Demux, DemuxError, Json};
+use proptest::prelude::*;
+
+/// Deterministic Fisher–Yates driven by a splitmix64 stream, so a case's
+/// reply order is an arbitrary function of its seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+/// The reply payload for `id`: tagged so the receiving end can prove the
+/// routing, with a distinct wire size per id for good measure.
+fn delivery(id: u64) -> Result<(Json, u64), String> {
+    Ok((Json::Num(id as f64), id + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Replies arriving in any order reach exactly the receiver that
+    /// registered their id, and the table drains to empty.
+    #[test]
+    fn out_of_order_interleavings_route_correctly(
+        n in 1usize..48,
+        id_stride in 1u64..1000,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let mut d = Demux::new();
+        // Non-contiguous ids (stride) — nothing may assume density.
+        let ids: Vec<u64> = (0..n as u64).map(|k| k * id_stride).collect();
+        let receivers: Vec<_> = ids
+            .iter()
+            .map(|&id| (id, d.register(id).expect("fresh ids register")))
+            .collect();
+        prop_assert_eq!(d.len(), n);
+
+        let mut reply_order = ids.clone();
+        shuffle(&mut reply_order, order_seed);
+        for &id in &reply_order {
+            prop_assert!(d.route(id, delivery(id)).expect("registered id routes"));
+        }
+        prop_assert!(d.is_empty());
+
+        for (id, rx) in receivers {
+            let (value, wire) = rx.try_recv().expect("reply delivered").expect("ok delivery");
+            prop_assert_eq!(value.as_u64(), Some(id), "payload routed to the wrong caller");
+            prop_assert_eq!(wire, id + 1);
+        }
+    }
+
+    /// A random subset of callers gives up before the replies land:
+    /// cancelled ids swallow exactly one late reply each (route returns
+    /// `Ok(false)`), everyone else still gets the right payload, and a
+    /// *second* reply for a cancelled id is the protocol error that must
+    /// kill the connection.
+    #[test]
+    fn cancelled_ids_discard_one_late_reply(
+        n in 1usize..48,
+        cancel_seed in 0u64..u64::MAX,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let mut d = Demux::new();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let receivers: Vec<_> = ids.iter().map(|&id| (id, d.register(id).unwrap())).collect();
+
+        let mut mask = ids.clone();
+        shuffle(&mut mask, cancel_seed);
+        let cancelled: std::collections::HashSet<u64> =
+            mask.into_iter().take(n / 2).collect();
+        for &id in &cancelled {
+            d.cancel(id);
+        }
+
+        let mut reply_order = ids.clone();
+        shuffle(&mut reply_order, order_seed);
+        for &id in &reply_order {
+            let delivered = d.route(id, delivery(id)).expect("known id never errors");
+            prop_assert_eq!(delivered, !cancelled.contains(&id));
+        }
+        prop_assert!(d.is_empty());
+
+        for (id, rx) in receivers {
+            if cancelled.contains(&id) {
+                prop_assert!(rx.try_recv().is_err(), "cancelled id {} got a reply", id);
+            } else {
+                let (value, _) = rx.try_recv().expect("live id delivered").unwrap();
+                prop_assert_eq!(value.as_u64(), Some(id));
+            }
+        }
+
+        // One swallow per cancellation: a replayed reply is now unknown.
+        for &id in &cancelled {
+            prop_assert_eq!(d.route(id, delivery(id)), Err(DemuxError::UnknownId(id)));
+        }
+    }
+
+    /// Duplicate registration and unknown-id replies are rejected without
+    /// disturbing the requests already in flight.
+    #[test]
+    fn duplicates_and_unknowns_reject_without_collateral(
+        n in 1usize..32,
+        dup_pick in 0usize..32,
+        ghost_offset in 1u64..1000,
+    ) {
+        let mut d = Demux::new();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let receivers: Vec<_> = ids.iter().map(|&id| (id, d.register(id).unwrap())).collect();
+
+        let dup = ids[dup_pick % n];
+        prop_assert!(
+            matches!(d.register(dup), Err(DemuxError::DuplicateId(id)) if id == dup),
+            "duplicate registration must be refused"
+        );
+
+        let ghost = n as u64 - 1 + ghost_offset; // strictly outside the live range
+        prop_assert_eq!(d.route(ghost, delivery(ghost)), Err(DemuxError::UnknownId(ghost)));
+
+        // Neither rejection touched the table: every live id still routes
+        // to its original receiver (the duplicate registration above must
+        // not have replaced or dropped the first caller's channel).
+        prop_assert_eq!(d.len(), n);
+        for (id, rx) in receivers {
+            prop_assert!(d.route(id, delivery(id)).unwrap());
+            let (value, _) = rx.try_recv().expect("original receiver intact").unwrap();
+            prop_assert_eq!(value.as_u64(), Some(id));
+        }
+        prop_assert!(d.is_empty());
+    }
+}

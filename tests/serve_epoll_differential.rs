@@ -1,0 +1,145 @@
+//! Differential front-end equivalence: the epoll readiness loop and the
+//! thread-per-connection front end are two transports over the same
+//! dispatch core, so under 32 concurrent clients replaying a mixed
+//! corpus — threshold queries (with and without request ids), top-k,
+//! batches, prepare, truncation, and a gauntlet of malformed requests —
+//! every reply line must be byte-identical between the two servers once
+//! the timing-dependent fields are stripped.
+
+#![cfg(target_os = "linux")]
+
+use datagen::{synthetic_refgraph, SyntheticConfig};
+use pathindex::PathIndexConfig;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegmatch::Peg;
+use pegserve::{Client, Json, ServeMode, Server, ServerConfig, ServerHandle};
+use std::time::Duration;
+
+const GRAPH_SIZE: usize = 300;
+const CLIENTS: usize = 32;
+
+fn build_workload() -> (Peg, OfflineIndex) {
+    let refs = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(GRAPH_SIZE, 0.2));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let offline = OfflineIndex::build(
+        &peg,
+        &OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() } },
+    )
+    .unwrap();
+    (peg, offline)
+}
+
+fn spawn_server(mode: ServeMode) -> ServerHandle {
+    let (peg, offline) = build_workload();
+    // Admission capacity (4 + 64) exceeds the client count, so no request
+    // is ever rejected by a load-dependent coin flip — every divergence
+    // the comparison sees is a real protocol divergence.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(30),
+            serve_mode: mode,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    server.insert_graph("g", peg, offline);
+    server.spawn()
+}
+
+/// Strips the fields whose values depend on timing or on cross-client
+/// cache races, not on the request: elapsed wall clocks and plan-cache
+/// provenance. Everything else must match bit for bit.
+fn canonical(v: &Json) -> Json {
+    const VOLATILE: [&str; 4] = ["elapsed_us", "plan_from_cache", "from_cache", "plan_us"];
+    match v {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| !VOLATILE.contains(&k.as_str()))
+                .map(|(k, val)| (k.clone(), canonical(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(canonical).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The request corpus, as raw protocol lines: the happy paths the front
+/// ends must serve and the malformed lines they must reject identically.
+fn corpus() -> Vec<&'static str> {
+    vec![
+        // Threshold queries: bare, id'd, limited, explicit alpha.
+        r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#,
+        r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3,"id":7}"#,
+        r#"{"op":"query","pattern":"(x:l0)-(y:l1)-(z:l0)","alpha":0.2,"id":900719925474}"#,
+        r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.1,"limit":2}"#,
+        // Top-k.
+        r#"{"op":"query_topk","pattern":"(x:l0)-(y:l1)","k":5}"#,
+        r#"{"op":"query_topk","pattern":"(a:l1)-(b:l0)","k":3,"id":12}"#,
+        // Batch: mixed shapes and limits under one permit.
+        concat!(
+            r#"{"op":"query_batch","queries":[{"pattern":"(x:l0)-(y:l1)","alpha":0.3},"#,
+            r#"{"pattern":"(a:l1)-(b:l0)","alpha":0.2,"limit":3},"#,
+            r#"{"pattern":"(x:l0)","alpha":0.5}]}"#
+        ),
+        r#"{"op":"query_batch","queries":[{"pattern":"(x:l0)-(y:l1)"}],"id":44}"#,
+        // Prepare and ping.
+        r#"{"op":"prepare","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#,
+        r#"{"op":"ping"}"#,
+        r#"{"op":"ping","id":1}"#,
+        // The rejection gauntlet: both front ends must produce the same
+        // structured error lines.
+        r#"{"op":"warp"}"#,
+        r#"{"op":"query","pattern":"(x:l0)","alpha":"high"}"#,
+        r#"{"op":"query","pattern":"(x:l0)","id":1.5}"#,
+        r#"{"op":"query","pattern":"(x:nosuch)"}"#,
+        r#"{"op":"query","graph":"nope","pattern":"(x:l0)"}"#,
+        r#"{"op":"query"}"#,
+        r#"{"op":"query_batch","queries":[]}"#,
+        r#"{"op":"query_batch","queries":[{"pattern":"(x:l0)"},{"pattern":"(x:bad"}]}"#,
+        "this is not json",
+        r#"{"op":"query","debug_sleep_ms":5,"pattern":"(x:l0)"}"#,
+    ]
+}
+
+#[test]
+fn epoll_replies_match_threads_replies_byte_for_byte() {
+    let threads_handle = spawn_server(ServeMode::Threads);
+    let epoll_handle = spawn_server(ServeMode::Epoll);
+    let (threads_addr, epoll_addr) = (threads_handle.addr, epoll_handle.addr);
+    let lines = corpus();
+
+    std::thread::scope(|scope| {
+        let lines = &lines;
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|offset| {
+                scope.spawn(move || {
+                    let mut a = Client::connect(threads_addr).unwrap();
+                    let mut b = Client::connect(epoll_addr).unwrap();
+                    for i in 0..lines.len() {
+                        let line = lines[(i + offset) % lines.len()];
+                        let ra = a.request_line(line).unwrap();
+                        let rb = b.request_line(line).unwrap();
+                        let ca = canonical(&Json::parse(&ra).unwrap()).to_string();
+                        let cb = canonical(&Json::parse(&rb).unwrap()).to_string();
+                        assert_eq!(
+                            ca, cb,
+                            "client {offset}: front ends diverged on {line}\n \
+                             threads: {ra}\n epoll: {rb}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    epoll_handle.shutdown().unwrap();
+    threads_handle.shutdown().unwrap();
+}
