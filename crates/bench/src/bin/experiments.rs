@@ -8,11 +8,13 @@
 //! Experiments: fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c fig7d
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
-//! ablation-montecarlo ablation-plan-cache ablation-shards
-//! ablation-transport serving-mix saturation all
+//! ablation-montecarlo ablation-plan-cache ablation-exec-cache
+//! ablation-shards ablation-transport serving-mix saturation all
 //!
-//! `saturation` additionally writes its machine-readable results to
-//! `BENCH_saturation.json` in the working directory.
+//! `--test` is shorthand for `--scale tiny` (the CI smoke mode).
+//! `saturation` and `ablation-exec-cache` additionally write their
+//! machine-readable results to `BENCH_saturation.json` /
+//! `BENCH_exec_cache.json` in the working directory.
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -36,6 +38,7 @@ fn main() {
                 scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
                     .expect("--scale tiny|small|paper");
             }
+            "--test" => scale = Scale::Tiny,
             name => which = name.to_string(),
         }
         i += 1;
@@ -106,6 +109,9 @@ fn main() {
     }
     if run("ablation-plan-cache") {
         ablation_plan_cache(scale);
+    }
+    if run("ablation-exec-cache") {
+        ablation_exec_cache(scale);
     }
     if run("ablation-shards") {
         ablation_shards(scale);
@@ -979,6 +985,187 @@ fn ablation_plan_cache(scale: Scale) {
         ]);
     }
     t.print();
+    println!();
+}
+
+/// Ablation: the shape-keyed execution cache on repeated-shape workloads.
+///
+/// The same shapes×repeats mixes as `ablation-plan-cache`, each query run
+/// at two alphas sharing a quantization bucket (0.5 and 0.55, so the
+/// second alpha hits the floor retrieval cached by the first). Both the
+/// cold and warm pipelines carry a plan cache — the variable under test
+/// is candidate reuse, not plan choice — and every warm answer is checked
+/// bit-exact against its cold twin. Reports end-to-end and
+/// retrieval-phase time without and with an [`pegmatch::online::ExecCache`],
+/// the hit rate, and the bytes held; a distributed section over a 3-shard
+/// store counts the scatter round trips a hit skips entirely. Results
+/// also land in `BENCH_exec_cache.json` (working directory).
+fn ablation_exec_cache(scale: Scale) {
+    use bench::workloads::permuted_query as permuted;
+    use pegmatch::online::{ExecCache, PlanCache};
+    use pegserve::{obj, Json};
+    use pegshard::ShardedGraphStore;
+    use std::sync::Arc;
+
+    println!("## Ablation: execution cache on repeated-shape workloads (alpha=0.5/0.55/0.6)");
+    let (beta, max_len) = (0.3, 2);
+    let w = Workload::synthetic(scale.default_graph(), 0.2, beta, max_len);
+    let n_labels = w.peg.graph.label_table().len();
+    // 0.55 and 0.6 floor to 0.5's quantization bucket: after the first
+    // pass over the mix every run re-prunes the cached floor retrieval
+    // instead of probing again.
+    let alphas = [0.5f64, 0.55, 0.6];
+    let mix = |n_shapes: u64, repeats: u64| -> Vec<QueryGraph> {
+        (0..n_shapes)
+            .flat_map(|s| {
+                let base = random_query(QuerySpec::new(5, 6), n_labels, s);
+                (0..repeats).map(move |r| permuted(&base, s * 1000 + r)).collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    // Replays the mix (each query at each alpha) through `pipe`, checking
+    // every answer bit-exact against `reference` when given. Returns
+    // (wall time, summed retrieval-phase time); the reference reruns are
+    // excluded from both timers.
+    let replay = |pipe: &QueryPipeline<'_>,
+                  reference: Option<&QueryPipeline<'_>>,
+                  queries: &[QueryGraph],
+                  ctx: &str|
+     -> (Duration, Duration) {
+        let mut wall = Duration::ZERO;
+        let mut retrieval = Duration::ZERO;
+        for (k, q) in queries.iter().enumerate() {
+            for &alpha in &alphas {
+                let t0 = Instant::now();
+                let res = pipe.run(q, alpha, &QueryOptions::default()).expect("query runs");
+                wall += t0.elapsed();
+                retrieval += res.stats.candidates_time;
+                if let Some(r) = reference {
+                    let want = r.run(q, alpha, &QueryOptions::default()).expect("query runs");
+                    bench::workloads::assert_matches_bit_identical(
+                        &res.matches,
+                        &want.matches,
+                        &format!("{ctx} query {k} alpha {alpha}"),
+                    );
+                }
+            }
+        }
+        (wall, retrieval)
+    };
+
+    let mut t = Table::new(&[
+        "shapes",
+        "runs",
+        "no cache",
+        "with cache",
+        "retrieval (cold/warm)",
+        "speedup",
+        "hit rate",
+        "bytes held",
+    ]);
+    let mut json_local: Vec<Json> = Vec::new();
+    for (n_shapes, repeats) in [(2u64, 8u64), (4, 8), (8, 4)] {
+        let queries = mix(n_shapes, repeats);
+        let cold = QueryPipeline::new(&w.peg, w.index(max_len))
+            .with_plan_cache(Arc::new(PlanCache::new()));
+        let (cold_wall, cold_retrieval) = replay(&cold, None, &queries, "cold");
+
+        let exec = Arc::new(ExecCache::new(32 << 20));
+        let warm = QueryPipeline::new(&w.peg, w.index(max_len))
+            .with_plan_cache(Arc::new(PlanCache::new()))
+            .with_exec_cache(exec.clone(), exec.next_epoch());
+        let (warm_wall, warm_retrieval) =
+            replay(&warm, Some(&cold), &queries, &format!("local {n_shapes} shapes"));
+
+        let s = exec.stats();
+        let speedup = cold_retrieval.as_secs_f64() / warm_retrieval.as_secs_f64().max(1e-12);
+        let runs = queries.len() * alphas.len();
+        t.row(vec![
+            n_shapes.to_string(),
+            runs.to_string(),
+            fmt_duration(cold_wall),
+            fmt_duration(warm_wall),
+            format!("{} / {}", fmt_duration(cold_retrieval), fmt_duration(warm_retrieval)),
+            format!("{speedup:.1}x"),
+            format!("{:.0}%", s.hit_rate() * 100.0),
+            s.bytes.to_string(),
+        ]);
+        json_local.push(
+            obj()
+                .field("shapes", n_shapes)
+                .field("runs", runs)
+                .field("cold_total_us", cold_wall.as_micros() as u64)
+                .field("warm_total_us", warm_wall.as_micros() as u64)
+                .field("cold_retrieval_us", cold_retrieval.as_micros() as u64)
+                .field("warm_retrieval_us", warm_retrieval.as_micros() as u64)
+                .field("retrieval_speedup", speedup)
+                .field("hits", s.hits)
+                .field("misses", s.misses)
+                .field("hit_rate", s.hit_rate())
+                .field("bytes", s.bytes)
+                .field("bit_exact", true)
+                .build(),
+        );
+    }
+    t.print();
+    println!("(every warm row bit-exact vs the cache-free pipeline)");
+    println!();
+
+    // Distributed: over a sharded store a hit doesn't just skip index
+    // probes — it skips the whole scatter-gather round across the shards.
+    let shards = 3usize;
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let store = ShardedGraphStore::build(w.peg.clone(), &opts, shards).expect("sharded build");
+    let queries = mix(4, 8);
+    let cold = store.pipeline().with_plan_cache(Arc::new(PlanCache::new()));
+    let (cold_wall, cold_retrieval) = replay(&cold, None, &queries, "distributed cold");
+    let exec = Arc::new(ExecCache::new(32 << 20));
+    let warm = store
+        .pipeline()
+        .with_plan_cache(Arc::new(PlanCache::new()))
+        .with_exec_cache(exec.clone(), exec.next_epoch());
+    let (warm_wall, warm_retrieval) = replay(&warm, Some(&cold), &queries, "distributed");
+    let s = exec.stats();
+    let speedup = cold_retrieval.as_secs_f64() / warm_retrieval.as_secs_f64().max(1e-12);
+    let runs = queries.len() * alphas.len();
+    println!(
+        "distributed ({shards} shards, 4 shapes x 8 renumberings x 3 alphas): \
+         {runs} runs, {} scatter round trips skipped ({:.0}% hit rate)",
+        s.hits,
+        s.hit_rate() * 100.0
+    );
+    println!(
+        "  retrieval cold {} vs warm {} ({speedup:.1}x), end-to-end {} vs {}, all bit-exact",
+        fmt_duration(cold_retrieval),
+        fmt_duration(warm_retrieval),
+        fmt_duration(cold_wall),
+        fmt_duration(warm_wall),
+    );
+    println!();
+
+    let report = obj()
+        .field("experiment", "ablation-exec-cache")
+        .field("scale", format!("{scale:?}").to_lowercase())
+        .field("graph_size", scale.default_graph())
+        .field("alphas", Json::Arr(alphas.iter().map(|&a| Json::Num(a)).collect()))
+        .field("local", Json::Arr(json_local))
+        .field(
+            "distributed",
+            obj()
+                .field("shards", shards)
+                .field("runs", runs)
+                .field("scatters_saved", s.hits)
+                .field("cold_retrieval_us", cold_retrieval.as_micros() as u64)
+                .field("warm_retrieval_us", warm_retrieval.as_micros() as u64)
+                .field("retrieval_speedup", speedup)
+                .field("hit_rate", s.hit_rate())
+                .field("bytes", s.bytes)
+                .field("bit_exact", true)
+                .build(),
+        )
+        .build();
+    std::fs::write("BENCH_exec_cache.json", format!("{report}\n")).expect("write BENCH json");
+    println!("(wrote BENCH_exec_cache.json)");
     println!();
 }
 

@@ -23,7 +23,7 @@ use pathindex::disk::{load_index, save_index};
 use pathindex::PathIndexConfig;
 use pegmatch::model::{Peg, PegBuilder};
 use pegmatch::offline::{ContextInfo, OfflineIndex, OfflineOptions, OfflineStats};
-use pegmatch::online::{PlanCache, QueryOptions, QueryPipeline};
+use pegmatch::online::{ExecCache, PlanCache, QueryOptions, QueryPipeline};
 use pegmatch::query::{QNode, QueryGraph};
 use std::collections::HashMap;
 use std::process::exit;
@@ -66,7 +66,9 @@ fn usage() {
          \x20 query    --kind ... --size N [--seed S] [--index FILE]\n\
          \x20          --pattern '(x:a)-(y:b), (y)-(z:a)' [--alpha A]\n\
          \x20          [--explain] [--limit N] [--threads T] [--shards N]\n\
-         \x20          [--repeat N] [--plan-cache-stats]\n\
+         \x20          [--repeat N] [--plan-cache-stats] [--exec-cache-bytes N]\n\
+         \x20          (exec cache is off by default for one-shot runs; a nonzero byte\n\
+         \x20          budget reuses floor-threshold retrievals across --repeat runs)\n\
          \x20          (or: --labels a,b,c --edges 0-1,1-2)\n\
          \x20 topk     (same as query, plus --k K)\n\
          \x20 stats    --kind ... --size N [--seed S]\n\
@@ -78,6 +80,8 @@ fn usage() {
          \x20          [--workers A1,A2,...]  (distribute retrieval across shard-worker\n\
          \x20          processes, one shard per worker; needs --kind)\n\
          \x20          [--worker-timeout-ms MS]   (wire deadline per worker exchange)\n\
+         \x20          [--exec-cache-bytes N]   (execution-cache byte budget; default 64 MiB,\n\
+         \x20          0 disables; per-graph opt-out via load_graph \"exec_cache\":false)\n\
          \x20          [--debug-sleep]   (honor debug_sleep_ms requests — admission drills)\n\
          \x20 shard-worker --addr HOST:PORT [--max-sessions N] [--queue-depth N]\n\
          \x20          [--serve-mode threads|epoll]\n\
@@ -247,6 +251,12 @@ fn server_config(flags: &HashMap<String, String>) -> Result<pegserve::ServerConf
         max_connections: flags.get("max-connections").and_then(|s| s.parse().ok()).unwrap_or(256),
         allow_debug_sleep: flags.contains_key("debug-sleep"),
         serve_mode,
+        // Servers default the execution cache on (repeated-shape mixes
+        // are their whole reason to exist); --exec-cache-bytes 0 disables.
+        exec_cache_bytes: flags
+            .get("exec-cache-bytes")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(pegmatch::online::DEFAULT_EXEC_CACHE_BYTES),
     })
 }
 
@@ -374,23 +384,58 @@ fn cmd_shard_worker(flags: &HashMap<String, String>) -> Result<(), String> {
 /// reply line either way).
 fn pretty_print_workers(reply: &pegserve::Json) {
     use pegserve::Json;
+    // Server-wide execution-cache counters (stats replies from a server
+    // running with a nonzero exec-cache budget).
+    if let Some(ec) = reply.get("exec_cache") {
+        let num = |k: &str| ec.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let rate = ec.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+        eprintln!(
+            "exec cache: {} hit(s), {} miss(es) ({:.0}% hit rate), {} entr(ies) holding \
+             {} KiB of {} KiB budget, {} eviction(s)",
+            num("hits"),
+            num("misses"),
+            rate * 100.0,
+            num("entries"),
+            num("bytes") / 1024,
+            num("budget") / 1024,
+            num("evictions"),
+        );
+    }
     let Some(graphs) = reply.get("graphs").and_then(Json::as_arr) else {
         return;
     };
     for g in graphs {
+        let name = g.get("name").and_then(Json::as_str).unwrap_or("?");
+        if let Some(ec) = g.get("exec_cache") {
+            let num = |k: &str| ec.get(k).and_then(Json::as_u64).unwrap_or(0);
+            eprintln!(
+                "exec cache of graph '{name}': epoch {}, {} entr(ies), {} KiB",
+                num("epoch"),
+                num("entries"),
+                num("bytes") / 1024,
+            );
+        }
         let Some(workers) = g.get("workers").and_then(Json::as_arr) else {
             continue;
         };
-        let name = g.get("name").and_then(Json::as_str).unwrap_or("?");
         eprintln!("workers of graph '{name}':");
         eprintln!(
-            "  {:>5}  {:<21}  {:>9}  {:>12}  {:>12}  {:>10}  {:>9}  {:>9}",
-            "shard", "addr", "requests", "bytes tx", "bytes rx", "reconnects", "p50", "p99"
+            "  {:>5}  {:<21}  {:>9}  {:>12}  {:>12}  {:>10}  {:>9}  {:>9}  {:>10}  {:>12}",
+            "shard",
+            "addr",
+            "requests",
+            "bytes tx",
+            "bytes rx",
+            "reconnects",
+            "p50",
+            "p99",
+            "tombstones",
+            "inflight hwm"
         );
         for w in workers {
             let num = |k: &str| w.get(k).and_then(Json::as_u64).unwrap_or(0);
             eprintln!(
-                "  {:>5}  {:<21}  {:>9}  {:>12}  {:>12}  {:>10}  {:>9}  {:>9}",
+                "  {:>5}  {:<21}  {:>9}  {:>12}  {:>12}  {:>10}  {:>9}  {:>9}  {:>10}  {:>12}",
                 num("shard"),
                 w.get("addr").and_then(Json::as_str).unwrap_or("?"),
                 num("requests"),
@@ -399,6 +444,8 @@ fn pretty_print_workers(reply: &pegserve::Json) {
                 num("reconnects"),
                 bench::fmt_duration(std::time::Duration::from_micros(num("p50_us"))),
                 bench::fmt_duration(std::time::Duration::from_micros(num("p99_us"))),
+                num("mux_tombstones"),
+                num("mux_inflight_hwm"),
             );
         }
     }
@@ -638,6 +685,13 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
     if want_cache_stats {
         pipeline = pipeline.with_plan_cache(cache.clone());
     }
+    // Off by default for a single-shot CLI run (nothing repeats, so a
+    // cache is pure overhead); --repeat N with a budget shows the reuse.
+    let exec_bytes: usize = flags.get("exec-cache-bytes").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let exec_cache = (exec_bytes > 0).then(|| std::sync::Arc::new(ExecCache::new(exec_bytes)));
+    if let Some(c) = &exec_cache {
+        pipeline = pipeline.with_exec_cache(c.clone(), c.next_epoch());
+    }
     let repeat: usize = flags.get("repeat").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
     let t = std::time::Instant::now();
     let mut result = None;
@@ -709,6 +763,20 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
                 pegmatch::pattern::format_pattern(&e.shape, peg.graph.label_table()),
             );
         }
+    }
+    if let Some(c) = &exec_cache {
+        let s = c.stats();
+        println!(
+            "exec cache: {} hit(s), {} miss(es) ({:.0}% hit rate), {} entr(ies) holding \
+             {} KiB of {} KiB budget, {} eviction(s)",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.entries,
+            s.bytes / 1024,
+            s.budget / 1024,
+            s.evictions,
+        );
     }
     Ok(())
 }

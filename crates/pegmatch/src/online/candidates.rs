@@ -10,6 +10,15 @@
 //! * **path-level** — the candidate path's own probability times the
 //!   neighborhood upper bound `pu(Pu)` and cycle-edge probability
 //!   `cpr(Pu)` must reach α.
+//!
+//! Every threshold test above has the form `q + EPS ≥ α` for some
+//! α-independent quantity `q`, so each survivor's **keep-bound** — the
+//! minimum of those quantities ([`prune_candidates_scored`]) — captures
+//! the whole predicate: the candidate survives pruning at `α'` iff
+//! `keep_bound + EPS ≥ α'` ([`bound_keeps`]), by monotonicity of `min`.
+//! That single `f64` is what lets an execution cache re-prune a
+//! floor-threshold retrieval at any higher threshold without index or
+//! context access (see [`crate::online::exec_cache`]).
 
 use crate::offline::OfflineIndex;
 use crate::online::decompose::QueryPath;
@@ -41,6 +50,16 @@ pub struct PathStats {
 
 impl PathStats {
     /// Derives the statistics of `path` within `query`.
+    ///
+    /// Both lists come out in a **renumbering-invariant order**: neighbors
+    /// sorted by `(label, rv)`, cycles by position pair. The pruning
+    /// bounds multiply over these lists, and float products depend on
+    /// operand order — a query-numbering-dependent order would make the
+    /// computed bounds (and with them borderline pruning decisions) differ
+    /// between isomorphic queries sharing one cached canonical plan.
+    /// Neighbors tied on `(label, rv)` contribute bit-identical factors
+    /// (the bound is a function of exactly those two), so the order among
+    /// ties is immaterial.
     pub fn new(query: &QueryGraph, path: &QueryPath) -> Self {
         let on_path = |n: QNode| path.position(n);
         let mut neighbors: Vec<(QNode, Vec<usize>)> = Vec::new();
@@ -71,19 +90,26 @@ impl PathStats {
                 }
             }
         }
+        neighbors.sort_by(|(a, rva), (b, rvb)| {
+            query.label(*a).0.cmp(&query.label(*b).0).then_with(|| rva.cmp(rvb))
+        });
+        cycles.sort_unstable();
         Self { neighbors, cycles }
     }
 }
 
-/// Memoized node-level candidacy tests (`v ∈ cn(n)`), shared by every
+/// Memoized node-level candidacy bounds (`v ∈ cn(n)`), shared by every
 /// worker retrieving candidates for one query execution.
 ///
-/// The memo is sharded by entity id so concurrent path workers contend on
-/// different locks; a race merely recomputes the (pure) test and both
-/// writers store the same bit, so results never depend on scheduling.
+/// The memo stores each pair's α-independent bound (see
+/// `node_candidate_bound`) rather than a pass/fail bit, so one cache
+/// serves every threshold an execution evaluates. It is sharded by entity
+/// id so concurrent path workers contend on different locks; a race merely
+/// recomputes the (pure) bound and both writers store the same bits, so
+/// results never depend on scheduling.
 #[derive(Debug, Default)]
 pub struct NodeCandidateCache {
-    shards: [Mutex<FxHashMap<(QNode, u32), bool>>; CACHE_SHARDS],
+    shards: [Mutex<FxHashMap<(QNode, u32), f64>>; CACHE_SHARDS],
 }
 
 impl NodeCandidateCache {
@@ -93,13 +119,32 @@ impl NodeCandidateCache {
     }
 
     #[inline]
-    fn shard(&self, v: EntityId) -> &Mutex<FxHashMap<(QNode, u32), bool>> {
+    fn shard(&self, v: EntityId) -> &Mutex<FxHashMap<(QNode, u32), f64>> {
         // Fibonacci-hash the id so consecutive entities spread over shards.
         let h = (v.0 as usize).wrapping_mul(0x9e37_79b9) >> 16;
         &self.shards[h & (CACHE_SHARDS - 1)]
     }
 
-    /// Tests whether `v` passes node-level pruning for query node `n`.
+    /// The memoized node-level bound for `(n, v)` — NaN when `v` fails a
+    /// structural (α-independent) test.
+    pub fn bound(
+        &self,
+        peg: &Peg,
+        offline: &OfflineIndex,
+        query: &QueryGraph,
+        n: QNode,
+        v: EntityId,
+    ) -> f64 {
+        if let Some(&hit) = self.shard(v).lock().unwrap().get(&(n, v.0)) {
+            return hit;
+        }
+        let b = node_candidate_bound(peg, offline, query, n, v);
+        self.shard(v).lock().unwrap().insert((n, v.0), b);
+        b
+    }
+
+    /// Tests whether `v` passes node-level pruning for query node `n` at
+    /// threshold `alpha`.
     pub fn is_candidate(
         &self,
         peg: &Peg,
@@ -109,28 +154,31 @@ impl NodeCandidateCache {
         n: QNode,
         v: EntityId,
     ) -> bool {
-        if let Some(&hit) = self.shard(v).lock().unwrap().get(&(n, v.0)) {
-            return hit;
-        }
-        let ok = node_candidate_test(peg, offline, query, alpha, n, v);
-        self.shard(v).lock().unwrap().insert((n, v.0), ok);
-        ok
+        bound_keeps(self.bound(peg, offline, query, n, v), alpha)
     }
 }
 
-fn node_candidate_test(
+/// The node-level pruning tests of Section 5.2.2, folded into a single
+/// α-independent value: NaN when a structural test fails (no label
+/// support, or too few `σ`-capable neighbors for some required `σ`),
+/// otherwise the minimum over required labels of
+/// `Pr(v.l = lQ(n)) · fpu(v,σ)^{c(n,σ)}` (`+∞` when nothing is required).
+/// `v` passes node-level pruning at `alpha` iff
+/// [`bound_keeps`]`(bound, alpha)` — each per-σ test is `bound_σ + EPS ≥
+/// α`, and a conjunction of such tests is the same test on their minimum.
+fn node_candidate_bound(
     peg: &Peg,
     offline: &OfflineIndex,
     query: &QueryGraph,
-    alpha: f64,
     n: QNode,
     v: EntityId,
-) -> bool {
+) -> f64 {
     let label_prob = peg.graph.label_prob(v, query.label(n));
     if label_prob <= 0.0 {
-        return false;
+        return f64::NAN;
     }
     let ctx = &offline.context;
+    let mut min_bound = f64::INFINITY;
     for sigma_idx in 0..ctx.n_labels() {
         let sigma = Label(sigma_idx as u16);
         let required = query.neighbor_label_count(n, sigma) as u32;
@@ -138,16 +186,24 @@ fn node_candidate_test(
             continue;
         }
         if ctx.c(v, sigma) < required {
-            return false;
+            return f64::NAN;
         }
         // The paper prints fpu^{c(v,σ)}; the sound exponent is the query's
         // requirement c(n,σ) (see DESIGN.md).
         let bound = label_prob * ctx.fpu(v, sigma).powi(required as i32);
-        if bound + EPS < alpha {
-            return false;
+        if bound < min_bound {
+            min_bound = bound;
         }
     }
-    true
+    min_bound
+}
+
+/// Whether a keep-bound admits a candidate at threshold `alpha` — the
+/// single comparison every α-dependent pruning test reduces to. NaN
+/// (structural reject) never keeps.
+#[inline]
+pub fn bound_keeps(bound: f64, alpha: f64) -> bool {
+    bound + EPS >= alpha
 }
 
 /// Candidate set for one decomposition path, with stage counters.
@@ -155,6 +211,11 @@ fn node_candidate_test(
 pub struct CandidateSet {
     /// Surviving candidate path matches.
     pub matches: Vec<PathMatch>,
+    /// Each survivor's keep-bound, aligned with `matches`: the candidate
+    /// survives context pruning at `α'` iff [`bound_keeps`]`(bound, α')`
+    /// — exact for any `α'` at or above the threshold this set was pruned
+    /// at (see [`prune_candidates_scored`]).
+    pub bounds: Vec<f64>,
     /// `|PIndex(lQ(VP), α)|` before any context pruning.
     pub raw_count: usize,
 }
@@ -181,14 +242,23 @@ pub fn find_candidates(
     let labels = path.labels(query);
     let mut raw = offline.path_matches(peg, &labels, alpha);
     let raw_count = raw.len();
-    prune_candidates_in_place(peg, offline, query, path, stats, alpha, node_cache, pool, &mut raw);
-    CandidateSet { matches: raw, raw_count }
+    let bounds = prune_candidates_scored(
+        peg, offline, query, path, stats, alpha, node_cache, pool, &mut raw,
+    );
+    CandidateSet { matches: raw, bounds, raw_count }
 }
 
-/// The combined candidate predicate of Section 5.2.2, evaluated in
-/// contiguous chunks over `pool`; `mask[i]` is whether `raw[i]` survives.
+/// The combined candidate predicate of Section 5.2.2 as a keep-bound per
+/// raw candidate, evaluated in contiguous chunks over `pool`.
+///
+/// `scores[i]` is NaN when `raw[i]` is rejected at `alpha` (a structural
+/// failure, or any threshold quantity falling below `alpha` — the scorer
+/// short-circuits there, exactly like the boolean predicate used to);
+/// otherwise it is the exact keep-bound
+/// `min(prle·prn, node bounds…, prle·prn·pu·cpr)`, which re-answers the
+/// whole predicate for every `α' ≥ alpha` via [`bound_keeps`].
 #[allow(clippy::too_many_arguments)]
-fn candidate_mask(
+fn candidate_scores(
     peg: &Peg,
     offline: &OfflineIndex,
     query: &QueryGraph,
@@ -198,47 +268,96 @@ fn candidate_mask(
     node_cache: &NodeCandidateCache,
     pool: &ThreadPool,
     raw: &[PathMatch],
-) -> Vec<bool> {
-    let keep = |pm: &PathMatch| -> bool {
+) -> Vec<f64> {
+    let score = |pm: &PathMatch| -> f64 {
         // 0. The raw-retrieval threshold (relevant when `raw` is a
         // superset fetched at a lower threshold).
-        if pm.prle * pm.prn + EPS < alpha {
-            return false;
+        let p = pm.prle * pm.prn;
+        let mut bound = p;
+        if !bound_keeps(bound, alpha) {
+            return f64::NAN;
         }
-        // 1. Node-level candidacy at every position.
+        // 1. Node-level candidacy at every position. The running minimum
+        // reproduces each positional test: it drops below alpha exactly
+        // when some position's bound does.
         for (pos, &v) in pm.nodes.iter().enumerate() {
-            if !node_cache.is_candidate(peg, offline, query, alpha, path.nodes[pos], v) {
-                return false;
+            let nb = node_cache.bound(peg, offline, query, path.nodes[pos], v);
+            if nb.is_nan() {
+                return f64::NAN;
+            }
+            if nb < bound {
+                bound = nb;
+                if !bound_keeps(bound, alpha) {
+                    return f64::NAN;
+                }
             }
         }
         // 2. Path-level probability bound.
-        let p = pm.prle * pm.prn;
         let pu = path_neighborhood_bound(peg, offline, query, pm, stats);
         if pu == 0.0 {
-            return false;
+            return f64::NAN;
         }
         let cpr = cycle_probability(peg, query, path, pm, stats);
         if cpr == 0.0 {
-            return false;
+            return f64::NAN;
         }
-        p * pu * cpr + EPS >= alpha
+        let combined = p * pu * cpr;
+        if combined < bound {
+            bound = combined;
+        }
+        if !bound_keeps(bound, alpha) {
+            return f64::NAN;
+        }
+        bound
     };
 
     if pool.lanes() > 1 && raw.len() >= 64 {
         let chunks = pool.chunks(raw.len(), 4);
-        pool.map(chunks.len(), |ci| raw[chunks[ci].clone()].iter().map(keep).collect::<Vec<_>>())
+        pool.map(chunks.len(), |ci| raw[chunks[ci].clone()].iter().map(score).collect::<Vec<_>>())
             .into_iter()
             .flatten()
             .collect()
     } else {
-        raw.iter().map(keep).collect()
+        raw.iter().map(score).collect()
     }
 }
 
-/// Context pruning that consumes the raw retrieval: survivors are
-/// compacted in place (one `retain` pass), avoiding any clone of the
-/// surviving matches. This is the session rebase path (every base build:
-/// one-shot runs and incremental top-k alike).
+/// Context pruning that consumes the raw retrieval and returns each
+/// survivor's keep-bound: survivors are compacted in place (one `retain`
+/// pass, no clones), and the returned vector aligns with the compacted
+/// list. The bounds are exact for re-pruning at any threshold `≥ alpha`:
+/// `bound_keeps(bounds[i], α')` reproduces the full keep-predicate at
+/// `α'` bit-for-bit, with no index or context access — the property the
+/// execution cache's floor-threshold reuse rests on.
+#[allow(clippy::too_many_arguments)]
+pub fn prune_candidates_scored(
+    peg: &Peg,
+    offline: &OfflineIndex,
+    query: &QueryGraph,
+    path: &QueryPath,
+    stats: &PathStats,
+    alpha: f64,
+    node_cache: &NodeCandidateCache,
+    pool: &ThreadPool,
+    raw: &mut Vec<PathMatch>,
+) -> Vec<f64> {
+    let scores = candidate_scores(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
+    let mut bounds = Vec::new();
+    let mut it = scores.into_iter();
+    raw.retain(|_| {
+        let s = it.next().expect("scores cover raw");
+        if s.is_nan() {
+            false
+        } else {
+            bounds.push(s);
+            true
+        }
+    });
+    bounds
+}
+
+/// [`prune_candidates_scored`] for callers that only need the surviving
+/// matches (the pre-scoring signature, kept for them).
 #[allow(clippy::too_many_arguments)]
 pub fn prune_candidates_in_place(
     peg: &Peg,
@@ -251,9 +370,7 @@ pub fn prune_candidates_in_place(
     pool: &ThreadPool,
     raw: &mut Vec<PathMatch>,
 ) {
-    let mask = candidate_mask(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
-    let mut it = mask.into_iter();
-    raw.retain(|_| it.next().expect("mask covers raw"));
+    let _ = prune_candidates_scored(peg, offline, query, path, stats, alpha, node_cache, pool, raw);
 }
 
 /// `pu(Pu)`: upper bound on the probability of matching the path's query
@@ -410,10 +527,9 @@ mod tests {
         // are ref-disjoint: s1, s4, s34 → 3, so it survives the count test;
         // but the fpu bound at α=0.9 eliminates it (0.75^3 < 0.9).
         assert!(!cache.is_candidate(&peg, &idx, &q, 0.9, 0, EntityId(1)));
-        // At a low threshold it passes (per-execution caches are keyed to
-        // one alpha, so a fresh cache is used).
-        let cache2 = NodeCandidateCache::new();
-        assert!(cache2.is_candidate(&peg, &idx, &q, 0.01, 0, EntityId(1)));
+        // At a low threshold it passes — the memoized bound is
+        // alpha-independent, so the same cache answers both thresholds.
+        assert!(cache.is_candidate(&peg, &idx, &q, 0.01, 0, EntityId(1)));
     }
 
     #[test]
@@ -429,5 +545,68 @@ mod tests {
         let pm =
             PathMatch { nodes: vec![EntityId(2), EntityId(1), EntityId(3)], prle: 0.5, prn: 0.2 };
         assert_eq!(cycle_probability(&peg, &q, &p, &pm, &s), 0.0);
+    }
+
+    #[test]
+    fn keep_bounds_reprune_exactly_at_higher_thresholds() {
+        // Floor-threshold reuse: prune once at a low alpha, keep the
+        // bounds, and re-filter with `bound_keeps` at a ladder of higher
+        // alphas — the survivors must equal a fresh prune at each rung.
+        let (peg, idx) = setup();
+        let (a, r, i) = (Label(0), Label(1), Label(2));
+        let q = QueryGraph::path(&[r, a, i]).unwrap();
+        let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
+        let stats = PathStats::new(&q, &d.paths[0]);
+        let pool = pegpool::pool_with(1);
+        let floor = 0.01;
+        let mut base = idx.path_matches(&peg, &d.paths[0].labels(&q), floor);
+        // Canonical order before pruning (as every source emits), so the
+        // zipped comparison below is order-insensitive to retrieval order.
+        crate::online::source::sort_candidates(&mut base);
+        let cache = NodeCandidateCache::new();
+        let bounds = prune_candidates_scored(
+            &peg,
+            &idx,
+            &q,
+            &d.paths[0],
+            &stats,
+            floor,
+            &cache,
+            &pool,
+            &mut base,
+        );
+        assert_eq!(bounds.len(), base.len());
+        for alpha in [floor, 0.05, 0.2, 0.5, 0.9] {
+            let warm: Vec<&PathMatch> = base
+                .iter()
+                .zip(&bounds)
+                .filter(|(_, &b)| bound_keeps(b, alpha))
+                .map(|(m, _)| m)
+                .collect();
+            let fresh_cache = NodeCandidateCache::new();
+            let mut cold =
+                find_candidates(&peg, &idx, &q, &d.paths[0], &stats, alpha, &fresh_cache, &pool);
+            crate::online::source::sort_candidates(&mut cold.matches);
+            assert_eq!(warm.len(), cold.matches.len(), "alpha={alpha}");
+            for (w, c) in warm.iter().zip(&cold.matches) {
+                assert_eq!(w.nodes, c.nodes, "alpha={alpha}");
+                assert_eq!(w.prle.to_bits(), c.prle.to_bits());
+                assert_eq!(w.prn.to_bits(), c.prn.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn structural_rejects_score_nan_even_at_zero_alpha() {
+        // A candidate failing the neighbor-count test must be rejected
+        // unconditionally (NaN bound), not merely fall below the
+        // threshold: at alpha = 0 the boolean predicate still rejects it.
+        let (peg, idx) = setup();
+        let q = QueryGraph::star(Label(0), &[Label(2), Label(2), Label(2), Label(2)]).unwrap();
+        let cache = NodeCandidateCache::new();
+        // Center needs four ref-disjoint `i` neighbors; no entity has that.
+        let bound = cache.bound(&peg, &idx, &q, 0, EntityId(1));
+        assert!(bound.is_nan());
+        assert!(!bound_keeps(bound, 0.0));
     }
 }

@@ -11,14 +11,16 @@
 
 pub mod candidates;
 pub mod decompose;
+pub mod exec_cache;
 pub mod generate;
 pub mod kpartite;
 pub mod plan;
 pub mod session;
 pub mod source;
 
-pub use candidates::{CandidateSet, NodeCandidateCache, PathStats};
+pub use candidates::{bound_keeps, CandidateSet, NodeCandidateCache, PathStats};
 pub use decompose::{decompose, DecompStrategy, Decomposition, QueryPath};
+pub use exec_cache::{floor_alpha, ExecCache, ExecCacheStats, ExecKey, DEFAULT_EXEC_CACHE_BYTES};
 pub use generate::{generate_matches, generate_matches_limited, join_order, JoinOrder};
 pub use kpartite::{build_kpartite, KPartiteGraph, ReduceOptions, ReductionStats};
 pub use plan::{PlanCache, PlanCacheEntry, PlanCacheStats, PreparedQuery};
@@ -145,6 +147,11 @@ pub struct PipelineStats {
     /// True when this run reused an existing session base (pure reuse or
     /// incremental refinement) instead of building one.
     pub base_reused: bool,
+    /// True when candidate retrieval for the base build was served from an
+    /// attached [`ExecCache`] (floor-threshold reuse) instead of the
+    /// candidate source. When set, `raw_counts` describe the cached floor
+    /// retrieval — bit-identical to what a cold run at the floor reports.
+    pub exec_cache_hit: bool,
 }
 
 pub(crate) fn log10_product(counts: &[usize]) -> f64 {
@@ -188,6 +195,9 @@ pub struct QueryPipeline<'a> {
     peg: &'a Peg,
     source: PipelineSource<'a>,
     plan_cache: Option<Arc<PlanCache>>,
+    /// Shared execution cache plus the epoch stamp of this pipeline's
+    /// graph within it (see [`exec_cache`]).
+    exec_cache: Option<(Arc<ExecCache>, u64)>,
 }
 
 impl<'a> QueryPipeline<'a> {
@@ -197,6 +207,7 @@ impl<'a> QueryPipeline<'a> {
             peg,
             source: PipelineSource::Local(source::LocalSource { peg, offline }),
             plan_cache: None,
+            exec_cache: None,
         }
     }
 
@@ -206,7 +217,7 @@ impl<'a> QueryPipeline<'a> {
     /// the source's candidates refer to: k-partite construction and match
     /// generation evaluate cross-path edges and joint existence on it.
     pub fn with_source(peg: &'a Peg, source: &'a dyn CandidateSource) -> Self {
-        Self { peg, source: PipelineSource::Shared(source), plan_cache: None }
+        Self { peg, source: PipelineSource::Shared(source), plan_cache: None, exec_cache: None }
     }
 
     /// Attaches a shared plan cache: [`QueryPipeline::prepare`] then keys
@@ -220,6 +231,24 @@ impl<'a> QueryPipeline<'a> {
     /// The attached plan cache, if any.
     pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
         self.plan_cache.as_ref()
+    }
+
+    /// Attaches a shared execution cache under graph epoch `epoch`:
+    /// sessions then retrieve candidates at the shape's floor threshold
+    /// through the cache, re-pruning cached floor retrievals on a hit
+    /// instead of touching the candidate source (see [`exec_cache`]).
+    /// Results are bit-identical to an uncached pipeline. Callers managing
+    /// several graphs in one cache must issue distinct epochs via
+    /// [`ExecCache::next_epoch`]; a standalone caller can pass any
+    /// constant.
+    pub fn with_exec_cache(mut self, cache: Arc<ExecCache>, epoch: u64) -> Self {
+        self.exec_cache = Some((cache, epoch));
+        self
+    }
+
+    /// The attached execution cache (and this graph's epoch), if any.
+    pub fn exec_cache(&self) -> Option<&(Arc<ExecCache>, u64)> {
+        self.exec_cache.as_ref()
     }
 
     /// Answers a probabilistic subgraph pattern matching query
@@ -294,15 +323,22 @@ impl<'a> QueryPipeline<'a> {
             let order = join_order(&decomp, &sizes, opts.join_order);
             Ok((decomp, order, t.elapsed()))
         };
-        let (decomp, order, from_cache, shape_hash) = match &self.plan_cache {
-            Some(cache) => {
-                let canon = query.canonical_form();
+        // Canonicalize once for every shape-keyed cache attached: the
+        // plan cache keys plans by it, and sessions key cached floor
+        // retrievals by it (plus the canonical-numbered decomposition).
+        let canon = if self.plan_cache.is_some() || self.exec_cache.is_some() {
+            Some(query.canonical_form())
+        } else {
+            None
+        };
+        let (decomp, order, from_cache, shape_hash) = match (&self.plan_cache, &canon) {
+            (Some(cache), Some(canon)) => {
                 let hash = canon.hash64();
                 let (d, o, hit) =
-                    cache.plan_for(&canon, opts.strategy, opts.join_order, max_len, build)?;
+                    cache.plan_for(canon, opts.strategy, opts.join_order, max_len, build)?;
                 (d, o, hit, Some(hash))
             }
-            None => {
+            _ => {
                 let (d, o, _) = build()?;
                 (d, o, false, None)
             }
@@ -317,6 +353,7 @@ impl<'a> QueryPipeline<'a> {
             decompose_time: t0.elapsed(),
             shape_hash,
             from_cache,
+            canon,
         })
     }
 
@@ -327,7 +364,7 @@ impl<'a> QueryPipeline<'a> {
         prepared: &'p PreparedQuery,
         opts: &QueryOptions,
     ) -> QuerySession<'s, 'p> {
-        QuerySession::new(self.peg, self.source.as_dyn(), prepared, *opts)
+        QuerySession::new(self.peg, self.source.as_dyn(), prepared, *opts, self.exec_cache.clone())
     }
 
     /// Finds the `k` most probable matches of `query` (an extension beyond

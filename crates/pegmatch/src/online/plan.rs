@@ -45,6 +45,10 @@ pub struct PreparedQuery {
     pub(crate) decompose_time: Duration,
     pub(crate) shape_hash: Option<u64>,
     pub(crate) from_cache: bool,
+    /// The query's canonical form, retained when any shape-keyed cache
+    /// (plan or execution) is attached to the preparing pipeline. `None`
+    /// means shape-keyed execution caching is skipped for this plan.
+    pub(crate) canon: Option<CanonicalForm>,
 }
 
 impl PreparedQuery {

@@ -17,13 +17,16 @@
 
 use crate::error::PegError;
 use crate::matcher::Match;
-use crate::online::candidates::CandidateSet;
+use crate::online::candidates::{bound_keeps, CandidateSet};
+use crate::online::exec_cache::{floor_alpha, ExecCache, ExecKey};
 use crate::online::generate::generate_matches_limited;
 use crate::online::kpartite::{build_kpartite, KPartiteGraph, ReduceOptions};
 use crate::online::plan::PreparedQuery;
 use crate::online::source::CandidateSource;
 use crate::online::{log10_product, PipelineStats, QueryOptions, QueryResult};
+use crate::query::QNode;
 use crate::Peg;
+use std::sync::Arc;
 use std::time::Instant;
 
 const EPS: f64 = 1e-12;
@@ -52,6 +55,9 @@ pub struct QuerySession<'a, 'p> {
     source: &'a dyn CandidateSource,
     prepared: &'p PreparedQuery,
     opts: QueryOptions,
+    /// Shared execution cache + this graph's epoch, when the owning
+    /// pipeline has one attached (see [`crate::online::exec_cache`]).
+    exec: Option<(Arc<ExecCache>, u64)>,
     base: Option<SessionBase>,
 }
 
@@ -61,8 +67,9 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         source: &'a dyn CandidateSource,
         prepared: &'p PreparedQuery,
         opts: QueryOptions,
+        exec: Option<(Arc<ExecCache>, u64)>,
     ) -> Self {
-        Self { peg, source, prepared, opts, base: None }
+        Self { peg, source, prepared, opts, exec, base: None }
     }
 
     /// The plan this session executes.
@@ -103,15 +110,20 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         // 2. Raw retrieval + context pruning, through the session's
         // candidate source (single store or scatter-gather over shards).
         // Every source emits candidates in the canonical node-sequence
-        // order, so everything from here on is source-independent.
+        // order, so everything from here on is source-independent. With an
+        // execution cache attached, retrieval runs at the shape's floor
+        // threshold through the cache and the floor lists are re-pruned at
+        // `alpha` by keep-bound — bit-identical survivors either way (see
+        // `crate::online::exec_cache`), so the rest of the pipeline cannot
+        // observe the difference.
         let t = Instant::now();
-        let sets: Vec<CandidateSet> =
-            self.source.retrieve(query, decomp, &prepared.pstats, alpha, &pool)?;
+        let (sets, exec_hit) = self.retrieve_sets(alpha, &pool)?;
         for cs in &sets {
             stats.raw_counts.push(cs.raw_count);
             stats.context_counts.push(cs.matches.len());
         }
         stats.candidates_time = t.elapsed();
+        stats.exec_cache_hit = exec_hit;
         stats.log10_ss_index = log10_product(&stats.raw_counts);
         stats.log10_ss_context = log10_product(&stats.context_counts);
 
@@ -137,6 +149,43 @@ impl<'a, 'p> QuerySession<'a, 'p> {
 
         self.base = Some(SessionBase { alpha, kp, stats });
         Ok(())
+    }
+
+    /// Stage-2 retrieval, through the execution cache when one is attached
+    /// and the plan carries its canonical form. Returns the candidate sets
+    /// pruned at `alpha` plus whether they came from a cache hit.
+    ///
+    /// Cache path: the lookup key pins the graph epoch, canonical shape,
+    /// canonical-numbered decomposition paths, index params, and the
+    /// floor threshold [`floor_alpha`]`(alpha, β)`. A hit re-prunes the
+    /// cached floor lists by keep-bound — no source, index, or scatter
+    /// work. A miss retrieves at the *floor* (so the entry serves every
+    /// `alpha' ≥ floor`), caches, and re-prunes the same way; since
+    /// re-pruning a floor superset is bit-identical to direct retrieval at
+    /// `alpha`, all three paths (hit, miss, no cache) agree bit-for-bit.
+    fn retrieve_sets(
+        &self,
+        alpha: f64,
+        pool: &pegpool::ThreadPool,
+    ) -> Result<(Vec<CandidateSet>, bool), PegError> {
+        let prepared = self.prepared;
+        let query = &prepared.query;
+        let decomp = &prepared.decomp;
+        if let (Some((cache, epoch)), Some(canon)) = (&self.exec, &prepared.canon) {
+            let beta = self.source.beta();
+            let floor = floor_alpha(alpha, beta);
+            let paths: Vec<&[QNode]> = decomp.paths.iter().map(|p| p.nodes.as_slice()).collect();
+            let key = ExecKey::new(*epoch, canon, &paths, self.source.max_len(), beta, floor);
+            if let Some(cached) = cache.get(&key) {
+                return Ok((Self::filter_sets(&cached, alpha), true));
+            }
+            let sets = self.source.retrieve(query, decomp, &prepared.pstats, floor, pool)?;
+            let sets = Arc::new(sets);
+            cache.insert(key, Arc::clone(&sets));
+            return Ok((Self::filter_sets(&sets, alpha), false));
+        }
+        let sets = self.source.retrieve(query, decomp, &prepared.pstats, alpha, pool)?;
+        Ok((sets, false))
     }
 
     fn reduce_opts(&self, pool: &pegpool::ThreadPool) -> ReduceOptions {
@@ -230,6 +279,26 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         stats.total_time = t_total.elapsed();
 
         Ok(QueryResult { matches, truncated, stats })
+    }
+
+    /// Re-prunes cached floor-threshold candidate sets at `alpha` by
+    /// keep-bound. Order-preserving, so the canonical candidate order
+    /// survives; survivors (and their bounds) are exactly those a direct
+    /// retrieval at `alpha` would produce.
+    fn filter_sets(sets: &[CandidateSet], alpha: f64) -> Vec<CandidateSet> {
+        sets.iter()
+            .map(|cs| {
+                let mut matches = Vec::new();
+                let mut bounds = Vec::new();
+                for (m, &b) in cs.matches.iter().zip(&cs.bounds) {
+                    if bound_keeps(b, alpha) {
+                        matches.push(m.clone());
+                        bounds.push(b);
+                    }
+                }
+                CandidateSet { matches, bounds, raw_count: cs.raw_count }
+            })
+            .collect()
     }
 
     /// Convenience: sorts `matches` the way top-k results are returned

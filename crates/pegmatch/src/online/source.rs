@@ -51,6 +51,13 @@ pub trait CandidateSource: Sync {
     /// decomposition plans against.
     fn max_len(&self) -> usize;
 
+    /// The index build threshold `β`: retrievals at `alpha ≥ β` come from
+    /// the path index; below it the store falls back to enumeration. The
+    /// execution cache clamps its floor threshold at `β` so a cached
+    /// floor retrieval stays in the same regime as (and a superset of)
+    /// every hitting query's direct retrieval.
+    fn beta(&self) -> f64;
+
     /// Estimated `|PIndex(labels, alpha)|` for the cost model. Two sources
     /// over the same logical graph must return bit-identical estimates for
     /// plans (and therefore results) to agree bit-for-bit.
@@ -60,8 +67,11 @@ pub trait CandidateSource: Sync {
     /// `alpha`, parallelized over `pool` as the source sees fit.
     ///
     /// Contract: `out[i]` holds path `i`'s surviving candidates sorted by
-    /// ascending node sequence with no duplicate node sequences, and
-    /// `out[i].raw_count` counts the distinct raw retrievals before
+    /// ascending node sequence with no duplicate node sequences,
+    /// `out[i].bounds` holds each survivor's keep-bound (aligned with
+    /// `matches`; see
+    /// [`prune_candidates_scored`](crate::online::candidates::prune_candidates_scored)),
+    /// and `out[i].raw_count` counts the distinct raw retrievals before
     /// context pruning (each logical path counted once, however many
     /// physical replicas the store keeps). Failure is all-or-nothing: a
     /// source whose backing store is unreachable returns
@@ -98,6 +108,10 @@ impl CandidateSource for LocalSource<'_> {
         self.offline.paths.config().max_len
     }
 
+    fn beta(&self) -> f64 {
+        self.offline.paths.config().beta
+    }
+
     fn estimate_path_count(&self, labels: &[Label], alpha: f64) -> f64 {
         self.offline.estimate_path_count(labels, alpha)
     }
@@ -126,7 +140,7 @@ impl CandidateSource for LocalSource<'_> {
             .enumerate()
             .map(|(i, mut raw)| {
                 let raw_count = raw.len();
-                candidates::prune_candidates_in_place(
+                let bounds = candidates::prune_candidates_scored(
                     self.peg,
                     self.offline,
                     query,
@@ -137,7 +151,7 @@ impl CandidateSource for LocalSource<'_> {
                     pool,
                     &mut raw,
                 );
-                CandidateSet { matches: raw, raw_count }
+                CandidateSet { matches: raw, bounds, raw_count }
             })
             .collect())
     }
@@ -166,6 +180,8 @@ mod tests {
         assert_eq!(sets.len(), d.paths.len());
         for cs in &sets {
             assert!(cs.raw_count >= cs.matches.len());
+            assert_eq!(cs.bounds.len(), cs.matches.len());
+            assert!(cs.bounds.iter().all(|b| b.is_finite()));
             for w in cs.matches.windows(2) {
                 assert!(w[0].nodes < w[1].nodes, "canonical order violated");
             }

@@ -4,7 +4,12 @@
 //! One [`Server`] owns any number of loaded graphs; each graph carries its
 //! probabilistic entity graph, offline index, and one shared
 //! [`PlanCache`] — the plan-cache/session seam the online pipeline was
-//! layered for. Every `query` / `query_topk` request passes the
+//! layered for. A server-wide [`ExecCache`] (sized by
+//! [`ServerConfig::exec_cache_bytes`], epoch-stamped per graph) addi-
+//! tionally reuses post-prune candidate retrievals across repeated-shape
+//! query mixes — a hit re-prunes cached floor-threshold lists instead of
+//! probing the index (or, for a distributed graph, scattering to the
+//! workers at all), and replies stay bit-identical either way. Every `query` / `query_topk` request passes the
 //! [`Admission`] semaphore, opens a fresh `QuerySession` over the shared
 //! cacheable plan, and executes on the persistent `pegpool` pool sized by
 //! the request's `threads` field. Results are therefore bit-identical to a
@@ -19,7 +24,7 @@
 //! | op               | fields                                                            |
 //! |------------------|-------------------------------------------------------------------|
 //! | `ping`           | —                                                                 |
-//! | `load_graph`     | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?`, `shards?`, `workers?`, `worker_timeout_ms?` |
+//! | `load_graph`     | `name?`, `kind` (`synthetic`/`dblp`/`imdb`), `size`, `seed?`, `uncertainty?`, `max_len?`, `beta?`, `shards?`, `workers?`, `worker_timeout_ms?`, `exec_cache?` |
 //! | `unload_graph`   | `graph` (required; `not_found` for unknown names)                 |
 //! | `prepare`        | `graph?`, `pattern`, `alpha?`                                     |
 //! | `query`          | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
@@ -92,7 +97,10 @@ use pathindex::PathIndexConfig;
 use pegmatch::error::PegError;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
-use pegmatch::online::{PlanCache, QueryOptions, QueryPipeline, QueryResult};
+use pegmatch::online::{
+    floor_alpha, CandidateSource, ExecCache, PlanCache, QueryOptions, QueryPipeline, QueryResult,
+    DEFAULT_EXEC_CACHE_BYTES,
+};
 use pegmatch::Peg;
 use pegshard::{
     wire as shard_wire, ShardedGraphStore, TcpTransport, TcpTransportConfig, WorkerShard,
@@ -156,6 +164,11 @@ pub struct ServerConfig {
     pub allow_debug_sleep: bool,
     /// Connection front end (see [`ServeMode`]).
     pub serve_mode: ServeMode,
+    /// Byte budget for the server-wide execution cache (post-prune
+    /// candidate lists keyed by graph epoch + canonical shape + quantized
+    /// floor threshold). `0` disables it. Per-graph participation is a
+    /// `load_graph` knob (`"exec_cache": false` opts a graph out).
+    pub exec_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -167,6 +180,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             allow_debug_sleep: false,
             serve_mode: ServeMode::default(),
+            exec_cache_bytes: DEFAULT_EXEC_CACHE_BYTES,
         }
     }
 }
@@ -222,6 +236,14 @@ pub struct GraphEntry {
     pub store: GraphStore,
     /// Plan cache shared by every request against this graph.
     pub plans: Arc<PlanCache>,
+    /// Execution-cache epoch stamped at load. Epochs are never reused, so
+    /// unloading (or reloading under the same name) makes every cached
+    /// retrieval keyed by the old epoch unreachable — and
+    /// `unload_graph` explicitly drops them.
+    pub epoch: u64,
+    /// Whether this graph participates in the server's execution cache
+    /// (the `load_graph` `"exec_cache"` knob; defaults on).
+    pub exec_enabled: bool,
 }
 
 pub(crate) struct ServerState {
@@ -231,6 +253,10 @@ pub(crate) struct ServerState {
     /// coordinator/worker distinction is which ops a peer sends, not a
     /// process mode.
     worker_shards: Mutex<HashMap<String, Arc<WorkerShard>>>,
+    /// Server-wide execution cache shared by every graph (per-graph
+    /// isolation comes from the epoch in every key); `None` when
+    /// [`ServerConfig::exec_cache_bytes`] is 0.
+    exec_cache: Option<Arc<ExecCache>>,
     admission: Admission,
     allow_debug_sleep: bool,
     pub(crate) max_connections: usize,
@@ -282,6 +308,8 @@ impl Server {
         let state = Arc::new(ServerState {
             graphs: Mutex::new(HashMap::new()),
             worker_shards: Mutex::new(HashMap::new()),
+            exec_cache: (config.exec_cache_bytes > 0)
+                .then(|| Arc::new(ExecCache::new(config.exec_cache_bytes))),
             admission: Admission::new(config.max_sessions, config.queue_depth, config.deadline),
             allow_debug_sleep: config.allow_debug_sleep,
             max_connections: config.max_connections.max(1),
@@ -301,13 +329,13 @@ impl Server {
     /// Registers a graph under `name` before (or while) serving — the
     /// embedding-side twin of the protocol's `load_graph`.
     pub fn insert_graph(&self, name: &str, peg: Peg, offline: OfflineIndex) {
-        insert_store(&self.state, name, GraphStore::Unsharded { peg, offline });
+        insert_store(&self.state, name, GraphStore::Unsharded { peg, offline }, true);
     }
 
     /// Registers a pre-built sharded store under `name` — the
     /// embedding-side twin of `load_graph` with `shards > 1`.
     pub fn insert_sharded_graph(&self, name: &str, store: ShardedGraphStore) {
-        insert_store(&self.state, name, GraphStore::Sharded(store));
+        insert_store(&self.state, name, GraphStore::Sharded(store), true);
     }
 
     /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`]),
@@ -376,10 +404,34 @@ impl Server {
     }
 }
 
-fn insert_store(state: &ServerState, name: &str, store: GraphStore) {
-    let entry =
-        Arc::new(GraphEntry { name: name.to_string(), store, plans: Arc::new(PlanCache::new()) });
-    state.graphs.lock().unwrap().insert(name.to_string(), entry);
+fn insert_store(state: &ServerState, name: &str, store: GraphStore, exec_enabled: bool) {
+    let epoch = state.exec_cache.as_ref().map_or(0, |c| c.next_epoch());
+    let entry = Arc::new(GraphEntry {
+        name: name.to_string(),
+        store,
+        plans: Arc::new(PlanCache::new()),
+        epoch,
+        exec_enabled,
+    });
+    let replaced = state.graphs.lock().unwrap().insert(name.to_string(), entry);
+    // Reloading under the same name retires the old epoch: its cached
+    // retrievals describe a graph no client can reach anymore.
+    if let (Some(old), Some(cache)) = (replaced, &state.exec_cache) {
+        cache.invalidate_epoch(old.epoch);
+    }
+}
+
+/// The pipeline every request against `entry` executes on: the graph's
+/// shared plan cache, plus the server-wide execution cache when both the
+/// server and the graph opted in.
+fn graph_pipeline<'a>(state: &ServerState, entry: &'a GraphEntry) -> QueryPipeline<'a> {
+    let mut pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
+    if entry.exec_enabled {
+        if let Some(cache) = &state.exec_cache {
+            pipe = pipe.with_exec_cache(Arc::clone(cache), entry.epoch);
+        }
+    }
+    pipe
 }
 
 /// A reply-carrying protocol error.
@@ -860,6 +912,12 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     }
     let worker_timeout =
         Duration::from_millis(field_usize(req, "worker_timeout_ms", 30_000)? as u64);
+    let exec_enabled = match req.get("exec_cache") {
+        None | Some(Json::Null) => true,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| error_reply("bad_request", "\"exec_cache\" must be a boolean"))?,
+    };
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
     let refs = spec.build_refs();
     let t0 = Instant::now();
@@ -901,7 +959,7 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
             .map_err(|e| error_reply("internal", format!("offline phase failed: {e}")))?;
         GraphStore::Unsharded { peg, offline }
     };
-    insert_store(state, &name, store);
+    insert_store(state, &name, store, exec_enabled);
     Ok(reply.field("build_us", t0.elapsed().as_micros() as u64).build())
 }
 
@@ -1064,6 +1122,12 @@ fn op_unload_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
             if let GraphStore::Sharded(store) = &entry.store {
                 store.release_workers();
             }
+            // Drop the graph's cached retrievals now rather than letting
+            // them age out: the epoch is never reissued, so the entries
+            // are pure dead weight against the byte budget.
+            if let Some(cache) = &state.exec_cache {
+                cache.invalidate_epoch(entry.epoch);
+            }
             Ok(obj()
                 .field("ok", true)
                 .field("unloaded", name)
@@ -1116,7 +1180,7 @@ fn op_prepare(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     // Planning is compute too (decomposition + cost estimation over the
     // index), so `prepare` takes an admission permit like the query ops.
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
+    let pipe = graph_pipeline(state, &entry);
     let prepared =
         pipe.prepare(&query, alpha, &QueryOptions::default()).map_err(peg_error_reply)?;
     Ok(obj()
@@ -1167,7 +1231,7 @@ fn op_query(state: &ServerState, req: &Json, topk: bool) -> Result<Json, Reply> 
     if let Some(ms) = req.get("debug_sleep_ms").and_then(Json::as_u64) {
         std::thread::sleep(Duration::from_millis(ms.min(60_000)));
     }
-    let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
+    let pipe = graph_pipeline(state, &entry);
     let t0 = Instant::now();
     let (result, from_cache): (QueryResult, Option<bool>) = if topk {
         let res = pipe.run_topk(&query, k, min_alpha, &opts).map_err(peg_error_reply)?;
@@ -1272,15 +1336,24 @@ fn op_query_batch(state: &ServerState, req: &Json) -> Result<Json, Reply> {
         parsed.push((query, alpha, limit));
     }
     let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
+    let pipe = graph_pipeline(state, &entry);
     let t0 = Instant::now();
     let mut prepared = Vec::with_capacity(parsed.len());
     for (query, alpha, _) in &parsed {
         prepared.push(pipe.prepare(query, *alpha, &opts).map_err(peg_error_reply)?);
     }
     if let GraphStore::Sharded(store) = &entry.store {
-        let batch: Vec<(&pegmatch::online::PreparedQuery, f64)> =
-            prepared.iter().zip(&parsed).map(|(p, (_, alpha, _))| (p, *alpha)).collect();
+        // With the execution cache attached, sessions that miss retrieve
+        // at the *floor* threshold (so the cached lists serve the whole
+        // quantization bucket) — the prefetch must scatter at the same
+        // floored alpha or its entries would never be consumed.
+        let exec_on = entry.exec_enabled && state.exec_cache.is_some();
+        let beta = CandidateSource::beta(store);
+        let batch: Vec<(&pegmatch::online::PreparedQuery, f64)> = prepared
+            .iter()
+            .zip(&parsed)
+            .map(|(p, (_, alpha, _))| (p, if exec_on { floor_alpha(*alpha, beta) } else { *alpha }))
+            .collect();
         let pool = pegpool::pool_with(threads);
         store.prefetch(&batch, &pool);
     }
@@ -1355,6 +1428,8 @@ fn op_stats(state: &ServerState) -> Json {
                                     .field("reconnects", w.reconnects)
                                     .field("p50_us", w.p50_us)
                                     .field("p99_us", w.p99_us)
+                                    .field("mux_tombstones", w.mux_tombstones)
+                                    .field("mux_inflight_hwm", w.mux_inflight_hwm)
                                     .build()
                             })
                             .collect(),
@@ -1362,6 +1437,17 @@ fn op_stats(state: &ServerState) -> Json {
                 }),
                 GraphStore::Unsharded { .. } => None,
             };
+            // Per-graph execution-cache residency: how much of the
+            // server-wide budget this graph's epoch currently holds.
+            let exec: Option<Json> =
+                state.exec_cache.as_ref().filter(|_| g.exec_enabled).map(|cache| {
+                    let (entries, bytes) = cache.epoch_stats(g.epoch);
+                    obj()
+                        .field("epoch", g.epoch)
+                        .field("entries", entries)
+                        .field("bytes", bytes)
+                        .build()
+                });
             obj()
                 .field("name", g.name.as_str())
                 .field("nodes", g.store.peg().graph.n_nodes())
@@ -1379,13 +1465,27 @@ fn op_stats(state: &ServerState) -> Json {
                         .field("saved_us", p.saved.as_micros() as u64)
                         .build(),
                 )
+                .field_opt("exec_cache", exec)
                 .build()
         })
         .collect();
+    let exec_cache: Option<Json> = state.exec_cache.as_ref().map(|cache| {
+        let s = cache.stats();
+        obj()
+            .field("hits", s.hits)
+            .field("misses", s.misses)
+            .field("evictions", s.evictions)
+            .field("hit_rate", s.hit_rate())
+            .field("entries", s.entries)
+            .field("bytes", s.bytes)
+            .field("budget", s.budget)
+            .build()
+    });
     obj()
         .field("ok", true)
         .field("queries_served", state.queries_served.load(Ordering::Relaxed))
         .field("graphs", Json::Arr(graph_stats))
+        .field_opt("exec_cache", exec_cache)
         .field("admission", admission_json(&state.admission, state.admission.stats()))
         .build()
 }
@@ -1873,6 +1973,89 @@ mod tests {
                 .unwrap();
             assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
         }
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn exec_cache_reuses_repeated_shapes_bit_identically() {
+        let (h_on, mut on) = tiny_server(ServerConfig::default());
+        let (h_off, mut off) =
+            tiny_server(ServerConfig { exec_cache_bytes: 0, ..Default::default() });
+        // Warm hits must reproduce the uncached server's replies bit for
+        // bit (matches carry f64s; the in-tree JSON round trip is
+        // bit-exact). Alphas 0.3 and 0.35 share a quantization bucket
+        // (both floor to the same key), so the second shape+alpha pair
+        // exercises the floor-threshold re-prune path, not just an exact
+        // repeat.
+        for q in [
+            r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#,
+            r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#,
+            r#"{"op":"query","pattern":"(x:l0)-(y:l1)","alpha":0.35}"#,
+            r#"{"op":"query_topk","pattern":"(x:l0)-(y:l1)","k":5}"#,
+        ] {
+            let want = off.request(&Json::parse(q).unwrap()).unwrap();
+            let got = on.request(&Json::parse(q).unwrap()).unwrap();
+            assert_eq!(got.get("ok"), Some(&Json::Bool(true)), "{got}");
+            assert_eq!(got.get("matches"), want.get("matches"), "{q}");
+        }
+        let stats = on.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let ec = stats.get("exec_cache").expect("cache-on server reports exec_cache");
+        assert!(ec.get("hits").unwrap().as_u64().unwrap() >= 2, "{stats}");
+        assert!(ec.get("entries").unwrap().as_u64().unwrap() >= 1, "{stats}");
+        let graphs = stats.get("graphs").unwrap().as_arr().unwrap();
+        let tiny = &graphs[0];
+        assert!(
+            tiny.get("exec_cache").unwrap().get("bytes").unwrap().as_u64().unwrap() > 0,
+            "{stats}"
+        );
+        // The cache-off server reports no exec_cache block at all.
+        let stats = off.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert!(stats.get("exec_cache").is_none(), "{stats}");
+        h_on.shutdown().unwrap();
+        h_off.shutdown().unwrap();
+    }
+
+    #[test]
+    fn exec_cache_epoch_invalidates_on_unload_and_honors_the_load_knob() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        // A graph loaded with "exec_cache": false never populates the
+        // cache and reports no per-graph exec_cache stats.
+        let reply = client
+            .request(
+                &Json::parse(
+                    r#"{"op":"load_graph","name":"optout","kind":"synthetic","size":120,"max_len":1,"exec_cache":false}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let q = r#"{"op":"query","graph":"optout","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#;
+        client.request(&Json::parse(q).unwrap()).unwrap();
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let graphs = stats.get("graphs").unwrap().as_arr().unwrap();
+        let optout =
+            graphs.iter().find(|g| g.get("name").and_then(Json::as_str) == Some("optout")).unwrap();
+        assert!(optout.get("exec_cache").is_none(), "{stats}");
+        assert_eq!(
+            stats.get("exec_cache").unwrap().get("entries").unwrap().as_u64(),
+            Some(0),
+            "{stats}"
+        );
+        // Unloading a cached graph drops its epoch's entries entirely.
+        let q = r#"{"op":"query","graph":"tiny","pattern":"(x:l0)-(y:l1)","alpha":0.3}"#;
+        client.request(&Json::parse(q).unwrap()).unwrap();
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert!(
+            stats.get("exec_cache").unwrap().get("entries").unwrap().as_u64().unwrap() > 0,
+            "{stats}"
+        );
+        client.request(&Json::parse(r#"{"op":"unload_graph","graph":"tiny"}"#).unwrap()).unwrap();
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert_eq!(
+            stats.get("exec_cache").unwrap().get("entries").unwrap().as_u64(),
+            Some(0),
+            "{stats}"
+        );
         handle.shutdown().unwrap();
     }
 

@@ -28,8 +28,8 @@ use graphstore::{EntityGraphBuilder, EntityId};
 use pathindex::PathMatch;
 use pegmatch::error::PegError;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
-use pegmatch::online::candidates::prune_candidates_in_place;
-use pegmatch::online::{sort_candidates, NodeCandidateCache, PathStats, QueryPath};
+use pegmatch::online::candidates::prune_candidates_scored;
+use pegmatch::online::{NodeCandidateCache, PathStats, QueryPath};
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
 use pegpool::ThreadPool;
@@ -180,7 +180,7 @@ impl Shard {
         let mut raw = self.offline.path_matches(&self.peg, &labels, alpha);
         let raw_total = raw.len();
         let raw_home = raw.iter().filter(|m| self.is_home(&m.nodes)).count();
-        prune_candidates_in_place(
+        let scores = prune_candidates_scored(
             &self.peg,
             &self.offline,
             query,
@@ -192,11 +192,24 @@ impl Shard {
             &mut raw,
         );
         let pruned_total = raw.len();
-        raw.retain(|m| self.is_home(&m.nodes));
-        for m in &mut raw {
+        // Home filter, globalize, and canonical sort with each survivor's
+        // keep-bound riding along. Home survivors' bounds are the same
+        // α-independent quantities the unsharded pruner computes (full
+        // halo visibility + exact context), so shipping them lets the
+        // coordinator's execution cache re-prune gathered lists without
+        // another scatter.
+        let mut kept: Vec<(PathMatch, f64)> =
+            raw.into_iter().zip(scores).filter(|(m, _)| self.is_home(&m.nodes)).collect();
+        for (m, _) in &mut kept {
             self.globalize(m);
         }
-        sort_candidates(&mut raw);
-        PathPartial { raw_total, raw_home, pruned_total, matches: raw }
+        kept.sort_unstable_by(|a, b| a.0.nodes.cmp(&b.0.nodes));
+        let mut matches = Vec::with_capacity(kept.len());
+        let mut bounds = Vec::with_capacity(kept.len());
+        for (m, b) in kept {
+            matches.push(m);
+            bounds.push(b);
+        }
+        PathPartial { raw_total, raw_home, pruned_total, matches, bounds }
     }
 }

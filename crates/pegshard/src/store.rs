@@ -13,8 +13,7 @@ use pathindex::PathMatch;
 use pegmatch::error::PegError;
 use pegmatch::offline::OfflineOptions;
 use pegmatch::online::{
-    sort_candidates, CandidateSet, CandidateSource, Decomposition, PathStats, PreparedQuery,
-    QueryPipeline,
+    CandidateSet, CandidateSource, Decomposition, PathStats, PreparedQuery, QueryPipeline,
 };
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
@@ -442,20 +441,29 @@ impl ShardedGraphStore {
         };
         let mut out = Vec::with_capacity(n_paths);
         for i in 0..n_paths {
-            let mut merged: Vec<PathMatch> = Vec::new();
+            let mut merged: Vec<(PathMatch, f64)> = Vec::new();
             let mut raw_count = 0usize;
             for (s, reply) in replies.iter_mut().enumerate() {
                 let part = &mut reply.paths[i];
                 scatter.per_shard_raw[s] += part.raw_total;
                 scatter.per_shard_pruned[s] += part.pruned_total;
                 raw_count += part.raw_home;
-                merged.append(&mut part.matches);
+                merged.extend(part.matches.drain(..).zip(part.bounds.drain(..)));
             }
-            sort_candidates(&mut merged);
-            merged.dedup_by(|a, b| a.nodes == b.nodes);
+            // Canonical sort + defensive dedup, keep-bounds riding along
+            // so the gathered sets carry the same aligned bounds an
+            // unsharded retrieval produces.
+            merged.sort_unstable_by(|a, b| a.0.nodes.cmp(&b.0.nodes));
+            merged.dedup_by(|a, b| a.0.nodes == b.0.nodes);
             scatter.pruned_distinct += merged.len();
             scatter.raw_distinct += raw_count;
-            out.push(CandidateSet { matches: merged, raw_count });
+            let mut matches = Vec::with_capacity(merged.len());
+            let mut bounds = Vec::with_capacity(merged.len());
+            for (m, b) in merged {
+                matches.push(m);
+                bounds.push(b);
+            }
+            out.push(CandidateSet { matches, bounds, raw_count });
         }
         // Survivors a shard's home filter dropped (boundary replicas),
         // plus anything the defensive gather dedup removed.
@@ -511,6 +519,10 @@ impl ShardedGraphStore {
 impl CandidateSource for ShardedGraphStore {
     fn max_len(&self) -> usize {
         self.max_len
+    }
+
+    fn beta(&self) -> f64 {
+        self.beta
     }
 
     fn estimate_path_count(&self, labels: &[Label], alpha: f64) -> f64 {

@@ -62,6 +62,12 @@ pub struct PathPartial {
     /// Home-filtered surviving candidates: global ids, canonical
     /// ascending-node-sequence order, disjoint across shards.
     pub matches: Vec<PathMatch>,
+    /// Each survivor's keep-bound, aligned with `matches` (see
+    /// `pegmatch::online::candidates::prune_candidates_scored`). Home
+    /// survivors' bounds are bit-identical to the unsharded pruner's, so
+    /// the coordinator can re-prune gathered lists at higher thresholds
+    /// without a scatter.
+    pub bounds: Vec<f64>,
 }
 
 /// One shard's complete reply: one [`PathPartial`] per decomposition
@@ -125,6 +131,14 @@ pub struct WorkerStats {
     pub p50_us: u64,
     /// 99th-percentile exchange latency over the window, in µs.
     pub p99_us: u64,
+    /// Abandoned-request tombstones currently held by the connection's
+    /// demultiplexer (replies still owed by the worker for requests whose
+    /// callers gave up). A persistently nonzero value after load drains
+    /// means the worker is swallowing requests.
+    pub mux_tombstones: u64,
+    /// High-water mark of concurrently in-flight requests on the worker
+    /// connection since it was (re)established.
+    pub mux_inflight_hwm: u64,
 }
 
 /// Where shard retrieval executes. Implementations must uphold the reply
@@ -651,9 +665,9 @@ impl ShardTransport for TcpTransport {
         out
     }
 
-    /// Reads only atomics and the briefly-held latency ring — never the
-    /// connection mutex — so stats stay available while a scatter is in
-    /// flight.
+    /// Reads atomics, the briefly-held latency ring, and the connection
+    /// slot (held only for the handle clone — never across an exchange),
+    /// so stats stay available while a scatter is in flight.
     fn worker_stats(&self) -> Option<Vec<WorkerStats>> {
         let stats = self
             .workers
@@ -661,6 +675,16 @@ impl ShardTransport for TcpTransport {
             .enumerate()
             .map(|(s, w)| {
                 let lats = w.latencies.lock().unwrap();
+                // Mux diagnostics come from the live connection; an empty
+                // slot (between redials) reports zeros, and the HWM is
+                // per-connection by design — it resets with a reconnect.
+                let (tombstones, inflight_hwm) = w
+                    .conn
+                    .lock()
+                    .unwrap()
+                    .as_ref()
+                    .map(|c| (c.tombstones() as u64, c.inflight_hwm() as u64))
+                    .unwrap_or((0, 0));
                 WorkerStats {
                     shard: s,
                     addr: self.addrs[s].clone(),
@@ -670,6 +694,8 @@ impl ShardTransport for TcpTransport {
                     reconnects: w.reconnects.load(Ordering::Relaxed),
                     p50_us: lats.percentile(0.50),
                     p99_us: lats.percentile(0.99),
+                    mux_tombstones: tombstones,
+                    mux_inflight_hwm: inflight_hwm,
                 }
             })
             .collect();

@@ -24,9 +24,12 @@
 //! The query crosses the wire as **label ids** (`u16`) and query-node
 //! indexes, not label names: coordinator and workers build the same graph
 //! from the same deterministic generator spec, so their label tables are
-//! identical and ids are exact. Candidate triples come back as
-//! `[[node ids...], prle, prn]` arrays — the most compact shape the JSON
-//! value offers, and the one the bytes-on-wire ablation measures.
+//! identical and ids are exact. Candidates come back as
+//! `[[node ids...], prle, prn, bound]` arrays — the most compact shape
+//! the JSON value offers (and the one the bytes-on-wire ablation
+//! measures); `bound` is the survivor's keep-bound, which the
+//! coordinator's execution cache uses to re-prune gathered lists at
+//! higher thresholds without another scatter.
 //!
 //! # f64 round trip and the NaN policy
 //!
@@ -220,23 +223,28 @@ pub fn decode_retrieve_batch_request(
     queries.iter().map(decode_retrieve_request).collect()
 }
 
-/// Encodes one candidate triple as `[[nodes...], prle, prn]`.
-pub fn encode_match(m: &PathMatch) -> Json {
+/// Encodes one candidate as `[[nodes...], prle, prn, bound]` — the match
+/// triple plus its keep-bound (finite, in `[0, 1]`: the bound is a `min`
+/// that includes `prle·prn`), which the coordinator's execution cache
+/// needs to re-prune gathered lists at higher thresholds without another
+/// scatter.
+pub fn encode_match(m: &PathMatch, bound: f64) -> Json {
     Json::Arr(vec![
         Json::Arr(m.nodes.iter().map(|v| Json::Num(v.0 as f64)).collect()),
         Json::Num(m.prle),
         Json::Num(m.prn),
+        Json::Num(bound),
     ])
 }
 
-/// Decodes one candidate triple; rejects non-finite probabilities and
-/// node ids outside `u32`.
-pub fn decode_match(v: &Json) -> Result<PathMatch, WireError> {
-    let triple = v
+/// Decodes one candidate quad; rejects non-finite probabilities (bound
+/// included) and node ids outside `u32`.
+pub fn decode_match(v: &Json) -> Result<(PathMatch, f64), WireError> {
+    let quad = v
         .as_arr()
-        .filter(|t| t.len() == 3)
-        .ok_or_else(|| err("bad match: expected [[nodes...], prle, prn]"))?;
-    let nodes = triple[0]
+        .filter(|t| t.len() == 4)
+        .ok_or_else(|| err("bad match: expected [[nodes...], prle, prn, bound]"))?;
+    let nodes = quad[0]
         .as_arr()
         .ok_or_else(|| err("bad match nodes: expected an array"))?
         .iter()
@@ -245,9 +253,10 @@ pub fn decode_match(v: &Json) -> Result<PathMatch, WireError> {
             u32::try_from(id).map(EntityId).map_err(|_| err(format!("node id {id} exceeds u32")))
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let prle = need_prob(Some(&triple[1]), "prle")?;
-    let prn = need_prob(Some(&triple[2]), "prn")?;
-    Ok(PathMatch { nodes, prle, prn })
+    let prle = need_prob(Some(&quad[1]), "prle")?;
+    let prn = need_prob(Some(&quad[2]), "prn")?;
+    let bound = need_prob(Some(&quad[3]), "bound")?;
+    Ok((PathMatch { nodes, prle, prn }, bound))
 }
 
 /// Encodes one reply's per-path partials as a JSON array — the shared
@@ -257,11 +266,13 @@ fn encode_paths(reply: &ShardReply) -> Json {
         .paths
         .iter()
         .map(|p| {
+            let matches =
+                p.matches.iter().zip(&p.bounds).map(|(m, &b)| encode_match(m, b)).collect();
             obj()
                 .field("raw_total", p.raw_total)
                 .field("raw_home", p.raw_home)
                 .field("pruned_total", p.pruned_total)
-                .field("matches", Json::Arr(p.matches.iter().map(encode_match).collect()))
+                .field("matches", Json::Arr(matches))
                 .build()
         })
         .collect();
@@ -297,15 +308,22 @@ pub fn decode_retrieve_reply(reply: &Json, n_paths: usize) -> Result<ShardReply,
                     .and_then(Json::as_usize)
                     .ok_or_else(|| err(format!("missing or bad \"{k}\"")))
             };
-            let matches = need_arr(p.get("matches"), "matches")?
+            let pairs = need_arr(p.get("matches"), "matches")?
                 .iter()
                 .map(decode_match)
                 .collect::<Result<Vec<_>, _>>()?;
+            let mut matches = Vec::with_capacity(pairs.len());
+            let mut bounds = Vec::with_capacity(pairs.len());
+            for (m, b) in pairs {
+                matches.push(m);
+                bounds.push(b);
+            }
             Ok(PathPartial {
                 raw_total: field("raw_total")?,
                 raw_home: field("raw_home")?,
                 pruned_total: field("pruned_total")?,
                 matches,
+                bounds,
             })
         })
         .collect::<Result<Vec<_>, WireError>>()?;
@@ -435,6 +453,7 @@ mod tests {
                     prle: 0.125,
                     prn: -0.0,
                 }],
+                bounds: vec![0.0625],
             }],
         };
         let json = Json::parse(&encode_retrieve_reply(&reply).to_string()).unwrap();
@@ -445,6 +464,7 @@ mod tests {
         assert_eq!(back.paths[0].matches[0].nodes, vec![EntityId(7), EntityId(2)]);
         assert_eq!(back.paths[0].matches[0].prle.to_bits(), 0.125f64.to_bits());
         assert_eq!(back.paths[0].matches[0].prn.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.paths[0].bounds[0].to_bits(), 0.0625f64.to_bits());
         assert!(decode_retrieve_reply(&json, 2).is_err(), "path-count mismatch rejected");
     }
 
@@ -478,12 +498,25 @@ mod tests {
                     raw_home: 1,
                     pruned_total: 1,
                     matches: vec![PathMatch { nodes: vec![EntityId(4)], prle: 0.5, prn: 0.25 }],
+                    bounds: vec![0.125],
                 }],
             },
             ShardReply {
                 paths: vec![
-                    PathPartial { raw_total: 0, raw_home: 0, pruned_total: 0, matches: vec![] },
-                    PathPartial { raw_total: 1, raw_home: 1, pruned_total: 1, matches: vec![] },
+                    PathPartial {
+                        raw_total: 0,
+                        raw_home: 0,
+                        pruned_total: 0,
+                        matches: vec![],
+                        bounds: vec![],
+                    },
+                    PathPartial {
+                        raw_total: 1,
+                        raw_home: 1,
+                        pruned_total: 1,
+                        matches: vec![],
+                        bounds: vec![],
+                    },
                 ],
             },
         ];
@@ -505,11 +538,19 @@ mod tests {
     fn non_finite_probabilities_are_rejected() {
         // The writer turns NaN into null; the decoder must refuse it.
         let m = PathMatch { nodes: vec![EntityId(1)], prle: f64::NAN, prn: 0.5 };
-        let json = Json::parse(&encode_match(&m).to_string()).unwrap();
+        let json = Json::parse(&encode_match(&m, 0.5).to_string()).unwrap();
         assert!(decode_match(&json).is_err());
         let m = PathMatch { nodes: vec![EntityId(1)], prle: 0.5, prn: f64::INFINITY };
-        let json = Json::parse(&encode_match(&m).to_string()).unwrap();
+        let json = Json::parse(&encode_match(&m, 0.5).to_string()).unwrap();
         assert!(decode_match(&json).is_err());
+        // A non-finite keep-bound is rejected the same way.
+        let m = PathMatch { nodes: vec![EntityId(1)], prle: 0.5, prn: 0.5 };
+        let json = Json::parse(&encode_match(&m, f64::NAN).to_string()).unwrap();
+        assert!(decode_match(&json).is_err());
+        // And the bound round-trips bit-exactly when finite.
+        let json = Json::parse(&encode_match(&m, 0.1875).to_string()).unwrap();
+        let (_, b) = decode_match(&json).unwrap();
+        assert_eq!(b.to_bits(), 0.1875f64.to_bits());
     }
 
     #[test]

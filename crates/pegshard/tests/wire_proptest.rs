@@ -1,14 +1,14 @@
 //! Property test: the shard-wire candidate codec is bit-exact.
 //!
-//! Arbitrary candidate triples `(nodes, prle, prn)` — with probabilities
-//! drawn from **arbitrary f64 bit patterns**, so the generator hits
-//! `-0.0`, subnormals, and garbage exponents, not just round numbers —
-//! must encode → serialize → parse → decode to identical bits. The NaN
-//! policy (documented on `pegshard::wire`) is pinned from both sides:
-//! finite values round-trip exactly; non-finite values (NaN, ±inf) are
-//! *rejected at decode*, because the JSON writer has no representation
-//! for them and emits `null`, which the decoder refuses to read as a
-//! probability — a NaN can never silently cross the wire.
+//! Arbitrary candidate quads `(nodes, prle, prn, bound)` — with
+//! probabilities drawn from **arbitrary f64 bit patterns**, so the
+//! generator hits `-0.0`, subnormals, and garbage exponents, not just
+//! round numbers — must encode → serialize → parse → decode to identical
+//! bits. The NaN policy (documented on `pegshard::wire`) is pinned from
+//! both sides: finite values round-trip exactly; non-finite values (NaN,
+//! ±inf) are *rejected at decode*, because the JSON writer has no
+//! representation for them and emits `null`, which the decoder refuses
+//! to read as a probability — a NaN can never silently cross the wire.
 
 use graphstore::EntityId;
 use pathindex::PathMatch;
@@ -26,11 +26,12 @@ fn f64_from_bits(bits: u64) -> f64 {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
     #[test]
-    fn candidate_triples_round_trip_bit_exact(
+    fn candidate_quads_round_trip_bit_exact(
         n_nodes in 1usize..6,
         node_seed in any::<u64>(),
         prle_bits in any::<u64>(),
         prn_bits in any::<u64>(),
+        bound_bits in any::<u64>(),
     ) {
         let nodes: Vec<EntityId> = (0..n_nodes)
             .map(|i| EntityId((node_seed.rotate_left(i as u32 * 13) & 0xFFFF_FFFF) as u32))
@@ -40,15 +41,17 @@ proptest! {
             prle: f64_from_bits(prle_bits),
             prn: f64_from_bits(prn_bits),
         };
+        let bound = f64_from_bits(bound_bits);
         // Encode, serialize to the actual wire line, parse back, decode.
-        let line = encode_match(&m).to_string();
+        let line = encode_match(&m, bound).to_string();
         let parsed = Json::parse(&line).unwrap();
         let decoded = decode_match(&parsed);
-        if m.prle.is_finite() && m.prn.is_finite() {
-            let back = decoded.expect("finite triple decodes");
+        if m.prle.is_finite() && m.prn.is_finite() && bound.is_finite() {
+            let (back, back_bound) = decoded.expect("finite quad decodes");
             prop_assert_eq!(&back.nodes, &nodes, "nodes survive");
             prop_assert_eq!(back.prle.to_bits(), m.prle.to_bits(), "prle bits survive");
             prop_assert_eq!(back.prn.to_bits(), m.prn.to_bits(), "prn bits survive");
+            prop_assert_eq!(back_bound.to_bits(), bound.to_bits(), "bound bits survive");
         } else {
             // NaN policy: non-finite probabilities serialize as null and
             // must be rejected, not smuggled through as something else.
@@ -66,10 +69,11 @@ proptest! {
     ) {
         let p = if sign { scale } else { -scale };
         let m = PathMatch { nodes: vec![EntityId(0)], prle: p, prn: scale };
-        let parsed = Json::parse(&encode_match(&m).to_string()).unwrap();
-        let back = decode_match(&parsed).unwrap();
+        let parsed = Json::parse(&encode_match(&m, p).to_string()).unwrap();
+        let (back, back_bound) = decode_match(&parsed).unwrap();
         prop_assert_eq!(back.prle.to_bits(), p.to_bits());
         prop_assert_eq!(back.prn.to_bits(), scale.to_bits());
+        prop_assert_eq!(back_bound.to_bits(), p.to_bits());
     }
 
     #[test]
@@ -93,6 +97,7 @@ proptest! {
                             prle: p,
                             prn: -p,
                         }],
+                        bounds: vec![-p],
                     }
                 })
                 .collect(),
@@ -108,6 +113,9 @@ proptest! {
                 prop_assert_eq!(&x.nodes, &y.nodes);
                 prop_assert_eq!(x.prle.to_bits(), y.prle.to_bits());
                 prop_assert_eq!(x.prn.to_bits(), y.prn.to_bits());
+            }
+            for (x, y) in a.bounds.iter().zip(&b.bounds) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
         // And a path-count mismatch is a protocol error.

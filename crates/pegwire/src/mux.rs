@@ -98,6 +98,8 @@ pub struct Demux {
     /// Ids whose caller gave up (deadline): one late reply each is
     /// swallowed. Bounded — see [`Demux::cancel`].
     abandoned: HashSet<u64>,
+    /// Most in-flight ids ever waiting at once (concurrency diagnostics).
+    inflight_hwm: usize,
 }
 
 /// Cap on remembered cancelled ids. Each entry exists only until the
@@ -124,6 +126,7 @@ impl Demux {
                 self.abandoned.remove(&id);
                 let (tx, rx) = mpsc::channel();
                 slot.insert(tx);
+                self.inflight_hwm = self.inflight_hwm.max(self.waiting.len());
                 Ok(rx)
             }
         }
@@ -169,6 +172,19 @@ impl Demux {
     /// True when nothing is in flight.
     pub fn is_empty(&self) -> bool {
         self.waiting.is_empty()
+    }
+
+    /// Abandoned-request tombstones currently held: replies the peer still
+    /// owes for requests whose callers gave up. A value that stays nonzero
+    /// after load drains means the peer is swallowing requests — the
+    /// blind spot that made PR 6's deadlock hard to see.
+    pub fn tombstones(&self) -> usize {
+        self.abandoned.len()
+    }
+
+    /// Most requests ever in flight at once on this table.
+    pub fn inflight_hwm(&self) -> usize {
+        self.inflight_hwm
     }
 }
 
@@ -353,6 +369,18 @@ impl MuxConn {
     /// In-flight request count (diagnostics).
     pub fn in_flight(&self) -> usize {
         self.shared.demux.lock().unwrap().len()
+    }
+
+    /// Abandoned-request tombstones currently held by the demultiplexer
+    /// (see [`Demux::tombstones`]).
+    pub fn tombstones(&self) -> usize {
+        self.shared.demux.lock().unwrap().tombstones()
+    }
+
+    /// High-water mark of concurrently in-flight requests since connect
+    /// (see [`Demux::inflight_hwm`]).
+    pub fn inflight_hwm(&self) -> usize {
+        self.shared.demux.lock().unwrap().inflight_hwm()
     }
 }
 
@@ -572,5 +600,27 @@ mod tests {
         assert!(!d.route(5, Ok((Json::Null, 1))).unwrap());
         assert_eq!(d.route(5, Ok((Json::Null, 1))).unwrap_err(), DemuxError::UnknownId(5));
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn demux_counts_tombstones_and_inflight_high_water() {
+        let mut d = Demux::new();
+        let _r1 = d.register(1).unwrap();
+        let _r2 = d.register(2).unwrap();
+        let _r3 = d.register(3).unwrap();
+        assert_eq!(d.inflight_hwm(), 3);
+        assert_eq!(d.tombstones(), 0);
+        d.cancel(2);
+        d.cancel(3);
+        assert_eq!(d.tombstones(), 2, "two callers walked away");
+        // The HWM is sticky: draining does not lower it.
+        assert!(d.route(1, Ok((Json::Null, 1))).unwrap());
+        assert_eq!(d.inflight_hwm(), 3);
+        // A late reply consumes its tombstone.
+        assert!(!d.route(2, Ok((Json::Null, 1))).unwrap());
+        assert_eq!(d.tombstones(), 1);
+        // Reviving a cancelled id removes its tombstone too.
+        let _r3b = d.register(3).unwrap();
+        assert_eq!(d.tombstones(), 0);
     }
 }

@@ -254,11 +254,21 @@ fn coordinator_server_stays_serviceable_when_a_worker_dies() {
         assert!(w.get("bytes_tx").unwrap().as_u64().unwrap() > 0, "{w}");
     }
 
-    // Kill one worker: the distributed graph answers with a structured
-    // shard_unavailable (the protocol code, not a hang or a connection
-    // drop)...
+    // Kill one worker. The shape+alpha served above is still answerable —
+    // its floor retrieval sits in the server's execution cache, and a hit
+    // never scatters, so the cached band survives worker loss...
     worker_handles.remove(1).shutdown().unwrap();
     let reply = client.request(&Json::parse(q).unwrap()).unwrap();
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "cached band outlives the worker: {reply}"
+    );
+    // ...but an alpha in a *fresh* quantization bucket must scatter, and
+    // answers with a structured shard_unavailable (the protocol code, not
+    // a hang or a connection drop)...
+    let q_fresh = r#"{"op":"query","graph":"dist","pattern":"(x:l0)-(y:l1)","alpha":0.7}"#;
+    let reply = client.request(&Json::parse(q_fresh).unwrap()).unwrap();
     assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{reply}");
     assert_eq!(reply.get("error").and_then(Json::as_str), Some("shard_unavailable"), "{reply}");
 
