@@ -9,12 +9,14 @@
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
 //! ablation-montecarlo ablation-plan-cache ablation-exec-cache
-//! ablation-shards ablation-transport serving-mix saturation all
+//! ablation-mutation ablation-shards ablation-transport serving-mix
+//! saturation all
 //!
 //! `--test` is shorthand for `--scale tiny` (the CI smoke mode).
-//! `saturation` and `ablation-exec-cache` additionally write their
-//! machine-readable results to `BENCH_saturation.json` /
-//! `BENCH_exec_cache.json` in the working directory.
+//! `saturation`, `ablation-exec-cache`, and `ablation-mutation`
+//! additionally write their machine-readable results to
+//! `BENCH_saturation.json` / `BENCH_exec_cache.json` /
+//! `BENCH_mutation.json` in the working directory.
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -112,6 +114,9 @@ fn main() {
     }
     if run("ablation-exec-cache") {
         ablation_exec_cache(scale);
+    }
+    if run("ablation-mutation") {
+        ablation_mutation(scale);
     }
     if run("ablation-shards") {
         ablation_shards(scale);
@@ -964,7 +969,8 @@ fn ablation_plan_cache(scale: Scale) {
         let cold = t0.elapsed();
 
         let cache = Arc::new(PlanCache::new());
-        let cached = QueryPipeline::new(&w.peg, w.index(2)).with_plan_cache(cache.clone());
+        let cached =
+            QueryPipeline::builder(&w.peg).index(w.index(2)).plan_cache(cache.clone()).build();
         let t0 = Instant::now();
         let mut hit_plan = Duration::ZERO;
         for q in &queries {
@@ -1066,14 +1072,18 @@ fn ablation_exec_cache(scale: Scale) {
     let mut json_local: Vec<Json> = Vec::new();
     for (n_shapes, repeats) in [(2u64, 8u64), (4, 8), (8, 4)] {
         let queries = mix(n_shapes, repeats);
-        let cold = QueryPipeline::new(&w.peg, w.index(max_len))
-            .with_plan_cache(Arc::new(PlanCache::new()));
+        let cold = QueryPipeline::builder(&w.peg)
+            .index(w.index(max_len))
+            .plan_cache(Arc::new(PlanCache::new()))
+            .build();
         let (cold_wall, cold_retrieval) = replay(&cold, None, &queries, "cold");
 
         let exec = Arc::new(ExecCache::new(32 << 20));
-        let warm = QueryPipeline::new(&w.peg, w.index(max_len))
-            .with_plan_cache(Arc::new(PlanCache::new()))
-            .with_exec_cache(exec.clone(), exec.next_epoch());
+        let warm = QueryPipeline::builder(&w.peg)
+            .index(w.index(max_len))
+            .plan_cache(Arc::new(PlanCache::new()))
+            .exec_cache(exec.clone(), exec.next_epoch())
+            .build();
         let (warm_wall, warm_retrieval) =
             replay(&warm, Some(&cold), &queries, &format!("local {n_shapes} shapes"));
 
@@ -1117,13 +1127,17 @@ fn ablation_exec_cache(scale: Scale) {
     let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
     let store = ShardedGraphStore::build(w.peg.clone(), &opts, shards).expect("sharded build");
     let queries = mix(4, 8);
-    let cold = store.pipeline().with_plan_cache(Arc::new(PlanCache::new()));
+    let cold = QueryPipeline::builder(store.peg())
+        .source(&store)
+        .plan_cache(Arc::new(PlanCache::new()))
+        .build();
     let (cold_wall, cold_retrieval) = replay(&cold, None, &queries, "distributed cold");
     let exec = Arc::new(ExecCache::new(32 << 20));
-    let warm = store
-        .pipeline()
-        .with_plan_cache(Arc::new(PlanCache::new()))
-        .with_exec_cache(exec.clone(), exec.next_epoch());
+    let warm = QueryPipeline::builder(store.peg())
+        .source(&store)
+        .plan_cache(Arc::new(PlanCache::new()))
+        .exec_cache(exec.clone(), exec.next_epoch())
+        .build();
     let (warm_wall, warm_retrieval) = replay(&warm, Some(&cold), &queries, "distributed");
     let s = exec.stats();
     let speedup = cold_retrieval.as_secs_f64() / warm_retrieval.as_secs_f64().max(1e-12);
@@ -1166,6 +1180,256 @@ fn ablation_exec_cache(scale: Scale) {
         .build();
     std::fs::write("BENCH_exec_cache.json", format!("{report}\n")).expect("write BENCH json");
     println!("(wrote BENCH_exec_cache.json)");
+    println!();
+}
+
+/// Live mutation: incremental maintenance vs. full rebuild, per batch size.
+///
+/// For each mutation batch size, draws a random valid op batch against the
+/// synthetic graph and applies it twice: once through
+/// [`pegmatch::live::apply_ops`] (incremental recompile + index patch) and
+/// once by rebuilding the mutated reference network from scratch. Every row
+/// asserts the two paths answer a query mix **bit-identically** before its
+/// timings are reported — a row that drifts panics the experiment. A
+/// distributed section does the same through
+/// [`pegshard::ShardedGraphStore::apply_update`] over a 3-shard store,
+/// counting how many shards the dirty ball actually touched. Results also
+/// land in `BENCH_mutation.json` (working directory).
+fn ablation_mutation(scale: Scale) {
+    use graphstore::{GraphOp, RefGraph, RefId};
+    use pegmatch::model::PegBuilder;
+    use pegserve::{obj, Json};
+    use pegshard::ShardedGraphStore;
+
+    // SplitMix64 — deterministic op drawing, so rows reproduce exactly.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+        fn prob(&mut self) -> f64 {
+            0.05 + 0.9 * (self.next() % 1000) as f64 / 1000.0
+        }
+    }
+
+    // Draws `n` ops, each valid against the state the preceding ops
+    // produce: refs come from the live set, edge deletions only target
+    // edges this batch added, sets use distinct live members.
+    fn random_ops(refs: &RefGraph, rng: &mut Rng, n: usize) -> Vec<GraphOp> {
+        let mut alive: Vec<u32> =
+            (0..refs.n_refs() as u32).filter(|&i| refs.ref_is_alive(RefId(i))).collect();
+        let n_labels = refs.label_table().len();
+        let mut added: Vec<(u32, u32)> = Vec::new();
+        let mut ops = Vec::with_capacity(n);
+        while ops.len() < n {
+            let op = match rng.below(8) {
+                0 => GraphOp::UpsertRef {
+                    r: None,
+                    labels: vec![(rng.below(n_labels) as u16, rng.prob())],
+                },
+                1 => {
+                    let r = alive[rng.below(alive.len())];
+                    GraphOp::UpsertRef {
+                        r: Some(RefId(r)),
+                        labels: vec![(rng.below(n_labels) as u16, rng.prob())],
+                    }
+                }
+                2 if alive.len() > 8 => {
+                    let r = alive.swap_remove(rng.below(alive.len()));
+                    added.retain(|&(a, b)| a != r && b != r);
+                    GraphOp::DeleteRef { r: RefId(r) }
+                }
+                3 => {
+                    let a = alive[rng.below(alive.len())];
+                    let b = alive[rng.below(alive.len())];
+                    if a == b {
+                        continue;
+                    }
+                    let key = (a.min(b), a.max(b));
+                    if !added.contains(&key) {
+                        added.push(key);
+                    }
+                    GraphOp::UpsertEdge { a: RefId(a), b: RefId(b), p: rng.prob() }
+                }
+                4 if !added.is_empty() => {
+                    let (a, b) = added.swap_remove(rng.below(added.len()));
+                    GraphOp::DeleteEdge { a: RefId(a), b: RefId(b) }
+                }
+                5 => {
+                    let r = alive[rng.below(alive.len())];
+                    GraphOp::SetSingletonWeight { r: RefId(r), weight: rng.prob() }
+                }
+                6 => {
+                    let a = alive[rng.below(alive.len())];
+                    let b = alive[rng.below(alive.len())];
+                    if a == b {
+                        continue;
+                    }
+                    GraphOp::PairPosterior { a: RefId(a), b: RefId(b), q: rng.prob() }
+                }
+                _ => {
+                    let a = alive[rng.below(alive.len())];
+                    let b = alive[rng.below(alive.len())];
+                    let c = alive[rng.below(alive.len())];
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    GraphOp::UpsertSet {
+                        members: vec![RefId(a), RefId(b), RefId(c)],
+                        weight: rng.prob(),
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    println!("## Ablation: incremental mutation vs full rebuild");
+    let (beta, max_len) = (0.3, 2);
+    let refs0 = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper_with_uncertainty(
+        scale.default_graph(),
+        0.2,
+    ));
+    let builder = PegBuilder::new();
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let peg0 = builder.build(&refs0).expect("PEG builds");
+    let index0 = OfflineIndex::build(&peg0, &opts).expect("offline phase");
+    let n_labels = peg0.graph.label_table().len();
+    let queries: Vec<QueryGraph> =
+        (0..3).map(|s| random_query(QuerySpec::new(3, 3), n_labels, s)).collect();
+    let alphas = [0.1f64, 0.3];
+
+    // Bit-exactness gate: the incrementally maintained generation and the
+    // from-scratch rebuild must answer the whole mix identically.
+    let assert_row_bit_exact = |inc: &QueryPipeline<'_>, fresh: &QueryPipeline<'_>, ctx: &str| {
+        for (k, q) in queries.iter().enumerate() {
+            for &alpha in &alphas {
+                let got = inc.run(q, alpha, &QueryOptions::default()).expect("query runs");
+                let want = fresh.run(q, alpha, &QueryOptions::default()).expect("query runs");
+                bench::workloads::assert_matches_bit_identical(
+                    &got.matches,
+                    &want.matches,
+                    &format!("{ctx} query {k} alpha {alpha}"),
+                );
+            }
+        }
+    };
+
+    let mut t = Table::new(&[
+        "batch ops",
+        "incremental",
+        "full rebuild",
+        "speedup",
+        "dirty nodes",
+        "reused comps",
+    ]);
+    let mut json_local: Vec<Json> = Vec::new();
+    for batch in [1usize, 4, 16, 64] {
+        // Each row mutates the same baseline: the variable is batch size,
+        // not accumulated drift.
+        let ops = random_ops(&refs0, &mut Rng(batch as u64 ^ 0xfeed), batch);
+
+        let t0 = Instant::now();
+        let up = pegmatch::live::apply_ops(&builder, &opts, &refs0, &peg0, &index0, &ops)
+            .expect("incremental apply");
+        let inc_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let fresh_peg = builder.build(&up.refs).expect("rebuild");
+        let fresh_index = OfflineIndex::build(&fresh_peg, &opts).expect("rebuild index");
+        let rebuild_time = t0.elapsed();
+
+        let inc_pipe = QueryPipeline::new(&up.peg, &up.index);
+        let fresh_pipe = QueryPipeline::new(&fresh_peg, &fresh_index);
+        assert_row_bit_exact(&inc_pipe, &fresh_pipe, &format!("batch {batch}"));
+
+        let speedup = rebuild_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-12);
+        t.row(vec![
+            batch.to_string(),
+            fmt_duration(inc_time),
+            fmt_duration(rebuild_time),
+            format!("{speedup:.1}x"),
+            up.n_dirty().to_string(),
+            up.reused_components.to_string(),
+        ]);
+        json_local.push(
+            obj()
+                .field("batch_ops", batch)
+                .field("incremental_us", inc_time.as_micros() as u64)
+                .field("rebuild_us", rebuild_time.as_micros() as u64)
+                .field("speedup", speedup)
+                .field("dirty_nodes", up.n_dirty())
+                .field("reused_components", up.reused_components)
+                .field("bit_exact", true)
+                .build(),
+        );
+    }
+    t.print();
+    println!("(every row bit-exact vs the from-scratch rebuild before timings count)");
+    println!();
+
+    // Distributed: the same contract through the sharded store, where the
+    // win is recompiling only the shards the dirty ball touches.
+    let shards = 3usize;
+    let store = ShardedGraphStore::build(peg0.clone(), &opts, shards).expect("sharded build");
+    let batch = 16usize;
+    let ops = random_ops(&refs0, &mut Rng(batch as u64 ^ 0xdead), batch);
+
+    let t0 = Instant::now();
+    let (next, _next_refs, update) =
+        store.apply_update(&refs0, &builder, &ops).expect("sharded incremental apply");
+    let inc_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut fresh_refs = refs0.clone();
+    fresh_refs.apply_all(&ops).expect("ops replay");
+    let fresh_store =
+        ShardedGraphStore::build(builder.build(&fresh_refs).expect("rebuild"), &opts, shards)
+            .expect("sharded rebuild");
+    let rebuild_time = t0.elapsed();
+
+    assert_row_bit_exact(&next.pipeline(), &fresh_store.pipeline(), "sharded batch");
+    let speedup = rebuild_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-12);
+    println!(
+        "distributed ({shards} shards, {batch}-op batch): incremental {} vs rebuild {} \
+         ({speedup:.1}x), {}/{shards} shards recompiled, all bit-exact",
+        fmt_duration(inc_time),
+        fmt_duration(rebuild_time),
+        update.rebuilt_shards,
+    );
+    println!();
+
+    let report = obj()
+        .field("experiment", "ablation-mutation")
+        .field("scale", format!("{scale:?}").to_lowercase())
+        .field("graph_size", scale.default_graph())
+        .field("alphas", Json::Arr(alphas.iter().map(|&a| Json::Num(a)).collect()))
+        .field("local", Json::Arr(json_local))
+        .field(
+            "distributed",
+            obj()
+                .field("shards", shards)
+                .field("batch_ops", batch)
+                .field("incremental_us", inc_time.as_micros() as u64)
+                .field("rebuild_us", rebuild_time.as_micros() as u64)
+                .field("speedup", speedup)
+                .field("rebuilt_shards", update.rebuilt_shards)
+                .field("n_dirty", update.n_dirty)
+                .field("reused_components", update.reused_components)
+                .field("bit_exact", true)
+                .build(),
+        )
+        .build();
+    std::fs::write("BENCH_mutation.json", format!("{report}\n")).expect("write BENCH json");
+    println!("(wrote BENCH_mutation.json)");
     println!();
 }
 

@@ -290,7 +290,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     if flags.contains_key("kind") {
-        let peg = peg_from_flags(flags)?;
+        // Keep the reference network around: serve-time graphs register
+        // live, so `update_graph` can mutate them incrementally.
+        let refs = refgraph_from_flags(flags)?;
+        let peg = PegBuilder::new().build(&refs).map_err(|e| e.to_string())?;
         let name = flags.get("name").map(String::as_str).unwrap_or("default");
         let offline_opts = offline_opts(flags);
         let shards: usize = flags.get("shards").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
@@ -338,14 +341,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 st.replication_factor,
                 bench::fmt_duration(st.build_time),
             );
-            server.insert_sharded_graph(name, store);
+            server.insert_sharded_graph(name, store, Some(refs));
         } else if shards > 1 {
             let store = pegshard::ShardedGraphStore::build(peg, &offline_opts, shards)
                 .map_err(|e| e.to_string())?;
-            server.insert_sharded_graph(name, store);
+            server.insert_sharded_graph(name, store, Some(refs));
         } else {
             let offline = OfflineIndex::build(&peg, &offline_opts).map_err(|e| e.to_string())?;
-            server.insert_graph(name, peg, offline);
+            server.insert_live_graph(name, refs, peg, offline, offline_opts.clone());
         }
     }
     println!("pegserve listening on {}", server.local_addr());
@@ -678,20 +681,23 @@ fn cmd_query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> 
     };
     let want_cache_stats = flags.contains_key("plan-cache-stats");
     let cache = std::sync::Arc::new(PlanCache::new());
-    let mut pipeline = match &sharded {
-        Some(store) => store.pipeline(),
-        None => QueryPipeline::new(&peg, offline.as_ref().expect("unsharded index built")),
-    };
-    if want_cache_stats {
-        pipeline = pipeline.with_plan_cache(cache.clone());
-    }
     // Off by default for a single-shot CLI run (nothing repeats, so a
     // cache is pure overhead); --repeat N with a budget shows the reuse.
     let exec_bytes: usize = flags.get("exec-cache-bytes").and_then(|s| s.parse().ok()).unwrap_or(0);
     let exec_cache = (exec_bytes > 0).then(|| std::sync::Arc::new(ExecCache::new(exec_bytes)));
-    if let Some(c) = &exec_cache {
-        pipeline = pipeline.with_exec_cache(c.clone(), c.next_epoch());
+    let mut builder = match &sharded {
+        Some(store) => QueryPipeline::builder(store.peg()).source(store),
+        None => {
+            QueryPipeline::builder(&peg).index(offline.as_ref().expect("unsharded index built"))
+        }
+    };
+    if want_cache_stats {
+        builder = builder.plan_cache(cache.clone());
     }
+    if let Some(c) = &exec_cache {
+        builder = builder.exec_cache(c.clone(), c.next_epoch());
+    }
+    let pipeline = builder.build();
     let repeat: usize = flags.get("repeat").map(|s| s.parse().unwrap_or(1)).unwrap_or(1).max(1);
     let t = std::time::Instant::now();
     let mut result = None;

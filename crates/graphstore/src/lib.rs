@@ -25,6 +25,7 @@ pub mod dist;
 pub mod entity;
 pub mod hash;
 pub mod labels;
+pub mod ops;
 pub mod persist;
 pub mod refgraph;
 pub mod stats;
@@ -32,5 +33,6 @@ pub mod stats;
 pub use dist::{CondTable, EdgeProbability, LabelDist};
 pub use entity::{EntityGraph, EntityGraphBuilder, EntityId, EntityNode};
 pub use labels::{Label, LabelTable};
-pub use refgraph::{RefEdge, RefGraph, RefId, RefNode, RefSet, RefSetId};
+pub use ops::GraphOp;
+pub use refgraph::{EntityRef, RefEdge, RefGraph, RefId, RefNode, RefSet, RefSetId};
 pub use stats::GraphStats;

@@ -61,6 +61,23 @@ pub struct RefSet {
     pub weight: f64,
 }
 
+/// One entry of the entity creation log: every reference contributes its
+/// implicit singleton set, every declared set contributes itself.
+///
+/// Entity ids in the compiled PEG are *positions in this log*, so ids are
+/// stable under live mutation: appends land at the end, deletes tombstone
+/// in place, and a rebuild of the mutated network reproduces the exact
+/// ids the incremental path kept. For a network built refs-first (every
+/// generator in `datagen` does this) the log order coincides with the
+/// historical "singletons first, then declared sets" numbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntityRef {
+    /// The implicit singleton set of a reference.
+    Singleton(RefId),
+    /// A declared non-singleton set.
+    Set(RefSetId),
+}
+
 /// The reference-level input network.
 ///
 /// Together with a pair of merge functions this is a complete PGD
@@ -74,6 +91,16 @@ pub struct RefGraph {
     edge_map: FxHashMap<(u32, u32), u32>,
     sets: Vec<RefSet>,
     singleton_weights: FxHashMap<RefId, f64>,
+    /// Entity creation log; see [`EntityRef`].
+    entities: Vec<EntityRef>,
+    /// Liveness per reference (tombstoned by [`RefGraph::delete_ref`]).
+    ref_alive: Vec<bool>,
+    /// Liveness per declared set.
+    set_alive: Vec<bool>,
+    /// Creation-log position of each reference's singleton entity.
+    singleton_pos: Vec<u32>,
+    /// Creation-log position of each declared set's entity.
+    set_pos: Vec<u32>,
 }
 
 impl RefGraph {
@@ -86,6 +113,11 @@ impl RefGraph {
             edge_map: FxHashMap::default(),
             sets: Vec::new(),
             singleton_weights: FxHashMap::default(),
+            entities: Vec::new(),
+            ref_alive: Vec::new(),
+            set_alive: Vec::new(),
+            singleton_pos: Vec::new(),
+            set_pos: Vec::new(),
         }
     }
 
@@ -99,6 +131,9 @@ impl RefGraph {
         assert_eq!(labels.n_labels(), self.labels.len(), "label alphabet mismatch");
         let id = RefId(self.refs.len() as u32);
         self.refs.push(RefNode { labels });
+        self.ref_alive.push(true);
+        self.singleton_pos.push(self.entities.len() as u32);
+        self.entities.push(EntityRef::Singleton(id));
         id
     }
 
@@ -132,6 +167,9 @@ impl RefGraph {
         assert!(weight >= 0.0, "negative set weight");
         let id = RefSetId(self.sets.len() as u32);
         self.sets.push(RefSet { members, weight });
+        self.set_alive.push(true);
+        self.set_pos.push(self.entities.len() as u32);
+        self.entities.push(EntityRef::Set(id));
         id
     }
 
@@ -195,6 +233,125 @@ impl RefGraph {
     /// All reference ids.
     pub fn ref_ids(&self) -> impl Iterator<Item = RefId> {
         (0..self.refs.len() as u32).map(RefId)
+    }
+
+    /// The entity creation log: one entry per (implicit or declared) set,
+    /// in creation order. Position in this log *is* the compiled entity id.
+    pub fn entities(&self) -> &[EntityRef] {
+        &self.entities
+    }
+
+    /// Number of entities in the creation log (live + tombstoned).
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// One declared set's payload by id.
+    pub fn ref_set(&self, s: RefSetId) -> &RefSet {
+        &self.sets[s.0 as usize]
+    }
+
+    /// Whether a reference is live (not tombstoned).
+    pub fn ref_is_alive(&self, r: RefId) -> bool {
+        self.ref_alive.get(r.idx()).copied().unwrap_or(false)
+    }
+
+    /// Whether a declared set is live. A set whose members include a
+    /// tombstoned reference is dead regardless of this flag; see
+    /// [`RefGraph::entity_is_dead`].
+    pub fn set_is_alive(&self, s: RefSetId) -> bool {
+        self.set_alive.get(s.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether the entity at creation-log position `i` is dead: its
+    /// reference was deleted (singletons), or the set was deleted or lost
+    /// a member (declared sets).
+    pub fn entity_is_dead(&self, i: usize) -> bool {
+        match self.entities[i] {
+            EntityRef::Singleton(r) => !self.ref_is_alive(r),
+            EntityRef::Set(s) => {
+                !self.set_is_alive(s)
+                    || self.ref_set(s).members.iter().any(|&m| !self.ref_is_alive(m))
+            }
+        }
+    }
+
+    /// Entity id of the implicit singleton set of `r`.
+    pub fn singleton_entity(&self, r: RefId) -> u32 {
+        self.singleton_pos[r.idx()]
+    }
+
+    /// Entity id of declared set `s`.
+    pub fn set_entity(&self, s: RefSetId) -> u32 {
+        self.set_pos[s.0 as usize]
+    }
+
+    /// Tombstones reference `r` and removes its incident edges. The
+    /// singleton entity `{r}` and every declared set containing `r` become
+    /// dead; entity ids are unchanged. No-op structure otherwise.
+    pub fn delete_ref(&mut self, r: RefId) {
+        assert!(r.idx() < self.refs.len(), "reference out of range");
+        self.ref_alive[r.idx()] = false;
+        let mut i = 0;
+        while i < self.edges.len() {
+            if self.edges[i].a == r || self.edges[i].b == r {
+                self.remove_edge_at(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Removes the edge between `a` and `b` if declared; returns whether
+    /// an edge was removed.
+    pub fn delete_edge(&mut self, a: RefId, b: RefId) -> bool {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        match self.edge_map.get(&key) {
+            Some(&i) => {
+                self.remove_edge_at(i as usize);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the label distribution of a reference.
+    pub fn replace_ref_labels(&mut self, r: RefId, labels: LabelDist) {
+        assert_eq!(labels.n_labels(), self.labels.len(), "label alphabet mismatch");
+        self.refs[r.idx()].labels = labels;
+    }
+
+    /// Replaces the raw factor value of declared set `s`.
+    pub fn replace_set_weight(&mut self, s: RefSetId, weight: f64) {
+        assert!(weight >= 0.0, "negative set weight");
+        self.sets[s.0 as usize].weight = weight;
+    }
+
+    /// Tombstones declared set `s`; member references stay live.
+    pub fn delete_set(&mut self, s: RefSetId) {
+        assert!((s.0 as usize) < self.sets.len(), "set out of range");
+        self.set_alive[s.0 as usize] = false;
+    }
+
+    /// The live declared set with exactly these members, if any.
+    pub fn find_live_set(&self, members: &[RefId]) -> Option<RefSetId> {
+        let mut sorted: Vec<RefId> = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        (0..self.sets.len())
+            .rev()
+            .map(|j| RefSetId(j as u32))
+            .find(|&s| self.set_is_alive(s) && self.ref_set(s).members == sorted)
+    }
+
+    /// Swap-removes edge `i` and patches the displaced edge's map slot.
+    fn remove_edge_at(&mut self, i: usize) {
+        let e = self.edges.swap_remove(i);
+        self.edge_map.remove(&(e.a.0.min(e.b.0), e.a.0.max(e.b.0)));
+        if i < self.edges.len() {
+            let m = &self.edges[i];
+            self.edge_map.insert((m.a.0.min(m.b.0), m.a.0.max(m.b.0)), i as u32);
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 //! path/labeling pair is stored exactly once.
 
 use crate::index::{IdentityOracle, PathIndex, PathIndexConfig, PathMatch, StoredPath};
+use graphstore::hash::FxHashSet;
 use graphstore::{EntityGraph, EntityId, Label};
 
 /// Probability slack for threshold comparisons.
@@ -32,7 +33,7 @@ pub fn build_index(
     let partials: Vec<Vec<(Vec<u16>, StoredPath)>> = if threads == 1 {
         let mut out = Vec::new();
         for v in 0..n as u32 {
-            enumerate_from(graph, oracle, config, EntityId(v), &mut out);
+            enumerate_from(graph, oracle, config, EntityId(v), None, &mut out);
         }
         vec![out]
     } else {
@@ -42,7 +43,7 @@ pub fn build_index(
             let mut out = Vec::new();
             let mut v = t;
             while v < n {
-                enumerate_from(graph, oracle, config, EntityId(v as u32), &mut out);
+                enumerate_from(graph, oracle, config, EntityId(v as u32), None, &mut out);
                 v += threads;
             }
             out
@@ -59,11 +60,150 @@ pub fn build_index(
     index
 }
 
+/// Incrementally patches `index` after a graph mutation, given the set of
+/// `dirty` nodes (any node whose labels, incident edges, or existence
+/// component may differ from the graph the index was built for; new nodes
+/// must be marked dirty). Node ids must be stable across the mutation —
+/// the entity-graph compiler guarantees this by tombstoning deletions.
+///
+/// The result is entry- and histogram-identical to [`build_index`] on the
+/// mutated graph:
+///
+/// 1. every stored entry touching a dirty node is dropped (clean entries
+///    are unaffected by construction of the dirty set);
+/// 2. every canonical path containing a dirty node starts within
+///    `max_len` hops of one, so re-running the enumeration from that ball,
+///    emitting only dirty-touching paths, regenerates exactly the dropped
+///    ones;
+/// 3. histograms of affected sequences are recomputed with the same
+///    integer loop full construction uses, and sequences left without
+///    entries are removed entirely.
+pub fn update_index(
+    index: &mut PathIndex,
+    graph: &EntityGraph,
+    oracle: &dyn IdentityOracle,
+    dirty: &[bool],
+) {
+    let config = index.config().clone();
+    let is_dirty = |n: u32| dirty.get(n as usize).copied().unwrap_or(true);
+    let mut affected: FxHashSet<Vec<u16>> = FxHashSet::default();
+
+    // 1. Drop entries that touch a dirty node.
+    let mut removed_total = 0usize;
+    for (seq, sb) in index.map.iter_mut() {
+        let mut removed_here = 0usize;
+        for b in sb.buckets.iter_mut() {
+            let before = b.len();
+            b.retain(|e| !e.nodes.iter().any(|&v| is_dirty(v)));
+            removed_here += before - b.len();
+        }
+        if removed_here > 0 {
+            affected.insert(seq.clone());
+            removed_total += removed_here;
+        }
+    }
+    index.n_entries -= removed_total;
+
+    // 2. Region: ball of `max_len` hops around the dirty set in the new
+    // graph. The canonical start of any path containing a dirty node lies
+    // inside it.
+    let n = graph.n_nodes();
+    let mut in_region = vec![false; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    for (v, r) in in_region.iter_mut().enumerate() {
+        if is_dirty(v as u32) {
+            *r = true;
+            frontier.push(v as u32);
+        }
+    }
+    for _ in 0..config.max_len {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &nb in graph.neighbors(EntityId(v)) {
+                if !in_region[nb as usize] {
+                    in_region[nb as usize] = true;
+                    next.push(nb);
+                }
+            }
+        }
+        frontier = next;
+    }
+    let starts: Vec<u32> = (0..n as u32).filter(|&v| in_region[v as usize]).collect();
+
+    // 3. Re-enumerate from the region, keeping only dirty-touching paths.
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let threads = threads.clamp(1, starts.len().max(1));
+    let partials: Vec<Vec<(Vec<u16>, StoredPath)>> = if threads == 1 {
+        let mut out = Vec::new();
+        for &v in &starts {
+            enumerate_from(graph, oracle, &config, EntityId(v), Some(dirty), &mut out);
+        }
+        vec![out]
+    } else {
+        let starts = &starts;
+        pegpool::pool_with(threads).map(threads, |t| {
+            let mut out = Vec::new();
+            let mut i = t;
+            while i < starts.len() {
+                enumerate_from(graph, oracle, &config, EntityId(starts[i]), Some(dirty), &mut out);
+                i += threads;
+            }
+            out
+        })
+    };
+    for partial in partials {
+        for (seq, entry) in partial {
+            if !affected.contains(&seq) {
+                affected.insert(seq.clone());
+            }
+            index.insert(seq, entry);
+        }
+    }
+
+    // 4. Patch histograms of affected sequences; drop emptied sequences.
+    let grid = config.hist_grid.clone();
+    for seq in affected {
+        let empty = match index.map.get(&seq) {
+            None => true,
+            Some(sb) => sb.buckets.iter().all(|b| b.is_empty()),
+        };
+        if empty {
+            index.map.remove(&seq);
+            index.hist.remove(&seq);
+            continue;
+        }
+        let sb = &index.map[&seq];
+        let mut counts = vec![0u32; grid.len()];
+        for b in &sb.buckets {
+            for e in b {
+                let p = e.prob();
+                for (i, &g) in grid.iter().enumerate() {
+                    if p >= g {
+                        counts[i] += 1;
+                    }
+                }
+            }
+        }
+        index.hist.insert(seq, counts);
+    }
+}
+
 /// DFS state for one start node.
 struct Walk<'a> {
     graph: &'a EntityGraph,
     oracle: &'a dyn IdentityOracle,
     config: &'a PathIndexConfig,
+    /// When set (incremental update), only paths containing at least one
+    /// flagged node are emitted. The walk itself is unrestricted — a clean
+    /// prefix may pick up a dirty node later.
+    dirty: Option<&'a [bool]>,
     nodes: Vec<EntityId>,
     labels: Vec<u16>,
     all_trivial: bool,
@@ -74,12 +214,14 @@ fn enumerate_from(
     oracle: &dyn IdentityOracle,
     config: &PathIndexConfig,
     start: EntityId,
+    dirty: Option<&[bool]>,
     out: &mut Vec<(Vec<u16>, StoredPath)>,
 ) {
     let mut walk = Walk {
         graph,
         oracle,
         config,
+        dirty,
         nodes: Vec::with_capacity(config.max_len + 1),
         labels: Vec::with_capacity(config.max_len + 1),
         all_trivial: true,
@@ -149,6 +291,12 @@ fn extend(walk: &mut Walk<'_>, prle: f64, out: &mut Vec<(Vec<u16>, StoredPath)>)
 }
 
 fn emit_if_canonical(walk: &Walk<'_>, prle: f64, prn: f64, out: &mut Vec<(Vec<u16>, StoredPath)>) {
+    if let Some(dirty) = walk.dirty {
+        let touches = walk.nodes.iter().any(|v| dirty.get(v.0 as usize).copied().unwrap_or(true));
+        if !touches {
+            return;
+        }
+    }
     let seq = &walk.labels;
     let is_canonical = {
         let rev_cmp = cmp_with_reversed(seq);
@@ -352,6 +500,47 @@ mod tests {
             a.sort_by(|x, y| x.nodes.cmp(&y.nodes));
             b.sort_by(|x, y| x.nodes.cmp(&y.nodes));
             assert_eq!(a, b, "mismatch for {labels:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_rebuild() {
+        let table = LabelTable::from_names(["x", "y", "z"]);
+        let n = table.len();
+        let build = |edge_prob: f64, pendant_label: Label| {
+            let mut b = EntityGraphBuilder::new(table.clone());
+            let v0 = b.add_node(LabelDist::delta(Label(0), n), vec![RefId(0)]);
+            let v1 = b.add_node(LabelDist::delta(Label(1), n), vec![RefId(1)]);
+            let v2 = b.add_node(LabelDist::delta(Label(2), n), vec![RefId(2)]);
+            let v3 = b.add_node(LabelDist::delta(pendant_label, n), vec![RefId(3)]);
+            for (u, v) in [(v0, v1), (v1, v2), (v0, v2)] {
+                b.add_edge(u, v, EdgeProbability::Independent(0.8));
+            }
+            b.add_edge(v2, v3, EdgeProbability::Independent(edge_prob));
+            b.build()
+        };
+        let before = build(0.8, Label(0));
+        let after = build(0.5, Label(1));
+        let cfg = PathIndexConfig { max_len: 3, beta: 0.1, threads: 1, ..Default::default() };
+
+        let mut idx = build_index(&before, &NoIdentity, &cfg);
+        // Edge (v2,v3) and v3's label changed: both endpoints are dirty.
+        let dirty = vec![false, false, true, true];
+        update_index(&mut idx, &after, &NoIdentity, &dirty);
+
+        let fresh = build_index(&after, &NoIdentity, &cfg);
+        assert_eq!(idx.n_entries(), fresh.n_entries());
+        assert_eq!(idx.n_sequences(), fresh.n_sequences());
+        for (seq, counts) in &fresh.hist {
+            assert_eq!(idx.hist.get(seq), Some(counts), "hist mismatch for {seq:?}");
+        }
+        for seq in fresh.map.keys() {
+            let labels: Vec<Label> = seq.iter().map(|&l| Label(l)).collect();
+            let mut a = idx.lookup(&labels, 0.0);
+            let mut b = fresh.lookup(&labels, 0.0);
+            a.sort_by(|x, y| x.nodes.cmp(&y.nodes));
+            b.sort_by(|x, y| x.nodes.cmp(&y.nodes));
+            assert_eq!(a, b, "entries mismatch for {seq:?}");
         }
     }
 

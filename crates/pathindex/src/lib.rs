@@ -25,7 +25,7 @@ pub mod disk;
 pub mod histogram;
 mod index;
 
-pub use build::{build_index, enumerate_paths_online};
+pub use build::{build_index, enumerate_paths_online, update_index};
 pub use index::{
     canonical_label_seq, estimate_from_counts, IdentityOracle, NoIdentity, PathIndex,
     PathIndexConfig, PathMatch, StoredPath,

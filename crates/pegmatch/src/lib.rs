@@ -67,6 +67,7 @@
 pub mod baseline;
 pub mod error;
 pub mod explain;
+pub mod live;
 pub mod matcher;
 pub mod merge;
 pub mod model;

@@ -72,6 +72,9 @@ struct Component {
     /// Dense superset sums (`table[mask] = Σ_{config ⊇ mask} w`), present
     /// when `sets.len()` is small enough for a dense table.
     dense: Option<Vec<f64>>,
+    /// True when `configs` are sampled estimates (importance sampling
+    /// fallback) rather than the exact enumeration.
+    sampled: bool,
 }
 
 const DENSE_LIMIT: usize = 16;
@@ -108,6 +111,22 @@ pub struct ExistenceModel {
 /// Marker for nodes outside any non-trivial component.
 const TRIVIAL: u32 = u32::MAX;
 
+/// Marker for dead (tombstoned) nodes: they exist in *no* possible world.
+const DEAD: u32 = u32::MAX - 1;
+
+/// Result of [`ExistenceModel::rebuild_incremental`]: the new model plus
+/// which nodes' existence semantics differ from the previous model's.
+pub struct ExistenceDelta {
+    /// The rebuilt model.
+    pub model: ExistenceModel,
+    /// Per node of the *new* model: true when its marginals may differ
+    /// from the previous model's (component re-enumerated, membership or
+    /// liveness changed, or the node is new).
+    pub changed: Vec<bool>,
+    /// Components carried over by `Arc` instead of re-enumerated.
+    pub reused_components: usize,
+}
+
 impl ExistenceModel {
     /// Builds the model from per-entity reference memberships and raw factor
     /// weights.
@@ -119,10 +138,88 @@ impl ExistenceModel {
         node_weights: &[f64],
         opts: &ExistenceOptions,
     ) -> Result<Self, PegError> {
+        Self::build_ext(node_refs, node_weights, None, opts, None).map(|(m, _)| m)
+    }
+
+    /// [`ExistenceModel::build`] over a graph with tombstoned entities:
+    /// `dead[i]` excludes node `i` from the exact-cover factorization
+    /// entirely — it exists in *no* possible world (`prn` including it is
+    /// 0) and its references impose no cover constraint.
+    pub fn build_with_dead(
+        node_refs: &[Vec<RefId>],
+        node_weights: &[f64],
+        dead: &[bool],
+        opts: &ExistenceOptions,
+    ) -> Result<Self, PegError> {
+        Self::build_ext(node_refs, node_weights, Some(dead), opts, None).map(|(m, _)| m)
+    }
+
+    /// Rebuilds after a mutation, reusing the previous model's component
+    /// tables wherever possible: a component whose member list matches a
+    /// previous component's exactly, with no member in `touched`, carries
+    /// over by `Arc` — its configurations, partition function, and
+    /// superset sums are literally the previous model's memory, so every
+    /// marginal is trivially bit-identical. Everything else re-runs the
+    /// same deterministic enumeration a from-scratch
+    /// [`ExistenceModel::build_with_dead`] would, so the whole model is
+    /// bit-identical to a full rebuild of the mutated graph.
+    ///
+    /// `touched[i]` marks nodes whose refs, weight, or liveness an op
+    /// changed directly (new nodes count as touched).
+    pub fn rebuild_incremental(
+        node_refs: &[Vec<RefId>],
+        node_weights: &[f64],
+        dead: &[bool],
+        opts: &ExistenceOptions,
+        prev: &ExistenceModel,
+        touched: &[bool],
+    ) -> Result<ExistenceDelta, PegError> {
+        Self::build_ext(node_refs, node_weights, Some(dead), opts, Some((prev, touched))).map(
+            |(model, reused)| {
+                let n = node_refs.len();
+                let mut changed = vec![false; n];
+                let mut reused_components = 0usize;
+                // A node changed unless its old and new states agree:
+                // same-trivial, same-dead, or a component reused by Arc.
+                for (i, ch) in changed.iter_mut().enumerate() {
+                    let now = model.node_component[i];
+                    *ch = match prev.node_component.get(i) {
+                        None => true, // New node.
+                        Some(&before) => match now {
+                            TRIVIAL => before != TRIVIAL,
+                            DEAD => before != DEAD,
+                            c => !reused[c as usize],
+                        },
+                    };
+                }
+                for r in &reused {
+                    reused_components += *r as usize;
+                }
+                ExistenceDelta { model, changed, reused_components }
+            },
+        )
+    }
+
+    /// Shared core of all build paths. Returns the model plus, per
+    /// component, whether it was reused from `reuse`'s previous model.
+    fn build_ext(
+        node_refs: &[Vec<RefId>],
+        node_weights: &[f64],
+        dead: Option<&[bool]>,
+        opts: &ExistenceOptions,
+        reuse: Option<(&ExistenceModel, &[bool])>,
+    ) -> Result<(Self, Vec<bool>), PegError> {
         assert_eq!(node_refs.len(), node_weights.len());
         let n = node_refs.len();
+        let is_dead = |i: usize| dead.is_some_and(|d| d[i]);
 
-        // Union-find over entity nodes through shared references.
+        // Previous components by member list, for Arc reuse.
+        let prev_by_members: FxHashMap<&[EntityId], &Arc<Component>> = match reuse {
+            Some((prev, _)) => prev.components.iter().map(|c| (c.sets.as_slice(), c)).collect(),
+            None => FxHashMap::default(),
+        };
+
+        // Union-find over *live* entity nodes through shared references.
         let mut ref_owner: FxHashMap<RefId, u32> = FxHashMap::default();
         let mut parent: Vec<u32> = (0..n as u32).collect();
         fn find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -133,6 +230,9 @@ impl ExistenceModel {
             x
         }
         for (i, refs) in node_refs.iter().enumerate() {
+            if is_dead(i) {
+                continue;
+            }
             for &r in refs {
                 match ref_owner.get(&r) {
                     None => {
@@ -148,21 +248,49 @@ impl ExistenceModel {
             }
         }
 
-        // Group nodes per root.
+        // Group live nodes per root.
         let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
         for i in 0..n as u32 {
+            if is_dead(i as usize) {
+                continue;
+            }
             let root = find(&mut parent, i);
             groups.entry(root).or_default().push(i);
         }
 
         let mut node_component = vec![TRIVIAL; n];
+        for (i, c) in node_component.iter_mut().enumerate() {
+            if is_dead(i) {
+                *c = DEAD;
+            }
+        }
         let mut node_pos = vec![0u8; n];
         let mut components = Vec::new();
+        let mut component_reused = Vec::new();
         let mut approximate = false;
 
         for (_, members) in groups {
             if members.len() == 1 {
                 continue; // Trivial: exists in every world.
+            }
+            // Arc reuse: identical member list, none touched by the
+            // mutation — the component's inputs (refs, weights, liveness)
+            // are unchanged, so its tables are exactly what re-enumeration
+            // would produce.
+            if let Some((_, touched)) = reuse {
+                if members.iter().all(|&m| !touched.get(m as usize).copied().unwrap_or(true)) {
+                    let ids: Vec<EntityId> = members.iter().map(|&m| EntityId(m)).collect();
+                    if let Some(&prev_comp) = prev_by_members.get(ids.as_slice()) {
+                        let comp_idx = components.len() as u32;
+                        for (pos, &m) in members.iter().enumerate() {
+                            node_component[m as usize] = comp_idx;
+                            node_pos[m as usize] = pos as u8;
+                        }
+                        components.push(Arc::clone(prev_comp));
+                        component_reused.push(true);
+                        continue;
+                    }
+                }
             }
             if members.len() > opts.max_sets_per_component || members.len() > 63 {
                 return Err(PegError::ComponentTooLarge {
@@ -259,10 +387,15 @@ impl ExistenceModel {
                 configs,
                 z,
                 dense,
+                sampled,
             }));
+            component_reused.push(false);
         }
 
-        Ok(Self { node_component, node_pos, components, approximate })
+        // Exact across reuse: a carried-over sampled component keeps the
+        // model approximate; a re-enumerated one re-decides for itself.
+        approximate |= components.iter().any(|c| c.sampled);
+        Ok((Self { node_component, node_pos, components, approximate }, component_reused))
     }
 
     /// True when any component's marginals are sampled estimates rather
@@ -282,22 +415,31 @@ impl ExistenceModel {
         self.node_component[v.idx()] == TRIVIAL
     }
 
-    /// The component index of `v`, if any.
+    /// True when `v` is tombstoned: it exists in *no* possible world.
+    #[inline]
+    pub fn is_dead(&self, v: EntityId) -> bool {
+        self.node_component[v.idx()] == DEAD
+    }
+
+    /// The component index of `v`, if any (trivial and dead nodes have
+    /// none).
     #[inline]
     pub fn component_of(&self, v: EntityId) -> Option<u32> {
         let c = self.node_component[v.idx()];
-        (c != TRIVIAL).then_some(c)
+        (c != TRIVIAL && c != DEAD).then_some(c)
     }
 
     /// Marginal existence probability of a single node.
     pub fn prn_single(&self, v: EntityId) -> f64 {
-        match self.component_of(v) {
-            None => 1.0,
-            Some(c) => {
-                let comp = &self.components[c as usize];
-                comp.marginal(1u64 << self.node_pos[v.idx()])
-            }
+        let c = self.node_component[v.idx()];
+        if c == TRIVIAL {
+            return 1.0;
         }
+        if c == DEAD {
+            return 0.0;
+        }
+        let comp = &self.components[c as usize];
+        comp.marginal(1u64 << self.node_pos[v.idx()])
     }
 
     /// `Prn(M) = Pr(VM.n = T)`: the probability that all `nodes` exist
@@ -311,6 +453,9 @@ impl ExistenceModel {
             let c = self.node_component[v.idx()];
             if c == TRIVIAL {
                 continue;
+            }
+            if c == DEAD {
+                return 0.0;
             }
             let bit = 1u64 << self.node_pos[v.idx()];
             match masks.iter_mut().find(|(ci, _)| *ci == c) {
@@ -355,6 +500,10 @@ impl ExistenceModel {
         for (i, &src) in to_source.iter().enumerate() {
             let c = self.node_component[src as usize];
             if c == TRIVIAL {
+                continue;
+            }
+            if c == DEAD {
+                node_component[i] = DEAD;
                 continue;
             }
             let local_c = *comp_map.entry(c).or_insert_with(|| {

@@ -11,5 +11,5 @@ pub mod peg;
 pub mod worlds;
 
 pub use closure::{add_transitive_closure_sets, ClosureWeight};
-pub use existence::{ComponentFallback, ExistenceModel, ExistenceOptions};
-pub use peg::{figure1_refgraph, Peg, PegBuilder};
+pub use existence::{ComponentFallback, ExistenceDelta, ExistenceModel, ExistenceOptions};
+pub use peg::{figure1_refgraph, Peg, PegBuilder, PegDelta};

@@ -5,7 +5,7 @@ use crate::merge::{AverageMerge, EdgeMerge, LabelMerge};
 use crate::model::existence::{ExistenceModel, ExistenceOptions};
 use graphstore::dist::{CondTable, EdgeProbability, LabelDist};
 use graphstore::hash::FxHashSet;
-use graphstore::{EntityGraph, EntityGraphBuilder, EntityId, RefGraph, RefId};
+use graphstore::{EntityGraph, EntityGraphBuilder, EntityId, EntityRef, RefGraph, RefId};
 
 /// The probabilistic entity graph: the entity-level graph `G_U` plus the
 /// exact identity-uncertainty semantics.
@@ -69,32 +69,100 @@ impl PegBuilder {
     /// Compiles `refs` into a PEG.
     ///
     /// Entity nodes are created for every singleton reference set (implicit)
-    /// and every declared set, in that id order. An entity edge is created
-    /// between two entities exactly when some underlying reference pair has
-    /// a declared edge and the entities share no reference; its probability
-    /// merges **all** cross pairs (absent pairs count as probability 0, per
-    /// Definition 2).
+    /// and every declared set, in creation order ([`RefGraph::entities`] —
+    /// for a refs-first construction this is "singletons first, then
+    /// declared sets"). An entity edge is created between two entities
+    /// exactly when some underlying reference pair has a declared edge and
+    /// the entities share no reference; its probability merges **all**
+    /// cross pairs (absent pairs count as probability 0, per Definition 2).
+    ///
+    /// Tombstoned entities (deleted references/sets) keep their node ids —
+    /// live mutation depends on id stability — but exist in no possible
+    /// world: `Prn` of any match including one is 0.
     pub fn build(&self, refs: &RefGraph) -> Result<Peg, PegError> {
+        let c = self.compile(refs)?;
+        let existence = ExistenceModel::build_with_dead(
+            &c.node_refs,
+            &c.node_weights,
+            &c.dead,
+            &self.existence,
+        )?;
+        Ok(Peg { graph: c.graph, existence })
+    }
+
+    /// Recompiles a *mutated* `refs` against the previous compilation,
+    /// reusing untouched existence-component tables by `Arc`
+    /// ([`ExistenceModel::rebuild_incremental`]). The result is
+    /// **bit-identical** to [`PegBuilder::build`] of the same mutated
+    /// network; on top of it, `dirty` marks every node whose compiled
+    /// semantics may differ from `prev` — the seed set incremental
+    /// path-index maintenance re-enumerates around.
+    ///
+    /// `touched` is the directly-touched entity set an op batch reported
+    /// ([`RefGraph::apply_all`]).
+    pub fn rebuild(
+        &self,
+        refs: &RefGraph,
+        prev: &Peg,
+        touched: &[u32],
+    ) -> Result<PegDelta, PegError> {
+        let c = self.compile(refs)?;
+        let mut touched_flags = vec![false; c.node_refs.len()];
+        for &t in touched {
+            if (t as usize) < touched_flags.len() {
+                touched_flags[t as usize] = true;
+            }
+        }
+        let delta = ExistenceModel::rebuild_incremental(
+            &c.node_refs,
+            &c.node_weights,
+            &c.dead,
+            &self.existence,
+            &prev.existence,
+            &touched_flags,
+        )?;
+        let mut dirty = delta.changed;
+        for (i, t) in touched_flags.iter().enumerate() {
+            dirty[i] |= *t;
+        }
+        Ok(PegDelta {
+            peg: Peg { graph: c.graph, existence: delta.model },
+            dirty,
+            reused_components: delta.reused_components,
+        })
+    }
+
+    /// Shared compilation core: node table (creation order), merged
+    /// labels, merged edges — everything but the existence model.
+    fn compile(&self, refs: &RefGraph) -> Result<CompiledGraph, PegError> {
         let n_refs = refs.n_refs();
-        let n_sets = refs.ref_sets().len();
         let n_labels = refs.label_table().len();
         if n_labels == 0 {
             return Err(PegError::Invalid("empty label alphabet".into()));
         }
 
-        // --- Entity node table: singletons first, then declared sets. ---
-        let mut node_refs: Vec<Vec<RefId>> = Vec::with_capacity(n_refs + n_sets);
-        let mut node_weights: Vec<f64> = Vec::with_capacity(n_refs + n_sets);
-        for r in refs.ref_ids() {
-            node_refs.push(vec![r]);
-            node_weights.push(refs.singleton_weight(r));
-        }
-        for set in refs.ref_sets() {
-            node_refs.push(set.members.clone());
-            node_weights.push(set.weight);
+        // --- Entity node table, in creation-log order. ---
+        let n_entities = refs.n_entities();
+        let mut node_refs: Vec<Vec<RefId>> = Vec::with_capacity(n_entities);
+        let mut node_weights: Vec<f64> = Vec::with_capacity(n_entities);
+        let mut dead: Vec<bool> = Vec::with_capacity(n_entities);
+        for (i, ent) in refs.entities().iter().enumerate() {
+            match *ent {
+                EntityRef::Singleton(r) => {
+                    node_refs.push(vec![r]);
+                    node_weights.push(refs.singleton_weight(r));
+                }
+                EntityRef::Set(s) => {
+                    let set = refs.ref_set(s);
+                    node_refs.push(set.members.clone());
+                    node_weights.push(set.weight);
+                }
+            }
+            dead.push(refs.entity_is_dead(i));
         }
 
-        // Sets containing each reference (singleton id = ref id).
+        // Sets containing each reference (live or dead — dead entities
+        // compile identically on the build and rebuild paths).
         let mut containing: Vec<Vec<u32>> = vec![Vec::new(); n_refs];
         for (i, members) in node_refs.iter().enumerate() {
             for r in members {
@@ -162,9 +230,28 @@ impl PegBuilder {
             }
         }
 
-        let existence = ExistenceModel::build(&node_refs, &node_weights, &self.existence)?;
-        Ok(Peg { graph: builder.build(), existence })
+        Ok(CompiledGraph { graph: builder.build(), node_refs, node_weights, dead })
     }
+}
+
+/// Result of [`PegBuilder::rebuild`]: the recompiled graph plus the dirty
+/// node set incremental index maintenance works from.
+#[derive(Clone, Debug)]
+pub struct PegDelta {
+    /// The recompiled PEG — bit-identical to a from-scratch build.
+    pub peg: Peg,
+    /// Per-node flag: compiled semantics may differ from the previous PEG.
+    pub dirty: Vec<bool>,
+    /// Existence components carried over from the previous model by `Arc`.
+    pub reused_components: usize,
+}
+
+/// Everything [`PegBuilder::compile`] produces short of the existence model.
+struct CompiledGraph {
+    graph: EntityGraph,
+    node_refs: Vec<Vec<RefId>>,
+    node_weights: Vec<f64>,
+    dead: Vec<bool>,
 }
 
 /// Transposes a (possibly conditional) edge probability: swaps which

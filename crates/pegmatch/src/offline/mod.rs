@@ -10,7 +10,8 @@ use crate::error::PegError;
 use crate::model::{ExistenceModel, Peg};
 use graphstore::{EntityId, Label};
 use pathindex::{
-    build_index, enumerate_paths_online, IdentityOracle, PathIndex, PathIndexConfig, PathMatch,
+    build_index, enumerate_paths_online, update_index, IdentityOracle, PathIndex, PathIndexConfig,
+    PathMatch,
 };
 use std::time::{Duration, Instant};
 
@@ -69,6 +70,30 @@ impl OfflineIndex {
     pub fn build(peg: &Peg, opts: &OfflineOptions) -> Result<Self, PegError> {
         let t0 = Instant::now();
         let paths = build_index(&peg.graph, &peg.existence, &opts.index);
+        let index_time = t0.elapsed();
+        let t1 = Instant::now();
+        let context = ContextInfo::build(&peg.graph);
+        let context_time = t1.elapsed();
+        let stats = OfflineStats {
+            total_time: t0.elapsed(),
+            index_time,
+            context_time,
+            index_entries: paths.n_entries(),
+            index_bytes: paths.approx_bytes(),
+        };
+        Ok(Self { context, paths, stats })
+    }
+
+    /// Rebuilds the offline artifacts after a graph mutation, patching the
+    /// path index incrementally from `dirty` (per-node flags from
+    /// [`crate::model::PegBuilder::rebuild`]) instead of re-enumerating the
+    /// whole graph. `self` is left untouched — in-flight queries holding it
+    /// stay consistent — and the result is entry- and histogram-identical
+    /// to [`OfflineIndex::build`] on the mutated `peg`.
+    pub fn rebuild_delta(&self, peg: &Peg, dirty: &[bool]) -> Result<Self, PegError> {
+        let t0 = Instant::now();
+        let mut paths = self.paths.clone();
+        update_index(&mut paths, &peg.graph, &peg.existence, dirty);
         let index_time = t0.elapsed();
         let t1 = Instant::now();
         let context = ContextInfo::build(&peg.graph);

@@ -200,29 +200,105 @@ pub struct QueryPipeline<'a> {
     exec_cache: Option<(Arc<ExecCache>, u64)>,
 }
 
-impl<'a> QueryPipeline<'a> {
-    /// Binds a pipeline to a PEG and its offline artifacts.
-    pub fn new(peg: &'a Peg, offline: &'a OfflineIndex) -> Self {
-        Self {
-            peg,
-            source: PipelineSource::Local(source::LocalSource { peg, offline }),
-            plan_cache: None,
-            exec_cache: None,
-        }
+/// Staged construction of a [`QueryPipeline`]: bind the candidate source,
+/// then any shared caches, then [`build`](PipelineBuilder::build). The one
+/// place pipeline assembly happens — [`QueryPipeline::new`] and
+/// [`QueryPipeline::with_source`] are thin wrappers over it.
+///
+/// ```ignore
+/// let pipeline = QueryPipeline::builder(&peg)
+///     .index(&offline)
+///     .plan_cache(plans.clone())
+///     .exec_cache(cache.clone(), epoch)
+///     .build();
+/// ```
+pub struct PipelineBuilder<'a> {
+    peg: &'a Peg,
+    source: Option<PipelineSource<'a>>,
+    plan_cache: Option<Arc<PlanCache>>,
+    exec_cache: Option<(Arc<ExecCache>, u64)>,
+}
+
+impl<'a> PipelineBuilder<'a> {
+    /// Uses the local offline artifacts (path index + context info) as the
+    /// candidate source.
+    pub fn index(mut self, offline: &'a OfflineIndex) -> Self {
+        self.source = Some(PipelineSource::Local(source::LocalSource { peg: self.peg, offline }));
+        self
     }
 
-    /// Binds a pipeline to a PEG and an arbitrary [`CandidateSource`] —
-    /// the entry point for sharded stores, whose scatter-gather retrieval
-    /// replaces the single offline index. `peg` must be the *full* graph
-    /// the source's candidates refer to: k-partite construction and match
-    /// generation evaluate cross-path edges and joint existence on it.
-    pub fn with_source(peg: &'a Peg, source: &'a dyn CandidateSource) -> Self {
-        Self { peg, source: PipelineSource::Shared(source), plan_cache: None, exec_cache: None }
+    /// Uses an arbitrary [`CandidateSource`] — the entry point for sharded
+    /// stores, whose scatter-gather retrieval replaces the single offline
+    /// index. The builder's PEG must be the *full* graph the source's
+    /// candidates refer to: k-partite construction and match generation
+    /// evaluate cross-path edges and joint existence on it.
+    pub fn source(mut self, source: &'a dyn CandidateSource) -> Self {
+        self.source = Some(PipelineSource::Shared(source));
+        self
     }
 
     /// Attaches a shared plan cache: [`QueryPipeline::prepare`] then keys
     /// plans by canonical query shape and reuses them across calls (and
     /// across pipelines sharing the cache for the *same* graph + index).
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a shared execution cache under graph epoch `epoch` (see
+    /// [`QueryPipeline::with_exec_cache`]).
+    pub fn exec_cache(mut self, cache: Arc<ExecCache>, epoch: u64) -> Self {
+        self.exec_cache = Some((cache, epoch));
+        self
+    }
+
+    /// Finalizes the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// If no candidate source was bound ([`index`](Self::index) or
+    /// [`source`](Self::source)) — a construction bug, not a runtime
+    /// condition.
+    pub fn build(self) -> QueryPipeline<'a> {
+        QueryPipeline {
+            peg: self.peg,
+            source: self.source.expect("PipelineBuilder: no candidate source bound"),
+            plan_cache: self.plan_cache,
+            exec_cache: self.exec_cache,
+        }
+    }
+}
+
+impl<'a> QueryPipeline<'a> {
+    /// Starts staged construction of a pipeline over `peg`.
+    pub fn builder(peg: &'a Peg) -> PipelineBuilder<'a> {
+        PipelineBuilder { peg, source: None, plan_cache: None, exec_cache: None }
+    }
+
+    /// Binds a pipeline to a PEG and its offline artifacts.
+    pub fn new(peg: &'a Peg, offline: &'a OfflineIndex) -> Self {
+        Self::builder(peg).index(offline).build()
+    }
+
+    /// Binds a pipeline to a PEG and an arbitrary [`CandidateSource`] —
+    /// see [`PipelineBuilder::source`].
+    pub fn with_source(peg: &'a Peg, source: &'a dyn CandidateSource) -> Self {
+        Self::builder(peg).source(source).build()
+    }
+
+    /// Reopens this pipeline as a builder, carrying its source and caches
+    /// over — for attaching caches to a pipeline handed out preassembled
+    /// (e.g. a sharded store's `pipeline()`).
+    pub fn into_builder(self) -> PipelineBuilder<'a> {
+        PipelineBuilder {
+            peg: self.peg,
+            source: Some(self.source),
+            plan_cache: self.plan_cache,
+            exec_cache: self.exec_cache,
+        }
+    }
+
+    /// Attaches a shared plan cache — see [`PipelineBuilder::plan_cache`].
     pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
         self.plan_cache = Some(cache);
         self
@@ -646,7 +722,7 @@ mod tests {
         let (a, r, i) = (Label(0), Label(1), Label(2));
         let idx = OfflineIndex::build(&peg, &OfflineOptions::with_len_and_beta(2, 0.01)).unwrap();
         let cache = Arc::new(PlanCache::new());
-        let pipe = QueryPipeline::new(&peg, &idx).with_plan_cache(cache.clone());
+        let pipe = QueryPipeline::builder(&peg).index(&idx).plan_cache(cache.clone()).build();
         let plain = QueryPipeline::new(&peg, &idx);
         let opts = QueryOptions::default();
 

@@ -35,6 +35,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod server;

@@ -1,0 +1,765 @@
+//! The typed protocol: every request the server speaks, decoded and
+//! validated in one place.
+//!
+//! The wire format is one JSON object per line (see [`crate::server`]'s
+//! framing); this module owns everything *between* the framed line and a
+//! handler — the op registry, per-field validation, range ceilings, and
+//! the optional protocol version tag — so a handler receives a typed
+//! struct whose invariants already hold and no `req.get(...)` parsing is
+//! scattered through the dispatch path.
+//!
+//! # Protocol versioning
+//!
+//! Requests may carry `"v"`, the protocol version the client speaks.
+//! Absent means "whatever the server speaks" (the pre-versioning
+//! contract); `1` is the current version and is echoed verbatim on the
+//! reply (success and error alike, like `"id"`); any other value is a
+//! structured `bad_request` *before* the op is even looked at, so a
+//! client built against a future protocol fails loudly instead of
+//! half-working.
+//!
+//! # Validation stance
+//!
+//! Decoding enforces everything that does not need graph state: field
+//! types, range ceilings ([`MAX_LOAD_SIZE`], [`MAX_QUERY_BATCH`], ...),
+//! thread-count clamping, and mutation-batch structure (via
+//! [`pegshard::wire`]'s shared op codec, so `update_graph` and the
+//! worker-side `shard_update` reject malformed ops identically). What
+//! *does* need graph state — pattern parsing against a graph's label
+//! table, entity-id bounds inside a mutation — stays with the handler
+//! (patterns) or the mutation engine (ids), which report through the same
+//! structured error shape.
+
+use crate::json::Json;
+use graphstore::GraphOp;
+use pathindex::PathIndexConfig;
+use pegmatch::online::QueryPath;
+use pegmatch::query::QueryGraph;
+use pegshard::wire as shard_wire;
+use std::time::Duration;
+
+/// The protocol version this server speaks. Requests tagged `"v": 1`
+/// get the tag echoed; other versions are rejected.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Reference-count ceiling for protocol-initiated graph builds: the
+/// paper's largest evaluation size. Anything bigger must be loaded by the
+/// embedder (`Server::insert_graph`), not by a remote request.
+pub const MAX_LOAD_SIZE: usize = 1_000_000;
+
+/// Index path-length ceiling for protocol-initiated builds: the paper's
+/// `L = 3`. Path enumeration grows like `degree^max_len`, so an
+/// uncapped `max_len` would let one request force an exponential index
+/// build regardless of the size ceiling.
+pub const MAX_LOAD_PATH_LEN: usize = 3;
+
+/// Lowest `beta` a protocol-initiated build may use. `beta` is the path
+/// index's probability-pruning threshold — driving it to 0 disables
+/// pruning and blows up the index; the embedder can still build with any
+/// `beta` via `Server::insert_graph`.
+pub const MIN_LOAD_BETA: f64 = 0.01;
+
+/// Shard-count ceiling for protocol-initiated builds. Each shard costs a
+/// halo-replicated subgraph plus its own index build; uncapped, one
+/// request could multiply the graph's memory footprint arbitrarily.
+pub const MAX_LOAD_SHARDS: usize = 16;
+
+/// Largest `hist_grid` a protocol request may carry (defaults have ~10
+/// points; the cap only bounds a hostile request's memory).
+const MAX_HIST_GRID_POINTS: usize = 128;
+
+/// Matches returned per reply, tops. Replies are one JSON line held fully
+/// in memory, so the reply direction needs a hard bound symmetric to the
+/// request direction's line cap: a low-threshold broad pattern on a
+/// 1M-node graph would otherwise materialize a multi-GB reply. Threshold
+/// queries report `truncated: true` when the cap bites; `k` is clamped
+/// silently (top-k is already a "best N" contract).
+pub const MAX_RESULT_MATCHES: usize = 10_000;
+
+/// Query-pattern node ceiling. The paper's largest query is 15 nodes and
+/// planning cost grows steeply with pattern size, so a public endpoint
+/// caps patterns well below anything the engine is sized for rather than
+/// letting one request monopolize its handler thread.
+pub const MAX_PATTERN_NODES: usize = 64;
+
+/// Queries one `query_batch` may carry, tops. A batch runs under a
+/// single admission permit, so the cap bounds the compute one permit can
+/// occupy — and, with [`MAX_RESULT_MATCHES`] per item, the reply line.
+pub const MAX_QUERY_BATCH: usize = 32;
+
+/// A request rejected at decode: a structured error code plus detail,
+/// before any handler ran.
+#[derive(Debug)]
+pub struct ProtoError {
+    /// Protocol error code (`bad_request` for everything decode catches).
+    pub code: &'static str,
+    /// Human-readable detail naming the offending field.
+    pub message: String,
+}
+
+fn bad(message: impl std::fmt::Display) -> ProtoError {
+    ProtoError { code: "bad_request", message: message.to_string() }
+}
+
+/// Validates the optional `"v"` protocol-version tag. `None` (absent or
+/// null) is the untagged pre-versioning contract; [`PROTOCOL_VERSION`]
+/// is accepted and echoed; anything else is a structured rejection.
+pub fn protocol_version(req: &Json) -> Result<Option<u64>, ProtoError> {
+    match req.get("v") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(PROTOCOL_VERSION) => Ok(Some(PROTOCOL_VERSION)),
+            Some(other) => Err(bad(format!(
+                "unsupported protocol version {other} (this server speaks v{PROTOCOL_VERSION})"
+            ))),
+            None => Err(bad("\"v\" must be an unsigned integer")),
+        },
+    }
+}
+
+fn field_f64(req: &Json, key: &str, default: f64) -> Result<f64, ProtoError> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| bad(format!("\"{key}\" must be a number"))),
+    }
+}
+
+fn field_usize(req: &Json, key: &str, default: usize) -> Result<usize, ProtoError> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => {
+            v.as_usize().ok_or_else(|| bad(format!("\"{key}\" must be a non-negative integer")))
+        }
+    }
+}
+
+fn field_graph(req: &Json) -> Result<Option<String>, ProtoError> {
+    match req.get("graph") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| bad("\"graph\" must be a string"))
+        }
+    }
+}
+
+fn require_graph(req: &Json) -> Result<String, ProtoError> {
+    field_graph(req)?.ok_or_else(|| bad("missing \"graph\""))
+}
+
+fn machine_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Per-query lanes default to 1: a multi-client server gets its
+/// parallelism across sessions; `threads: 0` opts one query into all
+/// cores. Clamped to the machine's parallelism — an unbounded client
+/// value would otherwise spawn that many OS threads and leak a
+/// persistent pool per distinct count.
+fn query_threads(req: &Json) -> Result<usize, ProtoError> {
+    Ok(field_usize(req, "threads", 1)?.min(machine_cores()))
+}
+
+/// Workers default to all cores (`threads: 0`): a shard worker is a
+/// dedicated process, not one session among many. Explicit counts are
+/// clamped to the machine like `query`'s.
+fn worker_threads(req: &Json) -> Result<usize, ProtoError> {
+    Ok(match field_usize(req, "threads", 0)? {
+        0 => 0,
+        t => t.min(machine_cores()),
+    })
+}
+
+fn field_limit(req: &Json) -> Result<usize, ProtoError> {
+    match req.get("limit") {
+        None | Some(Json::Null) => Ok(MAX_RESULT_MATCHES),
+        Some(v) => v
+            .as_usize()
+            .map(|l| l.min(MAX_RESULT_MATCHES))
+            .ok_or_else(|| bad("\"limit\" must be a non-negative integer")),
+    }
+}
+
+fn field_debug_sleep(req: &Json) -> Result<Option<u64>, ProtoError> {
+    match req.get("debug_sleep_ms") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad("\"debug_sleep_ms\" must be an unsigned integer")),
+    }
+}
+
+fn decode_mutation_ops(req: &Json) -> Result<Vec<GraphOp>, ProtoError> {
+    shard_wire::decode_ops(req).map_err(|e| bad(format!("bad mutation batch: {e}")))
+}
+
+/// The deterministic generator spec a protocol-loaded graph is built
+/// from. The distributed path leans on determinism twice: the coordinator
+/// builds the full graph from the spec, and each worker rebuilds *its
+/// shard* of the same graph from the same spec (forwarded in
+/// `shard_load`) — so nothing graph-sized ever crosses the wire, and the
+/// coordinator can cross-check node/edge counts to catch spec drift.
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// Generator family: `synthetic`, `dblp`, or `imdb`.
+    pub kind: String,
+    /// Reference count the generator is scaled to.
+    pub size: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Identity-uncertainty knob (synthetic generator only).
+    pub uncertainty: f64,
+}
+
+impl GraphSpec {
+    /// Parses the spec fields shared by `load_graph` and `shard_load`,
+    /// enforcing the [`MAX_LOAD_SIZE`] ceiling.
+    fn from_request(req: &Json) -> Result<GraphSpec, ProtoError> {
+        let kind = req.get("kind").and_then(Json::as_str).ok_or_else(|| bad("missing \"kind\""))?;
+        if !matches!(kind, "synthetic" | "dblp" | "imdb") {
+            return Err(bad(format!("unknown kind '{kind}'")));
+        }
+        let size = req
+            .get("size")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing or bad \"size\""))?;
+        if size > MAX_LOAD_SIZE {
+            return Err(bad(format!(
+                "\"size\" {size} exceeds the load_graph ceiling of {MAX_LOAD_SIZE}"
+            )));
+        }
+        let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(42);
+        let uncertainty = field_f64(req, "uncertainty", 0.2)?;
+        Ok(GraphSpec { kind: kind.to_string(), size, seed, uncertainty })
+    }
+
+    /// Runs the generator.
+    pub fn build_refs(&self) -> graphstore::RefGraph {
+        match self.kind.as_str() {
+            "synthetic" => datagen::synthetic_refgraph(&datagen::SyntheticConfig {
+                seed: self.seed,
+                ..datagen::SyntheticConfig::paper_with_uncertainty(self.size, self.uncertainty)
+            }),
+            "dblp" => datagen::dblp_like(&datagen::DblpConfig {
+                seed: self.seed,
+                ..datagen::DblpConfig::scaled(self.size)
+            }),
+            "imdb" => datagen::imdb_like(&datagen::ImdbConfig {
+                seed: self.seed,
+                ..datagen::ImdbConfig::scaled(self.size)
+            }),
+            other => unreachable!("kind '{other}' validated at parse"),
+        }
+    }
+
+    /// The `shard_load` request that makes a worker rebuild shard `shard`
+    /// of `n_shards` of this spec's graph under `graph`. The **whole**
+    /// index config crosses the wire — `gamma` and `hist_grid` included,
+    /// not just `max_len`/`beta` — because any result-affecting knob the
+    /// worker filled in from its own defaults would silently build a
+    /// different index than the coordinator assumes, breaking
+    /// bit-exactness in a way the node/edge-count cross-check cannot see.
+    /// (f64 knobs survive bit-exactly on the JSON round-trip guarantee.)
+    pub fn shard_load_json(
+        &self,
+        graph: &str,
+        index: &PathIndexConfig,
+        shard: usize,
+        n_shards: usize,
+    ) -> Json {
+        crate::json::obj()
+            .field("op", shard_wire::OP_SHARD_LOAD)
+            .field("graph", graph)
+            .field("kind", self.kind.as_str())
+            .field("size", self.size)
+            .field("seed", self.seed)
+            .field("uncertainty", self.uncertainty)
+            .field("max_len", index.max_len)
+            .field("beta", index.beta)
+            .field("gamma", index.gamma)
+            .field("hist_grid", Json::Arr(index.hist_grid.iter().map(|&g| Json::Num(g)).collect()))
+            .field("shard", shard)
+            .field("n_shards", n_shards)
+            .build()
+    }
+}
+
+/// Parses and bounds the offline-index knobs shared by `load_graph` and
+/// `shard_load`: `max_len` capped at [`MAX_LOAD_PATH_LEN`], `beta`
+/// floored at [`MIN_LOAD_BETA`], `gamma`/`hist_grid` validated when given
+/// (they default like the local build's config, so both sides agree even
+/// when the coordinator omits them).
+fn parse_index_opts(req: &Json) -> Result<PathIndexConfig, ProtoError> {
+    let defaults = PathIndexConfig::default();
+    let max_len = field_usize(req, "max_len", 2)?;
+    if !(1..=MAX_LOAD_PATH_LEN).contains(&max_len) {
+        return Err(bad(format!("\"max_len\" {max_len} out of range 1..={MAX_LOAD_PATH_LEN}")));
+    }
+    let beta = field_f64(req, "beta", 0.3)?;
+    if !(MIN_LOAD_BETA..=1.0).contains(&beta) {
+        return Err(bad(format!("\"beta\" {beta} out of range {MIN_LOAD_BETA}..=1")));
+    }
+    let gamma = field_f64(req, "gamma", defaults.gamma)?;
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(bad(format!("\"gamma\" {gamma} out of range 0..=1")));
+    }
+    let hist_grid = match req.get("hist_grid") {
+        None | Some(Json::Null) => defaults.hist_grid,
+        Some(v) => {
+            let points = v.as_arr().ok_or_else(|| bad("\"hist_grid\" must be an array"))?;
+            if points.is_empty() || points.len() > MAX_HIST_GRID_POINTS {
+                return Err(bad(format!(
+                    "\"hist_grid\" must carry 1..={MAX_HIST_GRID_POINTS} points"
+                )));
+            }
+            let grid = points
+                .iter()
+                .map(|p| {
+                    p.as_f64()
+                        .filter(|x| (0.0..=1.0).contains(x))
+                        .ok_or_else(|| bad("\"hist_grid\" points must be numbers in 0..=1"))
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            if !grid.windows(2).all(|w| w[0] < w[1]) {
+                return Err(bad("\"hist_grid\" points must be strictly ascending"));
+            }
+            grid
+        }
+    };
+    Ok(PathIndexConfig { max_len, beta, gamma, hist_grid, ..defaults })
+}
+
+/// A validated `load_graph`.
+pub struct LoadGraph {
+    /// Name to register the graph under (default `"default"`).
+    pub name: String,
+    /// Generator spec the graph is built from.
+    pub spec: GraphSpec,
+    /// Offline-index knobs, bounded by the load ceilings.
+    pub index: PathIndexConfig,
+    /// Worker addresses for a distributed load (empty = local).
+    pub workers: Vec<String>,
+    /// Shard count (1 = unsharded; must equal the worker count when
+    /// workers are given).
+    pub shards: usize,
+    /// Per-exchange deadline for worker wire traffic.
+    pub worker_timeout: Duration,
+    /// Whether the graph participates in the server's execution cache.
+    pub exec_cache: bool,
+}
+
+impl LoadGraph {
+    fn decode(req: &Json) -> Result<LoadGraph, ProtoError> {
+        let name = req.get("name").and_then(Json::as_str).unwrap_or("default").to_string();
+        let spec = GraphSpec::from_request(req)?;
+        let index = parse_index_opts(req)?;
+        let workers: Vec<String> = match req.get("workers") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| bad("\"workers\" must be an array"))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad("worker addresses must be strings"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let shards = field_usize(req, "shards", workers.len().max(1))?;
+        if !(1..=MAX_LOAD_SHARDS).contains(&shards) {
+            return Err(bad(format!("\"shards\" {shards} out of range 1..={MAX_LOAD_SHARDS}")));
+        }
+        if !workers.is_empty() && shards != workers.len() {
+            return Err(bad(format!(
+                "\"shards\" {shards} conflicts with {} workers (one shard per worker)",
+                workers.len()
+            )));
+        }
+        let worker_timeout =
+            Duration::from_millis(field_usize(req, "worker_timeout_ms", 30_000)? as u64);
+        let exec_cache = match req.get("exec_cache") {
+            None | Some(Json::Null) => true,
+            Some(v) => v.as_bool().ok_or_else(|| bad("\"exec_cache\" must be a boolean"))?,
+        };
+        Ok(LoadGraph { name, spec, index, workers, shards, worker_timeout, exec_cache })
+    }
+}
+
+/// A validated `prepare`.
+pub struct Prepare {
+    /// Target graph (`None` resolves the only loaded graph).
+    pub graph: Option<String>,
+    /// Pattern text, parsed against the graph's label table by the
+    /// handler.
+    pub pattern: String,
+    /// Probability threshold the plan is costed at.
+    pub alpha: f64,
+}
+
+/// A validated threshold `query`.
+pub struct Query {
+    /// Target graph (`None` resolves the only loaded graph).
+    pub graph: Option<String>,
+    /// Pattern text, parsed against the graph's label table by the
+    /// handler.
+    pub pattern: String,
+    /// Probability threshold.
+    pub alpha: f64,
+    /// Match-count cap, clamped to [`MAX_RESULT_MATCHES`].
+    pub limit: usize,
+    /// Execution lanes, clamped to the machine (0 = all cores).
+    pub threads: usize,
+    /// Admission-drill sleep (honored only with the server knob).
+    pub debug_sleep_ms: Option<u64>,
+}
+
+/// A validated `query_topk`.
+pub struct QueryTopk {
+    /// Target graph (`None` resolves the only loaded graph).
+    pub graph: Option<String>,
+    /// Pattern text, parsed against the graph's label table by the
+    /// handler.
+    pub pattern: String,
+    /// How many top matches to return, clamped to
+    /// [`MAX_RESULT_MATCHES`].
+    pub k: usize,
+    /// Threshold floor the incremental search may stop at.
+    pub min_alpha: f64,
+    /// Execution lanes, clamped to the machine (0 = all cores).
+    pub threads: usize,
+    /// Admission-drill sleep (honored only with the server knob).
+    pub debug_sleep_ms: Option<u64>,
+}
+
+/// One item of a `query_batch`.
+pub struct BatchItem {
+    /// Pattern text, parsed against the graph's label table by the
+    /// handler.
+    pub pattern: String,
+    /// Probability threshold.
+    pub alpha: f64,
+    /// Match-count cap, clamped to [`MAX_RESULT_MATCHES`].
+    pub limit: usize,
+}
+
+/// A validated `query_batch`.
+pub struct QueryBatch {
+    /// Target graph (`None` resolves the only loaded graph).
+    pub graph: Option<String>,
+    /// Execution lanes shared by every item.
+    pub threads: usize,
+    /// The batch, 1..=[`MAX_QUERY_BATCH`] items.
+    pub items: Vec<BatchItem>,
+}
+
+impl QueryBatch {
+    fn decode(req: &Json) -> Result<QueryBatch, ProtoError> {
+        let graph = field_graph(req)?;
+        let threads = query_threads(req)?;
+        let items = req
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing \"queries\" array"))?;
+        if items.is_empty() || items.len() > MAX_QUERY_BATCH {
+            return Err(bad(format!("\"queries\" must carry 1..={MAX_QUERY_BATCH} items")));
+        }
+        let items = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let pattern = item
+                    .get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(format!("queries[{i}]: missing \"pattern\"")))?
+                    .to_string();
+                let alpha = field_f64(item, "alpha", 0.5)
+                    .map_err(|e| bad(format!("queries[{i}]: {}", e.message)))?;
+                let limit =
+                    field_limit(item).map_err(|e| bad(format!("queries[{i}]: {}", e.message)))?;
+                Ok(BatchItem { pattern, alpha, limit })
+            })
+            .collect::<Result<Vec<_>, ProtoError>>()?;
+        Ok(QueryBatch { graph, threads, items })
+    }
+}
+
+/// A validated `update_graph`: a mutation batch against a live graph.
+pub struct UpdateGraph {
+    /// Target graph (`None` resolves the only loaded graph).
+    pub graph: Option<String>,
+    /// The mutation batch, structurally validated (entity-id bounds are
+    /// the mutation engine's, reported through the same error shape).
+    pub ops: Vec<GraphOp>,
+}
+
+/// A validated `shard_load` (worker side of the distributed handshake).
+pub struct ShardLoad {
+    /// Graph name the shard is held under.
+    pub graph: String,
+    /// Generator spec to rebuild the full graph from.
+    pub spec: GraphSpec,
+    /// Offline-index knobs, bounded like `load_graph`'s.
+    pub index: PathIndexConfig,
+    /// This worker's shard number.
+    pub shard: usize,
+    /// Total shard count of the partition.
+    pub n_shards: usize,
+}
+
+impl ShardLoad {
+    fn decode(req: &Json) -> Result<ShardLoad, ProtoError> {
+        let graph = req.get("graph").and_then(Json::as_str).unwrap_or("default").to_string();
+        let spec = GraphSpec::from_request(req)?;
+        let index = parse_index_opts(req)?;
+        let shard = req
+            .get("shard")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing or bad \"shard\""))?;
+        let n_shards = req
+            .get("n_shards")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing or bad \"n_shards\""))?;
+        if !(1..=MAX_LOAD_SHARDS).contains(&n_shards) || shard >= n_shards {
+            return Err(bad(format!(
+                "shard {shard} of {n_shards} out of range (1..={MAX_LOAD_SHARDS} shards)"
+            )));
+        }
+        Ok(ShardLoad { graph, spec, index, shard, n_shards })
+    }
+}
+
+/// A validated `shard_retrieve` (worker side of one scatter leg).
+pub struct ShardRetrieve {
+    /// Graph name the shard is held under.
+    pub graph: String,
+    /// Shard version to retrieve against (`None` = latest).
+    pub version: Option<u64>,
+    /// Worker pool lanes (0 = all cores).
+    pub threads: usize,
+    /// The decoded query graph.
+    pub query: QueryGraph,
+    /// The decomposition paths to retrieve.
+    pub paths: Vec<QueryPath>,
+    /// Probability threshold.
+    pub alpha: f64,
+}
+
+impl ShardRetrieve {
+    fn decode(req: &Json) -> Result<ShardRetrieve, ProtoError> {
+        let graph = require_graph(req)?;
+        let version =
+            shard_wire::decode_version(req).map_err(|e| bad(format!("bad shard_retrieve: {e}")))?;
+        let threads = worker_threads(req)?;
+        let (query, paths, alpha) = shard_wire::decode_retrieve_request(req)
+            .map_err(|e| bad(format!("bad shard_retrieve: {e}")))?;
+        Ok(ShardRetrieve { graph, version, threads, query, paths, alpha })
+    }
+}
+
+/// A validated `shard_retrieve_batch` (many scatter legs, one line).
+pub struct ShardRetrieveBatch {
+    /// Graph name the shard is held under.
+    pub graph: String,
+    /// Shard version to retrieve against (`None` = latest).
+    pub version: Option<u64>,
+    /// Worker pool lanes (0 = all cores).
+    pub threads: usize,
+    /// The decoded retrieve bodies.
+    pub items: Vec<(QueryGraph, Vec<QueryPath>, f64)>,
+}
+
+impl ShardRetrieveBatch {
+    fn decode(req: &Json) -> Result<ShardRetrieveBatch, ProtoError> {
+        let graph = require_graph(req)?;
+        let version = shard_wire::decode_version(req)
+            .map_err(|e| bad(format!("bad shard_retrieve_batch: {e}")))?;
+        let threads = worker_threads(req)?;
+        let items = shard_wire::decode_retrieve_batch_request(req)
+            .map_err(|e| bad(format!("bad shard_retrieve_batch: {e}")))?;
+        Ok(ShardRetrieveBatch { graph, version, threads, items })
+    }
+}
+
+/// A validated `shard_update` (worker side of a live-graph mutation).
+pub struct ShardUpdate {
+    /// Graph name the shard is held under.
+    pub graph: String,
+    /// The version this batch advances the shard to (must be exactly
+    /// latest + 1; resends of the latest are acknowledged idempotently).
+    pub version: u64,
+    /// The mutation batch.
+    pub ops: Vec<GraphOp>,
+}
+
+impl ShardUpdate {
+    fn decode(req: &Json) -> Result<ShardUpdate, ProtoError> {
+        let graph = require_graph(req)?;
+        let version = shard_wire::decode_version(req)
+            .map_err(|e| bad(format!("bad shard_update: {e}")))?
+            .ok_or_else(|| bad("missing \"version\""))?;
+        let ops = decode_mutation_ops(req)?;
+        Ok(ShardUpdate { graph, version, ops })
+    }
+}
+
+/// Every request the protocol speaks, decoded and validated. One decode
+/// path ([`Request::decode`]) replaces per-op ad-hoc field parsing — a
+/// handler receives a struct whose ranges and types already hold.
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Build + register a graph from a generator spec.
+    LoadGraph(LoadGraph),
+    /// Drop a loaded graph (explicit name required).
+    UnloadGraph(String),
+    /// Plan a pattern without executing it.
+    Prepare(Prepare),
+    /// Threshold query.
+    Query(Query),
+    /// Many threshold queries, one line, one admission permit.
+    QueryBatch(QueryBatch),
+    /// Top-k query.
+    QueryTopk(QueryTopk),
+    /// Mutate a live graph in place (epoch-bumping).
+    UpdateGraph(UpdateGraph),
+    /// Server-wide counters.
+    Stats,
+    /// Stop serving.
+    Shutdown,
+    /// Worker: rebuild and hold one shard from a spec.
+    ShardLoad(ShardLoad),
+    /// Worker: one scatter leg.
+    ShardRetrieve(ShardRetrieve),
+    /// Worker: many scatter legs in one line.
+    ShardRetrieveBatch(ShardRetrieveBatch),
+    /// Worker: apply a mutation batch, advancing the shard version.
+    ShardUpdate(ShardUpdate),
+    /// Worker: drop shard state for a graph.
+    ShardUnload(String),
+}
+
+impl Request {
+    /// Decodes one request object (already framed and JSON-parsed).
+    /// Everything graph-state-independent is validated here; unknown ops
+    /// and malformed fields come back as structured [`ProtoError`]s.
+    pub fn decode(req: &Json) -> Result<Request, ProtoError> {
+        let Some(op) = req.get("op").and_then(Json::as_str) else {
+            return Err(bad("missing \"op\""));
+        };
+        match op {
+            "ping" => Ok(Request::Ping),
+            "load_graph" => LoadGraph::decode(req).map(Request::LoadGraph),
+            "unload_graph" => require_graph(req).map(Request::UnloadGraph),
+            "prepare" => Ok(Request::Prepare(Prepare {
+                graph: field_graph(req)?,
+                pattern: req
+                    .get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing \"pattern\""))?
+                    .to_string(),
+                alpha: field_f64(req, "alpha", 0.5)?,
+            })),
+            "query" => Ok(Request::Query(Query {
+                graph: field_graph(req)?,
+                pattern: req
+                    .get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing \"pattern\""))?
+                    .to_string(),
+                alpha: field_f64(req, "alpha", 0.5)?,
+                limit: field_limit(req)?,
+                threads: query_threads(req)?,
+                debug_sleep_ms: field_debug_sleep(req)?,
+            })),
+            "query_topk" => Ok(Request::QueryTopk(QueryTopk {
+                graph: field_graph(req)?,
+                pattern: req
+                    .get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing \"pattern\""))?
+                    .to_string(),
+                k: field_usize(req, "k", 10)?.min(MAX_RESULT_MATCHES),
+                min_alpha: field_f64(req, "min_alpha", 1e-9)?,
+                threads: query_threads(req)?,
+                debug_sleep_ms: field_debug_sleep(req)?,
+            })),
+            "query_batch" => QueryBatch::decode(req).map(Request::QueryBatch),
+            "update_graph" => Ok(Request::UpdateGraph(UpdateGraph {
+                graph: field_graph(req)?,
+                ops: decode_mutation_ops(req)?,
+            })),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            shard_wire::OP_SHARD_LOAD => ShardLoad::decode(req).map(Request::ShardLoad),
+            shard_wire::OP_SHARD_RETRIEVE => ShardRetrieve::decode(req).map(Request::ShardRetrieve),
+            shard_wire::OP_SHARD_RETRIEVE_BATCH => {
+                ShardRetrieveBatch::decode(req).map(Request::ShardRetrieveBatch)
+            }
+            shard_wire::OP_SHARD_UPDATE => ShardUpdate::decode(req).map(Request::ShardUpdate),
+            shard_wire::OP_SHARD_UNLOAD => require_graph(req).map(Request::ShardUnload),
+            other => Err(bad(format!("unknown op '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_tag_accepts_current_rejects_others() {
+        assert_eq!(protocol_version(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap(), None);
+        assert_eq!(
+            protocol_version(&Json::parse(r#"{"op":"ping","v":1}"#).unwrap()).unwrap(),
+            Some(1)
+        );
+        for bad in [r#"{"op":"ping","v":2}"#, r#"{"op":"ping","v":"x"}"#] {
+            let err = protocol_version(&Json::parse(bad).unwrap()).unwrap_err();
+            assert_eq!(err.code, "bad_request", "{bad}");
+        }
+    }
+
+    fn decode_err(line: &str) -> ProtoError {
+        match Request::decode(&Json::parse(line).unwrap()) {
+            Err(e) => e,
+            Ok(_) => panic!("expected decode error for {line}"),
+        }
+    }
+
+    #[test]
+    fn decode_validates_ranges_in_one_place() {
+        // Unknown op.
+        let err = decode_err(r#"{"op":"warp"}"#);
+        assert!(err.message.contains("unknown op"), "{}", err.message);
+        // Query limit clamps, threads clamp, defaults fill.
+        let q = match Request::decode(
+            &Json::parse(r#"{"op":"query","pattern":"(x:l0)","limit":99999999,"threads":1000000}"#)
+                .unwrap(),
+        )
+        .unwrap()
+        {
+            Request::Query(q) => q,
+            _ => panic!("decoded wrong variant"),
+        };
+        assert_eq!(q.limit, MAX_RESULT_MATCHES);
+        assert!(q.threads <= std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        assert_eq!(q.alpha, 0.5);
+        // Load ceilings hold at decode, before any build work.
+        for bad in [
+            r#"{"op":"load_graph","kind":"synthetic","size":999999999}"#,
+            r#"{"op":"load_graph","kind":"synthetic","size":100,"max_len":12}"#,
+            r#"{"op":"load_graph","kind":"synthetic","size":100,"beta":0}"#,
+            r#"{"op":"load_graph","kind":"synthetic","size":100,"shards":99}"#,
+        ] {
+            assert!(Request::decode(&Json::parse(bad).unwrap()).is_err(), "{bad}");
+        }
+        // Mutation batches share the worker-side codec.
+        let err = decode_err(r#"{"op":"update_graph","ops":[{"op":"warp"}]}"#);
+        assert!(err.message.contains("ops[0]"), "{}", err.message);
+        // shard_update requires an explicit version.
+        let err =
+            decode_err(r#"{"op":"shard_update","graph":"g","ops":[{"op":"delete_ref","r":1}]}"#);
+        assert!(err.message.contains("version"), "{}", err.message);
+    }
+}

@@ -19,7 +19,13 @@
 //!
 //! # Protocol
 //!
-//! One JSON object per line in each direction. Requests carry an `"op"`:
+//! One JSON object per line in each direction. Requests carry an `"op"`
+//! and are decoded + validated through the typed registry in
+//! [`crate::proto`] — one decode path, no per-handler field parsing. Any
+//! request may additionally carry `"v"`, the protocol version (currently
+//! `1`): absent means the untagged pre-versioning contract, a known
+//! version is echoed on the reply, and an unknown version is a
+//! structured `bad_request` before the op is looked at.
 //!
 //! | op               | fields                                                            |
 //! |------------------|-------------------------------------------------------------------|
@@ -30,12 +36,35 @@
 //! | `query`          | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?`, `debug_sleep_ms?` |
 //! | `query_batch`    | `graph?`, `queries` (array of `{pattern, alpha?, limit?}`), `threads?` |
 //! | `query_topk`     | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
+//! | `update_graph`   | `graph?`, `ops` (array of mutation ops — see [`crate::proto`])    |
 //! | `stats`          | —                                                                 |
 //! | `shutdown`       | —                                                                 |
 //! | `shard_load`     | `graph?`, generator spec (`kind`/`size`/`seed?`/`uncertainty?`/`max_len?`/`beta?`), `shard`, `n_shards` |
-//! | `shard_retrieve` | `graph`, `alpha`, `labels`, `edges`, `paths`, `threads?`          |
-//! | `shard_retrieve_batch` | `graph`, `queries` (array of retrieve bodies), `threads?`   |
+//! | `shard_retrieve` | `graph`, `alpha`, `labels`, `edges`, `paths`, `threads?`, `version?` |
+//! | `shard_retrieve_batch` | `graph`, `queries` (array of retrieve bodies), `threads?`, `version?` |
+//! | `shard_update`   | `graph`, `version`, `ops`                                         |
 //! | `shard_unload`   | `graph`                                                           |
+//!
+//! # Live graphs
+//!
+//! Every protocol-loaded graph (and any graph registered through
+//! [`Server::insert_live_graph`]) is **live**: `update_graph` applies a
+//! mutation batch — upsert/delete entities, edges, linkage evidence —
+//! and the store is incrementally recompiled rather than rebuilt, with
+//! replies afterwards **f64-bit-identical** to a from-scratch rebuild of
+//! the mutated network. Each applied batch bumps the graph's mutation
+//! `version` and retires its execution-cache epoch, so no cached plan or
+//! retrieval from before the mutation can ever serve a query after it;
+//! requests already executing keep the pre-mutation store (snapshot
+//! semantics — an entry swap never changes results mid-flight). On a
+//! sharded store only the shards whose halo a mutation's dirty set
+//! reaches are rebuilt; on a distributed store the coordinator broadcasts
+//! `shard_update` and every worker applies the same batch to the same
+//! effect, keeping the last two shard versions so in-flight scatters
+//! pinned to the old version still answer. A failed or partially-applied
+//! distributed update leaves the old store fully serviceable, and
+//! retrying re-sends the same version, which workers that already hold it
+//! acknowledge idempotently.
 //!
 //! # Request ids and in-flight concurrency
 //!
@@ -92,8 +121,8 @@
 
 use crate::admission::{Admission, AdmissionStats};
 use crate::json::{obj, Json};
+use crate::proto::{self, ProtoError};
 use graphstore::RefGraph;
-use pathindex::PathIndexConfig;
 use pegmatch::error::PegError;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
@@ -111,6 +140,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+// The protocol limits and the graph-spec decoder moved into [`crate::proto`]
+// with the typed request structs; re-exported here because they are part of
+// the server's public surface (docs and callers name them on `server`).
+pub use crate::proto::{
+    GraphSpec, MAX_LOAD_PATH_LEN, MAX_LOAD_SHARDS, MAX_LOAD_SIZE, MAX_PATTERN_NODES,
+    MAX_QUERY_BATCH, MAX_RESULT_MATCHES, MIN_LOAD_BETA,
+};
 
 /// Which connection front end [`Server::serve`] runs.
 ///
@@ -229,21 +266,55 @@ impl GraphStore {
 /// One loaded graph: its store and the shared per-graph plan cache all
 /// sessions hit. Dropping the entry (see `unload_graph`) drops the plan
 /// cache with it.
+///
+/// Entries are immutable snapshots: `update_graph` builds a *successor*
+/// entry (new store, fresh plan cache, new epoch, `version + 1`) and
+/// swaps it into the registry, so a request that already resolved this
+/// entry finishes against exactly the graph it started on.
 pub struct GraphEntry {
     /// Name the graph was registered under.
     pub name: String,
     /// The graph store (unsharded or sharded).
     pub store: GraphStore,
-    /// Plan cache shared by every request against this graph.
+    /// Plan cache shared by every request against this graph. Plans cost
+    /// against the store's histograms, so a mutation retires the whole
+    /// cache along with the entry.
     pub plans: Arc<PlanCache>,
-    /// Execution-cache epoch stamped at load. Epochs are never reused, so
-    /// unloading (or reloading under the same name) makes every cached
-    /// retrieval keyed by the old epoch unreachable — and
-    /// `unload_graph` explicitly drops them.
+    /// Execution-cache epoch stamped at load (or at the mutation that
+    /// produced this entry). Epochs are never reused, so unloading,
+    /// reloading under the same name, or mutating makes every cached
+    /// retrieval keyed by the old epoch unreachable — and the swap
+    /// explicitly drops them.
     pub epoch: u64,
     /// Whether this graph participates in the server's execution cache
     /// (the `load_graph` `"exec_cache"` knob; defaults on).
     pub exec_enabled: bool,
+    /// The reference network the store was compiled from — present iff
+    /// the graph is live (mutable via `update_graph`).
+    refs: Option<RefGraph>,
+    /// Offline knobs the store was built with (incremental recompiles
+    /// must reuse them to stay rebuild-equivalent).
+    opts: OfflineOptions,
+    /// Mutation counter: 0 at load, bumped by every applied
+    /// `update_graph`.
+    version: u64,
+    /// Serializes mutations per graph. Carried across entry swaps (the
+    /// successor shares the `Arc`), so two concurrent `update_graph`s
+    /// against any snapshot of the same graph still run one at a time.
+    update_lock: Arc<Mutex<()>>,
+}
+
+impl GraphEntry {
+    /// Whether `update_graph` can mutate this graph (it carries its
+    /// reference network).
+    pub fn is_live(&self) -> bool {
+        self.refs.is_some()
+    }
+
+    /// How many mutation batches produced this snapshot.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
 }
 
 pub(crate) struct ServerState {
@@ -327,15 +398,48 @@ impl Server {
     }
 
     /// Registers a graph under `name` before (or while) serving — the
-    /// embedding-side twin of the protocol's `load_graph`.
+    /// embedding-side twin of the protocol's `load_graph`. The graph is
+    /// **static**: without its reference network it cannot be mutated,
+    /// and `update_graph` against it is a structured `bad_request`. Use
+    /// [`Server::insert_live_graph`] to register a mutable graph.
     pub fn insert_graph(&self, name: &str, peg: Peg, offline: OfflineIndex) {
-        insert_store(&self.state, name, GraphStore::Unsharded { peg, offline }, true);
+        insert_store(&self.state, name, GraphStore::Unsharded { peg, offline }, true, None);
+    }
+
+    /// Registers a **live** (mutable) graph: the reference network `refs`
+    /// and the offline options the store was built with ride along, so
+    /// `update_graph` can incrementally recompile. `peg`/`offline` must
+    /// have been built from exactly `refs` with exactly `opts` — the
+    /// rebuild-equivalence guarantee is relative to them.
+    pub fn insert_live_graph(
+        &self,
+        name: &str,
+        refs: RefGraph,
+        peg: Peg,
+        offline: OfflineIndex,
+        opts: OfflineOptions,
+    ) {
+        insert_store(
+            &self.state,
+            name,
+            GraphStore::Unsharded { peg, offline },
+            true,
+            Some((refs, opts)),
+        );
     }
 
     /// Registers a pre-built sharded store under `name` — the
-    /// embedding-side twin of `load_graph` with `shards > 1`.
-    pub fn insert_sharded_graph(&self, name: &str, store: ShardedGraphStore) {
-        insert_store(&self.state, name, GraphStore::Sharded(store), true);
+    /// embedding-side twin of `load_graph` with `shards > 1`. Pass
+    /// `Some(refs)` (the network the store was built from) to make the
+    /// graph live; `None` registers it static.
+    pub fn insert_sharded_graph(
+        &self,
+        name: &str,
+        store: ShardedGraphStore,
+        refs: Option<RefGraph>,
+    ) {
+        let live = refs.map(|r| (r, store.offline_options().clone()));
+        insert_store(&self.state, name, GraphStore::Sharded(store), true, live);
     }
 
     /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`]),
@@ -404,14 +508,28 @@ impl Server {
     }
 }
 
-fn insert_store(state: &ServerState, name: &str, store: GraphStore, exec_enabled: bool) {
+fn insert_store(
+    state: &ServerState,
+    name: &str,
+    store: GraphStore,
+    exec_enabled: bool,
+    live: Option<(RefGraph, OfflineOptions)>,
+) {
     let epoch = state.exec_cache.as_ref().map_or(0, |c| c.next_epoch());
+    let (refs, opts) = match live {
+        Some((refs, opts)) => (Some(refs), opts),
+        None => (None, OfflineOptions::default()),
+    };
     let entry = Arc::new(GraphEntry {
         name: name.to_string(),
         store,
         plans: Arc::new(PlanCache::new()),
         epoch,
         exec_enabled,
+        refs,
+        opts,
+        version: 0,
+        update_lock: Arc::new(Mutex::new(())),
     });
     let replaced = state.graphs.lock().unwrap().insert(name.to_string(), entry);
     // Reloading under the same name retires the old epoch: its cached
@@ -421,21 +539,33 @@ fn insert_store(state: &ServerState, name: &str, store: GraphStore, exec_enabled
     }
 }
 
-/// The pipeline every request against `entry` executes on: the graph's
-/// shared plan cache, plus the server-wide execution cache when both the
-/// server and the graph opted in.
+/// The pipeline every request against `entry` executes on, assembled
+/// through the one [`QueryPipeline::builder`] entry point: the store's
+/// candidate source, the graph's shared plan cache, plus the server-wide
+/// execution cache (stamped with the entry's epoch) when both the server
+/// and the graph opted in.
 fn graph_pipeline<'a>(state: &ServerState, entry: &'a GraphEntry) -> QueryPipeline<'a> {
-    let mut pipe = entry.store.pipeline().with_plan_cache(entry.plans.clone());
+    let mut builder = match &entry.store {
+        GraphStore::Unsharded { peg, offline } => QueryPipeline::builder(peg).index(offline),
+        GraphStore::Sharded(store) => QueryPipeline::builder(store.peg()).source(store),
+    }
+    .plan_cache(entry.plans.clone());
     if entry.exec_enabled {
         if let Some(cache) = &state.exec_cache {
-            pipe = pipe.with_exec_cache(Arc::clone(cache), entry.epoch);
+            builder = builder.exec_cache(Arc::clone(cache), entry.epoch);
         }
     }
-    pipe
+    builder.build()
 }
 
 /// A reply-carrying protocol error.
 struct Reply(Json);
+
+impl From<ProtoError> for Reply {
+    fn from(e: ProtoError) -> Reply {
+        error_reply(e.code, e.message)
+    }
+}
 
 fn error_reply(code: &str, message: impl std::fmt::Display) -> Reply {
     Reply(
@@ -609,38 +739,60 @@ pub(crate) fn dispatch(state: &ServerState, line: &str) -> Json {
     }
 }
 
-fn dispatch_parsed(state: &ServerState, req: &Json) -> Json {
-    let Some(op) = req.get("op").and_then(Json::as_str) else {
-        return error_reply("bad_request", "missing \"op\"").0;
-    };
-    let result = match op {
-        "ping" => Ok(obj().field("ok", true).field("pong", true).build()),
-        "load_graph" => op_load_graph(state, req),
-        "unload_graph" => op_unload_graph(state, req),
-        "prepare" => op_prepare(state, req),
-        "query" => op_query(state, req, false),
-        "query_batch" => op_query_batch(state, req),
-        "query_topk" => op_query(state, req, true),
-        "stats" => Ok(op_stats(state)),
-        shard_wire::OP_SHARD_LOAD => op_shard_load(state, req),
-        shard_wire::OP_SHARD_RETRIEVE => op_shard_retrieve(state, req),
-        shard_wire::OP_SHARD_RETRIEVE_BATCH => op_shard_retrieve_batch(state, req),
-        shard_wire::OP_SHARD_UNLOAD => op_shard_unload(state, req),
-        "shutdown" => {
-            request_shutdown(state);
-            Ok(obj().field("ok", true).field("shutdown", true).build())
+/// Echoes the protocol version tag onto a reply when the request carried
+/// one — success and error replies alike, like `"id"`.
+fn attach_version(reply: Json, v: Option<u64>) -> Json {
+    match (reply, v) {
+        (Json::Obj(mut fields), Some(v)) => {
+            fields.push(("v".to_string(), Json::Num(v as f64)));
+            Json::Obj(fields)
         }
-        other => Err(error_reply("bad_request", format!("unknown op '{other}'"))),
-    };
-    match result {
-        Ok(reply) => reply,
-        Err(Reply(reply)) => reply,
+        (reply, _) => reply,
     }
 }
 
-fn resolve_graph(state: &ServerState, req: &Json) -> Result<Arc<GraphEntry>, Reply> {
+fn dispatch_parsed(state: &ServerState, req: &Json) -> Json {
+    // The version tag gates everything: a request from a protocol this
+    // server does not speak must not be half-interpreted.
+    let v = match proto::protocol_version(req) {
+        Ok(v) => v,
+        Err(e) => return Reply::from(e).0,
+    };
+    let parsed = match proto::Request::decode(req) {
+        Ok(parsed) => parsed,
+        Err(e) => return attach_version(Reply::from(e).0, v),
+    };
+    use proto::Request as R;
+    let result = match &parsed {
+        R::Ping => Ok(obj().field("ok", true).field("pong", true).build()),
+        R::LoadGraph(r) => op_load_graph(state, r),
+        R::UnloadGraph(name) => op_unload_graph(state, name),
+        R::Prepare(r) => op_prepare(state, r),
+        R::Query(r) => op_query(state, r),
+        R::QueryBatch(r) => op_query_batch(state, r),
+        R::QueryTopk(r) => op_query_topk(state, r),
+        R::UpdateGraph(r) => op_update_graph(state, r),
+        R::Stats => Ok(op_stats(state)),
+        R::ShardLoad(r) => op_shard_load(state, r),
+        R::ShardRetrieve(r) => op_shard_retrieve(state, r),
+        R::ShardRetrieveBatch(r) => op_shard_retrieve_batch(state, r),
+        R::ShardUpdate(r) => op_shard_update(state, r),
+        R::ShardUnload(name) => op_shard_unload(state, name),
+        R::Shutdown => {
+            request_shutdown(state);
+            Ok(obj().field("ok", true).field("shutdown", true).build())
+        }
+    };
+    let reply = match result {
+        Ok(reply) => reply,
+        Err(Reply(reply)) => reply,
+    };
+    attach_version(reply, v)
+}
+
+fn resolve_graph(state: &ServerState, name: Option<&str>) -> Result<Arc<GraphEntry>, Reply> {
     let graphs = state.graphs.lock().unwrap();
-    match req.get("graph").and_then(Json::as_str) {
+    match name {
         Some(name) => graphs
             .get(name)
             .cloned()
@@ -654,202 +806,6 @@ fn resolve_graph(state: &ServerState, req: &Json) -> Result<Arc<GraphEntry>, Rep
             format!("{} graphs loaded; specify \"graph\"", graphs.len()),
         )),
     }
-}
-
-fn field_f64(req: &Json, key: &str, default: f64) -> Result<f64, Reply> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(default),
-        Some(v) => v
-            .as_f64()
-            .ok_or_else(|| error_reply("bad_request", format!("\"{key}\" must be a number"))),
-    }
-}
-
-fn field_usize(req: &Json, key: &str, default: usize) -> Result<usize, Reply> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(default),
-        Some(v) => v.as_usize().ok_or_else(|| {
-            error_reply("bad_request", format!("\"{key}\" must be a non-negative integer"))
-        }),
-    }
-}
-
-/// Reference-count ceiling for protocol-initiated graph builds: the
-/// paper's largest evaluation size. Anything bigger must be loaded by the
-/// embedder ([`Server::insert_graph`]), not by a remote request.
-pub const MAX_LOAD_SIZE: usize = 1_000_000;
-
-/// Index path-length ceiling for protocol-initiated builds: the paper's
-/// `L = 3`. Path enumeration grows like `degree^max_len`, so an
-/// uncapped `max_len` would let one request force an exponential index
-/// build regardless of the size ceiling.
-pub const MAX_LOAD_PATH_LEN: usize = 3;
-
-/// Lowest `beta` a protocol-initiated build may use. `beta` is the path
-/// index's probability-pruning threshold — driving it to 0 disables
-/// pruning and blows up the index; the embedder can still build with any
-/// `beta` via [`Server::insert_graph`].
-pub const MIN_LOAD_BETA: f64 = 0.01;
-
-/// Shard-count ceiling for protocol-initiated builds. Each shard costs a
-/// halo-replicated subgraph plus its own index build; uncapped, one
-/// request could multiply the graph's memory footprint arbitrarily.
-pub const MAX_LOAD_SHARDS: usize = 16;
-
-/// The deterministic generator spec a protocol-loaded graph is built
-/// from. The distributed path leans on determinism twice: the coordinator
-/// builds the full graph from the spec, and each worker rebuilds *its
-/// shard* of the same graph from the same spec (forwarded in
-/// `shard_load`) — so nothing graph-sized ever crosses the wire, and the
-/// coordinator can cross-check node/edge counts to catch spec drift.
-#[derive(Clone, Debug)]
-pub struct GraphSpec {
-    /// Generator family: `synthetic`, `dblp`, or `imdb`.
-    pub kind: String,
-    /// Reference count the generator is scaled to.
-    pub size: usize,
-    /// Generator seed.
-    pub seed: u64,
-    /// Identity-uncertainty knob (synthetic generator only).
-    pub uncertainty: f64,
-}
-
-impl GraphSpec {
-    /// Parses the spec fields shared by `load_graph` and `shard_load`,
-    /// enforcing the [`MAX_LOAD_SIZE`] ceiling.
-    fn from_request(req: &Json) -> Result<GraphSpec, Reply> {
-        let kind = req
-            .get("kind")
-            .and_then(Json::as_str)
-            .ok_or_else(|| error_reply("bad_request", "missing \"kind\""))?;
-        if !matches!(kind, "synthetic" | "dblp" | "imdb") {
-            return Err(error_reply("bad_request", format!("unknown kind '{kind}'")));
-        }
-        let size = req
-            .get("size")
-            .and_then(Json::as_usize)
-            .ok_or_else(|| error_reply("bad_request", "missing or bad \"size\""))?;
-        if size > MAX_LOAD_SIZE {
-            return Err(error_reply(
-                "bad_request",
-                format!("\"size\" {size} exceeds the load_graph ceiling of {MAX_LOAD_SIZE}"),
-            ));
-        }
-        let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(42);
-        let uncertainty = field_f64(req, "uncertainty", 0.2)?;
-        Ok(GraphSpec { kind: kind.to_string(), size, seed, uncertainty })
-    }
-
-    /// Runs the generator.
-    pub fn build_refs(&self) -> RefGraph {
-        match self.kind.as_str() {
-            "synthetic" => datagen::synthetic_refgraph(&datagen::SyntheticConfig {
-                seed: self.seed,
-                ..datagen::SyntheticConfig::paper_with_uncertainty(self.size, self.uncertainty)
-            }),
-            "dblp" => datagen::dblp_like(&datagen::DblpConfig {
-                seed: self.seed,
-                ..datagen::DblpConfig::scaled(self.size)
-            }),
-            "imdb" => datagen::imdb_like(&datagen::ImdbConfig {
-                seed: self.seed,
-                ..datagen::ImdbConfig::scaled(self.size)
-            }),
-            other => unreachable!("kind '{other}' validated at parse"),
-        }
-    }
-
-    /// The `shard_load` request that makes a worker rebuild shard `shard`
-    /// of `n_shards` of this spec's graph under `graph`. The **whole**
-    /// index config crosses the wire — `gamma` and `hist_grid` included,
-    /// not just `max_len`/`beta` — because any result-affecting knob the
-    /// worker filled in from its own defaults would silently build a
-    /// different index than the coordinator assumes, breaking
-    /// bit-exactness in a way the node/edge-count cross-check cannot see.
-    /// (f64 knobs survive bit-exactly on the JSON round-trip guarantee.)
-    pub fn shard_load_json(
-        &self,
-        graph: &str,
-        index: &PathIndexConfig,
-        shard: usize,
-        n_shards: usize,
-    ) -> Json {
-        obj()
-            .field("op", shard_wire::OP_SHARD_LOAD)
-            .field("graph", graph)
-            .field("kind", self.kind.as_str())
-            .field("size", self.size)
-            .field("seed", self.seed)
-            .field("uncertainty", self.uncertainty)
-            .field("max_len", index.max_len)
-            .field("beta", index.beta)
-            .field("gamma", index.gamma)
-            .field("hist_grid", Json::Arr(index.hist_grid.iter().map(|&g| Json::Num(g)).collect()))
-            .field("shard", shard)
-            .field("n_shards", n_shards)
-            .build()
-    }
-}
-
-/// Largest `hist_grid` a protocol request may carry (defaults have ~10
-/// points; the cap only bounds a hostile request's memory).
-const MAX_HIST_GRID_POINTS: usize = 128;
-
-/// Parses and bounds the offline-index knobs shared by `load_graph` and
-/// `shard_load`: `max_len` capped at [`MAX_LOAD_PATH_LEN`], `beta`
-/// floored at [`MIN_LOAD_BETA`], `gamma`/`hist_grid` validated when given
-/// (they default like the local build's config, so both sides agree even
-/// when the coordinator omits them).
-fn parse_index_opts(req: &Json) -> Result<PathIndexConfig, Reply> {
-    let defaults = PathIndexConfig::default();
-    let max_len = field_usize(req, "max_len", 2)?;
-    if !(1..=MAX_LOAD_PATH_LEN).contains(&max_len) {
-        return Err(error_reply(
-            "bad_request",
-            format!("\"max_len\" {max_len} out of range 1..={MAX_LOAD_PATH_LEN}"),
-        ));
-    }
-    let beta = field_f64(req, "beta", 0.3)?;
-    if !(MIN_LOAD_BETA..=1.0).contains(&beta) {
-        return Err(error_reply(
-            "bad_request",
-            format!("\"beta\" {beta} out of range {MIN_LOAD_BETA}..=1"),
-        ));
-    }
-    let gamma = field_f64(req, "gamma", defaults.gamma)?;
-    if !(gamma > 0.0 && gamma <= 1.0) {
-        return Err(error_reply("bad_request", format!("\"gamma\" {gamma} out of range 0..=1")));
-    }
-    let hist_grid = match req.get("hist_grid") {
-        None | Some(Json::Null) => defaults.hist_grid,
-        Some(v) => {
-            let points = v
-                .as_arr()
-                .ok_or_else(|| error_reply("bad_request", "\"hist_grid\" must be an array"))?;
-            if points.is_empty() || points.len() > MAX_HIST_GRID_POINTS {
-                return Err(error_reply(
-                    "bad_request",
-                    format!("\"hist_grid\" must carry 1..={MAX_HIST_GRID_POINTS} points"),
-                ));
-            }
-            let grid = points
-                .iter()
-                .map(|p| {
-                    p.as_f64().filter(|x| (0.0..=1.0).contains(x)).ok_or_else(|| {
-                        error_reply("bad_request", "\"hist_grid\" points must be numbers in 0..=1")
-                    })
-                })
-                .collect::<Result<Vec<f64>, _>>()?;
-            if !grid.windows(2).all(|w| w[0] < w[1]) {
-                return Err(error_reply(
-                    "bad_request",
-                    "\"hist_grid\" points must be strictly ascending",
-                ));
-            }
-            grid
-        }
-    };
-    Ok(PathIndexConfig { max_len, beta, gamma, hist_grid, ..defaults })
 }
 
 /// Maps a pipeline error to its protocol code: a lost shard worker is
@@ -877,77 +833,38 @@ fn peg_error_reply(e: PegError) -> Reply {
 /// persistent [`TcpTransport`]. `worker_timeout_ms` bounds every wire
 /// exchange with the workers (default 30s — it must also cover the
 /// worker-side shard build triggered by the handshake).
-fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req.get("name").and_then(Json::as_str).unwrap_or("default").to_string();
-    let spec = GraphSpec::from_request(req)?;
-    let index_cfg = parse_index_opts(req)?;
-    let workers: Vec<String> = match req.get("workers") {
-        None | Some(Json::Null) => Vec::new(),
-        Some(v) => v
-            .as_arr()
-            .ok_or_else(|| error_reply("bad_request", "\"workers\" must be an array"))?
-            .iter()
-            .map(|a| {
-                a.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| error_reply("bad_request", "worker addresses must be strings"))
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    let shards = field_usize(req, "shards", workers.len().max(1))?;
-    if !(1..=MAX_LOAD_SHARDS).contains(&shards) {
-        return Err(error_reply(
-            "bad_request",
-            format!("\"shards\" {shards} out of range 1..={MAX_LOAD_SHARDS}"),
-        ));
-    }
-    if !workers.is_empty() && shards != workers.len() {
-        return Err(error_reply(
-            "bad_request",
-            format!(
-                "\"shards\" {shards} conflicts with {} workers (one shard per worker)",
-                workers.len()
-            ),
-        ));
-    }
-    let worker_timeout =
-        Duration::from_millis(field_usize(req, "worker_timeout_ms", 30_000)? as u64);
-    let exec_enabled = match req.get("exec_cache") {
-        None | Some(Json::Null) => true,
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| error_reply("bad_request", "\"exec_cache\" must be a boolean"))?,
-    };
+fn op_load_graph(state: &ServerState, r: &proto::LoadGraph) -> Result<Json, Reply> {
+    let name = r.name.clone();
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let refs = spec.build_refs();
+    let refs = r.spec.build_refs();
     let t0 = Instant::now();
     let peg = PegBuilder::new()
         .build(&refs)
         .map_err(|e| error_reply("internal", format!("model build failed: {e}")))?;
-    let opts = OfflineOptions { index: index_cfg };
+    let opts = OfflineOptions { index: r.index.clone() };
     let (nodes, edges) = (peg.graph.n_nodes(), peg.graph.n_edges());
     let mut reply = obj()
         .field("ok", true)
         .field("graph", name.as_str())
         .field("nodes", nodes)
         .field("edges", edges)
-        .field("shards", shards);
-    let store = if !workers.is_empty() {
-        let config = TcpTransportConfig { io_timeout: worker_timeout, ..Default::default() };
-        let transport = TcpTransport::connect(&name, &workers, config)
+        .field("shards", r.shards);
+    let store = if !r.workers.is_empty() {
+        let config = TcpTransportConfig { io_timeout: r.worker_timeout, ..Default::default() };
+        let transport = TcpTransport::connect(&name, &r.workers, config)
             .map_err(|e| peg_error_reply(e.into_peg()))?;
         let sharded = ShardedGraphStore::connect(peg, &opts, transport, |shard, n_shards| {
-            spec.shard_load_json(&name, &opts.index, shard, n_shards)
+            r.spec.shard_load_json(&name, &opts.index, shard, n_shards)
         })
         .map_err(peg_error_reply)?;
         let s = sharded.stats();
         reply = reply
-            .field("workers", Json::Arr(workers.iter().map(|a| Json::Str(a.clone())).collect()))
+            .field("workers", Json::Arr(r.workers.iter().map(|a| Json::Str(a.clone())).collect()))
             .field("replicated_nodes", s.replicated_nodes)
             .field("replication_factor", s.replication_factor);
         GraphStore::Sharded(sharded)
-    } else if shards > 1 {
-        let sharded = ShardedGraphStore::build(peg, &opts, shards)
+    } else if r.shards > 1 {
+        let sharded = ShardedGraphStore::build(peg, &opts, r.shards)
             .map_err(|e| error_reply("internal", format!("sharded build failed: {e}")))?;
         let s = sharded.stats();
         reply = reply
@@ -959,7 +876,10 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
             .map_err(|e| error_reply("internal", format!("offline phase failed: {e}")))?;
         GraphStore::Unsharded { peg, offline }
     };
-    insert_store(state, &name, store, exec_enabled);
+    // Protocol-loaded graphs are live: the reference network the build
+    // started from rides along so `update_graph` can recompile it
+    // incrementally.
+    insert_store(state, &name, store, r.exec_cache, Some((refs, opts)));
     Ok(reply.field("build_us", t0.elapsed().as_micros() as u64).build())
 }
 
@@ -968,40 +888,26 @@ fn op_load_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
 /// the coordinator would use in-process) and holds it for subsequent
 /// `shard_retrieve` scatters. Spec and index knobs are bounded exactly
 /// like `load_graph`'s — a worker is a public endpoint too.
-fn op_shard_load(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req.get("graph").and_then(Json::as_str).unwrap_or("default").to_string();
-    let spec = GraphSpec::from_request(req)?;
-    let index_cfg = parse_index_opts(req)?;
-    let shard = req
-        .get("shard")
-        .and_then(Json::as_usize)
-        .ok_or_else(|| error_reply("bad_request", "missing or bad \"shard\""))?;
-    let n_shards = req
-        .get("n_shards")
-        .and_then(Json::as_usize)
-        .ok_or_else(|| error_reply("bad_request", "missing or bad \"n_shards\""))?;
-    if !(1..=MAX_LOAD_SHARDS).contains(&n_shards) || shard >= n_shards {
-        return Err(error_reply(
-            "bad_request",
-            format!("shard {shard} of {n_shards} out of range (1..={MAX_LOAD_SHARDS} shards)"),
-        ));
-    }
+fn op_shard_load(state: &ServerState, r: &proto::ShardLoad) -> Result<Json, Reply> {
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let refs = spec.build_refs();
+    let refs = r.spec.build_refs();
     let t0 = Instant::now();
     let peg = PegBuilder::new()
         .build(&refs)
         .map_err(|e| error_reply("internal", format!("model build failed: {e}")))?;
-    let opts = OfflineOptions { index: index_cfg };
-    let ws = WorkerShard::build(peg, &opts, shard, n_shards)
+    let opts = OfflineOptions { index: r.index.clone() };
+    // The worker keeps the reference network: `shard_update` mutates it
+    // and recompiles, so the coordinator never ships anything
+    // graph-sized.
+    let ws = WorkerShard::build(refs, peg, &opts, r.shard, r.n_shards)
         .map_err(|e| error_reply("internal", format!("shard build failed: {e}")))?;
     let info = ws.info();
     let hist = shard_wire::encode_histogram(&ws.histogram());
     let reply = obj()
         .field("ok", true)
-        .field("graph", name.as_str())
-        .field("shard", shard)
-        .field("n_shards", n_shards)
+        .field("graph", r.graph.as_str())
+        .field("shard", r.shard)
+        .field("n_shards", r.n_shards)
         .field("nodes", ws.full_nodes())
         .field("edges", ws.full_edges())
         .field("shard_nodes", info.nodes)
@@ -1012,7 +918,7 @@ fn op_shard_load(state: &ServerState, req: &Json) -> Result<Json, Reply> {
         .field("hist", hist)
         .field("build_us", t0.elapsed().as_micros() as u64)
         .build();
-    state.worker_shards.lock().unwrap().insert(name, Arc::new(ws));
+    state.worker_shards.lock().unwrap().insert(r.graph.clone(), Arc::new(ws));
     Ok(reply)
 }
 
@@ -1020,32 +926,23 @@ fn op_shard_load(state: &ServerState, req: &Json) -> Result<Json, Reply> {
 /// paths, run the shared per-path retrieval unit over the worker's pool,
 /// and encode the home-filtered partials back. Compute-occupying, so it
 /// passes admission like a query session.
-fn op_shard_retrieve(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req
-        .get("graph")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
-    let ws = state
+fn op_shard_retrieve(state: &ServerState, r: &proto::ShardRetrieve) -> Result<Json, Reply> {
+    let ws = lookup_worker_shard(state, &r.graph)?;
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let pool = pegpool::pool_with(r.threads);
+    let reply =
+        ws.retrieve(&r.query, &r.paths, r.alpha, r.version, &pool).map_err(peg_error_reply)?;
+    Ok(shard_wire::encode_retrieve_reply(&reply))
+}
+
+fn lookup_worker_shard(state: &ServerState, name: &str) -> Result<Arc<WorkerShard>, Reply> {
+    state
         .worker_shards
         .lock()
         .unwrap()
         .get(name)
         .cloned()
-        .ok_or_else(|| error_reply("unknown_graph", format!("no shard loaded for '{name}'")))?;
-    let (query, paths, alpha) = shard_wire::decode_retrieve_request(req)
-        .map_err(|e| error_reply("bad_request", format!("bad shard_retrieve: {e}")))?;
-    // Workers default to all cores (`threads: 0`): a shard worker is a
-    // dedicated process, not one session among many. Explicit counts are
-    // clamped to the machine like `query`'s.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = match field_usize(req, "threads", 0)? {
-        0 => 0,
-        t => t.min(cores),
-    };
-    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let pool = pegpool::pool_with(threads);
-    let reply = ws.retrieve(&query, &paths, alpha, &pool).map_err(peg_error_reply)?;
-    Ok(shard_wire::encode_retrieve_reply(&reply))
+        .ok_or_else(|| error_reply("unknown_graph", format!("no shard loaded for '{name}'")))
 }
 
 /// Worker side of a batched scatter: decode `queries`, run each through
@@ -1053,41 +950,54 @@ fn op_shard_retrieve(state: &ServerState, req: &Json) -> Result<Json, Reply> {
 /// One admission permit covers the whole batch — it is one exchange on
 /// the wire, and splitting permits across items would let a batch
 /// deadlock against the admission queue it already holds a slot in.
-fn op_shard_retrieve_batch(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req
-        .get("graph")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
-    let ws = state
-        .worker_shards
-        .lock()
-        .unwrap()
-        .get(name)
-        .cloned()
-        .ok_or_else(|| error_reply("unknown_graph", format!("no shard loaded for '{name}'")))?;
-    let items = shard_wire::decode_retrieve_batch_request(req)
-        .map_err(|e| error_reply("bad_request", format!("bad shard_retrieve_batch: {e}")))?;
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = match field_usize(req, "threads", 0)? {
-        0 => 0,
-        t => t.min(cores),
-    };
+fn op_shard_retrieve_batch(
+    state: &ServerState,
+    r: &proto::ShardRetrieveBatch,
+) -> Result<Json, Reply> {
+    let ws = lookup_worker_shard(state, &r.graph)?;
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    let pool = pegpool::pool_with(threads);
-    let mut replies = Vec::with_capacity(items.len());
-    for (query, paths, alpha) in &items {
-        replies.push(ws.retrieve(query, paths, *alpha, &pool).map_err(peg_error_reply)?);
+    let pool = pegpool::pool_with(r.threads);
+    let mut replies = Vec::with_capacity(r.items.len());
+    for (query, paths, alpha) in &r.items {
+        replies.push(ws.retrieve(query, paths, *alpha, r.version, &pool).map_err(peg_error_reply)?);
     }
     Ok(shard_wire::encode_retrieve_batch_reply(&replies))
 }
 
+/// Worker side of a live-graph mutation: apply the batch to the held
+/// reference network, recompile, and advance the shard to `version` —
+/// rebuilding this shard's subgraph + index only when the mutation's
+/// dirty set reaches its halo. The previous version is kept so scatters
+/// pinned to it (a coordinator mid-query, or one that failed its update
+/// broadcast partway) still answer; a resend of the already-latest
+/// version is acknowledged idempotently (the transport may redial and
+/// resend once). Compute-occupying, so it passes admission.
+fn op_shard_update(state: &ServerState, r: &proto::ShardUpdate) -> Result<Json, Reply> {
+    let ws = lookup_worker_shard(state, &r.graph)?;
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let t0 = Instant::now();
+    let up = ws.apply_update(&r.ops, r.version).map_err(peg_error_reply)?;
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", r.graph.as_str())
+        .field("version", up.version)
+        .field("nodes", up.full_nodes)
+        .field("edges", up.full_edges)
+        .field("shard_nodes", up.info.nodes)
+        .field("owned_nodes", up.info.owned_nodes)
+        .field("shard_edges", up.info.edges)
+        .field("index_entries", up.info.index_entries)
+        .field("index_bytes", up.info.index_bytes)
+        .field("rebuilt", up.rebuilt)
+        .field("n_dirty", up.n_dirty)
+        .field("hist", shard_wire::encode_histogram(&up.hist))
+        .field("update_us", t0.elapsed().as_micros() as u64)
+        .build())
+}
+
 /// Drops a worker's shard state for a graph (sent by the coordinator's
 /// `unload_graph`).
-fn op_shard_unload(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req
-        .get("graph")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
+fn op_shard_unload(state: &ServerState, name: &str) -> Result<Json, Reply> {
     match state.worker_shards.lock().unwrap().remove(name) {
         Some(ws) => Ok(obj()
             .field("ok", true)
@@ -1106,11 +1016,7 @@ fn op_shard_unload(state: &ServerState, req: &Json) -> Result<Json, Reply> {
 /// connections close. Unknown names get a structured `not_found` reply.
 /// `graph` is required — implicit resolution would make "unload the only
 /// graph" too easy to do by accident from a script.
-fn op_unload_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let name = req
-        .get("graph")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_reply("bad_request", "missing \"graph\""))?;
+fn op_unload_graph(state: &ServerState, name: &str) -> Result<Json, Reply> {
     // Take the entry out under the lock, release workers *after* dropping
     // it: releasing a distributed graph's workers is blocking network I/O
     // (up to the worker deadline per socket operation), and holding the
@@ -1138,51 +1044,159 @@ fn op_unload_graph(state: &ServerState, req: &Json) -> Result<Json, Reply> {
     }
 }
 
-/// Matches returned per reply, tops. Replies are one JSON line held fully
-/// in memory, so the reply direction needs a hard bound symmetric to the
-/// request direction's [`MAX_LINE_BYTES`]: a low-threshold broad pattern
-/// on a 1M-node graph would otherwise materialize a multi-GB reply.
-/// Threshold queries report `truncated: true` when the cap bites; `k` is
-/// clamped silently (top-k is already a "best N" contract).
-pub const MAX_RESULT_MATCHES: usize = 10_000;
-
-/// Query-pattern node ceiling. The paper's largest query is 15 nodes and
-/// planning cost grows steeply with pattern size (canonicalization's
-/// refinement is polynomial per budgeted search visit, decomposition
-/// enumerates covering paths), so a public endpoint caps patterns well
-/// below anything the engine is sized for rather than letting one request
-/// monopolize its handler thread.
-pub const MAX_PATTERN_NODES: usize = 64;
+/// The tentpole mutation handler: applies a batch of graph ops to a live
+/// graph and swaps in an incrementally-recompiled successor entry.
+///
+/// Copy-on-write, not in-place: the resolved entry (and every store
+/// snapshot an in-flight request holds) is never touched. The successor
+/// gets the mutated store, a **fresh plan cache** (plans cost against
+/// histograms the mutation changed), a **new execution-cache epoch**
+/// (old-epoch retrievals become unreachable and are dropped eagerly),
+/// and `version + 1`. Per-graph mutations serialize on a lock the
+/// successor inherits; the swap itself re-checks that the registry still
+/// holds exactly the entry the mutation was computed from, so racing an
+/// `unload_graph`/`load_graph` aborts cleanly instead of resurrecting a
+/// graph.
+fn op_update_graph(state: &ServerState, r: &proto::UpdateGraph) -> Result<Json, Reply> {
+    let resolved = resolve_graph(state, r.graph.as_deref())?;
+    // Serialize with other mutations of this graph *by name*: the lock
+    // Arc is carried across entry swaps, so holding it makes the
+    // re-resolved entry below the newest — and the only — contender.
+    let lock = Arc::clone(&resolved.update_lock);
+    let _mutations = lock.lock().unwrap();
+    let entry = resolve_graph(state, Some(resolved.name.as_str()))?;
+    if !Arc::ptr_eq(&entry.update_lock, &lock) {
+        // The graph was unloaded and reloaded while we waited: the held
+        // lock no longer guards the current entry.
+        return Err(error_reply(
+            "bad_request",
+            format!("graph '{}' was reloaded during the update; retry", entry.name),
+        ));
+    }
+    let Some(refs) = entry.refs.as_ref() else {
+        return Err(error_reply(
+            "bad_request",
+            format!(
+                "graph '{}' is not live (registered without its reference network); \
+                 reload it via load_graph or insert_live_graph",
+                entry.name
+            ),
+        ));
+    };
+    // A mutation recompiles on the shared pool — compute like a session.
+    let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let t0 = Instant::now();
+    let builder = PegBuilder::new();
+    let (store, new_refs, n_dirty, rebuilt_shards, reused_components) = match &entry.store {
+        GraphStore::Unsharded { peg, offline } => {
+            let up = pegmatch::live::apply_ops(&builder, &entry.opts, refs, peg, offline, &r.ops)
+                .map_err(peg_error_reply)?;
+            let (n_dirty, reused) = (up.n_dirty(), up.reused_components);
+            let store = GraphStore::Unsharded { peg: up.peg, offline: up.index };
+            (store, up.refs, n_dirty, 0, reused)
+        }
+        GraphStore::Sharded(sharded) => {
+            let (next, new_refs, stats) =
+                sharded.apply_update(refs, &builder, &r.ops).map_err(peg_error_reply)?;
+            (
+                GraphStore::Sharded(next),
+                new_refs,
+                stats.n_dirty,
+                stats.rebuilt_shards,
+                stats.reused_components,
+            )
+        }
+    };
+    let (nodes, edges) = (store.peg().graph.n_nodes(), store.peg().graph.n_edges());
+    let shards = store.n_shards();
+    let epoch = state.exec_cache.as_ref().map_or(entry.epoch + 1, |c| c.next_epoch());
+    let next = Arc::new(GraphEntry {
+        name: entry.name.clone(),
+        store,
+        plans: Arc::new(PlanCache::new()),
+        epoch,
+        exec_enabled: entry.exec_enabled,
+        refs: Some(new_refs),
+        opts: entry.opts.clone(),
+        version: entry.version + 1,
+        update_lock: Arc::clone(&entry.update_lock),
+    });
+    {
+        let mut graphs = state.graphs.lock().unwrap();
+        match graphs.get(&entry.name) {
+            Some(current) if Arc::ptr_eq(current, &entry) => {
+                graphs.insert(entry.name.clone(), Arc::clone(&next));
+            }
+            // Unloaded (or replaced) while the mutation computed: do not
+            // resurrect it — the unload already won.
+            _ => {
+                return Err(error_reply(
+                    "unknown_graph",
+                    format!("graph '{}' was unloaded during the update", entry.name),
+                ));
+            }
+        }
+    }
+    // Retire the pre-mutation epoch: no key can reach those retrievals
+    // anymore (new entry, new epoch), so they are dead weight against
+    // the cache budget. In-flight sessions on the old entry re-retrieve
+    // on a miss — same math, same bits.
+    if let Some(cache) = &state.exec_cache {
+        cache.invalidate_epoch(entry.epoch);
+    }
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", next.name.as_str())
+        .field("version", next.version)
+        .field("epoch", next.epoch)
+        .field("nodes", nodes)
+        .field("edges", edges)
+        .field("shards", shards)
+        .field("n_ops", r.ops.len())
+        .field("n_dirty", n_dirty)
+        .field("rebuilt_shards", rebuilt_shards)
+        .field("reused_components", reused_components)
+        .field("update_us", t0.elapsed().as_micros() as u64)
+        .build())
+}
 
 fn parse_request_query(
     entry: &GraphEntry,
-    req: &Json,
+    pattern: &str,
 ) -> Result<pegmatch::query::QueryGraph, Reply> {
-    let pattern = req
-        .get("pattern")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_reply("bad_request", "missing \"pattern\""))?;
     let query = pegmatch::pattern::parse_pattern(pattern, entry.store.peg().graph.label_table())
         .map_err(|e| error_reply("bad_request", format!("bad pattern: {e}")))?;
-    if query.n_nodes() > MAX_PATTERN_NODES {
+    if query.n_nodes() > proto::MAX_PATTERN_NODES {
         return Err(error_reply(
             "bad_request",
-            format!("pattern has {} nodes, limit is {MAX_PATTERN_NODES}", query.n_nodes()),
+            format!("pattern has {} nodes, limit is {}", query.n_nodes(), proto::MAX_PATTERN_NODES),
         ));
     }
     Ok(query)
 }
 
-fn op_prepare(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let entry = resolve_graph(state, req)?;
-    let query = parse_request_query(&entry, req)?;
-    let alpha = field_f64(req, "alpha", 0.5)?;
+/// Rejects `debug_sleep_ms` unless the server opted in; sleeps inside
+/// the permit when it did (an operational drill knob, not query
+/// semantics).
+fn check_debug_sleep(state: &ServerState, requested: Option<u64>) -> Result<(), Reply> {
+    if requested.is_some() && !state.allow_debug_sleep {
+        return Err(error_reply(
+            "bad_request",
+            "debug_sleep_ms requires the server's allow_debug_sleep knob (pegcli serve --debug-sleep)",
+        ));
+    }
+    Ok(())
+}
+
+fn op_prepare(state: &ServerState, r: &proto::Prepare) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, r.graph.as_deref())?;
+    let query = parse_request_query(&entry, &r.pattern)?;
     // Planning is compute too (decomposition + cost estimation over the
     // index), so `prepare` takes an admission permit like the query ops.
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
     let pipe = graph_pipeline(state, &entry);
     let prepared =
-        pipe.prepare(&query, alpha, &QueryOptions::default()).map_err(peg_error_reply)?;
+        pipe.prepare(&query, r.alpha, &QueryOptions::default()).map_err(peg_error_reply)?;
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
@@ -1193,65 +1207,55 @@ fn op_prepare(state: &ServerState, req: &Json) -> Result<Json, Reply> {
         .build())
 }
 
-fn op_query(state: &ServerState, req: &Json, topk: bool) -> Result<Json, Reply> {
-    let entry = resolve_graph(state, req)?;
-    let query = parse_request_query(&entry, req)?;
-    // Per-query lanes default to 1: a multi-client server gets its
-    // parallelism across sessions; `threads: 0` opts one query into all
-    // cores. Results are identical either way. Clamped to the machine's
-    // parallelism: an unbounded client value would otherwise spawn that
-    // many OS threads and leak a persistent pool per distinct count.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = field_usize(req, "threads", 1)?.min(cores);
-    let opts = QueryOptions { threads, ..Default::default() };
-
-    if req.get("debug_sleep_ms").is_some() && !state.allow_debug_sleep {
-        return Err(error_reply(
-            "bad_request",
-            "debug_sleep_ms requires the server's allow_debug_sleep knob (pegcli serve --debug-sleep)",
-        ));
-    }
-    // Validate every field before taking a permit: a malformed request
-    // must fail immediately, not after queueing for a session slot. `k`
-    // and `limit` are clamped to [`MAX_RESULT_MATCHES`] — replies are
-    // materialized as one JSON line, so the reply direction needs a bound
-    // just like the request direction's line cap; a truncated threshold
-    // query reports `truncated: true`.
-    let k = field_usize(req, "k", 10)?.min(MAX_RESULT_MATCHES);
-    let min_alpha = field_f64(req, "min_alpha", 1e-9)?;
-    let alpha = field_f64(req, "alpha", 0.5)?;
-    let limit = match req.get("limit") {
-        None | Some(Json::Null) => MAX_RESULT_MATCHES,
-        Some(v) => v
-            .as_usize()
-            .ok_or_else(|| error_reply("bad_request", "\"limit\" must be a non-negative integer"))?
-            .min(MAX_RESULT_MATCHES),
-    };
+fn op_query(state: &ServerState, r: &proto::Query) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, r.graph.as_deref())?;
+    let query = parse_request_query(&entry, &r.pattern)?;
+    let opts = QueryOptions { threads: r.threads, ..Default::default() };
+    check_debug_sleep(state, r.debug_sleep_ms)?;
     let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
-    if let Some(ms) = req.get("debug_sleep_ms").and_then(Json::as_u64) {
+    if let Some(ms) = r.debug_sleep_ms {
         std::thread::sleep(Duration::from_millis(ms.min(60_000)));
     }
     let pipe = graph_pipeline(state, &entry);
     let t0 = Instant::now();
-    let (result, from_cache): (QueryResult, Option<bool>) = if topk {
-        let res = pipe.run_topk(&query, k, min_alpha, &opts).map_err(peg_error_reply)?;
-        (res, None)
-    } else {
-        let prepared = pipe.prepare(&query, alpha, &opts).map_err(peg_error_reply)?;
-        let mut session = pipe.session(&prepared, &opts);
-        let res = session.run_at(alpha, Some(limit)).map_err(peg_error_reply)?;
-        (res, Some(prepared.from_cache()))
-    };
+    let prepared = pipe.prepare(&query, r.alpha, &opts).map_err(peg_error_reply)?;
+    let mut session = pipe.session(&prepared, &opts);
+    let result = session.run_at(r.alpha, Some(r.limit)).map_err(peg_error_reply)?;
     let elapsed = t0.elapsed();
     drop(permit);
     state.queries_served.fetch_add(1, Ordering::Relaxed);
-
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
         .field("n", result.matches.len())
         .field("truncated", result.truncated)
-        .field_opt("plan_from_cache", from_cache)
+        .field("plan_from_cache", prepared.from_cache())
+        .field("elapsed_us", elapsed.as_micros() as u64)
+        .field("matches", matches_json(&result))
+        .build())
+}
+
+fn op_query_topk(state: &ServerState, r: &proto::QueryTopk) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, r.graph.as_deref())?;
+    let query = parse_request_query(&entry, &r.pattern)?;
+    let opts = QueryOptions { threads: r.threads, ..Default::default() };
+    check_debug_sleep(state, r.debug_sleep_ms)?;
+    let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    if let Some(ms) = r.debug_sleep_ms {
+        std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+    }
+    let pipe = graph_pipeline(state, &entry);
+    let t0 = Instant::now();
+    let result: QueryResult =
+        pipe.run_topk(&query, r.k, r.min_alpha, &opts).map_err(peg_error_reply)?;
+    let elapsed = t0.elapsed();
+    drop(permit);
+    state.queries_served.fetch_add(1, Ordering::Relaxed);
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", entry.name.as_str())
+        .field("n", result.matches.len())
+        .field("truncated", result.truncated)
         .field("elapsed_us", elapsed.as_micros() as u64)
         .field("matches", matches_json(&result))
         .build())
@@ -1279,11 +1283,6 @@ fn matches_json(result: &QueryResult) -> Json {
     )
 }
 
-/// Queries one `query_batch` may carry, tops. A batch runs under a
-/// single admission permit, so the cap bounds the compute one permit can
-/// occupy — and, with [`MAX_RESULT_MATCHES`] per item, the reply line.
-pub const MAX_QUERY_BATCH: usize = 32;
-
 /// Rewraps a per-item validation error with the item's index, keeping
 /// the structured code.
 fn item_reply(Reply(r): Reply, i: usize) -> Reply {
@@ -1302,38 +1301,15 @@ fn item_reply(Reply(r): Reply, i: usize) -> Reply {
 /// worker before the sessions run (best-effort: a missed prefetch just
 /// falls back to a live scatter). Failure is whole-batch: results are
 /// not useful if their siblings silently vanished.
-fn op_query_batch(state: &ServerState, req: &Json) -> Result<Json, Reply> {
-    let entry = resolve_graph(state, req)?;
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = field_usize(req, "threads", 1)?.min(cores);
-    let opts = QueryOptions { threads, ..Default::default() };
-    let items = req
-        .get("queries")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| error_reply("bad_request", "missing \"queries\" array"))?;
-    if items.is_empty() || items.len() > MAX_QUERY_BATCH {
-        return Err(error_reply(
-            "bad_request",
-            format!("\"queries\" must carry 1..={MAX_QUERY_BATCH} items"),
-        ));
-    }
-    let mut parsed = Vec::with_capacity(items.len());
-    for (i, item) in items.iter().enumerate() {
-        let query = parse_request_query(&entry, item).map_err(|r| item_reply(r, i))?;
-        let alpha = field_f64(item, "alpha", 0.5).map_err(|r| item_reply(r, i))?;
-        let limit = match item.get("limit") {
-            None | Some(Json::Null) => MAX_RESULT_MATCHES,
-            Some(v) => v
-                .as_usize()
-                .ok_or_else(|| {
-                    item_reply(
-                        error_reply("bad_request", "\"limit\" must be a non-negative integer"),
-                        i,
-                    )
-                })?
-                .min(MAX_RESULT_MATCHES),
-        };
-        parsed.push((query, alpha, limit));
+fn op_query_batch(state: &ServerState, r: &proto::QueryBatch) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, r.graph.as_deref())?;
+    let opts = QueryOptions { threads: r.threads, ..Default::default() };
+    // Pattern parsing needs the graph's label table, so it happens here
+    // rather than in the protocol layer — still before the permit.
+    let mut parsed = Vec::with_capacity(r.items.len());
+    for (i, item) in r.items.iter().enumerate() {
+        let query = parse_request_query(&entry, &item.pattern).map_err(|e| item_reply(e, i))?;
+        parsed.push((query, item.alpha, item.limit));
     }
     let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
     let pipe = graph_pipeline(state, &entry);
@@ -1354,7 +1330,7 @@ fn op_query_batch(state: &ServerState, req: &Json) -> Result<Json, Reply> {
             .zip(&parsed)
             .map(|(p, (_, alpha, _))| (p, if exec_on { floor_alpha(*alpha, beta) } else { *alpha }))
             .collect();
-        let pool = pegpool::pool_with(threads);
+        let pool = pegpool::pool_with(r.threads);
         store.prefetch(&batch, &pool);
     }
     let mut results = Vec::with_capacity(parsed.len());
@@ -1453,6 +1429,8 @@ fn op_stats(state: &ServerState) -> Json {
                 .field("nodes", g.store.peg().graph.n_nodes())
                 .field("edges", g.store.peg().graph.n_edges())
                 .field("shards", g.store.n_shards())
+                .field("live", g.is_live())
+                .field("version", g.version)
                 .field_opt("workers", workers)
                 .field(
                     "plan_cache",
@@ -1494,6 +1472,7 @@ fn op_stats(state: &ServerState) -> Json {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use pathindex::PathIndexConfig;
 
     fn tiny_server(config: ServerConfig) -> (ServerHandle, Client) {
         let server = Server::bind("127.0.0.1:0", config).unwrap();
@@ -1501,14 +1480,11 @@ mod tests {
             200, 0.2,
         ));
         let peg = PegBuilder::new().build(&refs).unwrap();
-        let offline = OfflineIndex::build(
-            &peg,
-            &OfflineOptions {
-                index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() },
-            },
-        )
-        .unwrap();
-        server.insert_graph("tiny", peg, offline);
+        let opts = OfflineOptions {
+            index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() },
+        };
+        let offline = OfflineIndex::build(&peg, &opts).unwrap();
+        server.insert_live_graph("tiny", refs, peg, offline, opts);
         let handle = server.spawn();
         let client = Client::connect(handle.addr).unwrap();
         (handle, client)
@@ -2057,6 +2033,240 @@ mod tests {
             "{stats}"
         );
         handle.shutdown().unwrap();
+    }
+
+    fn mutation_ops() -> Vec<graphstore::GraphOp> {
+        use graphstore::{GraphOp, RefId};
+        vec![
+            GraphOp::UpsertRef { r: None, labels: vec![(0, 0.9), (1, 0.1)] },
+            GraphOp::UpsertEdge { a: RefId(3), b: RefId(11), p: 0.8 },
+            GraphOp::SetSingletonWeight { r: RefId(7), weight: 0.5 },
+            GraphOp::DeleteRef { r: RefId(9) },
+            GraphOp::PairPosterior { a: RefId(12), b: RefId(13), q: 0.6 },
+        ]
+    }
+
+    fn update_request(ops: &[graphstore::GraphOp]) -> Json {
+        obj().field("op", "update_graph").field("ops", shard_wire::encode_ops(ops)).build()
+    }
+
+    /// Queries the named graph and returns the reply's serialized
+    /// `matches` array — pegwire's shortest-round-trip f64 encoding makes
+    /// string equality bit equality on every probability.
+    fn matches_text(client: &mut Client, graph: &str, pattern: &str, alpha: f64) -> String {
+        let req = obj()
+            .field("op", "query")
+            .field("graph", graph)
+            .field("pattern", pattern)
+            .field("alpha", alpha)
+            .build();
+        let reply = client.request(&req).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        reply.get("matches").unwrap().to_string()
+    }
+
+    #[test]
+    fn protocol_version_echoes_on_success_and_error() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        // Tagged requests get the tag echoed, success and error alike.
+        let reply = client.request(&Json::parse(r#"{"op":"ping","v":1}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("v").and_then(Json::as_u64), Some(1), "{reply}");
+        let reply = client.request(&Json::parse(r#"{"op":"warp","v":1}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        assert_eq!(reply.get("v").and_then(Json::as_u64), Some(1), "{reply}");
+        // Untagged requests get untagged replies (wire compatibility).
+        let reply = client.request(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert!(reply.get("v").is_none(), "{reply}");
+        // An unknown version is a structured rejection without an echo —
+        // the tag was never validated, so it cannot be trusted as state.
+        let reply = client.request(&Json::parse(r#"{"op":"ping","v":9}"#).unwrap()).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        assert!(reply.get("v").is_none(), "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn update_graph_matches_fresh_rebuild_bitwise() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let ops = mutation_ops();
+        let reply = client.request(&update_request(&ops)).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("version").and_then(Json::as_u64), Some(1), "{reply}");
+        assert!(reply.get("n_dirty").unwrap().as_usize().unwrap() > 0, "{reply}");
+
+        // A second server built from scratch over the locally-mutated
+        // network must answer bit-identically.
+        let mut refs = datagen::synthetic_refgraph(
+            &datagen::SyntheticConfig::paper_with_uncertainty(200, 0.2),
+        );
+        refs.apply_all(&ops).unwrap();
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        assert_eq!(reply.get("nodes").and_then(Json::as_usize), Some(peg.graph.n_nodes()));
+        assert_eq!(reply.get("edges").and_then(Json::as_usize), Some(peg.graph.n_edges()));
+        let opts = OfflineOptions {
+            index: pathindex::PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() },
+        };
+        let offline = OfflineIndex::build(&peg, &opts).unwrap();
+        let fresh = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        fresh.insert_live_graph("tiny", refs, peg, offline, opts);
+        let fresh_handle = fresh.spawn();
+        let mut fresh_client = Client::connect(fresh_handle.addr).unwrap();
+        for pattern in ["(x:l0)-(y:l1)", "(a:l1)-(b:l0)-(c:l2)"] {
+            for alpha in [0.1, 0.3] {
+                assert_eq!(
+                    matches_text(&mut client, "tiny", pattern, alpha),
+                    matches_text(&mut fresh_client, "tiny", pattern, alpha),
+                    "{pattern} at {alpha}"
+                );
+            }
+        }
+        // Stats report the graph live at version 1.
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let g = &stats.get("graphs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(g.get("live"), Some(&Json::Bool(true)), "{stats}");
+        assert_eq!(g.get("version").and_then(Json::as_u64), Some(1), "{stats}");
+        fresh_handle.shutdown().unwrap();
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn update_graph_rolls_the_exec_cache_epoch() {
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let pattern = "(x:l0)-(y:l1)";
+        // Warm the execution cache on the pre-mutation epoch.
+        matches_text(&mut client, "tiny", pattern, 0.3);
+        matches_text(&mut client, "tiny", pattern, 0.3);
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let cache = stats.get("exec_cache").unwrap();
+        let hits_before = cache.get("hits").unwrap().as_u64().unwrap();
+        let misses_before = cache.get("misses").unwrap().as_u64().unwrap();
+        assert!(hits_before > 0, "{stats}");
+        let epoch_before = stats.get("graphs").unwrap().as_arr().unwrap()[0]
+            .get("exec_cache")
+            .unwrap()
+            .get("epoch")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+
+        let reply = client.request(&update_request(&mutation_ops())).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let epoch_after = reply.get("epoch").unwrap().as_u64().unwrap();
+        assert_ne!(epoch_after, epoch_before, "{reply}");
+
+        // The old epoch's entries were retired with it: the first
+        // post-mutation query MUST miss (a pre-mutation candidate list is
+        // unreachable under the new epoch), then warm normally.
+        let cold = matches_text(&mut client, "tiny", pattern, 0.3);
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let cache = stats.get("exec_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64().unwrap(), hits_before, "{stats}");
+        assert!(cache.get("misses").unwrap().as_u64().unwrap() > misses_before, "{stats}");
+        let g = &stats.get("graphs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            g.get("exec_cache").unwrap().get("epoch").unwrap().as_u64(),
+            Some(epoch_after),
+            "{stats}"
+        );
+        let warm = matches_text(&mut client, "tiny", pattern, 0.3);
+        assert_eq!(warm, cold, "cache-served results must be bit-identical");
+        let stats = client.request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert!(
+            stats.get("exec_cache").unwrap().get("hits").unwrap().as_u64().unwrap() > hits_before,
+            "{stats}"
+        );
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn update_graph_requires_a_live_graph() {
+        // A graph registered without its reference network is static.
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let refs = datagen::synthetic_refgraph(&datagen::SyntheticConfig::paper_with_uncertainty(
+            120, 0.2,
+        ));
+        let peg = PegBuilder::new().build(&refs).unwrap();
+        let opts = OfflineOptions::default();
+        let offline = OfflineIndex::build(&peg, &opts).unwrap();
+        server.insert_graph("frozen", peg, offline);
+        let handle = server.spawn();
+        let mut client = Client::connect(handle.addr).unwrap();
+        let reply = client.request(&update_request(&mutation_ops())).unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        assert!(
+            reply.get("message").and_then(Json::as_str).unwrap().contains("not live"),
+            "{reply}"
+        );
+        // Unknown graphs and malformed batches stay structured too.
+        let reply = client
+            .request(&Json::parse(r#"{"op":"update_graph","graph":"nope","ops":[]}"#).unwrap())
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Json::as_str), Some("bad_request"), "{reply}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn distributed_update_graph_stays_bit_exact() {
+        // Two worker processes (played by two Server instances), a
+        // coordinator loading one shard per worker — then a mutation
+        // through the coordinator, which broadcasts `shard_update`. The
+        // distributed answers must stay bit-identical to a local live
+        // server given the identical mutation.
+        let w1 = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().spawn();
+        let w2 = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().spawn();
+        let (handle, mut client) = tiny_server(ServerConfig::default());
+        let req = obj()
+            .field("op", "load_graph")
+            .field("name", "dist")
+            .field("kind", "synthetic")
+            .field("size", 200usize)
+            .field("seed", 42u64)
+            .field("uncertainty", 0.2)
+            .field("max_len", 2usize)
+            .field("beta", 0.3)
+            .field(
+                "workers",
+                Json::Arr(vec![Json::Str(w1.addr.to_string()), Json::Str(w2.addr.to_string())]),
+            )
+            .build();
+        let reply = client.request(&req).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+
+        let ops = mutation_ops();
+        let req = obj()
+            .field("op", "update_graph")
+            .field("graph", "dist")
+            .field("ops", shard_wire::encode_ops(&ops))
+            .build();
+        let reply = client.request(&req).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(reply.get("version").and_then(Json::as_u64), Some(1), "{reply}");
+        assert_eq!(reply.get("shards").and_then(Json::as_usize), Some(2), "{reply}");
+
+        // The local "tiny" graph is the same spec (tiny_server builds
+        // synthetic(200, 0.2) with the default seed and a max_len-2
+        // index); apply the same mutation to it and the distributed
+        // answers must match bit for bit.
+        let req = obj()
+            .field("op", "update_graph")
+            .field("graph", "tiny")
+            .field("ops", shard_wire::encode_ops(&ops))
+            .build();
+        let reply = client.request(&req).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        for pattern in ["(x:l0)-(y:l1)", "(a:l1)-(b:l0)-(c:l2)"] {
+            for alpha in [0.1, 0.3] {
+                assert_eq!(
+                    matches_text(&mut client, "dist", pattern, alpha),
+                    matches_text(&mut client, "tiny", pattern, alpha),
+                    "{pattern} at {alpha}"
+                );
+            }
+        }
+        handle.shutdown().unwrap();
+        w1.shutdown().unwrap();
+        w2.shutdown().unwrap();
     }
 
     /// The epoll front end speaks the identical protocol (Linux only).

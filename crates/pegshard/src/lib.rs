@@ -95,9 +95,9 @@ pub mod wire;
 pub mod worker;
 
 pub use partition::shard_of;
-pub use store::{ScatterStats, ShardInfo, ShardedGraphStore, ShardingStats};
+pub use store::{ScatterStats, ShardInfo, ShardedGraphStore, ShardingStats, UpdateStats};
 pub use transport::{
     InProcessTransport, PathPartial, ShardReply, ShardRequest, ShardTransport, TcpTransport,
     TcpTransportConfig, TransportError, WorkerStats,
 };
-pub use worker::WorkerShard;
+pub use worker::{WorkerShard, WorkerUpdate};

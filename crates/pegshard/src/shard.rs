@@ -51,6 +51,60 @@ pub(crate) fn halo_for(n_shards: usize, max_len: usize) -> usize {
     }
 }
 
+/// Which shards a mutation can change. Shard `s`'s entire content — its
+/// subgraph, projected existence slice, and offline index — is a function
+/// of the ball of radius `halo` around the nodes it owns, so `s` is
+/// affected iff some dirty node lies within `halo` hops of an owned node.
+/// That membership is computed from the *dirty* side (`d ∈ ball(owned_s,
+/// halo)` ⟺ `owned_s ∩ ball(d, halo) ≠ ∅` on an undirected graph): BFS
+/// a radius-`halo` ball out of the dirty set and mark the owner of every
+/// node reached. Balls are walked in **both** the old and new graphs —
+/// a deleted edge shrinks the new ball but its old endpoints' shards
+/// still held paths through it, and a fresh edge reaches shards the old
+/// graph never could. Component-level existence changes are already
+/// per-node dirty flags (`PegBuilder::rebuild` marks every member of a
+/// non-reused component), so no component reasoning is needed here.
+///
+/// `dirty` is indexed by new-graph node id; the old graph's node set is
+/// a prefix of the new one (creation-order ids, tombstoned deletions).
+pub(crate) fn affected_shards(
+    old: &graphstore::EntityGraph,
+    new: &graphstore::EntityGraph,
+    dirty: &[bool],
+    n_shards: usize,
+    halo: usize,
+) -> Vec<bool> {
+    let mut affected = vec![false; n_shards];
+    for graph in [old, new] {
+        let n = graph.n_nodes();
+        let mut depth: Vec<u32> = vec![ABSENT; n];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for v in 0..n {
+            if dirty.get(v).copied().unwrap_or(false) {
+                depth[v] = 0;
+                queue.push_back(v as u32);
+                affected[shard_of(EntityId(v as u32), n_shards)] = true;
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = depth[v as usize];
+            if d as usize >= halo {
+                continue;
+            }
+            for &nb in graph.neighbors(EntityId(v)) {
+                if depth[nb as usize] == ABSENT {
+                    depth[nb as usize] = d + 1;
+                    queue.push_back(nb);
+                    affected[shard_of(EntityId(nb), n_shards)] = true;
+                }
+            }
+        }
+    }
+    // Nodes created by this batch (ids past the old graph) are dirty but
+    // absent from the old walk; the new walk above already covers them.
+    affected
+}
+
 /// One shard of a [`ShardedGraphStore`](crate::ShardedGraphStore).
 pub struct Shard {
     /// The shard subgraph plus projected existence model.

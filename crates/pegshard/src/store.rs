@@ -1,16 +1,17 @@
 //! The sharded store: transport-independent scatter-gather on the
 //! [`ShardTransport`] seam.
 
-use crate::shard::{halo_for, Shard};
+use crate::shard::{affected_shards, halo_for, Shard};
 use crate::transport::{
     InProcessTransport, ShardReply, ShardRequest, ShardTransport, TcpTransport, TransportError,
     WorkerStats,
 };
 use crate::wire;
 use graphstore::hash::FxHashMap;
-use graphstore::Label;
+use graphstore::{GraphOp, Label, RefGraph};
 use pathindex::PathMatch;
 use pegmatch::error::PegError;
+use pegmatch::model::PegBuilder;
 use pegmatch::offline::OfflineOptions;
 use pegmatch::online::{
     CandidateSet, CandidateSource, Decomposition, PathStats, PreparedQuery, QueryPipeline,
@@ -19,7 +20,7 @@ use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
 use pegpool::ThreadPool;
 use pegwire::Json;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-shard size and ownership breakdown.
@@ -87,6 +88,23 @@ pub struct ScatterStats {
     pub prefetched: bool,
 }
 
+/// What one [`ShardedGraphStore::apply_update`] did: how much of the
+/// partition the mutation's dirty ball actually reached.
+#[derive(Clone, Debug)]
+pub struct UpdateStats {
+    /// Dirty nodes in the compiled delta (existence-changed ∪ touched).
+    pub n_dirty: usize,
+    /// Shards rebuilt because the dirty ball reached their halo.
+    pub rebuilt_shards: usize,
+    /// Existence components carried over from the previous model by
+    /// `Arc` (in-process; 0 for a distributed store, where reuse happens
+    /// worker-side).
+    pub reused_components: usize,
+    /// Wall time of the whole update (compile + shard rebuilds, or the
+    /// worker broadcast that ran them remotely).
+    pub update_time: Duration,
+}
+
 /// One entity graph partitioned into N shards, each owning its own
 /// subgraph ([`Peg`]) and offline index, with a scatter-gather
 /// [`CandidateSource`] on top — written once against the
@@ -105,6 +123,10 @@ pub struct ScatterStats {
 pub struct ShardedGraphStore {
     peg: Peg,
     transport: Box<dyn ShardTransport>,
+    /// The offline options every shard's index was built with — a live
+    /// update must rebuild affected shards with the identical config or
+    /// the rebuild-equivalence guarantee breaks.
+    opts: OfflineOptions,
     /// Shared index config needed to reproduce unsharded estimates.
     beta: f64,
     max_len: usize,
@@ -208,9 +230,10 @@ impl ShardedGraphStore {
         }
         let t0 = Instant::now();
         let halo = halo_for(n_shards, opts.index.max_len.max(1));
-        let shards: Vec<Shard> = pegpool::global()
+        let shards: Vec<Arc<Shard>> = pegpool::global()
             .map(n_shards, |s| Shard::build(&peg, opts, s, n_shards, halo))
             .into_iter()
+            .map(|r| r.map(Arc::new))
             .collect::<Result<_, _>>()?;
 
         // Merge home-only histograms: each indexed path is counted exactly
@@ -239,6 +262,7 @@ impl ShardedGraphStore {
         Ok(Self {
             peg,
             transport: Box::new(InProcessTransport { shards }),
+            opts: opts.clone(),
             beta: opts.index.beta,
             max_len: opts.index.max_len,
             hist_grid: opts.index.hist_grid.clone(),
@@ -350,6 +374,7 @@ impl ShardedGraphStore {
         Ok(Self {
             peg,
             transport: Box::new(transport),
+            opts: opts.clone(),
             beta: opts.index.beta,
             max_len: opts.index.max_len,
             hist_grid: opts.index.hist_grid.clone(),
@@ -363,6 +388,13 @@ impl ShardedGraphStore {
     /// The full probabilistic entity graph (global phases run on it).
     pub fn peg(&self) -> &Peg {
         &self.peg
+    }
+
+    /// The offline index configuration every shard was built with.
+    /// Live-graph embedders need it to register the store for mutation
+    /// (`apply_update` recompiles dirty shards under the same options).
+    pub fn offline_options(&self) -> &OfflineOptions {
+        &self.opts
     }
 
     /// Shard count.
@@ -513,6 +545,203 @@ impl ShardedGraphStore {
             }
             cache.push(PrefetchEntry { key, sets, scatter });
         }
+    }
+
+    /// Applies a mutation batch to this store, returning the successor
+    /// store, the mutated reference network (input to the *next*
+    /// mutation), and what the update touched. `self` is untouched —
+    /// in-flight sessions keep querying the pre-update store while the
+    /// caller swaps the successor in.
+    ///
+    /// `refs` must be the reference network this store's graph was
+    /// compiled from and `builder` the compiler it was compiled with;
+    /// the successor is then **bit-identical** to a from-scratch
+    /// `build`/`connect` over the mutated network: only shards whose
+    /// halo ball the dirty set reaches are rebuilt (the rest are carried
+    /// by `Arc` in process, or reused worker-side over the wire — see
+    /// `shard::affected_shards` for the soundness argument),
+    /// and the merged histogram is re-derived from every shard's
+    /// home-only counts, so planner estimates match a fresh build's
+    /// exactly.
+    ///
+    /// Distributed stores broadcast `shard_update` at the next version.
+    /// On a partial failure the error is returned and `self` stays fully
+    /// usable (its retrieves pin the pre-update version, which workers
+    /// keep); retrying the update re-sends the same version, which
+    /// workers that already applied it acknowledge idempotently.
+    pub fn apply_update(
+        &self,
+        refs: &RefGraph,
+        builder: &PegBuilder,
+        ops: &[GraphOp],
+    ) -> Result<(ShardedGraphStore, RefGraph, UpdateStats), PegError> {
+        let t0 = Instant::now();
+        let n_shards = self.transport.n_shards();
+        let mut new_refs = refs.clone();
+        let touched = new_refs.apply_all(ops).map_err(PegError::Invalid)?;
+        let delta = builder.rebuild(&new_refs, &self.peg, &touched)?;
+        let n_dirty = delta.dirty.iter().filter(|d| **d).count();
+        let halo = halo_for(n_shards, self.opts.index.max_len.max(1));
+        let affected =
+            affected_shards(&self.peg.graph, &delta.peg.graph, &delta.dirty, n_shards, halo);
+
+        if let Some(ipt) = self.transport.as_in_process() {
+            let new_peg = delta.peg;
+            let shards: Vec<Arc<Shard>> = {
+                let prev = &ipt.shards;
+                let new_peg = &new_peg;
+                let affected = &affected;
+                pegpool::global()
+                    .map(n_shards, |s| {
+                        if affected[s] {
+                            Shard::build(new_peg, &self.opts, s, n_shards, halo).map(Arc::new)
+                        } else {
+                            Ok(prev[s].clone())
+                        }
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?
+            };
+            let mut hist: FxHashMap<Vec<u16>, Vec<u32>> = FxHashMap::default();
+            for shard in &shards {
+                merge_histogram(
+                    &mut hist,
+                    shard
+                        .offline
+                        .paths
+                        .histogram_counts_where(&|sp| shard.is_home_stored(&sp.nodes)),
+                );
+            }
+            let per_shard: Vec<ShardInfo> = shards
+                .iter()
+                .map(|s| ShardInfo {
+                    nodes: s.peg.graph.n_nodes(),
+                    owned_nodes: s.n_owned,
+                    edges: s.peg.graph.n_edges(),
+                    index_entries: s.offline.paths.n_entries(),
+                    index_bytes: s.offline.paths.approx_bytes(),
+                })
+                .collect();
+            let update = UpdateStats {
+                n_dirty,
+                rebuilt_shards: affected.iter().filter(|a| **a).count(),
+                reused_components: delta.reused_components,
+                update_time: t0.elapsed(),
+            };
+            let stats =
+                sharding_stats(n_shards, halo, per_shard, new_peg.graph.n_nodes(), t0.elapsed());
+            let store = ShardedGraphStore {
+                peg: new_peg,
+                transport: Box::new(InProcessTransport { shards }),
+                opts: self.opts.clone(),
+                beta: self.beta,
+                max_len: self.max_len,
+                hist_grid: self.hist_grid.clone(),
+                hist,
+                stats,
+                last_scatter: Mutex::new(ScatterStats::default()),
+                prefetched: Mutex::new(Vec::new()),
+            };
+            return Ok((store, new_refs, update));
+        }
+
+        let tcp = self.transport.as_tcp().ok_or_else(|| {
+            PegError::Invalid("this store's transport does not support live updates".into())
+        })?;
+        let version = tcp.version() + 1;
+        let req = wire::update_request(tcp.graph(), ops, version);
+        let replies: Vec<Result<Json, PegError>> = std::thread::scope(|scope| {
+            let (tcp, req) = (&tcp, &req);
+            let handles: Vec<_> = (0..n_shards)
+                .map(|s| scope.spawn(move || tcp.call(s, req).map_err(|e| e.into_peg())))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("update broadcast thread")).collect()
+        });
+
+        let new_peg = delta.peg;
+        let mut hist: FxHashMap<Vec<u16>, Vec<u32>> = FxHashMap::default();
+        let mut per_shard = Vec::with_capacity(n_shards);
+        let mut rebuilt_shards = 0usize;
+        for (s, reply) in replies.into_iter().enumerate() {
+            let reply = reply?;
+            if reply.get("ok") != Some(&Json::Bool(true)) {
+                let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
+                let msg = reply.get("message").and_then(Json::as_str).unwrap_or("no detail");
+                return Err(PegError::ShardUnavailable {
+                    shard: s,
+                    detail: format!("shard_update rejected ({code}): {msg}"),
+                });
+            }
+            let field = |k: &str| -> Result<usize, PegError> {
+                reply.get(k).and_then(Json::as_usize).ok_or_else(|| PegError::ShardUnavailable {
+                    shard: s,
+                    detail: format!("shard_update reply missing \"{k}\""),
+                })
+            };
+            if field("version")? as u64 != version {
+                return Err(PegError::ShardUnavailable {
+                    shard: s,
+                    detail: format!("worker acknowledged the wrong version (wanted {version})"),
+                });
+            }
+            // The same cross-check the load handshake does: a worker
+            // whose mutated full graph disagrees with the coordinator's
+            // would silently break bit-exactness.
+            let (full_nodes, full_edges) = (field("nodes")?, field("edges")?);
+            if full_nodes != new_peg.graph.n_nodes() || full_edges != new_peg.graph.n_edges() {
+                return Err(PegError::Invalid(format!(
+                    "worker {s} mutated to a different graph ({full_nodes} nodes / {full_edges} \
+                     edges vs the coordinator's {} / {})",
+                    new_peg.graph.n_nodes(),
+                    new_peg.graph.n_edges()
+                )));
+            }
+            if reply.get("rebuilt") == Some(&Json::Bool(true)) {
+                rebuilt_shards += 1;
+            }
+            per_shard.push(ShardInfo {
+                nodes: field("shard_nodes")?,
+                owned_nodes: field("owned_nodes")?,
+                edges: field("shard_edges")?,
+                index_entries: field("index_entries")?,
+                index_bytes: field("index_bytes")? as u64,
+            });
+            let entries = reply
+                .get("hist")
+                .ok_or_else(|| PegError::ShardUnavailable {
+                    shard: s,
+                    detail: "shard_update reply missing \"hist\"".into(),
+                })
+                .and_then(|h| {
+                    wire::decode_histogram(h).map_err(|e| PegError::ShardUnavailable {
+                        shard: s,
+                        detail: format!("bad histogram: {e}"),
+                    })
+                })?;
+            merge_histogram(&mut hist, entries);
+        }
+
+        let update = UpdateStats {
+            n_dirty,
+            rebuilt_shards,
+            reused_components: delta.reused_components,
+            update_time: t0.elapsed(),
+        };
+        let stats =
+            sharding_stats(n_shards, halo, per_shard, new_peg.graph.n_nodes(), t0.elapsed());
+        let store = ShardedGraphStore {
+            peg: new_peg,
+            transport: Box::new(tcp.at_version(version)),
+            opts: self.opts.clone(),
+            beta: self.beta,
+            max_len: self.max_len,
+            hist_grid: self.hist_grid.clone(),
+            hist,
+            stats,
+            last_scatter: Mutex::new(ScatterStats::default()),
+            prefetched: Mutex::new(Vec::new()),
+        };
+        Ok((store, new_refs, update))
     }
 }
 

@@ -190,11 +190,26 @@ pub trait ShardTransport: Send + Sync {
     /// Releases remote resources (worker-side shard state, connections).
     /// In-process transports have nothing to release.
     fn release(&self) {}
+
+    /// Downcast hook for live updates: the in-process transport, if that
+    /// is what this is. Updates need the concrete shards (to reuse
+    /// unaffected ones by `Arc`), which the seam otherwise hides.
+    fn as_in_process(&self) -> Option<&InProcessTransport> {
+        None
+    }
+
+    /// Downcast hook for live updates: the TCP transport, if that is what
+    /// this is (updates broadcast `shard_update` and re-version it).
+    fn as_tcp(&self) -> Option<&TcpTransport> {
+        None
+    }
 }
 
-/// All shards in this process: the classic single-machine store.
+/// All shards in this process: the classic single-machine store. Shards
+/// sit behind `Arc` so a live update can carry unaffected shards into the
+/// successor store without copying them.
 pub struct InProcessTransport {
-    pub(crate) shards: Vec<Shard>,
+    pub(crate) shards: Vec<Arc<Shard>>,
 }
 
 impl ShardTransport for InProcessTransport {
@@ -259,6 +274,10 @@ impl ShardTransport for InProcessTransport {
                 Ok(ShardReply { paths })
             })
             .collect()
+    }
+
+    fn as_in_process(&self) -> Option<&InProcessTransport> {
+        Some(self)
     }
 }
 
@@ -364,13 +383,20 @@ pub struct TcpTransport {
     graph: String,
     addrs: Vec<String>,
     config: TcpTransportConfig,
-    workers: Vec<WorkerCell>,
+    /// Shared across versions: a live update clones the transport at the
+    /// next version ([`TcpTransport::at_version`]) without redialing, so
+    /// the successor store rides the same connections and counters.
+    workers: Arc<Vec<WorkerCell>>,
+    /// The shard snapshot this transport's retrieves pin on the workers.
+    /// Workers keep their last two versions, so in-flight sessions on the
+    /// pre-update store finish consistently while the successor serves.
+    version: u64,
 }
 
 impl TcpTransport {
     /// Connects to every worker eagerly (failing fast if one is down) and
     /// binds the transport to `graph` — the name workers hold their shard
-    /// state under.
+    /// state under — at version 0 (the freshly loaded shard snapshot).
     pub fn connect(
         graph: &str,
         addrs: &[String],
@@ -389,7 +415,13 @@ impl TcpTransport {
                 Ok(WorkerCell::new(conn))
             })
             .collect::<Result<Vec<_>, TransportError>>()?;
-        Ok(TcpTransport { graph: graph.to_string(), addrs: addrs.to_vec(), config, workers })
+        Ok(TcpTransport {
+            graph: graph.to_string(),
+            addrs: addrs.to_vec(),
+            config,
+            workers: Arc::new(workers),
+            version: 0,
+        })
     }
 
     /// The graph name this transport's workers serve.
@@ -400,6 +432,24 @@ impl TcpTransport {
     /// Worker addresses, by shard index.
     pub fn addrs(&self) -> &[String] {
         &self.addrs
+    }
+
+    /// The shard snapshot version this transport retrieves against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A transport over the same workers and connections, pinned to
+    /// `version` — how a live update hands the successor store a handle
+    /// to the post-update shard snapshot without redialing.
+    pub(crate) fn at_version(&self, version: u64) -> TcpTransport {
+        TcpTransport {
+            graph: self.graph.clone(),
+            addrs: self.addrs.clone(),
+            config: self.config,
+            workers: self.workers.clone(),
+            version,
+        }
     }
 
     fn err(&self, shard: usize, detail: impl std::fmt::Display) -> TransportError {
@@ -574,7 +624,7 @@ impl ShardTransport for TcpTransport {
         req: &ShardRequest<'_>,
         _pool: &ThreadPool,
     ) -> Result<ShardReply, TransportError> {
-        let line = wire::retrieve_request(&self.graph, req).to_string();
+        let line = wire::retrieve_request(&self.graph, self.version, req).to_string();
         let reply = self.exchange_line(shard, &line)?;
         self.reply_to_shard_reply(shard, reply, req.decomp.paths.len())
     }
@@ -585,7 +635,7 @@ impl ShardTransport for TcpTransport {
         _pool: &ThreadPool,
     ) -> Vec<Result<ShardReply, TransportError>> {
         let n_paths = req.decomp.paths.len();
-        let line = wire::retrieve_request(&self.graph, req).to_string();
+        let line = wire::retrieve_request(&self.graph, self.version, req).to_string();
 
         // Multiplexed scatter: begin the exchange on every worker, then
         // wait for replies in shard order. Workers compute concurrently,
@@ -617,7 +667,7 @@ impl ShardTransport for TcpTransport {
         let n = self.addrs.len();
         let mut out: Vec<Vec<Result<ShardReply, TransportError>>> = Vec::with_capacity(reqs.len());
         for chunk in reqs.chunks(wire::MAX_RETRIEVE_BATCH) {
-            let line = wire::retrieve_batch_request(&self.graph, chunk).to_string();
+            let line = wire::retrieve_batch_request(&self.graph, self.version, chunk).to_string();
             let n_paths: Vec<usize> = chunk.iter().map(|r| r.decomp.paths.len()).collect();
             // Per shard: one batched exchange (with the usual single
             // retry), decoded into per-query replies.
@@ -663,6 +713,10 @@ impl ShardTransport for TcpTransport {
             out.extend(chunk_out);
         }
         out
+    }
+
+    fn as_tcp(&self) -> Option<&TcpTransport> {
+        Some(self)
     }
 
     /// Reads atomics, the briefly-held latency ring, and the connection

@@ -1,14 +1,22 @@
 //! Wire codec for the shard-worker protocol ops.
 //!
-//! Three ops extend the serving line protocol (one JSON object per line,
+//! Five ops extend the serving line protocol (one JSON object per line,
 //! `{"ok":true,...}` / `{"ok":false,"error":...}` replies):
 //!
 //! | op                     | direction             | payload                                   |
 //! |------------------------|-----------------------|-------------------------------------------|
 //! | `shard_load`           | coordinator → worker  | generator spec + `shard`, `n_shards`      |
-//! | `shard_retrieve`       | coordinator → worker  | query (label ids + edges), paths, `alpha` |
-//! | `shard_retrieve_batch` | coordinator → worker  | `queries`: many retrieve bodies           |
+//! | `shard_retrieve`       | coordinator → worker  | query (label ids + edges), paths, `alpha`, `version` |
+//! | `shard_retrieve_batch` | coordinator → worker  | `queries`: many retrieve bodies; `version` |
+//! | `shard_update`         | coordinator → worker  | `ops`: mutation batch; target `version`   |
 //! | `shard_unload`         | coordinator → worker  | `graph`                                   |
+//!
+//! Retrieves pin a shard snapshot `version` (workers keep their last two,
+//! so sessions begun before a `shard_update` finish against the snapshot
+//! they planned on); `shard_update` carries the version the shard must
+//! advance to — the worker rejects gaps and treats a resend of its
+//! already-latest version as the idempotent retry the transport's
+//! redial-and-resend failure handling can produce.
 //!
 //! Every request may additionally carry a `u64` `id` field (spliced in by
 //! [`pegwire::MuxConn`]); the worker echoes it verbatim on the reply so
@@ -48,7 +56,7 @@
 //! rejected.
 
 use crate::transport::{PathPartial, ShardReply, ShardRequest};
-use graphstore::EntityId;
+use graphstore::{EntityId, GraphOp, RefId};
 use pathindex::PathMatch;
 use pegmatch::online::QueryPath;
 use pegmatch::query::{QNode, QueryGraph};
@@ -62,6 +70,14 @@ pub const OP_SHARD_RETRIEVE: &str = "shard_retrieve";
 pub const OP_SHARD_RETRIEVE_BATCH: &str = "shard_retrieve_batch";
 /// Op name: drop a worker's shard state for a graph.
 pub const OP_SHARD_UNLOAD: &str = "shard_unload";
+/// Op name: apply a mutation batch to a worker's shard, advancing it to a
+/// new version.
+pub const OP_SHARD_UPDATE: &str = "shard_update";
+
+/// Mutations one `update_graph` / `shard_update` batch may carry, tops.
+/// Bounds the work one request line can demand (each op is O(entities)
+/// to apply, and the rebuild it triggers is charged once per batch).
+pub const MAX_UPDATE_OPS: usize = 10_000;
 
 /// Most retrieve bodies one `shard_retrieve_batch` line may carry. Caps
 /// worker memory per request line; the serving layer's own
@@ -128,18 +144,25 @@ fn retrieve_body(b: pegwire::ObjBuilder, req: &ShardRequest<'_>) -> pegwire::Obj
         .field("paths", Json::Arr(paths))
 }
 
-/// Encodes the `shard_retrieve` request for one scatter.
-pub fn retrieve_request(graph: &str, req: &ShardRequest<'_>) -> Json {
-    retrieve_body(obj().field("op", OP_SHARD_RETRIEVE).field("graph", graph), req).build()
+/// Encodes the `shard_retrieve` request for one scatter, pinned to the
+/// shard snapshot `version` the coordinator's store was built against.
+pub fn retrieve_request(graph: &str, version: u64, req: &ShardRequest<'_>) -> Json {
+    retrieve_body(
+        obj().field("op", OP_SHARD_RETRIEVE).field("graph", graph).field("version", version),
+        req,
+    )
+    .build()
 }
 
 /// Encodes the `shard_retrieve_batch` request: many retrieve bodies in
-/// one line. The caller keeps batches within [`MAX_RETRIEVE_BATCH`].
-pub fn retrieve_batch_request(graph: &str, reqs: &[ShardRequest<'_>]) -> Json {
+/// one line, all against shard snapshot `version`. The caller keeps
+/// batches within [`MAX_RETRIEVE_BATCH`].
+pub fn retrieve_batch_request(graph: &str, version: u64, reqs: &[ShardRequest<'_>]) -> Json {
     let queries: Vec<Json> = reqs.iter().map(|r| retrieve_body(obj(), r).build()).collect();
     obj()
         .field("op", OP_SHARD_RETRIEVE_BATCH)
         .field("graph", graph)
+        .field("version", version)
         .field("queries", Json::Arr(queries))
         .build()
 }
@@ -394,6 +417,180 @@ pub fn unload_request(graph: &str) -> Json {
     obj().field("op", OP_SHARD_UNLOAD).field("graph", graph).build()
 }
 
+/// Decodes an optional `"version"` field (shard snapshot selector on
+/// retrieve requests; target version on `shard_update`). Missing means
+/// "latest"; anything present must be a non-negative integer.
+pub fn decode_version(req: &Json) -> Result<Option<u64>, WireError> {
+    match req.get("version") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => need_u64(v, "\"version\"").map(Some),
+    }
+}
+
+fn ref_json(r: RefId) -> Json {
+    Json::Num(r.0 as f64)
+}
+
+fn members_json(members: &[RefId]) -> Json {
+    Json::Arr(members.iter().map(|&m| ref_json(m)).collect())
+}
+
+/// Encodes one mutation as a tagged object (`{"op":"upsert_edge",...}`).
+/// Probabilities and weights ride the same shortest-round-trip f64
+/// encoding as candidates, so a mutation applied through the wire is
+/// bit-identical to one applied in process.
+pub fn encode_op(op: &GraphOp) -> Json {
+    match op {
+        GraphOp::UpsertRef { r, labels } => {
+            let pairs: Vec<Json> = labels
+                .iter()
+                .map(|&(l, p)| Json::Arr(vec![Json::Num(l as f64), Json::Num(p)]))
+                .collect();
+            obj()
+                .field("op", "upsert_ref")
+                .field_opt("ref", r.map(ref_json))
+                .field("labels", Json::Arr(pairs))
+                .build()
+        }
+        GraphOp::DeleteRef { r } => {
+            obj().field("op", "delete_ref").field("ref", ref_json(*r)).build()
+        }
+        GraphOp::UpsertEdge { a, b, p } => obj()
+            .field("op", "upsert_edge")
+            .field("a", ref_json(*a))
+            .field("b", ref_json(*b))
+            .field("p", *p)
+            .build(),
+        GraphOp::DeleteEdge { a, b } => obj()
+            .field("op", "delete_edge")
+            .field("a", ref_json(*a))
+            .field("b", ref_json(*b))
+            .build(),
+        GraphOp::UpsertSet { members, weight } => obj()
+            .field("op", "upsert_set")
+            .field("members", members_json(members))
+            .field("weight", *weight)
+            .build(),
+        GraphOp::DeleteSet { members } => {
+            obj().field("op", "delete_set").field("members", members_json(members)).build()
+        }
+        GraphOp::SetSingletonWeight { r, weight } => obj()
+            .field("op", "set_weight")
+            .field("ref", ref_json(*r))
+            .field("weight", *weight)
+            .build(),
+        GraphOp::PairPosterior { a, b, q } => obj()
+            .field("op", "pair_posterior")
+            .field("a", ref_json(*a))
+            .field("b", ref_json(*b))
+            .field("q", *q)
+            .build(),
+    }
+}
+
+/// Encodes a mutation batch as a JSON array.
+pub fn encode_ops(ops: &[GraphOp]) -> Json {
+    Json::Arr(ops.iter().map(encode_op).collect())
+}
+
+fn need_ref(v: Option<&Json>, what: &str) -> Result<RefId, WireError> {
+    let id = need_u64(v.ok_or_else(|| err(format!("missing \"{what}\"")))?, what)?;
+    u32::try_from(id).map(RefId).map_err(|_| err(format!("{what} {id} exceeds u32")))
+}
+
+fn need_members(v: Option<&Json>) -> Result<Vec<RefId>, WireError> {
+    need_arr(v, "members")?.iter().map(|m| need_ref(Some(m), "member")).collect()
+}
+
+/// Decodes one tagged mutation object. Structural validation only (field
+/// presence, integer ranges, finite numbers) — semantic validation (live
+/// references, probability ranges) happens in [`graphstore`]'s
+/// `RefGraph::apply`, which owns the graph state the checks need.
+pub fn decode_op(v: &Json) -> Result<GraphOp, WireError> {
+    let tag =
+        v.get("op").and_then(Json::as_str).ok_or_else(|| err("mutation missing its \"op\" tag"))?;
+    match tag {
+        "upsert_ref" => {
+            let r = match v.get("ref") {
+                None | Some(Json::Null) => None,
+                some => Some(need_ref(some, "ref")?),
+            };
+            let labels = need_arr(v.get("labels"), "labels")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| err("bad label pair: expected [label, prob]"))?;
+                    let l = need_u64(&pair[0], "label id")?;
+                    let l =
+                        u16::try_from(l).map_err(|_| err(format!("label id {l} exceeds u16")))?;
+                    Ok((l, need_prob(Some(&pair[1]), "label probability")?))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Ok(GraphOp::UpsertRef { r, labels })
+        }
+        "delete_ref" => Ok(GraphOp::DeleteRef { r: need_ref(v.get("ref"), "ref")? }),
+        "upsert_edge" => Ok(GraphOp::UpsertEdge {
+            a: need_ref(v.get("a"), "a")?,
+            b: need_ref(v.get("b"), "b")?,
+            p: need_prob(v.get("p"), "\"p\"")?,
+        }),
+        "delete_edge" => {
+            Ok(GraphOp::DeleteEdge { a: need_ref(v.get("a"), "a")?, b: need_ref(v.get("b"), "b")? })
+        }
+        "upsert_set" => Ok(GraphOp::UpsertSet {
+            members: need_members(v.get("members"))?,
+            weight: need_prob(v.get("weight"), "\"weight\"")?,
+        }),
+        "delete_set" => Ok(GraphOp::DeleteSet { members: need_members(v.get("members"))? }),
+        "set_weight" => Ok(GraphOp::SetSingletonWeight {
+            r: need_ref(v.get("ref"), "ref")?,
+            weight: need_prob(v.get("weight"), "\"weight\"")?,
+        }),
+        "pair_posterior" => Ok(GraphOp::PairPosterior {
+            a: need_ref(v.get("a"), "a")?,
+            b: need_ref(v.get("b"), "b")?,
+            q: need_prob(v.get("q"), "\"q\"")?,
+        }),
+        other => Err(err(format!("unknown mutation op \"{other}\""))),
+    }
+}
+
+/// Decodes a request's `"ops"` array into a mutation batch: non-empty,
+/// within [`MAX_UPDATE_OPS`], each op tagged and structurally valid.
+/// Errors name the offending index so a failed batch is debuggable.
+pub fn decode_ops(req: &Json) -> Result<Vec<GraphOp>, WireError> {
+    let items = need_arr(req.get("ops"), "ops")?;
+    if items.is_empty() {
+        return Err(err("empty mutation batch"));
+    }
+    if items.len() > MAX_UPDATE_OPS {
+        return Err(err(format!(
+            "batch of {} mutations exceeds the cap of {MAX_UPDATE_OPS}",
+            items.len()
+        )));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| decode_op(v).map_err(|e| err(format!("ops[{i}]: {e}"))))
+        .collect()
+}
+
+/// Encodes the `shard_update` request: the mutation batch plus the
+/// version the worker's shard must advance to (coordinator's current
+/// version + 1 — the worker rejects gaps, and treats a resend of its
+/// already-latest version as the idempotent retry it is).
+pub fn update_request(graph: &str, ops: &[GraphOp], version: u64) -> Json {
+    obj()
+        .field("op", OP_SHARD_UPDATE)
+        .field("graph", graph)
+        .field("version", version)
+        .field("ops", encode_ops(ops))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,8 +610,9 @@ mod tests {
         let pstats: Vec<pegmatch::online::PathStats> =
             decomp.paths.iter().map(|p| pegmatch::online::PathStats::new(&query, p)).collect();
         let req = ShardRequest { query: &query, decomp: &decomp, pstats: &pstats, alpha: 0.25 };
-        let json = retrieve_request("g", &req);
+        let json = retrieve_request("g", 2, &req);
         let parsed = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(decode_version(&parsed).unwrap(), Some(2));
         let (q2, paths, alpha) = decode_retrieve_request(&parsed).unwrap();
         assert_eq!(alpha, 0.25);
         assert_eq!(q2.labels(), query.labels());
@@ -484,7 +682,7 @@ mod tests {
             ShardRequest { query: &q1, decomp: &d1, pstats: &s1, alpha: 0.5 },
             ShardRequest { query: &q2, decomp: &d2, pstats: &s2, alpha: 0.75 },
         ];
-        let json = Json::parse(&retrieve_batch_request("g", &reqs).to_string()).unwrap();
+        let json = Json::parse(&retrieve_batch_request("g", 0, &reqs).to_string()).unwrap();
         let decoded = decode_retrieve_batch_request(&json).unwrap();
         assert_eq!(decoded.len(), 2);
         assert_eq!(decoded[0].2, 0.5);
@@ -551,6 +749,49 @@ mod tests {
         let json = Json::parse(&encode_match(&m, 0.1875).to_string()).unwrap();
         let (_, b) = decode_match(&json).unwrap();
         assert_eq!(b.to_bits(), 0.1875f64.to_bits());
+    }
+
+    #[test]
+    fn mutation_ops_round_trip() {
+        let ops = vec![
+            GraphOp::UpsertRef { r: None, labels: vec![(0, 0.25), (3, 0.75)] },
+            GraphOp::UpsertRef { r: Some(RefId(7)), labels: vec![(1, 1.0)] },
+            GraphOp::DeleteRef { r: RefId(2) },
+            GraphOp::UpsertEdge { a: RefId(0), b: RefId(1), p: 0.125 },
+            GraphOp::DeleteEdge { a: RefId(3), b: RefId(4) },
+            GraphOp::UpsertSet { members: vec![RefId(1), RefId(5)], weight: 0.3 },
+            GraphOp::DeleteSet { members: vec![RefId(1), RefId(5)] },
+            GraphOp::SetSingletonWeight { r: RefId(6), weight: 1.5 },
+            GraphOp::PairPosterior { a: RefId(0), b: RefId(9), q: 0.8 },
+        ];
+        let req = update_request("g", &ops, 3);
+        let parsed = Json::parse(&req.to_string()).unwrap();
+        assert_eq!(decode_version(&parsed).unwrap(), Some(3));
+        let back = decode_ops(&parsed).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn malformed_mutations_are_rejected() {
+        for bad in [
+            r#"{"ops":[]}"#,
+            r#"{"ops":[{"op":"warp"}]}"#,
+            r#"{"ops":[{"op":"upsert_edge","a":0,"b":1,"p":null}]}"#,
+            r#"{"ops":[{"op":"delete_ref"}]}"#,
+            r#"{"ops":[{"op":"upsert_ref","labels":[[99999,1.0]]}]}"#,
+            r#"{"ops":"not an array"}"#,
+            r#"{}"#,
+        ] {
+            let req = Json::parse(bad).unwrap();
+            assert!(decode_ops(&req).is_err(), "{bad} should be rejected");
+        }
+        // Errors carry the offending index.
+        let req = Json::parse(r#"{"ops":[{"op":"delete_ref","ref":0},{"op":"warp"}]}"#).unwrap();
+        let e = decode_ops(&req).unwrap_err().to_string();
+        assert!(e.contains("ops[1]"), "{e}");
+        // A non-integer version is rejected, a missing one means latest.
+        assert!(decode_version(&Json::parse(r#"{"version":1.5}"#).unwrap()).is_err());
+        assert_eq!(decode_version(&Json::parse("{}").unwrap()).unwrap(), None);
     }
 
     #[test]

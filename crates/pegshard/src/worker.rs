@@ -16,33 +16,97 @@
 //! `Shard::retrieve_path` unit the in-process transport
 //! uses — the scatter logic exists once; only the bytes in between
 //! differ.
+//!
+//! # Live updates and versions
+//!
+//! `shard_update` advances a worker's shard through **versions**: the
+//! coordinator broadcasts the mutation batch plus the version the shard
+//! must move to (its current version + 1), and the worker re-derives its
+//! shard from the mutated reference network — rebuilding only when the
+//! dirty ball actually reaches this shard's halo
+//! (`shard::affected_shards`), reusing the previous `Arc<Shard>`
+//! otherwise. Workers keep their **last two** versions so scatters from
+//! sessions that planned against the pre-update snapshot (requests carry
+//! a `version` field) still answer bit-exactly while the coordinator's
+//! successor store takes over. Version bookkeeping is strict: a request
+//! for a version this worker no longer holds (or never reached) is a
+//! structured error, a `shard_update` resend of the already-latest
+//! version is the idempotent retry the transport's redial-and-resend
+//! failure handling can produce, and anything else out of sequence is
+//! rejected — two coordinators cannot silently interleave updates.
 
-use crate::shard::{halo_for, Shard};
+use crate::shard::{affected_shards, halo_for, Shard};
 use crate::store::ShardInfo;
 use crate::transport::ShardReply;
+use graphstore::{GraphOp, RefGraph};
 use pegmatch::error::PegError;
+use pegmatch::model::PegBuilder;
 use pegmatch::offline::OfflineOptions;
 use pegmatch::online::{NodeCandidateCache, PathStats, QueryPath};
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
 use pegpool::ThreadPool;
+use std::sync::{Arc, Mutex};
+
+/// How many shard snapshots a worker keeps live: the latest plus its
+/// predecessor, so in-flight sessions on the pre-update version finish
+/// consistently while new sessions ride the update.
+const KEPT_VERSIONS: usize = 2;
+
+/// The versioned state behind a [`WorkerShard`]: the reference network
+/// and full compiled graph (inputs to the next mutation) plus the recent
+/// shard snapshots. Everything is behind `Arc` so retrieves and update
+/// computation run on snapshots, holding the lock only to clone handles
+/// in and out.
+struct WorkerState {
+    refs: Arc<RefGraph>,
+    full: Arc<Peg>,
+    /// `(version, shard)` pairs, strictly ascending, at most
+    /// [`KEPT_VERSIONS`] entries; the last entry is the latest.
+    versions: Vec<(u64, Arc<Shard>)>,
+}
 
 /// One shard of one graph, held by a worker process.
 pub struct WorkerShard {
-    shard: Shard,
+    opts: OfflineOptions,
     shard_index: usize,
     n_shards: usize,
-    full_nodes: usize,
-    full_edges: usize,
     n_labels: usize,
+    state: Mutex<WorkerState>,
+}
+
+/// What one applied (or idempotently re-acknowledged) `shard_update`
+/// reports back to the coordinator.
+#[derive(Debug)]
+pub struct WorkerUpdate {
+    /// The version the shard is now at.
+    pub version: u64,
+    /// Node count of the mutated full graph (coordinator cross-checks).
+    pub full_nodes: usize,
+    /// Edge count of the mutated full graph.
+    pub full_edges: usize,
+    /// Whether this shard was actually rebuilt (vs. reused because the
+    /// dirty ball never reached its halo).
+    pub rebuilt: bool,
+    /// Dirty-node count of the mutation's compiled delta (0 on an
+    /// idempotent resend, which recomputes nothing).
+    pub n_dirty: usize,
+    /// Size and ownership breakdown of the (possibly reused) shard.
+    pub info: ShardInfo,
+    /// The shard's home-only histogram at the new version; the
+    /// coordinator re-merges all workers' entries into the exact global
+    /// histogram.
+    pub hist: crate::wire::HistogramEntries,
 }
 
 impl WorkerShard {
-    /// Builds shard `shard` of `n_shards` from the **full** graph
-    /// (consumed: the worker keeps only its shard). Uses the same halo
-    /// rule as [`ShardedGraphStore::build`](crate::ShardedGraphStore), so
+    /// Builds shard `shard` of `n_shards` from the reference network and
+    /// the **full** compiled graph (both consumed: they seed version 0
+    /// and future `shard_update`s). Uses the same halo rule as
+    /// [`ShardedGraphStore::build`](crate::ShardedGraphStore), so
     /// worker-built shards are identical to coordinator-built ones.
     pub fn build(
+        refs: RefGraph,
         full: Peg,
         opts: &OfflineOptions,
         shard: usize,
@@ -57,17 +121,18 @@ impl WorkerShard {
             )));
         }
         let halo = halo_for(n_shards, opts.index.max_len.max(1));
-        let full_nodes = full.graph.n_nodes();
-        let full_edges = full.graph.n_edges();
         let n_labels = full.graph.label_table().len();
         let built = Shard::build(&full, opts, shard, n_shards, halo)?;
         Ok(WorkerShard {
-            shard: built,
+            opts: opts.clone(),
             shard_index: shard,
             n_shards,
-            full_nodes,
-            full_edges,
             n_labels,
+            state: Mutex::new(WorkerState {
+                refs: Arc::new(refs),
+                full: Arc::new(full),
+                versions: vec![(0, Arc::new(built))],
+            }),
         })
     }
 
@@ -84,45 +149,87 @@ impl WorkerShard {
     /// Node count of the full graph the shard was cut from (the
     /// coordinator cross-checks this against its own build).
     pub fn full_nodes(&self) -> usize {
-        self.full_nodes
+        self.state.lock().unwrap().full.graph.n_nodes()
     }
 
     /// Edge count of the full graph the shard was cut from.
     pub fn full_edges(&self) -> usize {
-        self.full_edges
+        self.state.lock().unwrap().full.graph.n_edges()
     }
 
-    /// Size and ownership breakdown of this shard.
-    pub fn info(&self) -> ShardInfo {
+    /// The latest shard version this worker holds.
+    pub fn version(&self) -> u64 {
+        self.state.lock().unwrap().versions.last().expect("at least one version").0
+    }
+
+    fn shard_info(shard: &Shard) -> ShardInfo {
         ShardInfo {
-            nodes: self.shard.peg.graph.n_nodes(),
-            owned_nodes: self.shard.n_owned,
-            edges: self.shard.peg.graph.n_edges(),
-            index_entries: self.shard.offline.paths.n_entries(),
-            index_bytes: self.shard.offline.paths.approx_bytes(),
+            nodes: shard.peg.graph.n_nodes(),
+            owned_nodes: shard.n_owned,
+            edges: shard.peg.graph.n_edges(),
+            index_entries: shard.offline.paths.n_entries(),
+            index_bytes: shard.offline.paths.approx_bytes(),
         }
+    }
+
+    fn shard_histogram(shard: &Shard) -> crate::wire::HistogramEntries {
+        shard.offline.paths.histogram_counts_where(&|sp| shard.is_home_stored(&sp.nodes))
+    }
+
+    /// Size and ownership breakdown of this shard (latest version).
+    pub fn info(&self) -> ShardInfo {
+        let shard = self.latest();
+        Self::shard_info(&shard)
     }
 
     /// Home-only histogram counts: each stored path counted once, at its
     /// home shard, so the coordinator's element-wise merge over all
     /// workers reproduces the unsharded histogram exactly.
     pub fn histogram(&self) -> crate::wire::HistogramEntries {
-        self.shard.offline.paths.histogram_counts_where(&|sp| self.shard.is_home_stored(&sp.nodes))
+        let shard = self.latest();
+        Self::shard_histogram(&shard)
     }
 
-    /// Executes one retrieval request: per decomposition path, raw index
+    fn latest(&self) -> Arc<Shard> {
+        self.state.lock().unwrap().versions.last().expect("at least one version").1.clone()
+    }
+
+    /// Resolves a request's shard snapshot: `None` means latest; a
+    /// version this worker no longer holds (superseded twice over) or
+    /// never reached is a structured error.
+    fn shard_at(&self, version: Option<u64>) -> Result<Arc<Shard>, PegError> {
+        let state = self.state.lock().unwrap();
+        match version {
+            None => Ok(state.versions.last().expect("at least one version").1.clone()),
+            Some(v) => {
+                state.versions.iter().find(|(ver, _)| *ver == v).map(|(_, s)| s.clone()).ok_or_else(
+                    || {
+                        let latest = state.versions.last().expect("at least one version").0;
+                        PegError::Invalid(format!(
+                        "shard version {v} not held (worker is at {latest}, keeps {KEPT_VERSIONS})"
+                    ))
+                    },
+                )
+            }
+        }
+    }
+
+    /// Executes one retrieval request against the requested shard
+    /// snapshot (`None` = latest): per decomposition path, raw index
     /// lookup, context pruning, home filtering, globalization, canonical
     /// sort — the identical `Shard::retrieve_path` unit
     /// the in-process transport runs, fanned over this worker's pool.
     ///
     /// Returns `Err` when the query references labels outside this
     /// graph's alphabet (a coordinator/worker mismatch, surfaced as a
-    /// structured reply rather than an index panic).
+    /// structured reply rather than an index panic) or names a version
+    /// this worker no longer holds.
     pub fn retrieve(
         &self,
         query: &QueryGraph,
         paths: &[QueryPath],
         alpha: f64,
+        version: Option<u64>,
         pool: &ThreadPool,
     ) -> Result<ShardReply, PegError> {
         for &l in query.labels() {
@@ -133,11 +240,104 @@ impl WorkerShard {
                 )));
             }
         }
+        let shard = self.shard_at(version)?;
         let pstats: Vec<PathStats> = paths.iter().map(|p| PathStats::new(query, p)).collect();
         let cache = NodeCandidateCache::new();
         let partials = pool.map(paths.len(), |i| {
-            self.shard.retrieve_path(query, &paths[i], &pstats[i], alpha, &cache, pool)
+            shard.retrieve_path(query, &paths[i], &pstats[i], alpha, &cache, pool)
         });
         Ok(ShardReply { paths: partials })
+    }
+
+    /// Applies a mutation batch, advancing this shard to `version`
+    /// (which must be latest + 1). Clone-compute-commit: the heavy work
+    /// runs on snapshots with the lock released, so retrieves are never
+    /// blocked behind an update; the commit re-checks that no concurrent
+    /// update raced ahead.
+    ///
+    /// A resend of the already-latest `version` is acknowledged without
+    /// recomputing (the transport redials and resends once on failure,
+    /// so a worker that applied the batch but lost the connection before
+    /// replying will see the same line again). Any other out-of-sequence
+    /// version is an error — updates cannot skip or interleave.
+    pub fn apply_update(&self, ops: &[GraphOp], version: u64) -> Result<WorkerUpdate, PegError> {
+        let (refs, full, latest_version, latest_shard) = {
+            let state = self.state.lock().unwrap();
+            let (lv, ls) = state.versions.last().expect("at least one version");
+            (state.refs.clone(), state.full.clone(), *lv, ls.clone())
+        };
+        if version == latest_version {
+            return Ok(self.ack_current(&full, version, &latest_shard));
+        }
+        if version != latest_version + 1 {
+            return Err(PegError::Invalid(format!(
+                "shard_update to version {version} out of sequence (worker is at {latest_version})"
+            )));
+        }
+
+        // Compute against the snapshots, lock released.
+        let mut new_refs = (*refs).clone();
+        let touched = new_refs.apply_all(ops).map_err(PegError::Invalid)?;
+        let delta = PegBuilder::new().rebuild(&new_refs, &full, &touched)?;
+        let n_dirty = delta.dirty.iter().filter(|d| **d).count();
+        let halo = halo_for(self.n_shards, self.opts.index.max_len.max(1));
+        let affected =
+            affected_shards(&full.graph, &delta.peg.graph, &delta.dirty, self.n_shards, halo);
+        let rebuilt = affected[self.shard_index];
+        let new_shard = if rebuilt {
+            Arc::new(Shard::build(&delta.peg, &self.opts, self.shard_index, self.n_shards, halo)?)
+        } else {
+            latest_shard
+        };
+        let new_full = Arc::new(delta.peg);
+
+        // Commit, unless a concurrent update raced this one.
+        let mut state = self.state.lock().unwrap();
+        let now = state.versions.last().expect("at least one version").0;
+        if now == version {
+            // A concurrent resend of the same batch committed first; the
+            // graphs are identical by determinism, so acknowledge its.
+            let shard = state.versions.last().expect("at least one version").1.clone();
+            let full = state.full.clone();
+            drop(state);
+            return Ok(self.ack_current(&full, version, &shard));
+        }
+        if now != latest_version {
+            return Err(PegError::Invalid(format!(
+                "shard_update to version {version} lost a race (worker moved to {now})"
+            )));
+        }
+        state.refs = Arc::new(new_refs);
+        state.full = new_full.clone();
+        state.versions.push((version, new_shard.clone()));
+        if state.versions.len() > KEPT_VERSIONS {
+            let excess = state.versions.len() - KEPT_VERSIONS;
+            state.versions.drain(..excess);
+        }
+        drop(state);
+
+        Ok(WorkerUpdate {
+            version,
+            full_nodes: new_full.graph.n_nodes(),
+            full_edges: new_full.graph.n_edges(),
+            rebuilt,
+            n_dirty,
+            info: Self::shard_info(&new_shard),
+            hist: Self::shard_histogram(&new_shard),
+        })
+    }
+
+    /// The idempotent-resend acknowledgement: reports the already-applied
+    /// state without recomputing anything.
+    fn ack_current(&self, full: &Peg, version: u64, shard: &Shard) -> WorkerUpdate {
+        WorkerUpdate {
+            version,
+            full_nodes: full.graph.n_nodes(),
+            full_edges: full.graph.n_edges(),
+            rebuilt: false,
+            n_dirty: 0,
+            info: Self::shard_info(shard),
+            hist: Self::shard_histogram(shard),
+        }
     }
 }

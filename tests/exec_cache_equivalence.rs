@@ -68,9 +68,11 @@ proptest! {
         };
         let exec = Arc::new(ExecCache::new(8 << 20));
         let warm = warm_base
-            .with_plan_cache(Arc::new(PlanCache::new()))
-            .with_exec_cache(exec.clone(), exec.next_epoch());
-        let cold = cold_base.with_plan_cache(Arc::new(PlanCache::new()));
+            .into_builder()
+            .plan_cache(Arc::new(PlanCache::new()))
+            .exec_cache(exec.clone(), exec.next_epoch())
+            .build();
+        let cold = cold_base.into_builder().plan_cache(Arc::new(PlanCache::new())).build();
 
         let base = random_query(QuerySpec::new(4, 4), n_labels, seed);
         let renumbered = permuted_query(&base, seed.wrapping_mul(31) + 7);

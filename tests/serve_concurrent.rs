@@ -343,7 +343,7 @@ fn sharded_server_matches_direct_pipeline_bit_exactly() {
     )
     .unwrap();
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
-    server.insert_sharded_graph("g", store);
+    server.insert_sharded_graph("g", store, None);
     let handle = server.spawn();
     let addr = handle.addr;
 
