@@ -9,14 +9,14 @@
 //! fig7e fig7f fig7g fig7h sql ablation-gamma ablation-backend
 //! ablation-parallel ablation-threads ablation-query-threads
 //! ablation-montecarlo ablation-plan-cache ablation-exec-cache
-//! ablation-mutation ablation-shards ablation-transport serving-mix
-//! saturation all
+//! ablation-mutation ablation-shards ablation-transport ablation-trace
+//! serving-mix saturation all
 //!
 //! `--test` is shorthand for `--scale tiny` (the CI smoke mode).
-//! `saturation`, `ablation-exec-cache`, and `ablation-mutation`
-//! additionally write their machine-readable results to
+//! `saturation`, `ablation-exec-cache`, `ablation-mutation`, and
+//! `ablation-trace` additionally write their machine-readable results to
 //! `BENCH_saturation.json` / `BENCH_exec_cache.json` /
-//! `BENCH_mutation.json` in the working directory.
+//! `BENCH_mutation.json` / `BENCH_trace.json` in the working directory.
 
 use bench::{fmt_duration, fmt_log10, Scale, Table, Workload};
 use datagen::{
@@ -123,6 +123,9 @@ fn main() {
     }
     if run("ablation-transport") {
         ablation_transport(scale);
+    }
+    if run("ablation-trace") {
+        ablation_trace(scale);
     }
     if run("serving-mix") {
         serving_mix(scale);
@@ -1180,6 +1183,147 @@ fn ablation_exec_cache(scale: Scale) {
         .build();
     std::fs::write("BENCH_exec_cache.json", format!("{report}\n")).expect("write BENCH json");
     println!("(wrote BENCH_exec_cache.json)");
+    println!();
+}
+
+/// Tracing overhead: the same query mix run with the tracer off and on
+/// (the `query` op's configuration vs the `explain` op's), through the
+/// identical prepare/session path, over three configurations — local
+/// sequential, local parallel, and a 3-shard in-process scatter. Every
+/// traced answer is checked **bit-exact** against its untraced twin
+/// (tracing must never perturb a result), wall times are min-of-trials
+/// (alternating modes, robust to scheduler noise), and the experiment
+/// panics if any row's overhead exceeds the 5% budget — the whole point
+/// of gating `Span::is_recording()` before every clock read. Results
+/// also land in `BENCH_trace.json` (working directory).
+fn ablation_trace(scale: Scale) {
+    use pegserve::{obj, Json};
+    use pegshard::ShardedGraphStore;
+    use pegtrace::Tracer;
+
+    const MAX_OVERHEAD: f64 = 0.05;
+    println!("## Ablation: request tracing overhead (tracer off vs on, bit-exact)");
+    let (beta, max_len) = (0.3, 2);
+    let w = Workload::synthetic(scale.default_graph(), 0.2, beta, max_len);
+    let n_labels = w.peg.graph.label_table().len();
+    let alpha = 0.5f64;
+    let queries: Vec<QueryGraph> =
+        (0..4u64).map(|s| random_query(QuerySpec::new(5, 6), n_labels, s)).collect();
+    let trials = 5usize;
+
+    let mut t = Table::new(&[
+        "configuration",
+        "runs",
+        "tracer off",
+        "tracer on",
+        "overhead",
+        "spans/query",
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut measure = |name: &str, pipe: &QueryPipeline<'_>, threads: usize| {
+        let opts = QueryOptions { threads, ..Default::default() };
+        // One pass of each query (retrieval caches, allocator, branch
+        // predictors) before anything is timed.
+        for q in &queries {
+            pipe.run(q, alpha, &opts).expect("query runs");
+        }
+        // Runs the whole mix once; when traced, each request gets a
+        // fresh enabled tracer and its spans are drained inside the
+        // timed region — exactly the server's `explain` cost shape.
+        let run_mix = |traced: bool| -> (Duration, Vec<pegmatch::online::QueryResult>, u64) {
+            let mut results = Vec::new();
+            let mut spans = 0u64;
+            let t0 = Instant::now();
+            for (i, q) in queries.iter().enumerate() {
+                let prepared = pipe.prepare(q, alpha, &opts).expect("prepare");
+                let mut session = pipe.session(&prepared, &opts);
+                let tracer =
+                    if traced { Tracer::enabled(i as u64 + 1) } else { Tracer::disabled() };
+                session.set_tracer(tracer.clone());
+                let res = session.run_at(alpha, None).expect("query runs");
+                if traced {
+                    spans += tracer.take().iter().map(|n| n.span_count() as u64).sum::<u64>();
+                }
+                results.push(res);
+            }
+            (t0.elapsed(), results, spans)
+        };
+        let mut off_best = Duration::MAX;
+        let mut on_best = Duration::MAX;
+        let mut off_results = None;
+        let mut on_results = None;
+        let mut spans_per_mix = 0u64;
+        for _ in 0..trials {
+            let (off_wall, off_res, _) = run_mix(false);
+            let (on_wall, on_res, spans) = run_mix(true);
+            off_best = off_best.min(off_wall);
+            on_best = on_best.min(on_wall);
+            off_results.get_or_insert(off_res);
+            on_results.get_or_insert(on_res);
+            spans_per_mix = spans;
+        }
+        let (off_results, on_results) = (off_results.unwrap(), on_results.unwrap());
+        for (k, (traced, plain)) in on_results.iter().zip(&off_results).enumerate() {
+            bench::workloads::assert_matches_bit_identical(
+                &traced.matches,
+                &plain.matches,
+                &format!("{name} query {k}"),
+            );
+        }
+        let overhead = on_best.as_secs_f64() / off_best.as_secs_f64().max(1e-12) - 1.0;
+        let spans_per_query = spans_per_mix as f64 / queries.len() as f64;
+        t.row(vec![
+            name.to_string(),
+            queries.len().to_string(),
+            fmt_duration(off_best),
+            fmt_duration(on_best),
+            format!("{:+.1}%", overhead * 100.0),
+            format!("{spans_per_query:.0}"),
+        ]);
+        rows.push(
+            obj()
+                .field("configuration", name)
+                .field("runs", queries.len())
+                .field("tracer_off_us", off_best.as_micros() as u64)
+                .field("tracer_on_us", on_best.as_micros() as u64)
+                .field("overhead", overhead)
+                .field("spans_per_query", spans_per_query)
+                .field("bit_exact", true)
+                .build(),
+        );
+        assert!(
+            overhead <= MAX_OVERHEAD,
+            "{name}: tracing overhead {:.1}% exceeds the {:.0}% budget \
+             (tracer off {off_best:?}, on {on_best:?})",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0,
+        );
+    };
+
+    let local = QueryPipeline::builder(&w.peg).index(w.index(max_len)).build();
+    measure("local threads=1", &local, 1);
+    measure("local threads=0", &local, 0);
+    let opts = OfflineOptions { index: PathIndexConfig { max_len, beta, ..Default::default() } };
+    let store = ShardedGraphStore::build(w.peg.clone(), &opts, 3).expect("sharded build");
+    let sharded = QueryPipeline::builder(store.peg()).source(&store).build();
+    measure("sharded x3 in-process", &sharded, 0);
+
+    t.print();
+    println!("(every traced row bit-exact vs its untraced twin; gate: overhead <= 5%)");
+    println!();
+
+    let report = obj()
+        .field("experiment", "ablation-trace")
+        .field("scale", format!("{scale:?}").to_lowercase())
+        .field("graph_size", scale.default_graph())
+        .field("alpha", alpha)
+        .field("queries", queries.len())
+        .field("trials", trials)
+        .field("max_overhead", MAX_OVERHEAD)
+        .field("rows", Json::Arr(rows))
+        .build();
+    std::fs::write("BENCH_trace.json", format!("{report}\n")).expect("write BENCH json");
+    println!("(wrote BENCH_trace.json)");
     println!();
 }
 

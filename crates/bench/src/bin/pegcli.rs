@@ -44,6 +44,7 @@ fn main() {
         "serve" => cmd_serve(&flags),
         "shard-worker" => cmd_shard_worker(&flags),
         "client" => cmd_client(&flags),
+        "explain" => cmd_explain(&flags),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -82,6 +83,8 @@ fn usage() {
          \x20          [--worker-timeout-ms MS]   (wire deadline per worker exchange)\n\
          \x20          [--exec-cache-bytes N]   (execution-cache byte budget; default 64 MiB,\n\
          \x20          0 disables; per-graph opt-out via load_graph \"exec_cache\":false)\n\
+         \x20          [--slow-query-ms MS]   (log a structured JSON line to stderr for every\n\
+         \x20          query slower than MS, and count it in the metrics registry)\n\
          \x20          [--debug-sleep]   (honor debug_sleep_ms requests — admission drills)\n\
          \x20 shard-worker --addr HOST:PORT [--max-sessions N] [--queue-depth N]\n\
          \x20          [--serve-mode threads|epoll]\n\
@@ -94,7 +97,14 @@ fn usage() {
          \x20 client   --addr HOST:PORT --clients N [--duration-ms MS] [--batch B]\n\
          \x20          [--pattern P] [--alpha A] [--pretty]   (load generator: N connections\n\
          \x20          fire the query — batched B-per-line when B>1 — for MS; prints q/s and\n\
-         \x20          p50/p99, --pretty adds a per-client latency percentile table)"
+         \x20          p50/p99, --pretty adds a per-client latency percentile table)\n\
+         \x20 client   --addr HOST:PORT --metrics [--poll N] [--interval-ms MS]   (fetch the\n\
+         \x20          server's metrics registry — counters + latency histograms — and render\n\
+         \x20          it as tables; --poll repeats N times, MS apart)\n\
+         \x20 explain  --addr HOST:PORT --pattern P [--graph G] [--alpha A] [--limit N]\n\
+         \x20          [--threads T]   (run the query traced on the server and pretty-print\n\
+         \x20          the plan summary plus the full span tree, flame-style; on a\n\
+         \x20          distributed graph the tree includes worker-side scatter spans)"
     );
 }
 
@@ -257,6 +267,7 @@ fn server_config(flags: &HashMap<String, String>) -> Result<pegserve::ServerConf
             .get("exec-cache-bytes")
             .and_then(|s| s.parse().ok())
             .unwrap_or(pegmatch::online::DEFAULT_EXEC_CACHE_BYTES),
+        slow_query_ms: flags.get("slow-query-ms").and_then(|s| s.parse().ok()),
     })
 }
 
@@ -454,13 +465,208 @@ fn pretty_print_workers(reply: &pegserve::Json) {
     }
 }
 
-/// Latency percentile over a sorted sample (nearest-rank).
-fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
-    if sorted.is_empty() {
-        return std::time::Duration::ZERO;
+fn us(v: u64) -> String {
+    bench::fmt_duration(std::time::Duration::from_micros(v))
+}
+
+/// One span tag value as display text (`k=v` tails on span lines).
+fn tag_text(v: &pegserve::Json) -> String {
+    use pegserve::Json;
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),
+        other => other.to_string(),
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Indented flame-style rendering of one span subtree: name, wall time,
+/// a bar proportional to the root's wall time, then `k=v` tags.
+/// Children follow in attach order — which the tracer guarantees is
+/// stage order locally and shard-index order for scatter units, so the
+/// same query renders the same tree every run.
+fn render_span(node: &pegserve::Json, depth: usize, root_us: u64) {
+    use pegserve::Json;
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+    let elapsed = node.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+    let share = if root_us > 0 { (elapsed as f64 / root_us as f64).min(1.0) } else { 0.0 };
+    let bar = "#".repeat((share * 24.0).round() as usize);
+    let mut tags: Vec<String> = Vec::new();
+    if let Some(pairs) = node.get("tags").and_then(Json::as_arr) {
+        for p in pairs {
+            if let Some(pair) = p.as_arr().filter(|p| p.len() == 2) {
+                if let Some(k) = pair[0].as_str() {
+                    tags.push(format!("{k}={}", tag_text(&pair[1])));
+                }
+            }
+        }
+    }
+    let label = format!("{:indent$}{name}", "", indent = depth * 2);
+    println!("  {label:<30} {:>9}  {bar:<24}  {}", us(elapsed), tags.join(" "));
+    if let Some(children) = node.get("children").and_then(Json::as_arr) {
+        for c in children {
+            render_span(c, depth + 1, root_us);
+        }
+    }
+}
+
+/// Renders a `metrics` reply body: the counter table, then a histogram
+/// table with the registry's snapshot quantiles.
+fn render_metrics(metrics: &pegserve::Json) {
+    use pegserve::Json;
+    if let Some(counters) = metrics.get("counters").and_then(Json::as_arr) {
+        println!("counters:");
+        for c in counters {
+            println!(
+                "  {:<28} {:>12}",
+                c.get("name").and_then(Json::as_str).unwrap_or("?"),
+                c.get("value").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+    }
+    if let Some(hists) = metrics.get("histograms").and_then(Json::as_arr) {
+        println!("histograms:");
+        println!(
+            "  {:<28} {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for h in hists {
+            let num = |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "  {:<28} {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+                h.get("name").and_then(Json::as_str).unwrap_or("?"),
+                num("count"),
+                us(num("mean_us")),
+                us(num("p50_us")),
+                us(num("p90_us")),
+                us(num("p99_us")),
+                us(num("max_us")),
+            );
+        }
+    }
+}
+
+/// `pegcli client --metrics`: fetch the server's metrics registry and
+/// render it; `--poll N` repeats N times, `--interval-ms` apart, so a
+/// terminal can watch histograms fill under load.
+fn cmd_metrics(flags: &HashMap<String, String>, addr: &str) -> Result<(), String> {
+    use pegserve::Json;
+    let poll: usize = flags.get("poll").and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
+    let interval_ms: u64 = flags.get("interval-ms").and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let mut client = pegserve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let request = pegserve::obj().field("op", "metrics").build().to_string();
+    for round in 0..poll {
+        if round > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+        let line = client.request_line(&request).map_err(|e| e.to_string())?;
+        let reply = Json::parse(&line).map_err(|_| "unparseable metrics reply".to_string())?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            println!("{line}");
+            return Err("server replied with a structured error".into());
+        }
+        if poll > 1 {
+            println!("--- poll {}/{poll} ---", round + 1);
+        }
+        match reply.get("metrics") {
+            Some(m) => render_metrics(m),
+            None => println!("{line}"),
+        }
+    }
+    Ok(())
+}
+
+/// `pegcli explain`: run one query traced on the server and render the
+/// reply — match count, plan summary, pipeline stage times, scatter
+/// stats when the graph is distributed, and the full stitched span tree
+/// (worker-side scatter spans included on a distributed graph).
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    use pegserve::Json;
+    let addr = get(flags, "addr")?;
+    let pattern = get(flags, "pattern")?;
+    let mut req = pegserve::obj().field("op", "explain").field("pattern", pattern);
+    if let Some(g) = flags.get("graph") {
+        req = req.field("graph", g.as_str());
+    }
+    if let Some(a) = flags.get("alpha").and_then(|s| s.parse::<f64>().ok()) {
+        req = req.field("alpha", a);
+    }
+    if let Some(n) = flags.get("limit").and_then(|s| s.parse::<u64>().ok()) {
+        req = req.field("limit", n);
+    }
+    if let Some(t) = flags.get("threads").and_then(|s| s.parse::<u64>().ok()) {
+        req = req.field("threads", t);
+    }
+    let mut client = pegserve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let line = client.request_line(&req.build().to_string()).map_err(|e| e.to_string())?;
+    let reply = Json::parse(&line).map_err(|_| "unparseable explain reply".to_string())?;
+    if reply.get("ok") != Some(&Json::Bool(true)) {
+        println!("{line}");
+        let code = reply.get("error").and_then(Json::as_str).unwrap_or("unknown");
+        return Err(format!("server replied with a structured '{code}' error"));
+    }
+    let num = |k: &str| reply.get(k).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "explain: graph '{}', trace {}, {} match(es){} in {}",
+        reply.get("graph").and_then(Json::as_str).unwrap_or("?"),
+        num("trace_id"),
+        num("n"),
+        if reply.get("truncated") == Some(&Json::Bool(true)) { " (truncated)" } else { "" },
+        us(num("elapsed_us")),
+    );
+    if let Some(plan) = reply.get("plan") {
+        let p = |k: &str| plan.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "plan: {} path(s), {} in {}{}",
+            p("n_paths"),
+            if plan.get("from_cache") == Some(&Json::Bool(true)) {
+                "shape-cache hit"
+            } else {
+                "planned fresh"
+            },
+            us(p("plan_us")),
+            plan.get("shape_hash")
+                .and_then(Json::as_str)
+                .map(|h| format!(", shape {h}"))
+                .unwrap_or_default(),
+        );
+    }
+    if let Some(pl) = reply.get("pipeline") {
+        let p = |k: &str| pl.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "pipeline: decompose {}, candidates {}, join {}, reduction {}, generation {}\
+             {}{}",
+            us(p("decompose_us")),
+            us(p("candidates_us")),
+            us(p("join_us")),
+            us(p("reduction_us")),
+            us(p("generation_us")),
+            if pl.get("exec_cache_hit") == Some(&Json::Bool(true)) {
+                " (exec-cache hit)"
+            } else {
+                ""
+            },
+            pl.get("message_rounds")
+                .and_then(Json::as_u64)
+                .map(|r| format!(", {r} message round(s)"))
+                .unwrap_or_default(),
+        );
+    }
+    if let Some(sc) = reply.get("scatter") {
+        let p = |k: &str| sc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "scatter: per-shard pruned {}, {} distinct, {} duplicate(s) dropped, retrieval {}",
+            sc.get("per_shard_pruned").map(|v| v.to_string()).unwrap_or_default(),
+            p("pruned_distinct"),
+            p("duplicates_dropped"),
+            us(p("retrieve_us")),
+        );
+    }
+    if let Some(span) = reply.get("span") {
+        let root_us = span.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+        println!("span tree:");
+        render_span(span, 0, root_us);
+    }
+    Ok(())
 }
 
 /// `pegcli client --clients N`: the load-generator mode driving the
@@ -468,7 +674,10 @@ fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
 /// connection and fires the same query (or `query_batch` of `--batch`
 /// copies) back-to-back for `--duration-ms`, counting structured
 /// rejections (`overloaded`/`timeout`) separately from transport
-/// failures. Per-client latency percentiles render with `--pretty`.
+/// failures. Latencies accumulate in a [`pegtrace::Histogram`] per
+/// client — the same log-scale histogram the server reports — merged
+/// for the aggregate line; per-client percentiles render with
+/// `--pretty`.
 fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), String> {
     let clients: usize = get(flags, "clients")?.parse().map_err(|_| "bad --clients".to_string())?;
     if clients == 0 {
@@ -499,7 +708,7 @@ fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), Strin
     };
 
     struct ClientRun {
-        latencies: Vec<std::time::Duration>,
+        latencies: pegtrace::Histogram,
         queries: u64,
         rejected: u64,
         transport_errors: u64,
@@ -512,7 +721,7 @@ fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), Strin
                 let request = request.as_str();
                 scope.spawn(move || {
                     let mut run = ClientRun {
-                        latencies: Vec::new(),
+                        latencies: pegtrace::Histogram::new(),
                         queries: 0,
                         rejected: 0,
                         transport_errors: 0,
@@ -525,7 +734,7 @@ fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), Strin
                         let t = std::time::Instant::now();
                         match client.request_line(request) {
                             Ok(reply) => {
-                                run.latencies.push(t.elapsed());
+                                run.latencies.record(t.elapsed());
                                 if reply.contains("\"ok\":true") {
                                     run.queries += batch as u64;
                                 } else {
@@ -552,9 +761,10 @@ fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), Strin
     });
     let wall = t0.elapsed();
 
-    let mut all: Vec<std::time::Duration> =
-        runs.iter().flat_map(|r| r.latencies.iter().copied()).collect();
-    all.sort_unstable();
+    let all = pegtrace::Histogram::new();
+    for r in &runs {
+        all.merge_from(&r.latencies);
+    }
     let queries: u64 = runs.iter().map(|r| r.queries).sum();
     let rejected: u64 = runs.iter().map(|r| r.rejected).sum();
     let errors: u64 = runs.iter().map(|r| r.transport_errors).sum();
@@ -564,9 +774,9 @@ fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), Strin
          ({qps:.1}/s), {rejected} rejected, {errors} transport error(s), \
          p50 {} p99 {} over {} exchange(s)",
         duration_ms,
-        bench::fmt_duration(percentile(&all, 0.50)),
-        bench::fmt_duration(percentile(&all, 0.99)),
-        all.len(),
+        us(all.quantile_us(0.50)),
+        us(all.quantile_us(0.99)),
+        all.count(),
     );
     if pretty {
         eprintln!(
@@ -574,17 +784,16 @@ fn cmd_load_gen(flags: &HashMap<String, String>, addr: &str) -> Result<(), Strin
             "client", "exchanges", "rejected", "p50", "p90", "p99", "max"
         );
         for (i, r) in runs.iter().enumerate() {
-            let mut lat = r.latencies.clone();
-            lat.sort_unstable();
+            let s = r.latencies.snapshot();
             eprintln!(
                 "  {:>6}  {:>9}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}",
                 i,
-                lat.len(),
+                s.count,
                 r.rejected,
-                bench::fmt_duration(percentile(&lat, 0.50)),
-                bench::fmt_duration(percentile(&lat, 0.90)),
-                bench::fmt_duration(percentile(&lat, 0.99)),
-                bench::fmt_duration(lat.last().copied().unwrap_or_default()),
+                us(s.p50_us),
+                us(s.p90_us),
+                us(s.p99_us),
+                us(s.max_us),
             );
         }
     }
@@ -598,6 +807,9 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = get(flags, "addr")?;
     if flags.contains_key("clients") {
         return cmd_load_gen(flags, addr);
+    }
+    if flags.contains_key("metrics") {
+        return cmd_metrics(flags, addr);
     }
     let pretty = flags.contains_key("pretty");
     let mut client = pegserve::Client::connect(addr).map_err(|e| e.to_string())?;

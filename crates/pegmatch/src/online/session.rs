@@ -26,6 +26,7 @@ use crate::online::source::CandidateSource;
 use crate::online::{log10_product, PipelineStats, QueryOptions, QueryResult};
 use crate::query::QNode;
 use crate::Peg;
+use pegtrace::{Span, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,6 +59,11 @@ pub struct QuerySession<'a, 'p> {
     /// Shared execution cache + this graph's epoch, when the owning
     /// pipeline has one attached (see [`crate::online::exec_cache`]).
     exec: Option<(Arc<ExecCache>, u64)>,
+    /// The request tracer stage spans emit into. Disabled by default — a
+    /// disabled tracer's spans are inert, so the emission sites cost
+    /// nothing unless an embedder opted the session in via
+    /// [`QuerySession::set_tracer`].
+    tracer: Tracer,
     base: Option<SessionBase>,
 }
 
@@ -69,12 +75,29 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         opts: QueryOptions,
         exec: Option<(Arc<ExecCache>, u64)>,
     ) -> Self {
-        Self { peg, source, prepared, opts, exec, base: None }
+        Self { peg, source, prepared, opts, exec, tracer: Tracer::disabled(), base: None }
     }
 
     /// The plan this session executes.
     pub fn prepared(&self) -> &'p PreparedQuery {
         self.prepared
+    }
+
+    /// Attaches a tracer: subsequent [`QuerySession::rebase`] /
+    /// [`QuerySession::run_at`] calls emit one root-level span per stage
+    /// (`"retrieve"`, `"join"`, `"reduce"`, `"generate"`) into it, in
+    /// chronological order — a multi-rebase top-k run simply appends more
+    /// stage spans. The embedder (e.g. the serving layer's `explain`
+    /// handler) assembles the request-level root around
+    /// [`Tracer::take`]'s output.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The session's tracer (disabled unless [`QuerySession::set_tracer`]
+    /// swapped one in).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Threshold the base state is converged at (`None` before any run).
@@ -116,8 +139,10 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         // `alpha` by keep-bound — bit-identical survivors either way (see
         // `crate::online::exec_cache`), so the rest of the pipeline cannot
         // observe the difference.
+        let span = self.tracer.span("retrieve");
+        span.tag("alpha", alpha);
         let t = Instant::now();
-        let (sets, exec_hit) = self.retrieve_sets(alpha, &pool)?;
+        let (sets, exec_hit) = self.retrieve_sets(alpha, &span, &pool)?;
         for cs in &sets {
             stats.raw_counts.push(cs.raw_count);
             stats.context_counts.push(cs.matches.len());
@@ -126,13 +151,22 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         stats.exec_cache_hit = exec_hit;
         stats.log10_ss_index = log10_product(&stats.raw_counts);
         stats.log10_ss_context = log10_product(&stats.context_counts);
+        if span.is_recording() {
+            span.tag("paths", stats.n_paths);
+            span.tag("raw", stats.raw_counts.iter().sum::<usize>());
+            span.tag("pruned", stats.context_counts.iter().sum::<usize>());
+        }
+        drop(span);
 
         // 3. Join-candidates / k-partite construction.
+        let span = self.tracer.span("join");
         let t = Instant::now();
         let mut kp = build_kpartite(self.peg, query, decomp, &sets, alpha, &pool);
         stats.join_time = t.elapsed();
+        drop(span);
 
         // 4. Joint search-space reduction to fixpoint.
+        let span = self.tracer.span("reduce");
         let t = Instant::now();
         if self.opts.use_reduction {
             let r = kp.reduce(alpha, &self.reduce_opts(&pool));
@@ -144,6 +178,10 @@ impl<'a, 'p> QuerySession<'a, 'p> {
             stats.log10_ss_after_structure = kp.log10_search_space();
         }
         stats.reduction_time = t.elapsed();
+        span.tag("rounds", stats.message_rounds);
+        span.tag("removed_structure", stats.removed_structure);
+        span.tag("removed_upperbound", stats.removed_upperbound);
+        drop(span);
         stats.final_counts = kp.alive_counts();
         stats.log10_ss_final = kp.log10_search_space();
 
@@ -166,6 +204,7 @@ impl<'a, 'p> QuerySession<'a, 'p> {
     fn retrieve_sets(
         &self,
         alpha: f64,
+        span: &Span,
         pool: &pegpool::ThreadPool,
     ) -> Result<(Vec<CandidateSet>, bool), PegError> {
         let prepared = self.prepared;
@@ -177,14 +216,30 @@ impl<'a, 'p> QuerySession<'a, 'p> {
             let paths: Vec<&[QNode]> = decomp.paths.iter().map(|p| p.nodes.as_slice()).collect();
             let key = ExecKey::new(*epoch, canon, &paths, self.source.max_len(), beta, floor);
             if let Some(cached) = cache.get(&key) {
-                return Ok((Self::filter_sets(&cached, alpha), true));
+                // A hit skips the source entirely, but the re-prune of
+                // the floor lists is real stage-2 work: time it
+                // explicitly so `candidates_time` reports the re-filter
+                // cost rather than reading as (near) zero retrieval.
+                let t0 = Instant::now();
+                let sets = Self::filter_sets(&cached, alpha);
+                span.tag("cache", "hit");
+                span.tag("floor", floor);
+                let filter = span.child_done("filter", t0.elapsed());
+                filter.tag("kept", sets.iter().map(|cs| cs.matches.len()).sum::<usize>());
+                return Ok((sets, true));
             }
-            let sets = self.source.retrieve(query, decomp, &prepared.pstats, floor, pool)?;
+            span.tag("cache", "miss");
+            span.tag("floor", floor);
+            let sets = self.source.retrieve(query, decomp, &prepared.pstats, floor, span, pool)?;
             let sets = Arc::new(sets);
             cache.insert(key, Arc::clone(&sets));
-            return Ok((Self::filter_sets(&sets, alpha), false));
+            let t0 = Instant::now();
+            let filtered = Self::filter_sets(&sets, alpha);
+            let filter = span.child_done("filter", t0.elapsed());
+            filter.tag("kept", filtered.iter().map(|cs| cs.matches.len()).sum::<usize>());
+            return Ok((filtered, false));
         }
-        let sets = self.source.retrieve(query, decomp, &prepared.pstats, alpha, pool)?;
+        let sets = self.source.retrieve(query, decomp, &prepared.pstats, alpha, span, pool)?;
         Ok((sets, false))
     }
 
@@ -238,6 +293,9 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         // exactly), so no copy is made.
         let strictly_above = !needs_base && alpha > base.alpha + EPS;
         let refined: Option<KPartiteGraph> = if strictly_above && self.opts.use_reduction {
+            let span = self.tracer.span("reduce");
+            span.tag("incremental", true);
+            span.tag("base_alpha", base.alpha);
             let t = Instant::now();
             let mut kp = base.kp.clone();
             let r = kp.reduce(alpha, &self.reduce_opts(&pool));
@@ -248,6 +306,7 @@ impl<'a, 'p> QuerySession<'a, 'p> {
             stats.reduction_time = t.elapsed();
             stats.final_counts = kp.alive_counts();
             stats.log10_ss_final = kp.log10_search_space();
+            span.tag("rounds", r.rounds);
             Some(kp)
         } else {
             if !needs_base {
@@ -263,6 +322,9 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         let kp = refined.as_ref().unwrap_or(&base.kp);
 
         // 5. Match generation over the plan's join order (seed-parallel).
+        let span = self.tracer.span("generate");
+        span.tag("alpha", alpha);
+        span.tag("base_reused", stats.base_reused);
         let t = Instant::now();
         let (matches, truncated) = generate_matches_limited(
             self.peg,
@@ -277,6 +339,9 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         stats.generation_time = t.elapsed();
         stats.n_matches = matches.len();
         stats.total_time = t_total.elapsed();
+        span.tag("matches", stats.n_matches);
+        span.tag("truncated", truncated);
+        drop(span);
 
         Ok(QueryResult { matches, truncated, stats })
     }

@@ -41,6 +41,8 @@ use crate::Peg;
 use graphstore::Label;
 use pathindex::PathMatch;
 use pegpool::ThreadPool;
+use pegtrace::Span;
+use std::time::{Duration, Instant};
 
 /// Where the online pipeline gets per-path candidates and planning
 /// estimates. Implementations must be shareable across concurrent
@@ -77,12 +79,22 @@ pub trait CandidateSource: Sync {
     /// source whose backing store is unreachable returns
     /// [`PegError::ShardUnavailable`] (within its transport deadline —
     /// never a hang) rather than partial lists.
+    ///
+    /// `span` is the caller's open `"retrieve"` span: sources attach one
+    /// pre-measured child per retrieval unit (per path locally; per
+    /// `(shard, path)` or per worker subtree when sharded) in
+    /// deterministic index order *after* any parallel join — never from
+    /// pool threads, whose arrival order is racy. Callers without a
+    /// tracer pass [`Span::disabled`]; sources must skip even the clock
+    /// reads then, so always-on plumbing costs nothing when tracing is
+    /// off.
     fn retrieve(
         &self,
         query: &QueryGraph,
         decomp: &Decomposition,
         pstats: &[PathStats],
         alpha: f64,
+        span: &Span,
         pool: &ThreadPool,
     ) -> Result<Vec<CandidateSet>, PegError>;
 }
@@ -122,24 +134,30 @@ impl CandidateSource for LocalSource<'_> {
         decomp: &Decomposition,
         pstats: &[PathStats],
         alpha: f64,
+        span: &Span,
         pool: &ThreadPool,
     ) -> Result<Vec<CandidateSet>, PegError> {
         // Raw retrieval in parallel across paths; sorted into canonical
         // order at the source so downstream state never depends on index
         // insertion order. The raw sets are consumed in place: survivors
-        // are compacted without clones.
-        let raw: Vec<Vec<PathMatch>> = pool.map(decomp.paths.len(), |i| {
+        // are compacted without clones. Timing is gated on the span so a
+        // disabled tracer costs no clock reads; pool threads only measure
+        // locally — child spans attach below, in path index order.
+        let recording = span.is_recording();
+        let raw: Vec<(Vec<PathMatch>, Duration)> = pool.map(decomp.paths.len(), |i| {
+            let t0 = recording.then(Instant::now);
             let labels = decomp.paths[i].labels(query);
             let mut matches = self.offline.path_matches(self.peg, &labels, alpha);
             sort_candidates(&mut matches);
-            matches
+            (matches, t0.map(|t| t.elapsed()).unwrap_or_default())
         });
         let node_cache = NodeCandidateCache::new();
         Ok(raw
             .into_iter()
             .enumerate()
-            .map(|(i, mut raw)| {
+            .map(|(i, (mut raw, lookup))| {
                 let raw_count = raw.len();
+                let t0 = recording.then(Instant::now);
                 let bounds = candidates::prune_candidates_scored(
                     self.peg,
                     self.offline,
@@ -151,6 +169,13 @@ impl CandidateSource for LocalSource<'_> {
                     pool,
                     &mut raw,
                 );
+                if recording {
+                    let unit = span
+                        .child_done("path", lookup + t0.map(|t| t.elapsed()).unwrap_or_default());
+                    unit.tag("path", i);
+                    unit.tag("raw", raw_count);
+                    unit.tag("pruned", raw.len());
+                }
                 CandidateSet { matches: raw, bounds, raw_count }
             })
             .collect())
@@ -176,7 +201,7 @@ mod tests {
         let d = decompose(&q, 2, &|_| 1.0, DecompStrategy::CostBased).unwrap();
         let pstats: Vec<PathStats> = d.paths.iter().map(|p| PathStats::new(&q, p)).collect();
         let pool = pegpool::pool_with(1);
-        let sets = src.retrieve(&q, &d, &pstats, 0.01, &pool).unwrap();
+        let sets = src.retrieve(&q, &d, &pstats, 0.01, &Span::disabled(), &pool).unwrap();
         assert_eq!(sets.len(), d.paths.len());
         for cs in &sets {
             assert!(cs.raw_count >= cs.matches.len());

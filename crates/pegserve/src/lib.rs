@@ -39,6 +39,7 @@ pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod server;
+pub mod statsjson;
 
 /// The protocol's JSON value, re-exported from [`pegwire`] (it moved
 /// below this crate so the shard transport can speak the same encoding

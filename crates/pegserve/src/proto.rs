@@ -397,6 +397,25 @@ pub struct Prepare {
     pub alpha: f64,
 }
 
+/// A validated `explain`: a threshold query that additionally returns
+/// its plan summary, pipeline/scatter statistics, and the full request
+/// span tree (worker-side scatter spans included on a distributed
+/// graph). Same fields as `query`; the matches themselves ride along so
+/// one request answers "what did it do" and "what did it find" together.
+pub struct Explain {
+    /// Target graph (`None` resolves the only loaded graph).
+    pub graph: Option<String>,
+    /// Pattern text, parsed against the graph's label table by the
+    /// handler.
+    pub pattern: String,
+    /// Probability threshold.
+    pub alpha: f64,
+    /// Match-count cap, clamped to [`MAX_RESULT_MATCHES`].
+    pub limit: usize,
+    /// Execution lanes, clamped to the machine (0 = all cores).
+    pub threads: usize,
+}
+
 /// A validated threshold `query`.
 pub struct Query {
     /// Target graph (`None` resolves the only loaded graph).
@@ -543,6 +562,10 @@ pub struct ShardRetrieve {
     pub paths: Vec<QueryPath>,
     /// Probability threshold.
     pub alpha: f64,
+    /// Coordinator's trace id, when this scatter leg belongs to a traced
+    /// request: the worker times its per-path retrieval and ships the
+    /// span subtree back in the reply's `"span"` field.
+    pub trace_id: Option<u64>,
 }
 
 impl ShardRetrieve {
@@ -553,7 +576,9 @@ impl ShardRetrieve {
         let threads = worker_threads(req)?;
         let (query, paths, alpha) = shard_wire::decode_retrieve_request(req)
             .map_err(|e| bad(format!("bad shard_retrieve: {e}")))?;
-        Ok(ShardRetrieve { graph, version, threads, query, paths, alpha })
+        let trace_id = shard_wire::decode_trace_id(req)
+            .map_err(|e| bad(format!("bad shard_retrieve: {e}")))?;
+        Ok(ShardRetrieve { graph, version, threads, query, paths, alpha, trace_id })
     }
 }
 
@@ -623,8 +648,13 @@ pub enum Request {
     QueryTopk(QueryTopk),
     /// Mutate a live graph in place (epoch-bumping).
     UpdateGraph(UpdateGraph),
+    /// Threshold query + plan summary + full span tree.
+    Explain(Explain),
     /// Server-wide counters.
     Stats,
+    /// Process-wide metrics registry dump (counters + latency
+    /// histograms).
+    Metrics,
     /// Stop serving.
     Shutdown,
     /// Worker: rebuild and hold one shard from a spec.
@@ -685,11 +715,23 @@ impl Request {
                 debug_sleep_ms: field_debug_sleep(req)?,
             })),
             "query_batch" => QueryBatch::decode(req).map(Request::QueryBatch),
+            "explain" => Ok(Request::Explain(Explain {
+                graph: field_graph(req)?,
+                pattern: req
+                    .get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing \"pattern\""))?
+                    .to_string(),
+                alpha: field_f64(req, "alpha", 0.5)?,
+                limit: field_limit(req)?,
+                threads: query_threads(req)?,
+            })),
             "update_graph" => Ok(Request::UpdateGraph(UpdateGraph {
                 graph: field_graph(req)?,
                 ops: decode_mutation_ops(req)?,
             })),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             shard_wire::OP_SHARD_LOAD => ShardLoad::decode(req).map(Request::ShardLoad),
             shard_wire::OP_SHARD_RETRIEVE => ShardRetrieve::decode(req).map(Request::ShardRetrieve),

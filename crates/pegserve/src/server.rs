@@ -37,10 +37,12 @@
 //! | `query_batch`    | `graph?`, `queries` (array of `{pattern, alpha?, limit?}`), `threads?` |
 //! | `query_topk`     | `graph?`, `pattern`, `k?`, `min_alpha?`, `threads?`, `debug_sleep_ms?` |
 //! | `update_graph`   | `graph?`, `ops` (array of mutation ops — see [`crate::proto`])    |
+//! | `explain`        | `graph?`, `pattern`, `alpha?`, `limit?`, `threads?` — query + plan summary + pipeline/scatter stats + full span tree |
 //! | `stats`          | —                                                                 |
+//! | `metrics`        | — (process metrics registry dump: counters + latency histograms)  |
 //! | `shutdown`       | —                                                                 |
 //! | `shard_load`     | `graph?`, generator spec (`kind`/`size`/`seed?`/`uncertainty?`/`max_len?`/`beta?`), `shard`, `n_shards` |
-//! | `shard_retrieve` | `graph`, `alpha`, `labels`, `edges`, `paths`, `threads?`, `version?` |
+//! | `shard_retrieve` | `graph`, `alpha`, `labels`, `edges`, `paths`, `threads?`, `version?`, `trace_id?` (reply gains `span`) |
 //! | `shard_retrieve_batch` | `graph`, `queries` (array of retrieve bodies), `threads?`, `version?` |
 //! | `shard_update`   | `graph`, `version`, `ops`                                         |
 //! | `shard_unload`   | `graph`                                                           |
@@ -119,9 +121,10 @@
 //! deterministically (tests, drills), not part of the query semantics —
 //! and is honored only when [`ServerConfig::allow_debug_sleep`] is set.
 
-use crate::admission::{Admission, AdmissionStats};
+use crate::admission::Admission;
 use crate::json::{obj, Json};
 use crate::proto::{self, ProtoError};
+use crate::statsjson;
 use graphstore::RefGraph;
 use pegmatch::error::PegError;
 use pegmatch::model::PegBuilder;
@@ -134,6 +137,7 @@ use pegmatch::Peg;
 use pegshard::{
     wire as shard_wire, ShardedGraphStore, TcpTransport, TcpTransportConfig, WorkerShard,
 };
+use pegtrace::{MetricsRegistry, SpanNode, Tracer};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -206,6 +210,11 @@ pub struct ServerConfig {
     /// floor threshold). `0` disables it. Per-graph participation is a
     /// `load_graph` knob (`"exec_cache": false` opts a graph out).
     pub exec_cache_bytes: usize,
+    /// Slow-query threshold: a query op whose execution (inside its
+    /// admission permit) takes at least this many milliseconds is logged
+    /// to stderr as one structured JSON line (`pegcli serve
+    /// --slow-query-ms`). `None` disables the log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -218,6 +227,7 @@ impl Default for ServerConfig {
             allow_debug_sleep: false,
             serve_mode: ServeMode::default(),
             exec_cache_bytes: DEFAULT_EXEC_CACHE_BYTES,
+            slow_query_ms: None,
         }
     }
 }
@@ -333,6 +343,17 @@ pub(crate) struct ServerState {
     pub(crate) max_connections: usize,
     pub(crate) shutdown: AtomicBool,
     queries_served: AtomicU64,
+    /// This server's metrics registry (per instance, not process-global:
+    /// tests and embedders run several servers in one process and each
+    /// `metrics` reply must describe only its own). Dumped by the
+    /// `metrics` op in [`statsjson::metrics_json`]'s schema.
+    metrics: MetricsRegistry,
+    /// Trace-id source for `explain` and any future traced op. A plain
+    /// counter, not a random id: ids only need to be unique per server,
+    /// and they must stay below 2^53 to survive the JSON number type.
+    trace_ids: AtomicU64,
+    /// Slow-query threshold ([`ServerConfig::slow_query_ms`]).
+    slow_query: Option<Duration>,
     addr: SocketAddr,
     /// Worker threads the epoll front end dispatches requests to — sized
     /// so admission (not the executor) is what queues compute: every
@@ -386,6 +407,9 @@ impl Server {
             max_connections: config.max_connections.max(1),
             shutdown: AtomicBool::new(false),
             queries_served: AtomicU64::new(0),
+            metrics: MetricsRegistry::new(),
+            trace_ids: AtomicU64::new(1),
+            slow_query: config.slow_query_ms.map(Duration::from_millis),
             addr,
             executor_threads: config.max_sessions + config.queue_depth + 2,
         });
@@ -772,7 +796,12 @@ fn dispatch_parsed(state: &ServerState, req: &Json) -> Json {
         R::QueryBatch(r) => op_query_batch(state, r),
         R::QueryTopk(r) => op_query_topk(state, r),
         R::UpdateGraph(r) => op_update_graph(state, r),
+        R::Explain(r) => op_explain(state, r),
         R::Stats => Ok(op_stats(state)),
+        R::Metrics => Ok(obj()
+            .field("ok", true)
+            .field("metrics", statsjson::metrics_json(&state.metrics))
+            .build()),
         R::ShardLoad(r) => op_shard_load(state, r),
         R::ShardRetrieve(r) => op_shard_retrieve(state, r),
         R::ShardRetrieveBatch(r) => op_shard_retrieve_batch(state, r),
@@ -930,9 +959,37 @@ fn op_shard_retrieve(state: &ServerState, r: &proto::ShardRetrieve) -> Result<Js
     let ws = lookup_worker_shard(state, &r.graph)?;
     let _permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
     let pool = pegpool::pool_with(r.threads);
-    let reply =
-        ws.retrieve(&r.query, &r.paths, r.alpha, r.version, &pool).map_err(peg_error_reply)?;
-    Ok(shard_wire::encode_retrieve_reply(&reply))
+    let t0 = Instant::now();
+    // A request carrying the coordinator's trace id gets its retrieval
+    // timed under a worker-side "shard_retrieve" root span, shipped back
+    // in the reply's "span" field; the coordinator's transport grafts it
+    // into the live request tree for an end-to-end distributed trace.
+    // Untraced requests (the common case, and every batch) skip even the
+    // per-path clock reads.
+    let tracer = match r.trace_id {
+        Some(id) => Tracer::enabled(id),
+        None => Tracer::disabled(),
+    };
+    let span = tracer.span("shard_retrieve");
+    span.tag("shard", ws.shard_index());
+    span.tag("alpha", r.alpha);
+    span.tag("n_paths", r.paths.len());
+    let reply = ws
+        .retrieve_traced(&r.query, &r.paths, r.alpha, r.version, &span, &pool)
+        .map_err(peg_error_reply)?;
+    drop(span);
+    state.metrics.histogram("serve.shard_retrieve_us").record(t0.elapsed());
+    let encoded = shard_wire::encode_retrieve_reply(&reply);
+    Ok(match tracer.take().pop() {
+        Some(node) => match encoded {
+            Json::Obj(mut fields) => {
+                fields.push(("span".to_string(), shard_wire::encode_span(&node)));
+                Json::Obj(fields)
+            }
+            other => other,
+        },
+        None => encoded,
+    })
 }
 
 fn lookup_worker_shard(state: &ServerState, name: &str) -> Result<Arc<WorkerShard>, Reply> {
@@ -1207,6 +1264,44 @@ fn op_prepare(state: &ServerState, r: &proto::Prepare) -> Result<Json, Reply> {
         .build())
 }
 
+/// Per-query bookkeeping shared by every query-shaped op: bumps the
+/// served counter, records the op's latency histogram in the metrics
+/// registry, and — when the server has a slow-query threshold and this
+/// query crossed it — writes one structured JSON line to stderr, so an
+/// operator can grep offenders out of a server log without any
+/// proportional overhead on the fast path.
+struct QueryNote<'a> {
+    op: &'a str,
+    graph: &'a str,
+    pattern: &'a str,
+    alpha: f64,
+    n_matches: usize,
+    /// Queries answered under this note (>1 for batches).
+    count: u64,
+}
+
+fn note_query(state: &ServerState, note: QueryNote<'_>, elapsed: Duration) {
+    state.queries_served.fetch_add(note.count, Ordering::Relaxed);
+    state.metrics.counter("serve.queries").add(note.count);
+    state.metrics.histogram(&format!("serve.{}_us", note.op)).record(elapsed);
+    if let Some(threshold) = state.slow_query {
+        if elapsed >= threshold {
+            state.metrics.counter("serve.slow_queries").incr();
+            let line = obj()
+                .field("slow_query", true)
+                .field("op", note.op)
+                .field("graph", note.graph)
+                .field("pattern", note.pattern)
+                .field("alpha", note.alpha)
+                .field("elapsed_us", elapsed.as_micros() as u64)
+                .field("threshold_ms", threshold.as_millis() as u64)
+                .field("n", note.n_matches)
+                .build();
+            eprintln!("{line}");
+        }
+    }
+}
+
 fn op_query(state: &ServerState, r: &proto::Query) -> Result<Json, Reply> {
     let entry = resolve_graph(state, r.graph.as_deref())?;
     let query = parse_request_query(&entry, &r.pattern)?;
@@ -1223,7 +1318,18 @@ fn op_query(state: &ServerState, r: &proto::Query) -> Result<Json, Reply> {
     let result = session.run_at(r.alpha, Some(r.limit)).map_err(peg_error_reply)?;
     let elapsed = t0.elapsed();
     drop(permit);
-    state.queries_served.fetch_add(1, Ordering::Relaxed);
+    note_query(
+        state,
+        QueryNote {
+            op: "query",
+            graph: &entry.name,
+            pattern: &r.pattern,
+            alpha: r.alpha,
+            n_matches: result.matches.len(),
+            count: 1,
+        },
+        elapsed,
+    );
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
@@ -1250,13 +1356,103 @@ fn op_query_topk(state: &ServerState, r: &proto::QueryTopk) -> Result<Json, Repl
         pipe.run_topk(&query, r.k, r.min_alpha, &opts).map_err(peg_error_reply)?;
     let elapsed = t0.elapsed();
     drop(permit);
-    state.queries_served.fetch_add(1, Ordering::Relaxed);
+    note_query(
+        state,
+        QueryNote {
+            op: "query_topk",
+            graph: &entry.name,
+            pattern: &r.pattern,
+            alpha: r.min_alpha,
+            n_matches: result.matches.len(),
+            count: 1,
+        },
+        elapsed,
+    );
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
         .field("n", result.matches.len())
         .field("truncated", result.truncated)
         .field("elapsed_us", elapsed.as_micros() as u64)
+        .field("matches", matches_json(&result))
+        .build())
+}
+
+/// `explain`: a threshold query that additionally reports *how* it ran —
+/// plan summary, stage-by-stage pipeline statistics, scatter statistics
+/// (sharded graphs), and the full request span tree, worker-side scatter
+/// spans included when the graph is distributed.
+///
+/// The span tree is assembled here: the handler times `prepare`
+/// server-side (sessions only see prepared plans) and grafts the
+/// session's root-level stage spans — `retrieve` / `join` / `reduce` /
+/// `generate`, emitted in chronological order — under one `"request"`
+/// root whose elapsed time covers prepare + execution. Everything except
+/// `elapsed_us` values and the `trace_id` is a deterministic function of
+/// the request, which `tests/trace_determinism.rs` pins across thread
+/// counts, shard counts, and both serve modes.
+fn op_explain(state: &ServerState, r: &proto::Explain) -> Result<Json, Reply> {
+    let entry = resolve_graph(state, r.graph.as_deref())?;
+    let query = parse_request_query(&entry, &r.pattern)?;
+    let opts = QueryOptions { threads: r.threads, ..Default::default() };
+    let permit = state.admission.admit().map_err(|e| error_reply(e.code(), e))?;
+    let trace_id = state.trace_ids.fetch_add(1, Ordering::Relaxed);
+    let tracer = Tracer::enabled(trace_id);
+    let pipe = graph_pipeline(state, &entry);
+    let t0 = Instant::now();
+    let prepared = pipe.prepare(&query, r.alpha, &opts).map_err(peg_error_reply)?;
+    let prepare_elapsed = t0.elapsed();
+    let mut session = pipe.session(&prepared, &opts);
+    session.set_tracer(tracer.clone());
+    let result = session.run_at(r.alpha, Some(r.limit)).map_err(peg_error_reply)?;
+    let elapsed = t0.elapsed();
+    drop(permit);
+    note_query(
+        state,
+        QueryNote {
+            op: "explain",
+            graph: &entry.name,
+            pattern: &r.pattern,
+            alpha: r.alpha,
+            n_matches: result.matches.len(),
+            count: 1,
+        },
+        elapsed,
+    );
+
+    let mut root = SpanNode::new("request", elapsed)
+        .with_tag("op", "explain")
+        .with_tag("graph", entry.name.as_str())
+        .with_tag("alpha", r.alpha)
+        .with_tag("shards", entry.store.n_shards());
+    root.children.push(
+        SpanNode::new("prepare", prepare_elapsed)
+            .with_tag("from_cache", prepared.from_cache())
+            .with_tag("n_paths", prepared.n_paths()),
+    );
+    root.children.extend(tracer.take());
+
+    let plan = obj()
+        .field("n_paths", prepared.n_paths())
+        .field("from_cache", prepared.from_cache())
+        .field_opt("shape_hash", prepared.shape_hash().map(|h| format!("{h:016x}")))
+        .field("plan_us", prepared.decompose_time().as_micros() as u64)
+        .build();
+    let scatter: Option<Json> = match &entry.store {
+        GraphStore::Sharded(store) => Some(statsjson::scatter_json(&store.last_scatter())),
+        GraphStore::Unsharded { .. } => None,
+    };
+    Ok(obj()
+        .field("ok", true)
+        .field("graph", entry.name.as_str())
+        .field("trace_id", trace_id)
+        .field("n", result.matches.len())
+        .field("truncated", result.truncated)
+        .field("elapsed_us", elapsed.as_micros() as u64)
+        .field("plan", plan)
+        .field("pipeline", statsjson::pipeline_json(&result.stats))
+        .field_opt("scatter", scatter)
+        .field("span", shard_wire::encode_span(&root))
         .field("matches", matches_json(&result))
         .build())
 }
@@ -1334,10 +1530,12 @@ fn op_query_batch(state: &ServerState, r: &proto::QueryBatch) -> Result<Json, Re
         store.prefetch(&batch, &pool);
     }
     let mut results = Vec::with_capacity(parsed.len());
+    let mut total_matches = 0usize;
     for (p, (_, alpha, limit)) in prepared.iter().zip(&parsed) {
         let t_item = Instant::now();
         let mut session = pipe.session(p, &opts);
         let res = session.run_at(*alpha, Some(*limit)).map_err(peg_error_reply)?;
+        total_matches += res.matches.len();
         results.push(
             obj()
                 .field("n", res.matches.len())
@@ -1350,7 +1548,18 @@ fn op_query_batch(state: &ServerState, r: &proto::QueryBatch) -> Result<Json, Re
     }
     let elapsed = t0.elapsed();
     drop(permit);
-    state.queries_served.fetch_add(parsed.len() as u64, Ordering::Relaxed);
+    note_query(
+        state,
+        QueryNote {
+            op: "query_batch",
+            graph: &entry.name,
+            pattern: &format!("[{} queries]", parsed.len()),
+            alpha: 0.0,
+            n_matches: total_matches,
+            count: parsed.len() as u64,
+        },
+        elapsed,
+    );
     Ok(obj()
         .field("ok", true)
         .field("graph", entry.name.as_str())
@@ -1358,20 +1567,6 @@ fn op_query_batch(state: &ServerState, r: &proto::QueryBatch) -> Result<Json, Re
         .field("elapsed_us", elapsed.as_micros() as u64)
         .field("results", Json::Arr(results))
         .build())
-}
-
-fn admission_json(a: &Admission, s: AdmissionStats) -> Json {
-    obj()
-        .field("max_sessions", a.max_sessions())
-        .field("queue_depth", a.queue_depth())
-        .field("deadline_ms", a.deadline().as_millis() as u64)
-        .field("running", s.running)
-        .field("waiting", s.waiting)
-        .field("admitted", s.admitted)
-        .field("rejected_overloaded", s.rejected_overloaded)
-        .field("rejected_timeout", s.rejected_timeout)
-        .field("peak_running", s.peak_running)
-        .build()
 }
 
 fn op_stats(state: &ServerState) -> Json {
@@ -1388,29 +1583,12 @@ fn op_stats(state: &ServerState) -> Json {
         .map(|g| {
             let p = g.plans.stats();
             // Distributed graphs report their per-worker transport
-            // counters: exchanges, bytes each way, reconnects, and the
-            // recent-window p50/p99 exchange latency.
+            // counters — rendered by the one shared schema helper, the
+            // same one pegcli's pretty printer reads.
             let workers: Option<Json> = match &g.store {
-                GraphStore::Sharded(store) => store.worker_stats().map(|ws| {
-                    Json::Arr(
-                        ws.iter()
-                            .map(|w| {
-                                obj()
-                                    .field("shard", w.shard)
-                                    .field("addr", w.addr.as_str())
-                                    .field("requests", w.requests)
-                                    .field("bytes_tx", w.bytes_tx)
-                                    .field("bytes_rx", w.bytes_rx)
-                                    .field("reconnects", w.reconnects)
-                                    .field("p50_us", w.p50_us)
-                                    .field("p99_us", w.p99_us)
-                                    .field("mux_tombstones", w.mux_tombstones)
-                                    .field("mux_inflight_hwm", w.mux_inflight_hwm)
-                                    .build()
-                            })
-                            .collect(),
-                    )
-                }),
+                GraphStore::Sharded(store) => {
+                    store.worker_stats().map(|ws| statsjson::workers_json(&ws))
+                }
                 GraphStore::Unsharded { .. } => None,
             };
             // Per-graph execution-cache residency: how much of the
@@ -1464,7 +1642,7 @@ fn op_stats(state: &ServerState) -> Json {
         .field("queries_served", state.queries_served.load(Ordering::Relaxed))
         .field("graphs", Json::Arr(graph_stats))
         .field_opt("exec_cache", exec_cache)
-        .field("admission", admission_json(&state.admission, state.admission.stats()))
+        .field("admission", statsjson::admission_json(&state.admission, state.admission.stats()))
         .build()
 }
 

@@ -19,6 +19,7 @@ use pegmatch::online::{
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
 use pegpool::ThreadPool;
+use pegtrace::Span;
 use pegwire::Json;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -517,6 +518,9 @@ impl ShardedGraphStore {
         if batch.is_empty() {
             return;
         }
+        // Prefetches are untraced: batch scatters carry no trace id, and
+        // there is no live request whose tree they would belong to.
+        let inert = Span::disabled();
         let reqs: Vec<ShardRequest<'_>> = batch
             .iter()
             .map(|(p, alpha)| ShardRequest {
@@ -524,6 +528,7 @@ impl ShardedGraphStore {
                 decomp: p.decomposition(),
                 pstats: p.path_stats(),
                 alpha: *alpha,
+                span: &inert,
             })
             .collect();
         let t0 = Instant::now();
@@ -775,6 +780,7 @@ impl CandidateSource for ShardedGraphStore {
         decomp: &Decomposition,
         pstats: &[PathStats],
         alpha: f64,
+        span: &Span,
         pool: &ThreadPool,
     ) -> Result<Vec<CandidateSet>, PegError> {
         let t0 = Instant::now();
@@ -801,7 +807,7 @@ impl CandidateSource for ShardedGraphStore {
         // path with home-filtered, globalized, canonically sorted
         // partials (see `Shard::retrieve_path` for the exactness
         // argument).
-        let req = ShardRequest { query, decomp, pstats, alpha };
+        let req = ShardRequest { query, decomp, pstats, alpha, span };
         let results = self.transport.scatter(&req, pool);
         let (out, mut scatter) = self.gather(n_paths, results)?;
         scatter.retrieve_time = t0.elapsed();

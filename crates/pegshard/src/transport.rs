@@ -32,6 +32,7 @@ use pegmatch::error::PegError;
 use pegmatch::online::{Decomposition, NodeCandidateCache, PathStats};
 use pegmatch::query::QueryGraph;
 use pegpool::ThreadPool;
+use pegtrace::{Histogram, Span};
 use pegwire::{Json, MuxConn, MuxError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,6 +48,12 @@ pub struct ShardRequest<'a> {
     pub pstats: &'a [PathStats],
     /// The probability threshold.
     pub alpha: f64,
+    /// The caller's open `"retrieve"` span. Transports attach one child
+    /// per scatter unit (in-process) or adopt each worker's decoded span
+    /// subtree (TCP) — always in shard/path index order after the
+    /// parallel join, never from pool threads. [`Span::disabled`] makes
+    /// the whole plumbing a no-op (prefetch batches pass that).
+    pub span: &'a Span,
 }
 
 /// One shard's partial result for one decomposition path.
@@ -246,22 +253,27 @@ impl ShardTransport for InProcessTransport {
         pool: &ThreadPool,
     ) -> Vec<Result<ShardReply, TransportError>> {
         // Flat (shard × path) fan-out: finer grains than shard-at-a-time,
-        // so a skewed shard cannot serialize the scatter.
+        // so a skewed shard cannot serialize the scatter. Pool tasks only
+        // measure their own wall time; spans attach below, post-join, in
+        // (shard, path) index order.
         let n_shards = self.shards.len();
         let n_paths = req.decomp.paths.len();
+        let recording = req.span.is_recording();
         let caches: Vec<NodeCandidateCache> =
             (0..n_shards).map(|_| NodeCandidateCache::new()).collect();
-        let mut partials: Vec<Option<PathPartial>> = pool
+        let mut partials: Vec<Option<(PathPartial, Duration)>> = pool
             .map(n_shards * n_paths, |t| {
                 let (s, i) = (t / n_paths, t % n_paths);
-                self.shards[s].retrieve_path(
+                let t0 = recording.then(Instant::now);
+                let partial = self.shards[s].retrieve_path(
                     req.query,
                     &req.decomp.paths[i],
                     &req.pstats[i],
                     req.alpha,
                     &caches[s],
                     pool,
-                )
+                );
+                (partial, t0.map(|t| t.elapsed()).unwrap_or_default())
             })
             .into_iter()
             .map(Some)
@@ -269,7 +281,18 @@ impl ShardTransport for InProcessTransport {
         (0..n_shards)
             .map(|s| {
                 let paths = (0..n_paths)
-                    .map(|i| partials[s * n_paths + i].take().expect("each partial taken once"))
+                    .map(|i| {
+                        let (partial, elapsed) =
+                            partials[s * n_paths + i].take().expect("each partial taken once");
+                        if recording {
+                            let unit = req.span.child_done("unit", elapsed);
+                            unit.tag("shard", s);
+                            unit.tag("path", i);
+                            unit.tag("raw", partial.raw_total);
+                            unit.tag("pruned", partial.pruned_total);
+                        }
+                        partial
+                    })
                     .collect();
                 Ok(ShardReply { paths })
             })
@@ -302,49 +325,23 @@ impl Default for TcpTransportConfig {
     }
 }
 
-/// Recent-latency window per worker (enough for stable p99 at serving
-/// rates without unbounded growth).
-const LATENCY_SAMPLES: usize = 4096;
-
-/// Ring of recent exchange latencies (µs).
-#[derive(Default)]
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
-}
-
-impl LatencyRing {
-    fn record(&mut self, us: u64) {
-        if self.samples.len() < LATENCY_SAMPLES {
-            self.samples.push(us);
-        } else {
-            self.samples[self.next] = us;
-            self.next = (self.next + 1) % LATENCY_SAMPLES;
-        }
-    }
-
-    fn percentile(&self, p: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        sorted[((sorted.len() - 1) as f64 * p) as usize]
-    }
-}
-
 /// Per-worker state. The connection slot's mutex guards only the
 /// `Arc<MuxConn>` handle, held for nanoseconds per clone — exchanges
 /// themselves run on the shared mux connection with no per-worker
-/// serialization, and the counters are atomics, so
-/// [`TcpTransport::worker_stats`] never blocks on an in-flight scatter.
+/// serialization, and the counters are atomics (the latency histogram is
+/// lock-free too), so [`TcpTransport::worker_stats`] never blocks on an
+/// in-flight scatter.
 struct WorkerCell {
     conn: Mutex<Option<Arc<MuxConn>>>,
     requests: AtomicU64,
     reconnects: AtomicU64,
     bytes_tx: AtomicU64,
     bytes_rx: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    /// Full-history exchange latencies: a [`pegtrace::Histogram`] holds
+    /// every sample at ≤1.6% relative bucket error (with the max exact),
+    /// replacing the old fixed ring of recent samples — quantiles cover
+    /// the connection's whole life, not a sliding window.
+    latencies: Histogram,
 }
 
 impl WorkerCell {
@@ -355,7 +352,7 @@ impl WorkerCell {
             reconnects: AtomicU64::new(0),
             bytes_tx: AtomicU64::new(0),
             bytes_rx: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing::default()),
+            latencies: Histogram::new(),
         }
     }
 }
@@ -528,7 +525,7 @@ impl TcpTransport {
         };
         let cell = &self.workers[shard];
         cell.requests.fetch_add(1, Ordering::Relaxed);
-        cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
+        cell.latencies.record(t0.elapsed());
         Ok(reply)
     }
 
@@ -580,7 +577,7 @@ impl TcpTransport {
                     let cell = &self.workers[s];
                     cell.bytes_rx.fetch_add(wire_bytes, Ordering::Relaxed);
                     cell.requests.fetch_add(1, Ordering::Relaxed);
-                    cell.latencies.lock().unwrap().record(t0.elapsed().as_micros() as u64);
+                    cell.latencies.record(t0.elapsed());
                     Ok(reply)
                 }
                 Err(e) => {
@@ -597,19 +594,32 @@ impl TcpTransport {
         }
     }
 
+    /// Validates and decodes one worker reply. When the request carried a
+    /// trace id, the worker's own span subtree rides back on the reply's
+    /// `"span"` field; it grafts onto `span` here — callers invoke this
+    /// in shard index order, so the stitched tree is deterministic.
     fn reply_to_shard_reply(
         &self,
         shard: usize,
         reply: Json,
         n_paths: usize,
+        span: &Span,
     ) -> Result<ShardReply, TransportError> {
         if reply.get("ok") != Some(&Json::Bool(true)) {
             let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
             let msg = reply.get("message").and_then(Json::as_str).unwrap_or("no detail");
             return Err(self.err(shard, format!("worker replied {code}: {msg}")));
         }
-        wire::decode_retrieve_reply(&reply, n_paths)
-            .map_err(|e| self.err(shard, format!("malformed reply: {e}")))
+        let decoded = wire::decode_retrieve_reply(&reply, n_paths)
+            .map_err(|e| self.err(shard, format!("malformed reply: {e}")))?;
+        if span.is_recording() {
+            if let Some(node) = reply.get("span") {
+                if let Ok(node) = wire::decode_span(node) {
+                    span.adopt(node);
+                }
+            }
+        }
+        Ok(decoded)
     }
 }
 
@@ -626,7 +636,7 @@ impl ShardTransport for TcpTransport {
     ) -> Result<ShardReply, TransportError> {
         let line = wire::retrieve_request(&self.graph, self.version, req).to_string();
         let reply = self.exchange_line(shard, &line)?;
-        self.reply_to_shard_reply(shard, reply, req.decomp.paths.len())
+        self.reply_to_shard_reply(shard, reply, req.decomp.paths.len(), req.span)
     }
 
     fn scatter(
@@ -647,7 +657,8 @@ impl ShardTransport for TcpTransport {
             .into_iter()
             .enumerate()
             .map(|(s, b)| {
-                self.finish_one(s, b, &line).and_then(|r| self.reply_to_shard_reply(s, r, n_paths))
+                self.finish_one(s, b, &line)
+                    .and_then(|r| self.reply_to_shard_reply(s, r, n_paths, req.span))
             })
             .collect()
     }
@@ -719,7 +730,7 @@ impl ShardTransport for TcpTransport {
         Some(self)
     }
 
-    /// Reads atomics, the briefly-held latency ring, and the connection
+    /// Reads atomics, the lock-free latency histogram, and the connection
     /// slot (held only for the handle clone — never across an exchange),
     /// so stats stay available while a scatter is in flight.
     fn worker_stats(&self) -> Option<Vec<WorkerStats>> {
@@ -728,7 +739,6 @@ impl ShardTransport for TcpTransport {
             .iter()
             .enumerate()
             .map(|(s, w)| {
-                let lats = w.latencies.lock().unwrap();
                 // Mux diagnostics come from the live connection; an empty
                 // slot (between redials) reports zeros, and the HWM is
                 // per-connection by design — it resets with a reconnect.
@@ -746,8 +756,8 @@ impl ShardTransport for TcpTransport {
                     bytes_tx: w.bytes_tx.load(Ordering::Relaxed),
                     bytes_rx: w.bytes_rx.load(Ordering::Relaxed),
                     reconnects: w.reconnects.load(Ordering::Relaxed),
-                    p50_us: lats.percentile(0.50),
-                    p99_us: lats.percentile(0.99),
+                    p50_us: w.latencies.quantile_us(0.50),
+                    p99_us: w.latencies.quantile_us(0.99),
                     mux_tombstones: tombstones,
                     mux_inflight_hwm: inflight_hwm,
                 }

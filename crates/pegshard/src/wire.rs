@@ -60,6 +60,7 @@ use graphstore::{EntityId, GraphOp, RefId};
 use pathindex::PathMatch;
 use pegmatch::online::QueryPath;
 use pegmatch::query::{QNode, QueryGraph};
+use pegtrace::{SpanNode, TagValue};
 use pegwire::{obj, Json};
 
 /// Op name: build one shard of a graph on a worker.
@@ -146,12 +147,26 @@ fn retrieve_body(b: pegwire::ObjBuilder, req: &ShardRequest<'_>) -> pegwire::Obj
 
 /// Encodes the `shard_retrieve` request for one scatter, pinned to the
 /// shard snapshot `version` the coordinator's store was built against.
+/// When the request's span is recording, the trace id rides along
+/// (`"trace_id"`) — its presence is what tells the worker to record its
+/// own span subtree and return it on the reply's `"span"` field.
 pub fn retrieve_request(graph: &str, version: u64, req: &ShardRequest<'_>) -> Json {
-    retrieve_body(
-        obj().field("op", OP_SHARD_RETRIEVE).field("graph", graph).field("version", version),
-        req,
-    )
-    .build()
+    let b = obj().field("op", OP_SHARD_RETRIEVE).field("graph", graph).field("version", version);
+    let b = match req.span.trace_id() {
+        Some(id) => b.field("trace_id", id),
+        None => b,
+    };
+    retrieve_body(b, req).build()
+}
+
+/// Decodes the optional `"trace_id"` of a retrieve request. Present means
+/// "trace this leg": the worker runs its retrieval under a tracer with
+/// this id and returns the span subtree on the reply.
+pub fn decode_trace_id(req: &Json) -> Result<Option<u64>, WireError> {
+    match req.get("trace_id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => need_u64(v, "\"trace_id\"").map(Some),
+    }
 }
 
 /// Encodes the `shard_retrieve_batch` request: many retrieve bodies in
@@ -412,6 +427,114 @@ pub fn decode_histogram(v: &Json) -> Result<HistogramEntries, WireError> {
         .collect()
 }
 
+/// Deepest span nesting the decoder accepts (a hostile worker must not
+/// recurse the coordinator's stack).
+const MAX_SPAN_DEPTH: usize = 64;
+
+/// Most spans one decoded tree may carry.
+const MAX_SPAN_NODES: usize = 100_000;
+
+fn tag_value_json(v: &TagValue) -> Json {
+    match v {
+        TagValue::U64(n) => Json::Num(*n as f64),
+        TagValue::F64(x) => Json::Num(*x),
+        TagValue::Str(s) => Json::Str(s.clone()),
+        TagValue::Bool(b) => Json::Bool(*b),
+    }
+}
+
+/// Encodes one span subtree as `{"name", "elapsed_us", "tags", "children"}`
+/// — tags as ordered `[key, value]` pairs, children recursively. The one
+/// codec every trace crosses a boundary with: worker → coordinator on
+/// `shard_retrieve` replies, and server → client in `explain` replies, so
+/// a stitched distributed trace renders identically at every hop. Empty
+/// tag and child lists are omitted to keep reply lines small.
+pub fn encode_span(node: &SpanNode) -> Json {
+    let mut b = obj().field("name", node.name.as_str()).field("elapsed_us", node.elapsed_us);
+    if !node.tags.is_empty() {
+        let tags: Vec<Json> = node
+            .tags
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), tag_value_json(v)]))
+            .collect();
+        b = b.field("tags", Json::Arr(tags));
+    }
+    if !node.children.is_empty() {
+        let children: Vec<Json> = node.children.iter().map(encode_span).collect();
+        b = b.field("children", Json::Arr(children));
+    }
+    b.build()
+}
+
+/// Decodes a span subtree, enforcing `MAX_SPAN_DEPTH` and
+/// `MAX_SPAN_NODES`. Numeric tags decode as `U64` when the number is a
+/// non-negative integer and `F64` otherwise — a deterministic rule, so a
+/// decoded tree re-encodes to the identical JSON.
+pub fn decode_span(v: &Json) -> Result<SpanNode, WireError> {
+    let mut budget = MAX_SPAN_NODES;
+    decode_span_at(v, 0, &mut budget)
+}
+
+fn decode_span_at(v: &Json, depth: usize, budget: &mut usize) -> Result<SpanNode, WireError> {
+    if depth > MAX_SPAN_DEPTH {
+        return Err(err(format!("span tree deeper than {MAX_SPAN_DEPTH}")));
+    }
+    if *budget == 0 {
+        return Err(err(format!("span tree exceeds {MAX_SPAN_NODES} nodes")));
+    }
+    *budget -= 1;
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("span missing \"name\""))?
+        .to_string();
+    let elapsed_us = need_u64(
+        v.get("elapsed_us").ok_or_else(|| err("span missing \"elapsed_us\""))?,
+        "span elapsed_us",
+    )?;
+    let tags = match v.get("tags") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(t) => t
+            .as_arr()
+            .ok_or_else(|| err("span \"tags\" must be an array"))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| err("bad span tag: expected [key, value]"))?;
+                let key = pair[0]
+                    .as_str()
+                    .ok_or_else(|| err("span tag keys must be strings"))?
+                    .to_string();
+                let value = match &pair[1] {
+                    Json::Bool(b) => TagValue::Bool(*b),
+                    Json::Str(s) => TagValue::Str(s.clone()),
+                    Json::Num(n) if n.is_finite() => {
+                        if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 {
+                            TagValue::U64(*n as u64)
+                        } else {
+                            TagValue::F64(*n)
+                        }
+                    }
+                    _ => return Err(err("bad span tag value")),
+                };
+                Ok((key, value))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+    };
+    let children = match v.get("children") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(c) => c
+            .as_arr()
+            .ok_or_else(|| err("span \"children\" must be an array"))?
+            .iter()
+            .map(|c| decode_span_at(c, depth + 1, budget))
+            .collect::<Result<Vec<_>, WireError>>()?,
+    };
+    Ok(SpanNode { name, elapsed_us, tags, children })
+}
+
 /// Encodes the `shard_unload` request for a graph.
 pub fn unload_request(graph: &str) -> Json {
     obj().field("op", OP_SHARD_UNLOAD).field("graph", graph).build()
@@ -594,6 +717,52 @@ pub fn update_request(graph: &str, ops: &[GraphOp], version: u64) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pegtrace::Span;
+
+    #[test]
+    fn span_codec_round_trips_structure_tags_and_children() {
+        let tree = SpanNode {
+            name: "shard_retrieve".into(),
+            elapsed_us: 1234,
+            tags: vec![
+                ("shard".into(), TagValue::U64(2)),
+                ("alpha".into(), TagValue::F64(0.25)),
+                ("cache".into(), TagValue::Str("miss".into())),
+                ("ok".into(), TagValue::Bool(true)),
+            ],
+            children: vec![
+                SpanNode {
+                    name: "path".into(),
+                    elapsed_us: 0,
+                    tags: vec![("path".into(), TagValue::U64(0))],
+                    children: vec![],
+                },
+                SpanNode { name: "path".into(), elapsed_us: 7, tags: vec![], children: vec![] },
+            ],
+        };
+        let json = Json::parse(&encode_span(&tree).to_string()).unwrap();
+        let back = decode_span(&json).unwrap();
+        assert_eq!(back, tree);
+        // Re-encoding the decoded tree must be byte-identical: the U64/F64
+        // decode rule is deterministic, so traces survive any number of
+        // hops unchanged.
+        assert_eq!(encode_span(&back).to_string(), encode_span(&tree).to_string());
+    }
+
+    #[test]
+    fn span_decoder_rejects_hostile_depth() {
+        // Built in memory: the JSON parser has its own nesting cap, but
+        // the decoder must not rely on every caller having one.
+        let mut node = obj().field("name", "leaf").field("elapsed_us", 0u64).build();
+        for _ in 0..80 {
+            node = obj()
+                .field("name", "x")
+                .field("elapsed_us", 0u64)
+                .field("children", Json::Arr(vec![node]))
+                .build();
+        }
+        assert!(decode_span(&node).is_err(), "over-deep span tree must be rejected");
+    }
 
     #[test]
     fn retrieve_request_round_trips() {
@@ -609,10 +778,18 @@ mod tests {
         .unwrap();
         let pstats: Vec<pegmatch::online::PathStats> =
             decomp.paths.iter().map(|p| pegmatch::online::PathStats::new(&query, p)).collect();
-        let req = ShardRequest { query: &query, decomp: &decomp, pstats: &pstats, alpha: 0.25 };
+        let inert = Span::disabled();
+        let req = ShardRequest {
+            query: &query,
+            decomp: &decomp,
+            pstats: &pstats,
+            alpha: 0.25,
+            span: &inert,
+        };
         let json = retrieve_request("g", 2, &req);
         let parsed = Json::parse(&json.to_string()).unwrap();
         assert_eq!(decode_version(&parsed).unwrap(), Some(2));
+        assert_eq!(decode_trace_id(&parsed).unwrap(), None, "disabled span carries no trace id");
         let (q2, paths, alpha) = decode_retrieve_request(&parsed).unwrap();
         assert_eq!(alpha, 0.25);
         assert_eq!(q2.labels(), query.labels());
@@ -678,9 +855,10 @@ mod tests {
             d1.paths.iter().map(|p| pegmatch::online::PathStats::new(&q1, p)).collect();
         let s2: Vec<_> =
             d2.paths.iter().map(|p| pegmatch::online::PathStats::new(&q2, p)).collect();
+        let inert = Span::disabled();
         let reqs = [
-            ShardRequest { query: &q1, decomp: &d1, pstats: &s1, alpha: 0.5 },
-            ShardRequest { query: &q2, decomp: &d2, pstats: &s2, alpha: 0.75 },
+            ShardRequest { query: &q1, decomp: &d1, pstats: &s1, alpha: 0.5, span: &inert },
+            ShardRequest { query: &q2, decomp: &d2, pstats: &s2, alpha: 0.75, span: &inert },
         ];
         let json = Json::parse(&retrieve_batch_request("g", 0, &reqs).to_string()).unwrap();
         let decoded = decode_retrieve_batch_request(&json).unwrap();

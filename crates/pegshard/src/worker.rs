@@ -46,7 +46,9 @@ use pegmatch::online::{NodeCandidateCache, PathStats, QueryPath};
 use pegmatch::query::QueryGraph;
 use pegmatch::Peg;
 use pegpool::ThreadPool;
+use pegtrace::Span;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How many shard snapshots a worker keeps live: the latest plus its
 /// predecessor, so in-flight sessions on the pre-update version finish
@@ -232,6 +234,25 @@ impl WorkerShard {
         version: Option<u64>,
         pool: &ThreadPool,
     ) -> Result<ShardReply, PegError> {
+        self.retrieve_traced(query, paths, alpha, version, &Span::disabled(), pool)
+    }
+
+    /// [`retrieve`](Self::retrieve) with tracing: when a request carried a
+    /// trace id, `span` is the worker's open `"shard_retrieve"` span and
+    /// one pre-measured `"path"` child is attached per decomposition path
+    /// — in path index order after the parallel join, never from pool
+    /// threads, so the subtree shipped back to the coordinator is a
+    /// deterministic function of the request. With [`Span::disabled`]
+    /// (the untraced path) not even the clocks are read.
+    pub fn retrieve_traced(
+        &self,
+        query: &QueryGraph,
+        paths: &[QueryPath],
+        alpha: f64,
+        version: Option<u64>,
+        span: &Span,
+        pool: &ThreadPool,
+    ) -> Result<ShardReply, PegError> {
         for &l in query.labels() {
             if (l.0 as usize) >= self.n_labels {
                 return Err(PegError::UnknownLabel(format!(
@@ -243,9 +264,25 @@ impl WorkerShard {
         let shard = self.shard_at(version)?;
         let pstats: Vec<PathStats> = paths.iter().map(|p| PathStats::new(query, p)).collect();
         let cache = NodeCandidateCache::new();
+        let recording = span.is_recording();
         let partials = pool.map(paths.len(), |i| {
-            shard.retrieve_path(query, &paths[i], &pstats[i], alpha, &cache, pool)
+            let t0 = recording.then(Instant::now);
+            let partial = shard.retrieve_path(query, &paths[i], &pstats[i], alpha, &cache, pool);
+            (partial, t0.map(|t| t.elapsed()).unwrap_or_default())
         });
+        let partials = partials
+            .into_iter()
+            .enumerate()
+            .map(|(i, (partial, elapsed))| {
+                if recording {
+                    let unit = span.child_done("path", elapsed);
+                    unit.tag("path", i);
+                    unit.tag("raw", partial.raw_total);
+                    unit.tag("pruned", partial.pruned_total);
+                }
+                partial
+            })
+            .collect();
         Ok(ShardReply { paths: partials })
     }
 

@@ -8,6 +8,9 @@
 
 #![cfg(target_os = "linux")]
 
+mod common;
+
+use common::canonical;
 use datagen::{synthetic_refgraph, SyntheticConfig};
 use pathindex::PathIndexConfig;
 use pegmatch::model::PegBuilder;
@@ -48,24 +51,6 @@ fn spawn_server(mode: ServeMode) -> ServerHandle {
     .unwrap();
     server.insert_graph("g", peg, offline);
     server.spawn()
-}
-
-/// Strips the fields whose values depend on timing or on cross-client
-/// cache races, not on the request: elapsed wall clocks and plan-cache
-/// provenance. Everything else must match bit for bit.
-fn canonical(v: &Json) -> Json {
-    const VOLATILE: [&str; 4] = ["elapsed_us", "plan_from_cache", "from_cache", "plan_us"];
-    match v {
-        Json::Obj(fields) => Json::Obj(
-            fields
-                .iter()
-                .filter(|(k, _)| !VOLATILE.contains(&k.as_str()))
-                .map(|(k, val)| (k.clone(), canonical(val)))
-                .collect(),
-        ),
-        Json::Arr(items) => Json::Arr(items.iter().map(canonical).collect()),
-        other => other.clone(),
-    }
 }
 
 /// The request corpus, as raw protocol lines: the happy paths the front
@@ -112,6 +97,24 @@ fn epoll_replies_match_threads_replies_byte_for_byte() {
     let epoll_handle = spawn_server(ServeMode::Epoll);
     let (threads_addr, epoll_addr) = (threads_handle.addr, epoll_handle.addr);
     let lines = corpus();
+
+    // Plant every plan deterministically before the storm. The corpus
+    // holds isomorphic shapes ((x:l0)-(y:l1) vs (a:l1)-(b:l0)); a cached
+    // plan is renumbered from whichever query planted it, and `limit`
+    // truncation keeps a generation-order prefix that depends on that
+    // numbering — so two servers whose caches were planted by different
+    // racing clients can answer a truncated query with different
+    // (individually correct) prefixes. Preparing each shape once, in one
+    // order, on both servers pins both plan caches to identical state;
+    // the storm then compares execution, not plan-planting luck.
+    for addr in [threads_addr, epoll_addr] {
+        let mut warm = Client::connect(addr).unwrap();
+        for pattern in ["(x:l0)-(y:l1)", "(x:l0)-(y:l1)-(z:l0)", "(x:l0)"] {
+            let line = format!(r#"{{"op":"prepare","pattern":"{pattern}","alpha":0.3}}"#);
+            let reply = warm.request_line(&line).unwrap();
+            assert!(reply.contains(r#""ok":true"#), "warm-up prepare failed: {reply}");
+        }
+    }
 
     std::thread::scope(|scope| {
         let lines = &lines;

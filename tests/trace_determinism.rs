@@ -1,0 +1,110 @@
+//! Trace determinism: an `explain` reply is a pure function of the
+//! request. Once the shared stripper removes wall clocks, trace ids,
+//! and plan-cache provenance, everything left — matches, plan summary,
+//! pipeline counters, scatter stats, and the full span tree (names,
+//! nesting, tag keys, non-timing tag values) — must be byte-identical
+//! across independent server runs, across `threads` 1 vs 0 (parallel
+//! execution measures inside each unit and attaches in index order, so
+//! the tree never depends on scheduling), across 1 vs 3 shards within a
+//! dimension, and across both connection front ends.
+
+#![cfg(target_os = "linux")]
+
+mod common;
+
+use datagen::{synthetic_refgraph, SyntheticConfig};
+use pathindex::PathIndexConfig;
+use pegmatch::model::PegBuilder;
+use pegmatch::offline::{OfflineIndex, OfflineOptions};
+use pegserve::{Client, Json, ServeMode, Server, ServerConfig, ServerHandle};
+use pegshard::ShardedGraphStore;
+
+const GRAPH_SIZE: usize = 300;
+
+fn spawn_server(mode: ServeMode, shards: usize) -> ServerHandle {
+    let refs = synthetic_refgraph(&SyntheticConfig::paper_with_uncertainty(GRAPH_SIZE, 0.2));
+    let peg = PegBuilder::new().build(&refs).unwrap();
+    let opts =
+        OfflineOptions { index: PathIndexConfig { max_len: 2, beta: 0.3, ..Default::default() } };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            serve_mode: mode,
+            // Exec cache off: a warm floor retrieval legitimately rewires
+            // the traced request (the `cache=hit` re-filter span replaces
+            // the retrieve stage), and this test compares requests that
+            // would otherwise differ only in cache warmth.
+            exec_cache_bytes: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    if shards > 1 {
+        let store = ShardedGraphStore::build(peg, &opts, shards).unwrap();
+        server.insert_sharded_graph("g", store, None);
+    } else {
+        let offline = OfflineIndex::build(&peg, &opts).unwrap();
+        server.insert_graph("g", peg, offline);
+    }
+    server.spawn()
+}
+
+fn explain_line(threads: usize) -> String {
+    format!(
+        r#"{{"op":"explain","pattern":"(x:l0)-(y:l1), (y)-(z:l0)","alpha":0.3,"limit":5,"threads":{threads}}}"#
+    )
+}
+
+/// One run: a fresh server answering the explain request at `threads`
+/// 1 then 0, each reply checked ok, structurally probed, and stripped.
+fn run_once(mode: ServeMode, shards: usize) -> Vec<String> {
+    let handle = spawn_server(mode, shards);
+    let mut client = Client::connect(handle.addr).unwrap();
+    let replies: Vec<String> = [1usize, 0]
+        .iter()
+        .map(|&threads| {
+            let raw = client.request_line(&explain_line(threads)).unwrap();
+            let parsed = Json::parse(&raw).unwrap();
+            assert_eq!(
+                parsed.get("ok"),
+                Some(&Json::Bool(true)),
+                "explain failed (mode {mode:?}, shards {shards}): {raw}"
+            );
+            // The trace must reach below the stage level: per-path spans
+            // locally, per-(shard,path) scatter units when sharded.
+            assert!(raw.contains(r#""name":"retrieve""#), "no retrieve span: {raw}");
+            let leaf = if shards > 1 { r#""name":"unit""# } else { r#""name":"path""# };
+            assert!(raw.contains(leaf), "missing {leaf} span (shards {shards}): {raw}");
+            common::canonical(&parsed).to_string()
+        })
+        .collect();
+    handle.shutdown().unwrap();
+    replies
+}
+
+#[test]
+fn explain_replies_are_deterministic_across_runs_threads_and_front_ends() {
+    for mode in [ServeMode::Threads, ServeMode::Epoll] {
+        for shards in [1usize, 3] {
+            let a = run_once(mode, shards);
+            let b = run_once(mode, shards);
+            assert_eq!(a, b, "mode {mode:?}, shards {shards}: explain drifted across runs");
+            assert_eq!(
+                a[0], a[1],
+                "mode {mode:?}, shards {shards}: threads=1 and threads=0 disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_replies_match_across_front_ends() {
+    for shards in [1usize, 3] {
+        let threads_fe = run_once(ServeMode::Threads, shards);
+        let epoll_fe = run_once(ServeMode::Epoll, shards);
+        assert_eq!(
+            threads_fe, epoll_fe,
+            "shards {shards}: explain differs between thread and epoll front ends"
+        );
+    }
+}
