@@ -650,6 +650,14 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map(|r| format!(", {r} message round(s)"))
                 .unwrap_or_default(),
         );
+        if p("frontier_evals") > 0 || p("full_evals_avoided") > 0 {
+            println!(
+                "reduction frontier: {} eval(s), {} avoided, per-round {}",
+                p("frontier_evals"),
+                p("full_evals_avoided"),
+                pl.get("round_frontiers").map(|v| v.to_string()).unwrap_or_default(),
+            );
+        }
     }
     if let Some(sc) = reply.get("scatter") {
         let p = |k: &str| sc.get(k).and_then(Json::as_u64).unwrap_or(0);

@@ -158,10 +158,9 @@ pub fn generate_matches_limited(
     }
     let sh = GenShared { peg, query, decomp, kp, order, alpha, limit };
 
-    let first = order[0];
-    let seeds: Vec<u32> = (0..kp.partitions[first].verts.len() as u32)
-        .filter(|&v| kp.partitions[first].verts[v as usize].alive)
-        .collect();
+    let first = kp.part(order[0]);
+    let seeds: Vec<u32> =
+        (0..first.n_verts() as u32).filter(|&v| first.vert(v as usize).alive()).collect();
 
     let lanes = pool.lanes().min(seeds.len().max(1));
     if lanes <= 1 || seeds.len() < 2 {
@@ -173,7 +172,7 @@ pub fn generate_matches_limited(
 /// The `threads = 1` reference path: one recursion over all seeds with the
 /// cap applied globally, exactly as the pre-parallel engine behaved.
 fn generate_sequential(sh: &GenShared<'_>, seeds: &[u32]) -> (Vec<Match>, bool) {
-    let mut st = GenScratch::new(sh.kp.partitions.len(), sh.query.n_nodes());
+    let mut st = GenScratch::new(sh.kp.n_partitions(), sh.query.n_nodes());
     let mut completed = true;
     for &seed in seeds {
         if !extend_seed(sh, seed, sh.limit, &mut st) {
@@ -212,7 +211,7 @@ fn generate_parallel(
     let tracker = Mutex::new(PrefixTracker { counts: vec![None; n], frontier: 0, cum: 0 });
 
     pool.for_each(lanes, &|_lane| {
-        let mut st = GenScratch::new(sh.kp.partitions.len(), sh.query.n_nodes());
+        let mut st = GenScratch::new(sh.kp.n_partitions(), sh.query.n_nodes());
         loop {
             if sh.limit.is_some() && enough.load(Ordering::Relaxed) {
                 return;
@@ -301,7 +300,7 @@ fn extend(
         return true;
     }
     let pi = sh.order[depth];
-    let partition = &sh.kp.partitions[pi];
+    let partition = sh.kp.part(pi);
 
     // Candidate vertices: the pinned seed at depth 0, otherwise the
     // intersection of link lists from placed joined partitions.
@@ -309,19 +308,19 @@ fn extend(
         vec![seed.expect("seed pinned at depth 0")]
     } else {
         let placed_joined: Vec<(usize, u32)> =
-            partition.joined.iter().filter_map(|&j| st.chosen[j].map(|v| (j, v))).collect();
+            partition.joined().iter().filter_map(|&j| st.chosen[j].map(|v| (j, v))).collect();
         if placed_joined.is_empty() {
-            (0..partition.verts.len() as u32)
-                .filter(|&v| partition.verts[v as usize].alive)
+            (0..partition.n_verts() as u32)
+                .filter(|&v| partition.vert(v as usize).alive())
                 .collect()
         } else {
             // Start from the smallest link list.
             let lists: Vec<&[u32]> = placed_joined
                 .iter()
                 .map(|&(j, vj)| {
-                    let pj = &sh.kp.partitions[j];
+                    let pj = sh.kp.part(j);
                     let slot = pj.slot_of(pi).expect("symmetric join");
-                    pj.verts[vj as usize].links[slot].as_slice()
+                    pj.vert(vj as usize).links(slot)
                 })
                 .collect();
             let smallest = lists.iter().enumerate().min_by_key(|(_, l)| l.len()).unwrap().0;
@@ -329,7 +328,7 @@ fn extend(
                 .iter()
                 .copied()
                 .filter(|&v| {
-                    partition.verts[v as usize].alive
+                    partition.vert(v as usize).alive()
                         && lists
                             .iter()
                             .enumerate()
@@ -340,11 +339,11 @@ fn extend(
     };
 
     'cand: for vid in candidates {
-        let vert = &partition.verts[vid as usize];
+        let vert = partition.vert(vid as usize);
         // Merge the vertex's images into the global mapping.
         let mut added: Vec<QNode> = Vec::new();
         for (pos, &n) in sh.decomp.paths[pi].nodes.iter().enumerate() {
-            let e = vert.nodes[pos];
+            let e = vert.nodes()[pos];
             match st.mapping[n as usize] {
                 Some(prev) => {
                     if prev != e {
@@ -373,7 +372,7 @@ fn extend(
                 }
             }
         }
-        let new_w1 = w1_product * vert.w1;
+        let new_w1 = w1_product * vert.w1();
         let union: Vec<EntityId> = st.mapping.iter().flatten().copied().collect();
         let prn = sh.peg.prn(&union);
         if new_w1 * prn + EPS >= sh.alpha && prn > 0.0 {

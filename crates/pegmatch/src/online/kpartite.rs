@@ -12,6 +12,29 @@
 //!   vertex tracks, per partition, an upper bound on the `w1` weight of any
 //!   compatible candidate there; a vertex dies when
 //!   `w2 · ∏ perception < α`.
+//!
+//! # Layout
+//!
+//! The graph is stored as flat CSR-style arenas rather than nested `Vec`s:
+//! one `u32` link buffer with per-(vertex, slot) offset ranges, flat `f64`
+//! weight/perception arrays, and an entity-id slab. A vertex is addressed
+//! by its *global id* `gv = parts[pi].base + vi`; its perception row lives
+//! at `perception[gv·k .. gv·k + k]`. [`Partition`]/[`Vert`] remain as the
+//! builder-side shape ([`KPartiteGraph::from_partitions`] flattens them);
+//! [`PartView`]/[`VertView`] are the read API for generation and tests.
+//!
+//! # Frontier
+//!
+//! Message rounds are Jacobi (each round reads only the previous round's
+//! state), and a vertex's proposed update is a *pure* min/max function of
+//! its alive neighbors' perception rows. Re-evaluating a vertex whose
+//! inputs did not change since its last evaluation therefore emits nothing
+//! — so rounds only visit the *active frontier*: vertices marked dirty
+//! because an in-neighbor's perception changed last round or a kill
+//! removed one of their links. The frontier is seeded with every vertex,
+//! making round 1 identical to a full sweep, and the skip rule is bit-exact
+//! by purity (see `tests/reduction_frontier_equivalence.rs`); set
+//! [`ReduceOptions::use_frontier`] to `false` to force full sweeps.
 
 use crate::online::candidates::CandidateSet;
 use crate::online::decompose::Decomposition;
@@ -22,7 +45,8 @@ use graphstore::EntityId;
 
 const EPS: f64 = 1e-12;
 
-/// One candidate path match inside a partition.
+/// One candidate path match, in builder form (nested link lists). The
+/// engine flattens these into arenas; see [`KPartiteGraph::from_partitions`].
 #[derive(Clone, Debug)]
 pub struct Vert {
     /// Entity images aligned with the path's query nodes.
@@ -34,22 +58,14 @@ pub struct Vert {
     pub w2: f64,
     /// Liveness flag (pruned vertices stay in place).
     pub alive: bool,
-    /// Link lists parallel to the partition's `joined` list; sorted ids.
+    /// Link lists parallel to the partition's `joined` list; local vertex
+    /// ids into the joined partition (canonicalized on flatten).
     pub links: Vec<Vec<u32>>,
-    /// Count of *alive* links per joined partition.
-    pub alive_counts: Vec<u32>,
     /// Perception vector: per-partition upper bounds on compatible `w1`s.
     pub perception: Vec<f64>,
 }
 
-impl Vert {
-    /// The pruning bound: `w2 · ∏ perception`.
-    pub fn upper_bound(&self) -> f64 {
-        self.w2 * self.perception.iter().product::<f64>()
-    }
-}
-
-/// One partition (all candidates of one decomposition path).
+/// One partition (all candidates of one decomposition path), builder form.
 #[derive(Clone, Debug)]
 pub struct Partition {
     /// Indices of joined partitions, ascending.
@@ -58,20 +74,44 @@ pub struct Partition {
     pub verts: Vec<Vert>,
 }
 
-impl Partition {
-    /// Number of alive vertices.
-    pub fn alive_count(&self) -> usize {
-        self.verts.iter().filter(|v| v.alive).count()
-    }
+/// Flattened per-partition metadata: where this partition's vertices live
+/// inside the graph's arenas.
+#[derive(Clone, Debug)]
+struct PartMeta {
+    /// Indices of joined partitions, ascending.
+    joined: Vec<usize>,
+    /// First global vertex id of this partition.
+    base: usize,
+    /// Vertex count.
+    n: usize,
+    /// Nodes per vertex (the path length).
+    path_len: usize,
+    /// Offset of this partition's entity-id slab in `nodes`.
+    nodes_off: usize,
+    /// First slot id: slot `(vi, s)` is `slot_off + vi·|joined| + s`.
+    slot_off: usize,
+}
 
-    /// Slot of partition `j` within this partition's link lists.
-    pub fn slot_of(&self, j: usize) -> Option<usize> {
-        self.joined.iter().position(|&x| x == j)
+impl PartMeta {
+    fn sid(&self, vi: usize, slot: usize) -> usize {
+        self.slot_off + vi * self.joined.len() + slot
     }
 }
 
-/// Outcome counters of a reduction run.
+/// Per-round frontier telemetry: how much work the delta-driven schedule
+/// actually did versus the full sweep it replaced.
 #[derive(Clone, Copy, Debug, Default)]
+pub struct RoundFrontier {
+    /// Vertices evaluated this round (the frontier size).
+    pub evals: usize,
+    /// Alive vertices at round start (what a full sweep would evaluate).
+    pub alive: usize,
+    /// Perception entries tightened this round.
+    pub updates: usize,
+}
+
+/// Outcome counters of a reduction run.
+#[derive(Clone, Debug, Default)]
 pub struct ReductionStats {
     /// Vertices removed by reduction by structure.
     pub removed_structure: usize,
@@ -79,6 +119,13 @@ pub struct ReductionStats {
     pub removed_upperbound: usize,
     /// Message-passing rounds executed.
     pub rounds: usize,
+    /// Vertices actually evaluated across all rounds.
+    pub frontier_evals: usize,
+    /// Alive vertices a full sweep would have evaluated but the frontier
+    /// skipped (`Σ per round: alive − evals`).
+    pub full_evals_avoided: usize,
+    /// Per-round frontier sizes, in round order.
+    pub round_frontiers: Vec<RoundFrontier>,
     /// `log10` of the search-space product after the first structure pass.
     pub log10_after_structure: f64,
     /// `log10` of the final search-space product.
@@ -90,6 +137,9 @@ pub struct ReductionStats {
 pub struct ReduceOptions {
     /// Apply reduction by upper bounds after structure.
     pub use_upperbounds: bool,
+    /// Evaluate only the active frontier each round (bit-exact vs the
+    /// full sweep; `false` forces full sweeps, as a reference mode).
+    pub use_frontier: bool,
     /// Run message passing with partitions distributed over the pool.
     pub parallel: bool,
     /// Pool size for parallel passes (`0` = available parallelism). The
@@ -102,7 +152,13 @@ pub struct ReduceOptions {
 
 impl Default for ReduceOptions {
     fn default() -> Self {
-        Self { use_upperbounds: true, parallel: false, threads: 0, max_rounds: 32 }
+        Self {
+            use_upperbounds: true,
+            use_frontier: true,
+            parallel: false,
+            threads: 0,
+            max_rounds: 32,
+        }
     }
 }
 
@@ -116,43 +172,264 @@ struct PerceptionUpdate {
     val: f64,
 }
 
-/// The candidate k-partite graph (Definition 6).
+/// Per-partition round scratch, allocated once per pass and reused across
+/// rounds: the update buffer plus the per-entry min/max accumulators.
+struct RoundBuf {
+    updates: Vec<PerceptionUpdate>,
+    evals: usize,
+    /// min over joined slots of the per-slot best, per entry.
+    cand: Vec<f64>,
+    /// max over alive links of `perception[entry]`, per entry.
+    best: Vec<f64>,
+}
+
+impl RoundBuf {
+    fn new(k: usize) -> Self {
+        Self { updates: Vec::new(), evals: 0, cand: vec![0.0; k], best: vec![0.0; k] }
+    }
+}
+
+/// Hands each pool lane a `&mut` to its own (disjoint) slot of a buffer
+/// array. `pegpool::for_each` claims every index exactly once, so no two
+/// lanes ever alias the same element.
+struct SlotWriter<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+/// A dense bitset over global vertex ids.
+#[derive(Clone, Debug, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        Self { words: vec![0u64; bits.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets bits `0..n` (the container must have been sized for `n`).
+    fn set_all(&mut self, n: usize) {
+        self.words.fill(!0u64);
+        if n & 63 != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (n & 63)) - 1;
+            }
+        }
+    }
+
+    /// Calls `f` for every set bit in `start..end`, ascending.
+    fn for_each_in(&self, start: usize, end: usize, mut f: impl FnMut(usize)) {
+        if start >= end {
+            return;
+        }
+        let first = start >> 6;
+        let last = (end - 1) >> 6;
+        for wi in first..=last {
+            let mut word = self.words[wi];
+            if wi == first {
+                word &= !0u64 << (start & 63);
+            }
+            if wi == last && end & 63 != 0 {
+                word &= (1u64 << (end & 63)) - 1;
+            }
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                f((wi << 6) | bit);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+/// The candidate k-partite graph (Definition 6), in flat CSR arenas.
 #[derive(Clone, Debug)]
 pub struct KPartiteGraph {
-    /// One partition per decomposition path.
-    pub partitions: Vec<Partition>,
+    /// Partition count.
+    k: usize,
+    parts: Vec<PartMeta>,
+    /// Liveness per global vertex id.
+    alive: Vec<bool>,
+    /// Alive vertex count per partition (maintained by `kill`).
+    alive_n: Vec<usize>,
+    /// `w1` per global vertex id.
+    w1: Vec<f64>,
+    /// `w2` per global vertex id.
+    w2: Vec<f64>,
+    /// Entity-id slab; vertex `(pi, vi)`'s images are the `path_len` ids
+    /// at `nodes_off + vi·path_len`.
+    nodes: Vec<EntityId>,
+    /// Perception rows: `k` entries per vertex at `gv·k`.
+    perception: Vec<f64>,
+    /// Flat link buffer: local vertex ids into the slot's joined partition.
+    links: Vec<u32>,
+    /// CSR offsets over slot ids (`len = total_slots + 1`).
+    link_off: Vec<usize>,
+    /// Count of *alive* link targets per slot id.
+    link_alive: Vec<u32>,
+    /// Frontier for the *next* message round: vertices with a changed
+    /// input (an in-neighbor's perception, or a link killed).
+    msg_dirty: BitSet,
+    /// Frontier being accumulated *during* a round's apply phase.
+    next_dirty: BitSet,
+    /// Vertices whose own upper bound changed since the last prune.
+    bound_dirty: BitSet,
+    /// Whether the zero-link invariant holds (structure fixpoint reached
+    /// and every later kill cascades immediately) — lets later structure
+    /// passes skip their scan entirely.
+    structure_clean: bool,
 }
 
 impl KPartiteGraph {
+    /// Flattens builder-form partitions into the arena layout. Link lists
+    /// are canonicalized (sorted, deduplicated) here; alive-link counts
+    /// are derived from target liveness; the message frontier is seeded
+    /// with every vertex so the first reduction round is a full sweep.
+    pub fn from_partitions(mut partitions: Vec<Partition>) -> Self {
+        let k = partitions.len();
+        for p in &mut partitions {
+            for v in &mut p.verts {
+                debug_assert_eq!(v.links.len(), p.joined.len());
+                for l in &mut v.links {
+                    l.sort_unstable();
+                    l.dedup();
+                }
+            }
+        }
+        let mut parts: Vec<PartMeta> = Vec::with_capacity(k);
+        let (mut base, mut nodes_off, mut slot_off) = (0usize, 0usize, 0usize);
+        for p in &partitions {
+            let path_len = p.verts.first().map_or(0, |v| v.nodes.len());
+            parts.push(PartMeta {
+                joined: p.joined.clone(),
+                base,
+                n: p.verts.len(),
+                path_len,
+                nodes_off,
+                slot_off,
+            });
+            base += p.verts.len();
+            nodes_off += p.verts.len() * path_len;
+            slot_off += p.verts.len() * p.joined.len();
+        }
+        let (n_verts, total_slots) = (base, slot_off);
+
+        let mut alive = Vec::with_capacity(n_verts);
+        let mut w1 = Vec::with_capacity(n_verts);
+        let mut w2 = Vec::with_capacity(n_verts);
+        let mut nodes = Vec::with_capacity(nodes_off);
+        let mut perception = Vec::with_capacity(n_verts * k);
+        let mut links = Vec::new();
+        let mut link_off = Vec::with_capacity(total_slots + 1);
+        link_off.push(0);
+        for p in &partitions {
+            for v in &p.verts {
+                assert_eq!(v.perception.len(), k, "perception width must equal partition count");
+                alive.push(v.alive);
+                w1.push(v.w1);
+                w2.push(v.w2);
+                nodes.extend_from_slice(&v.nodes);
+                perception.extend_from_slice(&v.perception);
+                for l in &v.links {
+                    links.extend_from_slice(l);
+                    link_off.push(links.len());
+                }
+            }
+        }
+
+        let mut link_alive = vec![0u32; total_slots];
+        let mut sid = 0usize;
+        for (pi, p) in partitions.iter().enumerate() {
+            for v in &p.verts {
+                for (slot, l) in v.links.iter().enumerate() {
+                    let qbase = parts[parts[pi].joined[slot]].base;
+                    link_alive[sid] =
+                        l.iter().filter(|&&w| alive[qbase + w as usize]).count() as u32;
+                    sid += 1;
+                }
+            }
+        }
+        let alive_n: Vec<usize> = parts
+            .iter()
+            .map(|p| alive[p.base..p.base + p.n].iter().filter(|&&a| a).count())
+            .collect();
+
+        let mut msg_dirty = BitSet::new(n_verts);
+        msg_dirty.set_all(n_verts);
+        Self {
+            k,
+            parts,
+            alive,
+            alive_n,
+            w1,
+            w2,
+            nodes,
+            perception,
+            links,
+            link_off,
+            link_alive,
+            msg_dirty,
+            next_dirty: BitSet::new(n_verts),
+            bound_dirty: BitSet::new(n_verts),
+            structure_clean: false,
+        }
+    }
+
+    /// Partition count.
+    pub fn n_partitions(&self) -> usize {
+        self.k
+    }
+
+    /// Read view over one partition.
+    pub fn part(&self, pi: usize) -> PartView<'_> {
+        PartView { g: self, pi }
+    }
+
     /// `log10` of the product of alive partition sizes (the paper's search
     /// space measure); `-inf` when a partition is empty.
     pub fn log10_search_space(&self) -> f64 {
-        self.partitions
+        self.alive_n
             .iter()
-            .map(|p| {
-                let n = p.alive_count();
-                if n == 0 {
-                    f64::NEG_INFINITY
-                } else {
-                    (n as f64).log10()
-                }
-            })
+            .map(|&n| if n == 0 { f64::NEG_INFINITY } else { (n as f64).log10() })
             .sum()
     }
 
     /// Alive vertex counts per partition.
     pub fn alive_counts(&self) -> Vec<usize> {
-        self.partitions.iter().map(|p| p.alive_count()).collect()
+        self.alive_n.clone()
     }
 
     /// Runs joint search-space reduction to fixpoint.
     pub fn reduce(&mut self, alpha: f64, opts: &ReduceOptions) -> ReductionStats {
+        self.reduce_traced(alpha, opts, &pegtrace::Span::disabled())
+    }
+
+    /// [`KPartiteGraph::reduce`], emitting per-round / per-prune children
+    /// (frontier size, updates, kills) under `span` when it records.
+    pub fn reduce_traced(
+        &mut self,
+        alpha: f64,
+        opts: &ReduceOptions,
+        span: &pegtrace::Span,
+    ) -> ReductionStats {
         let mut stats = ReductionStats::default();
         self.structure_fixpoint(&mut stats.removed_structure);
         stats.log10_after_structure = self.log10_search_space();
         if opts.use_upperbounds {
+            // The first prune of a reduce call re-checks every alive bound:
+            // α may differ from whatever threshold this graph (or the base
+            // it was cloned from) last converged at.
+            let mut scan_all_bounds = true;
             loop {
-                let killed = self.upperbound_pass(alpha, opts, &mut stats.rounds);
+                let killed = self.upperbound_pass(alpha, opts, &mut stats, span, scan_all_bounds);
+                scan_all_bounds = false;
                 stats.removed_upperbound += killed;
                 if killed == 0 {
                     break;
@@ -165,44 +442,70 @@ impl KPartiteGraph {
     }
 
     /// Kills vertices lacking a live link to some joined partition, cascading.
+    ///
+    /// Cascades drain fully inside every kill site (here and the prune in
+    /// `upperbound_pass`), so once the first fixpoint is reached no alive
+    /// vertex ever holds a zero alive-link count between passes —
+    /// `structure_clean` records that and later calls skip the scan.
     fn structure_fixpoint(&mut self, removed: &mut usize) {
+        if self.structure_clean {
+            return;
+        }
         let mut worklist: Vec<(usize, u32)> = Vec::new();
-        for (pi, p) in self.partitions.iter().enumerate() {
-            for (vi, v) in p.verts.iter().enumerate() {
-                if v.alive && v.alive_counts.contains(&0) {
+        for (pi, p) in self.parts.iter().enumerate() {
+            let ns = p.joined.len();
+            for vi in 0..p.n {
+                if !self.alive[p.base + vi] {
+                    continue;
+                }
+                let s0 = p.sid(vi, 0);
+                if self.link_alive[s0..s0 + ns].contains(&0) {
                     worklist.push((pi, vi as u32));
                 }
             }
         }
         while let Some((pi, vi)) = worklist.pop() {
-            if !self.partitions[pi].verts[vi as usize].alive {
+            if !self.alive[self.parts[pi].base + vi as usize] {
                 continue;
             }
             self.kill(pi, vi, &mut worklist);
             *removed += 1;
         }
+        self.structure_clean = true;
     }
 
     /// Marks a vertex dead and decrements neighbors' live-link counts,
-    /// scheduling any neighbor that drops to zero.
+    /// scheduling any neighbor that drops to zero. Every alive neighbor
+    /// joins the message frontier: it just lost an input.
     fn kill(&mut self, pi: usize, vi: u32, worklist: &mut Vec<(usize, u32)>) {
-        self.partitions[pi].verts[vi as usize].alive = false;
-        // A dead vertex's link lists are never read again, so take them
-        // instead of cloning (kills are the hot edge of the cascade).
-        let links = std::mem::take(&mut self.partitions[pi].verts[vi as usize].links);
-        for (slot, nbrs) in links.iter().enumerate() {
-            let pj = self.partitions[pi].joined[slot];
-            let back_slot =
-                self.partitions[pj].slot_of(pi).expect("join relation must be symmetric");
-            for &w in nbrs {
-                let vert = &mut self.partitions[pj].verts[w as usize];
-                if !vert.alive {
+        let vi = vi as usize;
+        let gv = self.parts[pi].base + vi;
+        self.alive[gv] = false;
+        self.alive_n[pi] -= 1;
+        let ns = self.parts[pi].joined.len();
+        let s0 = self.parts[pi].sid(vi, 0);
+        for slot in 0..ns {
+            let pj = self.parts[pi].joined[slot];
+            let back_slot = self.parts[pj]
+                .joined
+                .iter()
+                .position(|&x| x == pi)
+                .expect("join relation must be symmetric");
+            let (qbase, qns, qslot_off) =
+                (self.parts[pj].base, self.parts[pj].joined.len(), self.parts[pj].slot_off);
+            let (lo, hi) = (self.link_off[s0 + slot], self.link_off[s0 + slot + 1]);
+            for li in lo..hi {
+                let w = self.links[li] as usize;
+                let gw = qbase + w;
+                if !self.alive[gw] {
                     continue;
                 }
-                debug_assert!(vert.alive_counts[back_slot] > 0);
-                vert.alive_counts[back_slot] -= 1;
-                if vert.alive_counts[back_slot] == 0 {
-                    worklist.push((pj, w));
+                self.msg_dirty.set(gw);
+                let sid_back = qslot_off + w * qns + back_slot;
+                debug_assert!(self.link_alive[sid_back] > 0);
+                self.link_alive[sid_back] -= 1;
+                if self.link_alive[sid_back] == 0 {
+                    worklist.push((pj, w as u32));
                 }
             }
         }
@@ -215,69 +518,195 @@ impl KPartiteGraph {
     /// previous round's state, so the parallel schedule is bit-identical to
     /// the sequential one. Per-partition update buffers are allocated once
     /// per pass and reused across rounds; only *changed* entries are ever
-    /// emitted (no per-vertex perception clones).
-    fn upperbound_pass(&mut self, alpha: f64, opts: &ReduceOptions, rounds: &mut usize) -> usize {
-        let k = self.partitions.len();
+    /// emitted (no per-vertex perception clones). Each round consumes
+    /// `msg_dirty` and accumulates `next_dirty` (the readers of every
+    /// applied update); the prune consumes `bound_dirty` (the vertices
+    /// whose own bound tightened) unless `scan_all_bounds` forces the full
+    /// check.
+    fn upperbound_pass(
+        &mut self,
+        alpha: f64,
+        opts: &ReduceOptions,
+        stats: &mut ReductionStats,
+        span: &pegtrace::Span,
+        scan_all_bounds: bool,
+    ) -> usize {
+        let k = self.k;
+        let frontier = opts.use_frontier;
+        let recording = span.is_recording();
         // `parallel` forces the pooled path even when the pool resolves to
         // one lane (it then runs inline, bit-identically) — so the flag
         // deterministically exercises the parallel implementation.
         let pool = (opts.parallel && k > 1).then(|| pegpool::pool_with(opts.threads));
-        let scratch: Vec<std::sync::Mutex<Vec<PerceptionUpdate>>> =
-            (0..k).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let mut bufs: Vec<RoundBuf> = (0..k).map(|_| RoundBuf::new(k)).collect();
         for _ in 0..opts.max_rounds {
-            *rounds += 1;
+            stats.rounds += 1;
+            let t0 = recording.then(std::time::Instant::now);
+            let alive_now: usize = self.alive_n.iter().sum();
             // Compute phase: disjoint buffers, shared read-only graph.
             match &pool {
                 Some(pool) => {
                     let this = &*self;
+                    let writer = SlotWriter(bufs.as_mut_ptr());
+                    let writer = &writer;
                     pool.for_each(k, &|pi| {
-                        this.round_for_partition(pi, &mut scratch[pi].lock().unwrap());
+                        // Safety: `for_each` claims each index exactly once,
+                        // so lane `pi` is the sole writer of `bufs[pi]`.
+                        let buf = unsafe { &mut *writer.0.add(pi) };
+                        this.round_for_partition(pi, frontier, buf);
                     });
                 }
                 None => {
-                    for (pi, buf) in scratch.iter().enumerate() {
-                        self.round_for_partition(pi, &mut buf.lock().unwrap());
+                    for (pi, buf) in bufs.iter_mut().enumerate() {
+                        self.round_for_partition(pi, frontier, buf);
                     }
                 }
             }
-            // Apply phase.
-            let mut changed = false;
-            for (pi, buf) in scratch.iter().enumerate() {
-                let mut buf = buf.lock().unwrap();
-                changed |= !buf.is_empty();
-                let verts = &mut self.partitions[pi].verts;
-                for u in buf.drain(..) {
-                    verts[u.vi as usize].perception[u.entry as usize] = u.val;
+            // Apply phase: sequential, in partition index order — the same
+            // deterministic merge at every lane count. Updates for one
+            // vertex are contiguous (the compute loop emits per vertex), so
+            // reader-marking dedupes on the fly.
+            let mut evals_total = 0usize;
+            let mut updates_total = 0usize;
+            for (pi, buf) in bufs.iter_mut().enumerate() {
+                evals_total += std::mem::take(&mut buf.evals);
+                updates_total += buf.updates.len();
+                let base = self.parts[pi].base;
+                let mut last_vi = u32::MAX;
+                for &u in &buf.updates {
+                    let gv = base + u.vi as usize;
+                    self.perception[gv * k + u.entry as usize] = u.val;
+                    if u.vi != last_vi {
+                        last_vi = u.vi;
+                        self.bound_dirty.set(gv);
+                        self.mark_readers_dirty(pi, u.vi as usize);
+                    }
                 }
+                buf.updates.clear();
             }
-            if !changed {
+            stats.frontier_evals += evals_total;
+            stats.full_evals_avoided += alive_now - evals_total;
+            stats.round_frontiers.push(RoundFrontier {
+                evals: evals_total,
+                alive: alive_now,
+                updates: updates_total,
+            });
+            if let Some(t0) = t0 {
+                let child = span.child_done("round", t0.elapsed());
+                child.tag("round", stats.rounds);
+                child.tag("frontier", evals_total);
+                child.tag("alive", alive_now);
+                child.tag("updates", updates_total);
+            }
+            std::mem::swap(&mut self.msg_dirty, &mut self.next_dirty);
+            self.next_dirty.clear_all();
+            if updates_total == 0 {
                 break;
             }
         }
-        // Prune.
+        // Prune. The frontier prune visits `bound_dirty ∩ alive` in
+        // ascending (partition, vertex) order — a subsequence of the full
+        // scan — and skipped vertices are guaranteed survivors: their bound
+        // is unchanged since a prune that already passed them at this α.
+        let t0 = recording.then(std::time::Instant::now);
         let mut killed = 0usize;
+        let mut scanned = 0usize;
         let mut worklist: Vec<(usize, u32)> = Vec::new();
-        for pi in 0..k {
-            for vi in 0..self.partitions[pi].verts.len() {
-                let v = &self.partitions[pi].verts[vi];
-                if v.alive && v.upper_bound() + EPS < alpha {
-                    self.kill(pi, vi as u32, &mut worklist);
+        if scan_all_bounds || !frontier {
+            for pi in 0..k {
+                let (base, n) = (self.parts[pi].base, self.parts[pi].n);
+                for vi in 0..n {
+                    let gv = base + vi;
+                    if !self.alive[gv] {
+                        continue;
+                    }
+                    scanned += 1;
+                    if self.upper_bound_of(gv) + EPS < alpha {
+                        self.kill(pi, vi as u32, &mut worklist);
+                        killed += 1;
+                    }
+                }
+            }
+        } else {
+            let mut cands: Vec<(usize, u32)> = Vec::new();
+            for (pi, p) in self.parts.iter().enumerate() {
+                let alive = &self.alive;
+                self.bound_dirty.for_each_in(p.base, p.base + p.n, |gv| {
+                    if alive[gv] {
+                        cands.push((pi, (gv - p.base) as u32));
+                    }
+                });
+            }
+            scanned = cands.len();
+            for (pi, vi) in cands {
+                let gv = self.parts[pi].base + vi as usize;
+                if self.alive[gv] && self.upper_bound_of(gv) + EPS < alpha {
+                    self.kill(pi, vi, &mut worklist);
                     killed += 1;
                 }
             }
         }
+        self.bound_dirty.clear_all();
         // Cascade structural consequences immediately so counts stay sane.
         while let Some((pj, w)) = worklist.pop() {
-            if self.partitions[pj].verts[w as usize].alive {
+            if self.alive[self.parts[pj].base + w as usize] {
                 self.kill(pj, w, &mut worklist);
                 killed += 1;
             }
         }
+        if let Some(t0) = t0 {
+            let child = span.child_done("prune", t0.elapsed());
+            child.tag("scanned", scanned);
+            child.tag("kills", killed);
+        }
         killed
     }
 
+    /// The pruning bound of a vertex: `w2 · ∏ perception`.
+    fn upper_bound_of(&self, gv: usize) -> f64 {
+        let k = self.k;
+        self.w2[gv] * self.perception[gv * k..gv * k + k].iter().product::<f64>()
+    }
+
+    /// Marks every alive reader of `(pi, vi)`'s perception row — its link
+    /// neighbors — into the next round's frontier.
+    fn mark_readers_dirty(&mut self, pi: usize, vi: usize) {
+        let ns = self.parts[pi].joined.len();
+        let s0 = self.parts[pi].sid(vi, 0);
+        for slot in 0..ns {
+            let qbase = self.parts[self.parts[pi].joined[slot]].base;
+            let (lo, hi) = (self.link_off[s0 + slot], self.link_off[s0 + slot + 1]);
+            for li in lo..hi {
+                let gw = qbase + self.links[li] as usize;
+                if self.alive[gw] {
+                    self.next_dirty.set(gw);
+                }
+            }
+        }
+    }
+
     /// Proposed perception tightenings for the vertices of partition `pi`
-    /// (one Jacobi half-round), appended to `out`.
+    /// (one Jacobi half-round), appended to `buf`. With `use_frontier`,
+    /// only vertices in `msg_dirty` are evaluated — bit-exact because a
+    /// vertex with unchanged inputs emits nothing (purity).
+    fn round_for_partition(&self, pi: usize, use_frontier: bool, buf: &mut RoundBuf) {
+        let p = &self.parts[pi];
+        if use_frontier {
+            self.msg_dirty.for_each_in(p.base, p.base + p.n, |gv| {
+                if self.alive[gv] {
+                    self.eval_vertex(pi, gv - p.base, buf);
+                }
+            });
+        } else {
+            for vi in 0..p.n {
+                if self.alive[p.base + vi] {
+                    self.eval_vertex(pi, vi, buf);
+                }
+            }
+        }
+    }
+
+    /// One vertex's Jacobi evaluation.
     ///
     /// For entry `e ≠ pi`, a vertex's new bound is the min over its joined
     /// partitions of the max `perception[e]` among its alive links there.
@@ -288,43 +717,145 @@ impl KPartiteGraph {
     /// `pj == entry`; that variant would discard the base case and weaken
     /// the bound — see `direct_links_feed_the_perception_bound`.) The
     /// receiver's own entry stays at `w1` — senders never overwrite it.
-    fn round_for_partition(&self, pi: usize, out: &mut Vec<PerceptionUpdate>) {
-        let k = self.partitions.len();
-        let p = &self.partitions[pi];
-        for (vi, v) in p.verts.iter().enumerate() {
-            if !v.alive {
-                continue;
+    ///
+    /// All entries accumulate in one sweep over each link list (each alive
+    /// neighbor's perception row is read contiguously); per entry the
+    /// max/min comparison order matches the link/slot order, so the result
+    /// is identical to the per-entry formulation.
+    fn eval_vertex(&self, pi: usize, vi: usize, buf: &mut RoundBuf) {
+        let RoundBuf { updates, evals, cand, best } = buf;
+        *evals += 1;
+        let k = self.k;
+        let p = &self.parts[pi];
+        let gv = p.base + vi;
+        let s0 = p.sid(vi, 0);
+        cand.fill(f64::INFINITY);
+        for (slot, &pj) in p.joined.iter().enumerate() {
+            let qbase = self.parts[pj].base;
+            best.fill(0.0);
+            for &w in &self.links[self.link_off[s0 + slot]..self.link_off[s0 + slot + 1]] {
+                let gw = qbase + w as usize;
+                if !self.alive[gw] {
+                    continue;
+                }
+                let row = &self.perception[gw * k..gw * k + k];
+                for (b, &val) in best.iter_mut().zip(row) {
+                    if val > *b {
+                        *b = val;
+                    }
+                }
             }
-            for entry in 0..k {
-                if entry == pi {
-                    continue; // Own entry stays at w1.
-                }
-                // min over joined partitions of (max over alive links).
-                let mut candidate = f64::INFINITY;
-                for (slot, &pj) in p.joined.iter().enumerate() {
-                    let mut best = 0.0f64;
-                    for &w in &v.links[slot] {
-                        let wv = &self.partitions[pj].verts[w as usize];
-                        if wv.alive {
-                            let val = wv.perception[entry];
-                            if val > best {
-                                best = val;
-                            }
-                        }
-                    }
-                    if best < candidate {
-                        candidate = best;
-                    }
-                }
-                if candidate.is_finite() && candidate + 1e-15 < v.perception[entry] {
-                    out.push(PerceptionUpdate {
-                        vi: vi as u32,
-                        entry: entry as u32,
-                        val: candidate,
-                    });
+            for (c, &b) in cand.iter_mut().zip(best.iter()) {
+                if b < *c {
+                    *c = b;
                 }
             }
         }
+        let row = &self.perception[gv * k..gv * k + k];
+        for (entry, (&candidate, &current)) in cand.iter().zip(row).enumerate() {
+            if entry == pi {
+                continue; // Own entry stays at w1.
+            }
+            if candidate.is_finite() && candidate + 1e-15 < current {
+                updates.push(PerceptionUpdate {
+                    vi: vi as u32,
+                    entry: entry as u32,
+                    val: candidate,
+                });
+            }
+        }
+    }
+}
+
+/// Read view over one partition of a [`KPartiteGraph`].
+#[derive(Clone, Copy)]
+pub struct PartView<'g> {
+    g: &'g KPartiteGraph,
+    pi: usize,
+}
+
+impl<'g> PartView<'g> {
+    /// Indices of joined partitions, ascending.
+    pub fn joined(&self) -> &'g [usize] {
+        &self.g.parts[self.pi].joined
+    }
+
+    /// Vertex count (alive and dead).
+    pub fn n_verts(&self) -> usize {
+        self.g.parts[self.pi].n
+    }
+
+    /// Number of alive vertices.
+    pub fn alive_count(&self) -> usize {
+        self.g.alive_n[self.pi]
+    }
+
+    /// Slot of partition `j` within this partition's link lists.
+    pub fn slot_of(&self, j: usize) -> Option<usize> {
+        self.g.parts[self.pi].joined.iter().position(|&x| x == j)
+    }
+
+    /// Read view over one vertex.
+    pub fn vert(&self, vi: usize) -> VertView<'g> {
+        let p = &self.g.parts[self.pi];
+        debug_assert!(vi < p.n);
+        VertView { g: self.g, pi: self.pi, vi, gv: p.base + vi }
+    }
+}
+
+/// Read view over one vertex of a [`KPartiteGraph`].
+#[derive(Clone, Copy)]
+pub struct VertView<'g> {
+    g: &'g KPartiteGraph,
+    pi: usize,
+    vi: usize,
+    gv: usize,
+}
+
+impl<'g> VertView<'g> {
+    /// Liveness flag.
+    pub fn alive(&self) -> bool {
+        self.g.alive[self.gv]
+    }
+
+    /// Exclusive-coverage weight `w1`.
+    pub fn w1(&self) -> f64 {
+        self.g.w1[self.gv]
+    }
+
+    /// Identity weight `w2 = Prn`.
+    pub fn w2(&self) -> f64 {
+        self.g.w2[self.gv]
+    }
+
+    /// Entity images aligned with the path's query nodes.
+    pub fn nodes(&self) -> &'g [EntityId] {
+        let p = &self.g.parts[self.pi];
+        let off = p.nodes_off + self.vi * p.path_len;
+        &self.g.nodes[off..off + p.path_len]
+    }
+
+    /// Sorted link list for the given slot (local ids into the joined
+    /// partition).
+    pub fn links(&self, slot: usize) -> &'g [u32] {
+        let sid = self.g.parts[self.pi].sid(self.vi, slot);
+        &self.g.links[self.g.link_off[sid]..self.g.link_off[sid + 1]]
+    }
+
+    /// Count of *alive* links in the given slot.
+    pub fn alive_link_count(&self, slot: usize) -> u32 {
+        self.g.link_alive[self.g.parts[self.pi].sid(self.vi, slot)]
+    }
+
+    /// Perception vector: per-partition upper bounds on compatible `w1`s.
+    pub fn perception(&self) -> &'g [f64] {
+        let k = self.g.k;
+        &self.g.perception[self.gv * k..self.gv * k + k]
+    }
+
+    /// The pruning bound: `w2 · ∏ perception`.
+    pub fn upper_bound(&self) -> f64 {
+        self.g.upper_bound_of(self.gv)
     }
 }
 
@@ -383,7 +914,7 @@ impl CoverAssignment {
 /// construction per partition, and the per-pair probe loop (which carries
 /// the `joined_pair_ok` admission test, the hot part on high-candidate
 /// queries). Chunk results are reassembled in index order and the final
-/// sort/dedup canonicalizes link lists, so the graph is byte-identical to
+/// flatten canonicalizes link lists, so the graph is byte-identical to
 /// the sequential build at any lane count.
 pub fn build_kpartite(
     peg: &Peg,
@@ -421,7 +952,6 @@ pub fn build_kpartite(
                 w2: pm.prn,
                 alive: true,
                 links: vec![Vec::new(); joined.len()],
-                alive_counts: vec![0; joined.len()],
                 perception,
             }
         };
@@ -460,30 +990,46 @@ pub fn build_kpartite(
                 table.entry(key).or_default().push(wj as u32);
             }
 
-            let slot_ij = partitions[i].slot_of(j).unwrap();
-            let slot_ji = partitions[j].slot_of(i).unwrap();
-            let probe = |wi: usize| -> Vec<(u32, u32)> {
+            let slot_ij = partitions[i].joined.iter().position(|&x| x == j).expect("join symmetry");
+            let slot_ji = partitions[j].joined.iter().position(|&x| x == i).expect("join symmetry");
+            // The probe key buffer is caller-provided and reused across the
+            // whole chunk — one allocation per lane, not one per vertex.
+            let probe = |wi: usize, key: &mut Vec<u32>, out: &mut Vec<(u32, u32)>| {
                 let v = &partitions[i].verts[wi];
-                let key: Vec<u32> = pos_i.iter().map(|&p| v.nodes[p].0).collect();
-                let Some(buddies) = table.get(&key) else { return Vec::new() };
-                buddies
-                    .iter()
-                    .filter(|&&wj| {
-                        let w = &partitions[j].verts[wj as usize];
-                        joined_pair_ok(peg, query, decomp, i, j, v, w, alpha)
-                    })
-                    .map(|&wj| (wi as u32, wj))
-                    .collect()
+                key.clear();
+                key.extend(pos_i.iter().map(|&p| v.nodes[p].0));
+                let Some(buddies) = table.get(key.as_slice()) else { return };
+                out.extend(
+                    buddies
+                        .iter()
+                        .filter(|&&wj| {
+                            let w = &partitions[j].verts[wj as usize];
+                            joined_pair_ok(peg, query, decomp, i, j, v, w, alpha)
+                        })
+                        .map(|&wj| (wi as u32, wj)),
+                );
             };
             let n_i = partitions[i].verts.len();
             let new_links: Vec<(u32, u32)> = if pool.lanes() > 1 && n_i >= 64 {
                 let chunks = pool.chunks(n_i, 4);
-                pool.map(chunks.len(), |ci| chunks[ci].clone().flat_map(&probe).collect::<Vec<_>>())
-                    .into_iter()
-                    .flatten()
-                    .collect()
+                pool.map(chunks.len(), |ci| {
+                    let mut key = Vec::new();
+                    let mut out = Vec::new();
+                    for wi in chunks[ci].clone() {
+                        probe(wi, &mut key, &mut out);
+                    }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
             } else {
-                (0..n_i).flat_map(probe).collect()
+                let mut key = Vec::new();
+                let mut out = Vec::new();
+                for wi in 0..n_i {
+                    probe(wi, &mut key, &mut out);
+                }
+                out
             };
             for (wi, wj) in new_links {
                 partitions[i].verts[wi as usize].links[slot_ij].push(wj);
@@ -491,17 +1037,7 @@ pub fn build_kpartite(
             }
         }
     }
-    // Sort link lists and initialize alive counts.
-    for p in &mut partitions {
-        for v in &mut p.verts {
-            for (slot, l) in v.links.iter_mut().enumerate() {
-                l.sort_unstable();
-                l.dedup();
-                v.alive_counts[slot] = l.len() as u32;
-            }
-        }
-    }
-    KPartiteGraph { partitions }
+    KPartiteGraph::from_partitions(partitions)
 }
 
 /// Join-candidate admission test: injectivity, reference compatibility, and
@@ -608,17 +1144,19 @@ mod tests {
         let (_peg, kp, d) = setup(0.05);
         // Both partitions share exactly query node 1 (the `a` center).
         assert_eq!(d.shared.len(), 1);
-        for (pi, p) in kp.partitions.iter().enumerate() {
-            for v in &p.verts {
-                for (slot, nbrs) in v.links.iter().enumerate() {
-                    let pj = p.joined[slot];
-                    for &w in nbrs {
-                        let wv = &kp.partitions[pj].verts[w as usize];
+        for pi in 0..kp.n_partitions() {
+            let p = kp.part(pi);
+            for vi in 0..p.n_verts() {
+                let v = p.vert(vi);
+                for (slot, &pj) in p.joined().iter().enumerate() {
+                    let q = kp.part(pj);
+                    for &w in v.links(slot) {
+                        let wv = q.vert(w as usize);
                         // Shared node position: find it and compare images.
                         let shared = d.shared_nodes(pi, pj);
                         for &sn in shared {
-                            let a = v.nodes[d.paths[pi].position(sn).unwrap()];
-                            let b = wv.nodes[d.paths[pj].position(sn).unwrap()];
+                            let a = v.nodes()[d.paths[pi].position(sn).unwrap()];
+                            let b = wv.nodes()[d.paths[pj].position(sn).unwrap()];
                             assert_eq!(a, b);
                         }
                     }
@@ -636,10 +1174,15 @@ mod tests {
         let after: usize = kp.alive_counts().iter().sum();
         assert_eq!(before - after, stats.removed_structure);
         // Every survivor keeps a link everywhere it must.
-        for p in &kp.partitions {
-            for v in p.verts.iter().filter(|v| v.alive) {
-                for (slot, _) in p.joined.iter().enumerate() {
-                    assert!(v.alive_counts[slot] > 0);
+        for pi in 0..kp.n_partitions() {
+            let p = kp.part(pi);
+            for vi in 0..p.n_verts() {
+                let v = p.vert(vi);
+                if !v.alive() {
+                    continue;
+                }
+                for slot in 0..p.joined().len() {
+                    assert!(v.alive_link_count(slot) > 0);
                 }
             }
         }
@@ -692,16 +1235,20 @@ mod tests {
         for threads in [2usize, 4] {
             let pool = pegpool::pool_with(threads);
             let par = build_kpartite(&peg, &q, &d, &sets, 0.01, &pool);
-            assert_eq!(seq.partitions.len(), par.partitions.len());
-            for (p, q2) in seq.partitions.iter().zip(&par.partitions) {
-                assert_eq!(p.joined, q2.joined);
-                assert_eq!(p.verts.len(), q2.verts.len());
-                for (x, y) in p.verts.iter().zip(&q2.verts) {
-                    assert_eq!(x.nodes, y.nodes);
-                    assert_eq!(x.w1.to_bits(), y.w1.to_bits(), "threads={threads}");
-                    assert_eq!(x.w2.to_bits(), y.w2.to_bits());
-                    assert_eq!(x.links, y.links);
-                    assert_eq!(x.alive_counts, y.alive_counts);
+            assert_eq!(seq.n_partitions(), par.n_partitions());
+            for pi in 0..seq.n_partitions() {
+                let (p, q2) = (seq.part(pi), par.part(pi));
+                assert_eq!(p.joined(), q2.joined());
+                assert_eq!(p.n_verts(), q2.n_verts());
+                for vi in 0..p.n_verts() {
+                    let (x, y) = (p.vert(vi), q2.vert(vi));
+                    assert_eq!(x.nodes(), y.nodes());
+                    assert_eq!(x.w1().to_bits(), y.w1().to_bits(), "threads={threads}");
+                    assert_eq!(x.w2().to_bits(), y.w2().to_bits());
+                    for slot in 0..p.joined().len() {
+                        assert_eq!(x.links(slot), y.links(slot));
+                        assert_eq!(x.alive_link_count(slot), y.alive_link_count(slot));
+                    }
                 }
             }
         }
@@ -719,11 +1266,47 @@ mod tests {
             assert_eq!(s1.removed_structure, s2.removed_structure);
             assert_eq!(s1.removed_upperbound, s2.removed_upperbound);
             assert_eq!(s1.rounds, s2.rounds);
-            for (p, q) in seq.partitions.iter().zip(&par.partitions) {
-                for (a, b) in p.verts.iter().zip(&q.verts) {
-                    assert_eq!(a.alive, b.alive);
-                    for (x, y) in a.perception.iter().zip(&b.perception) {
+            assert_eq!(s1.frontier_evals, s2.frontier_evals);
+            assert_eq!(s1.full_evals_avoided, s2.full_evals_avoided);
+            for pi in 0..seq.n_partitions() {
+                let (p, q) = (seq.part(pi), par.part(pi));
+                for vi in 0..p.n_verts() {
+                    let (a, b) = (p.vert(vi), q.vert(vi));
+                    assert_eq!(a.alive(), b.alive());
+                    for (x, y) in a.perception().iter().zip(b.perception()) {
                         assert!((x - y).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_reduction_matches_full_sweep_bitwise() {
+        for alpha in [0.02, 0.1, 0.3] {
+            let (_p1, mut frontier, _) = setup(0.02);
+            let (_p2, mut full, _) = setup(0.02);
+            let sf =
+                frontier.reduce(alpha, &ReduceOptions { use_frontier: true, ..Default::default() });
+            let sv =
+                full.reduce(alpha, &ReduceOptions { use_frontier: false, ..Default::default() });
+            assert_eq!(sf.rounds, sv.rounds, "alpha={alpha}");
+            assert_eq!(sf.removed_structure, sv.removed_structure);
+            assert_eq!(sf.removed_upperbound, sv.removed_upperbound);
+            assert_eq!(frontier.alive_counts(), full.alive_counts());
+            // The frontier never does MORE work than the sweep, and both
+            // report per-round telemetry for every round.
+            assert!(sf.frontier_evals <= sv.frontier_evals);
+            assert_eq!(sf.round_frontiers.len(), sf.rounds);
+            assert_eq!(sv.round_frontiers.len(), sv.rounds);
+            assert!(sv.full_evals_avoided == 0, "full sweep avoids nothing");
+            for pi in 0..frontier.n_partitions() {
+                let (p, q) = (frontier.part(pi), full.part(pi));
+                for vi in 0..p.n_verts() {
+                    let (a, b) = (p.vert(vi), q.vert(vi));
+                    assert_eq!(a.alive(), b.alive());
+                    for (x, y) in a.perception().iter().zip(b.perception()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "alpha={alpha} pi={pi} vi={vi}");
                     }
                 }
             }
@@ -744,20 +1327,17 @@ mod tests {
             w1,
             w2: 1.0,
             alive: true,
-            links: vec![other_links.clone()],
-            alive_counts: vec![other_links.len() as u32],
+            links: vec![other_links],
             perception: {
                 let mut p = vec![1.0; 2];
                 p[own] = w1;
                 p
             },
         };
-        KPartiteGraph {
-            partitions: vec![
-                Partition { joined: vec![1], verts: vec![vert(1.0, 0, vec![0])] },
-                Partition { joined: vec![0], verts: vec![vert(0.3, 1, vec![0])] },
-            ],
-        }
+        KPartiteGraph::from_partitions(vec![
+            Partition { joined: vec![1], verts: vec![vert(1.0, 0, vec![0])] },
+            Partition { joined: vec![0], verts: vec![vert(0.3, 1, vec![0])] },
+        ])
     }
 
     #[test]
@@ -767,15 +1347,38 @@ mod tests {
         let mut kp = two_partition_chain();
         let stats = kp.reduce(0.1, &ReduceOptions::default());
         assert_eq!(stats.removed_structure + stats.removed_upperbound, 0);
-        let a = &kp.partitions[0].verts[0];
-        assert!((a.perception[1] - 0.3).abs() < 1e-12, "direct-link base case must propagate");
+        let a = kp.part(0).vert(0);
+        assert!((a.perception()[1] - 0.3).abs() < 1e-12, "direct-link base case must propagate");
         assert!((a.upper_bound() - 0.3).abs() < 1e-12);
 
         // At α = 0.5 the tightened bound prunes A (and B cascades away).
         let mut kp = two_partition_chain();
         let stats = kp.reduce(0.5, &ReduceOptions::default());
         assert!(stats.removed_upperbound >= 1, "upper-bound prune must fire: {stats:?}");
-        assert!(kp.partitions.iter().all(|p| p.alive_count() == 0));
+        assert!(kp.alive_counts().iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn bitset_ranges_and_seeding() {
+        let mut b = BitSet::new(130);
+        b.set_all(130);
+        let mut seen = Vec::new();
+        b.for_each_in(60, 70, |i| seen.push(i));
+        assert_eq!(seen, (60..70).collect::<Vec<_>>());
+        b.clear_all();
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        let mut seen = Vec::new();
+        b.for_each_in(0, 130, |i| seen.push(i));
+        assert_eq!(seen, vec![0, 63, 64, 129]);
+        let mut seen = Vec::new();
+        b.for_each_in(64, 129, |i| seen.push(i));
+        assert_eq!(seen, vec![64]);
+        let mut seen = Vec::new();
+        b.for_each_in(130, 130, |i| seen.push(i));
+        assert!(seen.is_empty());
     }
 
     #[test]

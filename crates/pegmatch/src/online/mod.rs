@@ -45,6 +45,10 @@ pub struct QueryOptions {
     pub use_reduction: bool,
     /// Within reduction, run reduction by upper bounds.
     pub use_upperbounds: bool,
+    /// Within upper-bound reduction, evaluate only the active frontier
+    /// each message round (vertices whose inputs changed). Bit-exact vs
+    /// full sweeps; `false` is the full-sweep reference mode.
+    pub use_frontier: bool,
     /// Force parallel (per-partition) message passing even when `threads`
     /// resolves to one lane. With `threads > 1` reduction is parallel
     /// regardless of this flag; results are identical either way (the
@@ -68,6 +72,7 @@ impl Default for QueryOptions {
             strategy: DecompStrategy::CostBased,
             use_reduction: true,
             use_upperbounds: true,
+            use_frontier: true,
             parallel_reduction: false,
             join_order: JoinOrder::Heuristic,
             max_rounds: 32,
@@ -128,6 +133,14 @@ pub struct PipelineStats {
     pub removed_upperbound: usize,
     /// Message-passing rounds executed.
     pub message_rounds: usize,
+    /// Vertices actually evaluated across all message rounds (the summed
+    /// frontier sizes).
+    pub frontier_evals: usize,
+    /// Alive vertices the frontier schedule skipped versus full sweeps
+    /// (`Σ per round: alive − evaluated`).
+    pub full_evals_avoided: usize,
+    /// Frontier size (vertices evaluated) per message round, in order.
+    pub round_frontiers: Vec<usize>,
     /// Matches returned.
     pub n_matches: usize,
     /// Stage timings.
@@ -384,39 +397,40 @@ impl<'a> QueryPipeline<'a> {
         let t0 = Instant::now();
         let source = self.source.as_dyn();
         let max_len = source.max_len().max(1);
+        // Canonicalize always: planning runs over the *canonical-numbered*
+        // query, so a fresh plan and a cache hit enumerate candidate paths
+        // in the same order. Generation order — and therefore any `limit`
+        // truncation prefix — is a pure function of the request, never of
+        // which isomorphic sibling happened to warm the plan cache first.
+        // (Cost estimates are label-based, so canonical planning picks the
+        // same decomposition and join order as query-numbered planning.)
+        let canon = query.canonical_form();
+        let canon_query = canon.to_query();
         let build = || {
             let t = Instant::now();
             let est = |labels: &[graphstore::Label]| source.estimate_path_count(labels, alpha);
-            let decomp = decompose(query, max_len, &est, opts.strategy)?;
+            let decomp = decompose(&canon_query, max_len, &est, opts.strategy)?;
             // Join order from the same cost estimates that priced the
             // decomposition; pinned to the plan so every execution
             // multiplies weights in the same order (bit-exact results).
             let sizes: Vec<usize> = decomp
                 .paths
                 .iter()
-                .map(|p| est(&p.labels(query)).round().max(0.0) as usize)
+                .map(|p| est(&p.labels(&canon_query)).round().max(0.0) as usize)
                 .collect();
             let order = join_order(&decomp, &sizes, opts.join_order);
             Ok((decomp, order, t.elapsed()))
         };
-        // Canonicalize once for every shape-keyed cache attached: the
-        // plan cache keys plans by it, and sessions key cached floor
-        // retrievals by it (plus the canonical-numbered decomposition).
-        let canon = if self.plan_cache.is_some() || self.exec_cache.is_some() {
-            Some(query.canonical_form())
-        } else {
-            None
-        };
-        let (decomp, order, from_cache, shape_hash) = match (&self.plan_cache, &canon) {
-            (Some(cache), Some(canon)) => {
+        let (decomp, order, from_cache, shape_hash) = match &self.plan_cache {
+            Some(cache) => {
                 let hash = canon.hash64();
                 let (d, o, hit) =
-                    cache.plan_for(canon, opts.strategy, opts.join_order, max_len, build)?;
+                    cache.plan_for(&canon, opts.strategy, opts.join_order, max_len, build)?;
                 (d, o, hit, Some(hash))
             }
-            _ => {
+            None => {
                 let (d, o, _) = build()?;
-                (d, o, false, None)
+                (d.renumbered(&canon.inverse()), o, false, None)
             }
         };
         let pstats: Vec<PathStats> =
@@ -429,7 +443,7 @@ impl<'a> QueryPipeline<'a> {
             decompose_time: t0.elapsed(),
             shape_hash,
             from_cache,
-            canon,
+            canon: Some(canon),
         })
     }
 

@@ -234,9 +234,12 @@ impl PlanCache {
         Self { inner: Mutex::new(PlanCacheInner::default()), max_entries: max_entries.max(1) }
     }
 
-    /// Looks up the plan for `canon`'s shape; on a miss, plans via `build`
-    /// (in the *query's* numbering) and caches the canonical renumbering.
-    /// Either way the returned decomposition is in the query's numbering.
+    /// Looks up the plan for `canon`'s shape; on a miss, plans via `build`,
+    /// which must produce a decomposition in *canonical* numbering (plan
+    /// the query `canon.to_query()`), and caches it as-is. Either way the
+    /// returned decomposition is renumbered into the query's numbering
+    /// through `canon.inverse()` — hit and miss hand back byte-identical
+    /// plans, so downstream generation order is shape-determined.
     pub(crate) fn plan_for(
         &self,
         canon: &CanonicalForm,
@@ -281,7 +284,7 @@ impl PlanCache {
         // the same shape computes the same canonical plan, so last-write
         // -wins insertion is harmless.
         let (decomp, order, build_time) = build()?;
-        let canonical = std::sync::Arc::new(decomp.renumbered(&canon.perm));
+        let canonical = std::sync::Arc::new(decomp);
         let mut inner = self.inner.lock().unwrap();
         if !inner.map.contains_key(&key) && inner.map.len() >= self.max_entries {
             // Evict the least-recently-used shape (ticks are unique, so
@@ -298,7 +301,7 @@ impl PlanCache {
         inner.map.insert(
             key,
             CachedPlan {
-                decomp: canonical,
+                decomp: canonical.clone(),
                 order: order.clone(),
                 shape_hash: canon.hash64(),
                 build_time,
@@ -306,7 +309,8 @@ impl PlanCache {
                 last_used: now,
             },
         );
-        Ok((decomp, order, false))
+        drop(inner);
+        Ok((canonical.renumbered(&canon.inverse()), order, false))
     }
 
     /// Counter snapshot.
@@ -359,10 +363,16 @@ mod tests {
 
     fn plan_for(cache: &PlanCache, q: &QueryGraph) -> (Decomposition, bool) {
         let canon = q.canonical_form();
+        // Build plans the canonical-numbered query, per the plan_for contract.
+        let cq = canon.to_query();
         let (d, _order, hit) = cache
             .plan_for(&canon, DecompStrategy::CostBased, JoinOrder::Heuristic, 2, || {
-                let d =
-                    crate::online::decompose::decompose(q, 2, &|_| 1.0, DecompStrategy::CostBased)?;
+                let d = crate::online::decompose::decompose(
+                    &cq,
+                    2,
+                    &|_| 1.0,
+                    DecompStrategy::CostBased,
+                )?;
                 let order = (0..d.paths.len()).collect();
                 Ok((d, order, Duration::from_micros(10)))
             })

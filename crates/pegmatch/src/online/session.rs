@@ -169,10 +169,13 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         let span = self.tracer.span("reduce");
         let t = Instant::now();
         if self.opts.use_reduction {
-            let r = kp.reduce(alpha, &self.reduce_opts(&pool));
+            let r = kp.reduce_traced(alpha, &self.reduce_opts(&pool), &span);
             stats.removed_structure = r.removed_structure;
             stats.removed_upperbound = r.removed_upperbound;
             stats.message_rounds = r.rounds;
+            stats.frontier_evals = r.frontier_evals;
+            stats.full_evals_avoided = r.full_evals_avoided;
+            stats.round_frontiers = r.round_frontiers.iter().map(|f| f.evals).collect();
             stats.log10_ss_after_structure = r.log10_after_structure;
         } else {
             stats.log10_ss_after_structure = kp.log10_search_space();
@@ -181,6 +184,8 @@ impl<'a, 'p> QuerySession<'a, 'p> {
         span.tag("rounds", stats.message_rounds);
         span.tag("removed_structure", stats.removed_structure);
         span.tag("removed_upperbound", stats.removed_upperbound);
+        span.tag("frontier_evals", stats.frontier_evals);
+        span.tag("full_evals_avoided", stats.full_evals_avoided);
         drop(span);
         stats.final_counts = kp.alive_counts();
         stats.log10_ss_final = kp.log10_search_space();
@@ -246,6 +251,7 @@ impl<'a, 'p> QuerySession<'a, 'p> {
     fn reduce_opts(&self, pool: &pegpool::ThreadPool) -> ReduceOptions {
         ReduceOptions {
             use_upperbounds: self.opts.use_upperbounds,
+            use_frontier: self.opts.use_frontier,
             parallel: self.opts.parallel_reduction || pool.lanes() > 1,
             threads: self.opts.threads,
             max_rounds: self.opts.max_rounds,
@@ -298,15 +304,19 @@ impl<'a, 'p> QuerySession<'a, 'p> {
             span.tag("base_alpha", base.alpha);
             let t = Instant::now();
             let mut kp = base.kp.clone();
-            let r = kp.reduce(alpha, &self.reduce_opts(&pool));
+            let r = kp.reduce_traced(alpha, &self.reduce_opts(&pool), &span);
             stats.message_rounds = r.rounds;
             stats.removed_structure = r.removed_structure;
             stats.removed_upperbound = r.removed_upperbound;
+            stats.frontier_evals = r.frontier_evals;
+            stats.full_evals_avoided = r.full_evals_avoided;
+            stats.round_frontiers = r.round_frontiers.iter().map(|f| f.evals).collect();
             stats.log10_ss_after_structure = r.log10_after_structure;
             stats.reduction_time = t.elapsed();
             stats.final_counts = kp.alive_counts();
             stats.log10_ss_final = kp.log10_search_space();
             span.tag("rounds", r.rounds);
+            span.tag("frontier_evals", r.frontier_evals);
             Some(kp)
         } else {
             if !needs_base {
@@ -315,6 +325,9 @@ impl<'a, 'p> QuerySession<'a, 'p> {
                 stats.message_rounds = 0;
                 stats.removed_structure = 0;
                 stats.removed_upperbound = 0;
+                stats.frontier_evals = 0;
+                stats.full_evals_avoided = 0;
+                stats.round_frontiers = Vec::new();
                 stats.reduction_time = std::time::Duration::ZERO;
             }
             None

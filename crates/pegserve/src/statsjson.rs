@@ -40,6 +40,9 @@ pub fn pipeline_json(s: &PipelineStats) -> Json {
         .field("removed_structure", s.removed_structure)
         .field("removed_upperbound", s.removed_upperbound)
         .field("message_rounds", s.message_rounds)
+        .field("frontier_evals", s.frontier_evals)
+        .field("full_evals_avoided", s.full_evals_avoided)
+        .field("round_frontiers", counts(&s.round_frontiers))
         .field("n_matches", s.n_matches)
         .field("base_alpha", s.base_alpha)
         .field("base_reused", s.base_reused)

@@ -15,7 +15,7 @@ use pathindex::PathIndexConfig;
 use pegmatch::matcher::Match;
 use pegmatch::model::PegBuilder;
 use pegmatch::offline::{OfflineIndex, OfflineOptions};
-use pegmatch::online::{ExecCache, PlanCache, QueryOptions, QueryPipeline};
+use pegmatch::online::{ExecCache, QueryOptions, QueryPipeline};
 use pegshard::ShardedGraphStore;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -53,10 +53,10 @@ proptest! {
             index: PathIndexConfig { max_len: 2, beta: 0.2, ..Default::default() },
         };
         // One store, two pipelines over it, differing ONLY in the
-        // execution cache: both carry a (separate) plan cache so they
-        // execute the same canonical plan — `run_limited`'s truncation
-        // prefix depends on the join plan, and the variable under test
-        // here is candidate reuse, not plan choice.
+        // execution cache. No plan caches needed: planning is always
+        // canonical-numbered, so a cached-plan pipeline and a plan-fresh
+        // one execute byte-identical plans (and identical `run_limited`
+        // truncation prefixes) by construction.
         let offline;
         let sharded;
         let (warm_base, cold_base): (QueryPipeline<'_>, QueryPipeline<'_>) = if n_shards > 1 {
@@ -67,12 +67,8 @@ proptest! {
             (QueryPipeline::new(&peg, &offline), QueryPipeline::new(&peg, &offline))
         };
         let exec = Arc::new(ExecCache::new(8 << 20));
-        let warm = warm_base
-            .into_builder()
-            .plan_cache(Arc::new(PlanCache::new()))
-            .exec_cache(exec.clone(), exec.next_epoch())
-            .build();
-        let cold = cold_base.into_builder().plan_cache(Arc::new(PlanCache::new())).build();
+        let warm = warm_base.into_builder().exec_cache(exec.clone(), exec.next_epoch()).build();
+        let cold = cold_base;
 
         let base = random_query(QuerySpec::new(4, 4), n_labels, seed);
         let renumbered = permuted_query(&base, seed.wrapping_mul(31) + 7);
